@@ -1,0 +1,47 @@
+//! # greca-affinity
+//!
+//! Temporal affinity models from §2.1 of *Group Recommendation with
+//! Temporal Affinities* (EDBT 2015).
+//!
+//! Affinity between a user pair `(u, u')` combines:
+//!
+//! * **static affinity** `affS(u,u')` — time-independent closeness; the
+//!   paper uses `|friends(u) ∩ friends(u')|` normalized into `[0,1]`;
+//! * **dynamic affinity** `affV(u,u',p)` — the accumulated *drift* of the
+//!   pair's periodic affinity `affP` against the population average
+//!   (Eq. 1): `affV = Σ_{p'⪯p} (affP(u,u',p') − AvgaffP(p')) / Δ`.
+//!
+//! Two models combine the components:
+//!
+//! * **discrete** — `affD = affS + affV`, Δ = number of periods;
+//! * **continuous** — `affC = affS · e^{λ(f−s0)}` with λ the drift rate;
+//!   substituting λ = affV (whose continuous Δ is `f − s0`) makes the
+//!   exponent equal the *cumulative* drift sum.
+//!
+//! The crate also provides the **incremental affinity index**: "as
+//! affinity between users evolves over time, GRECA does not need to
+//! recalculate any of the previously calculated affinities and just
+//! augments the index to account for the latest affinities" (§1).
+//!
+//! ```
+//! use greca_dataset::prelude::*;
+//! use greca_affinity::{AffinityMode, PopulationAffinity, SocialAffinitySource};
+//!
+//! let net = SocialConfig::tiny().generate();
+//! let tl = Timeline::discretize(0, net.horizon(), Granularity::Season).unwrap();
+//! let source = SocialAffinitySource::new(&net);
+//! let universe: Vec<UserId> = net.users().collect();
+//! let pop = PopulationAffinity::build(&source, &universe, &tl);
+//! let g = Group::new(vec![UserId(0), UserId(1), UserId(2)]).unwrap();
+//! let view = pop.group_view(&g, tl.num_periods() - 1, AffinityMode::Discrete);
+//! let aff = view.affinity(view.pair_of(UserId(0), UserId(1)).unwrap());
+//! assert!(aff >= 0.0);
+//! ```
+
+pub mod group;
+pub mod population;
+pub mod source;
+
+pub use group::{AffinityMode, GroupAffinity};
+pub use population::{PeriodAffinityData, PopulationAffinity};
+pub use source::{AffinitySource, SocialAffinitySource, TableAffinitySource};

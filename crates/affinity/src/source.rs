@@ -1,0 +1,153 @@
+//! Raw affinity sources.
+//!
+//! The affinity machinery is "orthogonal to how affinities are modeled"
+//! (§2.3): the paper derives `affS` from Facebook friendship and `affP`
+//! from common page-category likes, but explicitly allows other signals
+//! (shared political interests, NEO-FFI personality, expertise …).
+//! [`AffinitySource`] is that extension point; [`SocialAffinitySource`]
+//! implements the paper's choices over the simulated social network and
+//! [`TableAffinitySource`] holds hand-written values (used to encode the
+//! running example of §3.1, Tables 2–4).
+
+use greca_dataset::{Period, SocialNetwork, UserId};
+use std::collections::HashMap;
+
+/// A provider of raw (unnormalized) pairwise affinity signals.
+///
+/// Both signals must be symmetric (`f(u,v) = f(v,u)`), finite and
+/// non-negative; callers normalize.
+pub trait AffinitySource {
+    /// Raw static affinity — the paper's `|friends(u) ∩ friends(u')|`.
+    fn static_raw(&self, u: UserId, v: UserId) -> f64;
+
+    /// Raw periodic affinity for one period — the paper's
+    /// `|page_likes(u,p) ∩ page_likes(u',p)|`.
+    fn periodic_raw(&self, u: UserId, v: UserId, period: Period) -> f64;
+}
+
+/// The paper's Facebook-derived signals over the simulated social network.
+#[derive(Debug, Clone)]
+pub struct SocialAffinitySource<'a> {
+    net: &'a SocialNetwork,
+}
+
+impl<'a> SocialAffinitySource<'a> {
+    /// Wrap a social network.
+    pub fn new(net: &'a SocialNetwork) -> Self {
+        SocialAffinitySource { net }
+    }
+
+    /// The wrapped network.
+    pub fn network(&self) -> &SocialNetwork {
+        self.net
+    }
+}
+
+impl AffinitySource for SocialAffinitySource<'_> {
+    fn static_raw(&self, u: UserId, v: UserId) -> f64 {
+        self.net.common_friends(u, v) as f64
+    }
+
+    fn periodic_raw(&self, u: UserId, v: UserId, period: Period) -> f64 {
+        self.net.common_category_likes(u, v, period) as f64
+    }
+}
+
+/// Hand-specified affinity tables keyed by (min id, max id) and period
+/// start timestamp; missing entries default to 0.
+#[derive(Debug, Clone, Default)]
+pub struct TableAffinitySource {
+    static_vals: HashMap<(u32, u32), f64>,
+    periodic_vals: HashMap<(u32, u32, i64), f64>,
+}
+
+impl TableAffinitySource {
+    /// Empty table (all affinities 0).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set a symmetric static affinity value.
+    pub fn set_static(&mut self, u: UserId, v: UserId, value: f64) -> &mut Self {
+        assert!(value >= 0.0 && value.is_finite(), "affinity must be ≥ 0");
+        self.static_vals.insert(key(u, v), value);
+        self
+    }
+
+    /// Set a symmetric periodic affinity value for the period starting at
+    /// `period_start`.
+    pub fn set_periodic(
+        &mut self,
+        u: UserId,
+        v: UserId,
+        period_start: i64,
+        value: f64,
+    ) -> &mut Self {
+        assert!(value >= 0.0 && value.is_finite(), "affinity must be ≥ 0");
+        let (a, b) = key(u, v);
+        self.periodic_vals.insert((a, b, period_start), value);
+        self
+    }
+}
+
+fn key(u: UserId, v: UserId) -> (u32, u32) {
+    (u.0.min(v.0), u.0.max(v.0))
+}
+
+impl AffinitySource for TableAffinitySource {
+    fn static_raw(&self, u: UserId, v: UserId) -> f64 {
+        *self.static_vals.get(&key(u, v)).unwrap_or(&0.0)
+    }
+
+    fn periodic_raw(&self, u: UserId, v: UserId, period: Period) -> f64 {
+        let (a, b) = key(u, v);
+        *self
+            .periodic_vals
+            .get(&(a, b, period.start))
+            .unwrap_or(&0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use greca_dataset::SocialConfig;
+
+    #[test]
+    fn social_source_is_symmetric() {
+        let net = SocialConfig::tiny().generate();
+        let src = SocialAffinitySource::new(&net);
+        let p = Period::new(0, net.horizon()).unwrap();
+        for u in net.users() {
+            for v in net.users() {
+                assert_eq!(src.static_raw(u, v), src.static_raw(v, u));
+                assert_eq!(src.periodic_raw(u, v, p), src.periodic_raw(v, u, p));
+            }
+        }
+    }
+
+    #[test]
+    fn table_source_defaults_to_zero() {
+        let src = TableAffinitySource::new();
+        let p = Period::new(0, 10).unwrap();
+        assert_eq!(src.static_raw(UserId(0), UserId(1)), 0.0);
+        assert_eq!(src.periodic_raw(UserId(0), UserId(1), p), 0.0);
+    }
+
+    #[test]
+    fn table_source_stores_symmetrically() {
+        let mut src = TableAffinitySource::new();
+        src.set_static(UserId(2), UserId(1), 0.7);
+        src.set_periodic(UserId(1), UserId(2), 0, 0.3);
+        let p = Period::new(0, 10).unwrap();
+        assert_eq!(src.static_raw(UserId(1), UserId(2)), 0.7);
+        assert_eq!(src.static_raw(UserId(2), UserId(1)), 0.7);
+        assert_eq!(src.periodic_raw(UserId(2), UserId(1), p), 0.3);
+    }
+
+    #[test]
+    #[should_panic(expected = "affinity must be ≥ 0")]
+    fn negative_static_rejected() {
+        TableAffinitySource::new().set_static(UserId(0), UserId(1), -1.0);
+    }
+}

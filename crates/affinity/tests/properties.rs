@@ -1,0 +1,171 @@
+//! Property tests for the temporal affinity model (§2.1 invariants).
+
+use greca_affinity::{AffinityMode, PopulationAffinity, TableAffinitySource};
+use greca_dataset::{Granularity, Group, Timeline, UserId};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct AffWorld {
+    n: usize,
+    periods: usize,
+    static_raw: Vec<f64>,
+    periodic_raw: Vec<Vec<f64>>,
+}
+
+fn world_strategy() -> impl Strategy<Value = AffWorld> {
+    (2usize..=5, 1usize..=4).prop_flat_map(|(n, periods)| {
+        let pairs = n * (n - 1) / 2;
+        (
+            Just(n),
+            Just(periods),
+            proptest::collection::vec(0.0f64..10.0, pairs),
+            proptest::collection::vec(proptest::collection::vec(0.0f64..8.0, pairs), periods),
+        )
+            .prop_map(|(n, periods, static_raw, periodic_raw)| AffWorld {
+                n,
+                periods,
+                static_raw,
+                periodic_raw,
+            })
+    })
+}
+
+fn build(w: &AffWorld) -> (PopulationAffinity, Vec<UserId>, Timeline) {
+    let users: Vec<UserId> = (0..w.n as u32).map(UserId).collect();
+    let tl = Timeline::discretize(0, w.periods as i64 * 10, Granularity::Custom(10)).unwrap();
+    let mut src = TableAffinitySource::new();
+    let mut pair = 0;
+    for i in 0..w.n {
+        for j in (i + 1)..w.n {
+            src.set_static(users[i], users[j], w.static_raw[pair]);
+            pair += 1;
+        }
+    }
+    for (p, pdata) in w.periodic_raw.iter().enumerate() {
+        let start = tl.periods()[p].start;
+        let mut pr = 0;
+        for i in 0..w.n {
+            for j in (i + 1)..w.n {
+                src.set_periodic(users[i], users[j], start, pdata[pr]);
+                pr += 1;
+            }
+        }
+    }
+    (PopulationAffinity::build(&src, &users, &tl), users, tl)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Affinity is symmetric under every mode (the paper assumes
+    /// aff(u,u') = aff(u',u)).
+    #[test]
+    fn affinity_is_symmetric(w in world_strategy()) {
+        let (pop, users, _tl) = build(&w);
+        let last = w.periods - 1;
+        for mode in [AffinityMode::StaticOnly, AffinityMode::Discrete, AffinityMode::continuous()] {
+            for (i, &a) in users.iter().enumerate() {
+                for &b in &users[i + 1..] {
+                    let p1 = pop.pair_of(a, b).unwrap();
+                    let p2 = pop.pair_of(b, a).unwrap();
+                    prop_assert_eq!(p1, p2);
+                    let v = pop.affinity(p1, last, mode);
+                    prop_assert!(v.is_finite() && v >= 0.0, "{mode:?}: {v}");
+                }
+            }
+        }
+    }
+
+    /// Normalized components and the population average live in [0, 1].
+    #[test]
+    fn normalization_bounds(w in world_strategy()) {
+        let (pop, _users, _tl) = build(&w);
+        for pd in pop.periods() {
+            prop_assert!((0.0..=1.0).contains(&pd.normalized_avg()));
+            for pair in 0..w.static_raw.len() {
+                prop_assert!((0.0..=1.0).contains(&pd.normalized(pair)));
+            }
+        }
+        for pair in 0..w.static_raw.len() {
+            prop_assert!((0.0..=1.0).contains(&pop.static_norm(pair)));
+        }
+    }
+
+    /// Eq. 1: drifts sum to ~0 across the population within each period
+    /// (each pair is compared against the population mean).
+    #[test]
+    fn per_period_drift_is_centered(w in world_strategy()) {
+        let (pop, _users, _tl) = build(&w);
+        for p in 0..w.periods {
+            let total: f64 = (0..w.static_raw.len())
+                .map(|pair| {
+                    let prev = if p == 0 { 0.0 } else { pop.cumulative_drift(pair, p - 1) };
+                    pop.cumulative_drift(pair, p) - prev
+                })
+                .sum();
+            prop_assert!(total.abs() < 1e-9, "period {p} drift sum {total}");
+        }
+    }
+
+    /// The group view's affinity equals the population model's semantics
+    /// up to the group-level static renormalization: with a single pair
+    /// (n = 2) the group static component is 1 whenever the pair has any
+    /// static affinity.
+    #[test]
+    fn group_view_consistent(w in world_strategy()) {
+        let (pop, users, _tl) = build(&w);
+        let last = w.periods - 1;
+        let group = Group::new(users.clone()).unwrap();
+        let view = pop.group_view(&group, last, AffinityMode::Discrete);
+        prop_assert_eq!(view.num_pairs(), w.static_raw.len());
+        prop_assert_eq!(view.num_periods(), w.periods);
+        for pair in 0..view.num_pairs() {
+            let a = view.affinity(pair);
+            prop_assert!(a.is_finite() && a >= 0.0);
+            prop_assert!(a <= view.affinity_cap() + 1e-9);
+        }
+    }
+
+    /// Appending periods never changes earlier periods' data (the
+    /// incremental-index contract).
+    #[test]
+    fn append_is_monotone_history(w in world_strategy()) {
+        let users: Vec<UserId> = (0..w.n as u32).map(UserId).collect();
+        let tl = Timeline::discretize(0, w.periods as i64 * 10, Granularity::Custom(10)).unwrap();
+        let mut src = TableAffinitySource::new();
+        let mut pair = 0;
+        for i in 0..w.n {
+            for j in (i + 1)..w.n {
+                src.set_static(users[i], users[j], w.static_raw[pair]);
+                pair += 1;
+            }
+        }
+        for (p, pdata) in w.periodic_raw.iter().enumerate() {
+            let start = tl.periods()[p].start;
+            let mut pr = 0;
+            for i in 0..w.n {
+                for j in (i + 1)..w.n {
+                    src.set_periodic(users[i], users[j], start, pdata[pr]);
+                    pr += 1;
+                }
+            }
+        }
+        let mut inc = PopulationAffinity::new_static_only(&src, &users);
+        let mut snapshots: Vec<Vec<f64>> = Vec::new();
+        for &period in tl.periods() {
+            inc.append_period(&src, period);
+            // Every previously recorded cumulative drift must be intact.
+            for (p_idx, snap) in snapshots.iter().enumerate() {
+                for (pair, &v) in snap.iter().enumerate() {
+                    prop_assert_eq!(inc.cumulative_drift(pair, p_idx), v);
+                }
+            }
+            let latest = inc.num_periods() - 1;
+            snapshots.push(
+                (0..w.static_raw.len())
+                    .map(|pair| inc.cumulative_drift(pair, latest))
+                    .collect(),
+            );
+        }
+    }
+}

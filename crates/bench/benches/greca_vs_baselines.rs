@@ -1,0 +1,43 @@
+//! Wall-clock comparison of GRECA against the TA and naive baselines on
+//! a fixed prepared group (complements the access-count figures: GRECA's
+//! saveup must also show up as time, not just avoided reads).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use greca_bench::{PerfSettings, PerfWorld};
+use greca_consensus::ConsensusFunction;
+use greca_core::{CheckInterval, GrecaConfig, TaConfig};
+use std::hint::black_box;
+
+fn bench_algorithms(c: &mut Criterion) {
+    let pw = PerfWorld::build_small();
+    let cf = pw.cf();
+    let settings = PerfSettings {
+        num_items: 600,
+        ..PerfSettings::default()
+    };
+    let group = pw.random_groups(1, 6, 7)[0].clone();
+    let prepared = pw.prepare_group(&cf, &group, &settings);
+    let consensus = ConsensusFunction::average_preference();
+
+    let mut g = c.benchmark_group("topk_algorithms");
+    for k in [5usize, 10] {
+        g.bench_with_input(BenchmarkId::new("greca", k), &k, |b, &k| {
+            b.iter(|| {
+                black_box(prepared.greca(
+                    consensus,
+                    GrecaConfig::top(k).check_interval(CheckInterval::Adaptive),
+                ))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("ta", k), &k, |b, &k| {
+            b.iter(|| black_box(prepared.ta(consensus, TaConfig::top(k))))
+        });
+        g.bench_with_input(BenchmarkId::new("naive", k), &k, |b, &k| {
+            b.iter(|| black_box(prepared.naive(consensus, k)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

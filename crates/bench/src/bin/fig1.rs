@@ -1,0 +1,6 @@
+//! Regenerates Figure 1 (independent quality evaluation).
+use greca_eval::WorldConfig;
+fn main() {
+    let world = WorldConfig::study_scale().build();
+    greca_bench::experiments::fig1(&world, greca_bench::Scale::Full);
+}

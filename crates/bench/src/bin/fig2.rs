@@ -1,0 +1,6 @@
+//! Regenerates Figure 2 (consensus-function preference).
+use greca_eval::WorldConfig;
+fn main() {
+    let world = WorldConfig::study_scale().build();
+    greca_bench::experiments::fig2(&world, greca_bench::Scale::Full);
+}

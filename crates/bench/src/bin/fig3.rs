@@ -1,0 +1,6 @@
+//! Regenerates Figure 3 (comparative quality evaluation).
+use greca_eval::WorldConfig;
+fn main() {
+    let world = WorldConfig::study_scale().build();
+    greca_bench::experiments::fig3(&world, greca_bench::Scale::Full);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 4 (time-period granularity sweep).
+use greca_eval::WorldConfig;
+fn main() {
+    let world = WorldConfig::study_scale().build();
+    greca_bench::experiments::fig4(&world);
+}

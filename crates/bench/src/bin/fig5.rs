@@ -1,0 +1,8 @@
+//! Regenerates Figure 5 A–C (%SA vs k, group size, number of items).
+use greca_bench::{PerfWorld, Scale};
+fn main() {
+    let pw = PerfWorld::build();
+    greca_bench::experiments::fig5a(&pw, Scale::Full);
+    greca_bench::experiments::fig5b(&pw, Scale::Full);
+    greca_bench::experiments::fig5c(&pw, Scale::Full);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 6 (accesses per query period).
+use greca_bench::{PerfWorld, Scale};
+fn main() {
+    let pw = PerfWorld::build();
+    greca_bench::experiments::fig6(&pw, Scale::Full);
+}

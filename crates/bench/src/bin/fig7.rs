@@ -1,0 +1,6 @@
+//! Regenerates Figure 7 (%SA per group characteristic).
+use greca_bench::{PerfWorld, Scale};
+fn main() {
+    let pw = PerfWorld::build();
+    greca_bench::experiments::fig7(&pw, Scale::Full);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 8 (%SA per consensus function).
+use greca_bench::{PerfWorld, Scale};
+fn main() {
+    let pw = PerfWorld::build();
+    greca_bench::experiments::fig8(&pw, Scale::Full);
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 5 (dataset statistics).
+fn main() {
+    greca_bench::experiments::table5(greca_bench::Scale::Full);
+}

@@ -1,0 +1,6 @@
+//! Regenerates §4.2.4 (continuous vs discrete time-model %SA).
+use greca_bench::{PerfWorld, Scale};
+fn main() {
+    let pw = PerfWorld::build();
+    greca_bench::experiments::time_models(&pw, Scale::Full);
+}

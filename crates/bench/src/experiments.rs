@@ -1,0 +1,428 @@
+//! One function per table/figure of the paper's evaluation section.
+//!
+//! Every function prints the same rows/series the paper reports and
+//! returns the measured numbers so `run_all` can assemble a summary and
+//! tests can assert the reproduction's *shape* (who wins, by roughly
+//! what factor, where crossovers fall — not the authors' absolute
+//! numbers, which came from human raters and their testbed).
+
+use crate::harness::{banner, fmt_aggregate, print_row, PerfSettings, PerfWorld};
+use greca_affinity::{AffinityMode, PopulationAffinity, SocialAffinitySource};
+use greca_consensus::ConsensusFunction;
+use greca_core::Aggregate;
+use greca_dataset::{
+    AffinityLevel, Cohesion, Granularity, GroupBuilder, GroupSpec, MovieLensConfig, Timeline,
+    UserId,
+};
+use greca_eval::{RecVariant, Study, StudyConfig, StudyWorld};
+
+/// How large to run an experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Paper-size sweeps (used by the binaries).
+    Full,
+    /// Miniature sweeps for integration tests.
+    Quick,
+}
+
+impl Scale {
+    fn groups(&self) -> usize {
+        match self {
+            Scale::Full => 20,
+            Scale::Quick => 3,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Table 5
+// ---------------------------------------------------------------------
+
+/// Table 5: dataset statistics of the MovieLens-1M-like world.
+pub fn table5(scale: Scale) -> greca_dataset::MovieLensStats {
+    banner("Table 5: The MovieLens 1M Dataset (synthetic twin)");
+    let cfg = match scale {
+        Scale::Full => MovieLensConfig::paper_scale(),
+        Scale::Quick => MovieLensConfig::small(),
+    };
+    let ml = cfg.generate();
+    let stats = ml.stats();
+    print_row("# users (paper: 6,040)", stats.num_users);
+    print_row("# movies (paper: 3,952)", stats.num_items);
+    print_row("# ratings (paper: 1,000,209)", stats.num_ratings);
+    print_row("mean rating (ML-1M: ~3.58)", format!("{:.3}", stats.mean_rating));
+    print_row("density", format!("{:.4}", stats.density));
+    stats
+}
+
+// ---------------------------------------------------------------------
+// Quality experiments (Figures 1–3)
+// ---------------------------------------------------------------------
+
+fn study_config(scale: Scale) -> StudyConfig {
+    match scale {
+        Scale::Full => StudyConfig::default(),
+        Scale::Quick => StudyConfig {
+            k: 5,
+            max_candidates: 60,
+            ..StudyConfig::default()
+        },
+    }
+}
+
+/// Figure 1: independent evaluation of the six variants, per group
+/// characteristic. Returns `(variant, per-characteristic %)` rows.
+pub fn fig1(world: &StudyWorld, scale: Scale) -> Vec<(RecVariant, Vec<f64>)> {
+    banner("Figure 1: Independent Evaluation (satisfaction %, per group characteristic)");
+    let study = Study::new(world, study_config(scale));
+    let header = greca_eval::GroupCharacteristic::all()
+        .iter()
+        .map(|c| format!("{:>8}", c.label()))
+        .collect::<Vec<_>>()
+        .join(" ");
+    println!("  {:<28} {header}", "variant");
+    let mut out = Vec::new();
+    for variant in RecVariant::figure1_sweep() {
+        let res = study.independent(variant);
+        let vals: Vec<f64> = res.rows.iter().map(|&(_, p)| p).collect();
+        let row = vals
+            .iter()
+            .map(|p| format!("{p:8.1}"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        println!("  {:<28} {row}", variant.label());
+        out.push((variant, vals));
+    }
+    out
+}
+
+/// Figure 2: three-way AP vs MO vs PD preference per characteristic.
+pub fn fig2(world: &StudyWorld, scale: Scale) -> Vec<[f64; 3]> {
+    banner("Figure 2: Qualitative Evaluation of Consensus Functions (pick %, AP/MO/PD)");
+    let study = Study::new(world, study_config(scale));
+    let rows = study.consensus_threeway();
+    let mut out = Vec::new();
+    for (c, pcts) in rows {
+        println!(
+            "  {:<10} AP={:5.1}  MO={:5.1}  PD={:5.1}",
+            c.label(),
+            pcts[0],
+            pcts[1],
+            pcts[2]
+        );
+        out.push(pcts);
+    }
+    out
+}
+
+/// Figure 3: the three comparative head-to-heads. Returns per-chart
+/// per-characteristic preference percentages for the first-named list.
+pub fn fig3(world: &StudyWorld, scale: Scale) -> Vec<Vec<f64>> {
+    banner("Figure 3: Comparative Evaluation (preference % for the first list)");
+    let study = Study::new(world, study_config(scale));
+    let pairs = [
+        (
+            RecVariant::Default,
+            RecVariant::AffinityAgnostic,
+            "(A) Affinity-aware vs Affinity-agnostic",
+        ),
+        (
+            RecVariant::Default,
+            RecVariant::TimeAgnostic,
+            "(B) Time-aware vs Time-agnostic",
+        ),
+        (
+            RecVariant::ContinuousTime,
+            RecVariant::Default,
+            "(C) Continuous vs Discrete time model",
+        ),
+    ];
+    let mut out = Vec::new();
+    for (a, b, label) in pairs {
+        let res = study.comparative(a, b);
+        let vals: Vec<f64> = res.rows.iter().map(|&(_, p)| p).collect();
+        let row = res
+            .rows
+            .iter()
+            .map(|(c, p)| format!("{}={:.0}", c.label(), p))
+            .collect::<Vec<_>>()
+            .join("  ");
+        println!("  {label:<42} {row}");
+        out.push(vals);
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Scalability experiments (Figures 4–8, §4.2.4)
+// ---------------------------------------------------------------------
+
+/// Figure 4: period-granularity sweep — % of non-empty (pair, period)
+/// cells and period count per granularity. Returns
+/// `(label, non_empty %, #periods)` rows.
+pub fn fig4(world: &StudyWorld) -> Vec<(&'static str, f64, usize)> {
+    banner("Figure 4: Different Time Periods (non-emptiness % vs #periods)");
+    let source = SocialAffinitySource::new(&world.social);
+    let universe: Vec<UserId> = world.study_users();
+    let mut out = Vec::new();
+    for g in Granularity::figure4_sweep() {
+        let tl = Timeline::discretize(0, world.social.horizon(), g).expect("valid");
+        let pop = PopulationAffinity::build(&source, &universe, &tl);
+        let pct = 100.0 * pop.non_empty_fraction();
+        println!(
+            "  {:<10} non-empty = {pct:5.1}%   #periods = {:2}",
+            g.label(),
+            tl.num_periods()
+        );
+        out.push((g.label(), pct, tl.num_periods()));
+    }
+    let two_month = Timeline::discretize(0, world.social.horizon(), Granularity::TwoMonth)
+        .expect("valid");
+    let pop = PopulationAffinity::build(&source, &universe, &two_month);
+    print_row(
+        "pair std-dev over periods (paper: 0.42)",
+        format!("{:.2}", pop.mean_pair_std_dev()),
+    );
+    out
+}
+
+/// Figure 5A: %SA vs result size k. Returns `(k, aggregate)` rows.
+pub fn fig5a(pw: &PerfWorld, scale: Scale) -> Vec<(usize, Aggregate)> {
+    banner("Figure 5A: Average %SA, varying k");
+    let ks: &[usize] = match scale {
+        Scale::Full => &[5, 10, 15, 20, 25, 30],
+        Scale::Quick => &[5, 15],
+    };
+    sweep(pw, scale, ks, |settings, &k| settings.k = k, "k")
+}
+
+/// Figure 5B: %SA vs group size. Returns `(size, aggregate)` rows.
+pub fn fig5b(pw: &PerfWorld, scale: Scale) -> Vec<(usize, Aggregate)> {
+    banner("Figure 5B: Average %SA, varying group size");
+    let sizes: &[usize] = match scale {
+        Scale::Full => &[3, 6, 9, 12],
+        Scale::Quick => &[3, 6],
+    };
+    sweep(pw, scale, sizes, |settings, &s| settings.group_size = s, "|G|")
+}
+
+/// Figure 5C: %SA vs number of items. Returns `(m, aggregate)` rows.
+pub fn fig5c(pw: &PerfWorld, scale: Scale) -> Vec<(usize, Aggregate)> {
+    banner("Figure 5C: Average %SA, varying number of items");
+    let items: &[usize] = match scale {
+        Scale::Full => &[900, 1400, 1900, 2400, 2900, 3400, 3900],
+        Scale::Quick => &[900, 1900],
+    };
+    sweep(pw, scale, items, |settings, &m| settings.num_items = m, "m")
+}
+
+fn sweep<T: std::fmt::Display>(
+    pw: &PerfWorld,
+    scale: Scale,
+    points: &[T],
+    set: impl Fn(&mut PerfSettings, &T),
+    label: &str,
+) -> Vec<(usize, Aggregate)>
+where
+    T: Copy + Into<usize>,
+{
+    let mut out = Vec::new();
+    for p in points {
+        let mut settings = PerfSettings {
+            num_groups: scale.groups(),
+            ..PerfSettings::default()
+        };
+        set(&mut settings, p);
+        let agg = pw.average_sa_percent(&settings);
+        println!("  {label} = {p:<6} %SA = {}", fmt_aggregate(&agg));
+        out.push(((*p).into(), agg));
+    }
+    out
+}
+
+/// Figure 6: %SA (and absolute SAs) per query period — lists accumulate
+/// with each period, the paper reports a roughly linear growth of
+/// accesses. Returns `(period index, mean absolute SAs, mean %SA)`.
+pub fn fig6(pw: &PerfWorld, scale: Scale) -> Vec<(usize, f64, f64)> {
+    banner("Figure 6: Accesses per query period (discrete model)");
+    let settings = PerfSettings {
+        num_groups: scale.groups(),
+        ..PerfSettings::default()
+    };
+    let cf = pw.cf();
+    let groups = pw.random_groups(settings.num_groups, settings.group_size, settings.seed);
+    let periods = pw.world().timeline.num_periods();
+    let mut out = Vec::new();
+    for p in 0..periods {
+        let mut sas = Vec::new();
+        let mut pcts = Vec::new();
+        for g in &groups {
+            let prepared = pw.prepare_group_at(&cf, g, &settings, p);
+            let config = greca_core::GrecaConfig::top(settings.k)
+                .check_interval(greca_core::CheckInterval::Adaptive);
+            let r = prepared.greca(settings.consensus, config);
+            sas.push(r.stats.sa as f64);
+            pcts.push(r.stats.sa_percent());
+        }
+        let sa_mean = Aggregate::of(&sas).mean;
+        let pct_mean = Aggregate::of(&pcts).mean;
+        println!("  period {p}: mean #SA = {sa_mean:9.0}   mean %SA = {pct_mean:5.2}");
+        out.push((p, sa_mean, pct_mean));
+    }
+    out
+}
+
+/// Figure 7: %SA for similar / dissimilar / high-affinity / low-affinity
+/// groups. Returns the four aggregates in that order.
+pub fn fig7(pw: &PerfWorld, scale: Scale) -> Vec<(&'static str, Aggregate)> {
+    banner("Figure 7: Average %SA per group characteristic");
+    let world = pw.world();
+    let users: Vec<UserId> = world.study_users();
+    let matrix = &world.movielens.matrix;
+    let pop = &world.population;
+    let p_idx = world.last_period();
+    let similarity = |a: UserId, b: UserId| {
+        greca_cf::user_similarity(matrix, a, b, greca_cf::Similarity::Pearson)
+    };
+    let affinity = |a: UserId, b: UserId| {
+        pop.pair_of(a, b)
+            .map(|pair| pop.affinity(pair, p_idx, AffinityMode::Discrete).min(1.0))
+            .unwrap_or(0.0)
+    };
+    let builder = GroupBuilder::new(users, similarity, affinity).with_restarts(4);
+    let n_groups = scale.groups().min(8);
+    let cf = pw.cf();
+    let mut out = Vec::new();
+    let specs: [(&'static str, GroupSpec); 4] = [
+        ("Sim", GroupSpec::of_size(6).cohesion(Cohesion::Similar)),
+        ("Diss", GroupSpec::of_size(6).cohesion(Cohesion::Dissimilar)),
+        ("High Aff", GroupSpec::of_size(6).affinity(AffinityLevel::High)),
+        ("Low Aff", GroupSpec::of_size(6).affinity(AffinityLevel::Low)),
+    ];
+    for (label, base_spec) in specs {
+        let mut samples = Vec::new();
+        for i in 0..n_groups {
+            let mut spec = base_spec;
+            let group = loop {
+                match builder.build(spec, 0xf16_7 + i as u64 * 31) {
+                    Ok(g) => break g,
+                    Err(_) if spec.affinity_threshold > 0.05 => {
+                        spec.affinity_threshold /= 2.0;
+                    }
+                    Err(e) => panic!("group formation failed: {e}"),
+                }
+            };
+            let settings = PerfSettings {
+                num_groups: 1,
+                ..PerfSettings::default()
+            };
+            let prepared = pw.prepare_group(&cf, &group, &settings);
+            samples.push(pw.sa_percent(&prepared, &settings));
+        }
+        let agg = Aggregate::of(&samples);
+        println!("  {label:<10} %SA = {}", fmt_aggregate(&agg));
+        out.push((label, agg));
+    }
+    out
+}
+
+/// Figure 8: %SA per consensus function (AR=AP, MO, PD V1 w1=0.8,
+/// PD V2 w1=0.2).
+pub fn fig8(pw: &PerfWorld, scale: Scale) -> Vec<(String, Aggregate)> {
+    banner("Figure 8: Average %SA per consensus function");
+    let mut out = Vec::new();
+    for consensus in ConsensusFunction::figure8_sweep() {
+        let settings = PerfSettings {
+            num_groups: scale.groups(),
+            consensus,
+            ..PerfSettings::default()
+        };
+        let agg = pw.average_sa_percent(&settings);
+        println!("  {:<12} %SA = {}", consensus.label(), fmt_aggregate(&agg));
+        out.push((consensus.label(), agg));
+    }
+    out
+}
+
+/// §4.2.4: continuous vs discrete time model %SA (paper: 16.32% vs
+/// 16.6%). Returns `(discrete, continuous)`.
+pub fn time_models(pw: &PerfWorld, scale: Scale) -> (Aggregate, Aggregate) {
+    banner("Section 4.2.4: Time models (discrete vs continuous %SA)");
+    let discrete = pw.average_sa_percent(&PerfSettings {
+        num_groups: scale.groups(),
+        mode: AffinityMode::Discrete,
+        ..PerfSettings::default()
+    });
+    let continuous = pw.average_sa_percent(&PerfSettings {
+        num_groups: scale.groups(),
+        mode: AffinityMode::continuous(),
+        ..PerfSettings::default()
+    });
+    print_row("discrete   (paper 16.60%)", fmt_aggregate(&discrete));
+    print_row("continuous (paper 16.32%)", fmt_aggregate(&continuous));
+    (discrete, continuous)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use greca_eval::WorldConfig;
+
+    /// One shared quick world keeps the suite fast.
+    fn quick_world() -> StudyWorld {
+        WorldConfig::study_scale().build()
+    }
+
+    #[test]
+    fn table5_quick_counts() {
+        let s = table5(Scale::Quick);
+        assert_eq!(s.num_users, 200);
+        assert!(s.num_ratings > 0);
+    }
+
+    #[test]
+    fn fig4_shape_matches_paper() {
+        let w = quick_world();
+        let rows = fig4(&w);
+        assert_eq!(rows.len(), 5);
+        // Non-emptiness grows with period length; period count shrinks.
+        for win in rows.windows(2) {
+            assert!(win[0].1 <= win[1].1 + 8.0, "non-emptiness roughly grows");
+            assert!(win[0].2 >= win[1].2, "period count shrinks");
+        }
+        // Two-month sits in a sensible band (paper: 67.4%).
+        let two_month = rows[2];
+        assert!(two_month.1 > 30.0 && two_month.1 < 95.0);
+    }
+
+    #[test]
+    fn quality_figures_run_quick() {
+        let w = quick_world();
+        let f1 = fig1(&w, Scale::Quick);
+        assert_eq!(f1.len(), 6);
+        let f2 = fig2(&w, Scale::Quick);
+        assert_eq!(f2.len(), 6);
+        for pcts in &f2 {
+            let sum: f64 = pcts.iter().sum();
+            assert!((sum - 100.0).abs() < 1.0);
+        }
+        let f3 = fig3(&w, Scale::Quick);
+        assert_eq!(f3.len(), 3);
+    }
+
+    #[test]
+    fn perf_figures_run_quick_on_small_world() {
+        let pw = PerfWorld::build_small();
+        let a = fig5a(&pw, Scale::Quick);
+        assert_eq!(a.len(), 2);
+        for (_, agg) in &a {
+            assert!(agg.mean > 0.0 && agg.mean <= 100.0);
+        }
+        let b = fig5b(&pw, Scale::Quick);
+        assert!(b[0].0 < b[1].0);
+        let f8 = fig8(&pw, Scale::Quick);
+        assert_eq!(f8.len(), 4);
+        let (d, c) = time_models(&pw, Scale::Quick);
+        assert!(d.mean > 0.0 && c.mean > 0.0);
+    }
+}

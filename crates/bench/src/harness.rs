@@ -1,0 +1,212 @@
+//! Shared harness for the scalability experiments (§4.2).
+//!
+//! Default settings follow the paper: "we form 20 different random
+//! groups by selecting a subset of users who participated in our quality
+//! experiment. The default settings of the rest of the parameters are,
+//! group size = 6, k = 10, number of items = 3900, consensus function =
+//! AP. Unless otherwise stated, affinity is computed using the discrete
+//! time model."
+
+use greca_affinity::AffinityMode;
+use greca_cf::UserCfModel;
+use greca_consensus::ConsensusFunction;
+use greca_core::{
+    prepare, Aggregate, CheckInterval, GrecaConfig, ListLayout, Prepared, StoppingRule,
+};
+use greca_dataset::{Group, GroupBuilder, ItemId, UserId};
+use greca_eval::{StudyWorld, WorldConfig};
+
+/// Default experiment settings (§4.2 "Experiment Settings").
+#[derive(Debug, Clone, Copy)]
+pub struct PerfSettings {
+    /// Number of random groups to average over (paper: 20).
+    pub num_groups: usize,
+    /// Group size (paper default: 6).
+    pub group_size: usize,
+    /// Result size (paper default: 10).
+    pub k: usize,
+    /// Number of candidate items (paper default: 3,900).
+    pub num_items: usize,
+    /// Consensus function (paper default: AP).
+    pub consensus: ConsensusFunction,
+    /// Affinity model (paper default: discrete).
+    pub mode: AffinityMode,
+    /// Group-sampling seed.
+    pub seed: u64,
+}
+
+impl Default for PerfSettings {
+    fn default() -> Self {
+        PerfSettings {
+            num_groups: 20,
+            group_size: 6,
+            k: 10,
+            num_items: 3_900,
+            consensus: ConsensusFunction::average_preference(),
+            mode: AffinityMode::Discrete,
+            seed: 0xbe7c4,
+        }
+    }
+}
+
+/// A materialized world for the scalability experiments, with the CF
+/// model fitted once and reused across runs.
+pub struct PerfWorld {
+    world: StudyWorld,
+}
+
+impl PerfWorld {
+    /// Build the default scalability world (1,200 users × 3,900 items).
+    pub fn build() -> Self {
+        PerfWorld {
+            world: WorldConfig::scalability_scale().build(),
+        }
+    }
+
+    /// Build the (small) study world instead — used by tests.
+    pub fn build_small() -> Self {
+        PerfWorld {
+            world: WorldConfig::study_scale().build(),
+        }
+    }
+
+    /// The underlying study world.
+    pub fn world(&self) -> &StudyWorld {
+        &self.world
+    }
+
+    /// Fit the CF model for the study users (call once, reuse).
+    pub fn cf(&self) -> UserCfModel<'_> {
+        self.world.cf_model_for(&self.world.study_users())
+    }
+
+    /// Draw `n` random groups of `size` study users.
+    pub fn random_groups(&self, n: usize, size: usize, seed: u64) -> Vec<Group> {
+        let users: Vec<UserId> = self.world.study_users();
+        let builder = GroupBuilder::new(users, |_, _| 0.0, |_, _| 0.0);
+        builder
+            .random_groups(n, size, seed)
+            .expect("enough study users for random groups")
+    }
+
+    /// The first `n` items of the catalog (the paper varies the number of
+    /// available items this way in Figure 5C).
+    pub fn items(&self, n: usize) -> Vec<ItemId> {
+        self.world
+            .movielens
+            .matrix
+            .items()
+            .take(n.min(self.world.movielens.matrix.num_items()))
+            .collect()
+    }
+
+    /// Prepare one group's inputs at the last period.
+    pub fn prepare_group(
+        &self,
+        cf: &UserCfModel<'_>,
+        group: &Group,
+        settings: &PerfSettings,
+    ) -> Prepared {
+        self.prepare_group_at(cf, group, settings, self.world.last_period())
+    }
+
+    /// Prepare one group's inputs at an arbitrary query period.
+    pub fn prepare_group_at(
+        &self,
+        cf: &UserCfModel<'_>,
+        group: &Group,
+        settings: &PerfSettings,
+        period_idx: usize,
+    ) -> Prepared {
+        let items = self.items(settings.num_items);
+        prepare(
+            cf,
+            &self.world.population,
+            group,
+            &items,
+            period_idx,
+            settings.mode,
+            ListLayout::Decomposed,
+            // The scalability experiments use the paper's verbatim
+            // (unnormalized) relative preference, as the quality study
+            // does.
+            false,
+        )
+    }
+
+    /// GRECA's `%SA` for one prepared group.
+    pub fn sa_percent(&self, prepared: &Prepared, settings: &PerfSettings) -> f64 {
+        let config = GrecaConfig::top(settings.k)
+            .stopping(StoppingRule::Greca)
+            .check_interval(CheckInterval::Adaptive);
+        prepared.greca(settings.consensus, config).stats.sa_percent()
+    }
+
+    /// Mean ± stderr of GRECA's `%SA` over the settings' random groups.
+    pub fn average_sa_percent(&self, settings: &PerfSettings) -> Aggregate {
+        let cf = self.cf();
+        let groups = self.random_groups(settings.num_groups, settings.group_size, settings.seed);
+        let samples: Vec<f64> = groups
+            .iter()
+            .map(|g| {
+                let prepared = self.prepare_group(&cf, g, settings);
+                self.sa_percent(&prepared, settings)
+            })
+            .collect();
+        Aggregate::of(&samples)
+    }
+}
+
+/// Print one aligned row of a harness table.
+pub fn print_row(label: &str, value: impl std::fmt::Display) {
+    println!("  {label:<28} {value}");
+}
+
+/// Print a section banner.
+pub fn banner(title: &str) {
+    println!();
+    println!("=== {title} ===");
+}
+
+/// Format an aggregate as `mean ± stderr`.
+pub fn fmt_aggregate(a: &Aggregate) -> String {
+    format!("{:6.2}% ± {:.2} (n={})", a.mean, a.std_err, a.n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_settings_match_paper() {
+        let s = PerfSettings::default();
+        assert_eq!(s.num_groups, 20);
+        assert_eq!(s.group_size, 6);
+        assert_eq!(s.k, 10);
+        assert_eq!(s.num_items, 3_900);
+        assert_eq!(s.consensus.label(), "AP");
+        assert_eq!(s.mode, AffinityMode::Discrete);
+    }
+
+    #[test]
+    fn small_world_round_trip() {
+        let pw = PerfWorld::build_small();
+        let settings = PerfSettings {
+            num_groups: 2,
+            group_size: 3,
+            k: 3,
+            num_items: 120,
+            ..PerfSettings::default()
+        };
+        let agg = pw.average_sa_percent(&settings);
+        assert_eq!(agg.n, 2);
+        assert!(agg.mean > 0.0 && agg.mean <= 100.0, "%SA = {}", agg.mean);
+    }
+
+    #[test]
+    fn items_are_capped_by_catalog() {
+        let pw = PerfWorld::build_small();
+        let items = pw.items(10_000_000);
+        assert_eq!(items.len(), pw.world().movielens.matrix.num_items());
+    }
+}

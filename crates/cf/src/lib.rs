@@ -1,0 +1,36 @@
+//! # greca-cf
+//!
+//! Collaborative-filtering substrate for the GRECA reproduction.
+//!
+//! The paper computes individual (absolute) preferences `apref(u, i)` with
+//! user-based collaborative filtering, "where user similarity is computed
+//! with cosine similarity over vec(u), i.e., the ratings of u for each
+//! movie" (§4). This crate provides:
+//!
+//! * sparse similarity measures (cosine — the paper's choice — plus
+//!   Pearson and Jaccard),
+//! * a user-based neighbourhood model with efficient inverted-index
+//!   neighbour discovery,
+//! * an item-based model (an extension, useful for ablations),
+//! * per-user **preference lists**: items sorted by decreasing predicted
+//!   preference, the `PL_u` inputs of GRECA (§3.1).
+//!
+//! ```
+//! use greca_dataset::prelude::*;
+//! use greca_cf::{CfConfig, UserCfModel};
+//!
+//! let ml = MovieLensConfig::small().generate();
+//! let model = UserCfModel::fit(&ml.matrix, CfConfig::default());
+//! let score = model.predict(UserId(0), ItemId(1));
+//! assert!((0.0..=5.0).contains(&score));
+//! ```
+
+pub mod item_cf;
+pub mod preference;
+pub mod similarity;
+pub mod user_cf;
+
+pub use item_cf::ItemCfModel;
+pub use preference::{candidate_items, group_preference_lists, PreferenceList, PreferenceProvider, RawRatings};
+pub use similarity::{user_similarity, Similarity};
+pub use user_cf::{CfConfig, UserCfModel};

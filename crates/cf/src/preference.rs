@@ -1,0 +1,204 @@
+//! Absolute preference lists `PL_u` — GRECA's per-user sorted inputs.
+//!
+//! §3.1: "The user-item preference lists of those group members … Each
+//! list contains items preferred by each user sorted in decreasing order
+//! of preference", and §3.2: "Each PL can be obtained with any single
+//! user recommendation strategy."
+//!
+//! [`PreferenceProvider`] abstracts over the `apref` source (user-based
+//! CF, item-based CF, raw ratings, or hand-written tables like the
+//! paper's running example) so the group-recommendation layers stay
+//! independent of how individual preferences are produced.
+
+use crate::item_cf::ItemCfModel;
+use crate::user_cf::UserCfModel;
+use greca_dataset::{Group, ItemId, RatingMatrix, UserId};
+use serde::{Deserialize, Serialize};
+
+/// A source of absolute preferences `apref(u, i)`.
+///
+/// Implementations must return finite, non-negative scores: GRECA's
+/// lower-bound computation substitutes 0 for unseen entries (§3.2), which
+/// is only a valid lower bound when scores cannot be negative.
+pub trait PreferenceProvider {
+    /// Absolute preference of `u` for `i` (finite, ≥ 0).
+    fn apref(&self, u: UserId, i: ItemId) -> f64;
+
+    /// Build the sorted preference list of `u` over `items`.
+    fn preference_list(&self, u: UserId, items: &[ItemId]) -> PreferenceList {
+        let mut entries: Vec<(ItemId, f64)> = items
+            .iter()
+            .map(|&i| {
+                let s = self.apref(u, i);
+                debug_assert!(s.is_finite() && s >= 0.0, "apref must be finite and ≥ 0");
+                (i, s)
+            })
+            .collect();
+        // Descending by score; ties broken by item id for determinism.
+        entries.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("finite scores")
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        PreferenceList { user: u, entries }
+    }
+}
+
+impl PreferenceProvider for UserCfModel<'_> {
+    fn apref(&self, u: UserId, i: ItemId) -> f64 {
+        self.predict(u, i)
+    }
+}
+
+impl PreferenceProvider for ItemCfModel<'_> {
+    fn apref(&self, u: UserId, i: ItemId) -> f64 {
+        self.predict(u, i)
+    }
+}
+
+/// Raw observed ratings as preferences (0 when unrated); useful in tests
+/// and for encoding the paper's running example.
+#[derive(Debug, Clone)]
+pub struct RawRatings<'a>(pub &'a RatingMatrix);
+
+impl PreferenceProvider for RawRatings<'_> {
+    fn apref(&self, u: UserId, i: ItemId) -> f64 {
+        self.0.get(u, i).map(|v| v as f64).unwrap_or(0.0)
+    }
+}
+
+/// One user's absolute-preference list, sorted by decreasing score.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PreferenceList {
+    /// The list's owner.
+    pub user: UserId,
+    /// `(item, apref)` pairs, score-descending.
+    pub entries: Vec<(ItemId, f64)>,
+}
+
+impl PreferenceList {
+    /// Build directly from entries, sorting them score-descending.
+    pub fn from_entries(user: UserId, mut entries: Vec<(ItemId, f64)>) -> Self {
+        entries.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("finite scores")
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        PreferenceList { user, entries }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Score of `item` via linear probe (lists are short-lived; random
+    /// access is only used by the TA baseline, which charges an RA for it).
+    pub fn score_of(&self, item: ItemId) -> Option<f64> {
+        self.entries.iter().find(|&&(i, _)| i == item).map(|&(_, s)| s)
+    }
+}
+
+/// The candidate item set for a group: all items **no group member has
+/// already rated** (the problem definition excludes items already known
+/// to members: "i is not individually recommended to u", §2.4).
+pub fn candidate_items(matrix: &RatingMatrix, group: &Group) -> Vec<ItemId> {
+    matrix
+        .items()
+        .filter(|&i| group.members().iter().all(|&u| !matrix.has_rated(u, i)))
+        .collect()
+}
+
+/// Build the `PL_u` lists for every group member over a shared candidate
+/// item set.
+pub fn group_preference_lists<P: PreferenceProvider + ?Sized>(
+    provider: &P,
+    group: &Group,
+    items: &[ItemId],
+) -> Vec<PreferenceList> {
+    group
+        .members()
+        .iter()
+        .map(|&u| provider.preference_list(u, items))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::user_cf::CfConfig;
+    use greca_dataset::{MovieLensConfig, RatingMatrixBuilder};
+
+    #[test]
+    fn preference_list_is_sorted_desc() {
+        let ml = MovieLensConfig::small().generate();
+        let model = UserCfModel::fit(&ml.matrix, CfConfig::default());
+        let items: Vec<ItemId> = ml.matrix.items().take(100).collect();
+        let pl = model.preference_list(UserId(3), &items);
+        assert_eq!(pl.len(), 100);
+        for w in pl.entries.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn ties_break_by_item_id() {
+        let pl = PreferenceList::from_entries(
+            UserId(0),
+            vec![(ItemId(5), 1.0), (ItemId(2), 1.0), (ItemId(9), 2.0)],
+        );
+        let ids: Vec<u32> = pl.entries.iter().map(|&(i, _)| i.0).collect();
+        assert_eq!(ids, vec![9, 2, 5]);
+    }
+
+    #[test]
+    fn score_of_finds_items() {
+        let pl = PreferenceList::from_entries(UserId(0), vec![(ItemId(1), 3.0), (ItemId(2), 4.0)]);
+        assert_eq!(pl.score_of(ItemId(1)), Some(3.0));
+        assert_eq!(pl.score_of(ItemId(7)), None);
+    }
+
+    #[test]
+    fn candidate_items_excludes_rated_by_any_member() {
+        let mut b = RatingMatrixBuilder::new(3, 4);
+        b.rate(UserId(0), ItemId(0), 5.0, 0)
+            .rate(UserId(1), ItemId(1), 4.0, 0)
+            .rate(UserId(2), ItemId(2), 3.0, 0);
+        let m = b.build();
+        let g = Group::new(vec![UserId(0), UserId(1)]).unwrap();
+        let cands = candidate_items(&m, &g);
+        // Items 0 and 1 are rated by members; 2 (rated only by the
+        // non-member u2) and 3 remain.
+        assert_eq!(cands, vec![ItemId(2), ItemId(3)]);
+    }
+
+    #[test]
+    fn raw_ratings_provider_defaults_to_zero() {
+        let mut b = RatingMatrixBuilder::new(1, 2);
+        b.rate(UserId(0), ItemId(0), 4.5, 0);
+        let m = b.build();
+        let p = RawRatings(&m);
+        assert_eq!(p.apref(UserId(0), ItemId(0)), 4.5);
+        assert_eq!(p.apref(UserId(0), ItemId(1)), 0.0);
+    }
+
+    #[test]
+    fn group_lists_cover_all_members() {
+        let ml = MovieLensConfig::small().generate();
+        let model = UserCfModel::fit(&ml.matrix, CfConfig::default());
+        let g = Group::new(vec![UserId(0), UserId(5), UserId(9)]).unwrap();
+        let items: Vec<ItemId> = ml.matrix.items().take(50).collect();
+        let lists = group_preference_lists(&model, &g, &items);
+        assert_eq!(lists.len(), 3);
+        assert_eq!(lists[0].user, UserId(0));
+        assert_eq!(lists[2].user, UserId(9));
+        for l in &lists {
+            assert_eq!(l.len(), 50);
+        }
+    }
+}

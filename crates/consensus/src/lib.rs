@@ -1,0 +1,23 @@
+//! # greca-consensus
+//!
+//! Preference and group-consensus semantics (§2.2–§2.3 of the paper).
+//!
+//! * **Relative preference** injects affinities into individual
+//!   preferences: `rpref(u,i,G,p) = Σ_{u'≠u∈G} aff(u,u',p)·apref(u',i)`
+//!   and `pref(u,i,G,p) = apref(u,i) + rpref(u,i,G,p)`.
+//! * **Group preference** aggregates member preferences: *average* or
+//!   *least-misery*.
+//! * **Group disagreement** measures dissent: *average pairwise* or
+//!   *variance*.
+//! * The **consensus function** combines both:
+//!   `F(G,i,p) = w1·gpref(G,i,p) + w2·(1 − dis(G,i,p))`, `w1 + w2 = 1`.
+//!
+//! The crate computes exact scalar scores; `greca-core` mirrors the same
+//! formulas over intervals for GRECA's bound computation, and a property
+//! test pins the two implementations together.
+
+pub mod function;
+pub mod scorer;
+
+pub use function::{ConsensusFunction, DisagreementKind, GroupPreferenceKind};
+pub use scorer::GroupScorer;

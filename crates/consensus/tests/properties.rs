@@ -1,0 +1,140 @@
+//! Property tests for the consensus semantics (§2.2–§2.3 invariants).
+
+use greca_affinity::{AffinityMode, GroupAffinity};
+use greca_consensus::{ConsensusFunction, GroupScorer};
+use greca_dataset::UserId;
+use proptest::prelude::*;
+
+fn consensus_strategy() -> impl Strategy<Value = ConsensusFunction> {
+    (0u8..5).prop_map(|s| match s {
+        0 => ConsensusFunction::average_preference(),
+        1 => ConsensusFunction::least_misery(),
+        2 => ConsensusFunction::pairwise_disagreement(0.8),
+        3 => ConsensusFunction::pairwise_disagreement(0.2),
+        _ => ConsensusFunction::variance_disagreement(0.5),
+    })
+}
+
+fn scorer_strategy() -> impl Strategy<Value = (GroupScorer, Vec<f64>)> {
+    (2usize..=5).prop_flat_map(|n| {
+        let pairs = n * (n - 1) / 2;
+        (
+            proptest::collection::vec(0.0f64..1.0, pairs),
+            proptest::collection::vec(0.0f64..5.0, n),
+            consensus_strategy(),
+            any::<bool>(),
+        )
+            .prop_map(move |(static_comp, aprefs, consensus, normalize)| {
+                let members: Vec<UserId> = (0..n as u32).map(UserId).collect();
+                let view = GroupAffinity::new(
+                    members,
+                    AffinityMode::StaticOnly,
+                    static_comp,
+                    vec![],
+                    vec![],
+                );
+                (GroupScorer::new(view, consensus, normalize), aprefs)
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Scores are always finite for finite inputs.
+    #[test]
+    fn scores_are_finite((scorer, aprefs) in scorer_strategy()) {
+        let s = scorer.score(&aprefs);
+        prop_assert!(s.is_finite());
+        for p in scorer.member_preferences(&aprefs) {
+            prop_assert!(p.is_finite() && p >= 0.0);
+        }
+    }
+
+    /// Lemma 1's base property: AP and MO are monotone non-decreasing in
+    /// every member's absolute preference (with non-negative affinities).
+    #[test]
+    fn ap_and_mo_monotone((scorer, aprefs) in scorer_strategy(), bump in 0.01f64..2.0, idx in 0usize..5) {
+        let kind = scorer.consensus().label();
+        prop_assume!(kind == "AP" || kind == "MO");
+        let idx = idx % aprefs.len();
+        let base = scorer.score(&aprefs);
+        let mut up = aprefs.clone();
+        up[idx] += bump;
+        prop_assert!(scorer.score(&up) >= base - 1e-9, "{kind} at member {idx}");
+    }
+
+    /// Unanimity dominance under *uniform* affinities: when every pair
+    /// has the same affinity, equal absolute preferences give equal
+    /// member preferences (zero disagreement), so lifting everyone to
+    /// the max apref never lowers the score. (With heterogeneous
+    /// affinities this is false — equal aprefs still produce unequal
+    /// `pref`s through the affinity weights, and scaling them up raises
+    /// the disagreement term; proptest found that counterexample, which
+    /// is exactly the paper's point that affinity changes group
+    /// semantics.)
+    #[test]
+    fn unanimous_max_dominates_with_uniform_affinity(
+        n in 2usize..=5,
+        aprefs in proptest::collection::vec(0.0f64..5.0, 5),
+        aff in 0.0f64..1.0,
+        consensus in consensus_strategy(),
+        normalize in any::<bool>(),
+    ) {
+        let members: Vec<UserId> = (0..n as u32).map(UserId).collect();
+        let pairs = n * (n - 1) / 2;
+        let view = GroupAffinity::new(
+            members,
+            AffinityMode::StaticOnly,
+            vec![aff; pairs],
+            vec![],
+            vec![],
+        );
+        let scorer = GroupScorer::new(view, consensus, normalize);
+        let xs = &aprefs[..n];
+        let max = xs.iter().cloned().fold(0.0f64, f64::max);
+        let unanimous = vec![max; n];
+        prop_assert!(scorer.score(&unanimous) >= scorer.score(xs) - 1e-9);
+    }
+
+    /// Permuting members leaves the consensus score unchanged when
+    /// affinities are uniform (the functions are symmetric).
+    #[test]
+    fn symmetric_under_member_permutation(
+        n in 2usize..=5,
+        aprefs in proptest::collection::vec(0.0f64..5.0, 5),
+        consensus in consensus_strategy(),
+    ) {
+        let members: Vec<UserId> = (0..n as u32).map(UserId).collect();
+        let pairs = n * (n - 1) / 2;
+        let view = GroupAffinity::new(
+            members,
+            AffinityMode::StaticOnly,
+            vec![0.5; pairs],
+            vec![],
+            vec![],
+        );
+        let scorer = GroupScorer::new(view, consensus, true);
+        let mut xs = aprefs[..n].to_vec();
+        let a = scorer.score(&xs);
+        xs.reverse();
+        let b = scorer.score(&xs);
+        prop_assert!((a - b).abs() < 1e-9);
+    }
+
+    /// The affinity-agnostic scorer reduces exactly to the consensus over
+    /// raw absolute preferences.
+    #[test]
+    fn agnostic_reduces_to_raw_consensus(
+        n in 2usize..=5,
+        aprefs in proptest::collection::vec(0.0f64..5.0, 5),
+        consensus in consensus_strategy(),
+    ) {
+        let members: Vec<UserId> = (0..n as u32).map(UserId).collect();
+        let pairs = n * (n - 1) / 2;
+        let view = GroupAffinity::new(members, AffinityMode::None, vec![0.9; pairs], vec![], vec![]);
+        let scorer = GroupScorer::new(view, consensus, true);
+        let xs = &aprefs[..n];
+        prop_assert!((scorer.score(xs) - consensus.score(xs)).abs() < 1e-12);
+    }
+}

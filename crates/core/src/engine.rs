@@ -1,0 +1,114 @@
+//! High-level entry point: prepare a group's inputs once, run any
+//! algorithm over them.
+//!
+//! Ad-hoc groups are not known in advance (§2.4), so this is the
+//! "on-the-fly" path: given a preference provider (any CF model), the
+//! population affinity index, a group, a candidate itemset and a query
+//! period, [`prepare`] materializes the sorted lists GRECA scans;
+//! [`Prepared`] then runs GRECA, TA or the naive scan over the *same*
+//! inputs, which is what makes the `%SA` comparisons of §4.2 fair.
+
+use crate::greca::{greca_topk, GrecaConfig, TopKResult};
+use crate::lists::{GrecaInputs, ListLayout};
+use crate::naive::{naive_scores, naive_topk};
+use crate::ta::{ta_topk, TaConfig};
+use greca_affinity::{AffinityMode, GroupAffinity, PopulationAffinity};
+use greca_cf::{group_preference_lists, PreferenceProvider};
+use greca_consensus::ConsensusFunction;
+use greca_dataset::{Group, ItemId};
+
+/// Prepared per-(group, itemset, period, mode) inputs.
+#[derive(Debug, Clone)]
+pub struct Prepared {
+    /// The group's affinity view at the query period.
+    pub affinity: GroupAffinity,
+    /// The sorted lists.
+    pub inputs: GrecaInputs,
+    /// Whether relative preference is normalized by `|G|−1`.
+    pub normalize_rpref: bool,
+}
+
+/// Build the inputs for one ad-hoc query.
+pub fn prepare<P: PreferenceProvider + ?Sized>(
+    provider: &P,
+    population: &PopulationAffinity,
+    group: &Group,
+    items: &[ItemId],
+    period_idx: usize,
+    mode: AffinityMode,
+    layout: ListLayout,
+    normalize_rpref: bool,
+) -> Prepared {
+    let affinity = population.group_view(group, period_idx, mode);
+    let pref_lists = group_preference_lists(provider, group, items);
+    let inputs = GrecaInputs::build(&pref_lists, &affinity, layout);
+    Prepared {
+        affinity,
+        inputs,
+        normalize_rpref,
+    }
+}
+
+impl Prepared {
+    /// Assemble directly from hand-built parts (e.g. the paper's running
+    /// example, whose preference lists are given as tables rather than
+    /// produced by a CF model).
+    pub fn from_parts(
+        affinity: GroupAffinity,
+        pref_lists: &[greca_cf::PreferenceList],
+        layout: ListLayout,
+        normalize_rpref: bool,
+    ) -> Self {
+        let inputs = GrecaInputs::build(pref_lists, &affinity, layout);
+        Prepared {
+            affinity,
+            inputs,
+            normalize_rpref,
+        }
+    }
+
+    /// Run GRECA.
+    pub fn greca(&self, consensus: ConsensusFunction, config: GrecaConfig) -> TopKResult {
+        greca_topk(
+            &self.inputs,
+            &self.affinity,
+            consensus,
+            self.normalize_rpref,
+            config,
+        )
+    }
+
+    /// Run the TA baseline.
+    pub fn ta(&self, consensus: ConsensusFunction, config: TaConfig) -> TopKResult {
+        ta_topk(
+            &self.inputs,
+            &self.affinity,
+            consensus,
+            self.normalize_rpref,
+            config,
+        )
+    }
+
+    /// Run the naive full scan.
+    pub fn naive(&self, consensus: ConsensusFunction, k: usize) -> TopKResult {
+        naive_topk(
+            &self.inputs,
+            &self.affinity,
+            consensus,
+            self.normalize_rpref,
+            k,
+        )
+    }
+
+    /// Exact scores of every candidate item, descending (no access
+    /// accounting; use for verification and for the evaluation harness).
+    pub fn exact_scores(&self, consensus: ConsensusFunction) -> Vec<(ItemId, f64)> {
+        naive_scores(
+            &self.inputs,
+            &self.affinity,
+            consensus,
+            self.normalize_rpref,
+        )
+        .0
+    }
+}

@@ -1,0 +1,485 @@
+//! GRECA — Algorithm 1 of the paper.
+//!
+//! An NRA-style top-k computation making **sequential accesses only**,
+//! round-robin over the preference and affinity lists, maintaining an
+//! item buffer of `[LB, UB]` envelopes, a global threshold for unseen
+//! items, and terminating via either
+//!
+//! * the **threshold condition** — `Sc_th ≤ kth LB` and the buffer holds
+//!   exactly `k` items (lines 16–19), or
+//! * the **buffer condition** — the paper's novelty: the buffer holds
+//!   `k' > k` items and the `k`-th LB is no smaller than the UB of each
+//!   of the remaining `k' − k` items, which are then pruned (lines
+//!   21–23; Theorem 1 shows this implies the threshold condition for the
+//!   monotone consensus functions).
+//!
+//! Returned is the top-`k` **itemset** — the ranking inside it may be a
+//! partial order, exactly as §3.1 describes.
+
+use crate::access::AccessStats;
+use crate::interval::Interval;
+use crate::lists::{GrecaInputs, ListKind, SortedList};
+use crate::score::BoundScorer;
+use greca_consensus::ConsensusFunction;
+use greca_dataset::ItemId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Early-termination policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum StoppingRule {
+    /// Full GRECA: buffer condition with inter-item pruning, plus the
+    /// (cheap) threshold verification. The default.
+    #[default]
+    Greca,
+    /// Traditional threshold-style stop only: terminate when the
+    /// threshold drops below the k-th lower bound **and** the buffer
+    /// holds exactly `k` items; no inter-item pruning. This is the
+    /// baseline GRECA's buffer condition improves upon (§3.2).
+    ThresholdOnly,
+    /// Never stop early; scan every list to the end.
+    Exhaustive,
+}
+
+/// Why a run terminated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StopReason {
+    /// The buffer condition fired (k'−k items pruned away).
+    Buffer,
+    /// The threshold condition fired with exactly k buffered items.
+    Threshold,
+    /// All lists were scanned to exhaustion.
+    Exhausted,
+}
+
+/// How often the (O(|buffer|)) bound-refresh and stopping checks run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CheckInterval {
+    /// After every full round-robin sweep (most faithful to Algorithm 1).
+    EverySweep,
+    /// After every `n` sweeps.
+    Sweeps(u32),
+    /// Adaptive: stretches the interval as the buffer grows (bounded
+    /// staleness, much faster on large inputs). Never affects
+    /// correctness, only how promptly a stopping condition is noticed.
+    Adaptive,
+}
+
+/// GRECA run configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GrecaConfig {
+    /// Result size `k`.
+    pub k: usize,
+    /// Early-termination policy.
+    pub stopping: StoppingRule,
+    /// Stopping-check cadence.
+    pub check_interval: CheckInterval,
+}
+
+impl GrecaConfig {
+    /// Default configuration for a given `k`.
+    pub fn top(k: usize) -> Self {
+        GrecaConfig {
+            k,
+            stopping: StoppingRule::Greca,
+            check_interval: CheckInterval::EverySweep,
+        }
+    }
+
+    /// Use the given stopping rule.
+    pub fn stopping(mut self, rule: StoppingRule) -> Self {
+        self.stopping = rule;
+        self
+    }
+
+    /// Use the given check cadence.
+    pub fn check_interval(mut self, ci: CheckInterval) -> Self {
+        self.check_interval = ci;
+        self
+    }
+}
+
+/// One returned item with its score envelope.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TopKItem {
+    /// The recommended item.
+    pub item: ItemId,
+    /// Lower bound of its consensus score at termination.
+    pub lb: f64,
+    /// Upper bound of its consensus score at termination.
+    pub ub: f64,
+}
+
+impl TopKItem {
+    /// Whether the envelope pinned the exact score.
+    pub fn is_exact(&self) -> bool {
+        (self.ub - self.lb).abs() <= 1e-9
+    }
+}
+
+/// Result of a top-k run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TopKResult {
+    /// The top-k itemset, ordered by decreasing lower bound (a partial
+    /// order: ties/overlapping envelopes are not further distinguished).
+    pub items: Vec<TopKItem>,
+    /// Access counters.
+    pub stats: AccessStats,
+    /// Number of full round-robin sweeps performed.
+    pub sweeps: u64,
+    /// What terminated the run.
+    pub stop_reason: StopReason,
+}
+
+impl TopKResult {
+    /// The returned item ids in result order.
+    pub fn item_ids(&self) -> Vec<ItemId> {
+        self.items.iter().map(|t| t.item).collect()
+    }
+}
+
+#[derive(Debug, Clone)]
+struct ItemState {
+    aprefs: Vec<Option<f64>>,
+    bounds: Interval,
+}
+
+/// Mutable scan state over one `GrecaInputs`.
+struct RunState<'a> {
+    inputs: &'a GrecaInputs,
+    scorer: BoundScorer<'a>,
+    positions: Vec<usize>,
+    cursors: Vec<f64>,
+    /// Seen static component per pair.
+    pair_static: Vec<Option<f64>>,
+    /// Seen periodic components `[period][pair]`.
+    pair_period: Vec<Vec<Option<f64>>>,
+    /// Live candidate items.
+    items: HashMap<u32, ItemState>,
+    /// Items pruned by the buffer condition (ignored if re-encountered).
+    pruned: std::collections::HashSet<u32>,
+    /// Cached per-pair affinity envelopes (recomputed when stale).
+    pair_affs: Vec<Interval>,
+    stats: AccessStats,
+    lists: Vec<&'a SortedList>,
+}
+
+impl<'a> RunState<'a> {
+    fn new(inputs: &'a GrecaInputs, scorer: BoundScorer<'a>) -> Self {
+        let lists: Vec<&SortedList> = inputs.all_lists().collect();
+        let stats = AccessStats::new(inputs.total_entries());
+        RunState {
+            inputs,
+            scorer,
+            positions: vec![0; lists.len()],
+            // Before any read a descending list is bounded by its first
+            // entry; +∞ would also be sound but needlessly loose.
+            cursors: lists
+                .iter()
+                .map(|l| l.entries.first().map_or(0.0, |e| e.1))
+                .collect(),
+            pair_static: vec![None; inputs.num_pairs],
+            pair_period: vec![vec![None; inputs.num_pairs]; inputs.period_lists.len()],
+            items: HashMap::new(),
+            pruned: std::collections::HashSet::new(),
+            pair_affs: Vec::new(),
+            stats,
+            lists,
+        }
+    }
+
+    /// One round-robin sweep: read one entry from every non-exhausted
+    /// list. Returns false if nothing was read (all exhausted).
+    fn sweep(&mut self) -> bool {
+        let mut read_any = false;
+        for li in 0..self.lists.len() {
+            let pos = self.positions[li];
+            let list = self.lists[li];
+            if pos >= list.len() {
+                continue;
+            }
+            let (id, score) = list.entries[pos];
+            self.positions[li] = pos + 1;
+            self.cursors[li] = score;
+            self.stats.record_sa();
+            read_any = true;
+            match list.kind {
+                ListKind::Preference { member } => {
+                    if self.pruned.contains(&id) {
+                        continue;
+                    }
+                    let n = self.inputs.num_members;
+                    let entry = self.items.entry(id).or_insert_with(|| ItemState {
+                        aprefs: vec![None; n],
+                        bounds: Interval::new(f64::NEG_INFINITY, f64::INFINITY),
+                    });
+                    entry.aprefs[member as usize] = Some(score);
+                }
+                ListKind::StaticAffinity => {
+                    self.pair_static[id as usize] = Some(score);
+                }
+                ListKind::PeriodicAffinity { period } => {
+                    self.pair_period[period as usize][id as usize] = Some(score);
+                }
+            }
+        }
+        read_any
+    }
+
+    /// Cursor upper bound for the static component of a pair under the
+    /// current layout: the max cursor over static lists that could still
+    /// contain the pair. (With `Decomposed` layout a pair lives in
+    /// exactly one list; with `Single` in the one list.)
+    fn static_cursor(&self, pair: usize) -> f64 {
+        let base = self.inputs.pref_lists.len();
+        let mut best: f64 = 0.0;
+        for (off, list) in self.inputs.static_lists.iter().enumerate() {
+            let li = base + off;
+            if self.positions[li] < list.len() && list_contains_pair(list, pair) {
+                best = best.max(self.cursors[li]);
+            }
+        }
+        best
+    }
+
+    fn period_cursor(&self, period: usize, pair: usize) -> f64 {
+        let mut best: f64 = 0.0;
+        let mut li = self.inputs.pref_lists.len() + self.inputs.static_lists.len();
+        for (p, lists) in self.inputs.period_lists.iter().enumerate() {
+            for list in lists {
+                if p == period && self.positions[li] < list.len() && list_contains_pair(list, pair)
+                {
+                    best = best.max(self.cursors[li]);
+                }
+                li += 1;
+            }
+        }
+        best
+    }
+
+    /// Refresh the cached pair-affinity envelopes from seen components
+    /// and cursors.
+    fn refresh_pair_affs(&mut self) {
+        let n_pairs = self.inputs.num_pairs;
+        let mode_static = !self.inputs.static_lists.is_empty();
+        let n_periods = self.inputs.period_lists.len();
+        let mut out = Vec::with_capacity(n_pairs);
+        for pair in 0..n_pairs {
+            let s_iv = match self.pair_static[pair] {
+                Some(v) => Interval::exact(v),
+                // Affinity-agnostic modes have no static lists; the fold
+                // ignores the static argument then.
+                None if !mode_static => Interval::exact(0.0),
+                None => Interval::new(0.0, self.static_cursor(pair)),
+            };
+            let comps: Vec<Interval> = (0..n_periods)
+                .map(|p| match self.pair_period[p][pair] {
+                    Some(v) => Interval::exact(v),
+                    None => Interval::new(0.0, self.period_cursor(p, pair)),
+                })
+                .collect();
+            out.push(self.scorer.pair_affinity_interval(s_iv, &comps));
+        }
+        self.pair_affs = out;
+    }
+
+    /// Per-member apref cursor (max over that member's preference list).
+    fn pref_cursor(&self, member: usize) -> f64 {
+        let list = self.inputs.pref_lists.get(member).expect("member list");
+        if self.positions[member] >= list.len() {
+            // Exhausted: every item was seen in this list; any item still
+            // lacking this component does not exist. Use the last value
+            // (sound for the virtual unseen item of the threshold).
+            list.entries.last().map_or(0.0, |e| e.1)
+        } else {
+            self.cursors[member]
+        }
+    }
+
+    /// Recompute every live item's `[LB, UB]`.
+    fn refresh_bounds(&mut self) {
+        self.refresh_pair_affs();
+        let n = self.inputs.num_members;
+        let cursors: Vec<f64> = (0..n).map(|m| self.pref_cursor(m)).collect();
+        let pair_affs = std::mem::take(&mut self.pair_affs);
+        for st in self.items.values_mut() {
+            let aprefs: Vec<Interval> = st
+                .aprefs
+                .iter()
+                .enumerate()
+                .map(|(m, v)| match v {
+                    Some(x) => Interval::exact(*x),
+                    None => Interval::new(0.0, cursors[m]),
+                })
+                .collect();
+            st.bounds = self.scorer.score_interval(&aprefs, &pair_affs);
+        }
+        self.pair_affs = pair_affs;
+    }
+
+    /// `ComputeTh({E})`: the best score any **unseen** item could have —
+    /// all apref components at their cursors, affinities at their current
+    /// envelopes. `None` once any preference list is exhausted: every
+    /// candidate item appears in every preference list, so exhausting one
+    /// list means every item has been encountered and no unseen item
+    /// remains.
+    fn threshold(&self) -> Option<f64> {
+        let n = self.inputs.num_members;
+        let any_exhausted =
+            (0..n).any(|m| self.positions[m] >= self.inputs.pref_lists[m].len());
+        if any_exhausted {
+            return None;
+        }
+        let aprefs: Vec<Interval> = (0..n)
+            .map(|m| Interval::new(0.0, self.pref_cursor(m)))
+            .collect();
+        Some(self.scorer.score_interval(&aprefs, &self.pair_affs).hi)
+    }
+}
+
+fn list_contains_pair(list: &SortedList, pair: usize) -> bool {
+    // Affinity lists are tiny (≤ n−1 entries); a linear scan is cheaper
+    // than maintaining a side index.
+    list.entries.iter().any(|&(id, _)| id as usize == pair)
+}
+
+/// Run GRECA over prepared inputs.
+///
+/// `affinity` must be the same view the inputs were built from;
+/// `consensus` and `normalize_rpref` must match whatever scalar scoring
+/// the caller compares against (see [`crate::naive::naive_topk`]).
+pub fn greca_topk(
+    inputs: &GrecaInputs,
+    affinity: &greca_affinity::GroupAffinity,
+    consensus: ConsensusFunction,
+    normalize_rpref: bool,
+    config: GrecaConfig,
+) -> TopKResult {
+    assert!(config.k > 0, "k must be positive");
+    assert_eq!(
+        affinity.num_pairs(),
+        inputs.num_pairs,
+        "affinity view must match the inputs"
+    );
+    let scorer = BoundScorer::new(affinity, consensus, normalize_rpref);
+    let mut state = RunState::new(inputs, scorer);
+    let k = config.k.min(inputs.num_items.max(1));
+    let mut sweeps: u64 = 0;
+    let mut since_check: u64 = 0;
+    let mut stop_reason = StopReason::Exhausted;
+
+    loop {
+        let read_any = state.sweep();
+        if !read_any {
+            break;
+        }
+        sweeps += 1;
+        since_check += 1;
+        let check_now = match config.check_interval {
+            CheckInterval::EverySweep => true,
+            CheckInterval::Sweeps(n) => since_check >= n as u64,
+            CheckInterval::Adaptive => {
+                let target = (state.items.len() as u64 / 128).clamp(1, 32);
+                since_check >= target
+            }
+        };
+        if !check_now || matches!(config.stopping, StoppingRule::Exhaustive) {
+            continue;
+        }
+        since_check = 0;
+        state.refresh_bounds();
+        if state.items.len() < k {
+            continue;
+        }
+        // k-th largest lower bound among live items.
+        let mut lbs: Vec<f64> = state.items.values().map(|s| s.bounds.lo).collect();
+        lbs.sort_by(|a, b| b.partial_cmp(a).expect("finite bounds"));
+        let kth_lb = lbs[k - 1];
+        let threshold = state.threshold();
+        let threshold_ok = threshold.map_or(true, |t| t <= kth_lb + 1e-12);
+
+        match config.stopping {
+            StoppingRule::Greca => {
+                // Buffer condition: every non-top-k item's UB is below the
+                // k-th LB → prune it.
+                let before = state.items.len();
+                if before > k {
+                    // Identify the top-k item ids by LB (ties by id).
+                    let mut ranked: Vec<(u32, f64)> = state
+                        .items
+                        .iter()
+                        .map(|(&id, s)| (id, s.bounds.lo))
+                        .collect();
+                    ranked.sort_by(|a, b| {
+                        b.1.partial_cmp(&a.1)
+                            .expect("finite")
+                            .then_with(|| a.0.cmp(&b.0))
+                    });
+                    let topk: std::collections::HashSet<u32> =
+                        ranked[..k].iter().map(|&(id, _)| id).collect();
+                    let pruned: Vec<u32> = state
+                        .items
+                        .iter()
+                        .filter(|(&id, s)| !topk.contains(&id) && s.bounds.hi <= kth_lb + 1e-12)
+                        .map(|(&id, _)| id)
+                        .collect();
+                    for id in pruned {
+                        state.items.remove(&id);
+                        state.pruned.insert(id);
+                    }
+                }
+                // Terminate when only k candidates remain and no unseen
+                // item can beat them. (Theorem 1: for monotone consensus
+                // functions the buffer condition already implies the
+                // threshold condition; we verify it anyway because the
+                // interval bounds for disagreement functions are sound
+                // but not covered by the theorem's premise.)
+                if state.items.len() == k && threshold_ok {
+                    stop_reason = if state.pruned.is_empty() {
+                        StopReason::Threshold
+                    } else {
+                        StopReason::Buffer
+                    };
+                    break;
+                }
+            }
+            StoppingRule::ThresholdOnly => {
+                if state.items.len() == k && threshold_ok {
+                    stop_reason = StopReason::Threshold;
+                    break;
+                }
+            }
+            StoppingRule::Exhaustive => unreachable!("handled above"),
+        }
+    }
+
+    if matches!(stop_reason, StopReason::Exhausted) {
+        // Everything read: bounds are exact.
+        state.refresh_bounds();
+    }
+    let mut ranked: Vec<(u32, Interval)> = state
+        .items
+        .iter()
+        .map(|(&id, s)| (id, s.bounds))
+        .collect();
+    ranked.sort_by(|a, b| {
+        b.1.lo
+            .partial_cmp(&a.1.lo)
+            .expect("finite")
+            .then_with(|| a.0.cmp(&b.0))
+    });
+    ranked.truncate(k);
+    TopKResult {
+        items: ranked
+            .into_iter()
+            .map(|(id, iv)| TopKItem {
+                item: ItemId(id),
+                lb: iv.lo,
+                ub: iv.hi,
+            })
+            .collect(),
+        stats: state.stats,
+        sweeps,
+        stop_reason,
+    }
+}

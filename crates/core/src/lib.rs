@@ -1,0 +1,74 @@
+//! # greca-core
+//!
+//! GRECA — *Group Recommendation with Temporal Affinities* (EDBT 2015,
+//! §3) — and its baselines.
+//!
+//! GRECA adapts the NRA member of the Fagin threshold-algorithm family to
+//! group recommendation with temporal affinities. Its inputs are, for a
+//! group of `n` users queried at period `p`:
+//!
+//! * `n` absolute-preference lists `PL_u` (from any CF model),
+//! * static affinity lists `LaffS`,
+//! * one set of periodic affinity lists `LaffV` per period `p' ⪯ p`,
+//!
+//! all sorted descending and read by **sequential accesses only**. GRECA
+//! maintains `[LB, UB]` score envelopes per buffered item, a global
+//! threshold for unseen items, and stops early via the paper's novel
+//! **buffer condition** (Theorem 1). It is instance-optimal (Lemma 3) and
+//! returns the correct top-k itemset (Lemma 2) under every consensus
+//! function of `greca-consensus` and every affinity mode of
+//! `greca-affinity`.
+//!
+//! Baselines: [`ta::ta_topk`] (random-access threshold algorithm,
+//! reproducing §3.1's RA accounting) and [`naive::naive_topk`] (full
+//! scan; also the correctness oracle).
+//!
+//! ```
+//! use greca_dataset::prelude::*;
+//! use greca_cf::{preference::candidate_items, CfConfig, UserCfModel};
+//! use greca_affinity::{AffinityMode, PopulationAffinity, SocialAffinitySource};
+//! use greca_consensus::ConsensusFunction;
+//! use greca_core::{prepare, GrecaConfig, ListLayout};
+//!
+//! // World: ratings + social signals over one year.
+//! let ml = MovieLensConfig::small().generate();
+//! let net = SocialConfig::tiny().generate();
+//! let tl = Timeline::discretize(0, net.horizon(), Granularity::TwoMonth).unwrap();
+//! let cf = UserCfModel::fit(&ml.matrix, CfConfig::default());
+//! let universe: Vec<UserId> = net.users().collect();
+//! let pop = PopulationAffinity::build(&SocialAffinitySource::new(&net), &universe, &tl);
+//!
+//! // Ad-hoc group query.
+//! let group = Group::new(vec![UserId(0), UserId(1), UserId(2)]).unwrap();
+//! let items: Vec<ItemId> = ml.matrix.items().take(150).collect();
+//! let prepared = prepare(
+//!     &cf, &pop, &group, &items,
+//!     tl.num_periods() - 1,
+//!     AffinityMode::Discrete,
+//!     ListLayout::Decomposed,
+//!     true,
+//! );
+//! let result = prepared.greca(ConsensusFunction::average_preference(), GrecaConfig::top(5));
+//! assert_eq!(result.items.len(), 5);
+//! assert!(result.stats.sa_percent() <= 100.0);
+//! ```
+
+pub mod access;
+pub mod engine;
+pub mod greca;
+pub mod interval;
+pub mod lists;
+pub mod naive;
+pub mod score;
+pub mod ta;
+
+pub use access::{AccessStats, Aggregate};
+pub use engine::{prepare, Prepared};
+pub use greca::{
+    greca_topk, CheckInterval, GrecaConfig, StopReason, StoppingRule, TopKItem, TopKResult,
+};
+pub use interval::Interval;
+pub use lists::{GrecaInputs, ListKind, ListLayout, SortedList};
+pub use naive::{naive_scores, naive_topk};
+pub use score::BoundScorer;
+pub use ta::{ta_topk, TaConfig};

@@ -1,0 +1,335 @@
+//! The sorted-list inputs of GRECA (§3.1).
+//!
+//! For a group of `n` users at query period `p` with `T = p+1` aggregated
+//! periods, GRECA scans:
+//!
+//! * `n` **preference lists** `PL_u` (`m` items each, score-descending);
+//! * the **static affinity lists** `LaffS` — either decomposed into
+//!   `n−1` per-user lists (the paper's layout: "the i-th list stands for
+//!   user u_i with n−i entries") or one combined list with `n(n−1)/2`
+//!   entries (the alternative §3.1 mentions; kept for the ablation bench);
+//! * `T` sets of **periodic affinity lists** `LaffV`, same layout.
+//!
+//! Every list is sorted descending, is read only by sequential accesses,
+//! and exposes its *cursor*: the value of the most recently read entry,
+//! which upper-bounds everything below it.
+
+use greca_affinity::GroupAffinity;
+use greca_cf::PreferenceList;
+use serde::{Deserialize, Serialize};
+
+/// What a list contains (and thus what its entry ids mean).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ListKind {
+    /// `PL_u` of the member at this index; entry ids are item ids.
+    Preference {
+        /// Index of the owning member within the group.
+        member: u32,
+    },
+    /// Static affinity list; entry ids are group pair indices.
+    StaticAffinity,
+    /// Periodic affinity list for one period; entry ids are pair indices.
+    PeriodicAffinity {
+        /// 0-based period index.
+        period: u32,
+    },
+}
+
+/// One sorted, sequentially-accessed input list.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SortedList {
+    /// What the entries mean.
+    pub kind: ListKind,
+    /// `(id, score)` sorted by descending score.
+    pub entries: Vec<(u32, f64)>,
+}
+
+impl SortedList {
+    /// Build, sorting entries descending (ties by id for determinism).
+    pub fn new(kind: ListKind, mut entries: Vec<(u32, f64)>) -> Self {
+        entries.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("finite scores")
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        SortedList { kind, entries }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// A read cursor over one list.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Cursor {
+    /// Next entry index to read.
+    pub pos: usize,
+    /// Value of the last entry read; upper-bounds all unread entries.
+    /// Starts at `+∞` conceptually; we store the first entry's score
+    /// until a read happens (sound: entries are sorted descending).
+    pub bound: f64,
+}
+
+/// How affinity lists are laid out (§3.1 discusses both; the decomposed
+/// layout "allows us to design efficient algorithms").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ListLayout {
+    /// `n−1` lists per affinity kind, the i-th holding user u_i's pairs.
+    #[default]
+    Decomposed,
+    /// A single list with all `n(n−1)/2` pairs per affinity kind.
+    Single,
+}
+
+/// All inputs for one GRECA run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GrecaInputs {
+    /// Preference lists, one per member (member order = group order).
+    pub pref_lists: Vec<SortedList>,
+    /// Static affinity lists (empty when the mode ignores static affinity).
+    pub static_lists: Vec<SortedList>,
+    /// Periodic affinity lists, grouped per period (empty when the mode is
+    /// not temporal).
+    pub period_lists: Vec<Vec<SortedList>>,
+    /// Number of group members.
+    pub num_members: usize,
+    /// Number of group pairs.
+    pub num_pairs: usize,
+    /// Number of candidate items.
+    pub num_items: usize,
+}
+
+impl GrecaInputs {
+    /// Assemble the inputs from per-member preference lists and the
+    /// group's affinity view.
+    ///
+    /// All preference lists must rank the same candidate item set; this
+    /// is how §2.4's problem statement is posed (one itemset `I`).
+    pub fn build(
+        pref_lists: &[PreferenceList],
+        affinity: &GroupAffinity,
+        layout: ListLayout,
+    ) -> Self {
+        let n = affinity.members().len();
+        assert_eq!(
+            pref_lists.len(),
+            n,
+            "one preference list per group member"
+        );
+        let num_items = pref_lists.first().map_or(0, |l| l.len());
+        for l in pref_lists {
+            assert_eq!(l.len(), num_items, "preference lists must align");
+        }
+        let plists: Vec<SortedList> = pref_lists
+            .iter()
+            .enumerate()
+            .map(|(idx, pl)| {
+                SortedList::new(
+                    ListKind::Preference { member: idx as u32 },
+                    pl.entries.iter().map(|&(i, s)| (i.0, s)).collect(),
+                )
+            })
+            .collect();
+
+        let num_pairs = affinity.num_pairs();
+        let mode = affinity.mode();
+        let static_lists = if mode.uses_static() {
+            build_affinity_lists(affinity, layout, ListKind::StaticAffinity, |pair| {
+                affinity.static_component(pair)
+            })
+        } else {
+            Vec::new()
+        };
+        let period_lists = if mode.is_temporal() {
+            (0..affinity.num_periods())
+                .map(|p| {
+                    build_affinity_lists(
+                        affinity,
+                        layout,
+                        ListKind::PeriodicAffinity { period: p as u32 },
+                        |pair| affinity.period_component(p, pair),
+                    )
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        GrecaInputs {
+            pref_lists: plists,
+            static_lists,
+            period_lists,
+            num_members: n,
+            num_pairs,
+            num_items,
+        }
+    }
+
+    /// Every list in round-robin order: preference lists first, then
+    /// static, then each period's lists (§3.2's "round-robin fashion over
+    /// the aforementioned lists").
+    pub fn all_lists(&self) -> impl Iterator<Item = &SortedList> {
+        self.pref_lists
+            .iter()
+            .chain(self.static_lists.iter())
+            .chain(self.period_lists.iter().flatten())
+    }
+
+    /// Number of lists.
+    pub fn num_lists(&self) -> usize {
+        self.pref_lists.len()
+            + self.static_lists.len()
+            + self.period_lists.iter().map(Vec::len).sum::<usize>()
+    }
+
+    /// Total entries across all lists — the denominator of `%SA` and the
+    /// SA count of the naive algorithm.
+    pub fn total_entries(&self) -> u64 {
+        self.all_lists().map(|l| l.len() as u64).sum()
+    }
+}
+
+fn build_affinity_lists(
+    affinity: &GroupAffinity,
+    layout: ListLayout,
+    kind: ListKind,
+    component: impl Fn(usize) -> f64,
+) -> Vec<SortedList> {
+    let n = affinity.members().len();
+    match layout {
+        ListLayout::Single => {
+            let entries: Vec<(u32, f64)> = (0..affinity.num_pairs())
+                .map(|pair| (pair as u32, component(pair)))
+                .collect();
+            vec![SortedList::new(kind, entries)]
+        }
+        ListLayout::Decomposed => {
+            // The i-th list holds u_i's pairs (u_i, u_j) for j > i: n−1
+            // lists (the last user's list would be empty and is skipped,
+            // exactly as in the running example of §3.1).
+            let members = affinity.members();
+            (0..n.saturating_sub(1))
+                .map(|i| {
+                    let entries: Vec<(u32, f64)> = ((i + 1)..n)
+                        .map(|j| {
+                            let pair = affinity
+                                .pair_of(members[i], members[j])
+                                .expect("members are in the group");
+                            (pair as u32, component(pair))
+                        })
+                        .collect();
+                    SortedList::new(kind, entries)
+                })
+                .collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use greca_affinity::AffinityMode;
+    use greca_dataset::{ItemId, UserId};
+
+    fn affinity(mode: AffinityMode) -> GroupAffinity {
+        GroupAffinity::new(
+            vec![UserId(0), UserId(1), UserId(2)],
+            mode,
+            vec![1.0, 0.2, 0.3],
+            vec![vec![0.8, 0.1, 0.2], vec![0.7, 0.1, 0.1]],
+            vec![0.37, 0.3],
+        )
+    }
+
+    fn pls() -> Vec<PreferenceList> {
+        vec![
+            PreferenceList::from_entries(
+                UserId(0),
+                vec![(ItemId(0), 5.0), (ItemId(1), 1.0), (ItemId(2), 1.0)],
+            ),
+            PreferenceList::from_entries(
+                UserId(1),
+                vec![(ItemId(0), 5.0), (ItemId(1), 1.0), (ItemId(2), 0.5)],
+            ),
+            PreferenceList::from_entries(
+                UserId(2),
+                vec![(ItemId(2), 2.0), (ItemId(0), 2.0), (ItemId(1), 1.0)],
+            ),
+        ]
+    }
+
+    #[test]
+    fn sorted_list_sorts_desc_with_id_ties() {
+        let l = SortedList::new(
+            ListKind::StaticAffinity,
+            vec![(2, 0.5), (0, 0.5), (1, 0.9)],
+        );
+        let ids: Vec<u32> = l.entries.iter().map(|&(i, _)| i).collect();
+        assert_eq!(ids, vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn decomposed_layout_matches_running_example() {
+        // §3.1: LaffS(u1) holds u1's two pairs, LaffS(u2) holds one, and
+        // "no static affinity list needs to be created for user u3".
+        let inputs = GrecaInputs::build(&pls(), &affinity(AffinityMode::Discrete), ListLayout::Decomposed);
+        assert_eq!(inputs.static_lists.len(), 2);
+        assert_eq!(inputs.static_lists[0].len(), 2);
+        assert_eq!(inputs.static_lists[1].len(), 1);
+        assert_eq!(inputs.period_lists.len(), 2);
+        assert_eq!(inputs.period_lists[0].len(), 2);
+        // 3 pref lists + 2 static + 2×2 periodic = 9 lists.
+        assert_eq!(inputs.num_lists(), 9);
+        // Entries: 3×3 + 3 + 2×3 = 18.
+        assert_eq!(inputs.total_entries(), 18);
+    }
+
+    #[test]
+    fn single_layout_has_one_list_per_kind() {
+        let inputs = GrecaInputs::build(&pls(), &affinity(AffinityMode::Discrete), ListLayout::Single);
+        assert_eq!(inputs.static_lists.len(), 1);
+        assert_eq!(inputs.static_lists[0].len(), 3);
+        assert_eq!(inputs.period_lists[0].len(), 1);
+        assert_eq!(inputs.total_entries(), 18, "same entries either layout");
+    }
+
+    #[test]
+    fn affinity_agnostic_mode_has_no_affinity_lists() {
+        let inputs = GrecaInputs::build(&pls(), &affinity(AffinityMode::None), ListLayout::Decomposed);
+        assert!(inputs.static_lists.is_empty());
+        assert!(inputs.period_lists.is_empty());
+        assert_eq!(inputs.total_entries(), 9);
+    }
+
+    #[test]
+    fn static_only_mode_has_no_period_lists() {
+        let inputs =
+            GrecaInputs::build(&pls(), &affinity(AffinityMode::StaticOnly), ListLayout::Decomposed);
+        assert_eq!(inputs.static_lists.len(), 2);
+        assert!(inputs.period_lists.is_empty());
+    }
+
+    #[test]
+    fn affinity_lists_sorted_desc() {
+        let inputs = GrecaInputs::build(&pls(), &affinity(AffinityMode::Discrete), ListLayout::Single);
+        for l in inputs.all_lists() {
+            for w in l.entries.windows(2) {
+                assert!(w[0].1 >= w[1].1);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must align")]
+    fn mismatched_pref_lists_rejected() {
+        let mut lists = pls();
+        lists[1].entries.pop();
+        let _ = GrecaInputs::build(&lists, &affinity(AffinityMode::Discrete), ListLayout::Decomposed);
+    }
+}

@@ -1,0 +1,288 @@
+//! Interval score model: `ComputeLB` / `ComputeUB` / `ComputeTh` (§3.2).
+//!
+//! Mirrors the exact scalar pipeline of `greca-consensus` over
+//! [`Interval`]s:
+//!
+//! 1. per-pair affinity envelopes from component envelopes (sound because
+//!    `GroupAffinity::affinity_from_components` is monotone in every
+//!    component — Lemma 1's engine);
+//! 2. member preference envelopes
+//!    `pref_u = apref_u + Σ aff(u,v)·apref_v (normalized)`;
+//! 3. the consensus envelope `F = w1·gpref + w2·(1 − dis)` where the
+//!    non-monotone disagreement terms are handled with interval
+//!    arithmetic, so bounds stay sound for **every** consensus function,
+//!    not only the provably monotone ones.
+//!
+//! Degenerate (exact) inputs collapse to the scalar scorer's value; the
+//! property suite pins this.
+
+use crate::interval::Interval;
+use greca_affinity::GroupAffinity;
+use greca_consensus::{ConsensusFunction, DisagreementKind, GroupPreferenceKind};
+
+/// Interval-valued scorer for one group/consensus configuration.
+#[derive(Debug, Clone)]
+pub struct BoundScorer<'a> {
+    affinity: &'a GroupAffinity,
+    consensus: ConsensusFunction,
+    normalize_rpref: bool,
+}
+
+impl<'a> BoundScorer<'a> {
+    /// Create a scorer consistent with a scalar
+    /// [`greca_consensus::GroupScorer`] built from the same parts.
+    pub fn new(
+        affinity: &'a GroupAffinity,
+        consensus: ConsensusFunction,
+        normalize_rpref: bool,
+    ) -> Self {
+        BoundScorer {
+            affinity,
+            consensus,
+            normalize_rpref,
+        }
+    }
+
+    /// The group's affinity view.
+    pub fn affinity(&self) -> &GroupAffinity {
+        self.affinity
+    }
+
+    /// Envelope of one pair's affinity from per-component envelopes.
+    ///
+    /// `comps` holds one envelope per aggregated period. Monotonicity of
+    /// the component fold makes the `(lo…, hi…)` evaluations the exact
+    /// envelope ends.
+    pub fn pair_affinity_interval(&self, static_iv: Interval, comps: &[Interval]) -> Interval {
+        let los: Vec<f64> = comps.iter().map(|c| c.lo).collect();
+        let his: Vec<f64> = comps.iter().map(|c| c.hi).collect();
+        Interval::new(
+            self.affinity.affinity_from_components(static_iv.lo, &los),
+            self.affinity.affinity_from_components(static_iv.hi, &his),
+        )
+    }
+
+    /// Member preference envelopes from apref envelopes (member order)
+    /// and pair-affinity envelopes (group triangular pair order).
+    pub fn member_pref_intervals(
+        &self,
+        aprefs: &[Interval],
+        pair_affs: &[Interval],
+    ) -> Vec<Interval> {
+        let members = self.affinity.members();
+        let n = members.len();
+        debug_assert_eq!(aprefs.len(), n);
+        debug_assert_eq!(pair_affs.len(), self.affinity.num_pairs());
+        let norm = if self.normalize_rpref && n > 1 {
+            1.0 / (n - 1) as f64
+        } else {
+            1.0
+        };
+        (0..n)
+            .map(|u| {
+                let mut rpref = Interval::exact(0.0);
+                for v in 0..n {
+                    if v == u {
+                        continue;
+                    }
+                    let pair = self
+                        .affinity
+                        .pair_of(members[u], members[v])
+                        .expect("group members");
+                    rpref = rpref.add(pair_affs[pair].mul_nonneg(aprefs[v]));
+                }
+                aprefs[u].add(rpref.scale(norm))
+            })
+            .collect()
+    }
+
+    /// The consensus envelope from member preference envelopes.
+    pub fn consensus_interval(&self, prefs: &[Interval]) -> Interval {
+        let gpref = match self.consensus.preference {
+            GroupPreferenceKind::Average => Interval::mean(prefs),
+            GroupPreferenceKind::LeastMisery => Interval::min_of(prefs),
+        };
+        let dis = match self.consensus.disagreement {
+            DisagreementKind::NoDisagreement => Interval::exact(0.0),
+            DisagreementKind::AveragePairwise => {
+                let n = prefs.len();
+                if n < 2 {
+                    Interval::exact(0.0)
+                } else {
+                    let mut acc = Interval::exact(0.0);
+                    for i in 0..n {
+                        for j in (i + 1)..n {
+                            acc = acc.add(prefs[i].abs_diff(prefs[j]));
+                        }
+                    }
+                    acc.scale(2.0 / (n as f64 * (n as f64 - 1.0)))
+                }
+            }
+            DisagreementKind::Variance => {
+                let n = prefs.len();
+                if n == 0 {
+                    Interval::exact(0.0)
+                } else {
+                    let mean = Interval::mean(prefs);
+                    let mut acc = Interval::exact(0.0);
+                    for p in prefs {
+                        // (p − mean) envelope, then squared.
+                        let d = Interval::new(p.lo - mean.hi, p.hi - mean.lo);
+                        acc = acc.add(d.square());
+                    }
+                    acc.scale(1.0 / n as f64)
+                }
+            }
+        };
+        gpref
+            .scale(self.consensus.w1)
+            .add(dis.sub_from(1.0).scale(self.consensus.w2()))
+    }
+
+    /// Full envelope: aprefs + pair affinities → `F` envelope.
+    pub fn score_interval(&self, aprefs: &[Interval], pair_affs: &[Interval]) -> Interval {
+        let prefs = self.member_pref_intervals(aprefs, pair_affs);
+        self.consensus_interval(&prefs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use greca_affinity::AffinityMode;
+    use greca_consensus::GroupScorer;
+    use greca_dataset::UserId;
+
+    fn view(mode: AffinityMode) -> GroupAffinity {
+        GroupAffinity::new(
+            vec![UserId(0), UserId(1), UserId(2)],
+            mode,
+            vec![1.0, 0.2, 0.3],
+            vec![vec![0.8, 0.1, 0.2], vec![0.7, 0.1, 0.1]],
+            vec![0.37, 0.3],
+        )
+    }
+
+    fn all_consensus() -> Vec<ConsensusFunction> {
+        vec![
+            ConsensusFunction::average_preference(),
+            ConsensusFunction::least_misery(),
+            ConsensusFunction::pairwise_disagreement(0.8),
+            ConsensusFunction::pairwise_disagreement(0.2),
+            ConsensusFunction::variance_disagreement(0.5),
+        ]
+    }
+
+    /// Exact inputs must reproduce the scalar scorer exactly.
+    #[test]
+    fn degenerate_intervals_match_scalar_scorer() {
+        for mode in [
+            AffinityMode::None,
+            AffinityMode::StaticOnly,
+            AffinityMode::Discrete,
+            AffinityMode::continuous(),
+        ] {
+            let v = view(mode);
+            for consensus in all_consensus() {
+                for normalize in [true, false] {
+                    let bound = BoundScorer::new(&v, consensus, normalize);
+                    let scalar = GroupScorer::new(v.clone(), consensus, normalize);
+                    let aprefs = [3.5, 1.0, 4.2];
+                    let aprefs_iv: Vec<Interval> =
+                        aprefs.iter().map(|&a| Interval::exact(a)).collect();
+                    let pair_affs: Vec<Interval> =
+                        (0..v.num_pairs()).map(|p| Interval::exact(v.affinity(p))).collect();
+                    let iv = bound.score_interval(&aprefs_iv, &pair_affs);
+                    let exact = scalar.score(&aprefs);
+                    assert!(
+                        iv.is_exact() && (iv.lo - exact).abs() < 1e-9,
+                        "{mode:?}/{} exact {exact} vs [{}, {}]",
+                        consensus.label(),
+                        iv.lo,
+                        iv.hi
+                    );
+                }
+            }
+        }
+    }
+
+    /// Widening any input envelope must keep the true score inside.
+    #[test]
+    fn envelopes_contain_true_scores() {
+        let v = view(AffinityMode::Discrete);
+        for consensus in all_consensus() {
+            let bound = BoundScorer::new(&v, consensus, true);
+            let scalar = GroupScorer::new(v.clone(), consensus, true);
+            let truth = [3.5, 1.0, 4.2];
+            let exact = scalar.score(&truth);
+            // Envelope: apref_1 unknown in [0, 5]; pair (0,1) affinity
+            // unknown in [floor, cap].
+            let aprefs_iv = vec![
+                Interval::exact(3.5),
+                Interval::new(0.0, 5.0),
+                Interval::exact(4.2),
+            ];
+            let pair_affs: Vec<Interval> = (0..v.num_pairs())
+                .map(|p| {
+                    if p == 0 {
+                        Interval::new(v.affinity_floor(), v.affinity_cap())
+                    } else {
+                        Interval::exact(v.affinity(p))
+                    }
+                })
+                .collect();
+            // Truth uses the *actual* affinity, which lies inside the env.
+            let iv = bound.score_interval(&aprefs_iv, &pair_affs);
+            assert!(
+                iv.contains(exact),
+                "{}: {exact} ∉ [{}, {}]",
+                consensus.label(),
+                iv.lo,
+                iv.hi
+            );
+        }
+    }
+
+    #[test]
+    fn pair_affinity_interval_monotone_ends() {
+        let v = view(AffinityMode::Discrete);
+        let bs = BoundScorer::new(&v, ConsensusFunction::average_preference(), true);
+        let iv = bs.pair_affinity_interval(
+            Interval::new(0.2, 0.9),
+            &[Interval::new(0.0, 1.0), Interval::new(0.1, 0.1)],
+        );
+        assert!(iv.lo <= iv.hi);
+        // Exact components give exact affinity.
+        let exact = bs.pair_affinity_interval(
+            Interval::exact(0.5),
+            &[Interval::exact(0.4), Interval::exact(0.1)],
+        );
+        assert!(exact.is_exact());
+    }
+
+    #[test]
+    fn tightening_inputs_never_loosens_the_envelope() {
+        let v = view(AffinityMode::Discrete);
+        let bs = BoundScorer::new(&v, ConsensusFunction::pairwise_disagreement(0.5), true);
+        let wide_aprefs = vec![Interval::new(0.0, 5.0); 3];
+        let tight_aprefs = vec![
+            Interval::new(1.0, 4.0),
+            Interval::new(2.0, 3.0),
+            Interval::new(0.5, 4.5),
+        ];
+        let affs: Vec<Interval> = (0..3).map(|p| Interval::exact(v.affinity(p))).collect();
+        let wide = bs.score_interval(&wide_aprefs, &affs);
+        let tight = bs.score_interval(&tight_aprefs, &affs);
+        assert!(tight.lo >= wide.lo - 1e-12);
+        assert!(tight.hi <= wide.hi + 1e-12);
+    }
+
+    #[test]
+    fn singleton_group_consensus() {
+        let v = GroupAffinity::new(vec![UserId(7)], AffinityMode::Discrete, vec![], vec![], vec![]);
+        let bs = BoundScorer::new(&v, ConsensusFunction::pairwise_disagreement(0.5), true);
+        let iv = bs.score_interval(&[Interval::exact(4.0)], &[]);
+        // dis = 0, gpref = 4 → F = 0.5·4 + 0.5·1 = 2.5.
+        assert!(iv.is_exact() && (iv.lo - 2.5).abs() < 1e-12);
+    }
+}

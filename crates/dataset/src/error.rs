@@ -1,0 +1,61 @@
+//! Error types for dataset construction and validation.
+
+use std::fmt;
+
+/// Errors raised while building or validating dataset substrates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DatasetError {
+    /// A configuration parameter is out of its valid range.
+    InvalidConfig(String),
+    /// A referenced user does not exist in the dataset.
+    UnknownUser(u32),
+    /// A referenced item does not exist in the dataset.
+    UnknownItem(u32),
+    /// A group could not be formed under the requested constraints.
+    GroupFormation(String),
+    /// A time period or timeline is malformed (e.g. end before start).
+    InvalidTime(String),
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            DatasetError::UnknownUser(u) => write!(f, "unknown user id {u}"),
+            DatasetError::UnknownItem(i) => write!(f, "unknown item id {i}"),
+            DatasetError::GroupFormation(msg) => write!(f, "group formation failed: {msg}"),
+            DatasetError::InvalidTime(msg) => write!(f, "invalid time specification: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_stable() {
+        assert_eq!(
+            DatasetError::InvalidConfig("x".into()).to_string(),
+            "invalid configuration: x"
+        );
+        assert_eq!(DatasetError::UnknownUser(7).to_string(), "unknown user id 7");
+        assert_eq!(DatasetError::UnknownItem(9).to_string(), "unknown item id 9");
+        assert_eq!(
+            DatasetError::GroupFormation("no candidates".into()).to_string(),
+            "group formation failed: no candidates"
+        );
+        assert_eq!(
+            DatasetError::InvalidTime("end<start".into()).to_string(),
+            "invalid time specification: end<start"
+        );
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&DatasetError::UnknownUser(1));
+    }
+}

@@ -1,0 +1,223 @@
+//! Small deterministic sampling helpers on top of `rand`.
+//!
+//! The reproduction only needs a handful of distributions (normal,
+//! log-normal, Zipf-like categorical); implementing them here keeps the
+//! dependency set to the approved offline crates.
+
+use rand::RngExt;
+
+/// Sample from a normal distribution via the Box–Muller transform.
+pub fn normal<R: RngExt + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    // Draw u1 in (0, 1] to keep ln() finite.
+    let u1: f64 = 1.0 - rng.random::<f64>();
+    let u2: f64 = rng.random::<f64>();
+    let mag = (-2.0 * u1.ln()).sqrt();
+    mean + std_dev * mag * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Sample from a log-normal distribution with the given underlying
+/// normal parameters.
+pub fn log_normal<R: RngExt + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    normal(rng, mu, sigma).exp()
+}
+
+/// Zipf-like weights `w_r = 1 / (r+1)^s` for ranks `0..n`, unnormalized.
+pub fn zipf_weights(n: usize, s: f64) -> Vec<f64> {
+    (0..n).map(|r| 1.0 / ((r + 1) as f64).powf(s)).collect()
+}
+
+/// Cumulative-sum table for O(log n) categorical sampling.
+#[derive(Debug, Clone)]
+pub struct CumTable {
+    cum: Vec<f64>,
+    total: f64,
+}
+
+impl CumTable {
+    /// Build from non-negative weights. Zero-total tables sample uniformly.
+    pub fn new(weights: &[f64]) -> Self {
+        let mut cum = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in weights {
+            debug_assert!(w >= 0.0 && w.is_finite(), "weights must be non-negative");
+            acc += w.max(0.0);
+            cum.push(acc);
+        }
+        CumTable { cum, total: acc }
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.cum.len()
+    }
+
+    /// Whether the table has no categories.
+    pub fn is_empty(&self) -> bool {
+        self.cum.is_empty()
+    }
+
+    /// Sample a category index proportionally to its weight.
+    pub fn sample<R: RngExt + ?Sized>(&self, rng: &mut R) -> usize {
+        assert!(!self.cum.is_empty(), "cannot sample from an empty table");
+        if self.total <= 0.0 {
+            return rng.random_range(0..self.cum.len());
+        }
+        let x = rng.random::<f64>() * self.total;
+        match self
+            .cum
+            .binary_search_by(|c| c.partial_cmp(&x).expect("finite weights"))
+        {
+            Ok(i) => (i + 1).min(self.cum.len() - 1),
+            Err(i) => i.min(self.cum.len() - 1),
+        }
+    }
+}
+
+/// Sample `k` distinct indices from `table`, by rejection. If fewer than
+/// `k` distinct categories exist, returns all of them.
+pub fn sample_distinct<R: RngExt + ?Sized>(rng: &mut R, table: &CumTable, k: usize) -> Vec<usize> {
+    let n = table.len();
+    if k >= n {
+        return (0..n).collect();
+    }
+    let mut chosen = std::collections::HashSet::with_capacity(k * 2);
+    let mut out = Vec::with_capacity(k);
+    // Rejection sampling with a fallback sweep to guarantee termination on
+    // extremely skewed tables.
+    let max_tries = 20 * k + 100;
+    let mut tries = 0;
+    while out.len() < k && tries < max_tries {
+        tries += 1;
+        let idx = table.sample(rng);
+        if chosen.insert(idx) {
+            out.push(idx);
+        }
+    }
+    let mut next = 0usize;
+    while out.len() < k {
+        if chosen.insert(next) {
+            out.push(next);
+        }
+        next += 1;
+    }
+    out
+}
+
+/// Clamp a float rating into the 1–5 star scale and round to integer stars.
+pub fn to_star_rating(x: f64) -> f32 {
+    x.round().clamp(1.0, 5.0) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| normal(&mut rng, 2.0, 3.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 9.0).abs() < 0.5, "var {var}");
+    }
+
+    #[test]
+    fn log_normal_is_positive() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            assert!(log_normal(&mut rng, 0.0, 1.0) > 0.0);
+        }
+    }
+
+    #[test]
+    fn zipf_weights_decrease() {
+        let w = zipf_weights(10, 1.0);
+        assert_eq!(w.len(), 10);
+        for pair in w.windows(2) {
+            assert!(pair[0] > pair[1]);
+        }
+        assert!((w[0] - 1.0).abs() < 1e-12);
+        assert!((w[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cum_table_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let table = CumTable::new(&[1.0, 0.0, 3.0]);
+        let mut counts = [0usize; 3];
+        for _ in 0..40_000 {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.3, "ratio {ratio}");
+    }
+
+    #[test]
+    fn cum_table_zero_total_samples_uniformly() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let table = CumTable::new(&[0.0, 0.0]);
+        let mut seen = [false; 2];
+        for _ in 0..100 {
+            seen[table.sample(&mut rng)] = true;
+        }
+        assert!(seen[0] && seen[1]);
+    }
+
+    #[test]
+    fn sample_distinct_returns_k_unique() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let table = CumTable::new(&zipf_weights(100, 1.2));
+        let picks = sample_distinct(&mut rng, &table, 30);
+        assert_eq!(picks.len(), 30);
+        let set: std::collections::HashSet<_> = picks.iter().collect();
+        assert_eq!(set.len(), 30);
+    }
+
+    #[test]
+    fn sample_distinct_caps_at_population() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let table = CumTable::new(&[1.0, 1.0, 1.0]);
+        let picks = sample_distinct(&mut rng, &table, 10);
+        assert_eq!(picks.len(), 3);
+    }
+
+    #[test]
+    fn sample_distinct_survives_extreme_skew() {
+        let mut rng = StdRng::seed_from_u64(9);
+        // One category has (almost) all the mass; rejection alone would
+        // stall, the fallback sweep must fill the rest.
+        let mut w = vec![0.0; 50];
+        w[17] = 1.0;
+        let table = CumTable::new(&w);
+        let picks = sample_distinct(&mut rng, &table, 20);
+        assert_eq!(picks.len(), 20);
+        assert!(picks.contains(&17));
+    }
+
+    #[test]
+    fn star_rating_clamps() {
+        assert_eq!(to_star_rating(0.2), 1.0);
+        assert_eq!(to_star_rating(3.4), 3.0);
+        assert_eq!(to_star_rating(3.6), 4.0);
+        assert_eq!(to_star_rating(9.0), 5.0);
+    }
+
+    #[test]
+    fn determinism_under_seed() {
+        let table = CumTable::new(&zipf_weights(50, 1.0));
+        let a: Vec<usize> = {
+            let mut rng = StdRng::seed_from_u64(123);
+            (0..20).map(|_| table.sample(&mut rng)).collect()
+        };
+        let b: Vec<usize> = {
+            let mut rng = StdRng::seed_from_u64(123);
+            (0..20).map(|_| table.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

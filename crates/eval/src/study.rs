@@ -1,0 +1,539 @@
+//! The two-phase quality study (§4.1.3–§4.1.4).
+//!
+//! Groups are formed along the paper's three axes — size (small 3 /
+//! large 6), cohesiveness (similar / dissimilar in rating taste) and
+//! affinity strength (every pair ≥ 0.4 / not) — giving the 8 study
+//! groups. Each protocol then reports preference/satisfaction
+//! percentages per group characteristic, exactly the x-axis of Figures
+//! 1–3.
+
+use crate::metrics::{mean, percent};
+use crate::oracle::{OracleConfig, SatisfactionOracle};
+use crate::variants::RecVariant;
+use crate::world::StudyWorld;
+use greca_affinity::AffinityMode;
+use greca_cf::{candidate_items, user_similarity, Similarity, UserCfModel};
+use greca_core::{prepare, ListLayout};
+use greca_dataset::{
+    AffinityLevel, Cohesion, Group, GroupBuilder, GroupSpec, ItemId, UserId,
+};
+use serde::{Deserialize, Serialize};
+
+/// The group-characteristic buckets on the figures' x-axes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GroupCharacteristic {
+    /// Similar rating tastes.
+    Sim,
+    /// Dissimilar rating tastes.
+    Diss,
+    /// Small groups (3 members).
+    Small,
+    /// Large groups (6 members).
+    Large,
+    /// High pairwise affinity (≥ 0.4).
+    HighAff,
+    /// Low pairwise affinity.
+    LowAff,
+}
+
+impl GroupCharacteristic {
+    /// Figure order: Sim, Diss, Small, Large, High Aff, Low Aff.
+    pub fn all() -> [GroupCharacteristic; 6] {
+        [
+            GroupCharacteristic::Sim,
+            GroupCharacteristic::Diss,
+            GroupCharacteristic::Small,
+            GroupCharacteristic::Large,
+            GroupCharacteristic::HighAff,
+            GroupCharacteristic::LowAff,
+        ]
+    }
+
+    /// Axis label as printed in the figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            GroupCharacteristic::Sim => "Sim",
+            GroupCharacteristic::Diss => "Diss",
+            GroupCharacteristic::Small => "Small",
+            GroupCharacteristic::Large => "Large",
+            GroupCharacteristic::HighAff => "High Aff",
+            GroupCharacteristic::LowAff => "Low Aff",
+        }
+    }
+}
+
+/// One formed study group with its labels.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StudyGroup {
+    /// The group.
+    pub group: Group,
+    /// Cohesion label.
+    pub cohesion: Cohesion,
+    /// Affinity label.
+    pub affinity: AffinityLevel,
+    /// Whether this is a small (3) or large (6) group.
+    pub small: bool,
+}
+
+impl StudyGroup {
+    /// The characteristics this group contributes to.
+    pub fn characteristics(&self) -> Vec<GroupCharacteristic> {
+        let mut out = Vec::with_capacity(3);
+        match self.cohesion {
+            Cohesion::Similar => out.push(GroupCharacteristic::Sim),
+            Cohesion::Dissimilar => out.push(GroupCharacteristic::Diss),
+            Cohesion::Any => {}
+        }
+        out.push(if self.small {
+            GroupCharacteristic::Small
+        } else {
+            GroupCharacteristic::Large
+        });
+        match self.affinity {
+            AffinityLevel::High => out.push(GroupCharacteristic::HighAff),
+            AffinityLevel::Low => out.push(GroupCharacteristic::LowAff),
+            AffinityLevel::Any => {}
+        }
+        out
+    }
+}
+
+/// Study parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct StudyConfig {
+    /// Small group size (paper: 3).
+    pub small_size: usize,
+    /// Large group size (paper: 6).
+    pub large_size: usize,
+    /// Recommendation list length.
+    pub k: usize,
+    /// Cap on candidate items per group (speed knob; the oracle ranks
+    /// all candidates for its best/worst reference lists).
+    pub max_candidates: usize,
+    /// Affinity threshold for "high affinity" (paper: 0.4).
+    pub affinity_threshold: f64,
+    /// Oracle parameters.
+    pub oracle: OracleConfig,
+    /// Group-formation seed.
+    pub seed: u64,
+}
+
+impl Default for StudyConfig {
+    fn default() -> Self {
+        StudyConfig {
+            small_size: 3,
+            large_size: 6,
+            k: 10,
+            max_candidates: 160,
+            affinity_threshold: 0.4,
+            oracle: OracleConfig::default(),
+            seed: 0x57edu64,
+        }
+    }
+}
+
+/// Per-characteristic percentages of one protocol run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IndependentOutcome {
+    /// The evaluated variant.
+    pub variant: RecVariant,
+    /// `(characteristic, mean satisfaction %)` in figure order.
+    pub rows: Vec<(GroupCharacteristic, f64)>,
+}
+
+/// Per-characteristic preference of list 1 over list 2.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ComparativeOutcome {
+    /// The preferred-variant candidate (`l1`).
+    pub variant_a: RecVariant,
+    /// The alternative (`l2`).
+    pub variant_b: RecVariant,
+    /// `(characteristic, % of picks for l1)` in figure order.
+    pub rows: Vec<(GroupCharacteristic, f64)>,
+}
+
+/// The assembled study: world + 8 groups + oracle.
+pub struct Study<'a> {
+    world: &'a StudyWorld,
+    cf: UserCfModel<'a>,
+    config: StudyConfig,
+    groups: Vec<StudyGroup>,
+}
+
+impl<'a> Study<'a> {
+    /// Form the 8 study groups over the world's social users.
+    pub fn new(world: &'a StudyWorld, config: StudyConfig) -> Self {
+        let cf = world.cf_model();
+        let users: Vec<UserId> = world.study_users();
+        let matrix = &world.movielens.matrix;
+        let pop = &world.population;
+        let p_idx = world.last_period();
+        // Cohesion is measured with *mean-centred* (Pearson) similarity:
+        // raw cosine over all-positive star ratings is close to 1 for
+        // every pair and cannot separate tastes. The paper achieved the
+        // same separation by having participants rate a purpose-built
+        // "Dissimilar Set" of high-variance movies (§4.1.1); centring is
+        // the equivalent statistical control on a fixed rating pool.
+        let similarity =
+            |a: UserId, b: UserId| user_similarity(matrix, a, b, Similarity::Pearson);
+        let affinity = |a: UserId, b: UserId| {
+            pop.pair_of(a, b)
+                .map(|pair| pop.affinity(pair, p_idx, AffinityMode::Discrete).min(1.0))
+                .unwrap_or(0.0)
+        };
+        let builder = GroupBuilder::new(users, similarity, affinity).with_restarts(6);
+        let mut groups = Vec::with_capacity(8);
+        let mut seed = config.seed;
+        for &cohesion in &[Cohesion::Similar, Cohesion::Dissimilar] {
+            for &small in &[true, false] {
+                for &aff in &[AffinityLevel::High, AffinityLevel::Low] {
+                    let size = if small {
+                        config.small_size
+                    } else {
+                        config.large_size
+                    };
+                    let mut spec = GroupSpec::of_size(size)
+                        .cohesion(cohesion)
+                        .affinity(aff);
+                    spec.affinity_threshold = config.affinity_threshold;
+                    seed = seed.wrapping_add(0x9e37_79b9);
+                    // High-affinity large groups may be infeasible in a
+                    // sparse social world; progressively relax the
+                    // threshold rather than abort the study.
+                    let group = loop {
+                        match builder.build(spec, seed) {
+                            Ok(g) => break g,
+                            Err(_) if spec.affinity_threshold > 0.05 => {
+                                spec.affinity_threshold /= 2.0;
+                            }
+                            Err(e) => panic!("group formation failed: {e}"),
+                        }
+                    };
+                    groups.push(StudyGroup {
+                        group,
+                        cohesion,
+                        affinity: aff,
+                        small,
+                    });
+                }
+            }
+        }
+        Study {
+            world,
+            cf,
+            config,
+            groups,
+        }
+    }
+
+    /// The formed groups.
+    pub fn groups(&self) -> &[StudyGroup] {
+        &self.groups
+    }
+
+    /// The study configuration.
+    pub fn config(&self) -> &StudyConfig {
+        &self.config
+    }
+
+    /// Candidate items for a group (not yet rated by any member, capped).
+    pub fn candidates(&self, group: &Group) -> Vec<ItemId> {
+        let mut items = candidate_items(&self.world.movielens.matrix, group);
+        items.truncate(self.config.max_candidates);
+        items
+    }
+
+    /// The top-k list a variant recommends to a group.
+    pub fn recommend(&self, group: &Group, variant: RecVariant) -> Vec<ItemId> {
+        let items = self.candidates(group);
+        let prepared = prepare(
+            &self.cf,
+            &self.world.population,
+            group,
+            &items,
+            self.world.last_period(),
+            variant.mode(),
+            ListLayout::Decomposed,
+            // The paper's rpref is an unnormalized sum over companions
+            // (§2.2); the study uses the verbatim formula.
+            false,
+        );
+        prepared
+            .exact_scores(variant.consensus())
+            .into_iter()
+            .take(self.config.k)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Independent evaluation (Figure 1): per-characteristic mean
+    /// satisfaction with `variant`'s lists.
+    pub fn independent(&self, variant: RecVariant) -> IndependentOutcome {
+        let oracle = SatisfactionOracle::new(self.world, self.config.oracle);
+        let mut rng = oracle.judgment_rng();
+        let p_idx = self.world.last_period();
+        let mut per_char: std::collections::HashMap<GroupCharacteristic, Vec<f64>> =
+            std::collections::HashMap::new();
+        for sg in &self.groups {
+            let list = self.recommend(&sg.group, variant);
+            let candidates = self.candidates(&sg.group);
+            let sats: Vec<f64> = sg
+                .group
+                .members()
+                .iter()
+                .map(|&u| {
+                    oracle.satisfaction_percent(u, &list, &candidates, &sg.group, p_idx, &mut rng)
+                })
+                .collect();
+            let group_sat = mean(&sats);
+            for c in sg.characteristics() {
+                per_char.entry(c).or_default().push(group_sat);
+            }
+        }
+        IndependentOutcome {
+            variant,
+            rows: GroupCharacteristic::all()
+                .iter()
+                .map(|&c| (c, mean(per_char.get(&c).map_or(&[][..], |v| v))))
+                .collect(),
+        }
+    }
+
+    /// Comparative evaluation (Figure 3): % of member picks preferring
+    /// `variant_a`'s list over `variant_b`'s.
+    pub fn comparative(&self, variant_a: RecVariant, variant_b: RecVariant) -> ComparativeOutcome {
+        let oracle = SatisfactionOracle::new(self.world, self.config.oracle);
+        let mut rng = oracle.judgment_rng();
+        let p_idx = self.world.last_period();
+        let mut wins: std::collections::HashMap<GroupCharacteristic, (usize, usize)> =
+            std::collections::HashMap::new();
+        for sg in &self.groups {
+            let la = self.recommend(&sg.group, variant_a);
+            let lb = self.recommend(&sg.group, variant_b);
+            for &u in sg.group.members() {
+                let prefers_a = oracle.prefers(u, &la, &lb, &sg.group, p_idx, &mut rng);
+                for c in sg.characteristics() {
+                    let e = wins.entry(c).or_default();
+                    e.1 += 1;
+                    if prefers_a {
+                        e.0 += 1;
+                    }
+                }
+            }
+        }
+        ComparativeOutcome {
+            variant_a,
+            variant_b,
+            rows: GroupCharacteristic::all()
+                .iter()
+                .map(|&c| {
+                    let (w, t) = wins.get(&c).copied().unwrap_or((0, 0));
+                    (c, percent(w, t))
+                })
+                .collect(),
+        }
+    }
+
+    /// Figure 2: three-way AP vs MO vs PD pick percentages per
+    /// characteristic. Returns rows of `(characteristic, [AP%, MO%, PD%])`.
+    pub fn consensus_threeway(&self) -> Vec<(GroupCharacteristic, [f64; 3])> {
+        let oracle = SatisfactionOracle::new(self.world, self.config.oracle);
+        let mut rng = oracle.judgment_rng();
+        let p_idx = self.world.last_period();
+        let variants = [
+            RecVariant::Default,
+            RecVariant::LeastMisery,
+            RecVariant::PairwiseDisagreement,
+        ];
+        let mut counts: std::collections::HashMap<GroupCharacteristic, [usize; 4]> =
+            std::collections::HashMap::new();
+        for sg in &self.groups {
+            let lists: Vec<Vec<ItemId>> = variants
+                .iter()
+                .map(|&v| self.recommend(&sg.group, v))
+                .collect();
+            for &u in sg.group.members() {
+                let pick = oracle.pick_of_three(
+                    u,
+                    [&lists[0], &lists[1], &lists[2]],
+                    &sg.group,
+                    p_idx,
+                    &mut rng,
+                );
+                for c in sg.characteristics() {
+                    let e = counts.entry(c).or_default();
+                    e[pick] += 1;
+                    e[3] += 1;
+                }
+            }
+        }
+        GroupCharacteristic::all()
+            .iter()
+            .map(|&c| {
+                let e = counts.get(&c).copied().unwrap_or([0, 0, 0, 0]);
+                (
+                    c,
+                    [percent(e[0], e[3]), percent(e[1], e[3]), percent(e[2], e[3])],
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::WorldConfig;
+
+    fn quick_config() -> StudyConfig {
+        StudyConfig {
+            k: 5,
+            max_candidates: 60,
+            ..StudyConfig::default()
+        }
+    }
+
+    #[test]
+    fn study_forms_eight_labeled_groups() {
+        let w = WorldConfig::study_scale().build();
+        let study = Study::new(&w, quick_config());
+        assert_eq!(study.groups().len(), 8);
+        let smalls = study.groups().iter().filter(|g| g.small).count();
+        assert_eq!(smalls, 4);
+        for sg in study.groups() {
+            let expect = if sg.small { 3 } else { 6 };
+            assert_eq!(sg.group.len(), expect);
+            assert_eq!(sg.characteristics().len(), 3);
+        }
+    }
+
+    #[test]
+    fn similar_groups_have_higher_pairwise_similarity() {
+        let w = WorldConfig::study_scale().build();
+        let study = Study::new(&w, quick_config());
+        let matrix = &w.movielens.matrix;
+        // Cohesion is formed (and therefore measured) with Pearson
+        // similarity; see Study::new.
+        let avg_sim = |g: &Group| {
+            let sims: Vec<f64> = g
+                .pairs()
+                .map(|(a, b)| user_similarity(matrix, a, b, Similarity::Pearson))
+                .collect();
+            mean(&sims)
+        };
+        let sim_groups: Vec<f64> = study
+            .groups()
+            .iter()
+            .filter(|g| g.cohesion == Cohesion::Similar)
+            .map(|g| avg_sim(&g.group))
+            .collect();
+        let diss_groups: Vec<f64> = study
+            .groups()
+            .iter()
+            .filter(|g| g.cohesion == Cohesion::Dissimilar)
+            .map(|g| avg_sim(&g.group))
+            .collect();
+        assert!(
+            mean(&sim_groups) > mean(&diss_groups),
+            "similar {} vs dissimilar {}",
+            mean(&sim_groups),
+            mean(&diss_groups)
+        );
+    }
+
+    #[test]
+    fn recommendations_are_k_distinct_unrated_items() {
+        let w = WorldConfig::study_scale().build();
+        let study = Study::new(&w, quick_config());
+        let sg = &study.groups()[0];
+        let list = study.recommend(&sg.group, RecVariant::Default);
+        assert_eq!(list.len(), 5);
+        let set: std::collections::HashSet<_> = list.iter().collect();
+        assert_eq!(set.len(), 5);
+        for &i in &list {
+            for &u in sg.group.members() {
+                assert!(!w.movielens.matrix.has_rated(u, i));
+            }
+        }
+    }
+
+    #[test]
+    fn independent_covers_all_characteristics() {
+        let w = WorldConfig::study_scale().build();
+        let study = Study::new(&w, quick_config());
+        let out = study.independent(RecVariant::Default);
+        assert_eq!(out.rows.len(), 6);
+        for &(_, pct) in &out.rows {
+            assert!((0.0..=100.0).contains(&pct));
+        }
+    }
+
+    #[test]
+    fn time_aware_beats_time_agnostic_satisfaction() {
+        // Figure 1 C vs A: dropping the temporal component costs
+        // satisfaction across the board.
+        let w = WorldConfig::study_scale().build();
+        let study = Study::new(&w, StudyConfig::default());
+        let def = study.independent(RecVariant::Default);
+        let tag = study.independent(RecVariant::TimeAgnostic);
+        let avg = |o: &IndependentOutcome| mean(&o.rows.iter().map(|&(_, p)| p).collect::<Vec<_>>());
+        assert!(
+            avg(&def) > avg(&tag),
+            "default {} vs time-agnostic {}",
+            avg(&def),
+            avg(&tag)
+        );
+    }
+
+    #[test]
+    fn comparative_headlines_hold() {
+        // Figure 3's directional claims: affinity-aware and time-aware
+        // lists win their head-to-heads on average, and the continuous
+        // model is preferred by dissimilar and large groups.
+        let w = WorldConfig::study_scale().build();
+        let study = Study::new(&w, StudyConfig::default());
+        let overall = |o: &ComparativeOutcome| {
+            mean(&o.rows.iter().map(|&(_, p)| p).collect::<Vec<_>>())
+        };
+        let aff = study.comparative(RecVariant::Default, RecVariant::AffinityAgnostic);
+        assert!(overall(&aff) >= 50.0, "affinity-aware overall {}", overall(&aff));
+        let time = study.comparative(RecVariant::Default, RecVariant::TimeAgnostic);
+        assert!(overall(&time) > 50.0, "time-aware overall {}", overall(&time));
+        let cont = study.comparative(RecVariant::ContinuousTime, RecVariant::Default);
+        let pick = |o: &ComparativeOutcome, c: GroupCharacteristic| {
+            o.rows.iter().find(|&&(rc, _)| rc == c).unwrap().1
+        };
+        assert!(
+            pick(&cont, GroupCharacteristic::Diss) > 50.0,
+            "dissimilar groups prefer the continuous model"
+        );
+        assert!(
+            pick(&cont, GroupCharacteristic::Large) > 50.0,
+            "large groups prefer the continuous model"
+        );
+    }
+
+    #[test]
+    fn comparative_percentages_are_bounded() {
+        let w = WorldConfig::study_scale().build();
+        let study = Study::new(&w, quick_config());
+        let out = study.comparative(RecVariant::Default, RecVariant::AffinityAgnostic);
+        for &(_, pct) in &out.rows {
+            assert!((0.0..=100.0).contains(&pct));
+        }
+    }
+
+    #[test]
+    fn threeway_percentages_sum_to_100() {
+        let w = WorldConfig::study_scale().build();
+        let study = Study::new(&w, quick_config());
+        for (c, pcts) in study.consensus_threeway() {
+            let sum: f64 = pcts.iter().sum();
+            assert!(
+                (sum - 100.0).abs() < 1e-6,
+                "{}: {pcts:?} sums to {sum}",
+                c.label()
+            );
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Affinity explorer: inspect the temporal-affinity machinery itself.
+//!
+//! Prints, for a handful of user pairs: static affinity, the per-period
+//! periodic affinities, the population average per period (Eq. 1's
+//! `AvgaffP`), the cumulative drift, and the resulting discrete and
+//! continuous affinities — the exact quantities of §2.1 and the running
+//! example's Tables 2–4.
+//!
+//! Run with: `cargo run --release --example affinity_explorer`
+
+use greca::prelude::*;
+
+fn main() {
+    let net = SocialConfig::paper_scale().generate();
+    let timeline =
+        Timeline::discretize(0, net.horizon(), Granularity::TwoMonth).expect("valid horizon");
+    let universe: Vec<UserId> = net.users().collect();
+    let source = SocialAffinitySource::new(&net);
+    let population = PopulationAffinity::build(&source, &universe, &timeline);
+    let last = timeline.num_periods() - 1;
+
+    println!(
+        "{} users, {} periods (two-month); population index: {} pairs",
+        net.num_users(),
+        timeline.num_periods(),
+        universe.len() * (universe.len() - 1) / 2
+    );
+    println!(
+        "non-empty (pair, period) cells: {:.1}%   mean per-pair std-dev of common likes: {:.2}",
+        100.0 * population.non_empty_fraction(),
+        population.mean_pair_std_dev(),
+    );
+
+    // Population averages per period (the drift baseline).
+    print!("\nAvgaffP per period (raw common like-categories): ");
+    for p in population.periods() {
+        print!("{:.2} ", p.avg_raw);
+    }
+    println!();
+
+    // A same-cluster pair (likely converging) and a cross-cluster pair.
+    let u0 = UserId(0);
+    let same = net
+        .users()
+        .find(|&v| v != u0 && net.cluster_of(v) == net.cluster_of(u0))
+        .expect("cluster has another member");
+    let cross = net
+        .users()
+        .find(|&v| net.cluster_of(v) != net.cluster_of(u0))
+        .expect("another cluster exists");
+
+    for (label, v) in [("same cluster", same), ("cross cluster", cross)] {
+        let pair = population.pair_of(u0, v).expect("indexed pair");
+        println!("\npair ({u0}, {v}) — {label}:");
+        println!(
+            "  common friends = {}   static affinity (global norm) = {:.3}",
+            net.common_friends(u0, v),
+            population.static_norm(pair)
+        );
+        print!("  affP per period: ");
+        for p in population.periods() {
+            print!("{:.0} ", p.raw[pair]);
+        }
+        println!();
+        print!("  cumulative drift: ");
+        for idx in 0..population.num_periods() {
+            print!("{:+.2} ", population.cumulative_drift(pair, idx));
+        }
+        println!();
+        println!(
+            "  at year end: affV = {:+.3}  discrete = {:.3}  continuous = {:.3}  static-only = {:.3}",
+            population.aff_v_discrete(pair, last),
+            population.affinity(pair, last, AffinityMode::Discrete),
+            population.affinity(pair, last, AffinityMode::continuous()),
+            population.affinity(pair, last, AffinityMode::StaticOnly),
+        );
+    }
+
+    // Figure-4-style granularity tradeoff.
+    println!("\ngranularity tradeoff (Figure 4):");
+    for g in Granularity::figure4_sweep() {
+        let tl = Timeline::discretize(0, net.horizon(), g).expect("valid");
+        let pop = PopulationAffinity::build(&source, &universe, &tl);
+        println!(
+            "  {:<10} {:2} periods, {:5.1}% non-empty",
+            g.label(),
+            tl.num_periods(),
+            100.0 * pop.non_empty_fraction()
+        );
+    }
+}

@@ -1,0 +1,78 @@
+//! # greca
+//!
+//! A production-quality Rust reproduction of **"Group Recommendation
+//! with Temporal Affinities"** (Amer-Yahia, Omidvar-Tehrani, Basu Roy,
+//! Shabib — EDBT 2015).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`dataset`] — rating/social data model, synthetic MovieLens-1M and
+//!   Facebook-like substrates, time periods, group formation;
+//! * [`cf`] — collaborative filtering (`apref`) and preference lists;
+//! * [`affinity`] — static/periodic/drift affinity, the discrete and
+//!   continuous temporal models, the incremental population index;
+//! * [`consensus`] — relative preference and the AP/MO/PD/variance
+//!   consensus functions;
+//! * [`core`] — the GRECA top-k algorithm with its buffer stopping
+//!   condition, plus TA and naive baselines with access accounting;
+//! * [`eval`] — the simulated user study (satisfaction oracle,
+//!   independent/comparative protocols).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use greca::prelude::*;
+//!
+//! // 1. A world: ratings for tastes, a social network for affinities.
+//! let ml = MovieLensConfig::small().generate();
+//! let net = SocialConfig::tiny().generate();
+//! let timeline = Timeline::discretize(0, net.horizon(), Granularity::TwoMonth).unwrap();
+//!
+//! // 2. Substrates: CF for absolute preferences, the affinity index.
+//! let cf = UserCfModel::fit(&ml.matrix, CfConfig::default());
+//! let universe: Vec<UserId> = net.users().collect();
+//! let population = PopulationAffinity::build(
+//!     &SocialAffinitySource::new(&net), &universe, &timeline);
+//!
+//! // 3. An ad-hoc group query with temporal affinities.
+//! let group = Group::new(vec![UserId(0), UserId(1), UserId(4)]).unwrap();
+//! let items: Vec<ItemId> = ml.matrix.items().take(200).collect();
+//! let prepared = prepare(
+//!     &cf, &population, &group, &items,
+//!     timeline.num_periods() - 1,
+//!     AffinityMode::Discrete,
+//!     ListLayout::Decomposed,
+//!     true,
+//! );
+//! let top = prepared.greca(ConsensusFunction::average_preference(), GrecaConfig::top(5));
+//! assert_eq!(top.items.len(), 5);
+//! println!("saved {:.1}% of list accesses", top.stats.saveup_percent());
+//! ```
+
+pub use greca_affinity as affinity;
+pub use greca_cf as cf;
+pub use greca_consensus as consensus;
+pub use greca_core as core;
+pub use greca_dataset as dataset;
+pub use greca_eval as eval;
+
+/// Everything most applications need, in one import.
+pub mod prelude {
+    pub use greca_affinity::{
+        AffinityMode, AffinitySource, GroupAffinity, PopulationAffinity, SocialAffinitySource,
+        TableAffinitySource,
+    };
+    pub use greca_cf::{
+        candidate_items, group_preference_lists, CfConfig, ItemCfModel, PreferenceList,
+        PreferenceProvider, Similarity, UserCfModel,
+    };
+    pub use greca_consensus::{ConsensusFunction, GroupScorer};
+    pub use greca_core::{
+        prepare, AccessStats, CheckInterval, GrecaConfig, ListLayout, Prepared, StopReason,
+        StoppingRule, TaConfig, TopKResult,
+    };
+    pub use greca_dataset::prelude::*;
+    pub use greca_eval::{
+        OracleConfig, RecVariant, SatisfactionOracle, Study, StudyConfig, StudyWorld, WorldConfig,
+    };
+}

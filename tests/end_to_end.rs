@@ -1,0 +1,166 @@
+//! Cross-crate integration: the full pipeline from raw synthetic data to
+//! GRECA recommendations, validated against the naive oracle on real CF
+//! inputs (not hand-built tables).
+
+use greca::prelude::*;
+
+struct World {
+    ml: greca_dataset::MovieLens,
+    net: greca_dataset::SocialNetwork,
+    timeline: Timeline,
+}
+
+fn world() -> World {
+    let ml = MovieLensConfig::small().generate();
+    let net = SocialConfig::tiny().generate();
+    let timeline =
+        Timeline::discretize(0, net.horizon(), Granularity::Season).expect("valid horizon");
+    World { ml, net, timeline }
+}
+
+fn prepared(
+    w: &World,
+    cf: &UserCfModel<'_>,
+    population: &PopulationAffinity,
+    members: Vec<u32>,
+    mode: AffinityMode,
+    n_items: usize,
+) -> Prepared {
+    let group = Group::new(members.into_iter().map(UserId).collect()).expect("non-empty");
+    let items: Vec<ItemId> = w.ml.matrix.items().take(n_items).collect();
+    prepare(
+        cf,
+        population,
+        &group,
+        &items,
+        w.timeline.num_periods() - 1,
+        mode,
+        ListLayout::Decomposed,
+        true,
+    )
+}
+
+#[test]
+fn full_pipeline_matches_naive_across_configs() {
+    let w = world();
+    let cf = UserCfModel::fit(&w.ml.matrix, CfConfig::default());
+    let universe: Vec<UserId> = w.net.users().collect();
+    let population =
+        PopulationAffinity::build(&SocialAffinitySource::new(&w.net), &universe, &w.timeline);
+
+    for mode in [
+        AffinityMode::None,
+        AffinityMode::StaticOnly,
+        AffinityMode::Discrete,
+        AffinityMode::continuous(),
+    ] {
+        for consensus in [
+            ConsensusFunction::average_preference(),
+            ConsensusFunction::least_misery(),
+            ConsensusFunction::pairwise_disagreement(0.2),
+            ConsensusFunction::variance_disagreement(0.5),
+        ] {
+            let p = prepared(&w, &cf, &population, vec![0, 2, 5], mode, 120);
+            let k = 7;
+            let greca = p.greca(consensus, GrecaConfig::top(k));
+            let naive = p.naive(consensus, k);
+            let exact = p.exact_scores(consensus);
+            let score_of = |item: ItemId| {
+                exact.iter().find(|&&(i, _)| i == item).expect("scored").1
+            };
+            let mut got: Vec<f64> = greca.item_ids().iter().map(|&i| score_of(i)).collect();
+            got.sort_by(|a, b| b.partial_cmp(a).unwrap());
+            for (g, n) in got.iter().zip(naive.items.iter()) {
+                assert!(
+                    (g - n.lb).abs() < 1e-9,
+                    "{mode:?}/{}: {g} vs naive {}",
+                    consensus.label(),
+                    n.lb
+                );
+            }
+            assert!(greca.stats.sa <= naive.stats.sa);
+        }
+    }
+}
+
+#[test]
+fn ta_and_threshold_only_agree_with_naive_end_to_end() {
+    let w = world();
+    let cf = UserCfModel::fit(&w.ml.matrix, CfConfig::default());
+    let universe: Vec<UserId> = w.net.users().collect();
+    let population =
+        PopulationAffinity::build(&SocialAffinitySource::new(&w.net), &universe, &w.timeline);
+    let p = prepared(&w, &cf, &population, vec![1, 3, 4], AffinityMode::Discrete, 100);
+    let consensus = ConsensusFunction::average_preference();
+    let naive = p.naive(consensus, 5);
+    let ta = p.ta(consensus, TaConfig::top(5));
+    let nra = p.greca(
+        consensus,
+        GrecaConfig::top(5).stopping(StoppingRule::ThresholdOnly),
+    );
+    let exact = p.exact_scores(consensus);
+    let score_of =
+        |item: ItemId| exact.iter().find(|&&(i, _)| i == item).expect("scored").1;
+    for r in [&ta, &nra] {
+        let mut got: Vec<f64> = r.item_ids().iter().map(|&i| score_of(i)).collect();
+        got.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        for (g, n) in got.iter().zip(naive.items.iter()) {
+            assert!((g - n.lb).abs() < 1e-9);
+        }
+    }
+    assert!(ta.stats.ra > 0, "TA must pay random accesses");
+    assert_eq!(nra.stats.ra, 0, "GRECA variants make no random accesses");
+}
+
+#[test]
+fn different_groups_get_different_lists() {
+    // The paper's premise end-to-end: recommendations are group-relative.
+    let w = world();
+    let cf = UserCfModel::fit(&w.ml.matrix, CfConfig::default());
+    let universe: Vec<UserId> = w.net.users().collect();
+    let population =
+        PopulationAffinity::build(&SocialAffinitySource::new(&w.net), &universe, &w.timeline);
+    let consensus = ConsensusFunction::average_preference();
+    let a = prepared(&w, &cf, &population, vec![0, 1, 2], AffinityMode::Discrete, 200)
+        .greca(consensus, GrecaConfig::top(10));
+    let b = prepared(&w, &cf, &population, vec![6, 7, 8], AffinityMode::Discrete, 200)
+        .greca(consensus, GrecaConfig::top(10));
+    assert_ne!(a.item_ids(), b.item_ids());
+}
+
+#[test]
+fn k_larger_than_catalog_returns_everything() {
+    let w = world();
+    let cf = UserCfModel::fit(&w.ml.matrix, CfConfig::default());
+    let universe: Vec<UserId> = w.net.users().collect();
+    let population =
+        PopulationAffinity::build(&SocialAffinitySource::new(&w.net), &universe, &w.timeline);
+    let p = prepared(&w, &cf, &population, vec![0, 1], AffinityMode::Discrete, 8);
+    let r = p.greca(ConsensusFunction::average_preference(), GrecaConfig::top(50));
+    assert_eq!(r.items.len(), 8);
+}
+
+#[test]
+fn incremental_index_supports_midyear_queries() {
+    // Query after every append; results at period p must match a
+    // batch-built index queried at p.
+    let w = world();
+    let cf = UserCfModel::fit(&w.ml.matrix, CfConfig::default());
+    let universe: Vec<UserId> = w.net.users().collect();
+    let source = SocialAffinitySource::new(&w.net);
+    let batch = PopulationAffinity::build(&source, &universe, &w.timeline);
+    let mut inc = PopulationAffinity::new_static_only(&source, &universe);
+    let consensus = ConsensusFunction::average_preference();
+    for (p_idx, &period) in w.timeline.periods().iter().enumerate() {
+        inc.append_period(&source, period);
+        let group = Group::new(vec![UserId(0), UserId(3), UserId(5)]).unwrap();
+        let items: Vec<ItemId> = w.ml.matrix.items().take(60).collect();
+        let a = prepare(&cf, &inc, &group, &items, p_idx, AffinityMode::Discrete,
+            ListLayout::Decomposed, true)
+            .greca(consensus, GrecaConfig::top(5));
+        let b = prepare(&cf, &batch, &group, &items, p_idx, AffinityMode::Discrete,
+            ListLayout::Decomposed, true)
+            .greca(consensus, GrecaConfig::top(5));
+        assert_eq!(a.item_ids(), b.item_ids(), "period {p_idx}");
+    }
+}
