@@ -47,7 +47,10 @@ impl AffinityMode {
 
     /// Whether this mode consumes per-period components.
     pub fn is_temporal(&self) -> bool {
-        matches!(self, AffinityMode::Discrete | AffinityMode::Continuous { .. })
+        matches!(
+            self,
+            AffinityMode::Discrete | AffinityMode::Continuous { .. }
+        )
     }
 
     /// Whether this mode consumes the static component.
@@ -187,19 +190,11 @@ impl GroupAffinity {
                 if comps.is_empty() {
                     return static_c.max(0.0);
                 }
-                let cum: f64 = comps
-                    .iter()
-                    .zip(&self.avgbar)
-                    .map(|(&c, &a)| c - a)
-                    .sum();
+                let cum: f64 = comps.iter().zip(&self.avgbar).map(|(&c, &a)| c - a).sum();
                 (static_c + cum / comps.len() as f64).max(0.0)
             }
             AffinityMode::Continuous { scale } => {
-                let cum: f64 = comps
-                    .iter()
-                    .zip(&self.avgbar)
-                    .map(|(&c, &a)| c - a)
-                    .sum();
+                let cum: f64 = comps.iter().zip(&self.avgbar).map(|(&c, &a)| c - a).sum();
                 // Clamp the exponent to keep the result finite even for
                 // adversarial component assignments.
                 static_c * (scale * cum).clamp(-60.0, 60.0).exp()

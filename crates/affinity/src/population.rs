@@ -83,10 +83,7 @@ impl PopulationAffinity {
 
     /// Build with static affinities only; periods are appended later via
     /// [`PopulationAffinity::append_period`].
-    pub fn new_static_only(
-        source: &(impl AffinitySource + ?Sized),
-        universe: &[UserId],
-    ) -> Self {
+    pub fn new_static_only(source: &(impl AffinitySource + ?Sized), universe: &[UserId]) -> Self {
         let mut universe = universe.to_vec();
         universe.sort_unstable();
         universe.dedup();
@@ -191,6 +188,27 @@ impl PopulationAffinity {
         Some(a * n - a * (a + 1) / 2 + (b - a - 1))
     }
 
+    /// Whether `u` belongs to the indexed universe (O(1)).
+    pub fn contains_user(&self, u: UserId) -> bool {
+        self.user_pos.get(u.idx()).is_some_and(|p| p.is_some())
+    }
+
+    /// The maximum raw static affinity over a group's pairs — the
+    /// denominator of §4.1.2's per-group renormalization ("we normalize
+    /// all static affinity values in a group by the maximum pair-wise
+    /// value in the group").
+    pub fn group_static_max(&self, group: &Group) -> f64 {
+        group
+            .pairs()
+            .map(|(u, v)| {
+                let pi = self
+                    .pair_of(u, v)
+                    .expect("group members must belong to the indexed universe");
+                self.static_raw[pi]
+            })
+            .fold(0.0f64, f64::max)
+    }
+
     /// Globally normalized static affinity in `[0,1]`.
     pub fn static_norm(&self, pair: usize) -> f64 {
         if self.static_max > 0.0 {
@@ -290,7 +308,7 @@ impl PopulationAffinity {
                 .expect("group members must belong to the indexed universe");
             static_raw_vals.push(self.static_raw[pi]);
         }
-        let gmax = static_raw_vals.iter().cloned().fold(0.0f64, f64::max);
+        let gmax = self.group_static_max(group);
         let static_comp: Vec<f64> = static_raw_vals
             .iter()
             .map(|&v| if gmax > 0.0 { v / gmax } else { 0.0 })
@@ -387,9 +405,7 @@ mod tests {
         assert!(pop.cumulative_drift(0, 1) > 0.0);
         assert!(pop.cumulative_drift(1, 1) < 0.0);
         // Discrete affV averages over the 2 periods.
-        assert!(
-            (pop.aff_v_discrete(0, 1) - pop.cumulative_drift(0, 1) / 2.0).abs() < 1e-12
-        );
+        assert!((pop.aff_v_discrete(0, 1) - pop.cumulative_drift(0, 1) / 2.0).abs() < 1e-12);
     }
 
     #[test]
@@ -403,8 +419,7 @@ mod tests {
         assert!(pop.periods()[0].raw[0] > pop.periods()[1].raw[0]);
         // Raw drift against the population average also shrinks:
         // p1: 0.8 − 1.1/3 ≈ 0.433;  p2: 0.7 − 0.9/3 = 0.4.
-        let raw_drift =
-            |p: usize| pop.periods()[p].raw[0] - pop.periods()[p].avg_raw;
+        let raw_drift = |p: usize| pop.periods()[p].raw[0] - pop.periods()[p].avg_raw;
         assert!(raw_drift(1) < raw_drift(0));
     }
 

@@ -11,8 +11,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use greca_affinity::{PopulationAffinity, SocialAffinitySource};
 use greca_bench::{PerfSettings, PerfWorld};
-use greca_consensus::ConsensusFunction;
-use greca_core::{prepare, CheckInterval, GrecaConfig, ListLayout, StoppingRule};
+use greca_core::{Algorithm, CheckInterval, GrecaConfig, GrecaEngine, ListLayout, StoppingRule};
 use greca_dataset::UserId;
 use std::hint::black_box;
 
@@ -25,7 +24,6 @@ fn bench_stopping_rules(c: &mut Criterion) {
     };
     let group = pw.random_groups(1, 6, 11)[0].clone();
     let prepared = pw.prepare_group(&cf, &group, &settings);
-    let consensus = ConsensusFunction::average_preference();
 
     let mut g = c.benchmark_group("ablation_stopping");
     for (name, rule) in [
@@ -35,12 +33,13 @@ fn bench_stopping_rules(c: &mut Criterion) {
     ] {
         g.bench_function(name, |b| {
             b.iter(|| {
-                black_box(prepared.greca(
-                    consensus,
-                    GrecaConfig::top(10)
-                        .stopping(rule)
-                        .check_interval(CheckInterval::Adaptive),
-                ))
+                black_box(
+                    prepared.run_algorithm(Algorithm::Greca(
+                        GrecaConfig::top(10)
+                            .stopping(rule)
+                            .check_interval(CheckInterval::Adaptive),
+                    )),
+                )
             })
         });
     }
@@ -56,31 +55,25 @@ fn bench_list_layout(c: &mut Criterion) {
     };
     let group = pw.random_groups(1, 6, 13)[0].clone();
     let items = pw.items(settings.num_items);
-    let consensus = ConsensusFunction::average_preference();
+    let engine = GrecaEngine::new(&cf, &pw.world().population);
 
     let mut g = c.benchmark_group("ablation_layout");
     for (name, layout) in [
         ("decomposed", ListLayout::Decomposed),
         ("single", ListLayout::Single),
     ] {
-        let prepared = prepare(
-            &cf,
-            &pw.world().population,
-            &group,
-            &items,
-            pw.world().last_period(),
-            settings.mode,
-            layout,
-            false,
-        );
-        g.bench_function(name, |b| {
-            b.iter(|| {
-                black_box(prepared.greca(
-                    consensus,
-                    GrecaConfig::top(10).check_interval(CheckInterval::Adaptive),
-                ))
-            })
-        });
+        let prepared = engine
+            .query(&group)
+            .items(&items)
+            .affinity(settings.mode)
+            .layout(layout)
+            .normalize_rpref(false)
+            .algorithm(Algorithm::Greca(
+                GrecaConfig::top(10).check_interval(CheckInterval::Adaptive),
+            ))
+            .prepare()
+            .expect("valid layout-ablation query");
+        g.bench_function(name, |b| b.iter(|| black_box(prepared.run())));
     }
     g.finish();
 }
@@ -125,7 +118,6 @@ fn bench_check_interval(c: &mut Criterion) {
     };
     let group = pw.random_groups(1, 6, 17)[0].clone();
     let prepared = pw.prepare_group(&cf, &group, &settings);
-    let consensus = ConsensusFunction::average_preference();
 
     let mut g = c.benchmark_group("ablation_check_interval");
     for (name, ci) in [
@@ -135,7 +127,8 @@ fn bench_check_interval(c: &mut Criterion) {
         g.bench_function(name, |b| {
             b.iter(|| {
                 black_box(
-                    prepared.greca(consensus, GrecaConfig::top(10).check_interval(ci)),
+                    prepared
+                        .run_algorithm(Algorithm::Greca(GrecaConfig::top(10).check_interval(ci))),
                 )
             })
         });

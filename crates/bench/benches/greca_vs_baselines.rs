@@ -4,8 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use greca_bench::{PerfSettings, PerfWorld};
-use greca_consensus::ConsensusFunction;
-use greca_core::{CheckInterval, GrecaConfig, TaConfig};
+use greca_core::{Algorithm, CheckInterval, GrecaConfig, TaConfig};
 use std::hint::black_box;
 
 fn bench_algorithms(c: &mut Criterion) {
@@ -17,23 +16,22 @@ fn bench_algorithms(c: &mut Criterion) {
     };
     let group = pw.random_groups(1, 6, 7)[0].clone();
     let prepared = pw.prepare_group(&cf, &group, &settings);
-    let consensus = ConsensusFunction::average_preference();
 
     let mut g = c.benchmark_group("topk_algorithms");
     for k in [5usize, 10] {
+        let prepared = prepared.clone().top(k);
         g.bench_with_input(BenchmarkId::new("greca", k), &k, |b, &k| {
             b.iter(|| {
-                black_box(prepared.greca(
-                    consensus,
+                black_box(prepared.run_algorithm(Algorithm::Greca(
                     GrecaConfig::top(k).check_interval(CheckInterval::Adaptive),
-                ))
+                )))
             })
         });
         g.bench_with_input(BenchmarkId::new("ta", k), &k, |b, &k| {
-            b.iter(|| black_box(prepared.ta(consensus, TaConfig::top(k))))
+            b.iter(|| black_box(prepared.run_algorithm(Algorithm::Ta(TaConfig::top(k)))))
         });
-        g.bench_with_input(BenchmarkId::new("naive", k), &k, |b, &k| {
-            b.iter(|| black_box(prepared.naive(consensus, k)))
+        g.bench_with_input(BenchmarkId::new("naive", k), &k, |b, _| {
+            b.iter(|| black_box(prepared.run_algorithm(Algorithm::Naive)))
         });
     }
     g.finish();

@@ -1,0 +1,77 @@
+//! Engine baseline: GRECA vs TA vs naive at the paper's §4.2 defaults,
+//! through the `GrecaEngine` / `run_batch` serving path.
+//!
+//! Emits `BENCH_engine.json` (mean per-query latency + `%SA` per
+//! algorithm) — the first point of the repository's performance
+//! trajectory; later PRs regenerate it to show movement.
+//!
+//! Run with: `cargo run -p greca-bench --release --bin engine_baseline`
+//! (pass `--quick` for the small study world instead of the full
+//! scalability world).
+
+use greca_bench::harness::{banner, fmt_aggregate, print_row};
+use greca_bench::{PerfSettings, PerfWorld};
+use std::io::Write;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    banner("Engine baseline: GRECA vs TA vs naive (paper defaults, batch path)");
+    let (pw, settings, world_label) = if quick {
+        (
+            PerfWorld::build_small(),
+            PerfSettings {
+                num_items: 600,
+                ..PerfSettings::default()
+            },
+            "study_scale",
+        )
+    } else {
+        (
+            PerfWorld::build(),
+            PerfSettings::default(),
+            "scalability_scale",
+        )
+    };
+    print_row("world", world_label);
+    print_row("groups", settings.num_groups);
+    print_row("group size", settings.group_size);
+    print_row("k", settings.k);
+    print_row("items", settings.num_items);
+
+    // The batch path first: aggregated stats over the 20-group sweep.
+    let batch = pw.run_settings_batch(&settings);
+    print_row(
+        "batch %SA (GRECA)",
+        fmt_aggregate(&batch.sa_percent_aggregate()),
+    );
+
+    // Then the three-algorithm comparison over identical prepared inputs.
+    let rows = pw.engine_baseline(&settings);
+    for row in &rows {
+        println!(
+            "  {:<8} latency = {:9.3} ms/query   %SA = {}   RAs = {}",
+            row.algorithm,
+            row.mean_latency_ms,
+            fmt_aggregate(&row.sa_percent),
+            row.random_accesses,
+        );
+    }
+
+    let json = format!(
+        "{{\n  \"world\": \"{}\",\n  \"num_groups\": {},\n  \"group_size\": {},\n  \"k\": {},\n  \"num_items\": {},\n  \"rows\": [\n    {}\n  ]\n}}\n",
+        world_label,
+        settings.num_groups,
+        settings.group_size,
+        settings.k,
+        settings.num_items,
+        rows.iter()
+            .map(|r| r.to_json())
+            .collect::<Vec<_>>()
+            .join(",\n    "),
+    );
+    let path = "BENCH_engine.json";
+    std::fs::File::create(path)
+        .and_then(|mut f| f.write_all(json.as_bytes()))
+        .expect("write BENCH_engine.json");
+    println!("\nwrote {path}");
+}

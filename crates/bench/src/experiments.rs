@@ -50,7 +50,10 @@ pub fn table5(scale: Scale) -> greca_dataset::MovieLensStats {
     print_row("# users (paper: 6,040)", stats.num_users);
     print_row("# movies (paper: 3,952)", stats.num_items);
     print_row("# ratings (paper: 1,000,209)", stats.num_ratings);
-    print_row("mean rating (ML-1M: ~3.58)", format!("{:.3}", stats.mean_rating));
+    print_row(
+        "mean rating (ML-1M: ~3.58)",
+        format!("{:.3}", stats.mean_rating),
+    );
     print_row("density", format!("{:.4}", stats.density));
     stats
 }
@@ -176,8 +179,8 @@ pub fn fig4(world: &StudyWorld) -> Vec<(&'static str, f64, usize)> {
         );
         out.push((g.label(), pct, tl.num_periods()));
     }
-    let two_month = Timeline::discretize(0, world.social.horizon(), Granularity::TwoMonth)
-        .expect("valid");
+    let two_month =
+        Timeline::discretize(0, world.social.horizon(), Granularity::TwoMonth).expect("valid");
     let pop = PopulationAffinity::build(&source, &universe, &two_month);
     print_row(
         "pair std-dev over periods (paper: 0.42)",
@@ -203,7 +206,13 @@ pub fn fig5b(pw: &PerfWorld, scale: Scale) -> Vec<(usize, Aggregate)> {
         Scale::Full => &[3, 6, 9, 12],
         Scale::Quick => &[3, 6],
     };
-    sweep(pw, scale, sizes, |settings, &s| settings.group_size = s, "|G|")
+    sweep(
+        pw,
+        scale,
+        sizes,
+        |settings, &s| settings.group_size = s,
+        "|G|",
+    )
 }
 
 /// Figure 5C: %SA vs number of items. Returns `(m, aggregate)` rows.
@@ -216,7 +225,7 @@ pub fn fig5c(pw: &PerfWorld, scale: Scale) -> Vec<(usize, Aggregate)> {
     sweep(pw, scale, items, |settings, &m| settings.num_items = m, "m")
 }
 
-fn sweep<T: std::fmt::Display>(
+fn sweep<T>(
     pw: &PerfWorld,
     scale: Scale,
     points: &[T],
@@ -224,7 +233,7 @@ fn sweep<T: std::fmt::Display>(
     label: &str,
 ) -> Vec<(usize, Aggregate)>
 where
-    T: Copy + Into<usize>,
+    T: std::fmt::Display + Copy + Into<usize>,
 {
     let mut out = Vec::new();
     for p in points {
@@ -257,10 +266,7 @@ pub fn fig6(pw: &PerfWorld, scale: Scale) -> Vec<(usize, f64, f64)> {
         let mut sas = Vec::new();
         let mut pcts = Vec::new();
         for g in &groups {
-            let prepared = pw.prepare_group_at(&cf, g, &settings, p);
-            let config = greca_core::GrecaConfig::top(settings.k)
-                .check_interval(greca_core::CheckInterval::Adaptive);
-            let r = prepared.greca(settings.consensus, config);
+            let r = pw.prepare_group_at(&cf, g, &settings, p).run();
             sas.push(r.stats.sa as f64);
             pcts.push(r.stats.sa_percent());
         }
@@ -296,15 +302,21 @@ pub fn fig7(pw: &PerfWorld, scale: Scale) -> Vec<(&'static str, Aggregate)> {
     let specs: [(&'static str, GroupSpec); 4] = [
         ("Sim", GroupSpec::of_size(6).cohesion(Cohesion::Similar)),
         ("Diss", GroupSpec::of_size(6).cohesion(Cohesion::Dissimilar)),
-        ("High Aff", GroupSpec::of_size(6).affinity(AffinityLevel::High)),
-        ("Low Aff", GroupSpec::of_size(6).affinity(AffinityLevel::Low)),
+        (
+            "High Aff",
+            GroupSpec::of_size(6).affinity(AffinityLevel::High),
+        ),
+        (
+            "Low Aff",
+            GroupSpec::of_size(6).affinity(AffinityLevel::Low),
+        ),
     ];
     for (label, base_spec) in specs {
         let mut samples = Vec::new();
         for i in 0..n_groups {
             let mut spec = base_spec;
             let group = loop {
-                match builder.build(spec, 0xf16_7 + i as u64 * 31) {
+                match builder.build(spec, 0xf167 + i as u64 * 31) {
                     Ok(g) => break g,
                     Err(_) if spec.affinity_threshold > 0.05 => {
                         spec.affinity_threshold /= 2.0;
@@ -317,7 +329,7 @@ pub fn fig7(pw: &PerfWorld, scale: Scale) -> Vec<(&'static str, Aggregate)> {
                 ..PerfSettings::default()
             };
             let prepared = pw.prepare_group(&cf, &group, &settings);
-            samples.push(pw.sa_percent(&prepared, &settings));
+            samples.push(pw.sa_percent(&prepared));
         }
         let agg = Aggregate::of(&samples);
         println!("  {label:<10} %SA = {}", fmt_aggregate(&agg));

@@ -6,15 +6,22 @@
 //! group size = 6, k = 10, number of items = 3900, consensus function =
 //! AP. Unless otherwise stated, affinity is computed using the discrete
 //! time model."
+//!
+//! The many-group sweeps go through [`greca_core::run_batch`]: one
+//! [`GrecaEngine`] over the world's substrates, twenty prepared
+//! [`GroupQuery`]s executed in parallel, access statistics aggregated —
+//! the serving shape the engine API exists for.
 
 use greca_affinity::AffinityMode;
 use greca_cf::UserCfModel;
 use greca_consensus::ConsensusFunction;
 use greca_core::{
-    prepare, Aggregate, CheckInterval, GrecaConfig, ListLayout, Prepared, StoppingRule,
+    Aggregate, Algorithm, BatchResult, CheckInterval, GrecaConfig, GrecaEngine, PreparedQuery,
+    StoppingRule, TaConfig,
 };
 use greca_dataset::{Group, GroupBuilder, ItemId, UserId};
 use greca_eval::{StudyWorld, WorldConfig};
+use std::time::Instant;
 
 /// Default experiment settings (§4.2 "Experiment Settings").
 #[derive(Debug, Clone, Copy)]
@@ -46,6 +53,18 @@ impl Default for PerfSettings {
             mode: AffinityMode::Discrete,
             seed: 0xbe7c4,
         }
+    }
+}
+
+impl PerfSettings {
+    /// GRECA as the experiments run it: the buffer stopping rule with
+    /// the adaptive check cadence.
+    pub fn greca_algorithm(&self) -> Algorithm {
+        Algorithm::Greca(
+            GrecaConfig::top(self.k)
+                .stopping(StoppingRule::Greca)
+                .check_interval(CheckInterval::Adaptive),
+        )
     }
 }
 
@@ -100,60 +119,140 @@ impl PerfWorld {
             .collect()
     }
 
-    /// Prepare one group's inputs at the last period.
+    /// Prepare one group's query at the last period.
     pub fn prepare_group(
         &self,
         cf: &UserCfModel<'_>,
         group: &Group,
         settings: &PerfSettings,
-    ) -> Prepared {
+    ) -> PreparedQuery {
         self.prepare_group_at(cf, group, settings, self.world.last_period())
     }
 
-    /// Prepare one group's inputs at an arbitrary query period.
+    /// Prepare one group's query at an arbitrary query period.
     pub fn prepare_group_at(
         &self,
         cf: &UserCfModel<'_>,
         group: &Group,
         settings: &PerfSettings,
         period_idx: usize,
-    ) -> Prepared {
+    ) -> PreparedQuery {
         let items = self.items(settings.num_items);
-        prepare(
-            cf,
-            &self.world.population,
-            group,
-            &items,
-            period_idx,
-            settings.mode,
-            ListLayout::Decomposed,
+        GrecaEngine::new(cf, &self.world.population)
+            .query(group)
+            .items(&items)
+            .period(period_idx)
+            .affinity(settings.mode)
+            .consensus(settings.consensus)
             // The scalability experiments use the paper's verbatim
             // (unnormalized) relative preference, as the quality study
             // does.
-            false,
-        )
+            .normalize_rpref(false)
+            .top(settings.k)
+            .algorithm(settings.greca_algorithm())
+            .prepare()
+            .expect("experiment settings form valid queries")
     }
 
     /// GRECA's `%SA` for one prepared group.
-    pub fn sa_percent(&self, prepared: &Prepared, settings: &PerfSettings) -> f64 {
-        let config = GrecaConfig::top(settings.k)
-            .stopping(StoppingRule::Greca)
-            .check_interval(CheckInterval::Adaptive);
-        prepared.greca(settings.consensus, config).stats.sa_percent()
+    pub fn sa_percent(&self, prepared: &PreparedQuery) -> f64 {
+        prepared.run().stats.sa_percent()
+    }
+
+    /// Execute the settings' random-group sweep through the engine's
+    /// parallel batch path (§4.2: 20 groups per data point).
+    pub fn run_settings_batch(&self, settings: &PerfSettings) -> BatchResult {
+        let cf = self.cf();
+        let engine = GrecaEngine::new(&cf, &self.world.population);
+        let groups = self.random_groups(settings.num_groups, settings.group_size, settings.seed);
+        let items = self.items(settings.num_items);
+        let queries: Vec<_> = groups
+            .iter()
+            .map(|g| {
+                engine
+                    .query(g)
+                    .items(&items)
+                    .period(self.world.last_period())
+                    .affinity(settings.mode)
+                    .consensus(settings.consensus)
+                    .normalize_rpref(false)
+                    .top(settings.k)
+                    .algorithm(settings.greca_algorithm())
+            })
+            .collect();
+        engine.run_batch(&queries)
     }
 
     /// Mean ± stderr of GRECA's `%SA` over the settings' random groups.
     pub fn average_sa_percent(&self, settings: &PerfSettings) -> Aggregate {
+        self.run_settings_batch(settings).sa_percent_aggregate()
+    }
+
+    /// The GRECA / TA / naive comparison at the given settings: each
+    /// algorithm runs over the *same* prepared inputs per group, and
+    /// reports mean wall-clock latency plus the `%SA` aggregate — the
+    /// `BENCH_engine.json` baseline rows.
+    pub fn engine_baseline(&self, settings: &PerfSettings) -> Vec<BaselineRow> {
         let cf = self.cf();
         let groups = self.random_groups(settings.num_groups, settings.group_size, settings.seed);
-        let samples: Vec<f64> = groups
+        let prepared: Vec<PreparedQuery> = groups
             .iter()
-            .map(|g| {
-                let prepared = self.prepare_group(&cf, g, settings);
-                self.sa_percent(&prepared, settings)
-            })
+            .map(|g| self.prepare_group(&cf, g, settings))
             .collect();
-        Aggregate::of(&samples)
+        let algorithms = [
+            settings.greca_algorithm(),
+            Algorithm::Ta(TaConfig::top(settings.k)),
+            Algorithm::Naive,
+        ];
+        algorithms
+            .iter()
+            .map(|&algorithm| {
+                let mut sa_pcts = Vec::with_capacity(prepared.len());
+                let mut ra_total = 0u64;
+                let start = Instant::now();
+                for p in &prepared {
+                    let r = p.run_algorithm(algorithm);
+                    sa_pcts.push(r.stats.sa_percent());
+                    ra_total += r.stats.ra;
+                }
+                let elapsed = start.elapsed();
+                BaselineRow {
+                    algorithm: algorithm.label(),
+                    mean_latency_ms: elapsed.as_secs_f64() * 1e3 / prepared.len() as f64,
+                    sa_percent: Aggregate::of(&sa_pcts),
+                    random_accesses: ra_total,
+                }
+            })
+            .collect()
+    }
+}
+
+/// One `BENCH_engine.json` row: an algorithm at the paper defaults.
+#[derive(Debug, Clone)]
+pub struct BaselineRow {
+    /// Algorithm label (`greca` / `ta` / `naive`).
+    pub algorithm: &'static str,
+    /// Mean per-query wall-clock latency in milliseconds.
+    pub mean_latency_ms: f64,
+    /// `%SA` aggregate over the groups.
+    pub sa_percent: Aggregate,
+    /// Total random accesses across the groups (nonzero only for TA).
+    pub random_accesses: u64,
+}
+
+impl BaselineRow {
+    /// The row as a JSON object (hand-formatted; serde is stubbed
+    /// offline — see `vendor/README.md`).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"algorithm\":\"{}\",\"mean_latency_ms\":{:.4},\"sa_percent_mean\":{:.4},\"sa_percent_stderr\":{:.4},\"groups\":{},\"random_accesses\":{}}}",
+            self.algorithm,
+            self.mean_latency_ms,
+            self.sa_percent.mean,
+            self.sa_percent.std_err,
+            self.sa_percent.n,
+            self.random_accesses,
+        )
     }
 }
 
@@ -201,6 +300,57 @@ mod tests {
         let agg = pw.average_sa_percent(&settings);
         assert_eq!(agg.n, 2);
         assert!(agg.mean > 0.0 && agg.mean <= 100.0, "%SA = {}", agg.mean);
+    }
+
+    #[test]
+    fn batch_matches_sequential_runs() {
+        // The parallel batch path must return exactly what running each
+        // prepared query one-by-one returns.
+        let pw = PerfWorld::build_small();
+        let settings = PerfSettings {
+            num_groups: 4,
+            group_size: 3,
+            k: 5,
+            num_items: 150,
+            ..PerfSettings::default()
+        };
+        let batch = pw.run_settings_batch(&settings);
+        assert_eq!(batch.results.len(), 4);
+        let cf = pw.cf();
+        let groups = pw.random_groups(settings.num_groups, settings.group_size, settings.seed);
+        for (g, r) in groups.iter().zip(&batch.results) {
+            let solo = pw.prepare_group(&cf, g, &settings).run();
+            let batched = r.as_ref().expect("valid query");
+            assert_eq!(solo.item_ids(), batched.item_ids());
+            assert_eq!(solo.stats, batched.stats);
+        }
+        // The aggregate stats are the per-query sums.
+        let sa_sum: u64 = batch.successes().map(|r| r.stats.sa).sum();
+        assert_eq!(batch.stats.sa, sa_sum);
+    }
+
+    #[test]
+    fn engine_baseline_compares_three_algorithms() {
+        let pw = PerfWorld::build_small();
+        let settings = PerfSettings {
+            num_groups: 2,
+            group_size: 3,
+            k: 5,
+            num_items: 150,
+            ..PerfSettings::default()
+        };
+        let rows = pw.engine_baseline(&settings);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].algorithm, "greca");
+        assert_eq!(rows[2].algorithm, "naive");
+        // The naive scan reads everything: its %SA is exactly 100.
+        assert!((rows[2].sa_percent.mean - 100.0).abs() < 1e-9);
+        // GRECA reads no more than naive and pays no random accesses.
+        assert!(rows[0].sa_percent.mean <= rows[2].sa_percent.mean + 1e-9);
+        assert_eq!(rows[0].random_accesses, 0);
+        assert!(rows[1].random_accesses > 0, "TA must pay RAs");
+        // JSON rows are well-formed enough to eyeball.
+        assert!(rows[0].to_json().contains("\"algorithm\":\"greca\""));
     }
 
     #[test]

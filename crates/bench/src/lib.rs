@@ -25,4 +25,4 @@ pub mod experiments;
 pub mod harness;
 
 pub use experiments::Scale;
-pub use harness::{PerfSettings, PerfWorld};
+pub use harness::{BaselineRow, PerfSettings, PerfWorld};

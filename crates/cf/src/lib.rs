@@ -31,6 +31,8 @@ pub mod similarity;
 pub mod user_cf;
 
 pub use item_cf::ItemCfModel;
-pub use preference::{candidate_items, group_preference_lists, PreferenceList, PreferenceProvider, RawRatings};
+pub use preference::{
+    candidate_items, group_preference_lists, PreferenceList, PreferenceProvider, RawRatings,
+};
 pub use similarity::{user_similarity, Similarity};
 pub use user_cf::{CfConfig, UserCfModel};

@@ -100,7 +100,10 @@ impl PreferenceList {
     /// Score of `item` via linear probe (lists are short-lived; random
     /// access is only used by the TA baseline, which charges an RA for it).
     pub fn score_of(&self, item: ItemId) -> Option<f64> {
-        self.entries.iter().find(|&&(i, _)| i == item).map(|&(_, s)| s)
+        self.entries
+            .iter()
+            .find(|&&(i, _)| i == item)
+            .map(|&(_, s)| s)
     }
 }
 

@@ -59,8 +59,16 @@ fn cosine(a: &Row, b: &Row) -> f64 {
     if dot == 0.0 {
         return 0.0;
     }
-    let na: f64 = a.iter().map(|&(_, v)| (v as f64).powi(2)).sum::<f64>().sqrt();
-    let nb: f64 = b.iter().map(|&(_, v)| (v as f64).powi(2)).sum::<f64>().sqrt();
+    let na: f64 = a
+        .iter()
+        .map(|&(_, v)| (v as f64).powi(2))
+        .sum::<f64>()
+        .sqrt();
+    let nb: f64 = b
+        .iter()
+        .map(|&(_, v)| (v as f64).powi(2))
+        .sum::<f64>()
+        .sqrt();
     let denom = na * nb;
     if denom <= 0.0 {
         0.0
@@ -161,7 +169,10 @@ mod tests {
     #[test]
     fn cosine_of_disjoint_vectors_is_zero() {
         let m = matrix(&[&[(0, 5.0)], &[(1, 5.0)]]);
-        assert_eq!(user_similarity(&m, UserId(0), UserId(1), Similarity::Cosine), 0.0);
+        assert_eq!(
+            user_similarity(&m, UserId(0), UserId(1), Similarity::Cosine),
+            0.0
+        );
     }
 
     #[test]
@@ -197,18 +208,27 @@ mod tests {
     #[test]
     fn pearson_needs_two_corated() {
         let m = matrix(&[&[(0, 5.0)], &[(0, 5.0)]]);
-        assert_eq!(user_similarity(&m, UserId(0), UserId(1), Similarity::Pearson), 0.0);
+        assert_eq!(
+            user_similarity(&m, UserId(0), UserId(1), Similarity::Pearson),
+            0.0
+        );
     }
 
     #[test]
     fn pearson_constant_vector_is_zero() {
         let m = matrix(&[&[(0, 3.0), (1, 3.0)], &[(0, 1.0), (1, 5.0)]]);
-        assert_eq!(user_similarity(&m, UserId(0), UserId(1), Similarity::Pearson), 0.0);
+        assert_eq!(
+            user_similarity(&m, UserId(0), UserId(1), Similarity::Pearson),
+            0.0
+        );
     }
 
     #[test]
     fn jaccard_counts_overlap() {
-        let m = matrix(&[&[(0, 1.0), (1, 1.0), (2, 1.0)], &[(1, 5.0), (2, 5.0), (3, 5.0)]]);
+        let m = matrix(&[
+            &[(0, 1.0), (1, 1.0), (2, 1.0)],
+            &[(1, 5.0), (2, 5.0), (3, 5.0)],
+        ]);
         let s = user_similarity(&m, UserId(0), UserId(1), Similarity::Jaccard);
         assert!((s - 2.0 / 4.0).abs() < 1e-12);
     }

@@ -65,7 +65,9 @@ impl<'a> UserCfModel<'a> {
         assert!(cfg.top_n > 0, "neighbourhood must be non-empty");
         assert!(cfg.min_score <= cfg.max_score, "invalid clamp range");
         let n = matrix.num_users();
-        let global_mean = matrix.global_mean().unwrap_or((cfg.min_score + cfg.max_score) / 2.0);
+        let global_mean = matrix
+            .global_mean()
+            .unwrap_or((cfg.min_score + cfg.max_score) / 2.0);
         let user_means: Vec<f64> = (0..n as u32)
             .map(|u| matrix.user_mean(UserId(u)).unwrap_or(global_mean))
             .collect();
@@ -140,7 +142,11 @@ impl<'a> UserCfModel<'a> {
         }
         let base = self.user_means[u.idx()];
         let raw = if den > 0.0 { base + num / den } else { base };
-        let raw = if raw.is_finite() { raw } else { self.global_mean };
+        let raw = if raw.is_finite() {
+            raw
+        } else {
+            self.global_mean
+        };
         raw.clamp(self.cfg.min_score, self.cfg.max_score)
     }
 

@@ -111,9 +111,7 @@ impl ConsensusFunction {
         assert!(!prefs.is_empty(), "group preference needs members");
         match self.preference {
             GroupPreferenceKind::Average => prefs.iter().sum::<f64>() / prefs.len() as f64,
-            GroupPreferenceKind::LeastMisery => {
-                prefs.iter().cloned().fold(f64::INFINITY, f64::min)
-            }
+            GroupPreferenceKind::LeastMisery => prefs.iter().cloned().fold(f64::INFINITY, f64::min),
         }
     }
 

@@ -25,7 +25,11 @@ impl GroupScorer {
     /// sum by `|G|−1` so `pref` stays on the rating scale regardless of
     /// group size (the paper's example "ignores normalization and final
     /// averaging"; set `false` to match its raw arithmetic).
-    pub fn new(affinity: GroupAffinity, consensus: ConsensusFunction, normalize_rpref: bool) -> Self {
+    pub fn new(
+        affinity: GroupAffinity,
+        consensus: ConsensusFunction,
+        normalize_rpref: bool,
+    ) -> Self {
         GroupScorer {
             affinity,
             consensus,
@@ -94,13 +98,7 @@ mod tests {
     use greca_affinity::{AffinityMode, GroupAffinity};
 
     fn two_user_view(mode: AffinityMode) -> GroupAffinity {
-        GroupAffinity::new(
-            vec![UserId(0), UserId(1)],
-            mode,
-            vec![0.5],
-            vec![],
-            vec![],
-        )
+        GroupAffinity::new(vec![UserId(0), UserId(1)], mode, vec![0.5], vec![], vec![])
     }
 
     #[test]

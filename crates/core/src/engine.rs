@@ -1,23 +1,28 @@
-//! High-level entry point: prepare a group's inputs once, run any
-//! algorithm over them.
+//! Legacy entry point, superseded by [`crate::query::GrecaEngine`].
 //!
-//! Ad-hoc groups are not known in advance (§2.4), so this is the
-//! "on-the-fly" path: given a preference provider (any CF model), the
-//! population affinity index, a group, a candidate itemset and a query
-//! period, [`prepare`] materializes the sorted lists GRECA scans;
-//! [`Prepared`] then runs GRECA, TA or the naive scan over the *same*
-//! inputs, which is what makes the `%SA` comparisons of §4.2 fair.
+//! The original API was a free function taking eight positional
+//! arguments plus a [`Prepared`] bundle of materialized inputs. It
+//! survives as a thin deprecated shim over the same construction the
+//! [`GroupQuery`](crate::query::GroupQuery) builder performs, so
+//! downstream code migrates at its own pace while both paths provably
+//! produce identical results (see `tests/engine_api.rs` at the
+//! workspace root).
 
 use crate::greca::{greca_topk, GrecaConfig, TopKResult};
 use crate::lists::{GrecaInputs, ListLayout};
 use crate::naive::{naive_scores, naive_topk};
+use crate::query::materialize_inputs;
 use crate::ta::{ta_topk, TaConfig};
 use greca_affinity::{AffinityMode, GroupAffinity, PopulationAffinity};
-use greca_cf::{group_preference_lists, PreferenceProvider};
+use greca_cf::PreferenceProvider;
 use greca_consensus::ConsensusFunction;
 use greca_dataset::{Group, ItemId};
 
 /// Prepared per-(group, itemset, period, mode) inputs.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `GrecaEngine::query(...).prepare()` (a `PreparedQuery`) instead"
+)]
 #[derive(Debug, Clone)]
 pub struct Prepared {
     /// The group's affinity view at the query period.
@@ -29,6 +34,14 @@ pub struct Prepared {
 }
 
 /// Build the inputs for one ad-hoc query.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `GrecaEngine::new(provider, population).query(group)` and the \
+            fluent `GroupQuery` builder instead"
+)]
+// The 8-positional-argument signature is the reason this API was
+// replaced; it is preserved verbatim for the migration window.
+#[allow(deprecated, clippy::too_many_arguments)]
 pub fn prepare<P: PreferenceProvider + ?Sized>(
     provider: &P,
     population: &PopulationAffinity,
@@ -39,9 +52,8 @@ pub fn prepare<P: PreferenceProvider + ?Sized>(
     layout: ListLayout,
     normalize_rpref: bool,
 ) -> Prepared {
-    let affinity = population.group_view(group, period_idx, mode);
-    let pref_lists = group_preference_lists(provider, group, items);
-    let inputs = GrecaInputs::build(&pref_lists, &affinity, layout);
+    let (affinity, inputs) =
+        materialize_inputs(provider, population, group, items, period_idx, mode, layout);
     Prepared {
         affinity,
         inputs,
@@ -49,10 +61,12 @@ pub fn prepare<P: PreferenceProvider + ?Sized>(
     }
 }
 
+#[allow(deprecated)]
 impl Prepared {
     /// Assemble directly from hand-built parts (e.g. the paper's running
     /// example, whose preference lists are given as tables rather than
     /// produced by a CF model).
+    #[deprecated(since = "0.2.0", note = "use `PreparedQuery::from_parts` instead")]
     pub fn from_parts(
         affinity: GroupAffinity,
         pref_lists: &[greca_cf::PreferenceList],

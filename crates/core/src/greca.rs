@@ -76,6 +76,13 @@ pub struct GrecaConfig {
     pub check_interval: CheckInterval,
 }
 
+impl Default for GrecaConfig {
+    /// The paper's default `k = 10` with the standard stopping rule.
+    fn default() -> Self {
+        GrecaConfig::top(10)
+    }
+}
+
 impl GrecaConfig {
     /// Default configuration for a given `k`.
     pub fn top(k: usize) -> Self {
@@ -325,8 +332,7 @@ impl<'a> RunState<'a> {
     /// remains.
     fn threshold(&self) -> Option<f64> {
         let n = self.inputs.num_members;
-        let any_exhausted =
-            (0..n).any(|m| self.positions[m] >= self.inputs.pref_lists[m].len());
+        let any_exhausted = (0..n).any(|m| self.positions[m] >= self.inputs.pref_lists[m].len());
         if any_exhausted {
             return None;
         }
@@ -396,7 +402,7 @@ pub fn greca_topk(
         lbs.sort_by(|a, b| b.partial_cmp(a).expect("finite bounds"));
         let kth_lb = lbs[k - 1];
         let threshold = state.threshold();
-        let threshold_ok = threshold.map_or(true, |t| t <= kth_lb + 1e-12);
+        let threshold_ok = threshold.is_none_or(|t| t <= kth_lb + 1e-12);
 
         match config.stopping {
             StoppingRule::Greca => {
@@ -457,11 +463,8 @@ pub fn greca_topk(
         // Everything read: bounds are exact.
         state.refresh_bounds();
     }
-    let mut ranked: Vec<(u32, Interval)> = state
-        .items
-        .iter()
-        .map(|(&id, s)| (id, s.bounds))
-        .collect();
+    let mut ranked: Vec<(u32, Interval)> =
+        state.items.iter().map(|(&id, s)| (id, s.bounds)).collect();
     ranked.sort_by(|a, b| {
         b.1.lo
             .partial_cmp(&a.1.lo)

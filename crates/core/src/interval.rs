@@ -9,6 +9,7 @@
 //! `greca-core` pins against the scalar scorer.
 
 use serde::{Deserialize, Serialize};
+use std::ops::Add;
 
 /// A closed interval `[lo, hi]`.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -51,12 +52,6 @@ impl Interval {
         v >= self.lo - 1e-9 && v <= self.hi + 1e-9
     }
 
-    /// Interval sum.
-    #[inline]
-    pub fn add(self, other: Interval) -> Interval {
-        Interval::new(self.lo + other.lo, self.hi + other.hi)
-    }
-
     /// Scale by a non-negative constant.
     #[inline]
     pub fn scale(self, c: f64) -> Interval {
@@ -67,7 +62,10 @@ impl Interval {
     /// Product of two **non-negative** intervals.
     #[inline]
     pub fn mul_nonneg(self, other: Interval) -> Interval {
-        debug_assert!(self.lo >= -1e-9 && other.lo >= -1e-9, "operands must be ≥ 0");
+        debug_assert!(
+            self.lo >= -1e-9 && other.lo >= -1e-9,
+            "operands must be ≥ 0"
+        );
         Interval::new(
             self.lo.max(0.0) * other.lo.max(0.0),
             self.hi.max(0.0) * other.hi.max(0.0),
@@ -131,6 +129,16 @@ impl Interval {
     }
 }
 
+impl Add for Interval {
+    type Output = Interval;
+
+    /// Interval sum.
+    #[inline]
+    fn add(self, other: Interval) -> Interval {
+        Interval::new(self.lo + other.lo, self.hi + other.hi)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -148,7 +156,7 @@ mod tests {
     fn add_and_scale() {
         let a = Interval::new(1.0, 2.0);
         let b = Interval::new(-1.0, 3.0);
-        let s = a.add(b);
+        let s = a + b;
         assert_eq!((s.lo, s.hi), (0.0, 5.0));
         let sc = a.scale(2.0);
         assert_eq!((sc.lo, sc.hi), (2.0, 4.0));
@@ -227,7 +235,7 @@ mod tests {
         for (a, b) in cases {
             for &x in &[a.lo, (a.lo + a.hi) / 2.0, a.hi] {
                 for &y in &[b.lo, (b.lo + b.hi) / 2.0, b.hi] {
-                    assert!(a.add(b).contains(x + y));
+                    assert!((a + b).contains(x + y));
                     assert!(a.mul_nonneg(b).contains(x * y));
                     assert!(a.abs_diff(b).contains((x - y).abs()));
                     assert!(a.square().contains(x * x));

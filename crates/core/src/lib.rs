@@ -25,12 +25,11 @@
 //!
 //! ```
 //! use greca_dataset::prelude::*;
-//! use greca_cf::{preference::candidate_items, CfConfig, UserCfModel};
-//! use greca_affinity::{AffinityMode, PopulationAffinity, SocialAffinitySource};
-//! use greca_consensus::ConsensusFunction;
-//! use greca_core::{prepare, GrecaConfig, ListLayout};
+//! use greca_cf::{CfConfig, UserCfModel};
+//! use greca_affinity::{PopulationAffinity, SocialAffinitySource};
+//! use greca_core::GrecaEngine;
 //!
-//! // World: ratings + social signals over one year.
+//! // Long-lived substrates: ratings + social signals over one year.
 //! let ml = MovieLensConfig::small().generate();
 //! let net = SocialConfig::tiny().generate();
 //! let tl = Timeline::discretize(0, net.horizon(), Granularity::TwoMonth).unwrap();
@@ -38,17 +37,12 @@
 //! let universe: Vec<UserId> = net.users().collect();
 //! let pop = PopulationAffinity::build(&SocialAffinitySource::new(&net), &universe, &tl);
 //!
-//! // Ad-hoc group query.
+//! // The engine serves ad-hoc group queries with the paper's defaults
+//! // (k = 10, AP consensus, discrete affinity, decomposed lists).
+//! let engine = GrecaEngine::new(&cf, &pop);
 //! let group = Group::new(vec![UserId(0), UserId(1), UserId(2)]).unwrap();
 //! let items: Vec<ItemId> = ml.matrix.items().take(150).collect();
-//! let prepared = prepare(
-//!     &cf, &pop, &group, &items,
-//!     tl.num_periods() - 1,
-//!     AffinityMode::Discrete,
-//!     ListLayout::Decomposed,
-//!     true,
-//! );
-//! let result = prepared.greca(ConsensusFunction::average_preference(), GrecaConfig::top(5));
+//! let result = engine.query(&group).items(&items).top(5).run().unwrap();
 //! assert_eq!(result.items.len(), 5);
 //! assert!(result.stats.sa_percent() <= 100.0);
 //! ```
@@ -59,10 +53,12 @@ pub mod greca;
 pub mod interval;
 pub mod lists;
 pub mod naive;
+pub mod query;
 pub mod score;
 pub mod ta;
 
 pub use access::{AccessStats, Aggregate};
+#[allow(deprecated)]
 pub use engine::{prepare, Prepared};
 pub use greca::{
     greca_topk, CheckInterval, GrecaConfig, StopReason, StoppingRule, TopKItem, TopKResult,
@@ -70,5 +66,9 @@ pub use greca::{
 pub use interval::Interval;
 pub use lists::{GrecaInputs, ListKind, ListLayout, SortedList};
 pub use naive::{naive_scores, naive_topk};
+pub use query::{
+    run_batch, Algorithm, BatchResult, GrecaEngine, GroupQuery, PreparedQuery, QueryError,
+    PAPER_DEFAULT_K,
+};
 pub use score::BoundScorer;
 pub use ta::{ta_topk, TaConfig};

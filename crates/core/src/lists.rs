@@ -118,11 +118,7 @@ impl GrecaInputs {
         layout: ListLayout,
     ) -> Self {
         let n = affinity.members().len();
-        assert_eq!(
-            pref_lists.len(),
-            n,
-            "one preference list per group member"
-        );
+        assert_eq!(pref_lists.len(), n, "one preference list per group member");
         let num_items = pref_lists.first().map_or(0, |l| l.len());
         for l in pref_lists {
             assert_eq!(l.len(), num_items, "preference lists must align");
@@ -266,10 +262,7 @@ mod tests {
 
     #[test]
     fn sorted_list_sorts_desc_with_id_ties() {
-        let l = SortedList::new(
-            ListKind::StaticAffinity,
-            vec![(2, 0.5), (0, 0.5), (1, 0.9)],
-        );
+        let l = SortedList::new(ListKind::StaticAffinity, vec![(2, 0.5), (0, 0.5), (1, 0.9)]);
         let ids: Vec<u32> = l.entries.iter().map(|&(i, _)| i).collect();
         assert_eq!(ids, vec![1, 0, 2]);
     }
@@ -278,7 +271,11 @@ mod tests {
     fn decomposed_layout_matches_running_example() {
         // §3.1: LaffS(u1) holds u1's two pairs, LaffS(u2) holds one, and
         // "no static affinity list needs to be created for user u3".
-        let inputs = GrecaInputs::build(&pls(), &affinity(AffinityMode::Discrete), ListLayout::Decomposed);
+        let inputs = GrecaInputs::build(
+            &pls(),
+            &affinity(AffinityMode::Discrete),
+            ListLayout::Decomposed,
+        );
         assert_eq!(inputs.static_lists.len(), 2);
         assert_eq!(inputs.static_lists[0].len(), 2);
         assert_eq!(inputs.static_lists[1].len(), 1);
@@ -292,7 +289,11 @@ mod tests {
 
     #[test]
     fn single_layout_has_one_list_per_kind() {
-        let inputs = GrecaInputs::build(&pls(), &affinity(AffinityMode::Discrete), ListLayout::Single);
+        let inputs = GrecaInputs::build(
+            &pls(),
+            &affinity(AffinityMode::Discrete),
+            ListLayout::Single,
+        );
         assert_eq!(inputs.static_lists.len(), 1);
         assert_eq!(inputs.static_lists[0].len(), 3);
         assert_eq!(inputs.period_lists[0].len(), 1);
@@ -301,7 +302,11 @@ mod tests {
 
     #[test]
     fn affinity_agnostic_mode_has_no_affinity_lists() {
-        let inputs = GrecaInputs::build(&pls(), &affinity(AffinityMode::None), ListLayout::Decomposed);
+        let inputs = GrecaInputs::build(
+            &pls(),
+            &affinity(AffinityMode::None),
+            ListLayout::Decomposed,
+        );
         assert!(inputs.static_lists.is_empty());
         assert!(inputs.period_lists.is_empty());
         assert_eq!(inputs.total_entries(), 9);
@@ -309,15 +314,22 @@ mod tests {
 
     #[test]
     fn static_only_mode_has_no_period_lists() {
-        let inputs =
-            GrecaInputs::build(&pls(), &affinity(AffinityMode::StaticOnly), ListLayout::Decomposed);
+        let inputs = GrecaInputs::build(
+            &pls(),
+            &affinity(AffinityMode::StaticOnly),
+            ListLayout::Decomposed,
+        );
         assert_eq!(inputs.static_lists.len(), 2);
         assert!(inputs.period_lists.is_empty());
     }
 
     #[test]
     fn affinity_lists_sorted_desc() {
-        let inputs = GrecaInputs::build(&pls(), &affinity(AffinityMode::Discrete), ListLayout::Single);
+        let inputs = GrecaInputs::build(
+            &pls(),
+            &affinity(AffinityMode::Discrete),
+            ListLayout::Single,
+        );
         for l in inputs.all_lists() {
             for w in l.entries.windows(2) {
                 assert!(w[0].1 >= w[1].1);
@@ -330,6 +342,10 @@ mod tests {
     fn mismatched_pref_lists_rejected() {
         let mut lists = pls();
         lists[1].entries.pop();
-        let _ = GrecaInputs::build(&lists, &affinity(AffinityMode::Discrete), ListLayout::Decomposed);
+        let _ = GrecaInputs::build(
+            &lists,
+            &affinity(AffinityMode::Discrete),
+            ListLayout::Decomposed,
+        );
     }
 }

@@ -32,9 +32,7 @@ pub fn naive_scores(
         for &(id, score) in &list.entries {
             stats.record_sa();
             if let ListKind::Preference { member } = list.kind {
-                aprefs
-                    .entry(id)
-                    .or_insert_with(|| vec![0.0; n])[member as usize] = score;
+                aprefs.entry(id).or_insert_with(|| vec![0.0; n])[member as usize] = score;
             }
         }
     }
@@ -64,11 +62,7 @@ pub fn naive_topk(
     let items = scored
         .into_iter()
         .take(k)
-        .map(|(item, s)| TopKItem {
-            item,
-            lb: s,
-            ub: s,
-        })
+        .map(|(item, s)| TopKItem { item, lb: s, ub: s })
         .collect();
     TopKResult {
         items,

@@ -1,0 +1,573 @@
+//! The serving-style query API: [`GrecaEngine`] + fluent [`GroupQuery`].
+//!
+//! §2.4's ad-hoc-group scenario is a *serving* problem: the CF model and
+//! the population-affinity index are long-lived substrates, while groups
+//! arrive at query time. The engine owns references to both substrates
+//! and hands out builders with the paper's defaults baked in (k = 10,
+//! AP consensus, discrete affinity, decomposed lists, normalized
+//! relative preference — §4.2 "Experiment Settings"), so the common
+//! query is a few chained calls instead of the legacy 8-positional
+//! [`prepare`](crate::engine::prepare):
+//!
+//! ```text
+//! let engine = GrecaEngine::new(&cf, &population);
+//! let top = engine.query(&group).items(&items).period(p).top(5).run()?;
+//! ```
+//!
+//! [`Algorithm`] unifies GRECA with its §3.1/§4.2 comparison set (TA and
+//! the naive scan): the same prepared query runs through any of the
+//! three, which is what makes `%SA` comparisons fair. [`run_batch`]
+//! executes many queries in parallel across OS threads and aggregates
+//! their access statistics — the §4.2 harness shape (20 random groups
+//! per data point).
+
+use crate::access::{AccessStats, Aggregate};
+use crate::greca::{greca_topk, GrecaConfig, TopKResult};
+use crate::lists::{GrecaInputs, ListLayout};
+use crate::naive::{naive_scores, naive_topk};
+use crate::ta::{ta_topk, TaConfig};
+use greca_affinity::{AffinityMode, GroupAffinity, PopulationAffinity};
+use greca_cf::{group_preference_lists, PreferenceList, PreferenceProvider};
+use greca_consensus::ConsensusFunction;
+use greca_dataset::{Group, ItemId, UserId};
+
+/// The paper's default result size (§4.2: "k = 10").
+pub const PAPER_DEFAULT_K: usize = 10;
+
+/// A query rejected before execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// No candidate items were supplied.
+    EmptyItemset,
+    /// The query period does not exist in the population index.
+    PeriodOutOfRange {
+        /// The requested period index.
+        period: usize,
+        /// Number of periods the index holds.
+        num_periods: usize,
+    },
+    /// `k = 0` never returns anything meaningful.
+    ZeroK,
+    /// A group member is missing from the population-affinity universe.
+    UnknownMember(UserId),
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::EmptyItemset => write!(f, "candidate itemset is empty"),
+            QueryError::PeriodOutOfRange {
+                period,
+                num_periods,
+            } => write!(
+                f,
+                "period {period} out of range: the population index holds {num_periods} period(s)"
+            ),
+            QueryError::ZeroK => write!(f, "k must be positive"),
+            QueryError::UnknownMember(u) => {
+                write!(
+                    f,
+                    "group member {u} is not in the population-affinity universe"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// Which top-k algorithm executes a query.
+///
+/// All three consume the same prepared inputs and return the same
+/// [`TopKResult`] shape, differing only in access pattern — GRECA reads
+/// sequentially with the buffer stopping condition, TA completes scores
+/// by random access, the naive scan reads everything. The `k` recorded
+/// inside a variant's config is overridden by the query's own
+/// [`GroupQuery::top`] so one query object can sweep algorithms without
+/// re-stating k.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Algorithm {
+    /// GRECA (Algorithm 1): sequential accesses, buffer condition.
+    Greca(GrecaConfig),
+    /// Threshold-algorithm baseline with random accesses (§3.1).
+    Ta(TaConfig),
+    /// Full-scan baseline; also the correctness oracle.
+    Naive,
+}
+
+impl Default for Algorithm {
+    /// GRECA with its default stopping rule and check cadence.
+    fn default() -> Self {
+        Algorithm::Greca(GrecaConfig::top(PAPER_DEFAULT_K))
+    }
+}
+
+impl Algorithm {
+    /// Short label for tables and JSON artifacts.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Algorithm::Greca(_) => "greca",
+            Algorithm::Ta(_) => "ta",
+            Algorithm::Naive => "naive",
+        }
+    }
+}
+
+/// The long-lived serving engine: a preference provider (any CF model)
+/// plus the population-affinity index.
+///
+/// Both substrates are borrowed: the engine is a cheap, copyable view
+/// meant to be created once per (provider, index) pair and shared. The
+/// provider is a trait object so heterogeneous deployments (user CF,
+/// item CF, raw ratings, hand-built tables) serve through one engine
+/// type; `Sync` is required so [`run_batch`] can fan queries out across
+/// threads.
+#[derive(Clone, Copy)]
+pub struct GrecaEngine<'a> {
+    provider: &'a (dyn PreferenceProvider + Sync + 'a),
+    population: &'a PopulationAffinity,
+}
+
+impl std::fmt::Debug for GrecaEngine<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GrecaEngine")
+            .field("universe", &self.population.universe().len())
+            .field("periods", &self.population.num_periods())
+            .finish()
+    }
+}
+
+impl<'a> GrecaEngine<'a> {
+    /// Wrap the substrates.
+    pub fn new(
+        provider: &'a (dyn PreferenceProvider + Sync + 'a),
+        population: &'a PopulationAffinity,
+    ) -> Self {
+        GrecaEngine {
+            provider,
+            population,
+        }
+    }
+
+    /// Start a query for `group` with the paper's defaults.
+    pub fn query<'q>(&self, group: &'q Group) -> GroupQuery<'q>
+    where
+        'a: 'q,
+    {
+        GroupQuery {
+            provider: self.provider,
+            population: self.population,
+            group,
+            items: &[],
+            period: None,
+            mode: AffinityMode::Discrete,
+            layout: ListLayout::Decomposed,
+            consensus: ConsensusFunction::average_preference(),
+            normalize_rpref: true,
+            k: PAPER_DEFAULT_K,
+            algorithm: Algorithm::default(),
+        }
+    }
+
+    /// The population-affinity index this engine serves from.
+    pub fn population(&self) -> &'a PopulationAffinity {
+        self.population
+    }
+
+    /// Execute many prepared queries in parallel — see [`run_batch`].
+    pub fn run_batch(&self, queries: &[GroupQuery<'_>]) -> BatchResult {
+        run_batch(queries)
+    }
+}
+
+/// One fluent group query against a [`GrecaEngine`].
+///
+/// Defaults (the paper's §4.2 settings): `k = 10`, AP consensus,
+/// discrete affinity mode, decomposed list layout, normalized relative
+/// preference, the current (latest) period, GRECA as the algorithm.
+/// Only [`items`](Self::items) has no default — an empty candidate set
+/// is a [`QueryError::EmptyItemset`] at run time.
+#[derive(Clone, Copy)]
+pub struct GroupQuery<'q> {
+    provider: &'q (dyn PreferenceProvider + Sync + 'q),
+    population: &'q PopulationAffinity,
+    group: &'q Group,
+    items: &'q [ItemId],
+    period: Option<usize>,
+    mode: AffinityMode,
+    layout: ListLayout,
+    consensus: ConsensusFunction,
+    normalize_rpref: bool,
+    k: usize,
+    algorithm: Algorithm,
+}
+
+impl std::fmt::Debug for GroupQuery<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GroupQuery")
+            .field("group", &self.group.members())
+            .field("items", &self.items.len())
+            .field("period", &self.period)
+            .field("mode", &self.mode)
+            .field("layout", &self.layout)
+            .field("consensus", &self.consensus.label())
+            .field("normalize_rpref", &self.normalize_rpref)
+            .field("k", &self.k)
+            .field("algorithm", &self.algorithm)
+            .finish()
+    }
+}
+
+impl<'q> GroupQuery<'q> {
+    /// The candidate itemset (required; §2.4 poses the problem over one
+    /// shared itemset `I`).
+    pub fn items(mut self, items: &'q [ItemId]) -> Self {
+        self.items = items;
+        self
+    }
+
+    /// Query period index (default: the index's latest period).
+    pub fn period(mut self, period_idx: usize) -> Self {
+        self.period = Some(period_idx);
+        self
+    }
+
+    /// Affinity mode (default: [`AffinityMode::Discrete`]).
+    pub fn affinity(mut self, mode: AffinityMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Affinity-list layout (default: [`ListLayout::Decomposed`]).
+    pub fn layout(mut self, layout: ListLayout) -> Self {
+        self.layout = layout;
+        self
+    }
+
+    /// Consensus function (default: AP, average preference).
+    pub fn consensus(mut self, consensus: ConsensusFunction) -> Self {
+        self.consensus = consensus;
+        self
+    }
+
+    /// Whether relative preference is normalized by `|G|−1`
+    /// (default: `true`; the paper's verbatim formula uses `false`).
+    pub fn normalize_rpref(mut self, normalize: bool) -> Self {
+        self.normalize_rpref = normalize;
+        self
+    }
+
+    /// Result size `k` (default: 10). Overrides any `k` recorded inside
+    /// the algorithm's config.
+    pub fn top(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Executing algorithm (default: GRECA).
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// The query's effective period: explicit, or the index's latest.
+    pub fn effective_period(&self) -> usize {
+        self.period
+            .unwrap_or_else(|| self.population.num_periods().saturating_sub(1))
+    }
+
+    /// Validate without materializing lists.
+    pub fn validate(&self) -> Result<(), QueryError> {
+        if self.items.is_empty() {
+            return Err(QueryError::EmptyItemset);
+        }
+        if self.k == 0 {
+            return Err(QueryError::ZeroK);
+        }
+        let num_periods = self.population.num_periods();
+        let period = self.effective_period();
+        // A temporal mode against an index with no periods would
+        // silently degrade to static-only scoring; refuse instead. A
+        // static-only index still answers period-0 queries for the
+        // non-temporal modes.
+        if self.mode.is_temporal() && num_periods == 0 {
+            return Err(QueryError::PeriodOutOfRange {
+                period,
+                num_periods,
+            });
+        }
+        if period >= num_periods.max(1) {
+            return Err(QueryError::PeriodOutOfRange {
+                period,
+                num_periods,
+            });
+        }
+        for &u in self.group.members() {
+            if !self.population.contains_user(u) {
+                return Err(QueryError::UnknownMember(u));
+            }
+        }
+        Ok(())
+    }
+
+    /// Materialize the sorted lists once; the result can then run any
+    /// [`Algorithm`] over the *same* inputs (the fair-`%SA` setup of
+    /// §4.2) without paying preparation again.
+    pub fn prepare(&self) -> Result<PreparedQuery, QueryError> {
+        self.validate()?;
+        let (affinity, inputs) = materialize_inputs(
+            self.provider,
+            self.population,
+            self.group,
+            self.items,
+            self.effective_period(),
+            self.mode,
+            self.layout,
+        );
+        Ok(PreparedQuery {
+            affinity,
+            inputs,
+            normalize_rpref: self.normalize_rpref,
+            consensus: self.consensus,
+            k: self.k,
+            algorithm: self.algorithm,
+        })
+    }
+
+    /// Prepare and execute in one call.
+    pub fn run(&self) -> Result<TopKResult, QueryError> {
+        Ok(self.prepare()?.run())
+    }
+}
+
+/// The one construction both the builder and the deprecated
+/// [`prepare`](crate::engine::prepare) shim share: group affinity view +
+/// sorted lists for one (group, itemset, period, mode, layout). Keeping
+/// it single-sourced makes legacy/new equivalence structural rather
+/// than test-enforced.
+pub(crate) fn materialize_inputs<P: PreferenceProvider + ?Sized>(
+    provider: &P,
+    population: &PopulationAffinity,
+    group: &Group,
+    items: &[ItemId],
+    period_idx: usize,
+    mode: AffinityMode,
+    layout: ListLayout,
+) -> (GroupAffinity, GrecaInputs) {
+    let affinity = population.group_view(group, period_idx, mode);
+    let pref_lists = group_preference_lists(provider, group, items);
+    let inputs = GrecaInputs::build(&pref_lists, &affinity, layout);
+    (affinity, inputs)
+}
+
+/// A query whose sorted-list inputs are materialized.
+///
+/// Holds everything an execution needs — the group's affinity view, the
+/// sorted lists, and the query's scoring settings — so repeated runs
+/// (different algorithms, the §4.2 sweeps) share one preparation.
+#[derive(Debug, Clone)]
+pub struct PreparedQuery {
+    affinity: GroupAffinity,
+    inputs: GrecaInputs,
+    normalize_rpref: bool,
+    consensus: ConsensusFunction,
+    k: usize,
+    algorithm: Algorithm,
+}
+
+impl PreparedQuery {
+    /// Assemble directly from hand-built parts — the path for inputs
+    /// that did not come from a CF model, e.g. the paper's §3.1 running
+    /// example, whose preference lists are given as tables. Scoring
+    /// settings start at the paper defaults; chain
+    /// [`consensus`](Self::consensus) / [`top`](Self::top) /
+    /// [`algorithm`](Self::algorithm) to adjust.
+    pub fn from_parts(
+        affinity: GroupAffinity,
+        pref_lists: &[PreferenceList],
+        layout: ListLayout,
+        normalize_rpref: bool,
+    ) -> Self {
+        let inputs = GrecaInputs::build(pref_lists, &affinity, layout);
+        PreparedQuery {
+            affinity,
+            inputs,
+            normalize_rpref,
+            consensus: ConsensusFunction::average_preference(),
+            k: PAPER_DEFAULT_K,
+            algorithm: Algorithm::default(),
+        }
+    }
+
+    /// Replace the consensus function.
+    pub fn consensus(mut self, consensus: ConsensusFunction) -> Self {
+        self.consensus = consensus;
+        self
+    }
+
+    /// Replace the result size.
+    pub fn top(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Replace the executing algorithm.
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// The materialized lists.
+    pub fn inputs(&self) -> &GrecaInputs {
+        &self.inputs
+    }
+
+    /// The group's affinity view at the query period.
+    pub fn affinity(&self) -> &GroupAffinity {
+        &self.affinity
+    }
+
+    /// Execute the configured algorithm.
+    pub fn run(&self) -> TopKResult {
+        self.execute(self.algorithm, self.consensus)
+    }
+
+    /// Execute the configured algorithm under a different consensus
+    /// function without cloning the materialized lists (the
+    /// consensus-sweep path of the §4.1/§4.2 experiments).
+    pub fn run_with(&self, consensus: ConsensusFunction) -> TopKResult {
+        self.execute(self.algorithm, consensus)
+    }
+
+    /// Execute a specific algorithm over the same prepared inputs (the
+    /// `%SA` comparison path: GRECA vs TA vs naive on identical lists).
+    pub fn run_algorithm(&self, algorithm: Algorithm) -> TopKResult {
+        self.execute(algorithm, self.consensus)
+    }
+
+    fn execute(&self, algorithm: Algorithm, consensus: ConsensusFunction) -> TopKResult {
+        match algorithm {
+            Algorithm::Greca(mut config) => {
+                config.k = self.k;
+                greca_topk(
+                    &self.inputs,
+                    &self.affinity,
+                    consensus,
+                    self.normalize_rpref,
+                    config,
+                )
+            }
+            Algorithm::Ta(mut config) => {
+                config.k = self.k;
+                ta_topk(
+                    &self.inputs,
+                    &self.affinity,
+                    consensus,
+                    self.normalize_rpref,
+                    config,
+                )
+            }
+            Algorithm::Naive => naive_topk(
+                &self.inputs,
+                &self.affinity,
+                consensus,
+                self.normalize_rpref,
+                self.k,
+            ),
+        }
+    }
+
+    /// Exact consensus scores of every candidate item, descending (no
+    /// access accounting; the verification/evaluation path).
+    pub fn exact_scores(&self) -> Vec<(ItemId, f64)> {
+        naive_scores(
+            &self.inputs,
+            &self.affinity,
+            self.consensus,
+            self.normalize_rpref,
+        )
+        .0
+    }
+}
+
+/// Results of a [`run_batch`] execution.
+#[derive(Debug, Clone)]
+pub struct BatchResult {
+    /// Per-query outcome, in input order.
+    pub results: Vec<Result<TopKResult, QueryError>>,
+    /// Access counters summed over the successful queries.
+    pub stats: AccessStats,
+}
+
+impl BatchResult {
+    /// The successful results, in input order.
+    pub fn successes(&self) -> impl Iterator<Item = &TopKResult> {
+        self.results.iter().filter_map(|r| r.as_ref().ok())
+    }
+
+    /// Mean ± stderr of `%SA` over the successful queries — the figures'
+    /// "average over 20 random groups" aggregation.
+    pub fn sa_percent_aggregate(&self) -> Aggregate {
+        let samples: Vec<f64> = self.successes().map(|r| r.stats.sa_percent()).collect();
+        Aggregate::of(&samples)
+    }
+}
+
+/// Execute many prepared queries in parallel and aggregate their access
+/// statistics — the §4.2 many-group harness path.
+///
+/// Queries fan out over `min(available_parallelism, #queries)` OS
+/// threads via an atomic work queue (queries cost wildly different
+/// amounts — group size, item count and period depth all vary — so
+/// work-stealing beats static chunking). Results keep input order;
+/// per-query failures surface as `Err` entries without failing the
+/// batch.
+pub fn run_batch(queries: &[GroupQuery<'_>]) -> BatchResult {
+    let mut results: Vec<Option<Result<TopKResult, QueryError>>> = Vec::new();
+    results.resize_with(queries.len(), || None);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(queries.len().max(1));
+    if workers <= 1 {
+        for (slot, q) in results.iter_mut().zip(queries) {
+            *slot = Some(q.run());
+        }
+    } else {
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let collected: Vec<Vec<(usize, Result<TopKResult, QueryError>)>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let mut out = Vec::new();
+                            loop {
+                                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                let Some(q) = queries.get(i) else { break };
+                                out.push((i, q.run()));
+                            }
+                            out
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("batch worker panicked"))
+                    .collect()
+            });
+        for (i, r) in collected.into_iter().flatten() {
+            results[i] = Some(r);
+        }
+    }
+    let results: Vec<Result<TopKResult, QueryError>> = results
+        .into_iter()
+        .map(|r| r.expect("every query index visited"))
+        .collect();
+    let mut stats = AccessStats::default();
+    for r in results.iter().filter_map(|r| r.as_ref().ok()) {
+        stats.sa += r.stats.sa;
+        stats.ra += r.stats.ra;
+        stats.total_entries += r.stats.total_entries;
+    }
+    BatchResult { results, stats }
+}

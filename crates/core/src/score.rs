@@ -89,9 +89,9 @@ impl<'a> BoundScorer<'a> {
                         .affinity
                         .pair_of(members[u], members[v])
                         .expect("group members");
-                    rpref = rpref.add(pair_affs[pair].mul_nonneg(aprefs[v]));
+                    rpref = rpref + pair_affs[pair].mul_nonneg(aprefs[v]);
                 }
-                aprefs[u].add(rpref.scale(norm))
+                aprefs[u] + rpref.scale(norm)
             })
             .collect()
     }
@@ -112,7 +112,7 @@ impl<'a> BoundScorer<'a> {
                     let mut acc = Interval::exact(0.0);
                     for i in 0..n {
                         for j in (i + 1)..n {
-                            acc = acc.add(prefs[i].abs_diff(prefs[j]));
+                            acc = acc + prefs[i].abs_diff(prefs[j]);
                         }
                     }
                     acc.scale(2.0 / (n as f64 * (n as f64 - 1.0)))
@@ -128,15 +128,13 @@ impl<'a> BoundScorer<'a> {
                     for p in prefs {
                         // (p − mean) envelope, then squared.
                         let d = Interval::new(p.lo - mean.hi, p.hi - mean.lo);
-                        acc = acc.add(d.square());
+                        acc = acc + d.square();
                     }
                     acc.scale(1.0 / n as f64)
                 }
             }
         };
-        gpref
-            .scale(self.consensus.w1)
-            .add(dis.sub_from(1.0).scale(self.consensus.w2()))
+        gpref.scale(self.consensus.w1) + dis.sub_from(1.0).scale(self.consensus.w2())
     }
 
     /// Full envelope: aprefs + pair affinities → `F` envelope.
@@ -190,8 +188,9 @@ mod tests {
                     let aprefs = [3.5, 1.0, 4.2];
                     let aprefs_iv: Vec<Interval> =
                         aprefs.iter().map(|&a| Interval::exact(a)).collect();
-                    let pair_affs: Vec<Interval> =
-                        (0..v.num_pairs()).map(|p| Interval::exact(v.affinity(p))).collect();
+                    let pair_affs: Vec<Interval> = (0..v.num_pairs())
+                        .map(|p| Interval::exact(v.affinity(p)))
+                        .collect();
                     let iv = bound.score_interval(&aprefs_iv, &pair_affs);
                     let exact = scalar.score(&aprefs);
                     assert!(
@@ -279,7 +278,13 @@ mod tests {
 
     #[test]
     fn singleton_group_consensus() {
-        let v = GroupAffinity::new(vec![UserId(7)], AffinityMode::Discrete, vec![], vec![], vec![]);
+        let v = GroupAffinity::new(
+            vec![UserId(7)],
+            AffinityMode::Discrete,
+            vec![],
+            vec![],
+            vec![],
+        );
         let bs = BoundScorer::new(&v, ConsensusFunction::pairwise_disagreement(0.5), true);
         let iv = bs.score_interval(&[Interval::exact(4.0)], &[]);
         // dis = 0, gpref = 4 → F = 0.5·4 + 0.5·1 = 2.5.

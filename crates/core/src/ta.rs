@@ -36,6 +36,13 @@ pub struct TaConfig {
     pub cache_affinity: bool,
 }
 
+impl Default for TaConfig {
+    /// The paper's default `k = 10` with per-item affinity re-fetching.
+    fn default() -> Self {
+        TaConfig::top(10)
+    }
+}
+
 impl TaConfig {
     /// Paper-faithful configuration for a given `k`.
     pub fn top(k: usize) -> Self {
@@ -136,8 +143,7 @@ pub fn ta_topk(
             if any_exhausted {
                 return finish(heap, stats, StopReason::Exhausted);
             }
-            let aprefs_iv: Vec<Interval> =
-                cursors.iter().map(|&c| Interval::new(0.0, c)).collect();
+            let aprefs_iv: Vec<Interval> = cursors.iter().map(|&c| Interval::new(0.0, c)).collect();
             let threshold = bound_scorer.score_interval(&aprefs_iv, &exact_affs).hi;
             let kth = heap[k - 1].1;
             if threshold <= kth + 1e-12 {
@@ -151,11 +157,7 @@ fn finish(heap: Vec<(ItemId, f64)>, stats: AccessStats, reason: StopReason) -> T
     TopKResult {
         items: heap
             .into_iter()
-            .map(|(item, s)| TopKItem {
-                item,
-                lb: s,
-                ub: s,
-            })
+            .map(|(item, s)| TopKItem { item, lb: s, ub: s })
             .collect(),
         stats,
         sweeps: 0,

@@ -15,7 +15,7 @@ use greca_affinity::{AffinityMode, PopulationAffinity, TableAffinitySource};
 use greca_cf::PreferenceList;
 use greca_consensus::ConsensusFunction;
 use greca_core::{
-    GrecaConfig, ListLayout, Prepared, StoppingRule, TaConfig,
+    Algorithm, CheckInterval, GrecaConfig, ListLayout, PreparedQuery, StoppingRule, TaConfig,
 };
 use greca_dataset::{Granularity, Group, ItemId, Timeline, UserId};
 use proptest::prelude::*;
@@ -25,9 +25,9 @@ struct Instance {
     n: usize,
     m: usize,
     periods: usize,
-    aprefs: Vec<Vec<f64>>,        // [user][item]
-    static_raw: Vec<f64>,         // per pair
-    periodic_raw: Vec<Vec<f64>>,  // [period][pair]
+    aprefs: Vec<Vec<f64>>,       // [user][item]
+    static_raw: Vec<f64>,        // per pair
+    periodic_raw: Vec<Vec<f64>>, // [period][pair]
     mode_sel: u8,
     consensus_sel: u8,
     k: usize,
@@ -41,10 +41,7 @@ fn num_pairs(n: usize) -> usize {
 
 fn instance_strategy() -> impl Strategy<Value = Instance> {
     (2usize..=4, 1usize..=18, 0usize..=3).prop_flat_map(|(n, m, periods)| {
-        let aprefs = proptest::collection::vec(
-            proptest::collection::vec(0.0f64..5.0, m),
-            n,
-        );
+        let aprefs = proptest::collection::vec(proptest::collection::vec(0.0f64..5.0, m), n);
         let static_raw = proptest::collection::vec(0.0f64..3.0, num_pairs(n));
         let periodic_raw = proptest::collection::vec(
             proptest::collection::vec(0.0f64..4.0, num_pairs(n)),
@@ -64,7 +61,19 @@ fn instance_strategy() -> impl Strategy<Value = Instance> {
             any::<bool>(),
         )
             .prop_map(
-                |(n, m, periods, aprefs, static_raw, periodic_raw, mode_sel, consensus_sel, k, layout_single, normalize)| {
+                |(
+                    n,
+                    m,
+                    periods,
+                    aprefs,
+                    static_raw,
+                    periodic_raw,
+                    mode_sel,
+                    consensus_sel,
+                    k,
+                    layout_single,
+                    normalize,
+                )| {
                     Instance {
                         n,
                         m,
@@ -102,7 +111,7 @@ fn consensus_of(sel: u8) -> ConsensusFunction {
     }
 }
 
-fn build(inst: &Instance) -> (Prepared, ConsensusFunction) {
+fn build(inst: &Instance) -> PreparedQuery {
     let users: Vec<UserId> = (0..inst.n as u32).map(UserId).collect();
     let mut src = TableAffinitySource::new();
     let mut pair = 0;
@@ -115,8 +124,8 @@ fn build(inst: &Instance) -> (Prepared, ConsensusFunction) {
     let pop = if inst.periods == 0 {
         PopulationAffinity::new_static_only(&src, &users)
     } else {
-        let tl = Timeline::discretize(0, (inst.periods as i64) * 100, Granularity::Custom(100))
-            .unwrap();
+        let tl =
+            Timeline::discretize(0, (inst.periods as i64) * 100, Granularity::Custom(100)).unwrap();
         for (p, pdata) in inst.periodic_raw.iter().enumerate() {
             let start = tl.periods()[p].start;
             let mut pr = 0;
@@ -147,15 +156,14 @@ fn build(inst: &Instance) -> (Prepared, ConsensusFunction) {
     } else {
         ListLayout::Decomposed
     };
-    (
-        Prepared::from_parts(affinity, &pref_lists, layout, inst.normalize),
-        consensus_of(inst.consensus_sel),
-    )
+    PreparedQuery::from_parts(affinity, &pref_lists, layout, inst.normalize)
+        .consensus(consensus_of(inst.consensus_sel))
+        .top(inst.k)
 }
 
 /// Exact scores of the returned items, descending.
-fn returned_scores(p: &Prepared, consensus: ConsensusFunction, items: &[ItemId]) -> Vec<f64> {
-    let exact = p.exact_scores(consensus);
+fn returned_scores(p: &PreparedQuery, items: &[ItemId]) -> Vec<f64> {
+    let exact = p.exact_scores();
     let mut got: Vec<f64> = items
         .iter()
         .map(|it| exact.iter().find(|&&(i, _)| i == *it).expect("exists").1)
@@ -164,11 +172,17 @@ fn returned_scores(p: &Prepared, consensus: ConsensusFunction, items: &[ItemId])
     got
 }
 
-fn assert_matches_naive(p: &Prepared, consensus: ConsensusFunction, items: &[ItemId], k: usize) {
-    let exact = p.exact_scores(consensus);
+fn assert_matches_naive(p: &PreparedQuery, items: &[ItemId], k: usize) {
+    let exact = p.exact_scores();
     let want: Vec<f64> = exact.iter().take(k).map(|&(_, s)| s).collect();
-    let got = returned_scores(p, consensus, items);
-    assert_eq!(got.len(), want.len(), "returned {} items, want {}", got.len(), want.len());
+    let got = returned_scores(p, items);
+    assert_eq!(
+        got.len(),
+        want.len(),
+        "returned {} items, want {}",
+        got.len(),
+        want.len()
+    );
     for (g, w) in got.iter().zip(&want) {
         assert!(
             (g - w).abs() < 1e-6,
@@ -182,34 +196,33 @@ proptest! {
 
     #[test]
     fn greca_equals_naive(inst in instance_strategy()) {
-        let (p, consensus) = build(&inst);
-        let result = p.greca(consensus, GrecaConfig::top(inst.k));
-        assert_matches_naive(&p, consensus, &result.item_ids(), inst.k);
-        prop_assert!(result.stats.sa <= p.inputs.total_entries());
+        let p = build(&inst);
+        let result = p.run();
+        assert_matches_naive(&p, &result.item_ids(), inst.k);
+        prop_assert!(result.stats.sa <= p.inputs().total_entries());
     }
 
     #[test]
     fn threshold_only_equals_naive(inst in instance_strategy()) {
-        let (p, consensus) = build(&inst);
-        let result = p.greca(
-            consensus,
-            GrecaConfig::top(inst.k).stopping(StoppingRule::ThresholdOnly),
-        );
-        assert_matches_naive(&p, consensus, &result.item_ids(), inst.k);
+        let p = build(&inst);
+        let result = p.run_algorithm(Algorithm::Greca(
+            GrecaConfig::default().stopping(StoppingRule::ThresholdOnly),
+        ));
+        assert_matches_naive(&p, &result.item_ids(), inst.k);
     }
 
     #[test]
     fn ta_equals_naive(inst in instance_strategy()) {
-        let (p, consensus) = build(&inst);
-        let result = p.ta(consensus, TaConfig::top(inst.k));
-        assert_matches_naive(&p, consensus, &result.item_ids(), inst.k);
+        let p = build(&inst);
+        let result = p.run_algorithm(Algorithm::Ta(TaConfig::default()));
+        assert_matches_naive(&p, &result.item_ids(), inst.k);
     }
 
     #[test]
     fn bounds_sandwich_exact(inst in instance_strategy()) {
-        let (p, consensus) = build(&inst);
-        let exact = p.exact_scores(consensus);
-        let result = p.greca(consensus, GrecaConfig::top(inst.k));
+        let p = build(&inst);
+        let exact = p.exact_scores();
+        let result = p.run();
         for t in &result.items {
             let score = exact.iter().find(|&&(i, _)| i == t.item).unwrap().1;
             prop_assert!(t.lb - 1e-6 <= score && score <= t.ub + 1e-6,
@@ -219,12 +232,11 @@ proptest! {
 
     #[test]
     fn adaptive_check_interval_preserves_correctness(inst in instance_strategy()) {
-        let (p, consensus) = build(&inst);
-        let result = p.greca(
-            consensus,
-            GrecaConfig::top(inst.k).check_interval(greca_core::CheckInterval::Adaptive),
-        );
-        assert_matches_naive(&p, consensus, &result.item_ids(), inst.k);
+        let p = build(&inst);
+        let result = p.run_algorithm(Algorithm::Greca(
+            GrecaConfig::default().check_interval(CheckInterval::Adaptive),
+        ));
+        assert_matches_naive(&p, &result.item_ids(), inst.k);
     }
 
     #[test]
@@ -233,12 +245,12 @@ proptest! {
         a.layout_single = false;
         let mut b = inst;
         b.layout_single = true;
-        let (pa, ca) = build(&a);
-        let (pb, cb) = build(&b);
-        let ra = pa.greca(ca, GrecaConfig::top(a.k));
-        let rb = pb.greca(cb, GrecaConfig::top(b.k));
-        let sa = returned_scores(&pa, ca, &ra.item_ids());
-        let sb = returned_scores(&pb, cb, &rb.item_ids());
+        let pa = build(&a);
+        let pb = build(&b);
+        let ra = pa.run();
+        let rb = pb.run();
+        let sa = returned_scores(&pa, &ra.item_ids());
+        let sb = returned_scores(&pb, &rb.item_ids());
         for (x, y) in sa.iter().zip(&sb) {
             prop_assert!((x - y).abs() < 1e-6);
         }

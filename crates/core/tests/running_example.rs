@@ -11,7 +11,7 @@
 use greca_affinity::{AffinityMode, PopulationAffinity, TableAffinitySource};
 use greca_cf::PreferenceList;
 use greca_consensus::ConsensusFunction;
-use greca_core::{GrecaConfig, ListLayout, Prepared, StoppingRule};
+use greca_core::{Algorithm, GrecaConfig, ListLayout, PreparedQuery, StoppingRule};
 use greca_dataset::{Granularity, Group, ItemId, Timeline, UserId};
 
 const U1: UserId = UserId(1);
@@ -49,39 +49,41 @@ fn world() -> (PopulationAffinity, Timeline) {
     (pop, tl)
 }
 
-fn prepared(mode: AffinityMode) -> Prepared {
+fn prepared(mode: AffinityMode) -> PreparedQuery {
     let (pop, tl) = world();
     let group = Group::new(vec![U1, U2, U3]).unwrap();
     let affinity = pop.group_view(&group, tl.num_periods() - 1, mode);
-    Prepared::from_parts(affinity, &preference_lists(), ListLayout::Decomposed, false)
+    PreparedQuery::from_parts(affinity, &preference_lists(), ListLayout::Decomposed, false)
 }
 
 #[test]
 fn list_shapes_match_section_3_1() {
     let p = prepared(AffinityMode::Discrete);
     // 3 preference lists of 3 items each.
-    assert_eq!(p.inputs.pref_lists.len(), 3);
-    assert!(p.inputs.pref_lists.iter().all(|l| l.len() == 3));
+    assert_eq!(p.inputs().pref_lists.len(), 3);
+    assert!(p.inputs().pref_lists.iter().all(|l| l.len() == 3));
     // LaffS(u1) with 2 entries, LaffS(u2) with 1, none for u3.
-    assert_eq!(p.inputs.static_lists.len(), 2);
-    assert_eq!(p.inputs.static_lists[0].len(), 2);
-    assert_eq!(p.inputs.static_lists[1].len(), 1);
+    assert_eq!(p.inputs().static_lists.len(), 2);
+    assert_eq!(p.inputs().static_lists[0].len(), 2);
+    assert_eq!(p.inputs().static_lists[1].len(), 1);
     // Two periods, each decomposed the same way.
-    assert_eq!(p.inputs.period_lists.len(), 2);
-    for period in &p.inputs.period_lists {
+    assert_eq!(p.inputs().period_lists.len(), 2);
+    for period in &p.inputs().period_lists {
         assert_eq!(period.len(), 2);
         assert_eq!(period[0].len() + period[1].len(), 3);
     }
     // Total entries: 9 pref + 3 static + 6 periodic = 18.
-    assert_eq!(p.inputs.total_entries(), 18);
+    assert_eq!(p.inputs().total_entries(), 18);
 }
 
 #[test]
 fn greca_returns_i1_as_top_1() {
     // §3.2: "For our running example ... this returns i1 as the top-1
     // item to the group."
-    let p = prepared(AffinityMode::Discrete);
-    let result = p.greca(ConsensusFunction::average_preference(), GrecaConfig::top(1));
+    let result = prepared(AffinityMode::Discrete)
+        .consensus(ConsensusFunction::average_preference())
+        .top(1)
+        .run();
     assert_eq!(result.items.len(), 1);
     assert_eq!(result.items[0].item, I1);
 }
@@ -96,8 +98,7 @@ fn top_1_is_i1_under_every_affinity_mode() {
         AffinityMode::Discrete,
         AffinityMode::continuous(),
     ] {
-        let p = prepared(mode);
-        let result = p.greca(ConsensusFunction::average_preference(), GrecaConfig::top(1));
+        let result = prepared(mode).top(1).run();
         assert_eq!(result.items[0].item, I1, "{mode:?}");
     }
 }
@@ -110,7 +111,6 @@ fn greca_matches_naive_for_all_k_and_consensus() {
         AffinityMode::Discrete,
         AffinityMode::continuous(),
     ] {
-        let p = prepared(mode);
         for consensus in [
             ConsensusFunction::average_preference(),
             ConsensusFunction::least_misery(),
@@ -118,9 +118,10 @@ fn greca_matches_naive_for_all_k_and_consensus() {
             ConsensusFunction::pairwise_disagreement(0.2),
             ConsensusFunction::variance_disagreement(0.5),
         ] {
-            let exact: Vec<(ItemId, f64)> = p.exact_scores(consensus);
+            let p = prepared(mode).consensus(consensus);
+            let exact: Vec<(ItemId, f64)> = p.exact_scores();
             for k in 1..=3 {
-                let result = p.greca(consensus, GrecaConfig::top(k));
+                let result = p.clone().top(k).run();
                 assert_eq!(result.items.len(), k);
                 // The returned itemset's exact scores must equal the
                 // naive top-k's score multiset.
@@ -151,10 +152,9 @@ fn greca_matches_naive_for_all_k_and_consensus() {
 
 #[test]
 fn bounds_sandwich_exact_scores() {
-    let p = prepared(AffinityMode::Discrete);
-    let consensus = ConsensusFunction::average_preference();
-    let exact = p.exact_scores(consensus);
-    let result = p.greca(consensus, GrecaConfig::top(3));
+    let p = prepared(AffinityMode::Discrete).top(3);
+    let exact = p.exact_scores();
+    let result = p.run();
     for t in &result.items {
         let score = exact.iter().find(|&&(i, _)| i == t.item).unwrap().1;
         assert!(
@@ -186,20 +186,18 @@ fn decreasing_affinity_between_periods_lowers_pair_affinity() {
 
 #[test]
 fn exhaustive_rule_reads_everything() {
-    let p = prepared(AffinityMode::Discrete);
-    let result = p.greca(
-        ConsensusFunction::average_preference(),
+    let p = prepared(AffinityMode::Discrete).top(1);
+    let result = p.run_algorithm(Algorithm::Greca(
         GrecaConfig::top(1).stopping(StoppingRule::Exhaustive),
-    );
-    assert_eq!(result.stats.sa, p.inputs.total_entries());
+    ));
+    assert_eq!(result.stats.sa, p.inputs().total_entries());
     assert_eq!(result.items[0].item, I1);
 }
 
 #[test]
 fn ta_agrees_with_naive_and_charges_ras() {
-    let p = prepared(AffinityMode::Discrete);
-    let consensus = ConsensusFunction::average_preference();
-    let ta = p.ta(consensus, greca_core::TaConfig::top(1));
+    let p = prepared(AffinityMode::Discrete).top(1);
+    let ta = p.run_algorithm(Algorithm::Ta(greca_core::TaConfig::default()));
     assert_eq!(ta.items[0].item, I1);
     // §3.1: completing one item's score costs 21 RAs in this example
     // (2 apref RAs are charged per *new* item: the paper charges 3

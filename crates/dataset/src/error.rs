@@ -41,8 +41,14 @@ mod tests {
             DatasetError::InvalidConfig("x".into()).to_string(),
             "invalid configuration: x"
         );
-        assert_eq!(DatasetError::UnknownUser(7).to_string(), "unknown user id 7");
-        assert_eq!(DatasetError::UnknownItem(9).to_string(), "unknown item id 9");
+        assert_eq!(
+            DatasetError::UnknownUser(7).to_string(),
+            "unknown user id 7"
+        );
+        assert_eq!(
+            DatasetError::UnknownItem(9).to_string(),
+            "unknown item id 9"
+        );
         assert_eq!(
             DatasetError::GroupFormation("no candidates".into()).to_string(),
             "group formation failed: no candidates"

@@ -32,7 +32,9 @@ impl Group {
         members.sort_unstable();
         members.dedup();
         if members.is_empty() {
-            return Err(DatasetError::GroupFormation("group must be non-empty".into()));
+            return Err(DatasetError::GroupFormation(
+                "group must be non-empty".into(),
+            ));
         }
         Ok(Group { members })
     }
@@ -60,9 +62,10 @@ impl Group {
     /// All unordered member pairs `(u, v)` with `u < v` —
     /// `|G|·(|G|−1)/2` of them, the paper's affinity-list entries.
     pub fn pairs(&self) -> impl Iterator<Item = (UserId, UserId)> + '_ {
-        self.members.iter().enumerate().flat_map(move |(i, &u)| {
-            self.members[i + 1..].iter().map(move |&v| (u, v))
-        })
+        self.members
+            .iter()
+            .enumerate()
+            .flat_map(move |(i, &u)| self.members[i + 1..].iter().map(move |&v| (u, v)))
     }
 
     /// Number of unordered pairs.
@@ -201,7 +204,7 @@ impl<'a> GroupBuilder<'a> {
                     Cohesion::Dissimilar => -sim_sum,
                     Cohesion::Any => rng.random::<f64>(),
                 };
-                if best.map_or(true, |(_, s)| score > s) {
+                if best.is_none_or(|(_, s)| score > s) {
                     best = Some((cand, score));
                 }
             }
@@ -220,7 +223,9 @@ impl<'a> GroupBuilder<'a> {
                     .iter()
                     .enumerate()
                     .flat_map(|(i, &u)| {
-                        members[i + 1..].iter().map(move |&v| (self.similarity)(u, v))
+                        members[i + 1..]
+                            .iter()
+                            .map(move |&v| (self.similarity)(u, v))
                     })
                     .sum();
                 let score = match spec.cohesion {
@@ -228,19 +233,17 @@ impl<'a> GroupBuilder<'a> {
                     Cohesion::Dissimilar => -sim_sum,
                     Cohesion::Any => 0.0,
                 };
-                if best.as_ref().map_or(true, |&(_, s)| score > s) {
+                if best.as_ref().is_none_or(|&(_, s)| score > s) {
                     best = Some((members, score));
                 }
             }
         }
-        let members = best
-            .map(|(m, _)| m)
-            .ok_or_else(|| {
-                DatasetError::GroupFormation(format!(
-                    "no group of size {} satisfies {:?}/{:?}",
-                    spec.size, spec.cohesion, spec.affinity
-                ))
-            })?;
+        let members = best.map(|(m, _)| m).ok_or_else(|| {
+            DatasetError::GroupFormation(format!(
+                "no group of size {} satisfies {:?}/{:?}",
+                spec.size, spec.cohesion, spec.affinity
+            ))
+        })?;
         Group::new(members)
     }
 
@@ -344,11 +347,18 @@ mod tests {
                 .map(|(u, v)| 1.0 / (1.0 + (u.0 as f64 - v.0 as f64).abs()))
                 .sum()
         };
-        let s = b.build(GroupSpec::of_size(4).cohesion(Cohesion::Similar), 1).unwrap();
+        let s = b
+            .build(GroupSpec::of_size(4).cohesion(Cohesion::Similar), 1)
+            .unwrap();
         let d = b
             .build(GroupSpec::of_size(4).cohesion(Cohesion::Dissimilar), 1)
             .unwrap();
-        assert!(sim(&s) > sim(&d), "similar {} vs dissimilar {}", sim(&s), sim(&d));
+        assert!(
+            sim(&s) > sim(&d),
+            "similar {} vs dissimilar {}",
+            sim(&s),
+            sim(&d)
+        );
     }
 
     #[test]
@@ -369,9 +379,7 @@ mod tests {
         let g = b
             .build(GroupSpec::of_size(4).affinity(AffinityLevel::Low), 3)
             .unwrap();
-        let has_weak = g
-            .pairs()
-            .any(|(u, v)| ((u.0 < 15) != (v.0 < 15)));
+        let has_weak = g.pairs().any(|(u, v)| (u.0 < 15) != (v.0 < 15));
         assert!(has_weak);
     }
 
@@ -406,8 +414,12 @@ mod tests {
     #[test]
     fn deterministic_under_seed() {
         let b = builder(20);
-        let g1 = b.build(GroupSpec::of_size(4).cohesion(Cohesion::Similar), 5).unwrap();
-        let g2 = b.build(GroupSpec::of_size(4).cohesion(Cohesion::Similar), 5).unwrap();
+        let g1 = b
+            .build(GroupSpec::of_size(4).cohesion(Cohesion::Similar), 5)
+            .unwrap();
+        let g2 = b
+            .build(GroupSpec::of_size(4).cohesion(Cohesion::Similar), 5)
+            .unwrap();
         assert_eq!(g1, g2);
     }
 }

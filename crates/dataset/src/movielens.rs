@@ -155,7 +155,9 @@ impl MovieLens {
         let genres = &self.item_genres[item.idx()];
         let dot: f64 = taste.iter().zip(genres).map(|(a, b)| a * b).sum();
         let centered = dot - 1.0 / c.num_genres as f64;
-        c.mean_rating + self.user_bias[user.idx()] + self.item_bias[item.idx()]
+        c.mean_rating
+            + self.user_bias[user.idx()]
+            + self.item_bias[item.idx()]
             + c.taste_gain * centered * c.num_genres as f64 / 4.0
     }
 
@@ -201,7 +203,10 @@ fn dirichlet_like<R: RngExt + ?Sized>(rng: &mut R, n: usize, concentration: f64)
 
 fn generate(cfg: &MovieLensConfig) -> MovieLens {
     assert!(cfg.num_users > 0 && cfg.num_items > 0, "empty world");
-    assert!(cfg.num_genres > 0 && cfg.num_archetypes > 0, "need latent structure");
+    assert!(
+        cfg.num_genres > 0 && cfg.num_archetypes > 0,
+        "need latent structure"
+    );
     let mut rng = StdRng::seed_from_u64(cfg.seed);
 
     // --- Latent item structure -------------------------------------------
@@ -266,9 +271,8 @@ fn generate(cfg: &MovieLensConfig) -> MovieLens {
         user_archetype,
         config: cfg.clone(),
     };
-    for u in 0..cfg.num_users {
-        let want = ((raw_activity[u] * scale).round() as usize)
-            .clamp(1, cfg.num_items);
+    for (u, &activity) in raw_activity.iter().enumerate() {
+        let want = ((activity * scale).round() as usize).clamp(1, cfg.num_items);
         let picks = randx::sample_distinct(&mut rng, &pop, want);
         for idx in picks {
             let item = ItemId(idx as u32);
@@ -366,9 +370,8 @@ mod tests {
         let ml = MovieLensConfig::small().generate();
         let users: Vec<UserId> = ml.matrix.users().collect();
         let items: Vec<ItemId> = (0..50).map(ItemId).collect();
-        let utility_vec = |u: UserId| -> Vec<f64> {
-            items.iter().map(|&i| ml.latent_utility(u, i)).collect()
-        };
+        let utility_vec =
+            |u: UserId| -> Vec<f64> { items.iter().map(|&i| ml.latent_utility(u, i)).collect() };
         let corr = |a: &[f64], b: &[f64]| -> f64 {
             let n = a.len() as f64;
             let ma = a.iter().sum::<f64>() / n;

@@ -234,7 +234,8 @@ impl RatingMatrixBuilder {
     pub fn build(self) -> RatingMatrix {
         let mut by_user: Vec<Vec<(ItemId, f32)>> = vec![Vec::new(); self.num_users];
         // Replay in order so later duplicates overwrite earlier ones.
-        let mut slot: std::collections::HashMap<(u32, u32), usize> = std::collections::HashMap::new();
+        let mut slot: std::collections::HashMap<(u32, u32), usize> =
+            std::collections::HashMap::new();
         for r in &self.ratings {
             let key = (r.user.0, r.item.0);
             match slot.entry(key) {
@@ -325,7 +326,10 @@ mod tests {
     fn item_views_are_consistent() {
         let m = tiny();
         assert_eq!(m.item_popularity(ItemId(0)), 2);
-        assert_eq!(m.item_ratings(ItemId(0)), &[(UserId(0), 5.0), (UserId(1), 4.0)]);
+        assert_eq!(
+            m.item_ratings(ItemId(0)),
+            &[(UserId(0), 5.0), (UserId(1), 4.0)]
+        );
         let var = m.item_rating_variance(ItemId(0)).unwrap();
         assert!((var - 0.25).abs() < 1e-12);
         assert_eq!(m.item_rating_variance(ItemId(1)), None);
@@ -336,7 +340,7 @@ mod tests {
         let m = tiny();
         let ranked = m.items_by_popularity();
         assert_eq!(ranked[0], ItemId(0)); // two raters
-        // Remaining have ≤1 rater; i2 and i3 have one each, i1 zero.
+                                          // Remaining have ≤1 rater; i2 and i3 have one each, i1 zero.
         assert_eq!(*ranked.last().unwrap(), ItemId(1));
     }
 
@@ -353,7 +357,11 @@ mod tests {
             .rate(UserId(0), ItemId(1), 2.0, 0)
             .rate(UserId(0), ItemId(3), 3.0, 0);
         let m = b.build();
-        let items: Vec<u32> = m.user_ratings(UserId(0)).iter().map(|&(i, _)| i.0).collect();
+        let items: Vec<u32> = m
+            .user_ratings(UserId(0))
+            .iter()
+            .map(|&(i, _)| i.0)
+            .collect();
         assert_eq!(items, vec![1, 3, 4]);
     }
 }

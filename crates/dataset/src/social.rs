@@ -236,12 +236,12 @@ fn generate(cfg: &SocialConfig) -> SocialNetwork {
         cluster_of.push(s);
         members_of.push(vec![s]);
     }
-    for s in 0..cfg.num_seeds {
+    for (s, members) in members_of.iter_mut().enumerate() {
         let n_friends = rng.random_range(cfg.friends_per_seed.0..=cfg.friends_per_seed.1);
         for _ in 0..n_friends {
             let uid = cluster_of.len();
             cluster_of.push(s);
-            members_of[s].push(uid);
+            members.push(uid);
         }
     }
     let num_users = cluster_of.len();
@@ -264,8 +264,7 @@ fn generate(cfg: &SocialConfig) -> SocialNetwork {
         }
     }
     // Each friend is connected to its seed; same-cluster closure.
-    for s in 0..cfg.num_seeds {
-        let members = members_of[s].clone();
+    for (s, members) in members_of.iter().enumerate() {
         for &m in &members[1..] {
             add_edge(&mut adj, s, m);
         }
@@ -314,8 +313,7 @@ fn generate(cfg: &SocialConfig) -> SocialNetwork {
         target: Vec<f64>,
     }
     let mut interests = Vec::with_capacity(num_users);
-    for u in 0..num_users {
-        let c = cluster_of[u];
+    for &c in cluster_of.iter().take(num_users) {
         let personal = randx::sample_distinct(&mut rng, &uniform, 4);
         let mut start = community_profiles[c].clone();
         for p in &personal {
@@ -381,7 +379,11 @@ mod tests {
     fn paper_scale_has_expected_population() {
         let net = SocialConfig::paper_scale().generate();
         // 13 seeds + 13×(4..=6) friends: 65..=91 users.
-        assert!(net.num_users() >= 65 && net.num_users() <= 91, "{}", net.num_users());
+        assert!(
+            net.num_users() >= 65 && net.num_users() <= 91,
+            "{}",
+            net.num_users()
+        );
         assert_eq!(net.num_categories(), 197);
     }
 

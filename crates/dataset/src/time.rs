@@ -174,7 +174,9 @@ impl Timeline {
         }
         let step = granularity.seconds();
         if step <= 0 {
-            return Err(DatasetError::InvalidTime("granularity must be positive".into()));
+            return Err(DatasetError::InvalidTime(
+                "granularity must be positive".into(),
+            ));
         }
         let mut periods = Vec::with_capacity(((horizon - origin) / step + 1) as usize);
         let mut s = origin;
@@ -189,8 +191,7 @@ impl Timeline {
     /// One year of two-month periods starting at the epoch: the paper's
     /// default discretization (6 periods, §4.2.1).
     pub fn paper_default() -> Self {
-        Timeline::discretize(0, YEAR, Granularity::TwoMonth)
-            .expect("static parameters are valid")
+        Timeline::discretize(0, YEAR, Granularity::TwoMonth).expect("static parameters are valid")
     }
 
     /// The beginning of time `s0`.

@@ -2,22 +2,57 @@ use greca_eval::*;
 
 fn main() {
     let w = WorldConfig::study_scale().build();
-    let study = Study::new(&w, StudyConfig { k: 10, max_candidates: 160, ..Default::default() });
+    let study = Study::new(
+        &w,
+        StudyConfig {
+            k: 10,
+            max_candidates: 160,
+            ..Default::default()
+        },
+    );
     for v in RecVariant::figure1_sweep() {
         let out = study.independent(v);
-        let row: Vec<String> = out.rows.iter().map(|(c,p)| format!("{}={:.1}", c.label(), p)).collect();
+        let row: Vec<String> = out
+            .rows
+            .iter()
+            .map(|(c, p)| format!("{}={:.1}", c.label(), p))
+            .collect();
         println!("{:28} {}", v.label(), row.join("  "));
     }
     println!();
-    for (a,b,name) in [(RecVariant::Default, RecVariant::AffinityAgnostic, "aff vs agnostic"),
-                       (RecVariant::Default, RecVariant::TimeAgnostic, "time vs agnostic"),
-                       (RecVariant::ContinuousTime, RecVariant::Default, "cont vs discrete")] {
-        let out = study.comparative(a,b);
-        let row: Vec<String> = out.rows.iter().map(|(c,p)| format!("{}={:.0}", c.label(), p)).collect();
+    for (a, b, name) in [
+        (
+            RecVariant::Default,
+            RecVariant::AffinityAgnostic,
+            "aff vs agnostic",
+        ),
+        (
+            RecVariant::Default,
+            RecVariant::TimeAgnostic,
+            "time vs agnostic",
+        ),
+        (
+            RecVariant::ContinuousTime,
+            RecVariant::Default,
+            "cont vs discrete",
+        ),
+    ] {
+        let out = study.comparative(a, b);
+        let row: Vec<String> = out
+            .rows
+            .iter()
+            .map(|(c, p)| format!("{}={:.0}", c.label(), p))
+            .collect();
         println!("{:18} {}", name, row.join("  "));
     }
     println!();
     for (c, pcts) in study.consensus_threeway() {
-        println!("fig2 {:9} AP={:.0} MO={:.0} PD={:.0}", c.label(), pcts[0], pcts[1], pcts[2]);
+        println!(
+            "fig2 {:9} AP={:.0} MO={:.0} PD={:.0}",
+            c.label(),
+            pcts[0],
+            pcts[1],
+            pcts[2]
+        );
     }
 }

@@ -28,7 +28,6 @@
 //! ablation removes.
 
 use crate::world::StudyWorld;
-use greca_affinity::AffinityMode;
 use greca_dataset::{Group, ItemId, UserId};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -77,6 +76,15 @@ impl<'a> SatisfactionOracle<'a> {
 
     /// Ground-truth appreciation of `item` by `user` within `group` at
     /// period `p_idx` (see module docs).
+    ///
+    /// The company term weights companions by the *true* discrete
+    /// temporal affinity under the same §4.1.2 group normalization the
+    /// paper applies ("we normalize all static affinity values in a
+    /// group by the maximum pair-wise value in the group") — group
+    /// membership changes how much each companion matters, exactly the
+    /// premise the study tests. Recommenders still only see CF-predicted
+    /// preferences, so the oracle is not an answer key: a variant scores
+    /// well only by modelling the affinity/temporal structure.
     pub fn truth(&self, user: UserId, item: ItemId, group: &Group, p_idx: usize) -> f64 {
         let ml = &self.world.movielens;
         let own = ml.latent_utility(user, item);
@@ -85,6 +93,8 @@ impl<'a> SatisfactionOracle<'a> {
             return own;
         }
         let pop = &self.world.population;
+        // §4.1.2 group renormalization of static affinity.
+        let gmax = pop.group_static_max(group);
         let mut company = 0.0;
         for &v in members {
             if v == user {
@@ -93,9 +103,12 @@ impl<'a> SatisfactionOracle<'a> {
             let pair = pop
                 .pair_of(user, v)
                 .expect("study users are in the affinity universe");
-            let aff = pop
-                .affinity(pair, p_idx, AffinityMode::Discrete)
-                .clamp(0.0, 2.0);
+            let static_c = if gmax > 0.0 {
+                pop.static_raw_of(pair) / gmax
+            } else {
+                0.0
+            };
+            let aff = (static_c + pop.aff_v_discrete(pair, p_idx)).clamp(0.0, 2.0);
             company += aff * ml.latent_utility(v, item);
         }
         // The paper's relative-preference premise is an *unnormalized*
@@ -107,9 +120,8 @@ impl<'a> SatisfactionOracle<'a> {
             .map(|&m| ml.latent_utility(m, item))
             .collect();
         let mean = utils.iter().sum::<f64>() / utils.len() as f64;
-        let spread = (utils.iter().map(|u| (u - mean).powi(2)).sum::<f64>()
-            / utils.len() as f64)
-            .sqrt();
+        let spread =
+            (utils.iter().map(|u| (u - mean).powi(2)).sum::<f64>() / utils.len() as f64).sqrt();
         own + self.config.company_weight * company - self.config.disagreement_penalty * spread
     }
 
@@ -255,10 +267,13 @@ mod tests {
     #[test]
     fn satisfaction_is_bounded_and_monotone_in_list_quality() {
         let w = world();
-        let oracle = SatisfactionOracle::new(&w, OracleConfig {
-            judgment_noise: 0.0,
-            ..OracleConfig::default()
-        });
+        let oracle = SatisfactionOracle::new(
+            &w,
+            OracleConfig {
+                judgment_noise: 0.0,
+                ..OracleConfig::default()
+            },
+        );
         let users = w.study_users();
         let g = Group::new(vec![users[0], users[1], users[2]]).unwrap();
         let p = w.last_period();
@@ -274,10 +289,8 @@ mod tests {
         let best: Vec<ItemId> = ranked[..5].to_vec();
         let worst: Vec<ItemId> = ranked[ranked.len() - 5..].to_vec();
         let mut rng = oracle.judgment_rng();
-        let s_best =
-            oracle.satisfaction_percent(users[0], &best, &candidates, &g, p, &mut rng);
-        let s_worst =
-            oracle.satisfaction_percent(users[0], &worst, &candidates, &g, p, &mut rng);
+        let s_best = oracle.satisfaction_percent(users[0], &best, &candidates, &g, p, &mut rng);
+        let s_worst = oracle.satisfaction_percent(users[0], &worst, &candidates, &g, p, &mut rng);
         assert!((0.0..=100.0).contains(&s_best));
         assert!((0.0..=100.0).contains(&s_worst));
         assert!(s_best > s_worst);
@@ -288,10 +301,13 @@ mod tests {
     #[test]
     fn prefers_is_consistent_without_noise() {
         let w = world();
-        let oracle = SatisfactionOracle::new(&w, OracleConfig {
-            judgment_noise: 0.0,
-            ..OracleConfig::default()
-        });
+        let oracle = SatisfactionOracle::new(
+            &w,
+            OracleConfig {
+                judgment_noise: 0.0,
+                ..OracleConfig::default()
+            },
+        );
         let users = w.study_users();
         let g = Group::new(vec![users[0], users[3]]).unwrap();
         let p = w.last_period();
@@ -307,10 +323,13 @@ mod tests {
     #[test]
     fn pick_of_three_selects_truth_maximizer_without_noise() {
         let w = world();
-        let oracle = SatisfactionOracle::new(&w, OracleConfig {
-            judgment_noise: 0.0,
-            ..OracleConfig::default()
-        });
+        let oracle = SatisfactionOracle::new(
+            &w,
+            OracleConfig {
+                judgment_noise: 0.0,
+                ..OracleConfig::default()
+            },
+        );
         let users = w.study_users();
         let g = Group::new(vec![users[0], users[1]]).unwrap();
         let p = w.last_period();
@@ -320,13 +339,8 @@ mod tests {
             vec![ItemId(4), ItemId(5)],
         ];
         let mut rng = oracle.judgment_rng();
-        let pick = oracle.pick_of_three(
-            users[0],
-            [&lists[0], &lists[1], &lists[2]],
-            &g,
-            p,
-            &mut rng,
-        );
+        let pick =
+            oracle.pick_of_three(users[0], [&lists[0], &lists[1], &lists[2]], &g, p, &mut rng);
         let truths: Vec<f64> = lists
             .iter()
             .map(|l| oracle.list_truth(users[0], l, &g, p))

@@ -102,6 +102,9 @@ mod tests {
     fn consensus_matches_chart_semantics() {
         assert_eq!(RecVariant::Default.consensus().label(), "AP");
         assert_eq!(RecVariant::LeastMisery.consensus().label(), "MO");
-        assert!(RecVariant::PairwiseDisagreement.consensus().label().starts_with("PD"));
+        assert!(RecVariant::PairwiseDisagreement
+            .consensus()
+            .label()
+            .starts_with("PD"));
     }
 }

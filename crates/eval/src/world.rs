@@ -122,14 +122,11 @@ impl StudyWorld {
             movielens.matrix.num_users()
         );
         inject_participant_ratings(&mut movielens, &social);
-        let timeline = Timeline::discretize(0, social.horizon(), config.granularity)
-            .expect("valid horizon");
+        let timeline =
+            Timeline::discretize(0, social.horizon(), config.granularity).expect("valid horizon");
         let universe: Vec<UserId> = social.users().collect();
-        let population = PopulationAffinity::build(
-            &SocialAffinitySource::new(&social),
-            &universe,
-            &timeline,
-        );
+        let population =
+            PopulationAffinity::build(&SocialAffinitySource::new(&social), &universe, &timeline);
         StudyWorld {
             movielens,
             social,

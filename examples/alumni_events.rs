@@ -45,18 +45,17 @@ fn main() {
     let mut previous: Option<Vec<ItemId>> = None;
     for (p_idx, &period) in timeline.periods().iter().enumerate() {
         population.append_period(&source, period);
-        let prepared = prepare(
-            &cf,
-            &population,
-            &group,
-            &items,
-            p_idx,
-            AffinityMode::Discrete,
-            ListLayout::Decomposed,
-            true,
-        );
-        let list: Vec<ItemId> = prepared
-            .greca(consensus, GrecaConfig::top(5))
+        // The engine is a cheap view over the substrates; re-wrapping it
+        // after each index append keeps the borrow obvious.
+        let engine = GrecaEngine::new(&cf, &population);
+        let list: Vec<ItemId> = engine
+            .query(&group)
+            .items(&items)
+            .period(p_idx)
+            .consensus(consensus)
+            .top(5)
+            .run()
+            .expect("valid query")
             .items
             .iter()
             .map(|t| t.item)
@@ -77,18 +76,17 @@ fn main() {
 
     // Discrete vs continuous at year end.
     let last = timeline.num_periods() - 1;
+    let engine = GrecaEngine::new(&cf, &population);
     for mode in [AffinityMode::Discrete, AffinityMode::continuous()] {
-        let prepared = prepare(
-            &cf,
-            &population,
-            &group,
-            &items,
-            last,
-            mode,
-            ListLayout::Decomposed,
-            true,
-        );
-        let r = prepared.greca(consensus, GrecaConfig::top(5));
+        let r = engine
+            .query(&group)
+            .items(&items)
+            .period(last)
+            .affinity(mode)
+            .consensus(consensus)
+            .top(5)
+            .run()
+            .expect("valid query");
         println!(
             "\n{mode:?}: top-5 = {:?}  (%SA = {:.1})",
             r.item_ids(),

@@ -11,9 +11,9 @@
 
 use greca::prelude::*;
 
-fn top5(prepared: &Prepared, consensus: ConsensusFunction) -> Vec<ItemId> {
+fn top5(prepared: &PreparedQuery, consensus: ConsensusFunction) -> Vec<ItemId> {
     prepared
-        .greca(consensus, GrecaConfig::top(5))
+        .run_with(consensus)
         .items
         .iter()
         .map(|t| t.item)
@@ -33,6 +33,7 @@ fn main() {
     let universe: Vec<UserId> = net.users().collect();
     let population =
         PopulationAffinity::build(&SocialAffinitySource::new(&net), &universe, &timeline);
+    let engine = GrecaEngine::new(&cf, &population);
     let p_idx = timeline.num_periods() - 1;
 
     // The protagonist and two companies: same-cluster friends (dense
@@ -54,16 +55,13 @@ fn main() {
 
     let items: Vec<ItemId> = ml.matrix.items().take(300).collect();
     let mk = |group: &Group| {
-        prepare(
-            &cf,
-            &population,
-            group,
-            &items,
-            p_idx,
-            AffinityMode::Discrete,
-            ListLayout::Decomposed,
-            true,
-        )
+        engine
+            .query(group)
+            .items(&items)
+            .period(p_idx)
+            .top(5)
+            .prepare()
+            .expect("valid query")
     };
     let with_friends = mk(&friends);
     let with_strangers = mk(&strangers);
@@ -72,8 +70,14 @@ fn main() {
     let friends_list = top5(&with_friends, ap);
     let strangers_list = top5(&with_strangers, ap);
     println!("movie night for {protagonist}:");
-    println!("  with friends   {:?} → {friends_list:?}", friends.members());
-    println!("  with strangers {:?} → {strangers_list:?}", strangers.members());
+    println!(
+        "  with friends   {:?} → {friends_list:?}",
+        friends.members()
+    );
+    println!(
+        "  with strangers {:?} → {strangers_list:?}",
+        strangers.members()
+    );
     println!(
         "  lists share {}/5 movies — company changes what gets recommended",
         overlap(&friends_list, &strangers_list)
@@ -92,16 +96,14 @@ fn main() {
     }
 
     // Affinity ablation: how much does modelling affinity change the list?
-    let agnostic = prepare(
-        &cf,
-        &population,
-        &friends,
-        &items,
-        p_idx,
-        AffinityMode::None,
-        ListLayout::Decomposed,
-        true,
-    );
+    let agnostic = engine
+        .query(&friends)
+        .items(&items)
+        .period(p_idx)
+        .affinity(AffinityMode::None)
+        .top(5)
+        .prepare()
+        .expect("valid query");
     let agnostic_list = top5(&agnostic, ap);
     println!(
         "\naffinity-aware vs affinity-agnostic overlap: {}/5",

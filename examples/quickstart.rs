@@ -24,11 +24,12 @@ fn main() {
         net.num_likes(),
     );
 
-    // --- 2. Substrates ---------------------------------------------------
+    // --- 2. Substrates → the serving engine ------------------------------
     let cf = UserCfModel::fit(&ml.matrix, CfConfig::default());
     let universe: Vec<UserId> = net.users().collect();
     let population =
         PopulationAffinity::build(&SocialAffinitySource::new(&net), &universe, &timeline);
+    let engine = GrecaEngine::new(&cf, &population);
 
     // --- 3. An ad-hoc group query ---------------------------------------
     let group = Group::new(vec![UserId(1), UserId(5), UserId(9)]).expect("non-empty");
@@ -39,21 +40,18 @@ fn main() {
         items.len()
     );
 
-    let prepared = prepare(
-        &cf,
-        &population,
-        &group,
-        &items,
-        timeline.num_periods() - 1,
-        AffinityMode::Discrete,
-        ListLayout::Decomposed,
-        true,
-    );
+    // Paper defaults (AP consensus, discrete affinity, decomposed lists)
+    // are baked in; only the itemset and k are stated.
+    let prepared = engine
+        .query(&group)
+        .items(&items)
+        .top(5)
+        .prepare()
+        .expect("valid query");
 
     // --- 4. GRECA vs the naive full scan ---------------------------------
-    let consensus = ConsensusFunction::average_preference();
-    let top = prepared.greca(consensus, GrecaConfig::top(5));
-    let naive = prepared.naive(consensus, 5);
+    let top = prepared.run();
+    let naive = prepared.run_algorithm(Algorithm::Naive);
 
     println!("\ntop-5 items for the group (AP consensus, discrete temporal affinity):");
     for t in &top.items {
@@ -71,6 +69,10 @@ fn main() {
         "naive read {} entries; both return the same itemset: {}",
         naive.stats.sa,
         top.item_ids() == naive.item_ids()
-            || top.items.iter().zip(&naive.items).all(|(a, b)| (a.lb - b.lb).abs() < 1e-9),
+            || top
+                .items
+                .iter()
+                .zip(&naive.items)
+                .all(|(a, b)| (a.lb - b.lb).abs() < 1e-9),
     );
 }

@@ -14,7 +14,8 @@
 //! * [`consensus`] — relative preference and the AP/MO/PD/variance
 //!   consensus functions;
 //! * [`core`] — the GRECA top-k algorithm with its buffer stopping
-//!   condition, plus TA and naive baselines with access accounting;
+//!   condition, TA and naive baselines with access accounting, and the
+//!   [`GrecaEngine`](core::GrecaEngine) serving API;
 //! * [`eval`] — the simulated user study (satisfaction oracle,
 //!   independent/comparative protocols).
 //!
@@ -28,26 +29,34 @@
 //! let net = SocialConfig::tiny().generate();
 //! let timeline = Timeline::discretize(0, net.horizon(), Granularity::TwoMonth).unwrap();
 //!
-//! // 2. Substrates: CF for absolute preferences, the affinity index.
+//! // 2. Long-lived substrates: CF for absolute preferences, the
+//! //    population-affinity index.
 //! let cf = UserCfModel::fit(&ml.matrix, CfConfig::default());
 //! let universe: Vec<UserId> = net.users().collect();
 //! let population = PopulationAffinity::build(
 //!     &SocialAffinitySource::new(&net), &universe, &timeline);
 //!
-//! // 3. An ad-hoc group query with temporal affinities.
+//! // 3. The engine serves ad-hoc group queries; defaults follow the
+//! //    paper (k = 10, AP consensus, discrete affinity, decomposed
+//! //    lists, normalized relative preference).
+//! let engine = GrecaEngine::new(&cf, &population);
 //! let group = Group::new(vec![UserId(0), UserId(1), UserId(4)]).unwrap();
 //! let items: Vec<ItemId> = ml.matrix.items().take(200).collect();
-//! let prepared = prepare(
-//!     &cf, &population, &group, &items,
-//!     timeline.num_periods() - 1,
-//!     AffinityMode::Discrete,
-//!     ListLayout::Decomposed,
-//!     true,
-//! );
-//! let top = prepared.greca(ConsensusFunction::average_preference(), GrecaConfig::top(5));
+//! let top = engine.query(&group).items(&items).top(5).run().unwrap();
 //! assert_eq!(top.items.len(), 5);
 //! println!("saved {:.1}% of list accesses", top.stats.saveup_percent());
+//!
+//! // The same query object runs the comparison set of §4.2 over
+//! // identical inputs: GRECA vs TA vs the naive full scan.
+//! let prepared = engine.query(&group).items(&items).top(5).prepare().unwrap();
+//! let greca = prepared.run_algorithm(Algorithm::Greca(GrecaConfig::default()));
+//! let naive = prepared.run_algorithm(Algorithm::Naive);
+//! assert!(greca.stats.sa <= naive.stats.sa);
 //! ```
+//!
+//! Many-group workloads go through [`run_batch`](core::run_batch),
+//! which fans prepared queries out across threads and aggregates their
+//! access statistics — see `GrecaEngine::run_batch`.
 
 pub use greca_affinity as affinity;
 pub use greca_cf as cf;
@@ -63,13 +72,14 @@ pub mod prelude {
         TableAffinitySource,
     };
     pub use greca_cf::{
-        candidate_items, group_preference_lists, CfConfig, ItemCfModel, PreferenceList,
-        PreferenceProvider, Similarity, UserCfModel,
+        candidate_items, CfConfig, ItemCfModel, PreferenceList, PreferenceProvider, Similarity,
+        UserCfModel,
     };
-    pub use greca_consensus::{ConsensusFunction, GroupScorer};
+    pub use greca_consensus::ConsensusFunction;
     pub use greca_core::{
-        prepare, AccessStats, CheckInterval, GrecaConfig, ListLayout, Prepared, StopReason,
-        StoppingRule, TaConfig, TopKResult,
+        run_batch, AccessStats, Algorithm, BatchResult, CheckInterval, GrecaConfig, GrecaEngine,
+        GroupQuery, ListLayout, PreparedQuery, QueryError, StopReason, StoppingRule, TaConfig,
+        TopKResult,
     };
     pub use greca_dataset::prelude::*;
     pub use greca_eval::{

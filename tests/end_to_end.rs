@@ -1,6 +1,7 @@
 //! Cross-crate integration: the full pipeline from raw synthetic data to
 //! GRECA recommendations, validated against the naive oracle on real CF
-//! inputs (not hand-built tables).
+//! inputs (not hand-built tables) — all through the `GrecaEngine` query
+//! API.
 
 use greca::prelude::*;
 
@@ -25,19 +26,16 @@ fn prepared(
     members: Vec<u32>,
     mode: AffinityMode,
     n_items: usize,
-) -> Prepared {
+) -> PreparedQuery {
     let group = Group::new(members.into_iter().map(UserId).collect()).expect("non-empty");
     let items: Vec<ItemId> = w.ml.matrix.items().take(n_items).collect();
-    prepare(
-        cf,
-        population,
-        &group,
-        &items,
-        w.timeline.num_periods() - 1,
-        mode,
-        ListLayout::Decomposed,
-        true,
-    )
+    GrecaEngine::new(cf, population)
+        .query(&group)
+        .items(&items)
+        .period(w.timeline.num_periods() - 1)
+        .affinity(mode)
+        .prepare()
+        .expect("valid query")
 }
 
 #[test]
@@ -60,14 +58,15 @@ fn full_pipeline_matches_naive_across_configs() {
             ConsensusFunction::pairwise_disagreement(0.2),
             ConsensusFunction::variance_disagreement(0.5),
         ] {
-            let p = prepared(&w, &cf, &population, vec![0, 2, 5], mode, 120);
             let k = 7;
-            let greca = p.greca(consensus, GrecaConfig::top(k));
-            let naive = p.naive(consensus, k);
-            let exact = p.exact_scores(consensus);
-            let score_of = |item: ItemId| {
-                exact.iter().find(|&&(i, _)| i == item).expect("scored").1
-            };
+            let p = prepared(&w, &cf, &population, vec![0, 2, 5], mode, 120)
+                .consensus(consensus)
+                .top(k);
+            let greca = p.run();
+            let naive = p.run_algorithm(Algorithm::Naive);
+            let exact = p.exact_scores();
+            let score_of =
+                |item: ItemId| exact.iter().find(|&&(i, _)| i == item).expect("scored").1;
             let mut got: Vec<f64> = greca.item_ids().iter().map(|&i| score_of(i)).collect();
             got.sort_by(|a, b| b.partial_cmp(a).unwrap());
             for (g, n) in got.iter().zip(naive.items.iter()) {
@@ -90,17 +89,22 @@ fn ta_and_threshold_only_agree_with_naive_end_to_end() {
     let universe: Vec<UserId> = w.net.users().collect();
     let population =
         PopulationAffinity::build(&SocialAffinitySource::new(&w.net), &universe, &w.timeline);
-    let p = prepared(&w, &cf, &population, vec![1, 3, 4], AffinityMode::Discrete, 100);
-    let consensus = ConsensusFunction::average_preference();
-    let naive = p.naive(consensus, 5);
-    let ta = p.ta(consensus, TaConfig::top(5));
-    let nra = p.greca(
-        consensus,
-        GrecaConfig::top(5).stopping(StoppingRule::ThresholdOnly),
-    );
-    let exact = p.exact_scores(consensus);
-    let score_of =
-        |item: ItemId| exact.iter().find(|&&(i, _)| i == item).expect("scored").1;
+    let p = prepared(
+        &w,
+        &cf,
+        &population,
+        vec![1, 3, 4],
+        AffinityMode::Discrete,
+        100,
+    )
+    .top(5);
+    let naive = p.run_algorithm(Algorithm::Naive);
+    let ta = p.run_algorithm(Algorithm::Ta(TaConfig::default()));
+    let nra = p.run_algorithm(Algorithm::Greca(
+        GrecaConfig::default().stopping(StoppingRule::ThresholdOnly),
+    ));
+    let exact = p.exact_scores();
+    let score_of = |item: ItemId| exact.iter().find(|&&(i, _)| i == item).expect("scored").1;
     for r in [&ta, &nra] {
         let mut got: Vec<f64> = r.item_ids().iter().map(|&i| score_of(i)).collect();
         got.sort_by(|a, b| b.partial_cmp(a).unwrap());
@@ -120,11 +124,24 @@ fn different_groups_get_different_lists() {
     let universe: Vec<UserId> = w.net.users().collect();
     let population =
         PopulationAffinity::build(&SocialAffinitySource::new(&w.net), &universe, &w.timeline);
-    let consensus = ConsensusFunction::average_preference();
-    let a = prepared(&w, &cf, &population, vec![0, 1, 2], AffinityMode::Discrete, 200)
-        .greca(consensus, GrecaConfig::top(10));
-    let b = prepared(&w, &cf, &population, vec![6, 7, 8], AffinityMode::Discrete, 200)
-        .greca(consensus, GrecaConfig::top(10));
+    let a = prepared(
+        &w,
+        &cf,
+        &population,
+        vec![0, 1, 2],
+        AffinityMode::Discrete,
+        200,
+    )
+    .run();
+    let b = prepared(
+        &w,
+        &cf,
+        &population,
+        vec![6, 7, 8],
+        AffinityMode::Discrete,
+        200,
+    )
+    .run();
     assert_ne!(a.item_ids(), b.item_ids());
 }
 
@@ -135,9 +152,46 @@ fn k_larger_than_catalog_returns_everything() {
     let universe: Vec<UserId> = w.net.users().collect();
     let population =
         PopulationAffinity::build(&SocialAffinitySource::new(&w.net), &universe, &w.timeline);
-    let p = prepared(&w, &cf, &population, vec![0, 1], AffinityMode::Discrete, 8);
-    let r = p.greca(ConsensusFunction::average_preference(), GrecaConfig::top(50));
+    let r = prepared(&w, &cf, &population, vec![0, 1], AffinityMode::Discrete, 8)
+        .top(50)
+        .run();
     assert_eq!(r.items.len(), 8);
+}
+
+#[test]
+fn batch_queries_match_individual_runs() {
+    // run_batch is a pure execution strategy: per-query results must be
+    // bit-identical to running the same queries one at a time, and the
+    // aggregated stats must be their sum.
+    let w = world();
+    let cf = UserCfModel::fit(&w.ml.matrix, CfConfig::default());
+    let universe: Vec<UserId> = w.net.users().collect();
+    let population =
+        PopulationAffinity::build(&SocialAffinitySource::new(&w.net), &universe, &w.timeline);
+    let engine = GrecaEngine::new(&cf, &population);
+    let groups: Vec<Group> = [[0u32, 1, 2], [3, 4, 5], [6, 7, 8], [0, 4, 8]]
+        .iter()
+        .map(|m| Group::new(m.iter().map(|&u| UserId(u)).collect()).unwrap())
+        .collect();
+    let items: Vec<ItemId> = w.ml.matrix.items().take(150).collect();
+    let queries: Vec<GroupQuery> = groups
+        .iter()
+        .map(|g| engine.query(g).items(&items).top(5))
+        .collect();
+    let batch = engine.run_batch(&queries);
+    assert_eq!(batch.results.len(), queries.len());
+    let mut sa_sum = 0;
+    for (q, r) in queries.iter().zip(&batch.results) {
+        let solo = q.run().expect("valid query");
+        let batched = r.as_ref().expect("valid query");
+        assert_eq!(solo.item_ids(), batched.item_ids());
+        assert_eq!(solo.stats, batched.stats);
+        sa_sum += solo.stats.sa;
+    }
+    assert_eq!(batch.stats.sa, sa_sum);
+    let agg = batch.sa_percent_aggregate();
+    assert_eq!(agg.n, queries.len());
+    assert!(agg.mean > 0.0 && agg.mean <= 100.0);
 }
 
 #[test]
@@ -150,17 +204,24 @@ fn incremental_index_supports_midyear_queries() {
     let source = SocialAffinitySource::new(&w.net);
     let batch = PopulationAffinity::build(&source, &universe, &w.timeline);
     let mut inc = PopulationAffinity::new_static_only(&source, &universe);
-    let consensus = ConsensusFunction::average_preference();
     for (p_idx, &period) in w.timeline.periods().iter().enumerate() {
         inc.append_period(&source, period);
         let group = Group::new(vec![UserId(0), UserId(3), UserId(5)]).unwrap();
         let items: Vec<ItemId> = w.ml.matrix.items().take(60).collect();
-        let a = prepare(&cf, &inc, &group, &items, p_idx, AffinityMode::Discrete,
-            ListLayout::Decomposed, true)
-            .greca(consensus, GrecaConfig::top(5));
-        let b = prepare(&cf, &batch, &group, &items, p_idx, AffinityMode::Discrete,
-            ListLayout::Decomposed, true)
-            .greca(consensus, GrecaConfig::top(5));
+        let a = GrecaEngine::new(&cf, &inc)
+            .query(&group)
+            .items(&items)
+            .period(p_idx)
+            .top(5)
+            .run()
+            .expect("valid incremental query");
+        let b = GrecaEngine::new(&cf, &batch)
+            .query(&group)
+            .items(&items)
+            .period(p_idx)
+            .top(5)
+            .run()
+            .expect("valid batch query");
         assert_eq!(a.item_ids(), b.item_ids(), "period {p_idx}");
     }
 }

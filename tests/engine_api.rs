@@ -1,0 +1,241 @@
+//! Contract tests for the `GrecaEngine` / `GroupQuery` API:
+//!
+//! * builder defaults equal the paper's §4.2 settings;
+//! * invalid queries fail with typed errors before any work happens;
+//! * the builder path returns results identical to the legacy
+//!   `prepare()` + `Prepared` path across every affinity mode ×
+//!   consensus function combination (the deprecation-safety proof).
+
+use greca::prelude::*;
+
+struct World {
+    ml: greca_dataset::MovieLens,
+    net: greca_dataset::SocialNetwork,
+    timeline: Timeline,
+}
+
+fn world() -> World {
+    let ml = MovieLensConfig::small().generate();
+    let net = SocialConfig::tiny().generate();
+    let timeline =
+        Timeline::discretize(0, net.horizon(), Granularity::Season).expect("valid horizon");
+    World { ml, net, timeline }
+}
+
+fn population(w: &World) -> PopulationAffinity {
+    let universe: Vec<UserId> = w.net.users().collect();
+    PopulationAffinity::build(&SocialAffinitySource::new(&w.net), &universe, &w.timeline)
+}
+
+#[test]
+fn builder_defaults_are_the_paper_settings() {
+    // Omitting every optional field must give §4.2's defaults: k = 10,
+    // AP consensus, discrete affinity, decomposed layout, normalized
+    // rpref, the latest period, GRECA. We verify behaviorally: the
+    // default query equals the same query with every default spelled
+    // out.
+    let w = world();
+    let cf = UserCfModel::fit(&w.ml.matrix, CfConfig::default());
+    let pop = population(&w);
+    let engine = GrecaEngine::new(&cf, &pop);
+    let group = Group::new(vec![UserId(0), UserId(2), UserId(5)]).unwrap();
+    let items: Vec<ItemId> = w.ml.matrix.items().take(120).collect();
+
+    let defaulted = engine.query(&group).items(&items).run().unwrap();
+    let spelled_out = engine
+        .query(&group)
+        .items(&items)
+        .period(w.timeline.num_periods() - 1)
+        .affinity(AffinityMode::Discrete)
+        .layout(ListLayout::Decomposed)
+        .consensus(ConsensusFunction::average_preference())
+        .normalize_rpref(true)
+        .top(10)
+        .algorithm(Algorithm::Greca(GrecaConfig::top(10)))
+        .run()
+        .unwrap();
+    assert_eq!(defaulted, spelled_out);
+    assert_eq!(defaulted.items.len(), 10, "paper default k = 10");
+}
+
+#[test]
+fn validation_errors_are_typed() {
+    let w = world();
+    let cf = UserCfModel::fit(&w.ml.matrix, CfConfig::default());
+    let pop = population(&w);
+    let engine = GrecaEngine::new(&cf, &pop);
+    let group = Group::new(vec![UserId(0), UserId(1)]).unwrap();
+    let items: Vec<ItemId> = w.ml.matrix.items().take(20).collect();
+
+    // Empty itemset (the only field without a default).
+    assert_eq!(
+        engine.query(&group).run().unwrap_err(),
+        QueryError::EmptyItemset
+    );
+
+    // Period beyond the index.
+    let np = pop.num_periods();
+    assert_eq!(
+        engine
+            .query(&group)
+            .items(&items)
+            .period(np)
+            .run()
+            .unwrap_err(),
+        QueryError::PeriodOutOfRange {
+            period: np,
+            num_periods: np
+        }
+    );
+
+    // k = 0.
+    assert_eq!(
+        engine.query(&group).items(&items).top(0).run().unwrap_err(),
+        QueryError::ZeroK
+    );
+
+    // A member outside the affinity universe (social users are a strict
+    // subset of the rating-matrix rows).
+    let stranger = UserId(u32::MAX);
+    let mixed = Group::new(vec![UserId(0), stranger]).unwrap();
+    assert_eq!(
+        engine.query(&mixed).items(&items).run().unwrap_err(),
+        QueryError::UnknownMember(stranger)
+    );
+
+    // A temporal mode against a static-only (zero-period) index would
+    // silently degrade to static scoring; it must refuse instead.
+    let static_pop = PopulationAffinity::new_static_only(
+        &SocialAffinitySource::new(&w.net),
+        &w.net.users().collect::<Vec<UserId>>(),
+    );
+    let static_engine = GrecaEngine::new(&cf, &static_pop);
+    assert_eq!(
+        static_engine
+            .query(&group)
+            .items(&items)
+            .affinity(AffinityMode::Discrete)
+            .run()
+            .unwrap_err(),
+        QueryError::PeriodOutOfRange {
+            period: 0,
+            num_periods: 0
+        }
+    );
+    // The non-temporal modes still answer against the same index.
+    assert!(static_engine
+        .query(&group)
+        .items(&items)
+        .affinity(AffinityMode::StaticOnly)
+        .run()
+        .is_ok());
+
+    // Errors are std errors with readable messages.
+    let msg = QueryError::EmptyItemset.to_string();
+    assert!(msg.contains("empty"), "message: {msg}");
+}
+
+#[test]
+#[allow(deprecated)]
+fn builder_path_equals_legacy_prepare_path() {
+    // The deprecation contract: for every affinity mode × consensus
+    // function, `GroupQuery` must return exactly what the 8-argument
+    // `prepare()` + `Prepared` path returned — same itemsets, same
+    // bounds, same access statistics — for all three algorithms.
+    use greca::core::prepare;
+
+    let w = world();
+    let cf = UserCfModel::fit(&w.ml.matrix, CfConfig::default());
+    let pop = population(&w);
+    let engine = GrecaEngine::new(&cf, &pop);
+    let group = Group::new(vec![UserId(1), UserId(3), UserId(6)]).unwrap();
+    let items: Vec<ItemId> = w.ml.matrix.items().take(100).collect();
+    let period = w.timeline.num_periods() - 1;
+    let k = 6;
+
+    for mode in [
+        AffinityMode::None,
+        AffinityMode::StaticOnly,
+        AffinityMode::Discrete,
+        AffinityMode::continuous(),
+    ] {
+        for consensus in [
+            ConsensusFunction::average_preference(),
+            ConsensusFunction::least_misery(),
+            ConsensusFunction::pairwise_disagreement(0.8),
+            ConsensusFunction::pairwise_disagreement(0.2),
+            ConsensusFunction::variance_disagreement(0.5),
+        ] {
+            for normalize in [true, false] {
+                let legacy = prepare(
+                    &cf,
+                    &pop,
+                    &group,
+                    &items,
+                    period,
+                    mode,
+                    ListLayout::Decomposed,
+                    normalize,
+                );
+                let new = engine
+                    .query(&group)
+                    .items(&items)
+                    .period(period)
+                    .affinity(mode)
+                    .consensus(consensus)
+                    .normalize_rpref(normalize)
+                    .top(k)
+                    .prepare()
+                    .unwrap();
+                let ctx = format!("{mode:?}/{}/norm={normalize}", consensus.label());
+
+                let lg = legacy.greca(consensus, GrecaConfig::top(k));
+                let ng = new.run();
+                assert_eq!(lg, ng, "greca mismatch: {ctx}");
+
+                let lt = legacy.ta(consensus, TaConfig::top(k));
+                let nt = new.run_algorithm(Algorithm::Ta(TaConfig::default()));
+                assert_eq!(lt, nt, "ta mismatch: {ctx}");
+
+                let ln = legacy.naive(consensus, k);
+                let nn = new.run_algorithm(Algorithm::Naive);
+                assert_eq!(ln, nn, "naive mismatch: {ctx}");
+
+                let le = legacy.exact_scores(consensus);
+                let ne = new.exact_scores();
+                assert_eq!(le, ne, "exact-score mismatch: {ctx}");
+            }
+        }
+    }
+}
+
+#[test]
+fn query_k_overrides_algorithm_config_k() {
+    // One query object sweeps algorithms without re-stating k: the k
+    // recorded inside an Algorithm's config must lose to the query's.
+    let w = world();
+    let cf = UserCfModel::fit(&w.ml.matrix, CfConfig::default());
+    let pop = population(&w);
+    let engine = GrecaEngine::new(&cf, &pop);
+    let group = Group::new(vec![UserId(0), UserId(4)]).unwrap();
+    let items: Vec<ItemId> = w.ml.matrix.items().take(60).collect();
+    let prepared = engine.query(&group).items(&items).top(3).prepare().unwrap();
+    let r = prepared.run_algorithm(Algorithm::Greca(GrecaConfig::top(25)));
+    assert_eq!(r.items.len(), 3);
+    let r = prepared.run_algorithm(Algorithm::Ta(TaConfig::top(25)));
+    assert_eq!(r.items.len(), 3);
+}
+
+#[test]
+fn engine_serves_any_sync_provider() {
+    // The provider is a trait object: raw ratings serve through the
+    // same engine type as the CF models.
+    let w = world();
+    let pop = population(&w);
+    let raw = greca::cf::RawRatings(&w.ml.matrix);
+    let engine = GrecaEngine::new(&raw, &pop);
+    let group = Group::new(vec![UserId(0), UserId(1)]).unwrap();
+    let items: Vec<ItemId> = w.ml.matrix.items().take(40).collect();
+    let r = engine.query(&group).items(&items).top(5).run().unwrap();
+    assert_eq!(r.items.len(), 5);
+}

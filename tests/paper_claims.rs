@@ -24,17 +24,12 @@ fn greca_saves_accesses_on_a_quality_dominated_world() {
     for s in 0..3 {
         let group = Group::new(users[s * 6..s * 6 + 6].to_vec()).unwrap();
         let items: Vec<ItemId> = world.movielens.matrix.items().take(1_200).collect();
-        let p = prepare(
-            &cf,
-            &world.population,
-            &group,
-            &items,
-            world.last_period(),
-            AffinityMode::Discrete,
-            ListLayout::Decomposed,
-            false,
-        );
-        let r = p.greca(ConsensusFunction::average_preference(), GrecaConfig::top(10));
+        let r = GrecaEngine::new(&cf, &world.population)
+            .query(&group)
+            .items(&items)
+            .normalize_rpref(false)
+            .run()
+            .expect("valid query");
         total += r.stats.sa_percent();
     }
     let mean = total / 3.0;
@@ -57,22 +52,18 @@ fn pd_with_heavier_disagreement_weight_stops_earlier() {
     let mut v2_total = 0.0;
     for s in 0..4u32 {
         let group = Group::new(users[(s as usize) * 6..(s as usize) * 6 + 6].to_vec()).unwrap();
-        let p = prepare(
-            &cf,
-            &world.population,
-            &group,
-            &items,
-            world.last_period(),
-            AffinityMode::Discrete,
-            ListLayout::Decomposed,
-            false,
-        );
+        let p = GrecaEngine::new(&cf, &world.population)
+            .query(&group)
+            .items(&items)
+            .normalize_rpref(false)
+            .prepare()
+            .expect("valid query");
         v1_total += p
-            .greca(ConsensusFunction::pairwise_disagreement(0.8), GrecaConfig::top(10))
+            .run_with(ConsensusFunction::pairwise_disagreement(0.8))
             .stats
             .sa_percent();
         v2_total += p
-            .greca(ConsensusFunction::pairwise_disagreement(0.2), GrecaConfig::top(10))
+            .run_with(ConsensusFunction::pairwise_disagreement(0.2))
             .stats
             .sa_percent();
     }
@@ -91,20 +82,17 @@ fn discrete_and_continuous_costs_are_comparable() {
     let users = world.study_users();
     let group = Group::new(users[..6].to_vec()).unwrap();
     let items: Vec<ItemId> = world.movielens.matrix.items().take(400).collect();
+    let engine = GrecaEngine::new(&cf, &world.population);
     let run = |mode: AffinityMode| {
-        prepare(
-            &cf,
-            &world.population,
-            &group,
-            &items,
-            world.last_period(),
-            mode,
-            ListLayout::Decomposed,
-            false,
-        )
-        .greca(ConsensusFunction::average_preference(), GrecaConfig::top(10))
-        .stats
-        .sa_percent()
+        engine
+            .query(&group)
+            .items(&items)
+            .affinity(mode)
+            .normalize_rpref(false)
+            .run()
+            .expect("valid query")
+            .stats
+            .sa_percent()
     };
     let d = run(AffinityMode::Discrete);
     let c = run(AffinityMode::continuous());
@@ -122,20 +110,17 @@ fn accesses_grow_with_period_count() {
     let users = world.study_users();
     let group = Group::new(users[..6].to_vec()).unwrap();
     let items: Vec<ItemId> = world.movielens.matrix.items().take(300).collect();
+    let engine = GrecaEngine::new(&cf, &world.population);
     let run = |p_idx: usize| {
-        prepare(
-            &cf,
-            &world.population,
-            &group,
-            &items,
-            p_idx,
-            AffinityMode::Discrete,
-            ListLayout::Decomposed,
-            false,
-        )
-        .greca(ConsensusFunction::average_preference(), GrecaConfig::top(10))
-        .stats
-        .total_entries
+        engine
+            .query(&group)
+            .items(&items)
+            .period(p_idx)
+            .normalize_rpref(false)
+            .run()
+            .expect("valid query")
+            .stats
+            .total_entries
     };
     let early = run(0);
     let late = run(world.last_period());
@@ -180,21 +165,15 @@ fn buffer_rule_never_reads_more_than_threshold_only() {
     let users = world.study_users();
     let group = Group::new(users[..4].to_vec()).unwrap();
     let items: Vec<ItemId> = world.movielens.matrix.items().take(300).collect();
-    let p = prepare(
-        &cf,
-        &world.population,
-        &group,
-        &items,
-        world.last_period(),
-        AffinityMode::Discrete,
-        ListLayout::Decomposed,
-        false,
-    );
-    let consensus = ConsensusFunction::average_preference();
-    let buffer = p.greca(consensus, GrecaConfig::top(10));
-    let threshold_only = p.greca(
-        consensus,
-        GrecaConfig::top(10).stopping(StoppingRule::ThresholdOnly),
-    );
+    let p = GrecaEngine::new(&cf, &world.population)
+        .query(&group)
+        .items(&items)
+        .normalize_rpref(false)
+        .prepare()
+        .expect("valid query");
+    let buffer = p.run();
+    let threshold_only = p.run_algorithm(Algorithm::Greca(
+        GrecaConfig::default().stopping(StoppingRule::ThresholdOnly),
+    ));
     assert!(buffer.stats.sa <= threshold_only.stats.sa);
 }

@@ -1,0 +1,187 @@
+//! Offline stand-in for `criterion`, covering the API slice the
+//! workspace's benches use: `Criterion::benchmark_group`,
+//! `bench_function` / `bench_with_input`, `BenchmarkId`, `Bencher::iter`
+//! / `iter_with_setup`, and the `criterion_group!` / `criterion_main!`
+//! macros.
+//!
+//! The real criterion cannot be fetched offline. This stand-in runs each
+//! benchmark for a short warm-up, then measures a fixed wall-clock
+//! window and reports mean iteration time — good enough to eyeball
+//! regressions and to keep `cargo bench` green, without criterion's
+//! statistics, plotting, or baseline storage. Swap `vendor/` for the
+//! real crate to regain those.
+
+use std::time::{Duration, Instant};
+
+/// Measurement settings (fixed; the real crate tunes these per bench).
+const WARMUP: Duration = Duration::from_millis(50);
+const MEASURE: Duration = Duration::from_millis(250);
+
+/// Re-export mirror of `criterion::black_box` (deprecated there in favor
+/// of `std::hint::black_box`, which the workspace uses directly).
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\ngroup {name}");
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// Benchmark a single function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(id, &mut f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing a prefix.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmark `f` under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{id}", self.name);
+        run_one(&full, &mut f);
+        self
+    }
+
+    /// Benchmark `f` with one input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.label());
+        run_one(&full, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Set the sample count (accepted for API compatibility; the fixed
+    /// measurement window ignores it).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// End the group (a no-op beyond matching the real API).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: function name plus parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Identifier for `function` at `parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    fn label(&self) -> String {
+        format!("{}/{}", self.function, self.parameter)
+    }
+}
+
+/// Passed to benchmark closures; drives the measurement loop.
+pub struct Bencher {
+    /// `(iterations, total elapsed)` accumulated by `iter*`.
+    result: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Measure `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up.
+        let start = Instant::now();
+        while start.elapsed() < WARMUP {
+            black_box(routine());
+        }
+        // Measure.
+        let mut iters = 0u64;
+        let start = Instant::now();
+        while start.elapsed() < MEASURE {
+            black_box(routine());
+            iters += 1;
+        }
+        self.result = Some((iters.max(1), start.elapsed()));
+    }
+
+    /// Measure `routine` on fresh inputs from `setup` (setup excluded
+    /// from timing).
+    pub fn iter_with_setup<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+    ) {
+        let mut iters = 0u64;
+        let mut elapsed = Duration::ZERO;
+        while elapsed < MEASURE {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            elapsed += start.elapsed();
+            iters += 1;
+        }
+        self.result = Some((iters.max(1), elapsed));
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, f: &mut F) {
+    let mut b = Bencher { result: None };
+    f(&mut b);
+    match b.result {
+        Some((iters, total)) => {
+            let per = total.as_secs_f64() / iters as f64;
+            println!("  {label:<40} {:>12}/iter  ({iters} iters)", fmt_time(per));
+        }
+        None => println!("  {label:<40} (no measurement)"),
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Collect benchmark functions under one group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

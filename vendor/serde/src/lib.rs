@@ -1,0 +1,28 @@
+//! Offline stand-in for `serde`.
+//!
+//! The container has no crate registry, so the real `serde` cannot be
+//! fetched. Workspace types only *derive* `Serialize`/`Deserialize` as a
+//! forward-looking marker — nothing serializes through serde yet (JSON
+//! artifacts are written by hand in `greca-bench`). The stub therefore
+//! provides marker traits with blanket impls plus no-op derive macros,
+//! which keeps every `#[derive(Serialize, Deserialize)]` and trait bound
+//! in the workspace compiling unchanged. Replace `vendor/` with the real
+//! crates when a registry is reachable; no workspace code needs to
+//! change for that swap.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait mirroring `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker trait mirroring `serde::de::DeserializeOwned`.
+pub mod de {
+    /// Types deserializable without borrowing from the input.
+    pub trait DeserializeOwned: for<'de> super::Deserialize<'de> {}
+    impl<T: for<'de> super::Deserialize<'de>> DeserializeOwned for T {}
+}

@@ -1,0 +1,20 @@
+//! No-op `#[derive(Serialize, Deserialize)]` macros.
+//!
+//! The workspace builds offline; the real `serde_derive` is unavailable.
+//! Workspace types use the derives only as forward-looking markers (no
+//! code path serializes yet), so expanding to nothing is sufficient: the
+//! blanket impls in the `serde` stub make every type satisfy the trait
+//! bounds. Swap `vendor/` for the real crates when a registry is
+//! reachable.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
