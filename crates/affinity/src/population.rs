@@ -193,6 +193,31 @@ impl PopulationAffinity {
         self.user_pos.get(u.idx()).is_some_and(|p| p.is_some())
     }
 
+    /// Number of user pairs in the universe (`|U|·(|U|−1)/2`).
+    pub fn num_pairs(&self) -> usize {
+        self.static_raw.len()
+    }
+
+    /// Every pair index ordered by **globally normalized static
+    /// affinity descending** (ties by pair index), paired with the
+    /// values in that order — the population-level inverted list a
+    /// serving substrate snapshots once and shares across queries.
+    pub fn static_sorted_desc(&self) -> (Vec<u32>, Vec<f64>) {
+        sorted_desc(self.num_pairs(), |pair| self.static_norm(pair))
+    }
+
+    /// Every pair index ordered by **normalized periodic affinity of
+    /// period `p_idx` descending** (ties by pair index), with the values.
+    ///
+    /// Restricting this order to any subset of pairs reproduces exactly
+    /// what sorting that subset's values would give (normalization is a
+    /// shared positive scale), which is what lets per-group periodic
+    /// lists be assembled without a float sort.
+    pub fn period_sorted_desc(&self, p_idx: usize) -> (Vec<u32>, Vec<f64>) {
+        let pd = &self.periods[p_idx];
+        sorted_desc(self.num_pairs(), |pair| pd.normalized(pair))
+    }
+
     /// The maximum raw static affinity over a group's pairs — the
     /// denominator of §4.1.2's per-group renormalization ("we normalize
     /// all static affinity values in a group by the maximum pair-wise
@@ -335,6 +360,23 @@ impl PopulationAffinity {
         }
         GroupAffinity::new(members, mode, static_comp, period_comps, avgbar)
     }
+}
+
+/// Pair ids `0..n_pairs` sorted by `value_of` descending, ties by pair
+/// id ascending, plus the values in that order. All affinity components
+/// are finite and ≥ 0 (enforced at ingestion); `+ 0.0` collapses a
+/// `-0.0` (which `v >= 0.0` admits) onto `+0.0` so `total_cmp` agrees
+/// exactly with the IEEE partial order a per-group value sort uses —
+/// otherwise the two zeros would order differently on the two paths.
+fn sorted_desc(n_pairs: usize, value_of: impl Fn(usize) -> f64) -> (Vec<u32>, Vec<f64>) {
+    let mut pairs: Vec<u32> = (0..n_pairs as u32).collect();
+    pairs.sort_by(|&a, &b| {
+        (value_of(b as usize) + 0.0)
+            .total_cmp(&(value_of(a as usize) + 0.0))
+            .then_with(|| a.cmp(&b))
+    });
+    let values = pairs.iter().map(|&p| value_of(p as usize)).collect();
+    (pairs, values)
 }
 
 #[cfg(test)]
@@ -489,6 +531,47 @@ mod tests {
         // Pair drifts: (0.8,0.7) → sd 0.05; (0.1,0.1) → 0; (0.2,0.1) → 0.05.
         let want = (0.05 + 0.0 + 0.05) / 3.0;
         assert!((pop.mean_pair_std_dev() - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sorted_pair_arrays_are_descending_and_complete() {
+        let (src, tl) = table_world();
+        let pop = PopulationAffinity::build(&src, &users3(), &tl);
+        let (pairs, values) = pop.static_sorted_desc();
+        // Static norms: pair 0 → 1.0, pair 1 → 0.2, pair 2 → 0.3.
+        assert_eq!(pairs, vec![0, 2, 1]);
+        assert!((values[0] - 1.0).abs() < 1e-12);
+        for p_idx in 0..pop.num_periods() {
+            let (pairs, values) = pop.period_sorted_desc(p_idx);
+            assert_eq!(pairs.len(), pop.num_pairs());
+            for w in values.windows(2) {
+                assert!(w[0] >= w[1], "period {p_idx} not descending");
+            }
+            for (i, &pair) in pairs.iter().enumerate() {
+                assert!((pop.periods()[p_idx].normalized(pair as usize) - values[i]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn sorted_pair_arrays_treat_signed_zeros_as_ties() {
+        // `v >= 0.0` admits -0.0, which normalizes to -0.0; the sorted
+        // order must still tie-break ±0.0 by pair id (as a value sort
+        // with partial_cmp would), not by sign bit.
+        let mut src = TableAffinitySource::new();
+        src.set_static(UserId(0), UserId(1), 1.0)
+            .set_static(UserId(0), UserId(2), 1.0)
+            .set_static(UserId(1), UserId(2), 1.0);
+        let tl = Timeline::discretize(0, 100, Granularity::Custom(100)).unwrap();
+        let start = tl.periods()[0].start;
+        src.set_periodic(UserId(0), UserId(1), start, -0.0)
+            .set_periodic(UserId(0), UserId(2), start, 1.0)
+            .set_periodic(UserId(1), UserId(2), start, 0.0);
+        let pop = PopulationAffinity::build(&src, &users3(), &tl);
+        let (pairs, _) = pop.period_sorted_desc(0);
+        // Pair 1 carries 1.0; pairs 0 (-0.0) and 2 (+0.0) are equal and
+        // must order by ascending pair id.
+        assert_eq!(pairs, vec![1, 0, 2]);
     }
 
     #[test]

@@ -1,9 +1,10 @@
 //! Engine baseline: GRECA vs TA vs naive at the paper's §4.2 defaults,
-//! through the `GrecaEngine` / `run_batch` serving path.
+//! through the `GrecaEngine` / `run_batch` serving path, plus the
+//! substrate layer's cold-vs-warm `prepare()` split.
 //!
 //! Emits `BENCH_engine.json` (mean per-query latency + `%SA` per
-//! algorithm) — the first point of the repository's performance
-//! trajectory; later PRs regenerate it to show movement.
+//! algorithm, and the prepare split) — the repository's performance
+//! trajectory artifact; later PRs regenerate it to show movement.
 //!
 //! Run with: `cargo run -p greca-bench --release --bin engine_baseline`
 //! (pass `--quick` for the small study world instead of the full
@@ -38,11 +39,41 @@ fn main() {
     print_row("k", settings.k);
     print_row("items", settings.num_items);
 
-    // The batch path first: aggregated stats over the 20-group sweep.
-    let batch = pw.run_settings_batch(&settings);
+    // The warm batch path first: one Arc<Substrate> shared by all
+    // workers, aggregated stats over the 20-group sweep.
+    let cf = pw.cf();
+    let warm = pw.warm_engine(&cf, &settings);
+    let batch = pw.run_settings_batch_on(&warm, &settings);
     print_row(
-        "batch %SA (GRECA)",
+        "batch %SA (GRECA, warm)",
         fmt_aggregate(&batch.sa_percent_aggregate()),
+    );
+
+    // The substrate's headline: cold vs warm prepare latency, with the
+    // bit-identical cross-check.
+    let split = pw.prepare_split(&settings);
+    print_row(
+        "substrate build",
+        format!("{:9.3} ms (once per engine)", split.substrate_build_ms),
+    );
+    print_row(
+        "prepare cold",
+        format!("{:9.3} ms/query", split.cold_prepare_ms),
+    );
+    print_row(
+        "prepare warm",
+        format!("{:9.3} ms/query", split.warm_prepare_ms),
+    );
+    print_row(
+        "warm speedup",
+        format!(
+            "{:.1}×  (results identical: {})",
+            split.speedup, split.identical
+        ),
+    );
+    assert!(
+        split.identical,
+        "cold and warm preparations must be bit-identical"
     );
 
     // Then the three-algorithm comparison over identical prepared inputs.
@@ -58,12 +89,13 @@ fn main() {
     }
 
     let json = format!(
-        "{{\n  \"world\": \"{}\",\n  \"num_groups\": {},\n  \"group_size\": {},\n  \"k\": {},\n  \"num_items\": {},\n  \"rows\": [\n    {}\n  ]\n}}\n",
+        "{{\n  \"world\": \"{}\",\n  \"num_groups\": {},\n  \"group_size\": {},\n  \"k\": {},\n  \"num_items\": {},\n  \"prepare\": {},\n  \"rows\": [\n    {}\n  ]\n}}\n",
         world_label,
         settings.num_groups,
         settings.group_size,
         settings.k,
         settings.num_items,
+        split.to_json(),
         rows.iter()
             .map(|r| r.to_json())
             .collect::<Vec<_>>()

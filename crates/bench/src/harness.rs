@@ -9,8 +9,8 @@
 //!
 //! The many-group sweeps go through [`greca_core::run_batch`]: one
 //! [`GrecaEngine`] over the world's substrates, twenty prepared
-//! [`GroupQuery`]s executed in parallel, access statistics aggregated —
-//! the serving shape the engine API exists for.
+//! [`greca_core::GroupQuery`]s executed in parallel, access statistics
+//! aggregated — the serving shape the engine API exists for.
 
 use greca_affinity::AffinityMode;
 use greca_cf::UserCfModel;
@@ -159,11 +159,36 @@ impl PerfWorld {
         prepared.run().stats.sa_percent()
     }
 
+    /// A warm engine over the settings' itemset, with preference
+    /// segments precomputed for the study users (the only users the
+    /// experiments group). The returned engine borrows `cf` and the
+    /// world's population index.
+    pub fn warm_engine<'a>(
+        &'a self,
+        cf: &'a UserCfModel<'a>,
+        settings: &PerfSettings,
+    ) -> GrecaEngine<'a> {
+        let items = self.items(settings.num_items);
+        let study = self.world.study_users();
+        GrecaEngine::warm_for(cf, &self.world.population, &items, &study)
+            .expect("CF scores are finite")
+    }
+
     /// Execute the settings' random-group sweep through the engine's
     /// parallel batch path (§4.2: 20 groups per data point).
     pub fn run_settings_batch(&self, settings: &PerfSettings) -> BatchResult {
         let cf = self.cf();
         let engine = GrecaEngine::new(&cf, &self.world.population);
+        self.run_settings_batch_on(&engine, settings)
+    }
+
+    /// The batch sweep over a caller-supplied engine (cold or warm — a
+    /// warm engine's workers all serve from one shared `Arc<Substrate>`).
+    pub fn run_settings_batch_on(
+        &self,
+        engine: &GrecaEngine<'_>,
+        settings: &PerfSettings,
+    ) -> BatchResult {
         let groups = self.random_groups(settings.num_groups, settings.group_size, settings.seed);
         let items = self.items(settings.num_items);
         let queries: Vec<_> = groups
@@ -224,6 +249,98 @@ impl PerfWorld {
                 }
             })
             .collect()
+    }
+}
+
+/// Cold-vs-warm `prepare()` measurements at one settings point — the
+/// substrate layer's headline numbers.
+#[derive(Debug, Clone)]
+pub struct PrepareSplit {
+    /// One-off substrate construction cost (amortized across all
+    /// subsequent queries of the engine's lifetime).
+    pub substrate_build_ms: f64,
+    /// Mean per-query `prepare()` latency on a cold engine (provider
+    /// calls + per-member sorts, every query).
+    pub cold_prepare_ms: f64,
+    /// Mean per-query `prepare()` latency on a warm engine (view
+    /// selection; no per-user sort, no preference-entry clone).
+    pub warm_prepare_ms: f64,
+    /// `cold / warm`.
+    pub speedup: f64,
+    /// Whether cold and warm preparations produced bit-identical
+    /// results (itemsets, bounds and access statistics) for every group.
+    pub identical: bool,
+}
+
+impl PrepareSplit {
+    /// The split as a JSON object (hand-formatted; serde is stubbed
+    /// offline — see `vendor/README.md`).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"substrate_build_ms\":{:.4},\"cold_prepare_ms\":{:.4},\"warm_prepare_ms\":{:.4},\"speedup\":{:.2},\"identical\":{}}}",
+            self.substrate_build_ms,
+            self.cold_prepare_ms,
+            self.warm_prepare_ms,
+            self.speedup,
+            self.identical,
+        )
+    }
+}
+
+impl PerfWorld {
+    /// Measure cold vs warm `prepare()` over the settings' random
+    /// groups (several rounds each, means reported), and verify the two
+    /// paths return bit-identical results.
+    pub fn prepare_split(&self, settings: &PerfSettings) -> PrepareSplit {
+        const ROUNDS: usize = 3;
+        let cf = self.cf();
+        let groups = self.random_groups(settings.num_groups, settings.group_size, settings.seed);
+        let cold_engine = GrecaEngine::new(&cf, &self.world.population);
+
+        let build_start = Instant::now();
+        let warm_engine = self.warm_engine(&cf, settings);
+        let substrate_build_ms = build_start.elapsed().as_secs_f64() * 1e3;
+
+        let items = self.items(settings.num_items);
+        let mk = |engine: &GrecaEngine<'_>, group: &Group| {
+            engine
+                .query(group)
+                .items(&items)
+                .period(self.world.last_period())
+                .affinity(settings.mode)
+                .consensus(settings.consensus)
+                .normalize_rpref(false)
+                .top(settings.k)
+                .algorithm(settings.greca_algorithm())
+                .prepare()
+                .expect("experiment settings form valid queries")
+        };
+
+        let time_prepares = |engine: &GrecaEngine<'_>| {
+            let start = Instant::now();
+            for _ in 0..ROUNDS {
+                for g in &groups {
+                    std::hint::black_box(mk(engine, g));
+                }
+            }
+            start.elapsed().as_secs_f64() * 1e3 / (ROUNDS * groups.len()) as f64
+        };
+        let cold_prepare_ms = time_prepares(&cold_engine);
+        let warm_prepare_ms = time_prepares(&warm_engine);
+
+        let identical = groups.iter().all(|g| {
+            let cold = mk(&cold_engine, g);
+            let warm = mk(&warm_engine, g);
+            warm.is_warm() && cold.run() == warm.run() && cold.exact_scores() == warm.exact_scores()
+        });
+
+        PrepareSplit {
+            substrate_build_ms,
+            cold_prepare_ms,
+            warm_prepare_ms,
+            speedup: cold_prepare_ms / warm_prepare_ms.max(1e-9),
+            identical,
+        }
     }
 }
 
@@ -351,6 +468,47 @@ mod tests {
         assert!(rows[1].random_accesses > 0, "TA must pay RAs");
         // JSON rows are well-formed enough to eyeball.
         assert!(rows[0].to_json().contains("\"algorithm\":\"greca\""));
+    }
+
+    #[test]
+    fn prepare_split_is_identical_and_warm_is_not_slower_path() {
+        let pw = PerfWorld::build_small();
+        let settings = PerfSettings {
+            num_groups: 2,
+            group_size: 3,
+            k: 3,
+            num_items: 150,
+            ..PerfSettings::default()
+        };
+        let split = pw.prepare_split(&settings);
+        assert!(split.identical, "cold and warm must agree bit-for-bit");
+        assert!(split.substrate_build_ms >= 0.0);
+        assert!(split.cold_prepare_ms > 0.0 && split.warm_prepare_ms > 0.0);
+        assert!(split.to_json().contains("\"identical\":true"));
+    }
+
+    #[test]
+    fn warm_batch_equals_cold_batch() {
+        let pw = PerfWorld::build_small();
+        let settings = PerfSettings {
+            num_groups: 3,
+            group_size: 3,
+            k: 4,
+            num_items: 120,
+            ..PerfSettings::default()
+        };
+        let cold = pw.run_settings_batch(&settings);
+        let cf = pw.cf();
+        let warm_engine = pw.warm_engine(&cf, &settings);
+        let warm = pw.run_settings_batch_on(&warm_engine, &settings);
+        assert_eq!(cold.stats, warm.stats);
+        for (c, w) in cold.results.iter().zip(&warm.results) {
+            assert_eq!(
+                c.as_ref().expect("valid"),
+                w.as_ref().expect("valid"),
+                "warm batch must be bit-identical to cold"
+            );
+        }
     }
 
     #[test]

@@ -23,6 +23,11 @@ pub struct ItemCfModel<'a> {
 }
 
 impl<'a> ItemCfModel<'a> {
+    /// The underlying rating matrix.
+    pub fn matrix(&self) -> &RatingMatrix {
+        self.matrix
+    }
+
     /// Create a model over the matrix.
     pub fn fit(matrix: &'a RatingMatrix, measure: Similarity, top_n: usize) -> Self {
         assert!(top_n > 0, "neighbourhood must be non-empty");

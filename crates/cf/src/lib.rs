@@ -32,7 +32,8 @@ pub mod user_cf;
 
 pub use item_cf::ItemCfModel;
 pub use preference::{
-    candidate_items, group_preference_lists, PreferenceList, PreferenceProvider, RawRatings,
+    candidate_items, group_preference_lists, NonFiniteScore, PreferenceList, PreferenceProvider,
+    RawRatings,
 };
 pub use similarity::{user_similarity, Similarity};
 pub use user_cf::{CfConfig, UserCfModel};

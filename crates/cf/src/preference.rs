@@ -15,6 +15,34 @@ use crate::user_cf::UserCfModel;
 use greca_dataset::{Group, ItemId, RatingMatrix, UserId};
 use serde::{Deserialize, Serialize};
 
+/// A non-finite preference score caught at ingestion.
+///
+/// GRECA's bound arithmetic is only sound over finite scores; a NaN or
+/// infinity coming out of a provider used to surface as a sort-comparator
+/// panic deep inside list construction. It is now rejected where the
+/// value enters the system and reported with its origin.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NonFiniteScore {
+    /// The user whose preference produced the value.
+    pub user: UserId,
+    /// The item it was produced for.
+    pub item: ItemId,
+    /// The offending value (NaN or ±∞).
+    pub value: f64,
+}
+
+impl std::fmt::Display for NonFiniteScore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "non-finite preference score {} for apref({}, {})",
+            self.value, self.user, self.item
+        )
+    }
+}
+
+impl std::error::Error for NonFiniteScore {}
+
 /// A source of absolute preferences `apref(u, i)`.
 ///
 /// Implementations must return finite, non-negative scores: GRECA's
@@ -24,23 +52,24 @@ pub trait PreferenceProvider {
     /// Absolute preference of `u` for `i` (finite, ≥ 0).
     fn apref(&self, u: UserId, i: ItemId) -> f64;
 
-    /// Build the sorted preference list of `u` over `items`.
-    fn preference_list(&self, u: UserId, items: &[ItemId]) -> PreferenceList {
-        let mut entries: Vec<(ItemId, f64)> = items
-            .iter()
-            .map(|&i| {
-                let s = self.apref(u, i);
-                debug_assert!(s.is_finite() && s >= 0.0, "apref must be finite and ≥ 0");
-                (i, s)
-            })
-            .collect();
-        // Descending by score; ties broken by item id for determinism.
-        entries.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .expect("finite scores")
-                .then_with(|| a.0.cmp(&b.0))
-        });
-        PreferenceList { user: u, entries }
+    /// Build the sorted preference list of `u` over `items`, rejecting
+    /// non-finite scores instead of panicking later in a sort comparator.
+    fn preference_list(
+        &self,
+        u: UserId,
+        items: &[ItemId],
+    ) -> Result<PreferenceList, NonFiniteScore> {
+        let entries: Vec<(ItemId, f64)> = items.iter().map(|&i| (i, self.apref(u, i))).collect();
+        PreferenceList::from_entries(u, entries)
+    }
+
+    /// The candidate itemset for `group` when the caller does not supply
+    /// one: every catalog item **no group member has already rated**
+    /// (§2.4 poses the problem over such a set). `None` when the provider
+    /// cannot enumerate an item catalog (e.g. a hand-built score table).
+    fn candidate_items(&self, group: &Group) -> Option<Vec<ItemId>> {
+        let _ = group;
+        None
     }
 }
 
@@ -48,11 +77,19 @@ impl PreferenceProvider for UserCfModel<'_> {
     fn apref(&self, u: UserId, i: ItemId) -> f64 {
         self.predict(u, i)
     }
+
+    fn candidate_items(&self, group: &Group) -> Option<Vec<ItemId>> {
+        Some(candidate_items(self.matrix(), group))
+    }
 }
 
 impl PreferenceProvider for ItemCfModel<'_> {
     fn apref(&self, u: UserId, i: ItemId) -> f64 {
         self.predict(u, i)
+    }
+
+    fn candidate_items(&self, group: &Group) -> Option<Vec<ItemId>> {
+        Some(candidate_items(self.matrix(), group))
     }
 }
 
@@ -64,6 +101,10 @@ pub struct RawRatings<'a>(pub &'a RatingMatrix);
 impl PreferenceProvider for RawRatings<'_> {
     fn apref(&self, u: UserId, i: ItemId) -> f64 {
         self.0.get(u, i).map(|v| v as f64).unwrap_or(0.0)
+    }
+
+    fn candidate_items(&self, group: &Group) -> Option<Vec<ItemId>> {
+        Some(candidate_items(self.0, group))
     }
 }
 
@@ -78,13 +119,37 @@ pub struct PreferenceList {
 
 impl PreferenceList {
     /// Build directly from entries, sorting them score-descending.
-    pub fn from_entries(user: UserId, mut entries: Vec<(ItemId, f64)>) -> Self {
+    ///
+    /// Non-finite scores are rejected here, at ingestion, instead of
+    /// panicking inside the sort comparator.
+    pub fn from_entries(
+        user: UserId,
+        mut entries: Vec<(ItemId, f64)>,
+    ) -> Result<Self, NonFiniteScore> {
+        for &(item, value) in &entries {
+            if !value.is_finite() {
+                return Err(NonFiniteScore { user, item, value });
+            }
+        }
         entries.sort_by(|a, b| {
             b.1.partial_cmp(&a.1)
-                .expect("finite scores")
+                .expect("validated finite above")
                 .then_with(|| a.0.cmp(&b.0))
         });
-        PreferenceList { user, entries }
+        Ok(PreferenceList { user, entries })
+    }
+
+    /// Decompose into columnar `(item ids, scores)` arrays, preserving
+    /// the sorted order without re-sorting — the zero-sort ingestion path
+    /// of `greca-core`'s substrate layer.
+    pub fn into_sorted_columns(self) -> (Vec<u32>, Vec<f64>) {
+        let mut ids = Vec::with_capacity(self.entries.len());
+        let mut scores = Vec::with_capacity(self.entries.len());
+        for (i, s) in self.entries {
+            ids.push(i.0);
+            scores.push(s);
+        }
+        (ids, scores)
     }
 
     /// Number of entries.
@@ -118,12 +183,12 @@ pub fn candidate_items(matrix: &RatingMatrix, group: &Group) -> Vec<ItemId> {
 }
 
 /// Build the `PL_u` lists for every group member over a shared candidate
-/// item set.
+/// item set, rejecting non-finite scores at ingestion.
 pub fn group_preference_lists<P: PreferenceProvider + ?Sized>(
     provider: &P,
     group: &Group,
     items: &[ItemId],
-) -> Vec<PreferenceList> {
+) -> Result<Vec<PreferenceList>, NonFiniteScore> {
     group
         .members()
         .iter()
@@ -142,7 +207,9 @@ mod tests {
         let ml = MovieLensConfig::small().generate();
         let model = UserCfModel::fit(&ml.matrix, CfConfig::default());
         let items: Vec<ItemId> = ml.matrix.items().take(100).collect();
-        let pl = model.preference_list(UserId(3), &items);
+        let pl = model
+            .preference_list(UserId(3), &items)
+            .expect("CF scores are finite");
         assert_eq!(pl.len(), 100);
         for w in pl.entries.windows(2) {
             assert!(w[0].1 >= w[1].1);
@@ -154,14 +221,63 @@ mod tests {
         let pl = PreferenceList::from_entries(
             UserId(0),
             vec![(ItemId(5), 1.0), (ItemId(2), 1.0), (ItemId(9), 2.0)],
-        );
+        )
+        .unwrap();
         let ids: Vec<u32> = pl.entries.iter().map(|&(i, _)| i.0).collect();
         assert_eq!(ids, vec![9, 2, 5]);
     }
 
     #[test]
+    fn non_finite_scores_rejected_at_ingestion() {
+        let err =
+            PreferenceList::from_entries(UserId(3), vec![(ItemId(0), 1.0), (ItemId(7), f64::NAN)])
+                .unwrap_err();
+        assert_eq!(err.user, UserId(3));
+        assert_eq!(err.item, ItemId(7));
+        assert!(err.value.is_nan());
+        assert!(err.to_string().contains("non-finite"));
+        let inf = PreferenceList::from_entries(UserId(0), vec![(ItemId(1), f64::INFINITY)]);
+        assert!(inf.is_err());
+    }
+
+    #[test]
+    fn sorted_columns_preserve_order() {
+        let pl = PreferenceList::from_entries(
+            UserId(0),
+            vec![(ItemId(5), 1.0), (ItemId(2), 3.0), (ItemId(9), 2.0)],
+        )
+        .unwrap();
+        let (ids, scores) = pl.into_sorted_columns();
+        assert_eq!(ids, vec![2, 9, 5]);
+        assert_eq!(scores, vec![3.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn providers_supply_candidate_itemsets() {
+        let mut b = RatingMatrixBuilder::new(2, 3);
+        b.rate(UserId(0), ItemId(0), 5.0, 0);
+        let m = b.build();
+        let g = Group::new(vec![UserId(0), UserId(1)]).unwrap();
+        let raw = RawRatings(&m);
+        assert_eq!(
+            raw.candidate_items(&g),
+            Some(vec![ItemId(1), ItemId(2)]),
+            "raw ratings exclude member-rated items"
+        );
+        // A provider with no catalog (the trait default) opts out.
+        struct Table;
+        impl PreferenceProvider for Table {
+            fn apref(&self, _: UserId, _: ItemId) -> f64 {
+                1.0
+            }
+        }
+        assert_eq!(Table.candidate_items(&g), None);
+    }
+
+    #[test]
     fn score_of_finds_items() {
-        let pl = PreferenceList::from_entries(UserId(0), vec![(ItemId(1), 3.0), (ItemId(2), 4.0)]);
+        let pl = PreferenceList::from_entries(UserId(0), vec![(ItemId(1), 3.0), (ItemId(2), 4.0)])
+            .unwrap();
         assert_eq!(pl.score_of(ItemId(1)), Some(3.0));
         assert_eq!(pl.score_of(ItemId(7)), None);
     }
@@ -196,7 +312,7 @@ mod tests {
         let model = UserCfModel::fit(&ml.matrix, CfConfig::default());
         let g = Group::new(vec![UserId(0), UserId(5), UserId(9)]).unwrap();
         let items: Vec<ItemId> = ml.matrix.items().take(50).collect();
-        let lists = group_preference_lists(&model, &g, &items);
+        let lists = group_preference_lists(&model, &g, &items).expect("finite CF scores");
         assert_eq!(lists.len(), 3);
         assert_eq!(lists[0].user, UserId(0));
         assert_eq!(lists[2].user, UserId(9));

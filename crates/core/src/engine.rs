@@ -2,14 +2,16 @@
 //!
 //! The original API was a free function taking eight positional
 //! arguments plus a [`Prepared`] bundle of materialized inputs. It
-//! survives as a thin deprecated shim over the same construction the
-//! [`GroupQuery`](crate::query::GroupQuery) builder performs, so
-//! downstream code migrates at its own pace while both paths provably
-//! produce identical results (see `tests/engine_api.rs` at the
-//! workspace root).
+//! survives as a thin deprecated shim over the same cold-path
+//! construction the [`GroupQuery`](crate::query::GroupQuery) builder
+//! performs, so downstream code migrates at its own pace while both
+//! paths provably produce identical results (see `tests/engine_api.rs`
+//! at the workspace root). Unlike the builder, the shim has no `Result`
+//! in its signature and therefore panics on non-finite scores — exactly
+//! the historical behavior it preserves.
 
 use crate::greca::{greca_topk, GrecaConfig, TopKResult};
-use crate::lists::{GrecaInputs, ListLayout};
+use crate::lists::{ListLayout, MaterializedInputs};
 use crate::naive::{naive_scores, naive_topk};
 use crate::query::materialize_inputs;
 use crate::ta::{ta_topk, TaConfig};
@@ -27,8 +29,8 @@ use greca_dataset::{Group, ItemId};
 pub struct Prepared {
     /// The group's affinity view at the query period.
     pub affinity: GroupAffinity,
-    /// The sorted lists.
-    pub inputs: GrecaInputs,
+    /// The owned sorted lists.
+    pub inputs: MaterializedInputs,
     /// Whether relative preference is normalized by `|G|−1`.
     pub normalize_rpref: bool,
 }
@@ -53,7 +55,8 @@ pub fn prepare<P: PreferenceProvider + ?Sized>(
     normalize_rpref: bool,
 ) -> Prepared {
     let (affinity, inputs) =
-        materialize_inputs(provider, population, group, items, period_idx, mode, layout);
+        materialize_inputs(provider, population, group, items, period_idx, mode, layout)
+            .expect("legacy prepare(): non-finite score in query inputs");
     Prepared {
         affinity,
         inputs,
@@ -73,7 +76,8 @@ impl Prepared {
         layout: ListLayout,
         normalize_rpref: bool,
     ) -> Self {
-        let inputs = GrecaInputs::build(pref_lists, &affinity, layout);
+        let inputs = MaterializedInputs::build(pref_lists, &affinity, layout)
+            .expect("legacy from_parts(): non-finite score in inputs");
         Prepared {
             affinity,
             inputs,
@@ -84,7 +88,7 @@ impl Prepared {
     /// Run GRECA.
     pub fn greca(&self, consensus: ConsensusFunction, config: GrecaConfig) -> TopKResult {
         greca_topk(
-            &self.inputs,
+            &self.inputs.views(),
             &self.affinity,
             consensus,
             self.normalize_rpref,
@@ -95,7 +99,7 @@ impl Prepared {
     /// Run the TA baseline.
     pub fn ta(&self, consensus: ConsensusFunction, config: TaConfig) -> TopKResult {
         ta_topk(
-            &self.inputs,
+            &self.inputs.views(),
             &self.affinity,
             consensus,
             self.normalize_rpref,
@@ -106,7 +110,7 @@ impl Prepared {
     /// Run the naive full scan.
     pub fn naive(&self, consensus: ConsensusFunction, k: usize) -> TopKResult {
         naive_topk(
-            &self.inputs,
+            &self.inputs.views(),
             &self.affinity,
             consensus,
             self.normalize_rpref,
@@ -118,7 +122,7 @@ impl Prepared {
     /// accounting; use for verification and for the evaluation harness).
     pub fn exact_scores(&self, consensus: ConsensusFunction) -> Vec<(ItemId, f64)> {
         naive_scores(
-            &self.inputs,
+            &self.inputs.views(),
             &self.affinity,
             consensus,
             self.normalize_rpref,

@@ -18,7 +18,7 @@
 
 use crate::access::AccessStats;
 use crate::interval::Interval;
-use crate::lists::{GrecaInputs, ListKind, SortedList};
+use crate::lists::{GrecaInputs, ListKind, ListView};
 use crate::score::BoundScorer;
 use greca_consensus::ConsensusFunction;
 use greca_dataset::ItemId;
@@ -152,8 +152,12 @@ struct ItemState {
 }
 
 /// Mutable scan state over one `GrecaInputs`.
+///
+/// Everything here is per-query: positions, cursor values and the item
+/// buffer. The lists themselves are borrowed [`ListView`]s — no entry is
+/// owned or copied by a run.
 struct RunState<'a> {
-    inputs: &'a GrecaInputs,
+    inputs: &'a GrecaInputs<'a>,
     scorer: BoundScorer<'a>,
     positions: Vec<usize>,
     cursors: Vec<f64>,
@@ -168,12 +172,12 @@ struct RunState<'a> {
     /// Cached per-pair affinity envelopes (recomputed when stale).
     pair_affs: Vec<Interval>,
     stats: AccessStats,
-    lists: Vec<&'a SortedList>,
+    lists: Vec<ListView<'a>>,
 }
 
 impl<'a> RunState<'a> {
-    fn new(inputs: &'a GrecaInputs, scorer: BoundScorer<'a>) -> Self {
-        let lists: Vec<&SortedList> = inputs.all_lists().collect();
+    fn new(inputs: &'a GrecaInputs<'a>, scorer: BoundScorer<'a>) -> Self {
+        let lists: Vec<ListView<'a>> = inputs.all_lists().collect();
         let stats = AccessStats::new(inputs.total_entries());
         RunState {
             inputs,
@@ -183,7 +187,7 @@ impl<'a> RunState<'a> {
             // entry; +∞ would also be sound but needlessly loose.
             cursors: lists
                 .iter()
-                .map(|l| l.entries.first().map_or(0.0, |e| e.1))
+                .map(|l| l.first_score().unwrap_or(0.0))
                 .collect(),
             pair_static: vec![None; inputs.num_pairs],
             pair_period: vec![vec![None; inputs.num_pairs]; inputs.period_lists.len()],
@@ -205,7 +209,7 @@ impl<'a> RunState<'a> {
             if pos >= list.len() {
                 continue;
             }
-            let (id, score) = list.entries[pos];
+            let (id, score) = list.entry(pos);
             self.positions[li] = pos + 1;
             self.cursors[li] = score;
             self.stats.record_sa();
@@ -240,7 +244,7 @@ impl<'a> RunState<'a> {
     fn static_cursor(&self, pair: usize) -> f64 {
         let base = self.inputs.pref_lists.len();
         let mut best: f64 = 0.0;
-        for (off, list) in self.inputs.static_lists.iter().enumerate() {
+        for (off, &list) in self.inputs.static_lists.iter().enumerate() {
             let li = base + off;
             if self.positions[li] < list.len() && list_contains_pair(list, pair) {
                 best = best.max(self.cursors[li]);
@@ -253,7 +257,7 @@ impl<'a> RunState<'a> {
         let mut best: f64 = 0.0;
         let mut li = self.inputs.pref_lists.len() + self.inputs.static_lists.len();
         for (p, lists) in self.inputs.period_lists.iter().enumerate() {
-            for list in lists {
+            for &list in lists {
                 if p == period && self.positions[li] < list.len() && list_contains_pair(list, pair)
                 {
                     best = best.max(self.cursors[li]);
@@ -297,7 +301,7 @@ impl<'a> RunState<'a> {
             // Exhausted: every item was seen in this list; any item still
             // lacking this component does not exist. Use the last value
             // (sound for the virtual unseen item of the threshold).
-            list.entries.last().map_or(0.0, |e| e.1)
+            list.last_score().unwrap_or(0.0)
         } else {
             self.cursors[member]
         }
@@ -343,10 +347,10 @@ impl<'a> RunState<'a> {
     }
 }
 
-fn list_contains_pair(list: &SortedList, pair: usize) -> bool {
+fn list_contains_pair(list: ListView<'_>, pair: usize) -> bool {
     // Affinity lists are tiny (≤ n−1 entries); a linear scan is cheaper
     // than maintaining a side index.
-    list.entries.iter().any(|&(id, _)| id as usize == pair)
+    list.contains_id(pair as u32)
 }
 
 /// Run GRECA over prepared inputs.
@@ -355,7 +359,7 @@ fn list_contains_pair(list: &SortedList, pair: usize) -> bool {
 /// `consensus` and `normalize_rpref` must match whatever scalar scoring
 /// the caller compares against (see [`crate::naive::naive_topk`]).
 pub fn greca_topk(
-    inputs: &GrecaInputs,
+    inputs: &GrecaInputs<'_>,
     affinity: &greca_affinity::GroupAffinity,
     consensus: ConsensusFunction,
     normalize_rpref: bool,

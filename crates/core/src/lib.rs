@@ -37,12 +37,15 @@
 //! let universe: Vec<UserId> = net.users().collect();
 //! let pop = PopulationAffinity::build(&SocialAffinitySource::new(&net), &universe, &tl);
 //!
-//! // The engine serves ad-hoc group queries with the paper's defaults
-//! // (k = 10, AP consensus, discrete affinity, decomposed lists).
-//! let engine = GrecaEngine::new(&cf, &pop);
+//! // A warm engine precomputes the shared Substrate once (per-user
+//! // sorted preference columns + per-period sorted affinity arrays);
+//! // queries serve zero-copy views with the paper's defaults baked in
+//! // (k = 10, AP consensus, discrete affinity, decomposed lists) and
+//! // the itemset defaulting to the group's candidate items.
+//! let catalog: Vec<ItemId> = ml.matrix.items().collect();
+//! let engine = GrecaEngine::warm(&cf, &pop, &catalog).unwrap();
 //! let group = Group::new(vec![UserId(0), UserId(1), UserId(2)]).unwrap();
-//! let items: Vec<ItemId> = ml.matrix.items().take(150).collect();
-//! let result = engine.query(&group).items(&items).top(5).run().unwrap();
+//! let result = engine.query(&group).top(5).run().unwrap();
 //! assert_eq!(result.items.len(), 5);
 //! assert!(result.stats.sa_percent() <= 100.0);
 //! ```
@@ -55,6 +58,7 @@ pub mod lists;
 pub mod naive;
 pub mod query;
 pub mod score;
+pub mod substrate;
 pub mod ta;
 
 pub use access::{AccessStats, Aggregate};
@@ -64,11 +68,14 @@ pub use greca::{
     greca_topk, CheckInterval, GrecaConfig, StopReason, StoppingRule, TopKItem, TopKResult,
 };
 pub use interval::Interval;
-pub use lists::{GrecaInputs, ListKind, ListLayout, SortedList};
+pub use lists::{
+    GrecaInputs, ListKind, ListLayout, ListView, MaterializedInputs, NonFiniteEntry, SortedList,
+};
 pub use naive::{naive_scores, naive_topk};
 pub use query::{
     run_batch, Algorithm, BatchResult, GrecaEngine, GroupQuery, PreparedQuery, QueryError,
     PAPER_DEFAULT_K,
 };
 pub use score::BoundScorer;
+pub use substrate::{ItemCoverage, Substrate};
 pub use ta::{ta_topk, TaConfig};

@@ -1,4 +1,5 @@
-//! The sorted-list inputs of GRECA (§3.1).
+//! The sorted-list inputs of GRECA (§3.1): owned storage and borrowed
+//! views.
 //!
 //! For a group of `n` users at query period `p` with `T = p+1` aggregated
 //! periods, GRECA scans:
@@ -13,6 +14,24 @@
 //! Every list is sorted descending, is read only by sequential accesses,
 //! and exposes its *cursor*: the value of the most recently read entry,
 //! which upper-bounds everything below it.
+//!
+//! ## View vs. owned storage
+//!
+//! The algorithms (`greca`, `ta`, `naive`) never touch owned storage:
+//! they execute over [`GrecaInputs`], a bundle of [`ListView`]s —
+//! borrowed, columnar `(ids, scores)` slices with no lifecycle of their
+//! own. Two storage shapes produce those views:
+//!
+//! * [`SortedList`] / [`MaterializedInputs`] — per-query owned columnar
+//!   buffers, built by sorting (the cold path, and the hand-built-table
+//!   path of the running example);
+//! * [`crate::substrate::Substrate`] — engine-lifetime shared buffers,
+//!   precomputed once and sliced zero-copy per query (the warm path).
+//!
+//! Keeping views slice-backed is what makes the warm path *zero-copy*:
+//! a full-universe query's preference "lists" are literally the
+//! substrate's segments, and per-query state shrinks to cursors plus the
+//! interval bookkeeping in [`crate::interval`] / [`crate::score`].
 
 use greca_affinity::GroupAffinity;
 use greca_cf::PreferenceList;
@@ -35,34 +54,164 @@ pub enum ListKind {
     },
 }
 
-/// One sorted, sequentially-accessed input list.
+/// A non-finite value rejected at list ingestion.
+///
+/// Carried up to the query layer as
+/// [`QueryError::NonFiniteScore`](crate::query::QueryError::NonFiniteScore)
+/// instead of panicking inside a sort comparator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NonFiniteEntry {
+    /// The list the value was destined for.
+    pub kind: ListKind,
+    /// The entry id (item id or pair index).
+    pub id: u32,
+    /// The offending value (NaN or ±∞).
+    pub value: f64,
+}
+
+impl std::fmt::Display for NonFiniteEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "non-finite score {} for entry {} of {:?} list",
+            self.value, self.id, self.kind
+        )
+    }
+}
+
+impl std::error::Error for NonFiniteEntry {}
+
+/// A borrowed, read-only view of one sorted list: columnar `(ids,
+/// scores)` slices. This is the only shape the algorithms consume;
+/// copying a view copies two fat pointers, never entries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ListView<'a> {
+    /// What the entries mean.
+    pub kind: ListKind,
+    /// Entry ids, aligned with `scores`.
+    pub ids: &'a [u32],
+    /// Entry scores, descending.
+    pub scores: &'a [f64],
+}
+
+impl<'a> ListView<'a> {
+    /// Wrap aligned columnar slices.
+    #[inline]
+    pub fn new(kind: ListKind, ids: &'a [u32], scores: &'a [f64]) -> Self {
+        debug_assert_eq!(ids.len(), scores.len(), "columns must align");
+        ListView { kind, ids, scores }
+    }
+
+    /// Number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the list is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The `(id, score)` entry at `pos`.
+    #[inline]
+    pub fn entry(&self, pos: usize) -> (u32, f64) {
+        (self.ids[pos], self.scores[pos])
+    }
+
+    /// Score of the first (largest) entry, if any.
+    #[inline]
+    pub fn first_score(&self) -> Option<f64> {
+        self.scores.first().copied()
+    }
+
+    /// Score of the last (smallest) entry, if any.
+    #[inline]
+    pub fn last_score(&self) -> Option<f64> {
+        self.scores.last().copied()
+    }
+
+    /// Iterate `(id, score)` entries in list order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, f64)> + 'a {
+        self.ids.iter().copied().zip(self.scores.iter().copied())
+    }
+
+    /// Whether any entry carries `id` (affinity lists are tiny — ≤ n−1
+    /// entries — so a linear probe beats a side index).
+    #[inline]
+    pub fn contains_id(&self, id: u32) -> bool {
+        self.ids.contains(&id)
+    }
+}
+
+/// One sorted, sequentially-accessed input list — the *owned* columnar
+/// storage behind a [`ListView`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SortedList {
     /// What the entries mean.
     pub kind: ListKind,
-    /// `(id, score)` sorted by descending score.
-    pub entries: Vec<(u32, f64)>,
+    ids: Vec<u32>,
+    scores: Vec<f64>,
 }
 
 impl SortedList {
     /// Build, sorting entries descending (ties by id for determinism).
-    pub fn new(kind: ListKind, mut entries: Vec<(u32, f64)>) -> Self {
+    ///
+    /// Non-finite scores are rejected here, at ingestion, instead of
+    /// panicking in the sort comparator.
+    pub fn new(kind: ListKind, entries: Vec<(u32, f64)>) -> Result<Self, NonFiniteEntry> {
+        let mut entries = entries;
+        for &(id, value) in &entries {
+            if !value.is_finite() {
+                return Err(NonFiniteEntry { kind, id, value });
+            }
+        }
         entries.sort_by(|a, b| {
             b.1.partial_cmp(&a.1)
-                .expect("finite scores")
+                .expect("validated finite above")
                 .then_with(|| a.0.cmp(&b.0))
         });
-        SortedList { kind, entries }
+        let mut ids = Vec::with_capacity(entries.len());
+        let mut scores = Vec::with_capacity(entries.len());
+        for (id, s) in entries {
+            ids.push(id);
+            scores.push(s);
+        }
+        Ok(SortedList { kind, ids, scores })
+    }
+
+    /// Adopt columns that are **already** sorted descending with ties by
+    /// id — the zero-sort path for entries whose order was established
+    /// elsewhere (a substrate segment filter, a rank-ordered selection).
+    pub fn from_sorted_columns(kind: ListKind, ids: Vec<u32>, scores: Vec<f64>) -> Self {
+        assert_eq!(ids.len(), scores.len(), "columns must align");
+        debug_assert!(
+            scores.windows(2).all(|w| w[0] >= w[1]),
+            "columns must arrive sorted descending"
+        );
+        SortedList { kind, ids, scores }
     }
 
     /// Number of entries.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.ids.len()
     }
 
     /// Whether the list is empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.ids.is_empty()
+    }
+
+    /// The borrowed view the algorithms execute over.
+    #[inline]
+    pub fn as_view(&self) -> ListView<'_> {
+        ListView::new(self.kind, &self.ids, &self.scores)
+    }
+
+    /// Iterate `(id, score)` entries in list order.
+    pub fn entries(&self) -> impl Iterator<Item = (u32, f64)> + '_ {
+        self.as_view().iter()
     }
 }
 
@@ -88,16 +237,22 @@ pub enum ListLayout {
     Single,
 }
 
-/// All inputs for one GRECA run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct GrecaInputs {
+/// All inputs for one algorithm execution, as borrowed views.
+///
+/// This is what [`crate::greca::greca_topk`], [`crate::ta::ta_topk`] and
+/// [`crate::naive::naive_topk`] consume. It borrows from whichever
+/// storage backs the query — per-query [`MaterializedInputs`] or the
+/// engine's shared [`crate::substrate::Substrate`] — and costs only the
+/// view vectors to assemble.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GrecaInputs<'a> {
     /// Preference lists, one per member (member order = group order).
-    pub pref_lists: Vec<SortedList>,
+    pub pref_lists: Vec<ListView<'a>>,
     /// Static affinity lists (empty when the mode ignores static affinity).
-    pub static_lists: Vec<SortedList>,
+    pub static_lists: Vec<ListView<'a>>,
     /// Periodic affinity lists, grouped per period (empty when the mode is
     /// not temporal).
-    pub period_lists: Vec<Vec<SortedList>>,
+    pub period_lists: Vec<Vec<ListView<'a>>>,
     /// Number of group members.
     pub num_members: usize,
     /// Number of group pairs.
@@ -106,75 +261,16 @@ pub struct GrecaInputs {
     pub num_items: usize,
 }
 
-impl GrecaInputs {
-    /// Assemble the inputs from per-member preference lists and the
-    /// group's affinity view.
-    ///
-    /// All preference lists must rank the same candidate item set; this
-    /// is how §2.4's problem statement is posed (one itemset `I`).
-    pub fn build(
-        pref_lists: &[PreferenceList],
-        affinity: &GroupAffinity,
-        layout: ListLayout,
-    ) -> Self {
-        let n = affinity.members().len();
-        assert_eq!(pref_lists.len(), n, "one preference list per group member");
-        let num_items = pref_lists.first().map_or(0, |l| l.len());
-        for l in pref_lists {
-            assert_eq!(l.len(), num_items, "preference lists must align");
-        }
-        let plists: Vec<SortedList> = pref_lists
-            .iter()
-            .enumerate()
-            .map(|(idx, pl)| {
-                SortedList::new(
-                    ListKind::Preference { member: idx as u32 },
-                    pl.entries.iter().map(|&(i, s)| (i.0, s)).collect(),
-                )
-            })
-            .collect();
-
-        let num_pairs = affinity.num_pairs();
-        let mode = affinity.mode();
-        let static_lists = if mode.uses_static() {
-            build_affinity_lists(affinity, layout, ListKind::StaticAffinity, |pair| {
-                affinity.static_component(pair)
-            })
-        } else {
-            Vec::new()
-        };
-        let period_lists = if mode.is_temporal() {
-            (0..affinity.num_periods())
-                .map(|p| {
-                    build_affinity_lists(
-                        affinity,
-                        layout,
-                        ListKind::PeriodicAffinity { period: p as u32 },
-                        |pair| affinity.period_component(p, pair),
-                    )
-                })
-                .collect()
-        } else {
-            Vec::new()
-        };
-        GrecaInputs {
-            pref_lists: plists,
-            static_lists,
-            period_lists,
-            num_members: n,
-            num_pairs,
-            num_items,
-        }
-    }
-
+impl<'a> GrecaInputs<'a> {
     /// Every list in round-robin order: preference lists first, then
     /// static, then each period's lists (§3.2's "round-robin fashion over
     /// the aforementioned lists").
-    pub fn all_lists(&self) -> impl Iterator<Item = &SortedList> {
+    pub fn all_lists(&self) -> impl Iterator<Item = ListView<'a>> + '_ {
         self.pref_lists
             .iter()
             .chain(self.static_lists.iter())
             .chain(self.period_lists.iter().flatten())
+            .copied()
     }
 
     /// Number of lists.
@@ -191,19 +287,126 @@ impl GrecaInputs {
     }
 }
 
-fn build_affinity_lists(
+/// Per-query owned list storage (the *cold* path): every list sorted
+/// and buffered for this query alone.
+///
+/// [`MaterializedInputs::views`] hands the algorithms their
+/// [`GrecaInputs`]. The warm path never builds this type — see
+/// [`crate::substrate::Substrate`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MaterializedInputs {
+    /// Preference lists, one per member (member order = group order).
+    pub pref_lists: Vec<SortedList>,
+    /// Static affinity lists (empty when the mode ignores static affinity).
+    pub static_lists: Vec<SortedList>,
+    /// Periodic affinity lists, grouped per period.
+    pub period_lists: Vec<Vec<SortedList>>,
+    /// Number of group members.
+    pub num_members: usize,
+    /// Number of group pairs.
+    pub num_pairs: usize,
+    /// Number of candidate items.
+    pub num_items: usize,
+}
+
+impl MaterializedInputs {
+    /// Assemble the inputs from per-member preference lists and the
+    /// group's affinity view, sorting every list.
+    ///
+    /// All preference lists must rank the same candidate item set; this
+    /// is how §2.4's problem statement is posed (one itemset `I`).
+    pub fn build(
+        pref_lists: &[PreferenceList],
+        affinity: &GroupAffinity,
+        layout: ListLayout,
+    ) -> Result<Self, NonFiniteEntry> {
+        let n = affinity.members().len();
+        assert_eq!(pref_lists.len(), n, "one preference list per group member");
+        let num_items = pref_lists.first().map_or(0, |l| l.len());
+        for l in pref_lists {
+            assert_eq!(l.len(), num_items, "preference lists must align");
+        }
+        let plists: Vec<SortedList> = pref_lists
+            .iter()
+            .enumerate()
+            .map(|(idx, pl)| {
+                SortedList::new(
+                    ListKind::Preference { member: idx as u32 },
+                    pl.entries.iter().map(|&(i, s)| (i.0, s)).collect(),
+                )
+            })
+            .collect::<Result<_, _>>()?;
+
+        let num_pairs = affinity.num_pairs();
+        let mode = affinity.mode();
+        let static_lists = if mode.uses_static() {
+            build_affinity_lists(affinity, layout, ListKind::StaticAffinity, |pair| {
+                affinity.static_component(pair)
+            })?
+        } else {
+            Vec::new()
+        };
+        let period_lists = if mode.is_temporal() {
+            (0..affinity.num_periods())
+                .map(|p| {
+                    build_affinity_lists(
+                        affinity,
+                        layout,
+                        ListKind::PeriodicAffinity { period: p as u32 },
+                        |pair| affinity.period_component(p, pair),
+                    )
+                })
+                .collect::<Result<_, _>>()?
+        } else {
+            Vec::new()
+        };
+        Ok(MaterializedInputs {
+            pref_lists: plists,
+            static_lists,
+            period_lists,
+            num_members: n,
+            num_pairs,
+            num_items,
+        })
+    }
+
+    /// The borrowed views the algorithms execute over.
+    pub fn views(&self) -> GrecaInputs<'_> {
+        GrecaInputs {
+            pref_lists: self.pref_lists.iter().map(SortedList::as_view).collect(),
+            static_lists: self.static_lists.iter().map(SortedList::as_view).collect(),
+            period_lists: self
+                .period_lists
+                .iter()
+                .map(|ls| ls.iter().map(SortedList::as_view).collect())
+                .collect(),
+            num_members: self.num_members,
+            num_pairs: self.num_pairs,
+            num_items: self.num_items,
+        }
+    }
+
+    /// Total entries across all lists.
+    pub fn total_entries(&self) -> u64 {
+        self.views().total_entries()
+    }
+}
+
+/// Build one affinity kind's lists from a group view's components,
+/// sorting each list (tiny: ≤ n−1 entries each).
+pub(crate) fn build_affinity_lists(
     affinity: &GroupAffinity,
     layout: ListLayout,
     kind: ListKind,
     component: impl Fn(usize) -> f64,
-) -> Vec<SortedList> {
+) -> Result<Vec<SortedList>, NonFiniteEntry> {
     let n = affinity.members().len();
     match layout {
         ListLayout::Single => {
             let entries: Vec<(u32, f64)> = (0..affinity.num_pairs())
                 .map(|pair| (pair as u32, component(pair)))
                 .collect();
-            vec![SortedList::new(kind, entries)]
+            Ok(vec![SortedList::new(kind, entries)?])
         }
         ListLayout::Decomposed => {
             // The i-th list holds u_i's pairs (u_i, u_j) for j > i: n−1
@@ -248,52 +451,78 @@ mod tests {
             PreferenceList::from_entries(
                 UserId(0),
                 vec![(ItemId(0), 5.0), (ItemId(1), 1.0), (ItemId(2), 1.0)],
-            ),
+            )
+            .unwrap(),
             PreferenceList::from_entries(
                 UserId(1),
                 vec![(ItemId(0), 5.0), (ItemId(1), 1.0), (ItemId(2), 0.5)],
-            ),
+            )
+            .unwrap(),
             PreferenceList::from_entries(
                 UserId(2),
                 vec![(ItemId(2), 2.0), (ItemId(0), 2.0), (ItemId(1), 1.0)],
-            ),
+            )
+            .unwrap(),
         ]
+    }
+
+    fn build(mode: AffinityMode, layout: ListLayout) -> MaterializedInputs {
+        MaterializedInputs::build(&pls(), &affinity(mode), layout).expect("finite inputs")
     }
 
     #[test]
     fn sorted_list_sorts_desc_with_id_ties() {
-        let l = SortedList::new(ListKind::StaticAffinity, vec![(2, 0.5), (0, 0.5), (1, 0.9)]);
-        let ids: Vec<u32> = l.entries.iter().map(|&(i, _)| i).collect();
+        let l =
+            SortedList::new(ListKind::StaticAffinity, vec![(2, 0.5), (0, 0.5), (1, 0.9)]).unwrap();
+        let ids: Vec<u32> = l.as_view().ids.to_vec();
         assert_eq!(ids, vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn non_finite_entries_rejected() {
+        let err = SortedList::new(
+            ListKind::PeriodicAffinity { period: 1 },
+            vec![(0, 0.5), (3, f64::NAN)],
+        )
+        .unwrap_err();
+        assert_eq!(err.id, 3);
+        assert_eq!(err.kind, ListKind::PeriodicAffinity { period: 1 });
+        assert!(err.value.is_nan());
+        assert!(err.to_string().contains("non-finite"));
+    }
+
+    #[test]
+    fn views_mirror_owned_storage() {
+        let l = SortedList::new(ListKind::StaticAffinity, vec![(7, 0.25), (1, 0.75)]).unwrap();
+        let v = l.as_view();
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.entry(0), (1, 0.75));
+        assert_eq!(v.first_score(), Some(0.75));
+        assert_eq!(v.last_score(), Some(0.25));
+        assert!(v.contains_id(7) && !v.contains_id(2));
+        assert_eq!(v.iter().collect::<Vec<_>>(), vec![(1, 0.75), (7, 0.25)]);
     }
 
     #[test]
     fn decomposed_layout_matches_running_example() {
         // §3.1: LaffS(u1) holds u1's two pairs, LaffS(u2) holds one, and
         // "no static affinity list needs to be created for user u3".
-        let inputs = GrecaInputs::build(
-            &pls(),
-            &affinity(AffinityMode::Discrete),
-            ListLayout::Decomposed,
-        );
+        let inputs = build(AffinityMode::Discrete, ListLayout::Decomposed);
         assert_eq!(inputs.static_lists.len(), 2);
         assert_eq!(inputs.static_lists[0].len(), 2);
         assert_eq!(inputs.static_lists[1].len(), 1);
         assert_eq!(inputs.period_lists.len(), 2);
         assert_eq!(inputs.period_lists[0].len(), 2);
+        let views = inputs.views();
         // 3 pref lists + 2 static + 2×2 periodic = 9 lists.
-        assert_eq!(inputs.num_lists(), 9);
+        assert_eq!(views.num_lists(), 9);
         // Entries: 3×3 + 3 + 2×3 = 18.
-        assert_eq!(inputs.total_entries(), 18);
+        assert_eq!(views.total_entries(), 18);
     }
 
     #[test]
     fn single_layout_has_one_list_per_kind() {
-        let inputs = GrecaInputs::build(
-            &pls(),
-            &affinity(AffinityMode::Discrete),
-            ListLayout::Single,
-        );
+        let inputs = build(AffinityMode::Discrete, ListLayout::Single);
         assert_eq!(inputs.static_lists.len(), 1);
         assert_eq!(inputs.static_lists[0].len(), 3);
         assert_eq!(inputs.period_lists[0].len(), 1);
@@ -302,11 +531,7 @@ mod tests {
 
     #[test]
     fn affinity_agnostic_mode_has_no_affinity_lists() {
-        let inputs = GrecaInputs::build(
-            &pls(),
-            &affinity(AffinityMode::None),
-            ListLayout::Decomposed,
-        );
+        let inputs = build(AffinityMode::None, ListLayout::Decomposed);
         assert!(inputs.static_lists.is_empty());
         assert!(inputs.period_lists.is_empty());
         assert_eq!(inputs.total_entries(), 9);
@@ -314,25 +539,17 @@ mod tests {
 
     #[test]
     fn static_only_mode_has_no_period_lists() {
-        let inputs = GrecaInputs::build(
-            &pls(),
-            &affinity(AffinityMode::StaticOnly),
-            ListLayout::Decomposed,
-        );
+        let inputs = build(AffinityMode::StaticOnly, ListLayout::Decomposed);
         assert_eq!(inputs.static_lists.len(), 2);
         assert!(inputs.period_lists.is_empty());
     }
 
     #[test]
     fn affinity_lists_sorted_desc() {
-        let inputs = GrecaInputs::build(
-            &pls(),
-            &affinity(AffinityMode::Discrete),
-            ListLayout::Single,
-        );
-        for l in inputs.all_lists() {
-            for w in l.entries.windows(2) {
-                assert!(w[0].1 >= w[1].1);
+        let inputs = build(AffinityMode::Discrete, ListLayout::Single);
+        for l in inputs.views().all_lists() {
+            for w in l.scores.windows(2) {
+                assert!(w[0] >= w[1]);
             }
         }
     }
@@ -342,7 +559,7 @@ mod tests {
     fn mismatched_pref_lists_rejected() {
         let mut lists = pls();
         lists[1].entries.pop();
-        let _ = GrecaInputs::build(
+        let _ = MaterializedInputs::build(
             &lists,
             &affinity(AffinityMode::Discrete),
             ListLayout::Decomposed,

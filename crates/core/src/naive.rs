@@ -18,7 +18,7 @@ use std::collections::HashMap;
 
 /// Exact scores for every item, computed by a full scan.
 pub fn naive_scores(
-    inputs: &GrecaInputs,
+    inputs: &GrecaInputs<'_>,
     affinity: &GroupAffinity,
     consensus: ConsensusFunction,
     normalize_rpref: bool,
@@ -29,7 +29,7 @@ pub fn naive_scores(
     // Scan everything (the affinity lists too — the naive algorithm reads
     // all inputs even though the scorer already knows the components).
     for list in inputs.all_lists() {
-        for &(id, score) in &list.entries {
+        for (id, score) in list.iter() {
             stats.record_sa();
             if let ListKind::Preference { member } = list.kind {
                 aprefs.entry(id).or_insert_with(|| vec![0.0; n])[member as usize] = score;
@@ -51,7 +51,7 @@ pub fn naive_scores(
 
 /// Full-scan top-k with exact scores.
 pub fn naive_topk(
-    inputs: &GrecaInputs,
+    inputs: &GrecaInputs<'_>,
     affinity: &GroupAffinity,
     consensus: ConsensusFunction,
     normalize_rpref: bool,

@@ -6,13 +6,24 @@
 //! and hands out builders with the paper's defaults baked in (k = 10,
 //! AP consensus, discrete affinity, decomposed lists, normalized
 //! relative preference — §4.2 "Experiment Settings"), so the common
-//! query is a few chained calls instead of the legacy 8-positional
-//! [`prepare`](crate::engine::prepare):
+//! query is a few chained calls:
 //!
 //! ```text
-//! let engine = GrecaEngine::new(&cf, &population);
-//! let top = engine.query(&group).items(&items).period(p).top(5).run()?;
+//! let engine = GrecaEngine::warm(&cf, &population, &catalog)?;
+//! let top = engine.query(&group).period(p).top(5).run()?;
 //! ```
+//!
+//! ## Cold vs. warm preparation
+//!
+//! A *cold* engine ([`GrecaEngine::new`]) materializes every query's
+//! sorted lists from scratch — `O(n·m log m)` provider calls and sorts
+//! per query. A *warm* engine ([`GrecaEngine::warm`]) owns an
+//! `Arc<`[`Substrate`]`>` of precomputed sorted storage; its `prepare()`
+//! selects zero-copy [`ListView`](crate::lists::ListView)s (or one
+//! order-preserving filter pass for subset itemsets) — no per-user sort,
+//! no preference-entry clone, no provider calls. Both paths produce
+//! bit-identical results; the engine also keeps a small keyed cache of
+//! [`GroupAffinity`] views so repeat groups skip the view computation.
 //!
 //! [`Algorithm`] unifies GRECA with its §3.1/§4.2 comparison set (TA and
 //! the naive scan): the same prepared query runs through any of the
@@ -23,21 +34,33 @@
 
 use crate::access::{AccessStats, Aggregate};
 use crate::greca::{greca_topk, GrecaConfig, TopKResult};
-use crate::lists::{GrecaInputs, ListLayout};
+use crate::lists::{
+    build_affinity_lists, GrecaInputs, ListKind, ListLayout, MaterializedInputs, NonFiniteEntry,
+    SortedList,
+};
 use crate::naive::{naive_scores, naive_topk};
+use crate::substrate::{ItemCoverage, Substrate};
 use crate::ta::{ta_topk, TaConfig};
 use greca_affinity::{AffinityMode, GroupAffinity, PopulationAffinity};
 use greca_cf::{group_preference_lists, PreferenceList, PreferenceProvider};
 use greca_consensus::ConsensusFunction;
 use greca_dataset::{Group, ItemId, UserId};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 /// The paper's default result size (§4.2: "k = 10").
 pub const PAPER_DEFAULT_K: usize = 10;
 
+/// Entries the engine's group-affinity cache holds before it is cleared
+/// (a serving deployment sees a bounded set of hot groups; the cache is
+/// deliberately small and self-flushing rather than LRU-precise).
+const AFFINITY_CACHE_CAP: usize = 256;
+
 /// A query rejected before execution.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum QueryError {
-    /// No candidate items were supplied.
+    /// No candidate items were supplied and the provider cannot supply a
+    /// default catalog.
     EmptyItemset,
     /// The query period does not exist in the population index.
     PeriodOutOfRange {
@@ -50,6 +73,12 @@ pub enum QueryError {
     ZeroK,
     /// A group member is missing from the population-affinity universe.
     UnknownMember(UserId),
+    /// A NaN/∞ score was rejected at list ingestion (instead of the
+    /// historical panic inside a sort comparator).
+    NonFiniteScore {
+        /// Description of the offending entry (origin, id, value).
+        what: String,
+    },
 }
 
 impl std::fmt::Display for QueryError {
@@ -70,11 +99,28 @@ impl std::fmt::Display for QueryError {
                     "group member {u} is not in the population-affinity universe"
                 )
             }
+            QueryError::NonFiniteScore { what } => write!(f, "{what}"),
         }
     }
 }
 
 impl std::error::Error for QueryError {}
+
+impl From<greca_cf::NonFiniteScore> for QueryError {
+    fn from(e: greca_cf::NonFiniteScore) -> Self {
+        QueryError::NonFiniteScore {
+            what: e.to_string(),
+        }
+    }
+}
+
+impl From<NonFiniteEntry> for QueryError {
+    fn from(e: NonFiniteEntry) -> Self {
+        QueryError::NonFiniteScore {
+            what: e.to_string(),
+        }
+    }
+}
 
 /// Which top-k algorithm executes a query.
 ///
@@ -113,19 +159,52 @@ impl Algorithm {
     }
 }
 
+/// Hashable identity of one cached [`GroupAffinity`] view.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct AffinityKey {
+    members: Vec<UserId>,
+    period: usize,
+    mode: ModeKey,
+}
+
+/// [`AffinityMode`] with its `f64` payload made hashable via bit
+/// identity (two scales cache separately unless bit-equal, which is the
+/// conservative direction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum ModeKey {
+    None,
+    StaticOnly,
+    Discrete,
+    Continuous(u64),
+}
+
+impl From<AffinityMode> for ModeKey {
+    fn from(mode: AffinityMode) -> Self {
+        match mode {
+            AffinityMode::None => ModeKey::None,
+            AffinityMode::StaticOnly => ModeKey::StaticOnly,
+            AffinityMode::Discrete => ModeKey::Discrete,
+            AffinityMode::Continuous { scale } => ModeKey::Continuous(scale.to_bits()),
+        }
+    }
+}
+
 /// The long-lived serving engine: a preference provider (any CF model)
-/// plus the population-affinity index.
+/// plus the population-affinity index, optionally warmed with a shared
+/// [`Substrate`] of precomputed sorted storage.
 ///
-/// Both substrates are borrowed: the engine is a cheap, copyable view
-/// meant to be created once per (provider, index) pair and shared. The
-/// provider is a trait object so heterogeneous deployments (user CF,
-/// item CF, raw ratings, hand-built tables) serve through one engine
-/// type; `Sync` is required so [`run_batch`] can fan queries out across
-/// threads.
-#[derive(Clone, Copy)]
+/// Both index substrates are borrowed; the precomputed storage and the
+/// group-affinity cache are shared `Arc`s, so cloning an engine is cheap
+/// and clones serve from the same buffers and cache. The provider is a
+/// trait object so heterogeneous deployments (user CF, item CF, raw
+/// ratings, hand-built tables) serve through one engine type; `Sync` is
+/// required so [`run_batch`] can fan queries out across threads.
+#[derive(Clone)]
 pub struct GrecaEngine<'a> {
     provider: &'a (dyn PreferenceProvider + Sync + 'a),
     population: &'a PopulationAffinity,
+    substrate: Option<Arc<Substrate>>,
+    affinity_cache: Arc<Mutex<HashMap<AffinityKey, Arc<GroupAffinity>>>>,
 }
 
 impl std::fmt::Debug for GrecaEngine<'_> {
@@ -133,12 +212,15 @@ impl std::fmt::Debug for GrecaEngine<'_> {
         f.debug_struct("GrecaEngine")
             .field("universe", &self.population.universe().len())
             .field("periods", &self.population.num_periods())
+            .field("warm", &self.substrate.is_some())
             .finish()
     }
 }
 
 impl<'a> GrecaEngine<'a> {
-    /// Wrap the substrates.
+    /// Wrap the substrates *cold*: every query materializes its own
+    /// sorted lists. Cheap to construct; right for one-off queries or an
+    /// index that is still being appended to.
     pub fn new(
         provider: &'a (dyn PreferenceProvider + Sync + 'a),
         population: &'a PopulationAffinity,
@@ -146,17 +228,86 @@ impl<'a> GrecaEngine<'a> {
         GrecaEngine {
             provider,
             population,
+            substrate: None,
+            affinity_cache: Arc::new(Mutex::new(HashMap::new())),
         }
     }
 
+    /// Wrap the substrates *warm*: precompute every universe user's
+    /// sorted preference list over `items` and the per-period sorted
+    /// affinity arrays, once, into shared storage. Queries then prepare
+    /// by slicing views instead of sorting (see the module docs).
+    pub fn warm(
+        provider: &'a (dyn PreferenceProvider + Sync + 'a),
+        population: &'a PopulationAffinity,
+        items: &[ItemId],
+    ) -> Result<Self, QueryError> {
+        let substrate = Substrate::build(provider, population, items)?;
+        Ok(Self::with_substrate(
+            provider,
+            population,
+            Arc::new(substrate),
+        ))
+    }
+
+    /// Like [`GrecaEngine::warm`], but precomputes preference segments
+    /// only for `users` — the right call when only a known cohort forms
+    /// groups. Queries touching other users fall back to cold
+    /// materialization transparently.
+    pub fn warm_for(
+        provider: &'a (dyn PreferenceProvider + Sync + 'a),
+        population: &'a PopulationAffinity,
+        items: &[ItemId],
+        users: &[UserId],
+    ) -> Result<Self, QueryError> {
+        let substrate = Substrate::build_for(provider, population, items, users)?;
+        Ok(Self::with_substrate(
+            provider,
+            population,
+            Arc::new(substrate),
+        ))
+    }
+
+    /// Wrap the substrates around an existing shared [`Substrate`]
+    /// (e.g. one built once and shared across engines or shards).
+    ///
+    /// # Panics
+    ///
+    /// If the substrate was not built from this population index (same
+    /// universe, pair space and period count) — a mismatched pairing
+    /// would silently rank by the wrong affinity arrays, so it is a
+    /// programming error, not a query error.
+    pub fn with_substrate(
+        provider: &'a (dyn PreferenceProvider + Sync + 'a),
+        population: &'a PopulationAffinity,
+        substrate: Arc<Substrate>,
+    ) -> Self {
+        assert!(
+            substrate.is_compatible_with(population),
+            "substrate was built from a different population index"
+        );
+        GrecaEngine {
+            provider,
+            population,
+            substrate: Some(substrate),
+            affinity_cache: Arc::new(Mutex::new(HashMap::new())),
+        }
+    }
+
+    /// The shared precomputed storage, when the engine is warm.
+    pub fn substrate(&self) -> Option<&Arc<Substrate>> {
+        self.substrate.as_ref()
+    }
+
+    /// Whether the engine serves from precomputed storage.
+    pub fn is_warm(&self) -> bool {
+        self.substrate.is_some()
+    }
+
     /// Start a query for `group` with the paper's defaults.
-    pub fn query<'q>(&self, group: &'q Group) -> GroupQuery<'q>
-    where
-        'a: 'q,
-    {
+    pub fn query<'q>(&'q self, group: &'q Group) -> GroupQuery<'q> {
         GroupQuery {
-            provider: self.provider,
-            population: self.population,
+            engine: self,
             group,
             items: &[],
             period: None,
@@ -174,6 +325,39 @@ impl<'a> GrecaEngine<'a> {
         self.population
     }
 
+    /// The group's affinity view at `(period, mode)` via the engine's
+    /// keyed cache: computed at most once per key, shared by `Arc`.
+    fn cached_affinity(
+        &self,
+        group: &Group,
+        period_idx: usize,
+        mode: AffinityMode,
+    ) -> Arc<GroupAffinity> {
+        let key = AffinityKey {
+            members: group.members().to_vec(),
+            period: period_idx,
+            mode: ModeKey::from(mode),
+        };
+        if let Ok(cache) = self.affinity_cache.lock() {
+            if let Some(hit) = cache.get(&key) {
+                return Arc::clone(hit);
+            }
+        }
+        let view = Arc::new(self.population.group_view(group, period_idx, mode));
+        if let Ok(mut cache) = self.affinity_cache.lock() {
+            if cache.len() >= AFFINITY_CACHE_CAP {
+                cache.clear();
+            }
+            cache.insert(key, Arc::clone(&view));
+        }
+        view
+    }
+
+    /// Number of group-affinity views currently cached.
+    pub fn cached_affinity_views(&self) -> usize {
+        self.affinity_cache.lock().map(|c| c.len()).unwrap_or(0)
+    }
+
     /// Execute many prepared queries in parallel — see [`run_batch`].
     pub fn run_batch(&self, queries: &[GroupQuery<'_>]) -> BatchResult {
         run_batch(queries)
@@ -185,12 +369,12 @@ impl<'a> GrecaEngine<'a> {
 /// Defaults (the paper's §4.2 settings): `k = 10`, AP consensus,
 /// discrete affinity mode, decomposed list layout, normalized relative
 /// preference, the current (latest) period, GRECA as the algorithm.
-/// Only [`items`](Self::items) has no default — an empty candidate set
-/// is a [`QueryError::EmptyItemset`] at run time.
+/// The itemset itself defaults to the provider's candidate set for the
+/// group (every catalog item no member has rated — §2.4); supply
+/// [`items`](Self::items) to override it.
 #[derive(Clone, Copy)]
 pub struct GroupQuery<'q> {
-    provider: &'q (dyn PreferenceProvider + Sync + 'q),
-    population: &'q PopulationAffinity,
+    engine: &'q GrecaEngine<'q>,
     group: &'q Group,
     items: &'q [ItemId],
     period: Option<usize>,
@@ -219,8 +403,11 @@ impl std::fmt::Debug for GroupQuery<'_> {
 }
 
 impl<'q> GroupQuery<'q> {
-    /// The candidate itemset (required; §2.4 poses the problem over one
-    /// shared itemset `I`).
+    /// The candidate itemset (§2.4 poses the problem over one shared
+    /// itemset `I`). Optional: when omitted, the provider's
+    /// [`candidate_items`](PreferenceProvider::candidate_items) for the
+    /// group is used; a provider without a catalog (e.g. a hand-built
+    /// score table) then yields [`QueryError::EmptyItemset`].
     pub fn items(mut self, items: &'q [ItemId]) -> Self {
         self.items = items;
         self
@@ -273,18 +460,19 @@ impl<'q> GroupQuery<'q> {
     /// The query's effective period: explicit, or the index's latest.
     pub fn effective_period(&self) -> usize {
         self.period
-            .unwrap_or_else(|| self.population.num_periods().saturating_sub(1))
+            .unwrap_or_else(|| self.engine.population.num_periods().saturating_sub(1))
     }
 
-    /// Validate without materializing lists.
+    /// Validate the query's settings without materializing lists.
+    ///
+    /// An empty itemset is *not* an error here: it is resolved at
+    /// [`prepare`](Self::prepare) time from the provider's candidate
+    /// set, and only fails there if the provider has no catalog.
     pub fn validate(&self) -> Result<(), QueryError> {
-        if self.items.is_empty() {
-            return Err(QueryError::EmptyItemset);
-        }
         if self.k == 0 {
             return Err(QueryError::ZeroK);
         }
-        let num_periods = self.population.num_periods();
+        let num_periods = self.engine.population.num_periods();
         let period = self.effective_period();
         // A temporal mode against an index with no periods would
         // silently degrade to static-only scoring; refuse instead. A
@@ -303,30 +491,65 @@ impl<'q> GroupQuery<'q> {
             });
         }
         for &u in self.group.members() {
-            if !self.population.contains_user(u) {
+            if !self.engine.population.contains_user(u) {
                 return Err(QueryError::UnknownMember(u));
             }
         }
         Ok(())
     }
 
-    /// Materialize the sorted lists once; the result can then run any
-    /// [`Algorithm`] over the *same* inputs (the fair-`%SA` setup of
-    /// §4.2) without paying preparation again.
+    /// Materialize or select the sorted lists once; the result can then
+    /// run any [`Algorithm`] over the *same* inputs (the fair-`%SA`
+    /// setup of §4.2) without paying preparation again.
+    ///
+    /// On a warm engine this selects substrate views (no per-user sort,
+    /// no preference-entry clone); on a cold engine — or for a query the
+    /// substrate cannot serve (unknown user, foreign or duplicated
+    /// items) — it materializes owned lists exactly as before. Both
+    /// paths are bit-identical.
     pub fn prepare(&self) -> Result<PreparedQuery, QueryError> {
         self.validate()?;
-        let (affinity, inputs) = materialize_inputs(
-            self.provider,
-            self.population,
-            self.group,
-            self.items,
-            self.effective_period(),
-            self.mode,
-            self.layout,
-        );
+        let resolved: Vec<ItemId>;
+        let items: &[ItemId] = if self.items.is_empty() {
+            resolved = self
+                .engine
+                .provider
+                .candidate_items(self.group)
+                .ok_or(QueryError::EmptyItemset)?;
+            &resolved
+        } else {
+            self.items
+        };
+        if items.is_empty() {
+            return Err(QueryError::EmptyItemset);
+        }
+        let period = self.effective_period();
+        let affinity = self.engine.cached_affinity(self.group, period, self.mode);
+
+        let storage = match self.engine.substrate {
+            Some(ref substrate) => {
+                match build_warm(substrate, &affinity, self.group, items, self.layout)? {
+                    Some(warm) => PreparedStorage::Warm(warm),
+                    None => PreparedStorage::Cold(cold_inputs(
+                        self.engine.provider,
+                        &affinity,
+                        self.group,
+                        items,
+                        self.layout,
+                    )?),
+                }
+            }
+            None => PreparedStorage::Cold(cold_inputs(
+                self.engine.provider,
+                &affinity,
+                self.group,
+                items,
+                self.layout,
+            )?),
+        };
         Ok(PreparedQuery {
             affinity,
-            inputs,
+            storage,
             normalize_rpref: self.normalize_rpref,
             consensus: self.consensus,
             k: self.k,
@@ -340,11 +563,134 @@ impl<'q> GroupQuery<'q> {
     }
 }
 
-/// The one construction both the builder and the deprecated
-/// [`prepare`](crate::engine::prepare) shim share: group affinity view +
-/// sorted lists for one (group, itemset, period, mode, layout). Keeping
-/// it single-sourced makes legacy/new equivalence structural rather
-/// than test-enforced.
+/// Cold-path list materialization: provider calls + sorts, per query.
+fn cold_inputs(
+    provider: &(dyn PreferenceProvider + Sync + '_),
+    affinity: &GroupAffinity,
+    group: &Group,
+    items: &[ItemId],
+    layout: ListLayout,
+) -> Result<MaterializedInputs, QueryError> {
+    let pref_lists = group_preference_lists(provider, group, items)?;
+    Ok(MaterializedInputs::build(&pref_lists, affinity, layout)?)
+}
+
+/// Warm-path selection from the substrate. Returns `Ok(None)` when the
+/// substrate cannot serve this query (an uncovered user, a foreign or
+/// duplicated item) and the caller should fall back to the cold path.
+fn build_warm(
+    substrate: &Arc<Substrate>,
+    affinity: &GroupAffinity,
+    group: &Group,
+    items: &[ItemId],
+    layout: ListLayout,
+) -> Result<Option<WarmInputs>, QueryError> {
+    let Some(coverage) = substrate.item_coverage(items) else {
+        return Ok(None);
+    };
+    let mut member_idx: Vec<u32> = Vec::with_capacity(group.members().len());
+    for &u in group.members() {
+        match substrate.user_index(u) {
+            Some(i) => member_idx.push(i as u32),
+            None => return Ok(None),
+        }
+    }
+    // (group pair id, population pair id), in group triangular order, so
+    // a member's pairs are one contiguous row of this vec.
+    let members = affinity.members();
+    let n = members.len();
+    let mut pair_map: Vec<(u32, usize)> = Vec::with_capacity(affinity.num_pairs());
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let g = affinity
+                .pair_of(members[i], members[j])
+                .expect("members are in the group") as u32;
+            let Some(pop) = substrate.population_pair_of(members[i], members[j]) else {
+                return Ok(None);
+            };
+            pair_map.push((g, pop));
+        }
+    }
+
+    let (filtered, num_items) = match coverage {
+        ItemCoverage::Full => (None, substrate.num_items()),
+        ItemCoverage::Subset(mask) => {
+            let lists: Vec<SortedList> = member_idx
+                .iter()
+                .enumerate()
+                .map(|(m, &ui)| {
+                    substrate.filtered_pref_list(ui as usize, m as u32, &mask, items.len())
+                })
+                .collect();
+            (Some(lists), items.len())
+        }
+    };
+
+    let mode = affinity.mode();
+    let static_lists = if mode.uses_static() {
+        // Static components are re-normalized *per group* (§4.1.2), so
+        // their per-query sort stays (tiny: ≤ n−1 entries per list, and
+        // a shared positive rescale could in principle collapse two
+        // distinct raw values into a float tie, where the population
+        // rank and a value sort may disagree).
+        build_affinity_lists(affinity, layout, ListKind::StaticAffinity, |pair| {
+            affinity.static_component(pair)
+        })?
+    } else {
+        Vec::new()
+    };
+
+    let period_lists: Vec<Vec<SortedList>> = if mode.is_temporal() {
+        (0..affinity.num_periods())
+            .map(|p| {
+                let kind = ListKind::PeriodicAffinity { period: p as u32 };
+                let assemble = |pairs: &mut [(u32, usize)]| {
+                    substrate.order_pairs_by_period_rank(p, pairs);
+                    let ids: Vec<u32> = pairs.iter().map(|&(g, _)| g).collect();
+                    let scores: Vec<f64> = pairs
+                        .iter()
+                        .map(|&(g, _)| affinity.period_component(p, g as usize))
+                        .collect();
+                    SortedList::from_sorted_columns(kind, ids, scores)
+                };
+                match layout {
+                    ListLayout::Single => {
+                        let mut pairs = pair_map.clone();
+                        vec![assemble(&mut pairs)]
+                    }
+                    ListLayout::Decomposed => {
+                        let mut lists = Vec::with_capacity(n.saturating_sub(1));
+                        let mut row_start = 0;
+                        for i in 0..n.saturating_sub(1) {
+                            let row_len = n - 1 - i;
+                            let mut pairs = pair_map[row_start..row_start + row_len].to_vec();
+                            lists.push(assemble(&mut pairs));
+                            row_start += row_len;
+                        }
+                        lists
+                    }
+                }
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    Ok(Some(WarmInputs {
+        substrate: Arc::clone(substrate),
+        member_idx,
+        filtered,
+        static_lists,
+        period_lists,
+        num_members: n,
+        num_pairs: affinity.num_pairs(),
+        num_items,
+    }))
+}
+
+/// The one construction the deprecated [`prepare`](crate::engine::prepare)
+/// shim shares with the cold query path: group affinity view + sorted
+/// lists for one (group, itemset, period, mode, layout).
 pub(crate) fn materialize_inputs<P: PreferenceProvider + ?Sized>(
     provider: &P,
     population: &PopulationAffinity,
@@ -353,22 +699,83 @@ pub(crate) fn materialize_inputs<P: PreferenceProvider + ?Sized>(
     period_idx: usize,
     mode: AffinityMode,
     layout: ListLayout,
-) -> (GroupAffinity, GrecaInputs) {
+) -> Result<(GroupAffinity, MaterializedInputs), QueryError> {
     let affinity = population.group_view(group, period_idx, mode);
-    let pref_lists = group_preference_lists(provider, group, items);
-    let inputs = GrecaInputs::build(&pref_lists, &affinity, layout);
-    (affinity, inputs)
+    let pref_lists = group_preference_lists(provider, group, items)?;
+    let inputs = MaterializedInputs::build(&pref_lists, &affinity, layout)?;
+    Ok((affinity, inputs))
 }
 
-/// A query whose sorted-list inputs are materialized.
+/// Substrate-backed prepared state: zero-copy segment references (or
+/// filtered columns for subset itemsets) plus the per-query tiny
+/// affinity lists. Keeps the substrate alive via `Arc`.
+#[derive(Debug, Clone)]
+struct WarmInputs {
+    substrate: Arc<Substrate>,
+    member_idx: Vec<u32>,
+    /// `Some` when the itemset is a strict subset of the universe.
+    filtered: Option<Vec<SortedList>>,
+    static_lists: Vec<SortedList>,
+    period_lists: Vec<Vec<SortedList>>,
+    num_members: usize,
+    num_pairs: usize,
+    num_items: usize,
+}
+
+impl WarmInputs {
+    fn views(&self) -> GrecaInputs<'_> {
+        let pref_lists = match &self.filtered {
+            Some(lists) => lists.iter().map(SortedList::as_view).collect(),
+            None => self
+                .member_idx
+                .iter()
+                .enumerate()
+                .map(|(m, &ui)| self.substrate.pref_view(ui as usize, m as u32))
+                .collect(),
+        };
+        GrecaInputs {
+            pref_lists,
+            static_lists: self.static_lists.iter().map(SortedList::as_view).collect(),
+            period_lists: self
+                .period_lists
+                .iter()
+                .map(|ls| ls.iter().map(SortedList::as_view).collect())
+                .collect(),
+            num_members: self.num_members,
+            num_pairs: self.num_pairs,
+            num_items: self.num_items,
+        }
+    }
+}
+
+/// Which storage backs a [`PreparedQuery`].
+#[derive(Debug, Clone)]
+enum PreparedStorage {
+    /// Per-query owned lists (the legacy materialization path).
+    Cold(MaterializedInputs),
+    /// Substrate views (the warm path).
+    Warm(WarmInputs),
+}
+
+impl PreparedStorage {
+    fn views(&self) -> GrecaInputs<'_> {
+        match self {
+            PreparedStorage::Cold(m) => m.views(),
+            PreparedStorage::Warm(w) => w.views(),
+        }
+    }
+}
+
+/// A query whose sorted-list inputs are materialized or selected.
 ///
 /// Holds everything an execution needs — the group's affinity view, the
-/// sorted lists, and the query's scoring settings — so repeated runs
-/// (different algorithms, the §4.2 sweeps) share one preparation.
+/// list storage (owned or substrate-backed), and the query's scoring
+/// settings — so repeated runs (different algorithms, the §4.2 sweeps)
+/// share one preparation.
 #[derive(Debug, Clone)]
 pub struct PreparedQuery {
-    affinity: GroupAffinity,
-    inputs: GrecaInputs,
+    affinity: Arc<GroupAffinity>,
+    storage: PreparedStorage,
     normalize_rpref: bool,
     consensus: ConsensusFunction,
     k: usize,
@@ -387,16 +794,16 @@ impl PreparedQuery {
         pref_lists: &[PreferenceList],
         layout: ListLayout,
         normalize_rpref: bool,
-    ) -> Self {
-        let inputs = GrecaInputs::build(pref_lists, &affinity, layout);
-        PreparedQuery {
-            affinity,
-            inputs,
+    ) -> Result<Self, QueryError> {
+        let inputs = MaterializedInputs::build(pref_lists, &affinity, layout)?;
+        Ok(PreparedQuery {
+            affinity: Arc::new(affinity),
+            storage: PreparedStorage::Cold(inputs),
             normalize_rpref,
             consensus: ConsensusFunction::average_preference(),
             k: PAPER_DEFAULT_K,
             algorithm: Algorithm::default(),
-        }
+        })
     }
 
     /// Replace the consensus function.
@@ -417,9 +824,17 @@ impl PreparedQuery {
         self
     }
 
-    /// The materialized lists.
-    pub fn inputs(&self) -> &GrecaInputs {
-        &self.inputs
+    /// The list views an execution reads (assembled per call; the
+    /// backing storage is owned by this query or by the engine's
+    /// substrate).
+    pub fn inputs(&self) -> GrecaInputs<'_> {
+        self.storage.views()
+    }
+
+    /// Whether this preparation is served from substrate views (as
+    /// opposed to per-query owned lists).
+    pub fn is_warm(&self) -> bool {
+        matches!(self.storage, PreparedStorage::Warm(_))
     }
 
     /// The group's affinity view at the query period.
@@ -433,8 +848,8 @@ impl PreparedQuery {
     }
 
     /// Execute the configured algorithm under a different consensus
-    /// function without cloning the materialized lists (the
-    /// consensus-sweep path of the §4.1/§4.2 experiments).
+    /// function without re-preparing the lists (the consensus-sweep path
+    /// of the §4.1/§4.2 experiments).
     pub fn run_with(&self, consensus: ConsensusFunction) -> TopKResult {
         self.execute(self.algorithm, consensus)
     }
@@ -446,11 +861,12 @@ impl PreparedQuery {
     }
 
     fn execute(&self, algorithm: Algorithm, consensus: ConsensusFunction) -> TopKResult {
+        let inputs = self.storage.views();
         match algorithm {
             Algorithm::Greca(mut config) => {
                 config.k = self.k;
                 greca_topk(
-                    &self.inputs,
+                    &inputs,
                     &self.affinity,
                     consensus,
                     self.normalize_rpref,
@@ -460,7 +876,7 @@ impl PreparedQuery {
             Algorithm::Ta(mut config) => {
                 config.k = self.k;
                 ta_topk(
-                    &self.inputs,
+                    &inputs,
                     &self.affinity,
                     consensus,
                     self.normalize_rpref,
@@ -468,7 +884,7 @@ impl PreparedQuery {
                 )
             }
             Algorithm::Naive => naive_topk(
-                &self.inputs,
+                &inputs,
                 &self.affinity,
                 consensus,
                 self.normalize_rpref,
@@ -481,7 +897,7 @@ impl PreparedQuery {
     /// access accounting; the verification/evaluation path).
     pub fn exact_scores(&self) -> Vec<(ItemId, f64)> {
         naive_scores(
-            &self.inputs,
+            &self.storage.views(),
             &self.affinity,
             self.consensus,
             self.normalize_rpref,
@@ -517,11 +933,13 @@ impl BatchResult {
 /// statistics — the §4.2 many-group harness path.
 ///
 /// Queries fan out over `min(available_parallelism, #queries)` OS
-/// threads via an atomic work queue (queries cost wildly different
-/// amounts — group size, item count and period depth all vary — so
-/// work-stealing beats static chunking). Results keep input order;
-/// per-query failures surface as `Err` entries without failing the
-/// batch.
+/// threads, spawned once per batch and fed by a single shared atomic
+/// work queue (queries cost wildly different amounts — group size, item
+/// count and period depth all vary — so work-stealing beats static
+/// chunking). On a warm engine every worker serves from the *same*
+/// `Arc<Substrate>` and group-affinity cache instead of re-materializing
+/// per query. Results keep input order; per-query failures surface as
+/// `Err` entries without failing the batch.
 pub fn run_batch(queries: &[GroupQuery<'_>]) -> BatchResult {
     let mut results: Vec<Option<Result<TopKResult, QueryError>>> = Vec::new();
     results.resize_with(queries.len(), || None);

@@ -1,0 +1,541 @@
+//! The shared, immutable query substrate: precomputed sorted-list
+//! storage behind `Arc`, sliced zero-copy into per-query views.
+//!
+//! §2.4's ad-hoc-group scenario assumes the CF model and the affinity
+//! index are *long-lived* while groups arrive at query time — yet a cold
+//! `prepare()` pays `O(n·m log m)` per query to re-derive and re-sort
+//! every member's preference list. The TA lineage this paper builds on
+//! gets its speed precisely from reading **pre-sorted, shared** inverted
+//! lists; this module is that storage layer:
+//!
+//! * **Preference columns** — for every serving user, the
+//!   score-descending preference list over the item universe, computed
+//!   once from any [`PreferenceProvider`] and stored in one contiguous
+//!   `(ids, scores)` pair of buffers (`user × m` segments). A query whose
+//!   itemset *is* the universe borrows its segments as
+//!   [`ListView`]s — zero copies, zero sorts, zero provider calls. A
+//!   strict-subset itemset is filtered in one order-preserving pass
+//!   (still no sort, no provider calls).
+//! * **Affinity arrays** — per period (and for static affinity), every
+//!   population pair ordered by component descending, plus the inverse
+//!   *rank* array. Ordering any group's pairs by rank reproduces exactly
+//!   the order a per-query sort would produce (normalization is a shared
+//!   positive scale and both tie-break by ascending pair id), so warm
+//!   periodic lists are assembled without comparing floats.
+//!
+//! The substrate is immutable after construction and shared via
+//! `Arc<Substrate>`: [`crate::query::run_batch`] worker threads, cached
+//! [`PreparedQuery`](crate::query::PreparedQuery)s and the engine all
+//! alias the same buffers. Because the engine borrows its
+//! [`PopulationAffinity`] for its whole lifetime, the index cannot gain
+//! periods behind the substrate's back — snapshot staleness is ruled out
+//! by the borrow checker, not by invalidation logic.
+
+use crate::lists::{ListKind, ListView, NonFiniteEntry, SortedList};
+use crate::query::QueryError;
+use greca_affinity::PopulationAffinity;
+use greca_cf::PreferenceProvider;
+use greca_dataset::{Group, ItemId, UserId};
+
+/// How a query's itemset relates to the substrate's item universe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ItemCoverage {
+    /// The itemset is exactly the universe: preference views are
+    /// zero-copy slices of the shared buffers.
+    Full,
+    /// A strict subset (mask indexed by the substrate's *dense* item
+    /// position, not raw item id): preference lists are produced by one
+    /// order-preserving filter pass per member.
+    Subset(Vec<bool>),
+}
+
+/// Sentinel for "item id not in the universe" in the dense-index map.
+const NOT_AN_ITEM: u32 = u32::MAX;
+
+/// Precomputed sorted-list storage for one `(provider, population,
+/// item universe)` triple. See the module docs.
+#[derive(Debug, Clone)]
+pub struct Substrate {
+    /// Users with precomputed preference segments (sorted by id).
+    users: Vec<UserId>,
+    /// `users` position by user id.
+    user_pos: Vec<Option<u32>>,
+    /// The item universe (sorted, deduplicated).
+    items: Vec<ItemId>,
+    /// Dense position in `items` by item id ([`NOT_AN_ITEM`] if absent),
+    /// so per-query coverage masks are `O(m)`, not `O(max item id)`.
+    item_dense: Vec<u32>,
+    /// Entries per preference segment (= `items.len()`).
+    m: usize,
+    /// Concatenated per-user item-id columns, each segment sorted by
+    /// score descending (ties by item id).
+    pref_ids: Vec<u32>,
+    /// Concatenated per-user score columns, aligned with `pref_ids`.
+    pref_scores: Vec<f64>,
+
+    /// Population universe position by user id (for population pair
+    /// indexing; `users` may be a subset of the population universe).
+    pop_pos: Vec<Option<u32>>,
+    /// Population universe size.
+    pop_n: usize,
+    /// Population pairs ordered by globally-normalized static affinity
+    /// descending, with the values.
+    static_pairs: Vec<u32>,
+    static_values: Vec<f64>,
+    /// Per period: population pairs ordered by normalized periodic
+    /// affinity descending, with the values.
+    period_pairs: Vec<Vec<u32>>,
+    period_values: Vec<Vec<f64>>,
+    /// Per period: rank (position in `period_pairs[p]`) by pair id.
+    period_rank: Vec<Vec<u32>>,
+}
+
+impl Substrate {
+    /// Precompute the substrate for every user of the population
+    /// universe over `items`.
+    ///
+    /// Cost: one [`PreferenceProvider::preference_list`] call per
+    /// universe user (the work a cold query pays per *member*, paid once
+    /// per engine instead), plus one sort per affinity period. Rejects
+    /// non-finite preference or affinity values with
+    /// [`QueryError::NonFiniteScore`] — the same ingestion contract the
+    /// cold path enforces per query.
+    pub fn build(
+        provider: &(dyn PreferenceProvider + Sync + '_),
+        population: &PopulationAffinity,
+        items: &[ItemId],
+    ) -> Result<Self, QueryError> {
+        Self::build_for(provider, population, items, population.universe())
+    }
+
+    /// Precompute preference segments only for `users` (must belong to
+    /// the population universe) — the right call when only a known user
+    /// cohort forms groups. Queries touching other users fall back to
+    /// cold materialization.
+    pub fn build_for(
+        provider: &(dyn PreferenceProvider + Sync + '_),
+        population: &PopulationAffinity,
+        items: &[ItemId],
+        users: &[UserId],
+    ) -> Result<Self, QueryError> {
+        let mut users: Vec<UserId> = users
+            .iter()
+            .copied()
+            .filter(|&u| population.contains_user(u))
+            .collect();
+        users.sort_unstable();
+        users.dedup();
+        let mut items: Vec<ItemId> = items.to_vec();
+        items.sort_unstable();
+        items.dedup();
+        let m = items.len();
+
+        let max_user = users.last().map_or(0, |u| u.idx());
+        let mut user_pos = vec![None; max_user + 1];
+        for (pos, &u) in users.iter().enumerate() {
+            user_pos[u.idx()] = Some(pos as u32);
+        }
+        let max_item = items.last().map_or(0, |i| i.0 as usize);
+        let mut item_dense = vec![NOT_AN_ITEM; max_item + 1];
+        for (dense, &i) in items.iter().enumerate() {
+            item_dense[i.0 as usize] = dense as u32;
+        }
+
+        let mut pref_ids = Vec::with_capacity(users.len() * m);
+        let mut pref_scores = Vec::with_capacity(users.len() * m);
+        for &u in &users {
+            let (ids, scores) = provider.preference_list(u, &items)?.into_sorted_columns();
+            pref_ids.extend_from_slice(&ids);
+            pref_scores.extend_from_slice(&scores);
+        }
+
+        let universe = population.universe();
+        let max_pop = universe.last().map_or(0, |u| u.idx());
+        let mut pop_pos = vec![None; max_pop + 1];
+        for (pos, &u) in universe.iter().enumerate() {
+            pop_pos[u.idx()] = Some(pos as u32);
+        }
+
+        let (static_pairs, static_values) = population.static_sorted_desc();
+        reject_non_finite(ListKind::StaticAffinity, &static_pairs, &static_values)?;
+        let mut period_pairs = Vec::with_capacity(population.num_periods());
+        let mut period_values = Vec::with_capacity(population.num_periods());
+        let mut period_rank = Vec::with_capacity(population.num_periods());
+        for p in 0..population.num_periods() {
+            let (pairs, values) = population.period_sorted_desc(p);
+            reject_non_finite(
+                ListKind::PeriodicAffinity { period: p as u32 },
+                &pairs,
+                &values,
+            )?;
+            let mut rank = vec![0u32; pairs.len()];
+            for (pos, &pair) in pairs.iter().enumerate() {
+                rank[pair as usize] = pos as u32;
+            }
+            period_pairs.push(pairs);
+            period_values.push(values);
+            period_rank.push(rank);
+        }
+
+        Ok(Substrate {
+            users,
+            user_pos,
+            items,
+            item_dense,
+            m,
+            pref_ids,
+            pref_scores,
+            pop_pos,
+            pop_n: universe.len(),
+            static_pairs,
+            static_values,
+            period_pairs,
+            period_values,
+            period_rank,
+        })
+    }
+
+    /// Users with precomputed preference segments.
+    pub fn users(&self) -> &[UserId] {
+        &self.users
+    }
+
+    /// The item universe (sorted, deduplicated).
+    pub fn items(&self) -> &[ItemId] {
+        &self.items
+    }
+
+    /// Number of items per preference segment.
+    pub fn num_items(&self) -> usize {
+        self.m
+    }
+
+    /// Number of indexed periods.
+    pub fn num_periods(&self) -> usize {
+        self.period_pairs.len()
+    }
+
+    /// Approximate resident size of the preference buffers, in bytes.
+    pub fn pref_bytes(&self) -> usize {
+        self.pref_ids.len() * std::mem::size_of::<u32>()
+            + self.pref_scores.len() * std::mem::size_of::<f64>()
+    }
+
+    /// Position of `u` among the substrate's users, if precomputed.
+    pub fn user_index(&self, u: UserId) -> Option<usize> {
+        self.user_pos
+            .get(u.idx())
+            .copied()
+            .flatten()
+            .map(|p| p as usize)
+    }
+
+    /// Whether every member of `group` has a preference segment.
+    pub fn covers_group(&self, group: &Group) -> bool {
+        group
+            .members()
+            .iter()
+            .all(|&u| self.user_index(u).is_some())
+    }
+
+    /// Population pair index of `(u, v)` (triangular over the population
+    /// universe — the id space of the affinity arrays).
+    pub fn population_pair_of(&self, u: UserId, v: UserId) -> Option<usize> {
+        if u == v {
+            return None;
+        }
+        let pu = self.pop_pos.get(u.idx()).copied().flatten()?;
+        let pv = self.pop_pos.get(v.idx()).copied().flatten()?;
+        let (a, b) = (pu.min(pv) as usize, pu.max(pv) as usize);
+        Some(a * self.pop_n - a * (a + 1) / 2 + (b - a - 1))
+    }
+
+    /// Whether this substrate was built from (a cohort of) exactly this
+    /// population index: same universe, same pair space, same period
+    /// count. The invariant
+    /// [`GrecaEngine::with_substrate`](crate::query::GrecaEngine::with_substrate)
+    /// enforces — a substrate answering for a *different* index would
+    /// silently rank by the wrong affinity arrays.
+    pub fn is_compatible_with(&self, population: &PopulationAffinity) -> bool {
+        let universe = population.universe();
+        self.pop_n == universe.len()
+            && self.static_pairs.len() == population.num_pairs()
+            && self.period_pairs.len() == population.num_periods()
+            && universe
+                .iter()
+                .enumerate()
+                .all(|(pos, u)| self.pop_pos.get(u.idx()).copied().flatten() == Some(pos as u32))
+    }
+
+    /// How `items` relates to the universe, or `None` when the substrate
+    /// cannot serve it (an item outside the universe, or a duplicate —
+    /// the cold path handles those verbatim). `O(m)` per call: the mask
+    /// is over dense item positions, not raw item ids.
+    pub fn item_coverage(&self, items: &[ItemId]) -> Option<ItemCoverage> {
+        let mut mask = vec![false; self.m];
+        for &i in items {
+            let dense = self.dense_of(i)?;
+            if mask[dense] {
+                return None;
+            }
+            mask[dense] = true;
+        }
+        if items.len() == self.m {
+            Some(ItemCoverage::Full)
+        } else {
+            Some(ItemCoverage::Subset(mask))
+        }
+    }
+
+    /// Dense position of an item in the universe.
+    #[inline]
+    fn dense_of(&self, i: ItemId) -> Option<usize> {
+        match self.item_dense.get(i.0 as usize).copied() {
+            Some(d) if d != NOT_AN_ITEM => Some(d as usize),
+            _ => None,
+        }
+    }
+
+    /// The zero-copy preference view of the user at `user_idx`, labeled
+    /// as group member `member`.
+    pub fn pref_view(&self, user_idx: usize, member: u32) -> ListView<'_> {
+        let start = user_idx * self.m;
+        let end = start + self.m;
+        ListView::new(
+            ListKind::Preference { member },
+            &self.pref_ids[start..end],
+            &self.pref_scores[start..end],
+        )
+    }
+
+    /// The user's preference segment filtered to a subset itemset
+    /// (`mask` by dense item position, `len` items), preserving the
+    /// sorted order — one linear pass, no sort, no provider calls.
+    pub fn filtered_pref_list(
+        &self,
+        user_idx: usize,
+        member: u32,
+        mask: &[bool],
+        len: usize,
+    ) -> SortedList {
+        let start = user_idx * self.m;
+        let end = start + self.m;
+        let mut ids = Vec::with_capacity(len);
+        let mut scores = Vec::with_capacity(len);
+        for (pos, &id) in self.pref_ids[start..end].iter().enumerate() {
+            // Segment ids always belong to the universe; the dense
+            // lookup cannot miss.
+            let dense = self.item_dense[id as usize] as usize;
+            if mask[dense] {
+                ids.push(id);
+                scores.push(self.pref_scores[start + pos]);
+            }
+        }
+        SortedList::from_sorted_columns(ListKind::Preference { member }, ids, scores)
+    }
+
+    /// Population-wide static affinity as one descending view. Entry ids
+    /// are **population** pair indices (unlike per-query lists, whose ids
+    /// are group pair indices).
+    pub fn static_view(&self) -> ListView<'_> {
+        ListView::new(
+            ListKind::StaticAffinity,
+            &self.static_pairs,
+            &self.static_values,
+        )
+    }
+
+    /// Population-wide periodic affinity of one period as a descending
+    /// view (entry ids are population pair indices).
+    pub fn period_view(&self, p_idx: usize) -> ListView<'_> {
+        ListView::new(
+            ListKind::PeriodicAffinity {
+                period: p_idx as u32,
+            },
+            &self.period_pairs[p_idx],
+            &self.period_values[p_idx],
+        )
+    }
+
+    /// Order `(group pair id, population pair id)` tuples by the given
+    /// period's precomputed rank.
+    ///
+    /// Both the population order and a per-group sort order lists by
+    /// (component descending, pair id ascending), and restricting the
+    /// population's triangular id order to a group preserves the group's
+    /// triangular order — so the result is *identical* to sorting the
+    /// group's component values, without touching a float.
+    pub fn order_pairs_by_period_rank(&self, p_idx: usize, pairs: &mut [(u32, usize)]) {
+        let rank = &self.period_rank[p_idx];
+        pairs.sort_by_key(|&(_, pop_pair)| rank[pop_pair]);
+    }
+}
+
+/// Reject a non-finite value in a population-level sorted array — the
+/// ingestion-time counterpart of the cold path's per-query
+/// `SortedList::new` validation. Without it a warm engine would compute
+/// silently wrong bounds from a NaN the cold path turns into a typed
+/// error (debug builds catch this earlier via the affinity sources'
+/// `debug_assert`s; this is the release-build guarantee).
+fn reject_non_finite(kind: ListKind, pairs: &[u32], values: &[f64]) -> Result<(), QueryError> {
+    for (&id, &value) in pairs.iter().zip(values) {
+        if !value.is_finite() {
+            return Err(QueryError::from(NonFiniteEntry { kind, id, value }));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use greca_affinity::TableAffinitySource;
+    use greca_cf::RawRatings;
+    use greca_dataset::{Granularity, RatingMatrixBuilder, Timeline};
+
+    fn world() -> (greca_dataset::RatingMatrix, PopulationAffinity, Timeline) {
+        let mut b = RatingMatrixBuilder::new(3, 4);
+        b.rate(UserId(0), ItemId(0), 5.0, 0)
+            .rate(UserId(0), ItemId(2), 3.0, 0)
+            .rate(UserId(1), ItemId(1), 4.0, 0)
+            .rate(UserId(2), ItemId(3), 2.0, 0)
+            .rate(UserId(2), ItemId(0), 1.0, 0);
+        let matrix = b.build();
+        let mut src = TableAffinitySource::new();
+        src.set_static(UserId(0), UserId(1), 1.0)
+            .set_static(UserId(0), UserId(2), 0.2)
+            .set_static(UserId(1), UserId(2), 0.7);
+        let tl = Timeline::discretize(0, 100, Granularity::Custom(50)).unwrap();
+        let (p1, p2) = (tl.periods()[0], tl.periods()[1]);
+        src.set_periodic(UserId(0), UserId(1), p1.start, 0.8)
+            .set_periodic(UserId(1), UserId(2), p1.start, 0.9)
+            .set_periodic(UserId(0), UserId(1), p2.start, 0.7);
+        let users = vec![UserId(0), UserId(1), UserId(2)];
+        let pop = PopulationAffinity::build(&src, &users, &tl);
+        (matrix, pop, tl)
+    }
+
+    #[test]
+    fn segments_are_sorted_and_zero_copy() {
+        let (matrix, pop, _tl) = world();
+        let raw = RawRatings(&matrix);
+        let items: Vec<ItemId> = matrix.items().collect();
+        let sub = Substrate::build(&raw, &pop, &items).unwrap();
+        assert_eq!(sub.users(), &[UserId(0), UserId(1), UserId(2)]);
+        assert_eq!(sub.num_items(), 4);
+        for u in 0..3 {
+            let v = sub.pref_view(u, u as u32);
+            assert_eq!(v.len(), 4);
+            for w in v.scores.windows(2) {
+                assert!(w[0] >= w[1]);
+            }
+        }
+        // User 0: rated items 0 (5.0) and 2 (3.0); 1, 3 unrated → 0.0,
+        // tie-broken by id.
+        let v0 = sub.pref_view(0, 0);
+        assert_eq!(v0.ids, &[0, 2, 1, 3]);
+        assert_eq!(v0.scores, &[5.0, 3.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn item_coverage_classification() {
+        let (matrix, pop, _tl) = world();
+        let raw = RawRatings(&matrix);
+        let items: Vec<ItemId> = matrix.items().collect();
+        let sub = Substrate::build(&raw, &pop, &items).unwrap();
+        assert_eq!(sub.item_coverage(&items), Some(ItemCoverage::Full));
+        // Order does not matter for coverage.
+        let shuffled = vec![ItemId(3), ItemId(0), ItemId(2), ItemId(1)];
+        assert_eq!(sub.item_coverage(&shuffled), Some(ItemCoverage::Full));
+        match sub.item_coverage(&[ItemId(1), ItemId(3)]) {
+            Some(ItemCoverage::Subset(mask)) => {
+                // Mask is over dense positions; this world's items are
+                // 0..4, so dense position == item id.
+                assert!(mask[1] && mask[3] && !mask[0] && !mask[2]);
+            }
+            other => panic!("expected subset, got {other:?}"),
+        }
+        // Foreign item and duplicates disqualify the substrate.
+        assert_eq!(sub.item_coverage(&[ItemId(9)]), None);
+        assert_eq!(sub.item_coverage(&[ItemId(1), ItemId(1)]), None);
+    }
+
+    #[test]
+    fn filtered_segment_preserves_order() {
+        let (matrix, pop, _tl) = world();
+        let raw = RawRatings(&matrix);
+        let items: Vec<ItemId> = matrix.items().collect();
+        let sub = Substrate::build(&raw, &pop, &items).unwrap();
+        let mut mask = vec![false; 4];
+        mask[0] = true;
+        mask[3] = true;
+        let l = sub.filtered_pref_list(0, 0, &mask, 2);
+        let v = l.as_view();
+        assert_eq!(v.ids, &[0, 3]);
+        assert_eq!(v.scores, &[5.0, 0.0]);
+    }
+
+    #[test]
+    fn population_views_are_descending_and_ranked() {
+        let (matrix, pop, _tl) = world();
+        let raw = RawRatings(&matrix);
+        let items: Vec<ItemId> = matrix.items().collect();
+        let sub = Substrate::build(&raw, &pop, &items).unwrap();
+        let sv = sub.static_view();
+        assert_eq!(sv.len(), 3);
+        for w in sv.scores.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+        assert_eq!(sub.num_periods(), 2);
+        for p in 0..2 {
+            let pv = sub.period_view(p);
+            for w in pv.scores.windows(2) {
+                assert!(w[0] >= w[1]);
+            }
+        }
+        // Rank ordering of all three pairs reproduces the period view's
+        // pair order.
+        let mut pairs: Vec<(u32, usize)> = (0..3).map(|p| (p as u32, p)).collect();
+        sub.order_pairs_by_period_rank(0, &mut pairs);
+        let got: Vec<u32> = pairs.iter().map(|&(_, pop_pair)| pop_pair as u32).collect();
+        assert_eq!(got, sub.period_view(0).ids);
+    }
+
+    #[test]
+    fn compatibility_rejects_foreign_population() {
+        let (matrix, pop, _tl) = world();
+        let raw = RawRatings(&matrix);
+        let items: Vec<ItemId> = matrix.items().collect();
+        let sub = Substrate::build(&raw, &pop, &items).unwrap();
+        assert!(sub.is_compatible_with(&pop));
+        // A static-only index over the same users: different period
+        // count → incompatible.
+        let mut src = TableAffinitySource::new();
+        src.set_static(UserId(0), UserId(1), 0.5);
+        let other = PopulationAffinity::new_static_only(&src, &[UserId(0), UserId(1), UserId(2)]);
+        assert!(!sub.is_compatible_with(&other));
+        // A different universe → incompatible.
+        let wider = PopulationAffinity::new_static_only(
+            &src,
+            &[UserId(0), UserId(1), UserId(2), UserId(7)],
+        );
+        assert!(!sub.is_compatible_with(&wider));
+    }
+
+    #[test]
+    fn build_for_restricts_users() {
+        let (matrix, pop, _tl) = world();
+        let raw = RawRatings(&matrix);
+        let items: Vec<ItemId> = matrix.items().collect();
+        let sub = Substrate::build_for(&raw, &pop, &items, &[UserId(2), UserId(0)]).unwrap();
+        assert_eq!(sub.users(), &[UserId(0), UserId(2)]);
+        assert_eq!(sub.user_index(UserId(2)), Some(1));
+        assert_eq!(sub.user_index(UserId(1)), None);
+        let g = Group::new(vec![UserId(0), UserId(2)]).unwrap();
+        assert!(sub.covers_group(&g));
+        let g2 = Group::new(vec![UserId(0), UserId(1)]).unwrap();
+        assert!(!sub.covers_group(&g2));
+        // Population pair indexing still spans the full universe.
+        assert_eq!(sub.population_pair_of(UserId(0), UserId(2)), Some(1));
+    }
+}

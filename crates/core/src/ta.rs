@@ -55,7 +55,7 @@ impl TaConfig {
 
 /// Run the TA baseline.
 pub fn ta_topk(
-    inputs: &GrecaInputs,
+    inputs: &GrecaInputs<'_>,
     affinity: &GroupAffinity,
     consensus: ConsensusFunction,
     normalize_rpref: bool,
@@ -70,7 +70,7 @@ pub fn ta_topk(
     let apref_index: Vec<HashMap<u32, f64>> = inputs
         .pref_lists
         .iter()
-        .map(|l| l.entries.iter().copied().collect())
+        .map(|l| l.iter().collect())
         .collect();
 
     let scorer = GroupScorer::new(affinity.clone(), consensus, normalize_rpref);
@@ -91,7 +91,7 @@ pub fn ta_topk(
     let mut cursors: Vec<f64> = inputs
         .pref_lists
         .iter()
-        .map(|l| l.entries.first().map_or(0.0, |e| e.1))
+        .map(|l| l.first_score().unwrap_or(0.0))
         .collect();
 
     loop {
@@ -101,7 +101,7 @@ pub fn ta_topk(
             if pos >= list.len() {
                 continue;
             }
-            let (id, score) = list.entries[pos];
+            let (id, score) = list.entry(pos);
             positions[m] = pos + 1;
             cursors[m] = score;
             stats.record_sa();

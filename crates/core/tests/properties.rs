@@ -12,12 +12,13 @@
 //! * GRECA never reads more than the naive scan.
 
 use greca_affinity::{AffinityMode, PopulationAffinity, TableAffinitySource};
-use greca_cf::PreferenceList;
+use greca_cf::{PreferenceList, RawRatings};
 use greca_consensus::ConsensusFunction;
 use greca_core::{
-    Algorithm, CheckInterval, GrecaConfig, ListLayout, PreparedQuery, StoppingRule, TaConfig,
+    Algorithm, CheckInterval, GrecaConfig, GrecaEngine, ListLayout, PreparedQuery, StoppingRule,
+    TaConfig,
 };
-use greca_dataset::{Granularity, Group, ItemId, Timeline, UserId};
+use greca_dataset::{Granularity, Group, ItemId, RatingMatrixBuilder, Timeline, UserId};
 use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
@@ -111,7 +112,8 @@ fn consensus_of(sel: u8) -> ConsensusFunction {
     }
 }
 
-fn build(inst: &Instance) -> PreparedQuery {
+/// The instance's user universe and population-affinity index.
+fn population_of(inst: &Instance) -> (Vec<UserId>, PopulationAffinity) {
     let users: Vec<UserId> = (0..inst.n as u32).map(UserId).collect();
     let mut src = TableAffinitySource::new();
     let mut pair = 0;
@@ -138,6 +140,11 @@ fn build(inst: &Instance) -> PreparedQuery {
         }
         PopulationAffinity::build(&src, &users, &tl)
     };
+    (users, pop)
+}
+
+fn build(inst: &Instance) -> PreparedQuery {
+    let (users, pop) = population_of(inst);
     let group = Group::new(users.clone()).unwrap();
     let p_idx = inst.periods.saturating_sub(1);
     let affinity = pop.group_view(&group, p_idx, mode_of(inst.mode_sel));
@@ -149,6 +156,7 @@ fn build(inst: &Instance) -> PreparedQuery {
                     .map(|i| (ItemId(i as u32), inst.aprefs[u][i]))
                     .collect(),
             )
+            .expect("generated scores are finite")
         })
         .collect();
     let layout = if inst.layout_single {
@@ -157,6 +165,7 @@ fn build(inst: &Instance) -> PreparedQuery {
         ListLayout::Decomposed
     };
     PreparedQuery::from_parts(affinity, &pref_lists, layout, inst.normalize)
+        .expect("generated inputs are finite")
         .consensus(consensus_of(inst.consensus_sel))
         .top(inst.k)
 }
@@ -237,6 +246,77 @@ proptest! {
             GrecaConfig::default().check_interval(CheckInterval::Adaptive),
         ));
         assert_matches_naive(&p, &result.item_ids(), inst.k);
+    }
+
+    /// Cold-vs-warm equivalence: for every AffinityMode × consensus ×
+    /// ListLayout instance, a `PreparedQuery` must be **bit-identical**
+    /// whether built by the legacy per-query materialization path (cold
+    /// engine) or from substrate views (warm engine) — the deprecation-
+    /// safety contract of the Substrate layer, for both the zero-copy
+    /// full-universe itemset and an order-preserving filtered subset.
+    #[test]
+    fn warm_substrate_equals_cold_materialization(inst in instance_strategy()) {
+        let (users, pop) = population_of(&inst);
+        let mut b = RatingMatrixBuilder::new(inst.n, inst.m);
+        for (u, row) in inst.aprefs.iter().enumerate() {
+            for (i, &score) in row.iter().enumerate() {
+                b.rate(users[u], ItemId(i as u32), score as f32, 0);
+            }
+        }
+        let matrix = b.build();
+        let raw = RawRatings(&matrix);
+        let items: Vec<ItemId> = (0..inst.m as u32).map(ItemId).collect();
+        let group = Group::new(users.clone()).unwrap();
+        let p_idx = inst.periods.saturating_sub(1);
+        // A temporal mode needs at least one period to pass validation.
+        let mode = match (inst.periods, mode_of(inst.mode_sel)) {
+            (0, m) if m.is_temporal() => AffinityMode::StaticOnly,
+            (_, m) => m,
+        };
+        let consensus = consensus_of(inst.consensus_sel);
+        let layout = if inst.layout_single {
+            ListLayout::Single
+        } else {
+            ListLayout::Decomposed
+        };
+
+        let cold_engine = GrecaEngine::new(&raw, &pop);
+        let warm_engine = GrecaEngine::warm(&raw, &pop, &items).expect("finite scores");
+        let mk = |engine: &GrecaEngine<'_>, itemset: &[ItemId]| {
+            engine
+                .query(&group)
+                .items(itemset)
+                .period(p_idx)
+                .affinity(mode)
+                .consensus(consensus)
+                .layout(layout)
+                .top(inst.k)
+                .prepare()
+                .expect("valid query")
+        };
+
+        let cold = mk(&cold_engine, &items);
+        let warm = mk(&warm_engine, &items);
+        prop_assert!(!cold.is_warm() && warm.is_warm());
+        prop_assert_eq!(cold.run(), warm.run());
+        prop_assert_eq!(
+            cold.run_algorithm(Algorithm::Ta(TaConfig::default())),
+            warm.run_algorithm(Algorithm::Ta(TaConfig::default()))
+        );
+        prop_assert_eq!(
+            cold.run_algorithm(Algorithm::Naive),
+            warm.run_algorithm(Algorithm::Naive)
+        );
+        prop_assert_eq!(cold.exact_scores(), warm.exact_scores());
+
+        // A strict-subset itemset goes through the filtered (no-sort)
+        // path and must stay bit-identical too.
+        let subset: Vec<ItemId> = items.iter().copied().step_by(2).collect();
+        let cold_sub = mk(&cold_engine, &subset);
+        let warm_sub = mk(&warm_engine, &subset);
+        prop_assert!(warm_sub.is_warm());
+        prop_assert_eq!(cold_sub.run(), warm_sub.run());
+        prop_assert_eq!(cold_sub.exact_scores(), warm_sub.exact_scores());
     }
 
     #[test]

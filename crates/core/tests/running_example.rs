@@ -24,9 +24,9 @@ const I3: ItemId = ItemId(3);
 /// Table 1: absolute preference lists.
 fn preference_lists() -> Vec<PreferenceList> {
     vec![
-        PreferenceList::from_entries(U1, vec![(I1, 5.0), (I2, 1.0), (I3, 1.0)]),
-        PreferenceList::from_entries(U2, vec![(I1, 5.0), (I2, 1.0), (I3, 0.5)]),
-        PreferenceList::from_entries(U3, vec![(I3, 2.0), (I1, 2.0), (I2, 1.0)]),
+        PreferenceList::from_entries(U1, vec![(I1, 5.0), (I2, 1.0), (I3, 1.0)]).unwrap(),
+        PreferenceList::from_entries(U2, vec![(I1, 5.0), (I2, 1.0), (I3, 0.5)]).unwrap(),
+        PreferenceList::from_entries(U3, vec![(I3, 2.0), (I1, 2.0), (I2, 1.0)]).unwrap(),
     ]
 }
 
@@ -54,6 +54,7 @@ fn prepared(mode: AffinityMode) -> PreparedQuery {
     let group = Group::new(vec![U1, U2, U3]).unwrap();
     let affinity = pop.group_view(&group, tl.num_periods() - 1, mode);
     PreparedQuery::from_parts(affinity, &preference_lists(), ListLayout::Decomposed, false)
+        .expect("the running example's tables are finite")
 }
 
 #[test]

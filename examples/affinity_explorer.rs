@@ -76,6 +76,22 @@ fn main() {
         );
     }
 
+    // The population-level sorted pair arrays — what a warm engine's
+    // substrate snapshots once: every pair ordered by affinity
+    // descending, per kind. The closest pairs should be same-cluster.
+    println!("\ntop-3 pairs by static affinity (population-wide sorted array):");
+    let (pairs, values) = population.static_sorted_desc();
+    for (&pair, &v) in pairs.iter().zip(&values).take(3) {
+        println!("  pair #{pair}: {v:.3}");
+    }
+    let (ppairs, pvalues) = population.period_sorted_desc(last);
+    println!(
+        "top pair of the final period: #{} at {:.3} (of {} pairs)",
+        ppairs[0],
+        pvalues[0],
+        ppairs.len()
+    );
+
     // Figure-4-style granularity tradeoff.
     println!("\ngranularity tradeoff (Figure 4):");
     for g in Granularity::figure4_sweep() {

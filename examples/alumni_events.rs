@@ -38,19 +38,19 @@ fn main() {
         .take(4)
         .collect();
     let group = Group::new(members).expect("cluster has members");
-    let items: Vec<ItemId> = ml.matrix.items().take(250).collect();
     let consensus = ConsensusFunction::average_preference();
 
     println!("alumni group {:?} over the year:", group.members());
     let mut previous: Option<Vec<ItemId>> = None;
     for (p_idx, &period) in timeline.periods().iter().enumerate() {
         population.append_period(&source, period);
-        // The engine is a cheap view over the substrates; re-wrapping it
-        // after each index append keeps the borrow obvious.
+        // A *cold* engine is the right shape while the index is still
+        // being appended to: it is a cheap view over the substrates, and
+        // re-wrapping it after each append keeps the borrow obvious. The
+        // itemset defaults to the group's candidate items.
         let engine = GrecaEngine::new(&cf, &population);
         let list: Vec<ItemId> = engine
             .query(&group)
-            .items(&items)
             .period(p_idx)
             .consensus(consensus)
             .top(5)
@@ -74,13 +74,15 @@ fn main() {
         previous = Some(list);
     }
 
-    // Discrete vs continuous at year end.
+    // Discrete vs continuous at year end. The index is final now, so
+    // warm the engine: preference lists and affinity arrays precompute
+    // once and both modes serve from the same shared substrate.
     let last = timeline.num_periods() - 1;
-    let engine = GrecaEngine::new(&cf, &population);
+    let catalog: Vec<ItemId> = ml.matrix.items().collect();
+    let engine = GrecaEngine::warm(&cf, &population, &catalog).expect("finite CF scores");
     for mode in [AffinityMode::Discrete, AffinityMode::continuous()] {
         let r = engine
             .query(&group)
-            .items(&items)
             .period(last)
             .affinity(mode)
             .consensus(consensus)

@@ -24,30 +24,36 @@ fn main() {
         net.num_likes(),
     );
 
-    // --- 2. Substrates → the serving engine ------------------------------
+    // --- 2. Substrates → the warm serving engine -------------------------
+    // `warm` precomputes, once, every user's sorted preference list over
+    // the catalog plus the per-period sorted affinity arrays; queries
+    // then prepare by slicing zero-copy views instead of sorting.
     let cf = UserCfModel::fit(&ml.matrix, CfConfig::default());
     let universe: Vec<UserId> = net.users().collect();
     let population =
         PopulationAffinity::build(&SocialAffinitySource::new(&net), &universe, &timeline);
-    let engine = GrecaEngine::new(&cf, &population);
+    let catalog: Vec<ItemId> = ml.matrix.items().collect();
+    let engine = GrecaEngine::warm(&cf, &population, &catalog).expect("finite CF scores");
+    println!(
+        "warm engine: {} preference segments × {} items precomputed ({} KiB shared)",
+        engine.substrate().map_or(0, |s| s.users().len()),
+        catalog.len(),
+        engine.substrate().map_or(0, |s| s.pref_bytes() / 1024),
+    );
 
     // --- 3. An ad-hoc group query ---------------------------------------
     let group = Group::new(vec![UserId(1), UserId(5), UserId(9)]).expect("non-empty");
-    let items = candidate_items(&ml.matrix, &group);
-    println!(
-        "group {:?}: {} candidate items no member has rated",
-        group.members(),
-        items.len()
-    );
 
     // Paper defaults (AP consensus, discrete affinity, decomposed lists)
-    // are baked in; only the itemset and k are stated.
-    let prepared = engine
-        .query(&group)
-        .items(&items)
-        .top(5)
-        .prepare()
-        .expect("valid query");
+    // are baked in, and the itemset defaults to the group's candidate
+    // items (everything no member has rated) — only k is stated.
+    let prepared = engine.query(&group).top(5).prepare().expect("valid query");
+    println!(
+        "group {:?}: {} candidate items, served from substrate views: {}",
+        group.members(),
+        prepared.inputs().num_items,
+        prepared.is_warm(),
+    );
 
     // --- 4. GRECA vs the naive full scan ---------------------------------
     let top = prepared.run();

@@ -36,19 +36,21 @@
 //! let population = PopulationAffinity::build(
 //!     &SocialAffinitySource::new(&net), &universe, &timeline);
 //!
-//! // 3. The engine serves ad-hoc group queries; defaults follow the
-//! //    paper (k = 10, AP consensus, discrete affinity, decomposed
-//! //    lists, normalized relative preference).
-//! let engine = GrecaEngine::new(&cf, &population);
+//! // 3. A warm engine precomputes the shared Substrate (sorted
+//! //    preference columns + affinity arrays) once; queries then serve
+//! //    zero-copy views with the paper's defaults baked in (k = 10, AP
+//! //    consensus, discrete affinity, decomposed lists, normalized
+//! //    relative preference, candidate itemset).
+//! let catalog: Vec<ItemId> = ml.matrix.items().collect();
+//! let engine = GrecaEngine::warm(&cf, &population, &catalog).unwrap();
 //! let group = Group::new(vec![UserId(0), UserId(1), UserId(4)]).unwrap();
-//! let items: Vec<ItemId> = ml.matrix.items().take(200).collect();
-//! let top = engine.query(&group).items(&items).top(5).run().unwrap();
+//! let top = engine.query(&group).top(5).run().unwrap();
 //! assert_eq!(top.items.len(), 5);
 //! println!("saved {:.1}% of list accesses", top.stats.saveup_percent());
 //!
 //! // The same query object runs the comparison set of §4.2 over
 //! // identical inputs: GRECA vs TA vs the naive full scan.
-//! let prepared = engine.query(&group).items(&items).top(5).prepare().unwrap();
+//! let prepared = engine.query(&group).top(5).prepare().unwrap();
 //! let greca = prepared.run_algorithm(Algorithm::Greca(GrecaConfig::default()));
 //! let naive = prepared.run_algorithm(Algorithm::Naive);
 //! assert!(greca.stats.sa <= naive.stats.sa);
@@ -78,8 +80,8 @@ pub mod prelude {
     pub use greca_consensus::ConsensusFunction;
     pub use greca_core::{
         run_batch, AccessStats, Algorithm, BatchResult, CheckInterval, GrecaConfig, GrecaEngine,
-        GroupQuery, ListLayout, PreparedQuery, QueryError, StopReason, StoppingRule, TaConfig,
-        TopKResult,
+        GroupQuery, ListLayout, PreparedQuery, QueryError, StopReason, StoppingRule, Substrate,
+        TaConfig, TopKResult,
     };
     pub use greca_dataset::prelude::*;
     pub use greca_eval::{

@@ -1,0 +1,232 @@
+//! Cold-vs-warm serving equivalence on real CF inputs.
+//!
+//! A warm [`GrecaEngine`] answers from the precomputed `Substrate`
+//! (zero-copy preference views, rank-ordered affinity lists, cached
+//! group-affinity views); a cold engine materializes every query from
+//! scratch. The contract: **bit-identical results** — same itemsets,
+//! same bounds, same access statistics — across affinity modes,
+//! consensus functions and list layouts, for full-universe, subset,
+//! shuffled and defaulted itemsets, solo or batched.
+
+use greca::core::Substrate;
+use greca::prelude::*;
+
+struct World {
+    ml: greca_dataset::MovieLens,
+    net: greca_dataset::SocialNetwork,
+    timeline: Timeline,
+}
+
+fn world() -> World {
+    let ml = MovieLensConfig::small().generate();
+    let net = SocialConfig::tiny().generate();
+    let timeline =
+        Timeline::discretize(0, net.horizon(), Granularity::Season).expect("valid horizon");
+    World { ml, net, timeline }
+}
+
+fn population(w: &World) -> PopulationAffinity {
+    let universe: Vec<UserId> = w.net.users().collect();
+    PopulationAffinity::build(&SocialAffinitySource::new(&w.net), &universe, &w.timeline)
+}
+
+/// Assert two preparations of the same query are bit-identical under
+/// every algorithm.
+fn assert_identical(cold: &PreparedQuery, warm: &PreparedQuery, ctx: &str) {
+    assert_eq!(cold.run(), warm.run(), "greca mismatch: {ctx}");
+    assert_eq!(
+        cold.run_algorithm(Algorithm::Ta(TaConfig::default())),
+        warm.run_algorithm(Algorithm::Ta(TaConfig::default())),
+        "ta mismatch: {ctx}"
+    );
+    assert_eq!(
+        cold.run_algorithm(Algorithm::Naive),
+        warm.run_algorithm(Algorithm::Naive),
+        "naive mismatch: {ctx}"
+    );
+    assert_eq!(
+        cold.exact_scores(),
+        warm.exact_scores(),
+        "exact-score mismatch: {ctx}"
+    );
+}
+
+#[test]
+fn warm_engine_equals_cold_across_modes_consensus_layouts() {
+    let w = world();
+    let cf = UserCfModel::fit(&w.ml.matrix, CfConfig::default());
+    let pop = population(&w);
+    let items: Vec<ItemId> = w.ml.matrix.items().take(120).collect();
+    let cold_engine = GrecaEngine::new(&cf, &pop);
+    let warm_engine = GrecaEngine::warm(&cf, &pop, &items).expect("finite CF scores");
+    assert!(warm_engine.is_warm() && !cold_engine.is_warm());
+
+    let group = Group::new(vec![UserId(1), UserId(3), UserId(6)]).unwrap();
+    let period = w.timeline.num_periods() - 1;
+    for mode in [
+        AffinityMode::None,
+        AffinityMode::StaticOnly,
+        AffinityMode::Discrete,
+        AffinityMode::continuous(),
+    ] {
+        for consensus in [
+            ConsensusFunction::average_preference(),
+            ConsensusFunction::least_misery(),
+            ConsensusFunction::pairwise_disagreement(0.8),
+            ConsensusFunction::variance_disagreement(0.5),
+        ] {
+            for layout in [ListLayout::Decomposed, ListLayout::Single] {
+                let mk = |engine: &GrecaEngine<'_>| {
+                    engine
+                        .query(&group)
+                        .items(&items)
+                        .period(period)
+                        .affinity(mode)
+                        .consensus(consensus)
+                        .layout(layout)
+                        .top(6)
+                        .prepare()
+                        .unwrap()
+                };
+                let cold = mk(&cold_engine);
+                let warm = mk(&warm_engine);
+                assert!(!cold.is_warm(), "cold engine must materialize");
+                assert!(warm.is_warm(), "warm engine must serve views");
+                let ctx = format!("{mode:?}/{}/{layout:?}", consensus.label());
+                assert_identical(&cold, &warm, &ctx);
+            }
+        }
+    }
+    assert!(
+        warm_engine.cached_affinity_views() > 0,
+        "repeat (group, period, mode) keys must populate the cache"
+    );
+}
+
+#[test]
+fn itemset_shape_never_changes_results() {
+    // The substrate serves the full universe zero-copy, subsets via an
+    // order-preserving filter, and arbitrary input order must not
+    // matter; every shape stays bit-identical to cold materialization.
+    let w = world();
+    let cf = UserCfModel::fit(&w.ml.matrix, CfConfig::default());
+    let pop = population(&w);
+    let universe: Vec<ItemId> = w.ml.matrix.items().take(150).collect();
+    let cold_engine = GrecaEngine::new(&cf, &pop);
+    let warm_engine = GrecaEngine::warm(&cf, &pop, &universe).expect("finite CF scores");
+    let group = Group::new(vec![UserId(0), UserId(2), UserId(5)]).unwrap();
+
+    // Reversed full universe (same set, different order).
+    let mut reversed = universe.clone();
+    reversed.reverse();
+    // A strict subset, deliberately unsorted.
+    let mut subset: Vec<ItemId> = universe.iter().copied().step_by(3).collect();
+    subset.reverse();
+
+    for (label, itemset) in [
+        ("full", universe.clone()),
+        ("reversed", reversed),
+        ("subset", subset),
+    ] {
+        let cold = cold_engine
+            .query(&group)
+            .items(&itemset)
+            .top(5)
+            .prepare()
+            .unwrap();
+        let warm = warm_engine
+            .query(&group)
+            .items(&itemset)
+            .top(5)
+            .prepare()
+            .unwrap();
+        assert!(warm.is_warm(), "{label} itemset must be substrate-served");
+        assert_identical(&cold, &warm, label);
+    }
+
+    // An itemset with an item outside the substrate's universe falls
+    // back to cold materialization — transparently, same results.
+    let foreign: Vec<ItemId> = w.ml.matrix.items().take(160).collect();
+    if foreign.len() > universe.len() {
+        let cold = cold_engine
+            .query(&group)
+            .items(&foreign)
+            .top(5)
+            .prepare()
+            .unwrap();
+        let fallback = warm_engine
+            .query(&group)
+            .items(&foreign)
+            .top(5)
+            .prepare()
+            .unwrap();
+        assert!(!fallback.is_warm(), "foreign items must fall back cold");
+        assert_identical(&cold, &fallback, "foreign fallback");
+    }
+}
+
+#[test]
+fn defaulted_itemset_matches_cold_default() {
+    // Omitting `.items(...)` resolves to the provider's candidate set on
+    // both engines; on the warm engine the (strict-subset) candidate set
+    // goes through the filtered view path.
+    let w = world();
+    let cf = UserCfModel::fit(&w.ml.matrix, CfConfig::default());
+    let pop = population(&w);
+    let catalog: Vec<ItemId> = w.ml.matrix.items().collect();
+    let cold_engine = GrecaEngine::new(&cf, &pop);
+    let warm_engine = GrecaEngine::warm(&cf, &pop, &catalog).expect("finite CF scores");
+    let group = Group::new(vec![UserId(0), UserId(4)]).unwrap();
+    let cold = cold_engine.query(&group).top(5).prepare().unwrap();
+    let warm = warm_engine.query(&group).top(5).prepare().unwrap();
+    assert!(warm.is_warm());
+    assert_identical(&cold, &warm, "defaulted itemset");
+}
+
+#[test]
+fn warm_batch_shares_one_substrate_and_matches_solo_runs() {
+    let w = world();
+    let cf = UserCfModel::fit(&w.ml.matrix, CfConfig::default());
+    let pop = population(&w);
+    let items: Vec<ItemId> = w.ml.matrix.items().take(150).collect();
+    let engine = GrecaEngine::warm(&cf, &pop, &items).expect("finite CF scores");
+    let groups: Vec<Group> = [[0u32, 1, 2], [3, 4, 5], [6, 7, 8], [0, 4, 8]]
+        .iter()
+        .map(|m| Group::new(m.iter().map(|&u| UserId(u)).collect()).unwrap())
+        .collect();
+    let queries: Vec<GroupQuery> = groups
+        .iter()
+        .map(|g| engine.query(g).items(&items).top(5))
+        .collect();
+    let batch = engine.run_batch(&queries);
+    for (q, r) in queries.iter().zip(&batch.results) {
+        let solo = q.run().expect("valid query");
+        let batched = r.as_ref().expect("valid query");
+        assert_eq!(&solo, batched, "batched result must equal solo run");
+    }
+    // The cohort of 9 users shares one substrate's buffers; the engine
+    // reports it as warm and the substrate covers every queried group.
+    let substrate = engine.substrate().expect("warm engine has a substrate");
+    for g in &groups {
+        assert!(substrate.covers_group(g));
+    }
+}
+
+#[test]
+fn shared_substrate_serves_multiple_engines() {
+    // A Substrate built once can warm several engines (the sharding
+    // shape: one storage, many serving facades).
+    let w = world();
+    let cf = UserCfModel::fit(&w.ml.matrix, CfConfig::default());
+    let pop = population(&w);
+    let items: Vec<ItemId> = w.ml.matrix.items().take(100).collect();
+    let substrate =
+        std::sync::Arc::new(Substrate::build(&cf, &pop, &items).expect("finite CF scores"));
+    let a = GrecaEngine::with_substrate(&cf, &pop, std::sync::Arc::clone(&substrate));
+    let b = GrecaEngine::with_substrate(&cf, &pop, std::sync::Arc::clone(&substrate));
+    let group = Group::new(vec![UserId(1), UserId(2)]).unwrap();
+    let ra = a.query(&group).items(&items).top(4).run().unwrap();
+    let rb = b.query(&group).items(&items).top(4).run().unwrap();
+    assert_eq!(ra, rb);
+    assert!(substrate.pref_bytes() > 0);
+}

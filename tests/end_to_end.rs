@@ -195,6 +195,38 @@ fn batch_queries_match_individual_runs() {
 }
 
 #[test]
+fn batch_handles_empty_and_oversubscribed_inputs() {
+    // The worker pool is capped by available_parallelism and fed from
+    // one shared queue: an empty batch is a no-op, and far more queries
+    // than cores must all complete exactly once.
+    let w = world();
+    let cf = UserCfModel::fit(&w.ml.matrix, CfConfig::default());
+    let universe: Vec<UserId> = w.net.users().collect();
+    let population =
+        PopulationAffinity::build(&SocialAffinitySource::new(&w.net), &universe, &w.timeline);
+    let engine = GrecaEngine::new(&cf, &population);
+
+    let empty = engine.run_batch(&[]);
+    assert!(empty.results.is_empty());
+    assert_eq!(empty.stats.sa, 0);
+
+    let group = Group::new(vec![UserId(0), UserId(1)]).unwrap();
+    let items: Vec<ItemId> = w.ml.matrix.items().take(40).collect();
+    let queries: Vec<GroupQuery> =
+        vec![engine.query(&group).items(&items).top(3); 3 * num_cpus_hint()];
+    let batch = engine.run_batch(&queries);
+    assert_eq!(batch.results.len(), queries.len());
+    let first = batch.results[0].as_ref().expect("valid query");
+    for r in &batch.results {
+        assert_eq!(r.as_ref().expect("valid query"), first);
+    }
+}
+
+fn num_cpus_hint() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+#[test]
 fn incremental_index_supports_midyear_queries() {
     // Query after every append; results at period p must match a
     // batch-built index queried at p.

@@ -67,9 +67,29 @@ fn validation_errors_are_typed() {
     let group = Group::new(vec![UserId(0), UserId(1)]).unwrap();
     let items: Vec<ItemId> = w.ml.matrix.items().take(20).collect();
 
-    // Empty itemset (the only field without a default).
+    // An omitted itemset defaults to the provider's candidate set (every
+    // catalog item no member has rated), so the matrix-backed CF engine
+    // answers it — identically to spelling that set out by hand.
+    let defaulted = engine.query(&group).run().expect("default itemset");
+    let candidates = candidate_items(&w.ml.matrix, &group);
+    let explicit = engine.query(&group).items(&candidates).run().unwrap();
     assert_eq!(
-        engine.query(&group).run().unwrap_err(),
+        defaulted, explicit,
+        "default = candidate_items(matrix, group)"
+    );
+
+    // A provider without an item catalog cannot default the itemset:
+    // only then is an omitted itemset a typed EmptyItemset error.
+    struct TableProvider;
+    impl PreferenceProvider for TableProvider {
+        fn apref(&self, _: UserId, _: ItemId) -> f64 {
+            1.0
+        }
+    }
+    let table = TableProvider;
+    let table_engine = GrecaEngine::new(&table, &pop);
+    assert_eq!(
+        table_engine.query(&group).run().unwrap_err(),
         QueryError::EmptyItemset
     );
 

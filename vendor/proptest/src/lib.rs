@@ -246,7 +246,7 @@ pub mod collection {
     use rand::RngExt;
     use std::ops::Range;
 
-    /// Element count for [`vec`]: a fixed size or a sampled range.
+    /// Element count for [`vec()`]: a fixed size or a sampled range.
     pub trait SizeRange {
         /// Draw the length.
         fn pick(&self, rng: &mut StdRng) -> usize;
