@@ -1,0 +1,476 @@
+//! Live-update deltas: staged rating changes and the dirty sets they
+//! imply.
+//!
+//! §2.4's ad-hoc-group scenario assumes preferences keep evolving while
+//! the serving substrates stay long-lived. This module is the
+//! bookkeeping half of that story:
+//!
+//! * [`RatingStore`] accumulates rating upserts and retractions between
+//!   publications, deduplicating by `(user, item)` with keep-latest
+//!   semantics (the same contract as a replayed ratings log);
+//! * [`DeltaBatch`] is one drained, deterministic batch of changes;
+//! * [`DeltaBatch::dirty_set`] computes which users' preference lists
+//!   `PL_u` and which pair-affinity entries the batch invalidates — the
+//!   input to `greca-core`'s incremental `Substrate::rebuild_dirty`.
+//!
+//! ## Why the dirty rules are what they are
+//!
+//! Under [`InvalidationScope::RowOnly`] (raw-rating providers, where
+//! `apref(u, i)` reads only `u`'s own row) a batch invalidates exactly
+//! the batch users' lists.
+//!
+//! Under [`InvalidationScope::Neighborhood`] (user-based CF) a change to
+//! `u`'s row additionally perturbs:
+//!
+//! * **every user sharing an item with `u`** — cosine/Pearson/Jaccard
+//!   similarity to `u` depends on `u`'s whole vector (its norm changes
+//!   with any edit), so every co-rater's neighbourhood, and therefore
+//!   their predictions, may change. Co-raters are collected over both
+//!   the pre- and post-batch matrices: a retraction can *end* a co-rating
+//!   relationship that still influenced the pre-batch neighbourhoods;
+//! * **every user with an empty rating row** — their fitted mean falls
+//!   back to the global mean, which moves with any batch.
+//!
+//! Everything else is provably untouched: a clean user's own row, mean,
+//! and neighbour similarities are unchanged, and their neighbours' rows
+//! are unchanged (a changed row forces its owner into the dirty set).
+//! The live-path property test (`live_properties.rs` in `greca-core`)
+//! exercises exactly this argument against cold refits.
+
+use crate::preference::NonFiniteScore;
+use greca_dataset::{ItemId, Rating, RatingMatrix, UserId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// How far a rating change propagates through a preference provider.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InvalidationScope {
+    /// `apref(u, i)` reads only `u`'s own ratings (e.g.
+    /// [`RawRatings`](crate::RawRatings)): a batch dirties exactly the
+    /// batch users.
+    RowOnly,
+    /// `apref(u, i)` aggregates over similarity neighbourhoods (e.g.
+    /// [`UserCfModel`](crate::UserCfModel)): a batch dirties the batch
+    /// users, all their co-raters, and all empty-row users (see the
+    /// module docs for why this set is sufficient).
+    Neighborhood,
+}
+
+/// One staged change, keyed by `(user, item)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Pending {
+    Upsert(f32, greca_dataset::Timestamp),
+    Retract,
+}
+
+/// Accumulates rating deltas between publications (keep-latest per
+/// `(user, item)` key).
+///
+/// This is the ingestion buffer of the live-serving path: writers stage
+/// cheaply here, and the expensive work — dirty-set computation,
+/// incremental substrate rebuild, epoch swap — happens once per drained
+/// batch.
+#[derive(Debug, Clone, Default)]
+pub struct RatingStore {
+    pending: BTreeMap<(u32, u32), Pending>,
+}
+
+impl RatingStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stage one rating upsert. A later stage of the same `(user, item)`
+    /// key — upsert or retraction — replaces it.
+    ///
+    /// Non-finite values are rejected here, at ingestion, exactly like
+    /// the preference-list and sorted-list constructors; ratings should
+    /// also lie within the provider's score scale (the CF models clamp,
+    /// raw-rating providers serve them verbatim).
+    pub fn stage(&mut self, rating: Rating) -> Result<(), NonFiniteScore> {
+        if !rating.value.is_finite() {
+            return Err(NonFiniteScore {
+                user: rating.user,
+                item: rating.item,
+                value: rating.value as f64,
+            });
+        }
+        debug_assert!(rating.value >= 0.0, "ratings must be non-negative");
+        self.pending.insert(
+            (rating.user.0, rating.item.0),
+            Pending::Upsert(rating.value, rating.ts),
+        );
+        Ok(())
+    }
+
+    /// Stage a batch of upserts atomically: the whole slice is validated
+    /// first, and on a non-finite value *nothing* is staged — a rejected
+    /// batch leaves no partial prefix behind to leak into a later,
+    /// unrelated publish.
+    pub fn stage_all(&mut self, ratings: &[Rating]) -> Result<(), NonFiniteScore> {
+        for r in ratings {
+            if !r.value.is_finite() {
+                return Err(NonFiniteScore {
+                    user: r.user,
+                    item: r.item,
+                    value: r.value as f64,
+                });
+            }
+        }
+        for &r in ratings {
+            self.stage(r).expect("validated finite above");
+        }
+        Ok(())
+    }
+
+    /// Stage the removal of `(user, item)`'s rating (a no-op at apply
+    /// time if the pair is unrated).
+    pub fn stage_retraction(&mut self, user: UserId, item: ItemId) {
+        self.pending.insert((user.0, item.0), Pending::Retract);
+    }
+
+    /// Number of staged keys.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether nothing is staged.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Drain everything staged into one deterministic batch (keys in
+    /// `(user, item)` order), leaving the store empty.
+    pub fn drain(&mut self) -> DeltaBatch {
+        let pending = std::mem::take(&mut self.pending);
+        let mut upserts = Vec::new();
+        let mut retractions = Vec::new();
+        for ((u, i), change) in pending {
+            match change {
+                Pending::Upsert(value, ts) => upserts.push(Rating {
+                    user: UserId(u),
+                    item: ItemId(i),
+                    value,
+                    ts,
+                }),
+                Pending::Retract => retractions.push((UserId(u), ItemId(i))),
+            }
+        }
+        DeltaBatch {
+            upserts,
+            retractions,
+        }
+    }
+}
+
+/// One drained batch of rating changes, deduplicated by key.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DeltaBatch {
+    /// Ratings to insert or overwrite.
+    pub upserts: Vec<Rating>,
+    /// `(user, item)` ratings to remove.
+    pub retractions: Vec<(UserId, ItemId)>,
+}
+
+impl DeltaBatch {
+    /// Number of staged changes.
+    pub fn len(&self) -> usize {
+        self.upserts.len() + self.retractions.len()
+    }
+
+    /// Whether the batch holds no changes.
+    pub fn is_empty(&self) -> bool {
+        self.upserts.is_empty() && self.retractions.is_empty()
+    }
+
+    /// The `(user, item)` keys the batch touches.
+    pub fn touched(&self) -> impl Iterator<Item = (UserId, ItemId)> + '_ {
+        self.upserts
+            .iter()
+            .map(|r| (r.user, r.item))
+            .chain(self.retractions.iter().copied())
+    }
+
+    /// The users' preference lists and pair-affinity entries this batch
+    /// invalidates, given the rating matrices before (`pre`) and after
+    /// (`post`) the batch was applied.
+    ///
+    /// The user rules are scope-dependent (see the module docs); the
+    /// pair set is scope-independent: a pair `(u, v)` is dirty when the
+    /// batch changes whether — or what — `u` and `v` co-rated, i.e. `v`
+    /// rated a touched item in either matrix. That is precisely the set
+    /// of entries a co-rating-derived [`AffinitySource`] would have to
+    /// recompute; the social-derived sources the paper uses never go
+    /// stale from ratings, and serving layers may ignore the pair set
+    /// for them.
+    ///
+    /// [`AffinitySource`]: https://docs.rs/greca-affinity
+    pub fn dirty_set(
+        &self,
+        pre: &RatingMatrix,
+        post: &RatingMatrix,
+        scope: InvalidationScope,
+    ) -> DirtySet {
+        if self.is_empty() {
+            return DirtySet::default();
+        }
+        let mut users: BTreeSet<UserId> = BTreeSet::new();
+        let mut pairs: BTreeSet<(UserId, UserId)> = BTreeSet::new();
+        for (u, i) in self.touched() {
+            users.insert(u);
+            for m in [pre, post] {
+                if i.idx() >= m.num_items() {
+                    continue;
+                }
+                for &(v, _) in m.item_ratings(i) {
+                    if v != u {
+                        pairs.insert((u.min(v), u.max(v)));
+                    }
+                }
+            }
+        }
+        if scope == InvalidationScope::Neighborhood {
+            let touched_users: Vec<UserId> = users.iter().copied().collect();
+            // Co-raters of `u` are users sharing an item with `u` in the
+            // pre matrix (pre row × pre columns) or the post matrix
+            // (post row × post columns) — each matrix is internally
+            // consistent, so cross-matrix combinations add nothing.
+            for &u in &touched_users {
+                for m in [pre, post] {
+                    if u.idx() >= m.num_users() {
+                        continue;
+                    }
+                    for &(item, _) in m.user_ratings(u) {
+                        for &(v, _) in m.item_ratings(item) {
+                            users.insert(v);
+                        }
+                    }
+                }
+            }
+            // The global mean moved; empty-row users' fallback means —
+            // and thus their whole preference lists — moved with it.
+            // (Non-batch users are empty in `post` iff empty in `pre`.)
+            for u in post.users() {
+                if post.user_ratings(u).is_empty() {
+                    users.insert(u);
+                }
+            }
+        }
+        DirtySet {
+            users: users.into_iter().collect(),
+            pairs: pairs.into_iter().collect(),
+        }
+    }
+}
+
+/// What a delta batch invalidates: preference lists by user, affinity
+/// entries by pair. Both sorted ascending and deduplicated.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DirtySet {
+    /// Users whose `PL_u` must be recomputed.
+    pub users: Vec<UserId>,
+    /// `(min, max)` user pairs whose co-rating-derived affinity entries
+    /// are invalidated.
+    pub pairs: Vec<(UserId, UserId)>,
+}
+
+impl DirtySet {
+    /// Whether `u`'s preference list is invalidated (binary search —
+    /// `users` is sorted).
+    pub fn contains_user(&self, u: UserId) -> bool {
+        self.users.binary_search(&u).is_ok()
+    }
+
+    /// Number of dirty users.
+    pub fn num_users(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Number of dirty pairs.
+    pub fn num_pairs(&self) -> usize {
+        self.pairs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use greca_dataset::RatingMatrixBuilder;
+
+    fn world() -> RatingMatrix {
+        // u0 co-rates i0 with u1; u2 rates i2 alone; u3 is empty.
+        let mut b = RatingMatrixBuilder::new(4, 3);
+        b.rate(UserId(0), ItemId(0), 5.0, 0)
+            .rate(UserId(0), ItemId(1), 3.0, 0)
+            .rate(UserId(1), ItemId(0), 4.0, 0)
+            .rate(UserId(2), ItemId(2), 2.0, 0);
+        b.build()
+    }
+
+    #[test]
+    fn store_dedups_keep_latest() {
+        let mut store = RatingStore::new();
+        store
+            .stage(Rating {
+                user: UserId(0),
+                item: ItemId(1),
+                value: 2.0,
+                ts: 0,
+            })
+            .unwrap();
+        store
+            .stage(Rating {
+                user: UserId(0),
+                item: ItemId(1),
+                value: 4.5,
+                ts: 1,
+            })
+            .unwrap();
+        store.stage_retraction(UserId(1), ItemId(0));
+        store
+            .stage(Rating {
+                user: UserId(1),
+                item: ItemId(0),
+                value: 1.0,
+                ts: 2,
+            })
+            .unwrap();
+        assert_eq!(store.len(), 2);
+        let batch = store.drain();
+        assert!(store.is_empty());
+        // The upsert superseded the retraction; the later value won.
+        assert_eq!(batch.retractions, vec![]);
+        assert_eq!(batch.upserts.len(), 2);
+        assert_eq!(batch.upserts[0].value, 4.5);
+        assert_eq!(batch.upserts[1].value, 1.0);
+    }
+
+    #[test]
+    fn retraction_supersedes_upsert() {
+        let mut store = RatingStore::new();
+        store
+            .stage(Rating {
+                user: UserId(0),
+                item: ItemId(1),
+                value: 2.0,
+                ts: 0,
+            })
+            .unwrap();
+        store.stage_retraction(UserId(0), ItemId(1));
+        let batch = store.drain();
+        assert!(batch.upserts.is_empty());
+        assert_eq!(batch.retractions, vec![(UserId(0), ItemId(1))]);
+    }
+
+    #[test]
+    fn non_finite_values_rejected_at_staging() {
+        let mut store = RatingStore::new();
+        let err = store
+            .stage(Rating {
+                user: UserId(3),
+                item: ItemId(1),
+                value: f32::NAN,
+                ts: 0,
+            })
+            .unwrap_err();
+        assert_eq!(err.user, UserId(3));
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn rejected_batch_stages_nothing() {
+        // Atomicity: a valid prefix before the offending rating must
+        // not survive the error (it would leak into a later publish).
+        let mut store = RatingStore::new();
+        let batch = [
+            Rating {
+                user: UserId(0),
+                item: ItemId(0),
+                value: 4.0,
+                ts: 0,
+            },
+            Rating {
+                user: UserId(1),
+                item: ItemId(1),
+                value: f32::INFINITY,
+                ts: 1,
+            },
+        ];
+        assert!(store.stage_all(&batch).is_err());
+        assert!(store.is_empty(), "no partial prefix staged");
+    }
+
+    #[test]
+    fn row_only_scope_dirties_exactly_batch_users() {
+        let pre = world();
+        let mut store = RatingStore::new();
+        store
+            .stage(Rating {
+                user: UserId(2),
+                item: ItemId(0),
+                value: 1.0,
+                ts: 1,
+            })
+            .unwrap();
+        let batch = store.drain();
+        let post = pre.apply_deltas(&batch.upserts, &batch.retractions);
+        let dirty = batch.dirty_set(&pre, &post, InvalidationScope::RowOnly);
+        assert_eq!(dirty.users, vec![UserId(2)]);
+        // u2 now co-rates i0 with u0 and u1: both pairs invalidated.
+        assert_eq!(
+            dirty.pairs,
+            vec![(UserId(0), UserId(2)), (UserId(1), UserId(2))]
+        );
+        assert!(dirty.contains_user(UserId(2)));
+        assert!(!dirty.contains_user(UserId(0)));
+    }
+
+    #[test]
+    fn neighborhood_scope_adds_coraters_and_empty_rows() {
+        let pre = world();
+        let mut store = RatingStore::new();
+        store
+            .stage(Rating {
+                user: UserId(0),
+                item: ItemId(2),
+                value: 4.0,
+                ts: 1,
+            })
+            .unwrap();
+        let batch = store.drain();
+        let post = pre.apply_deltas(&batch.upserts, &batch.retractions);
+        let dirty = batch.dirty_set(&pre, &post, InvalidationScope::Neighborhood);
+        // u0 changed; u1 co-rates i0 with u0; u2 now co-rates i2 with
+        // u0; u3 is an empty row (global-mean coupling). Everyone.
+        assert_eq!(
+            dirty.users,
+            vec![UserId(0), UserId(1), UserId(2), UserId(3)]
+        );
+        assert_eq!(dirty.pairs, vec![(UserId(0), UserId(2))]);
+    }
+
+    #[test]
+    fn retraction_dirties_the_pre_batch_coraters() {
+        let pre = world();
+        let mut store = RatingStore::new();
+        store.stage_retraction(UserId(1), ItemId(0));
+        let batch = store.drain();
+        let post = pre.apply_deltas(&batch.upserts, &batch.retractions);
+        let dirty = batch.dirty_set(&pre, &post, InvalidationScope::Neighborhood);
+        // u1's only co-rating (with u0, on i0) existed only pre-batch;
+        // the pre matrix must still surface it.
+        assert!(dirty.contains_user(UserId(0)), "pre-batch co-rater");
+        assert!(dirty.contains_user(UserId(1)));
+        assert_eq!(dirty.pairs, vec![(UserId(0), UserId(1))]);
+    }
+
+    #[test]
+    fn empty_batch_dirties_nothing() {
+        let pre = world();
+        let batch = DeltaBatch::default();
+        let dirty = batch.dirty_set(&pre, &pre, InvalidationScope::Neighborhood);
+        assert_eq!(dirty, DirtySet::default());
+        assert_eq!(dirty.num_users(), 0);
+        assert_eq!(dirty.num_pairs(), 0);
+    }
+}

@@ -13,7 +13,12 @@
 //!   neighbour discovery,
 //! * an item-based model (an extension, useful for ablations),
 //! * per-user **preference lists**: items sorted by decreasing predicted
-//!   preference, the `PL_u` inputs of GRECA (§3.1).
+//!   preference, the `PL_u` inputs of GRECA (§3.1),
+//! * the **live-update delta layer** ([`delta`]): a [`RatingStore`] of
+//!   staged rating upserts/retractions and the [`DirtySet`] computation
+//!   that tells a serving substrate which `PL_u` lists and pair-affinity
+//!   entries a batch invalidates (the §2.4 serving scenario with
+//!   preferences evolving between queries).
 //!
 //! ```
 //! use greca_dataset::prelude::*;
@@ -25,11 +30,13 @@
 //! assert!((0.0..=5.0).contains(&score));
 //! ```
 
+pub mod delta;
 pub mod item_cf;
 pub mod preference;
 pub mod similarity;
 pub mod user_cf;
 
+pub use delta::{DeltaBatch, DirtySet, InvalidationScope, RatingStore};
 pub use item_cf::ItemCfModel;
 pub use preference::{
     candidate_items, group_preference_lists, NonFiniteScore, PreferenceList, PreferenceProvider,

@@ -6,14 +6,15 @@
 //! construction the [`GroupQuery`](crate::query::GroupQuery) builder
 //! performs, so downstream code migrates at its own pace while both
 //! paths provably produce identical results (see `tests/engine_api.rs`
-//! at the workspace root). Unlike the builder, the shim has no `Result`
-//! in its signature and therefore panics on non-finite scores — exactly
-//! the historical behavior it preserves.
+//! at the workspace root). The shim shares the builder's ingestion
+//! contract: non-finite scores surface as
+//! [`QueryError::NonFiniteScore`] (until 0.3 they escaped as a panic
+//! from deep inside list construction — see the deprecation notes).
 
 use crate::greca::{greca_topk, GrecaConfig, TopKResult};
 use crate::lists::{ListLayout, MaterializedInputs};
 use crate::naive::{naive_scores, naive_topk};
-use crate::query::materialize_inputs;
+use crate::query::{materialize_inputs, QueryError};
 use crate::ta::{ta_topk, TaConfig};
 use greca_affinity::{AffinityMode, GroupAffinity, PopulationAffinity};
 use greca_cf::PreferenceProvider;
@@ -39,10 +40,13 @@ pub struct Prepared {
 #[deprecated(
     since = "0.2.0",
     note = "use `GrecaEngine::new(provider, population).query(group)` and the \
-            fluent `GroupQuery` builder instead"
+            fluent `GroupQuery` builder instead. Behavior change in 0.3: \
+            non-finite provider scores now return \
+            `Err(QueryError::NonFiniteScore)` (typed, with the offending \
+            user/item) instead of panicking inside list construction"
 )]
-// The 8-positional-argument signature is the reason this API was
-// replaced; it is preserved verbatim for the migration window.
+// The 8-positional-argument list is the reason this API was replaced;
+// the arguments are preserved verbatim for the migration window.
 #[allow(deprecated, clippy::too_many_arguments)]
 pub fn prepare<P: PreferenceProvider + ?Sized>(
     provider: &P,
@@ -53,15 +57,14 @@ pub fn prepare<P: PreferenceProvider + ?Sized>(
     mode: AffinityMode,
     layout: ListLayout,
     normalize_rpref: bool,
-) -> Prepared {
+) -> Result<Prepared, QueryError> {
     let (affinity, inputs) =
-        materialize_inputs(provider, population, group, items, period_idx, mode, layout)
-            .expect("legacy prepare(): non-finite score in query inputs");
-    Prepared {
+        materialize_inputs(provider, population, group, items, period_idx, mode, layout)?;
+    Ok(Prepared {
         affinity,
         inputs,
         normalize_rpref,
-    }
+    })
 }
 
 #[allow(deprecated)]
@@ -69,20 +72,24 @@ impl Prepared {
     /// Assemble directly from hand-built parts (e.g. the paper's running
     /// example, whose preference lists are given as tables rather than
     /// produced by a CF model).
-    #[deprecated(since = "0.2.0", note = "use `PreparedQuery::from_parts` instead")]
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `PreparedQuery::from_parts` instead. Behavior change in \
+                0.3: non-finite scores now return \
+                `Err(QueryError::NonFiniteScore)` instead of panicking"
+    )]
     pub fn from_parts(
         affinity: GroupAffinity,
         pref_lists: &[greca_cf::PreferenceList],
         layout: ListLayout,
         normalize_rpref: bool,
-    ) -> Self {
-        let inputs = MaterializedInputs::build(pref_lists, &affinity, layout)
-            .expect("legacy from_parts(): non-finite score in inputs");
-        Prepared {
+    ) -> Result<Self, QueryError> {
+        let inputs = MaterializedInputs::build(pref_lists, &affinity, layout)?;
+        Ok(Prepared {
             affinity,
             inputs,
             normalize_rpref,
-        }
+        })
     }
 
     /// Run GRECA.

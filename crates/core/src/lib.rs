@@ -23,6 +23,13 @@
 //! reproducing §3.1's RA accounting) and [`naive::naive_topk`] (full
 //! scan; also the correctness oracle).
 //!
+//! Serving layers on top of the algorithms: [`query::GrecaEngine`] (the
+//! fluent query API over cold or warm [`substrate::Substrate`] storage)
+//! and [`live::LiveEngine`] (rating ingestion with epoch-swapped
+//! substrates — §2.4's evolving preferences without ever blocking or
+//! perturbing in-flight queries; see the `live` module docs for a
+//! runnable ingest example).
+//!
 //! ```
 //! use greca_dataset::prelude::*;
 //! use greca_cf::{CfConfig, UserCfModel};
@@ -50,11 +57,14 @@
 //! assert!(result.stats.sa_percent() <= 100.0);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod access;
 pub mod engine;
 pub mod greca;
 pub mod interval;
 pub mod lists;
+pub mod live;
 pub mod naive;
 pub mod query;
 pub mod score;
@@ -71,6 +81,7 @@ pub use interval::Interval;
 pub use lists::{
     GrecaInputs, ListKind, ListLayout, ListView, MaterializedInputs, NonFiniteEntry, SortedList,
 };
+pub use live::{EpochProvider, IngestReport, LiveEngine, LiveModel, PinnedEpoch};
 pub use naive::{naive_scores, naive_topk};
 pub use query::{
     run_batch, Algorithm, BatchResult, GrecaEngine, GroupQuery, PreparedQuery, QueryError,

@@ -1,0 +1,621 @@
+//! Live ingestion: epoch-swapped substrates over an evolving rating log.
+//!
+//! §2.4's ad-hoc-group scenario assumes preferences and affinities keep
+//! evolving *between* queries, while the warm serving path
+//! ([`crate::substrate`]) wants long-lived precomputed storage. Trust-
+//! and reputation-serving systems resolve the same tension with
+//! **versioned snapshots**, and that is the design here:
+//!
+//! * a [`LiveEngine`] owns the rating log and a `RatingStore` of staged
+//!   deltas ([`LiveEngine::ingest`] / [`LiveEngine::retract`] /
+//!   [`LiveEngine::stage`]);
+//! * publishing a batch computes its *dirty set* (`greca-cf`'s
+//!   `DeltaBatch::dirty_set`), rebuilds only the invalidated preference
+//!   segments via [`Substrate::rebuild_dirty`] — structurally sharing
+//!   every clean segment and the affinity arrays — and swaps the result
+//!   in as a new **epoch** behind a mutex-guarded `Arc` handoff;
+//! * readers [`pin`](LiveEngine::pin) an epoch: a [`PinnedEpoch`] holds
+//!   `Arc`s to that epoch's matrix and substrate for as long as the
+//!   caller keeps it, so a query runs to completion against one
+//!   consistent snapshot no matter how many swaps happen mid-flight,
+//!   and its results are bit-identical to a cold rebuild at that epoch
+//!   (the contract proven by `live_properties.rs`);
+//! * each epoch gets a **fresh group-affinity cache**: a swap retires
+//!   every cached `GroupAffinity` view together with the substrate it
+//!   was computed beside, so a stale epoch's views are never served
+//!   after a swap (the regression test in
+//!   `tests/cold_warm_equivalence.rs` pins this down).
+//!
+//! The item universe and the population-affinity index stay fixed for
+//! the engine's lifetime — ratings stream, the catalog and the social
+//! index version at engine granularity (the paper's affinity index is
+//! itself append-only; see `PopulationAffinity::append_period`).
+//!
+//! ```
+//! use greca_core::live::{LiveEngine, LiveModel};
+//! use greca_core::QueryError;
+//! use greca_affinity::{PopulationAffinity, TableAffinitySource};
+//! use greca_dataset::{Granularity, Group, ItemId, Rating, RatingMatrixBuilder, Timeline, UserId};
+//!
+//! # fn main() -> Result<(), QueryError> {
+//! // A tiny world: three users, four items, two periods of affinity.
+//! let mut b = RatingMatrixBuilder::new(3, 4);
+//! b.rate(UserId(0), ItemId(0), 5.0, 0).rate(UserId(1), ItemId(1), 4.0, 0);
+//! let mut src = TableAffinitySource::new();
+//! src.set_static(UserId(0), UserId(1), 1.0)
+//!    .set_static(UserId(1), UserId(2), 0.4);
+//! let tl = Timeline::discretize(0, 100, Granularity::Custom(50)).unwrap();
+//! let users = vec![UserId(0), UserId(1), UserId(2)];
+//! let population = PopulationAffinity::build(&src, &users, &tl);
+//! let items: Vec<ItemId> = (0..4).map(ItemId).collect();
+//!
+//! let live = LiveEngine::new(&population, LiveModel::Raw, &b.build(), &items)?;
+//! let group = Group::new(vec![UserId(0), UserId(1)]).unwrap();
+//!
+//! // Serve from a pinned epoch…
+//! let before = live.pin();
+//! let r0 = before.engine().query(&group).items(&items).top(2).run()?;
+//!
+//! // …ingest a batch (publishes epoch 1)…
+//! let report = live.ingest(&[Rating { user: UserId(1), item: ItemId(2), value: 5.0, ts: 7 }])?;
+//! assert_eq!(report.epoch, 1);
+//! assert_eq!(report.rebuilt_segments, 1, "only u1's segment re-sorted");
+//!
+//! // …and the old pin still serves its epoch, bit-identically.
+//! assert_eq!(before.engine().query(&group).items(&items).top(2).run()?, r0);
+//! let after = live.pin();
+//! assert_eq!(after.epoch(), 1);
+//! assert!(after.engine().query(&group).items(&items).top(2).run().is_ok());
+//! # Ok(()) }
+//! ```
+
+use crate::query::{new_affinity_cache, AffinityCache, GrecaEngine, QueryError};
+use crate::substrate::Substrate;
+use greca_affinity::PopulationAffinity;
+use greca_cf::{
+    candidate_items, CfConfig, InvalidationScope, NonFiniteScore, PreferenceList,
+    PreferenceProvider, RatingStore, RawRatings, UserCfModel,
+};
+use greca_dataset::{Group, ItemId, Rating, RatingMatrix, UserId};
+use std::sync::{Arc, Mutex};
+
+/// Which preference model a [`LiveEngine`] re-derives dirty segments
+/// from at each epoch.
+///
+/// The model choice fixes the invalidation scope a delta batch implies
+/// (see `greca-cf`'s `InvalidationScope`): raw ratings dirty only the
+/// batch users' lists; user-based CF propagates through co-raters and
+/// the global-mean fallback.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LiveModel {
+    /// Observed ratings served verbatim (0 when unrated) — the
+    /// `RawRatings` provider.
+    Raw,
+    /// User-based collaborative filtering refit over dirty users at
+    /// each epoch — the paper's §4 `apref` source.
+    UserCf(CfConfig),
+}
+
+impl LiveModel {
+    /// The invalidation scope rating deltas have under this model.
+    pub fn scope(&self) -> InvalidationScope {
+        match self {
+            LiveModel::Raw => InvalidationScope::RowOnly,
+            LiveModel::UserCf(_) => InvalidationScope::Neighborhood,
+        }
+    }
+}
+
+/// A [`PreferenceProvider`] over one epoch's rating matrix, owned by
+/// `Arc` so a pinned epoch is self-contained (no borrows into the
+/// engine).
+///
+/// Warm queries never call it — they serve from the epoch's substrate —
+/// so it optimizes for the *rare* paths: cold fallback (a group member
+/// without a segment, a foreign itemset) fits a per-user CF
+/// neighbourhood on demand, and `candidate_items` reads the matrix
+/// directly. Batch work (substrate construction and rebuilds) uses a
+/// properly batch-fitted model instead.
+#[derive(Debug, Clone)]
+pub struct EpochProvider {
+    matrix: Arc<RatingMatrix>,
+    model: LiveModel,
+}
+
+impl PreferenceProvider for EpochProvider {
+    fn apref(&self, u: UserId, i: ItemId) -> f64 {
+        match self.model {
+            LiveModel::Raw => RawRatings(&self.matrix).apref(u, i),
+            LiveModel::UserCf(cfg) => UserCfModel::fit_for(&self.matrix, cfg, &[u]).predict(u, i),
+        }
+    }
+
+    fn preference_list(
+        &self,
+        u: UserId,
+        items: &[ItemId],
+    ) -> Result<PreferenceList, NonFiniteScore> {
+        match self.model {
+            LiveModel::Raw => RawRatings(&self.matrix).preference_list(u, items),
+            LiveModel::UserCf(cfg) => {
+                UserCfModel::fit_for(&self.matrix, cfg, &[u]).preference_list(u, items)
+            }
+        }
+    }
+
+    fn candidate_items(&self, group: &Group) -> Option<Vec<ItemId>> {
+        Some(candidate_items(&self.matrix, group))
+    }
+}
+
+/// One published epoch: the rating matrix after every batch up to (and
+/// including) this epoch, and the substrate rebuilt from it.
+#[derive(Debug)]
+struct EpochState {
+    epoch: u64,
+    matrix: Arc<RatingMatrix>,
+    substrate: Arc<Substrate>,
+}
+
+/// The currently-published epoch plus its epoch-scoped affinity cache,
+/// swapped together under one lock.
+struct CurrentEpoch {
+    state: Arc<EpochState>,
+    cache: AffinityCache,
+}
+
+/// What one [`LiveEngine::publish`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestReport {
+    /// The epoch the batch was published as (unchanged for an empty
+    /// batch).
+    pub epoch: u64,
+    /// Rating upserts applied.
+    pub upserts: usize,
+    /// Rating retractions applied.
+    pub retractions: usize,
+    /// Users whose preference lists the batch invalidated (across the
+    /// whole population, covered by a segment or not).
+    pub dirty_users: usize,
+    /// Pair-affinity entries the batch invalidated (relevant only to
+    /// rating-derived affinity sources; the paper's social-derived index
+    /// never goes stale from ratings).
+    pub dirty_pairs: usize,
+    /// Preference segments recomputed for the new epoch.
+    pub rebuilt_segments: usize,
+    /// Preference segments structurally shared with the previous epoch.
+    pub shared_segments: usize,
+}
+
+/// A serving engine over an evolving rating log: ingestion on one side,
+/// epoch-pinned warm queries on the other. See the module docs.
+///
+/// All methods take `&self`; the engine is `Sync` and meant to be
+/// shared across writer and reader threads (`std::thread::scope`, an
+/// `Arc`, …). Writers serialize on the staging store; readers only ever
+/// take a brief lock to clone the current epoch's `Arc`s.
+pub struct LiveEngine<'a> {
+    population: &'a PopulationAffinity,
+    model: LiveModel,
+    store: Mutex<RatingStore>,
+    current: Mutex<CurrentEpoch>,
+}
+
+impl std::fmt::Debug for LiveEngine<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LiveEngine")
+            .field("universe", &self.population.universe().len())
+            .field("model", &self.model)
+            .field("epoch", &self.epoch())
+            .field("staged", &self.staged())
+            .finish()
+    }
+}
+
+impl<'a> LiveEngine<'a> {
+    /// Build epoch 0: pad `initial` so the population universe and
+    /// `items` index safely, fit the model, and precompute the first
+    /// substrate over every universe user.
+    ///
+    /// The population index and the item universe stay fixed for the
+    /// engine's lifetime; ratings are what streams.
+    pub fn new(
+        population: &'a PopulationAffinity,
+        model: LiveModel,
+        initial: &RatingMatrix,
+        items: &[ItemId],
+    ) -> Result<Self, QueryError> {
+        let min_users = population.universe().last().map_or(0, |u| u.idx() + 1);
+        let min_items = items.iter().map(|i| i.idx() + 1).max().unwrap_or(0);
+        let matrix = Arc::new(initial.padded_to(min_users, min_items));
+        let universe = population.universe();
+        let substrate = match model {
+            LiveModel::Raw => {
+                Substrate::build_for(&RawRatings(&matrix), population, items, universe)?
+            }
+            LiveModel::UserCf(cfg) => {
+                let cf = UserCfModel::fit_for(&matrix, cfg, universe);
+                Substrate::build_for(&cf, population, items, universe)?
+            }
+        };
+        Ok(LiveEngine {
+            population,
+            model,
+            store: Mutex::new(RatingStore::new()),
+            current: Mutex::new(CurrentEpoch {
+                state: Arc::new(EpochState {
+                    epoch: 0,
+                    matrix,
+                    substrate: Arc::new(substrate),
+                }),
+                cache: new_affinity_cache(),
+            }),
+        })
+    }
+
+    /// The population-affinity index this engine serves from.
+    pub fn population(&self) -> &'a PopulationAffinity {
+        self.population
+    }
+
+    /// The configured preference model.
+    pub fn model(&self) -> LiveModel {
+        self.model
+    }
+
+    /// The currently-published epoch number.
+    pub fn epoch(&self) -> u64 {
+        self.current.lock().expect("epoch lock").state.epoch
+    }
+
+    /// Number of staged-but-unpublished delta keys.
+    pub fn staged(&self) -> usize {
+        self.store.lock().expect("store lock").len()
+    }
+
+    /// Number of group-affinity views cached for the current epoch.
+    pub fn cached_affinity_views(&self) -> usize {
+        let cache = Arc::clone(&self.current.lock().expect("epoch lock").cache);
+        let n = cache.lock().map(|c| c.len()).unwrap_or(0);
+        n
+    }
+
+    /// Stage rating upserts without publishing (keep-latest per
+    /// `(user, item)` key). Non-finite values are rejected here.
+    pub fn stage(&self, ratings: &[Rating]) -> Result<(), QueryError> {
+        let mut store = self.store.lock().expect("store lock");
+        store.stage_all(ratings)?;
+        Ok(())
+    }
+
+    /// Stage rating retractions without publishing.
+    pub fn stage_retractions(&self, pairs: &[(UserId, ItemId)]) {
+        let mut store = self.store.lock().expect("store lock");
+        for &(u, i) in pairs {
+            store.stage_retraction(u, i);
+        }
+    }
+
+    /// Stage `ratings` and publish everything staged as one epoch.
+    pub fn ingest(&self, ratings: &[Rating]) -> Result<IngestReport, QueryError> {
+        self.stage(ratings)?;
+        self.publish()
+    }
+
+    /// Stage retractions and publish everything staged as one epoch.
+    pub fn retract(&self, pairs: &[(UserId, ItemId)]) -> Result<IngestReport, QueryError> {
+        self.stage_retractions(pairs);
+        self.publish()
+    }
+
+    /// Drain the staged deltas, rebuild the dirty preference segments,
+    /// and atomically swap the result in as the next epoch (with a
+    /// fresh, epoch-scoped group-affinity cache).
+    ///
+    /// Publishers serialize on the staging store; pinned readers are
+    /// never blocked beyond the brief `Arc` handoff, and epochs they
+    /// already pinned stay fully readable. An empty staging store
+    /// publishes nothing and reports the current epoch.
+    pub fn publish(&self) -> Result<IngestReport, QueryError> {
+        // Hold the store lock for the whole publish: it serializes
+        // writers, so `current` cannot move between the read and the
+        // swap below.
+        let mut store = self.store.lock().expect("store lock");
+        let batch = store.drain();
+        let prev = Arc::clone(&self.current.lock().expect("epoch lock").state);
+        if batch.is_empty() {
+            return Ok(IngestReport {
+                epoch: prev.epoch,
+                upserts: 0,
+                retractions: 0,
+                dirty_users: 0,
+                dirty_pairs: 0,
+                rebuilt_segments: 0,
+                shared_segments: prev.substrate.users().len(),
+            });
+        }
+        let post = Arc::new(prev.matrix.apply_deltas(&batch.upserts, &batch.retractions));
+        let dirty = batch.dirty_set(&prev.matrix, &post, self.model.scope());
+        let covered: Vec<UserId> = dirty
+            .users
+            .iter()
+            .copied()
+            .filter(|&u| prev.substrate.user_index(u).is_some())
+            .collect();
+        let substrate = match self.model {
+            LiveModel::Raw => prev.substrate.rebuild_dirty(&RawRatings(&post), &covered)?,
+            LiveModel::UserCf(cfg) => {
+                let cf = UserCfModel::fit_for(&post, cfg, &covered);
+                prev.substrate.rebuild_dirty(&cf, &covered)?
+            }
+        };
+        let epoch = prev.epoch + 1;
+        let state = Arc::new(EpochState {
+            epoch,
+            matrix: post,
+            substrate: Arc::new(substrate),
+        });
+        {
+            let mut cur = self.current.lock().expect("epoch lock");
+            cur.state = state;
+            cur.cache = new_affinity_cache();
+        }
+        Ok(IngestReport {
+            epoch,
+            upserts: batch.upserts.len(),
+            retractions: batch.retractions.len(),
+            dirty_users: dirty.num_users(),
+            dirty_pairs: dirty.num_pairs(),
+            rebuilt_segments: covered.len(),
+            shared_segments: prev.substrate.users().len() - covered.len(),
+        })
+    }
+
+    /// Pin the current epoch: the returned handle keeps that epoch's
+    /// matrix and substrate alive (and its affinity cache reachable)
+    /// for as long as the caller holds it, independent of any further
+    /// ingestion. Pinning is one brief lock and two `Arc` clones.
+    pub fn pin(&self) -> PinnedEpoch<'a> {
+        let (state, cache) = {
+            let cur = self.current.lock().expect("epoch lock");
+            (Arc::clone(&cur.state), Arc::clone(&cur.cache))
+        };
+        let provider = EpochProvider {
+            matrix: Arc::clone(&state.matrix),
+            model: self.model,
+        };
+        PinnedEpoch {
+            population: self.population,
+            state,
+            provider,
+            cache,
+        }
+    }
+}
+
+/// One pinned epoch of a [`LiveEngine`]: a self-contained, immutable
+/// snapshot to serve queries from.
+///
+/// The pin holds `Arc`s to the epoch's matrix, substrate and affinity
+/// cache, so every query made through [`PinnedEpoch::engine`] reads one
+/// consistent state end-to-end — concurrent publishes swap the *engine's*
+/// current epoch but can never mutate a pinned one. Results are
+/// bit-identical to a cold engine built from this epoch's ratings.
+#[derive(Debug, Clone)]
+pub struct PinnedEpoch<'a> {
+    population: &'a PopulationAffinity,
+    state: Arc<EpochState>,
+    provider: EpochProvider,
+    cache: AffinityCache,
+}
+
+impl PinnedEpoch<'_> {
+    /// The pinned epoch number.
+    pub fn epoch(&self) -> u64 {
+        self.state.epoch
+    }
+
+    /// The pinned epoch's rating matrix.
+    pub fn matrix(&self) -> &RatingMatrix {
+        &self.state.matrix
+    }
+
+    /// The pinned epoch's substrate.
+    pub fn substrate(&self) -> &Arc<Substrate> {
+        &self.state.substrate
+    }
+
+    /// A warm [`GrecaEngine`] over this epoch's substrate, provider and
+    /// (epoch-scoped) group-affinity cache. Engines are cheap views —
+    /// build one per scope that needs to issue queries.
+    pub fn engine(&self) -> GrecaEngine<'_> {
+        GrecaEngine::with_substrate_and_cache(
+            &self.provider,
+            self.population,
+            Arc::clone(&self.state.substrate),
+            Arc::clone(&self.cache),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use greca_affinity::TableAffinitySource;
+    use greca_dataset::{Granularity, RatingMatrixBuilder, Timeline};
+
+    fn rating(u: u32, i: u32, value: f32, ts: i64) -> Rating {
+        Rating {
+            user: UserId(u),
+            item: ItemId(i),
+            value,
+            ts,
+        }
+    }
+
+    fn world() -> (RatingMatrix, PopulationAffinity, Vec<ItemId>) {
+        let mut b = RatingMatrixBuilder::new(4, 5);
+        b.rate(UserId(0), ItemId(0), 5.0, 0)
+            .rate(UserId(0), ItemId(2), 3.0, 0)
+            .rate(UserId(1), ItemId(0), 4.0, 0)
+            .rate(UserId(2), ItemId(3), 2.0, 0)
+            .rate(UserId(3), ItemId(4), 4.0, 0);
+        let matrix = b.build();
+        let mut src = TableAffinitySource::new();
+        src.set_static(UserId(0), UserId(1), 1.0)
+            .set_static(UserId(0), UserId(2), 0.2)
+            .set_static(UserId(1), UserId(2), 0.7)
+            .set_static(UserId(2), UserId(3), 0.5);
+        let tl = Timeline::discretize(0, 100, Granularity::Custom(50)).unwrap();
+        let (p1, p2) = (tl.periods()[0], tl.periods()[1]);
+        src.set_periodic(UserId(0), UserId(1), p1.start, 0.8)
+            .set_periodic(UserId(1), UserId(2), p1.start, 0.9)
+            .set_periodic(UserId(0), UserId(1), p2.start, 0.7);
+        let users: Vec<UserId> = (0..4).map(UserId).collect();
+        let pop = PopulationAffinity::build(&src, &users, &tl);
+        let items: Vec<ItemId> = (0..5).map(ItemId).collect();
+        (matrix, pop, items)
+    }
+
+    #[test]
+    fn epochs_increment_and_empty_publish_is_a_noop() {
+        let (matrix, pop, items) = world();
+        let live = LiveEngine::new(&pop, LiveModel::Raw, &matrix, &items).unwrap();
+        assert_eq!(live.epoch(), 0);
+        let noop = live.publish().unwrap();
+        assert_eq!(noop.epoch, 0);
+        assert_eq!(noop.rebuilt_segments, 0);
+        assert_eq!(noop.shared_segments, 4);
+        let r = live.ingest(&[rating(2, 1, 5.0, 10)]).unwrap();
+        assert_eq!(r.epoch, 1);
+        assert_eq!(live.epoch(), 1);
+        assert_eq!((r.upserts, r.retractions), (1, 0));
+        assert_eq!(r.rebuilt_segments, 1, "raw model dirties only u2");
+        assert_eq!(r.shared_segments, 3);
+        let r = live.retract(&[(UserId(2), ItemId(1))]).unwrap();
+        assert_eq!(r.epoch, 2);
+        assert_eq!((r.upserts, r.retractions), (0, 1));
+    }
+
+    #[test]
+    fn pinned_epoch_is_immune_to_later_ingestion() {
+        let (matrix, pop, items) = world();
+        let live = LiveEngine::new(&pop, LiveModel::Raw, &matrix, &items).unwrap();
+        let group = Group::new(vec![UserId(0), UserId(1)]).unwrap();
+        let pin0 = live.pin();
+        let before = pin0
+            .engine()
+            .query(&group)
+            .items(&items)
+            .top(3)
+            .run()
+            .unwrap();
+        // A rating that reorders u1's list.
+        live.ingest(&[rating(1, 4, 5.0, 10)]).unwrap();
+        let again = pin0
+            .engine()
+            .query(&group)
+            .items(&items)
+            .top(3)
+            .run()
+            .unwrap();
+        assert_eq!(before, again, "pinned epoch must stay bit-identical");
+        assert_eq!(pin0.epoch(), 0);
+        assert_eq!(pin0.matrix().get(UserId(1), ItemId(4)), None);
+        // A fresh pin sees the new epoch.
+        let pin1 = live.pin();
+        assert_eq!(pin1.epoch(), 1);
+        assert_eq!(pin1.matrix().get(UserId(1), ItemId(4)), Some(5.0));
+        let after = pin1
+            .engine()
+            .query(&group)
+            .items(&items)
+            .top(3)
+            .run()
+            .unwrap();
+        assert_ne!(before, after, "the new rating must be visible");
+        // Structural sharing across the swap: u0 was clean.
+        assert!(pin0
+            .substrate()
+            .shares_segment_with(pin1.substrate(), UserId(0)));
+        assert!(!pin0
+            .substrate()
+            .shares_segment_with(pin1.substrate(), UserId(1)));
+        assert!(pin0.substrate().shares_affinity_with(pin1.substrate()));
+    }
+
+    #[test]
+    fn usercf_model_propagates_to_coraters() {
+        let (matrix, pop, items) = world();
+        let live = LiveEngine::new(
+            &pop,
+            LiveModel::UserCf(CfConfig::default()),
+            &matrix,
+            &items,
+        )
+        .unwrap();
+        // u0 co-rates i0 with u1; u3 has no co-raters and no empty row.
+        let r = live.ingest(&[rating(0, 4, 4.5, 10)]).unwrap();
+        assert!(r.dirty_users >= 3, "u0, co-rater u1, new co-rater u3");
+        assert!(r.rebuilt_segments >= 3);
+        assert!(r.dirty_pairs >= 1, "(u0,u3) now co-rate i4");
+    }
+
+    #[test]
+    fn staging_defers_publication() {
+        let (matrix, pop, items) = world();
+        let live = LiveEngine::new(&pop, LiveModel::Raw, &matrix, &items).unwrap();
+        live.stage(&[rating(0, 1, 2.0, 5), rating(0, 1, 3.5, 6)])
+            .unwrap();
+        live.stage_retractions(&[(UserId(2), ItemId(3))]);
+        assert_eq!(live.staged(), 2, "keep-latest per key");
+        assert_eq!(live.epoch(), 0);
+        let r = live.publish().unwrap();
+        assert_eq!(live.staged(), 0);
+        assert_eq!(r.epoch, 1);
+        assert_eq!((r.upserts, r.retractions), (1, 1));
+        let pin = live.pin();
+        assert_eq!(pin.matrix().get(UserId(0), ItemId(1)), Some(3.5));
+        assert_eq!(pin.matrix().get(UserId(2), ItemId(3)), None);
+    }
+
+    #[test]
+    fn non_finite_ingest_rejected_before_staging_state_changes() {
+        let (matrix, pop, items) = world();
+        let live = LiveEngine::new(&pop, LiveModel::Raw, &matrix, &items).unwrap();
+        // A valid rating ahead of the poisoned one must not be staged
+        // either — a rejected batch is all-or-nothing, so it cannot
+        // leak into a later unrelated publish.
+        let err = live
+            .ingest(&[rating(2, 0, 4.0, 4), rating(0, 1, f32::NAN, 5)])
+            .unwrap_err();
+        assert!(matches!(err, QueryError::NonFiniteScore { .. }));
+        assert_eq!(live.epoch(), 0, "nothing published");
+        assert_eq!(live.staged(), 0, "nothing staged");
+        let noop = live.publish().unwrap();
+        assert_eq!(noop.epoch, 0, "no stale prefix to publish");
+    }
+
+    #[test]
+    fn ratings_for_unknown_users_and_items_are_absorbed() {
+        let (matrix, pop, items) = world();
+        let live = LiveEngine::new(&pop, LiveModel::Raw, &matrix, &items).unwrap();
+        // User 9 is outside the population universe; item 9 outside the
+        // substrate's universe. Both land in the matrix (future-proof)
+        // without disturbing any published segment.
+        let r = live.ingest(&[rating(9, 9, 5.0, 10)]).unwrap();
+        assert_eq!(r.epoch, 1);
+        assert_eq!(r.rebuilt_segments, 0);
+        assert_eq!(r.dirty_users, 1);
+        let pin = live.pin();
+        assert_eq!(pin.matrix().get(UserId(9), ItemId(9)), Some(5.0));
+        let group = Group::new(vec![UserId(0), UserId(1)]).unwrap();
+        assert!(pin
+            .engine()
+            .query(&group)
+            .items(&items)
+            .top(2)
+            .run()
+            .is_ok());
+    }
+}

@@ -161,10 +161,20 @@ impl Algorithm {
 
 /// Hashable identity of one cached [`GroupAffinity`] view.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-struct AffinityKey {
+pub(crate) struct AffinityKey {
     members: Vec<UserId>,
     period: usize,
     mode: ModeKey,
+}
+
+/// The engine's shared keyed cache of group-affinity views. The live
+/// layer scopes one of these per epoch so a swap retires every cached
+/// view along with the substrate it was computed beside.
+pub(crate) type AffinityCache = Arc<Mutex<HashMap<AffinityKey, Arc<GroupAffinity>>>>;
+
+/// A fresh, empty affinity cache.
+pub(crate) fn new_affinity_cache() -> AffinityCache {
+    Arc::new(Mutex::new(HashMap::new()))
 }
 
 /// [`AffinityMode`] with its `f64` payload made hashable via bit
@@ -204,7 +214,7 @@ pub struct GrecaEngine<'a> {
     provider: &'a (dyn PreferenceProvider + Sync + 'a),
     population: &'a PopulationAffinity,
     substrate: Option<Arc<Substrate>>,
-    affinity_cache: Arc<Mutex<HashMap<AffinityKey, Arc<GroupAffinity>>>>,
+    affinity_cache: AffinityCache,
 }
 
 impl std::fmt::Debug for GrecaEngine<'_> {
@@ -291,6 +301,27 @@ impl<'a> GrecaEngine<'a> {
             population,
             substrate: Some(substrate),
             affinity_cache: Arc::new(Mutex::new(HashMap::new())),
+        }
+    }
+
+    /// Like [`GrecaEngine::with_substrate`], but sharing an existing
+    /// group-affinity cache — the live layer's path, where the cache is
+    /// scoped to the substrate's epoch rather than to one engine value.
+    pub(crate) fn with_substrate_and_cache(
+        provider: &'a (dyn PreferenceProvider + Sync + 'a),
+        population: &'a PopulationAffinity,
+        substrate: Arc<Substrate>,
+        affinity_cache: AffinityCache,
+    ) -> Self {
+        assert!(
+            substrate.is_compatible_with(population),
+            "substrate was built from a different population index"
+        );
+        GrecaEngine {
+            provider,
+            population,
+            substrate: Some(substrate),
+            affinity_cache,
         }
     }
 

@@ -10,9 +10,9 @@
 //!
 //! * **Preference columns** — for every serving user, the
 //!   score-descending preference list over the item universe, computed
-//!   once from any [`PreferenceProvider`] and stored in one contiguous
-//!   `(ids, scores)` pair of buffers (`user × m` segments). A query whose
-//!   itemset *is* the universe borrows its segments as
+//!   once from any [`PreferenceProvider`] and stored as one columnar
+//!   `(ids, scores)` segment per user, each behind its own `Arc`. A
+//!   query whose itemset *is* the universe borrows its segments as
 //!   [`ListView`]s — zero copies, zero sorts, zero provider calls. A
 //!   strict-subset itemset is filtered in one order-preserving pass
 //!   (still no sort, no provider calls).
@@ -23,19 +23,28 @@
 //!   positive scale and both tie-break by ascending pair id), so warm
 //!   periodic lists are assembled without comparing floats.
 //!
-//! The substrate is immutable after construction and shared via
-//! `Arc<Substrate>`: [`crate::query::run_batch`] worker threads, cached
+//! Each substrate value is immutable and shared via `Arc<Substrate>`:
+//! [`crate::query::run_batch`] worker threads, cached
 //! [`PreparedQuery`](crate::query::PreparedQuery)s and the engine all
 //! alias the same buffers. Because the engine borrows its
 //! [`PopulationAffinity`] for its whole lifetime, the index cannot gain
 //! periods behind the substrate's back — snapshot staleness is ruled out
 //! by the borrow checker, not by invalidation logic.
+//!
+//! Evolving *ratings* are handled by versioning, not mutation: the
+//! `Arc`-per-segment split makes [`Substrate::rebuild_dirty`] cheap — a
+//! delta batch's invalidated users get fresh segments, every clean
+//! segment (and the affinity arrays) is aliased — and the live layer
+//! ([`crate::live::LiveEngine`]) publishes each rebuilt substrate as a
+//! new *epoch* that in-flight queries, pinned to the previous epoch's
+//! `Arc`s, never observe mid-read.
 
 use crate::lists::{ListKind, ListView, NonFiniteEntry, SortedList};
 use crate::query::QueryError;
 use greca_affinity::PopulationAffinity;
 use greca_cf::PreferenceProvider;
 use greca_dataset::{Group, ItemId, UserId};
+use std::sync::Arc;
 
 /// How a query's itemset relates to the substrate's item universe.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -52,10 +61,27 @@ pub enum ItemCoverage {
 /// Sentinel for "item id not in the universe" in the dense-index map.
 const NOT_AN_ITEM: u32 = u32::MAX;
 
-/// Precomputed sorted-list storage for one `(provider, population,
-/// item universe)` triple. See the module docs.
-#[derive(Debug, Clone)]
-pub struct Substrate {
+/// One user's precomputed preference columns: the score-descending
+/// `(ids, scores)` list over the substrate's item universe.
+///
+/// Segments are the unit of structural sharing for
+/// [`Substrate::rebuild_dirty`]: each lives behind its own `Arc`, so an
+/// incremental rebuild re-sorts only invalidated users and *aliases*
+/// every clean segment (a pointer copy, not a column copy).
+#[derive(Debug)]
+struct PrefSegment {
+    /// Item ids, sorted by score descending (ties by item id).
+    ids: Vec<u32>,
+    /// Scores aligned with `ids`.
+    scores: Vec<f64>,
+}
+
+/// The id-space layout of a substrate: which users own segments, what
+/// the item universe is, and the dense maps over both. Immutable across
+/// incremental rebuilds (the universe is fixed at engine construction),
+/// hence shared behind one `Arc`.
+#[derive(Debug)]
+struct UniverseLayout {
     /// Users with precomputed preference segments (sorted by id).
     users: Vec<UserId>,
     /// `users` position by user id.
@@ -67,27 +93,48 @@ pub struct Substrate {
     item_dense: Vec<u32>,
     /// Entries per preference segment (= `items.len()`).
     m: usize,
-    /// Concatenated per-user item-id columns, each segment sorted by
-    /// score descending (ties by item id).
-    pref_ids: Vec<u32>,
-    /// Concatenated per-user score columns, aligned with `pref_ids`.
-    pref_scores: Vec<f64>,
+}
 
+/// The population-level sorted affinity arrays (static + per period).
+/// Rating deltas never invalidate these — the paper derives affinity
+/// from social signals, and the index itself is append-only — so
+/// incremental rebuilds share them wholesale behind one `Arc`.
+#[derive(Debug)]
+struct AffinityArrays {
     /// Population universe position by user id (for population pair
-    /// indexing; `users` may be a subset of the population universe).
+    /// indexing; the substrate's users may be a subset of the universe).
     pop_pos: Vec<Option<u32>>,
     /// Population universe size.
     pop_n: usize,
     /// Population pairs ordered by globally-normalized static affinity
     /// descending, with the values.
     static_pairs: Vec<u32>,
+    /// Values aligned with `static_pairs`.
     static_values: Vec<f64>,
     /// Per period: population pairs ordered by normalized periodic
-    /// affinity descending, with the values.
+    /// affinity descending.
     period_pairs: Vec<Vec<u32>>,
+    /// Values aligned with `period_pairs`.
     period_values: Vec<Vec<f64>>,
     /// Per period: rank (position in `period_pairs[p]`) by pair id.
     period_rank: Vec<Vec<u32>>,
+}
+
+/// Precomputed sorted-list storage for one `(provider, population,
+/// item universe)` triple. See the module docs.
+///
+/// Storage is split into `Arc`-shared pieces along invalidation
+/// boundaries — per-user preference segments, the fixed universe
+/// layout, and the rating-independent affinity arrays — so that
+/// [`Substrate::rebuild_dirty`] can publish a new epoch's substrate by
+/// recomputing only what a delta batch invalidated. Cloning a
+/// `Substrate` is always cheap (pointer copies).
+#[derive(Debug, Clone)]
+pub struct Substrate {
+    layout: Arc<UniverseLayout>,
+    /// One preference segment per `layout.users` entry.
+    segments: Vec<Arc<PrefSegment>>,
+    affinity: Arc<AffinityArrays>,
 }
 
 impl Substrate {
@@ -141,12 +188,10 @@ impl Substrate {
             item_dense[i.0 as usize] = dense as u32;
         }
 
-        let mut pref_ids = Vec::with_capacity(users.len() * m);
-        let mut pref_scores = Vec::with_capacity(users.len() * m);
+        let mut segments = Vec::with_capacity(users.len());
         for &u in &users {
             let (ids, scores) = provider.preference_list(u, &items)?.into_sorted_columns();
-            pref_ids.extend_from_slice(&ids);
-            pref_scores.extend_from_slice(&scores);
+            segments.push(Arc::new(PrefSegment { ids, scores }));
         }
 
         let universe = population.universe();
@@ -178,52 +223,119 @@ impl Substrate {
         }
 
         Ok(Substrate {
-            users,
-            user_pos,
-            items,
-            item_dense,
-            m,
-            pref_ids,
-            pref_scores,
-            pop_pos,
-            pop_n: universe.len(),
-            static_pairs,
-            static_values,
-            period_pairs,
-            period_values,
-            period_rank,
+            layout: Arc::new(UniverseLayout {
+                users,
+                user_pos,
+                items,
+                item_dense,
+                m,
+            }),
+            segments,
+            affinity: Arc::new(AffinityArrays {
+                pop_pos,
+                pop_n: universe.len(),
+                static_pairs,
+                static_values,
+                period_pairs,
+                period_values,
+                period_rank,
+            }),
         })
+    }
+
+    /// A new substrate with only `dirty_users`' preference segments
+    /// recomputed from `provider`, structurally sharing everything else
+    /// with `self`: clean segments alias the same `Arc`s (pointer
+    /// copies), as do the universe layout and the affinity arrays.
+    ///
+    /// This is the incremental-epoch step of the live-ingestion path:
+    /// cost is `O(|dirty ∩ users| · m log m)` provider calls and sorts
+    /// plus `O(|users|)` pointer copies, versus the full
+    /// [`Substrate::build`]'s `O(|universe| · m log m)`. Dirty users
+    /// without a segment here (outside the precomputed cohort) are
+    /// skipped — their queries fall back to cold materialization either
+    /// way. The caller supplies the dirty set (see `greca-cf`'s
+    /// `DeltaBatch::dirty_set`) and a provider already fitted on the
+    /// *post-batch* ratings.
+    ///
+    /// The result is a distinct value: in-flight queries keep reading
+    /// the old epoch's segments untouched (they hold their own `Arc`s),
+    /// which is what makes the epoch swap safe without locks on the
+    /// read path.
+    pub fn rebuild_dirty(
+        &self,
+        provider: &(dyn PreferenceProvider + Sync + '_),
+        dirty_users: &[UserId],
+    ) -> Result<Self, QueryError> {
+        let mut segments = self.segments.clone();
+        for &u in dirty_users {
+            if let Some(idx) = self.user_index(u) {
+                let (ids, scores) = provider
+                    .preference_list(u, &self.layout.items)?
+                    .into_sorted_columns();
+                segments[idx] = Arc::new(PrefSegment { ids, scores });
+            }
+        }
+        Ok(Substrate {
+            layout: Arc::clone(&self.layout),
+            segments,
+            affinity: Arc::clone(&self.affinity),
+        })
+    }
+
+    /// Whether `u`'s preference segment is the *same allocation* in both
+    /// substrates (structural sharing across an incremental rebuild).
+    /// `false` when either side lacks a segment for `u`.
+    pub fn shares_segment_with(&self, other: &Substrate, u: UserId) -> bool {
+        match (self.user_index(u), other.user_index(u)) {
+            (Some(a), Some(b)) => Arc::ptr_eq(&self.segments[a], &other.segments[b]),
+            _ => false,
+        }
+    }
+
+    /// Whether both substrates alias the same affinity arrays (they
+    /// always do across [`Substrate::rebuild_dirty`]).
+    pub fn shares_affinity_with(&self, other: &Substrate) -> bool {
+        Arc::ptr_eq(&self.affinity, &other.affinity)
     }
 
     /// Users with precomputed preference segments.
     pub fn users(&self) -> &[UserId] {
-        &self.users
+        &self.layout.users
     }
 
     /// The item universe (sorted, deduplicated).
     pub fn items(&self) -> &[ItemId] {
-        &self.items
+        &self.layout.items
     }
 
     /// Number of items per preference segment.
     pub fn num_items(&self) -> usize {
-        self.m
+        self.layout.m
     }
 
     /// Number of indexed periods.
     pub fn num_periods(&self) -> usize {
-        self.period_pairs.len()
+        self.affinity.period_pairs.len()
     }
 
-    /// Approximate resident size of the preference buffers, in bytes.
+    /// Approximate resident size of the preference buffers, in bytes
+    /// (counts each shared segment once per substrate that references
+    /// it).
     pub fn pref_bytes(&self) -> usize {
-        self.pref_ids.len() * std::mem::size_of::<u32>()
-            + self.pref_scores.len() * std::mem::size_of::<f64>()
+        self.segments
+            .iter()
+            .map(|s| {
+                s.ids.len() * std::mem::size_of::<u32>()
+                    + s.scores.len() * std::mem::size_of::<f64>()
+            })
+            .sum()
     }
 
     /// Position of `u` among the substrate's users, if precomputed.
     pub fn user_index(&self, u: UserId) -> Option<usize> {
-        self.user_pos
+        self.layout
+            .user_pos
             .get(u.idx())
             .copied()
             .flatten()
@@ -244,10 +356,11 @@ impl Substrate {
         if u == v {
             return None;
         }
-        let pu = self.pop_pos.get(u.idx()).copied().flatten()?;
-        let pv = self.pop_pos.get(v.idx()).copied().flatten()?;
+        let aff = &self.affinity;
+        let pu = aff.pop_pos.get(u.idx()).copied().flatten()?;
+        let pv = aff.pop_pos.get(v.idx()).copied().flatten()?;
         let (a, b) = (pu.min(pv) as usize, pu.max(pv) as usize);
-        Some(a * self.pop_n - a * (a + 1) / 2 + (b - a - 1))
+        Some(a * aff.pop_n - a * (a + 1) / 2 + (b - a - 1))
     }
 
     /// Whether this substrate was built from (a cohort of) exactly this
@@ -258,13 +371,14 @@ impl Substrate {
     /// silently rank by the wrong affinity arrays.
     pub fn is_compatible_with(&self, population: &PopulationAffinity) -> bool {
         let universe = population.universe();
-        self.pop_n == universe.len()
-            && self.static_pairs.len() == population.num_pairs()
-            && self.period_pairs.len() == population.num_periods()
+        let aff = &self.affinity;
+        aff.pop_n == universe.len()
+            && aff.static_pairs.len() == population.num_pairs()
+            && aff.period_pairs.len() == population.num_periods()
             && universe
                 .iter()
                 .enumerate()
-                .all(|(pos, u)| self.pop_pos.get(u.idx()).copied().flatten() == Some(pos as u32))
+                .all(|(pos, u)| aff.pop_pos.get(u.idx()).copied().flatten() == Some(pos as u32))
     }
 
     /// How `items` relates to the universe, or `None` when the substrate
@@ -272,7 +386,7 @@ impl Substrate {
     /// the cold path handles those verbatim). `O(m)` per call: the mask
     /// is over dense item positions, not raw item ids.
     pub fn item_coverage(&self, items: &[ItemId]) -> Option<ItemCoverage> {
-        let mut mask = vec![false; self.m];
+        let mut mask = vec![false; self.layout.m];
         for &i in items {
             let dense = self.dense_of(i)?;
             if mask[dense] {
@@ -280,7 +394,7 @@ impl Substrate {
             }
             mask[dense] = true;
         }
-        if items.len() == self.m {
+        if items.len() == self.layout.m {
             Some(ItemCoverage::Full)
         } else {
             Some(ItemCoverage::Subset(mask))
@@ -290,7 +404,7 @@ impl Substrate {
     /// Dense position of an item in the universe.
     #[inline]
     fn dense_of(&self, i: ItemId) -> Option<usize> {
-        match self.item_dense.get(i.0 as usize).copied() {
+        match self.layout.item_dense.get(i.0 as usize).copied() {
             Some(d) if d != NOT_AN_ITEM => Some(d as usize),
             _ => None,
         }
@@ -299,13 +413,8 @@ impl Substrate {
     /// The zero-copy preference view of the user at `user_idx`, labeled
     /// as group member `member`.
     pub fn pref_view(&self, user_idx: usize, member: u32) -> ListView<'_> {
-        let start = user_idx * self.m;
-        let end = start + self.m;
-        ListView::new(
-            ListKind::Preference { member },
-            &self.pref_ids[start..end],
-            &self.pref_scores[start..end],
-        )
+        let seg = &self.segments[user_idx];
+        ListView::new(ListKind::Preference { member }, &seg.ids, &seg.scores)
     }
 
     /// The user's preference segment filtered to a subset itemset
@@ -318,17 +427,16 @@ impl Substrate {
         mask: &[bool],
         len: usize,
     ) -> SortedList {
-        let start = user_idx * self.m;
-        let end = start + self.m;
+        let seg = &self.segments[user_idx];
         let mut ids = Vec::with_capacity(len);
         let mut scores = Vec::with_capacity(len);
-        for (pos, &id) in self.pref_ids[start..end].iter().enumerate() {
+        for (pos, &id) in seg.ids.iter().enumerate() {
             // Segment ids always belong to the universe; the dense
             // lookup cannot miss.
-            let dense = self.item_dense[id as usize] as usize;
+            let dense = self.layout.item_dense[id as usize] as usize;
             if mask[dense] {
                 ids.push(id);
-                scores.push(self.pref_scores[start + pos]);
+                scores.push(seg.scores[pos]);
             }
         }
         SortedList::from_sorted_columns(ListKind::Preference { member }, ids, scores)
@@ -340,8 +448,8 @@ impl Substrate {
     pub fn static_view(&self) -> ListView<'_> {
         ListView::new(
             ListKind::StaticAffinity,
-            &self.static_pairs,
-            &self.static_values,
+            &self.affinity.static_pairs,
+            &self.affinity.static_values,
         )
     }
 
@@ -352,8 +460,8 @@ impl Substrate {
             ListKind::PeriodicAffinity {
                 period: p_idx as u32,
             },
-            &self.period_pairs[p_idx],
-            &self.period_values[p_idx],
+            &self.affinity.period_pairs[p_idx],
+            &self.affinity.period_values[p_idx],
         )
     }
 
@@ -366,7 +474,7 @@ impl Substrate {
     /// triangular order — so the result is *identical* to sorting the
     /// group's component values, without touching a float.
     pub fn order_pairs_by_period_rank(&self, p_idx: usize, pairs: &mut [(u32, usize)]) {
-        let rank = &self.period_rank[p_idx];
+        let rank = &self.affinity.period_rank[p_idx];
         pairs.sort_by_key(|&(_, pop_pair)| rank[pop_pair]);
     }
 }
@@ -520,6 +628,56 @@ mod tests {
             &[UserId(0), UserId(1), UserId(2), UserId(7)],
         );
         assert!(!sub.is_compatible_with(&wider));
+    }
+
+    #[test]
+    fn rebuild_dirty_shares_clean_segments() {
+        let (matrix, pop, _tl) = world();
+        let raw = RawRatings(&matrix);
+        let items: Vec<ItemId> = matrix.items().collect();
+        let sub = Substrate::build(&raw, &pop, &items).unwrap();
+
+        // User 1 rates item 3: only their segment is invalidated.
+        let mut b = RatingMatrixBuilder::new(3, 4);
+        b.rate(UserId(0), ItemId(0), 5.0, 0)
+            .rate(UserId(0), ItemId(2), 3.0, 0)
+            .rate(UserId(1), ItemId(1), 4.0, 0)
+            .rate(UserId(1), ItemId(3), 5.0, 1)
+            .rate(UserId(2), ItemId(3), 2.0, 0)
+            .rate(UserId(2), ItemId(0), 1.0, 0);
+        let next_matrix = b.build();
+        let next_raw = RawRatings(&next_matrix);
+        let next = sub.rebuild_dirty(&next_raw, &[UserId(1)]).unwrap();
+
+        // Dirty user: fresh segment with the new ordering.
+        assert!(!sub.shares_segment_with(&next, UserId(1)));
+        let v1 = next.pref_view(1, 1);
+        assert_eq!(v1.ids, &[3, 1, 0, 2]);
+        assert_eq!(v1.scores, &[5.0, 4.0, 0.0, 0.0]);
+        // Clean users: the same allocations, not copies.
+        assert!(sub.shares_segment_with(&next, UserId(0)));
+        assert!(sub.shares_segment_with(&next, UserId(2)));
+        assert!(sub.shares_affinity_with(&next));
+        // The old epoch still serves its original view.
+        assert_eq!(sub.pref_view(1, 1).ids, &[1, 0, 2, 3]);
+        // The rebuilt substrate equals a cold build from the new matrix.
+        let cold = Substrate::build(&next_raw, &pop, &items).unwrap();
+        for u in 0..3 {
+            assert_eq!(next.pref_view(u, 0).ids, cold.pref_view(u, 0).ids);
+            assert_eq!(next.pref_view(u, 0).scores, cold.pref_view(u, 0).scores);
+        }
+    }
+
+    #[test]
+    fn rebuild_dirty_skips_uncovered_users() {
+        let (matrix, pop, _tl) = world();
+        let raw = RawRatings(&matrix);
+        let items: Vec<ItemId> = matrix.items().collect();
+        let sub = Substrate::build_for(&raw, &pop, &items, &[UserId(0), UserId(2)]).unwrap();
+        let next = sub.rebuild_dirty(&raw, &[UserId(1), UserId(9)]).unwrap();
+        assert!(sub.shares_segment_with(&next, UserId(0)));
+        assert!(sub.shares_segment_with(&next, UserId(2)));
+        assert!(!sub.shares_segment_with(&next, UserId(1)), "no segment");
     }
 
     #[test]

@@ -9,6 +9,7 @@
 use crate::time::Timestamp;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 
 /// Identifier of a user `u ∈ U`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -64,12 +65,17 @@ pub struct Rating {
 /// Rows (per-user vectors) are sorted by item id, columns (per-item vectors)
 /// by user id, enabling `O(log nnz_row)` lookups and linear-time sparse dot
 /// products for cosine similarity.
+///
+/// Rows and columns live behind `Arc`s, so cloning a matrix — and, more
+/// importantly, deriving the next live-serving epoch via
+/// [`RatingMatrix::apply_deltas`] — copies pointers and rewrites only the
+/// touched rows/columns (copy-on-write), never the whole rating log.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RatingMatrix {
     num_users: usize,
     num_items: usize,
-    by_user: Vec<Vec<(ItemId, f32)>>,
-    by_item: Vec<Vec<(UserId, f32)>>,
+    by_user: Vec<Arc<Vec<(ItemId, f32)>>>,
+    by_item: Vec<Arc<Vec<(UserId, f32)>>>,
     num_ratings: usize,
 }
 
@@ -179,6 +185,104 @@ impl RatingMatrix {
         items.sort_by_key(|&i| (std::cmp::Reverse(self.item_popularity(i)), i));
         items
     }
+
+    /// A copy of this matrix with a delta batch applied: `retractions`
+    /// remove their `(user, item)` rating if present, `upserts` insert or
+    /// overwrite theirs. Dimensions grow to admit ids beyond the current
+    /// grid; retractions of absent pairs (or out-of-range ids) are no-ops.
+    ///
+    /// Retractions apply before upserts, so a key staged in both lists
+    /// ends up with the upserted value (the keep-latest contract of
+    /// `greca-cf`'s `RatingStore` never stages a key in both). Cost is
+    /// `O(nnz)` for the structural copy plus `O(log row/col)` per delta —
+    /// the epoch-construction step of the live-ingestion path, paid per
+    /// *published batch*, never per query.
+    pub fn apply_deltas(&self, upserts: &[Rating], retractions: &[(UserId, ItemId)]) -> Self {
+        let num_users = upserts
+            .iter()
+            .map(|r| r.user.idx() + 1)
+            .max()
+            .unwrap_or(0)
+            .max(self.num_users);
+        let num_items = upserts
+            .iter()
+            .map(|r| r.item.idx() + 1)
+            .max()
+            .unwrap_or(0)
+            .max(self.num_items);
+        // `Arc` pointer copies; `Arc::make_mut` below rewrites only the
+        // rows/columns the batch touches (the previous epoch keeps the
+        // originals).
+        let mut by_user = self.by_user.clone();
+        by_user.resize(num_users, Arc::new(Vec::new()));
+        let mut by_item = self.by_item.clone();
+        by_item.resize(num_items, Arc::new(Vec::new()));
+        let mut num_ratings = self.num_ratings;
+
+        for &(user, item) in retractions {
+            let Some(row) = by_user.get_mut(user.idx()) else {
+                continue;
+            };
+            if let Ok(pos) = row.binary_search_by_key(&item, |&(i, _)| i) {
+                Arc::make_mut(row).remove(pos);
+                let col = &mut by_item[item.idx()];
+                let cpos = col
+                    .binary_search_by_key(&user, |&(u, _)| u)
+                    .expect("row and column views agree");
+                Arc::make_mut(col).remove(cpos);
+                num_ratings -= 1;
+            }
+        }
+        for r in upserts {
+            debug_assert!(r.value.is_finite(), "rating values must be finite");
+            let row = Arc::make_mut(&mut by_user[r.user.idx()]);
+            match row.binary_search_by_key(&r.item, |&(i, _)| i) {
+                Ok(pos) => row[pos].1 = r.value,
+                Err(pos) => {
+                    row.insert(pos, (r.item, r.value));
+                    num_ratings += 1;
+                }
+            }
+            let col = Arc::make_mut(&mut by_item[r.item.idx()]);
+            match col.binary_search_by_key(&r.user, |&(u, _)| u) {
+                Ok(pos) => col[pos].1 = r.value,
+                Err(pos) => col.insert(pos, (r.user, r.value)),
+            }
+        }
+        RatingMatrix {
+            num_users,
+            num_items,
+            by_user,
+            by_item,
+            num_ratings,
+        }
+    }
+
+    /// A copy with the grid padded to at least `num_users × num_items`
+    /// (no rating changes). The live-ingestion layer uses this so a
+    /// population universe wider than the seed rating log indexes safely.
+    pub fn padded_to(&self, num_users: usize, num_items: usize) -> Self {
+        let mut out = self.clone();
+        if num_users > out.num_users {
+            out.by_user.resize(num_users, Arc::new(Vec::new()));
+            out.num_users = num_users;
+        }
+        if num_items > out.num_items {
+            out.by_item.resize(num_items, Arc::new(Vec::new()));
+            out.num_items = num_items;
+        }
+        out
+    }
+
+    /// Whether `user`'s rating row is the *same allocation* in both
+    /// matrices — observability for the copy-on-write contract of
+    /// [`RatingMatrix::apply_deltas`].
+    pub fn shares_user_row_with(&self, other: &RatingMatrix, user: UserId) -> bool {
+        match (self.by_user.get(user.idx()), other.by_user.get(user.idx())) {
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
 }
 
 /// Incremental builder for [`RatingMatrix`].
@@ -264,8 +368,8 @@ impl RatingMatrixBuilder {
         RatingMatrix {
             num_users: self.num_users,
             num_items: self.num_items,
-            by_user,
-            by_item,
+            by_user: by_user.into_iter().map(Arc::new).collect(),
+            by_item: by_item.into_iter().map(Arc::new).collect(),
             num_ratings,
         }
     }
@@ -348,6 +452,98 @@ mod tests {
     fn display_formats() {
         assert_eq!(UserId(3).to_string(), "u3");
         assert_eq!(ItemId(9).to_string(), "i9");
+    }
+
+    #[test]
+    fn apply_deltas_upserts_overwrites_and_retracts() {
+        let m = tiny();
+        let upserts = [
+            Rating {
+                user: UserId(1),
+                item: ItemId(2),
+                value: 2.5,
+                ts: 9,
+            },
+            Rating {
+                user: UserId(0),
+                item: ItemId(0),
+                value: 1.0,
+                ts: 10,
+            },
+        ];
+        let retractions = [(UserId(2), ItemId(3)), (UserId(1), ItemId(3))];
+        let next = m.apply_deltas(&upserts, &retractions);
+        // Insert, overwrite, retract-present, retract-absent.
+        assert_eq!(next.get(UserId(1), ItemId(2)), Some(2.5));
+        assert_eq!(next.get(UserId(0), ItemId(0)), Some(1.0));
+        assert_eq!(next.get(UserId(2), ItemId(3)), None);
+        assert_eq!(next.num_ratings(), 4);
+        // Both views stay aligned and sorted.
+        assert_eq!(
+            next.item_ratings(ItemId(2)),
+            &[(UserId(0), 3.0), (UserId(1), 2.5)]
+        );
+        assert_eq!(next.user_ratings(UserId(2)), &[]);
+        // The original is untouched (epochs are snapshots).
+        assert_eq!(m.get(UserId(0), ItemId(0)), Some(5.0));
+        assert_eq!(m.num_ratings(), 4);
+        // A full rebuild from the equivalent log agrees.
+        let mut b = RatingMatrixBuilder::new(3, 4);
+        b.rate(UserId(0), ItemId(0), 1.0, 0)
+            .rate(UserId(0), ItemId(2), 3.0, 1)
+            .rate(UserId(1), ItemId(0), 4.0, 2)
+            .rate(UserId(1), ItemId(2), 2.5, 9);
+        let rebuilt = b.build();
+        for u in rebuilt.users() {
+            assert_eq!(next.user_ratings(u), rebuilt.user_ratings(u));
+        }
+    }
+
+    #[test]
+    fn apply_deltas_grows_dimensions() {
+        let m = tiny();
+        let next = m.apply_deltas(
+            &[Rating {
+                user: UserId(5),
+                item: ItemId(7),
+                value: 4.0,
+                ts: 0,
+            }],
+            &[(UserId(9), ItemId(9))],
+        );
+        assert_eq!(next.num_users(), 6);
+        assert_eq!(next.num_items(), 8);
+        assert_eq!(next.get(UserId(5), ItemId(7)), Some(4.0));
+        assert_eq!(next.num_ratings(), 5);
+    }
+
+    #[test]
+    fn apply_deltas_is_copy_on_write() {
+        let m = tiny();
+        let next = m.apply_deltas(
+            &[Rating {
+                user: UserId(1),
+                item: ItemId(2),
+                value: 2.5,
+                ts: 9,
+            }],
+            &[],
+        );
+        // Untouched rows alias the same allocations; the touched row is
+        // a fresh copy (epoch derivation costs O(touched), not O(nnz)).
+        assert!(m.shares_user_row_with(&next, UserId(0)));
+        assert!(m.shares_user_row_with(&next, UserId(2)));
+        assert!(!m.shares_user_row_with(&next, UserId(1)));
+    }
+
+    #[test]
+    fn padded_matrix_keeps_ratings() {
+        let m = tiny();
+        let p = m.padded_to(10, 2);
+        assert_eq!(p.num_users(), 10);
+        assert_eq!(p.num_items(), 4, "padding never shrinks");
+        assert_eq!(p.num_ratings(), m.num_ratings());
+        assert_eq!(p.user_ratings(UserId(9)), &[]);
     }
 
     #[test]

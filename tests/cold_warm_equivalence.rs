@@ -213,6 +213,146 @@ fn warm_batch_shares_one_substrate_and_matches_solo_runs() {
 }
 
 #[test]
+fn stale_epoch_affinity_views_are_never_served_after_swap() {
+    // The live layer scopes the group-affinity cache per epoch: an
+    // ingest swap must retire every cached `GroupAffinity` view along
+    // with the substrate it was computed beside. We prove it by
+    // allocation identity — a post-swap engine computing a fresh view
+    // (different pointer) is exactly "the stale cached view was not
+    // served"; a same-epoch repeat hitting the same allocation is
+    // exactly "the cache works at all".
+    let w = world();
+    let pop = population(&w);
+    let items: Vec<ItemId> = w.ml.matrix.items().take(80).collect();
+    let live = LiveEngine::new(
+        &pop,
+        LiveModel::UserCf(CfConfig::default()),
+        &w.ml.matrix,
+        &items,
+    )
+    .expect("finite CF scores");
+    let group = Group::new(vec![UserId(0), UserId(3)]).unwrap();
+
+    let pin0 = live.pin();
+    let engine0 = pin0.engine();
+    let q1 = engine0
+        .query(&group)
+        .items(&items)
+        .top(3)
+        .prepare()
+        .unwrap();
+    let q2 = engine0
+        .query(&group)
+        .items(&items)
+        .top(3)
+        .prepare()
+        .unwrap();
+    assert!(
+        std::ptr::eq(q1.affinity(), q2.affinity()),
+        "same epoch + same key must hit the same cached allocation"
+    );
+    assert_eq!(live.cached_affinity_views(), 1);
+
+    let report = live
+        .ingest(&[Rating {
+            user: UserId(3),
+            item: items[0],
+            value: 5.0,
+            ts: 1,
+        }])
+        .unwrap();
+    assert_eq!(report.epoch, 1);
+    assert_eq!(
+        live.cached_affinity_views(),
+        0,
+        "the swap must retire the previous epoch's cache"
+    );
+
+    let pin1 = live.pin();
+    let q3 = pin1
+        .engine()
+        .query(&group)
+        .items(&items)
+        .top(3)
+        .prepare()
+        .unwrap();
+    assert!(
+        !std::ptr::eq(q1.affinity(), q3.affinity()),
+        "a post-swap query must not be served the stale epoch's cached view"
+    );
+    // Affinity is social-derived, so the recomputed view is *equal* in
+    // value — the invalidation is about lifecycle, not content.
+    assert_eq!(q1.affinity(), q3.affinity());
+
+    // The stale pin, by contrast, legitimately keeps serving its own
+    // epoch's cache: pinned readers stay on their snapshot end-to-end.
+    let q4 = pin0
+        .engine()
+        .query(&group)
+        .items(&items)
+        .top(3)
+        .prepare()
+        .unwrap();
+    assert!(std::ptr::eq(q1.affinity(), q4.affinity()));
+    assert_eq!(pin0.epoch(), 0);
+    assert_eq!(pin1.epoch(), 1);
+}
+
+#[test]
+fn live_pinned_queries_match_dedicated_warm_engines() {
+    // The live layer is plumbing around the same substrate machinery:
+    // a pinned epoch's queries must be bit-identical to a standalone
+    // warm engine built from the same ratings.
+    let w = world();
+    let pop = population(&w);
+    let items: Vec<ItemId> = w.ml.matrix.items().take(80).collect();
+    let live = LiveEngine::new(
+        &pop,
+        LiveModel::UserCf(CfConfig::default()),
+        &w.ml.matrix,
+        &items,
+    )
+    .expect("finite CF scores");
+    // Stream a few ratings, then compare the final epoch.
+    live.ingest(&[
+        Rating {
+            user: UserId(1),
+            item: items[2],
+            value: 4.5,
+            ts: 1,
+        },
+        Rating {
+            user: UserId(5),
+            item: items[7],
+            value: 1.0,
+            ts: 2,
+        },
+    ])
+    .unwrap();
+    let pin = live.pin();
+    let cf = UserCfModel::fit(pin.matrix(), CfConfig::default());
+    let reference = GrecaEngine::warm(&cf, &pop, &items).expect("finite CF scores");
+    for members in [[0u32, 3], [1, 5], [2, 7]] {
+        let group = Group::new(members.iter().map(|&u| UserId(u)).collect()).unwrap();
+        let warm = pin
+            .engine()
+            .query(&group)
+            .items(&items)
+            .top(5)
+            .prepare()
+            .unwrap();
+        let standalone = reference
+            .query(&group)
+            .items(&items)
+            .top(5)
+            .prepare()
+            .unwrap();
+        assert!(warm.is_warm() && standalone.is_warm());
+        assert_identical(&warm, &standalone, &format!("group {members:?}"));
+    }
+}
+
+#[test]
 fn shared_substrate_serves_multiple_engines() {
     // A Substrate built once can warm several engines (the sharding
     // shape: one storage, many serving facades).

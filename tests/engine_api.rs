@@ -196,7 +196,8 @@ fn builder_path_equals_legacy_prepare_path() {
                     mode,
                     ListLayout::Decomposed,
                     normalize,
-                );
+                )
+                .expect("finite CF scores");
                 let new = engine
                     .query(&group)
                     .items(&items)
@@ -258,4 +259,47 @@ fn engine_serves_any_sync_provider() {
     let items: Vec<ItemId> = w.ml.matrix.items().take(40).collect();
     let r = engine.query(&group).items(&items).top(5).run().unwrap();
     assert_eq!(r.items.len(), 5);
+}
+
+#[test]
+#[allow(deprecated)]
+fn legacy_prepare_rejects_non_finite_scores_with_typed_error() {
+    // Behavior change documented in the 0.3 deprecation note: the shim
+    // used to panic deep inside list construction on a NaN provider
+    // score; it now routes through `QueryError::NonFiniteScore` like
+    // the builder path.
+    use greca::core::prepare;
+
+    struct Poisoned;
+    impl greca::cf::PreferenceProvider for Poisoned {
+        fn apref(&self, _: UserId, i: ItemId) -> f64 {
+            if i == ItemId(1) {
+                f64::NAN
+            } else {
+                1.0
+            }
+        }
+    }
+
+    let w = world();
+    let pop = population(&w);
+    let group = Group::new(vec![UserId(0), UserId(1)]).unwrap();
+    let items = vec![ItemId(0), ItemId(1), ItemId(2)];
+    let err = prepare(
+        &Poisoned,
+        &pop,
+        &group,
+        &items,
+        w.timeline.num_periods() - 1,
+        AffinityMode::Discrete,
+        ListLayout::Decomposed,
+        true,
+    )
+    .unwrap_err();
+    match err {
+        QueryError::NonFiniteScore { what } => {
+            assert!(what.contains("i1"), "offending item surfaced: {what}");
+        }
+        other => panic!("expected NonFiniteScore, got {other:?}"),
+    }
 }
