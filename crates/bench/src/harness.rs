@@ -16,8 +16,8 @@ use greca_affinity::AffinityMode;
 use greca_cf::UserCfModel;
 use greca_consensus::ConsensusFunction;
 use greca_core::{
-    Aggregate, Algorithm, BatchResult, CheckInterval, GrecaConfig, GrecaEngine, PreparedQuery,
-    StoppingRule, TaConfig,
+    Aggregate, Algorithm, BatchResult, CheckInterval, GrecaConfig, GrecaEngine, GrecaScratch,
+    PreparedQuery, StoppingRule, TaConfig,
 };
 use greca_dataset::{Group, GroupBuilder, ItemId, UserId};
 use greca_eval::{StudyWorld, WorldConfig};
@@ -229,6 +229,10 @@ impl PerfWorld {
             Algorithm::Ta(TaConfig::top(settings.k)),
             Algorithm::Naive,
         ];
+        // One recycled kernel workspace across the whole sweep — the
+        // serving shape (a `run_batch` worker reuses its scratch the
+        // same way); results are bit-identical to fresh-scratch runs.
+        let mut scratch = GrecaScratch::new();
         algorithms
             .iter()
             .map(|&algorithm| {
@@ -236,7 +240,7 @@ impl PerfWorld {
                 let mut ra_total = 0u64;
                 let start = Instant::now();
                 for p in &prepared {
-                    let r = p.run_algorithm(algorithm);
+                    let r = p.run_algorithm_with(algorithm, &mut scratch);
                     sa_pcts.push(r.stats.sa_percent());
                     ra_total += r.stats.ra;
                 }

@@ -211,13 +211,43 @@ impl DeltaBatch {
         post: &RatingMatrix,
         scope: InvalidationScope,
     ) -> DirtySet {
+        self.dirty_set_bounded(pre, post, scope, usize::MAX, |_| true)
+            .0
+    }
+
+    /// Like [`DeltaBatch::dirty_set`], but abandons the (potentially
+    /// expensive) neighborhood closure as soon as `cap` distinct dirty
+    /// users satisfying `counted` have been found — the serving layer's
+    /// early exit for degenerate batches ("this already dirties nearly
+    /// every precomputed segment; stop counting, rebuild wholesale").
+    ///
+    /// Returns the dirty set found so far and whether the cap was
+    /// reached. When it was, `users`/`pairs` are **lower bounds** of
+    /// the full dirty set; when it was not, the result is exactly
+    /// [`DeltaBatch::dirty_set`]'s.
+    pub fn dirty_set_bounded(
+        &self,
+        pre: &RatingMatrix,
+        post: &RatingMatrix,
+        scope: InvalidationScope,
+        cap: usize,
+        counted: impl Fn(UserId) -> bool,
+    ) -> (DirtySet, bool) {
         if self.is_empty() {
-            return DirtySet::default();
+            return (DirtySet::default(), false);
         }
         let mut users: BTreeSet<UserId> = BTreeSet::new();
         let mut pairs: BTreeSet<(UserId, UserId)> = BTreeSet::new();
+        let mut counted_n = 0usize;
+        let mut insert_user = |users: &mut BTreeSet<UserId>, u: UserId| -> bool {
+            if users.insert(u) && counted(u) {
+                counted_n += 1;
+            }
+            counted_n >= cap
+        };
+        let mut capped = false;
         for (u, i) in self.touched() {
-            users.insert(u);
+            capped |= insert_user(&mut users, u);
             for m in [pre, post] {
                 if i.idx() >= m.num_items() {
                     continue;
@@ -229,20 +259,23 @@ impl DeltaBatch {
                 }
             }
         }
-        if scope == InvalidationScope::Neighborhood {
+        if scope == InvalidationScope::Neighborhood && !capped {
             let touched_users: Vec<UserId> = users.iter().copied().collect();
             // Co-raters of `u` are users sharing an item with `u` in the
             // pre matrix (pre row × pre columns) or the post matrix
             // (post row × post columns) — each matrix is internally
             // consistent, so cross-matrix combinations add nothing.
-            for &u in &touched_users {
+            'closure: for &u in &touched_users {
                 for m in [pre, post] {
                     if u.idx() >= m.num_users() {
                         continue;
                     }
                     for &(item, _) in m.user_ratings(u) {
                         for &(v, _) in m.item_ratings(item) {
-                            users.insert(v);
+                            if insert_user(&mut users, v) {
+                                capped = true;
+                                break 'closure;
+                            }
                         }
                     }
                 }
@@ -250,16 +283,22 @@ impl DeltaBatch {
             // The global mean moved; empty-row users' fallback means —
             // and thus their whole preference lists — moved with it.
             // (Non-batch users are empty in `post` iff empty in `pre`.)
-            for u in post.users() {
-                if post.user_ratings(u).is_empty() {
-                    users.insert(u);
+            if !capped {
+                for u in post.users() {
+                    if post.user_ratings(u).is_empty() && insert_user(&mut users, u) {
+                        capped = true;
+                        break;
+                    }
                 }
             }
         }
-        DirtySet {
-            users: users.into_iter().collect(),
-            pairs: pairs.into_iter().collect(),
-        }
+        (
+            DirtySet {
+                users: users.into_iter().collect(),
+                pairs: pairs.into_iter().collect(),
+            },
+            capped,
+        )
     }
 }
 
@@ -462,6 +501,45 @@ mod tests {
         assert!(dirty.contains_user(UserId(0)), "pre-batch co-rater");
         assert!(dirty.contains_user(UserId(1)));
         assert_eq!(dirty.pairs, vec![(UserId(0), UserId(1))]);
+    }
+
+    /// The bounded variant is exact when the cap is not reached, and a
+    /// truthful lower bound (with the flag set) when it is.
+    #[test]
+    fn bounded_dirty_set_caps_the_closure() {
+        let pre = world();
+        let mut store = RatingStore::new();
+        store
+            .stage(Rating {
+                user: UserId(0),
+                item: ItemId(2),
+                value: 4.0,
+                ts: 1,
+            })
+            .unwrap();
+        let batch = store.drain();
+        let post = pre.apply_deltas(&batch.upserts, &batch.retractions);
+        let full = batch.dirty_set(&pre, &post, InvalidationScope::Neighborhood);
+        assert_eq!(full.num_users(), 4, "everyone is dirty in this world");
+        // High cap: identical to the unbounded set, not capped.
+        let (same, capped) =
+            batch.dirty_set_bounded(&pre, &post, InvalidationScope::Neighborhood, 100, |_| true);
+        assert!(!capped);
+        assert_eq!(same, full);
+        // Low cap: stops early with a subset and the flag raised.
+        let (partial, capped) =
+            batch.dirty_set_bounded(&pre, &post, InvalidationScope::Neighborhood, 2, |_| true);
+        assert!(capped);
+        assert!(partial.num_users() >= 2);
+        assert!(partial.users.iter().all(|u| full.users.contains(u)));
+        // Caps count only `counted` users: restricting to u3 (reached
+        // last, via the empty-row rule) forces the full closure first.
+        let (restricted, capped) =
+            batch.dirty_set_bounded(&pre, &post, InvalidationScope::Neighborhood, 1, |u| {
+                u == UserId(3)
+            });
+        assert!(capped);
+        assert!(restricted.users.contains(&UserId(3)));
     }
 
     #[test]

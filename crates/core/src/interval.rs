@@ -52,6 +52,16 @@ impl Interval {
         v >= self.lo - 1e-9 && v <= self.hi + 1e-9
     }
 
+    /// Bitwise endpoint equality — the change-detection predicate of the
+    /// incremental bound maintenance in [`crate::greca`]. Stricter than
+    /// `==` (it distinguishes `-0.0` from `0.0`), which is the sound
+    /// direction: a spurious "changed" only triggers a recomputation
+    /// that reproduces the same value, never a stale bound.
+    #[inline]
+    pub fn bit_eq(&self, other: &Interval) -> bool {
+        self.lo.to_bits() == other.lo.to_bits() && self.hi.to_bits() == other.hi.to_bits()
+    }
+
     /// Scale by a non-negative constant.
     #[inline]
     pub fn scale(self, c: f64) -> Interval {
@@ -142,6 +152,14 @@ impl Add for Interval {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn bit_eq_distinguishes_zero_signs() {
+        let a = Interval::new(0.0, 1.0);
+        assert!(a.bit_eq(&Interval::new(0.0, 1.0)));
+        assert!(!a.bit_eq(&Interval::new(-0.0, 1.0)), "-0.0 is a change");
+        assert!(!a.bit_eq(&Interval::new(0.0, 0.5)));
+    }
 
     #[test]
     fn exact_intervals_are_points() {

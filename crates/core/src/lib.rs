@@ -75,7 +75,8 @@ pub use access::{AccessStats, Aggregate};
 #[allow(deprecated)]
 pub use engine::{prepare, Prepared};
 pub use greca::{
-    greca_topk, CheckInterval, GrecaConfig, StopReason, StoppingRule, TopKItem, TopKResult,
+    greca_topk, greca_topk_with, CheckInterval, GrecaConfig, GrecaScratch, StopReason,
+    StoppingRule, TopKItem, TopKResult,
 };
 pub use interval::Interval;
 pub use lists::{

@@ -237,13 +237,22 @@ pub enum ListLayout {
     Single,
 }
 
+/// Sentinel for "no affinity list holds this pair" in the membership
+/// tables of [`GrecaInputs`].
+const NO_LIST: u32 = u32::MAX;
+
 /// All inputs for one algorithm execution, as borrowed views.
 ///
 /// This is what [`crate::greca::greca_topk`], [`crate::ta::ta_topk`] and
 /// [`crate::naive::naive_topk`] consume. It borrows from whichever
 /// storage backs the query — per-query [`MaterializedInputs`] or the
 /// engine's shared [`crate::substrate::Substrate`] — and costs only the
-/// view vectors to assemble.
+/// view vectors (plus two tiny pair-membership tables) to assemble.
+///
+/// Construct via [`GrecaInputs::assemble`], which derives the
+/// pair-affinity membership tables ([`GrecaInputs::static_list_of`] /
+/// [`GrecaInputs::period_list_of`]) the GRECA kernel's cursor bounds
+/// read instead of linearly scanning list ids.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GrecaInputs<'a> {
     /// Preference lists, one per member (member order = group order).
@@ -259,9 +268,82 @@ pub struct GrecaInputs<'a> {
     pub num_pairs: usize,
     /// Number of candidate items.
     pub num_items: usize,
+    /// For each pair, the index into `static_lists` of the (single) list
+    /// holding it, or [`NO_LIST`].
+    static_list_of_pair: Vec<u32>,
+    /// Flattened `[period · num_pairs + pair]` → index into
+    /// `period_lists[period]`, or [`NO_LIST`].
+    period_list_of_pair: Vec<u32>,
 }
 
 impl<'a> GrecaInputs<'a> {
+    /// Assemble the inputs, deriving the pair-membership tables from the
+    /// affinity lists' entry ids (each pair lives in exactly one list per
+    /// affinity kind under either [`ListLayout`]; the derivation simply
+    /// records where).
+    ///
+    /// Contract: every preference list ranks the same itemset (the
+    /// execution kernel indexes its arena by list 0's ids and panics on
+    /// an id the other lists don't share), and affinity entry ids are
+    /// group pair indices `< num_pairs`.
+    pub fn assemble(
+        pref_lists: Vec<ListView<'a>>,
+        static_lists: Vec<ListView<'a>>,
+        period_lists: Vec<Vec<ListView<'a>>>,
+        num_members: usize,
+        num_pairs: usize,
+        num_items: usize,
+    ) -> Self {
+        let mut static_list_of_pair = vec![NO_LIST; num_pairs];
+        for (off, l) in static_lists.iter().enumerate() {
+            for &pair in l.ids {
+                static_list_of_pair[pair as usize] = off as u32;
+            }
+        }
+        let mut period_list_of_pair = vec![NO_LIST; num_pairs * period_lists.len()];
+        for (p, lists) in period_lists.iter().enumerate() {
+            for (off, l) in lists.iter().enumerate() {
+                for &pair in l.ids {
+                    period_list_of_pair[p * num_pairs + pair as usize] = off as u32;
+                }
+            }
+        }
+        GrecaInputs {
+            pref_lists,
+            static_lists,
+            period_lists,
+            num_members,
+            num_pairs,
+            num_items,
+            static_list_of_pair,
+            period_list_of_pair,
+        }
+    }
+
+    /// Index into [`GrecaInputs::static_lists`] of the list holding
+    /// `pair`, if any. O(1) — precomputed at assembly.
+    #[inline]
+    pub fn static_list_of(&self, pair: usize) -> Option<usize> {
+        match self.static_list_of_pair.get(pair).copied() {
+            Some(off) if off != NO_LIST => Some(off as usize),
+            _ => None,
+        }
+    }
+
+    /// Index into `period_lists[period]` of the list holding `pair`, if
+    /// any. O(1) — precomputed at assembly.
+    #[inline]
+    pub fn period_list_of(&self, period: usize, pair: usize) -> Option<usize> {
+        match self
+            .period_list_of_pair
+            .get(period * self.num_pairs + pair)
+            .copied()
+        {
+            Some(off) if off != NO_LIST => Some(off as usize),
+            _ => None,
+        }
+    }
+
     /// Every list in round-robin order: preference lists first, then
     /// static, then each period's lists (§3.2's "round-robin fashion over
     /// the aforementioned lists").
@@ -372,18 +454,17 @@ impl MaterializedInputs {
 
     /// The borrowed views the algorithms execute over.
     pub fn views(&self) -> GrecaInputs<'_> {
-        GrecaInputs {
-            pref_lists: self.pref_lists.iter().map(SortedList::as_view).collect(),
-            static_lists: self.static_lists.iter().map(SortedList::as_view).collect(),
-            period_lists: self
-                .period_lists
+        GrecaInputs::assemble(
+            self.pref_lists.iter().map(SortedList::as_view).collect(),
+            self.static_lists.iter().map(SortedList::as_view).collect(),
+            self.period_lists
                 .iter()
                 .map(|ls| ls.iter().map(SortedList::as_view).collect())
                 .collect(),
-            num_members: self.num_members,
-            num_pairs: self.num_pairs,
-            num_items: self.num_items,
-        }
+            self.num_members,
+            self.num_pairs,
+            self.num_items,
+        )
     }
 
     /// Total entries across all lists.
@@ -542,6 +623,42 @@ mod tests {
         let inputs = build(AffinityMode::StaticOnly, ListLayout::Decomposed);
         assert_eq!(inputs.static_lists.len(), 2);
         assert!(inputs.period_lists.is_empty());
+    }
+
+    /// The precomputed membership tables must agree with a linear scan
+    /// of the list ids for every pair, for both static and periodic
+    /// lists, under both layouts — the lookup that replaced the GRECA
+    /// kernel's `list_contains_pair` scan.
+    #[test]
+    fn pair_membership_matches_linear_scan() {
+        for layout in [ListLayout::Decomposed, ListLayout::Single] {
+            let inputs = build(AffinityMode::Discrete, layout);
+            let views = inputs.views();
+            for pair in 0..views.num_pairs {
+                let scanned = views
+                    .static_lists
+                    .iter()
+                    .position(|l| l.contains_id(pair as u32));
+                assert_eq!(views.static_list_of(pair), scanned, "{layout:?} static");
+                for (p, lists) in views.period_lists.iter().enumerate() {
+                    let scanned = lists.iter().position(|l| l.contains_id(pair as u32));
+                    assert_eq!(
+                        views.period_list_of(p, pair),
+                        scanned,
+                        "{layout:?} period {p}"
+                    );
+                }
+            }
+            // Every pair is held by exactly one list per kind.
+            assert!((0..views.num_pairs).all(|p| views.static_list_of(p).is_some()));
+        }
+        // Affinity-agnostic inputs: no lists, no membership.
+        let none = build(AffinityMode::None, ListLayout::Decomposed);
+        let views = none.views();
+        assert!((0..views.num_pairs).all(|p| views.static_list_of(p).is_none()));
+        // Out-of-range probes are None, not panics.
+        assert_eq!(views.static_list_of(999), None);
+        assert_eq!(views.period_list_of(0, 0), None);
     }
 
     #[test]

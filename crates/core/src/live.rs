@@ -175,16 +175,24 @@ pub struct IngestReport {
     /// Rating retractions applied.
     pub retractions: usize,
     /// Users whose preference lists the batch invalidated (across the
-    /// whole population, covered by a segment or not).
+    /// whole population, covered by a segment or not). A **lower
+    /// bound** when [`IngestReport::full_rebuild`] is set: the dirty
+    /// computation stops as soon as the wholesale rebuild is
+    /// inevitable.
     pub dirty_users: usize,
     /// Pair-affinity entries the batch invalidated (relevant only to
     /// rating-derived affinity sources; the paper's social-derived index
-    /// never goes stale from ratings).
+    /// never goes stale from ratings). Lower-bounded like
+    /// [`IngestReport::dirty_users`] under a full rebuild.
     pub dirty_pairs: usize,
     /// Preference segments recomputed for the new epoch.
     pub rebuilt_segments: usize,
     /// Preference segments structurally shared with the previous epoch.
     pub shared_segments: usize,
+    /// Whether the dirty set covered enough of the population that the
+    /// engine rebuilt the substrate wholesale instead of per segment
+    /// (see [`LiveEngine::with_full_rebuild_fraction`]).
+    pub full_rebuild: bool,
 }
 
 /// A serving engine over an evolving rating log: ingestion on one side,
@@ -199,7 +207,21 @@ pub struct LiveEngine<'a> {
     model: LiveModel,
     store: Mutex<RatingStore>,
     current: Mutex<CurrentEpoch>,
+    /// Dirty-coverage fraction at which a publish abandons per-segment
+    /// work for one wholesale rebuild (see
+    /// [`LiveEngine::with_full_rebuild_fraction`]).
+    full_rebuild_fraction: f64,
 }
+
+/// Default dirty-coverage fraction above which [`LiveEngine::publish`]
+/// rebuilds the substrate wholesale. Per-segment rebuilding beats a
+/// full rebuild only while a meaningful share of segments stays clean;
+/// once a batch invalidates (nearly) everything — the honest degenerate
+/// case of exact user-CF over a dense cohort — the incremental path
+/// pays the dirty bookkeeping *and* rebuilds everything anyway, turning
+/// the "incremental" publish into a net regression. 0.95 keeps every
+/// genuinely sparse batch incremental.
+pub const DEFAULT_FULL_REBUILD_FRACTION: f64 = 0.95;
 
 impl std::fmt::Debug for LiveEngine<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -250,7 +272,38 @@ impl<'a> LiveEngine<'a> {
                 }),
                 cache: new_affinity_cache(),
             }),
+            full_rebuild_fraction: DEFAULT_FULL_REBUILD_FRACTION,
         })
+    }
+
+    /// Set the dirty-coverage fraction at which [`LiveEngine::publish`]
+    /// abandons per-segment rebuilding for one wholesale substrate
+    /// rebuild. When a batch's dirty set covers at least this fraction
+    /// of the precomputed segments, the incremental path would rebuild
+    /// (nearly) everything anyway while still paying the per-segment
+    /// bookkeeping — the honest degenerate case of exact user-CF
+    /// invalidation over a dense cohort, where `BENCH_ingest.json`
+    /// showed incremental publishing *losing* to a full rebuild.
+    ///
+    /// Defaults to [`DEFAULT_FULL_REBUILD_FRACTION`]. Values above `1.0`
+    /// disable the fallback; `0.0` makes any batch that dirties at
+    /// least one *precomputed segment* rebuild wholesale (a batch
+    /// touching only users outside the serving set still takes the
+    /// incremental path — there is nothing to rebuild wholesale for).
+    /// Either way results stay bit-identical — only the rebuild
+    /// strategy changes (regression-tested).
+    pub fn with_full_rebuild_fraction(mut self, fraction: f64) -> Self {
+        assert!(
+            fraction >= 0.0 && fraction.is_finite(),
+            "fraction must be finite and non-negative"
+        );
+        self.full_rebuild_fraction = fraction;
+        self
+    }
+
+    /// The configured full-rebuild fallback fraction.
+    pub fn full_rebuild_fraction(&self) -> f64 {
+        self.full_rebuild_fraction
     }
 
     /// The population-affinity index this engine serves from.
@@ -332,21 +385,54 @@ impl<'a> LiveEngine<'a> {
                 dirty_pairs: 0,
                 rebuilt_segments: 0,
                 shared_segments: prev.substrate.users().len(),
+                full_rebuild: false,
             });
         }
         let post = Arc::new(prev.matrix.apply_deltas(&batch.upserts, &batch.retractions));
-        let dirty = batch.dirty_set(&prev.matrix, &post, self.model.scope());
+        let total_segments = prev.substrate.users().len();
+        // When the dirty set covers (nearly) every segment, per-segment
+        // rebuilding is pure overhead: rebuild the substrate wholesale
+        // instead (bit-identical — a clean user's recomputed segment
+        // equals its shared one by the dirty-set contract). The dirty
+        // computation itself is bounded by the same threshold: once the
+        // fallback is inevitable, finishing the (expensive) co-rater
+        // closure would only refine counts we no longer act on, so the
+        // reported dirty figures are lower bounds when `full_rebuild`
+        // is set.
+        let cap = if self.full_rebuild_fraction <= 1.0 {
+            ((self.full_rebuild_fraction * total_segments as f64).ceil() as usize).max(1)
+        } else {
+            usize::MAX
+        };
+        let (dirty, full_rebuild) =
+            batch.dirty_set_bounded(&prev.matrix, &post, self.model.scope(), cap, |u| {
+                prev.substrate.user_index(u).is_some()
+            });
         let covered: Vec<UserId> = dirty
             .users
             .iter()
             .copied()
             .filter(|&u| prev.substrate.user_index(u).is_some())
             .collect();
-        let substrate = match self.model {
-            LiveModel::Raw => prev.substrate.rebuild_dirty(&RawRatings(&post), &covered)?,
-            LiveModel::UserCf(cfg) => {
-                let cf = UserCfModel::fit_for(&post, cfg, &covered);
-                prev.substrate.rebuild_dirty(&cf, &covered)?
+        let substrate = if full_rebuild {
+            let users = prev.substrate.users();
+            let items = prev.substrate.items();
+            match self.model {
+                LiveModel::Raw => {
+                    Substrate::build_for(&RawRatings(&post), self.population, items, users)?
+                }
+                LiveModel::UserCf(cfg) => {
+                    let cf = UserCfModel::fit_for(&post, cfg, users);
+                    Substrate::build_for(&cf, self.population, items, users)?
+                }
+            }
+        } else {
+            match self.model {
+                LiveModel::Raw => prev.substrate.rebuild_dirty(&RawRatings(&post), &covered)?,
+                LiveModel::UserCf(cfg) => {
+                    let cf = UserCfModel::fit_for(&post, cfg, &covered);
+                    prev.substrate.rebuild_dirty(&cf, &covered)?
+                }
             }
         };
         let epoch = prev.epoch + 1;
@@ -366,8 +452,17 @@ impl<'a> LiveEngine<'a> {
             retractions: batch.retractions.len(),
             dirty_users: dirty.num_users(),
             dirty_pairs: dirty.num_pairs(),
-            rebuilt_segments: covered.len(),
-            shared_segments: prev.substrate.users().len() - covered.len(),
+            rebuilt_segments: if full_rebuild {
+                total_segments
+            } else {
+                covered.len()
+            },
+            shared_segments: if full_rebuild {
+                0
+            } else {
+                total_segments - covered.len()
+            },
+            full_rebuild,
         })
     }
 
@@ -559,6 +654,78 @@ mod tests {
         assert!(r.dirty_users >= 3, "u0, co-rater u1, new co-rater u3");
         assert!(r.rebuilt_segments >= 3);
         assert!(r.dirty_pairs >= 1, "(u0,u3) now co-rate i4");
+    }
+
+    /// The degenerate-coverage fallback: when a batch dirties (nearly)
+    /// every segment, publish rebuilds wholesale — reported honestly,
+    /// with results bit-identical to the per-segment path and to a cold
+    /// refit.
+    #[test]
+    fn full_rebuild_fallback_triggers_and_stays_identical() {
+        let (matrix, pop, items) = world();
+        let group = Group::new(vec![UserId(0), UserId(1)]).unwrap();
+        let cfg = CfConfig::default();
+        // A u0 rating dirties u0 plus co-raters u1 (i0) and u3 (new
+        // co-rating on i4): 3 of 4 segments.
+        let batch = [rating(0, 4, 4.5, 10)];
+        let fallback = LiveEngine::new(&pop, LiveModel::UserCf(cfg), &matrix, &items)
+            .unwrap()
+            .with_full_rebuild_fraction(0.5);
+        let incremental = LiveEngine::new(&pop, LiveModel::UserCf(cfg), &matrix, &items)
+            .unwrap()
+            .with_full_rebuild_fraction(1.1); // > 1.0 disables the fallback
+        assert_eq!(fallback.full_rebuild_fraction(), 0.5);
+        let r_fb = fallback.ingest(&batch).unwrap();
+        let r_inc = incremental.ingest(&batch).unwrap();
+        assert!(r_fb.full_rebuild, "3/4 coverage must trip a 0.5 threshold");
+        assert!(!r_inc.full_rebuild, "disabled fallback stays incremental");
+        assert_eq!((r_fb.rebuilt_segments, r_fb.shared_segments), (4, 0));
+        assert!(r_inc.rebuilt_segments >= 3 && r_inc.shared_segments >= 1);
+        // The fallback may stop counting early (its dirty figures are
+        // documented lower bounds); it can never exceed the full count.
+        assert!(r_fb.dirty_users >= 2 && r_fb.dirty_users <= r_inc.dirty_users);
+        let q = |live: &LiveEngine<'_>| {
+            live.pin()
+                .engine()
+                .query(&group)
+                .items(&items)
+                .top(3)
+                .run()
+                .unwrap()
+        };
+        assert_eq!(q(&fallback), q(&incremental));
+        // …and identical to a cold engine refit from the final ratings.
+        let final_matrix = fallback.pin().matrix().clone();
+        let cold_model = UserCfModel::fit(&final_matrix, cfg);
+        let cold = crate::query::GrecaEngine::new(&cold_model, &pop);
+        assert_eq!(
+            q(&fallback),
+            cold.query(&group).items(&items).top(3).run().unwrap()
+        );
+    }
+
+    /// Sparse batches must keep the incremental path at the default
+    /// threshold — the fallback exists for degenerate coverage only.
+    #[test]
+    fn default_threshold_keeps_sparse_batches_incremental() {
+        let (matrix, pop, items) = world();
+        let live = LiveEngine::new(&pop, LiveModel::Raw, &matrix, &items).unwrap();
+        assert_eq!(live.full_rebuild_fraction(), DEFAULT_FULL_REBUILD_FRACTION);
+        let r = live.ingest(&[rating(2, 1, 5.0, 10)]).unwrap();
+        assert!(!r.full_rebuild, "1/4 coverage stays incremental");
+        assert_eq!(r.rebuilt_segments, 1);
+        // A batch touching every user's row under the raw model covers
+        // 4/4 → wholesale.
+        let r = live
+            .ingest(&[
+                rating(0, 1, 1.0, 11),
+                rating(1, 1, 2.0, 11),
+                rating(2, 2, 3.0, 11),
+                rating(3, 1, 4.0, 11),
+            ])
+            .unwrap();
+        assert!(r.full_rebuild, "full coverage rebuilds wholesale");
+        assert_eq!((r.rebuilt_segments, r.shared_segments), (4, 0));
     }
 
     #[test]

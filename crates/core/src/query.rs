@@ -33,7 +33,7 @@
 //! per data point).
 
 use crate::access::{AccessStats, Aggregate};
-use crate::greca::{greca_topk, GrecaConfig, TopKResult};
+use crate::greca::{greca_topk_with, GrecaConfig, GrecaScratch, TopKResult};
 use crate::lists::{
     build_affinity_lists, GrecaInputs, ListKind, ListLayout, MaterializedInputs, NonFiniteEntry,
     SortedList,
@@ -55,6 +55,11 @@ pub const PAPER_DEFAULT_K: usize = 10;
 /// (a serving deployment sees a bounded set of hot groups; the cache is
 /// deliberately small and self-flushing rather than LRU-precise).
 const AFFINITY_CACHE_CAP: usize = 256;
+
+/// Kernel scratch workspaces the engine's pool retains. The pool never
+/// exceeds the peak number of concurrent executions, so this cap only
+/// guards against pathological checkout/restore imbalance.
+const SCRATCH_POOL_CAP: usize = 64;
 
 /// A query rejected before execution.
 #[derive(Debug, Clone, PartialEq)]
@@ -215,6 +220,14 @@ pub struct GrecaEngine<'a> {
     population: &'a PopulationAffinity,
     substrate: Option<Arc<Substrate>>,
     affinity_cache: AffinityCache,
+    /// Pool of reusable kernel workspaces, shared (like the substrate
+    /// and the affinity cache) by every clone of this engine, so the
+    /// *kernel* runs allocation-free in steady state: each
+    /// [`GroupQuery::run`] — including every [`run_batch`] worker —
+    /// checks one out and returns it afterwards. (Preparation still
+    /// allocates its per-query view vectors; the kernel's per-sweep and
+    /// per-check work is what the pool eliminates.)
+    scratch_pool: Arc<Mutex<Vec<GrecaScratch>>>,
 }
 
 impl std::fmt::Debug for GrecaEngine<'_> {
@@ -240,6 +253,7 @@ impl<'a> GrecaEngine<'a> {
             population,
             substrate: None,
             affinity_cache: Arc::new(Mutex::new(HashMap::new())),
+            scratch_pool: Arc::new(Mutex::new(Vec::new())),
         }
     }
 
@@ -301,6 +315,7 @@ impl<'a> GrecaEngine<'a> {
             population,
             substrate: Some(substrate),
             affinity_cache: Arc::new(Mutex::new(HashMap::new())),
+            scratch_pool: Arc::new(Mutex::new(Vec::new())),
         }
     }
 
@@ -322,6 +337,7 @@ impl<'a> GrecaEngine<'a> {
             population,
             substrate: Some(substrate),
             affinity_cache,
+            scratch_pool: Arc::new(Mutex::new(Vec::new())),
         }
     }
 
@@ -387,6 +403,31 @@ impl<'a> GrecaEngine<'a> {
     /// Number of group-affinity views currently cached.
     pub fn cached_affinity_views(&self) -> usize {
         self.affinity_cache.lock().map(|c| c.len()).unwrap_or(0)
+    }
+
+    /// Check a kernel workspace out of the shared pool (or make a fresh
+    /// one). Pair with [`GrecaEngine::restore_scratch`].
+    fn checkout_scratch(&self) -> GrecaScratch {
+        self.scratch_pool
+            .lock()
+            .ok()
+            .and_then(|mut pool| pool.pop())
+            .unwrap_or_default()
+    }
+
+    /// Return a kernel workspace to the pool for the next query.
+    fn restore_scratch(&self, scratch: GrecaScratch) {
+        if let Ok(mut pool) = self.scratch_pool.lock() {
+            if pool.len() < SCRATCH_POOL_CAP {
+                pool.push(scratch);
+            }
+        }
+    }
+
+    /// Number of kernel workspaces currently pooled (observability for
+    /// tests and benchmarks; steady state equals the peak concurrency).
+    pub fn pooled_scratches(&self) -> usize {
+        self.scratch_pool.lock().map(|p| p.len()).unwrap_or(0)
     }
 
     /// Execute many prepared queries in parallel — see [`run_batch`].
@@ -588,9 +629,15 @@ impl<'q> GroupQuery<'q> {
         })
     }
 
-    /// Prepare and execute in one call.
+    /// Prepare and execute in one call, recycling a kernel workspace
+    /// from the engine's shared pool — the allocation-free serving path
+    /// (identical results to [`PreparedQuery::run`] on a fresh scratch).
     pub fn run(&self) -> Result<TopKResult, QueryError> {
-        Ok(self.prepare()?.run())
+        let prepared = self.prepare()?;
+        let mut scratch = self.engine.checkout_scratch();
+        let result = prepared.run_with_scratch(&mut scratch);
+        self.engine.restore_scratch(scratch);
+        Ok(result)
     }
 }
 
@@ -764,18 +811,17 @@ impl WarmInputs {
                 .map(|(m, &ui)| self.substrate.pref_view(ui as usize, m as u32))
                 .collect(),
         };
-        GrecaInputs {
+        GrecaInputs::assemble(
             pref_lists,
-            static_lists: self.static_lists.iter().map(SortedList::as_view).collect(),
-            period_lists: self
-                .period_lists
+            self.static_lists.iter().map(SortedList::as_view).collect(),
+            self.period_lists
                 .iter()
                 .map(|ls| ls.iter().map(SortedList::as_view).collect())
                 .collect(),
-            num_members: self.num_members,
-            num_pairs: self.num_pairs,
-            num_items: self.num_items,
-        }
+            self.num_members,
+            self.num_pairs,
+            self.num_items,
+        )
     }
 }
 
@@ -878,6 +924,13 @@ impl PreparedQuery {
         self.execute(self.algorithm, self.consensus)
     }
 
+    /// Execute the configured algorithm, recycling a caller-owned kernel
+    /// workspace (see [`GrecaScratch`]) — bit-identical to
+    /// [`PreparedQuery::run`], allocation-free after warmup.
+    pub fn run_with_scratch(&self, scratch: &mut GrecaScratch) -> TopKResult {
+        self.execute_with(self.algorithm, self.consensus, scratch)
+    }
+
     /// Execute the configured algorithm under a different consensus
     /// function without re-preparing the lists (the consensus-sweep path
     /// of the §4.1/§4.2 experiments).
@@ -891,17 +944,38 @@ impl PreparedQuery {
         self.execute(algorithm, self.consensus)
     }
 
+    /// [`PreparedQuery::run_algorithm`] with a recycled kernel
+    /// workspace (only GRECA uses it; TA and naive take their own tiny
+    /// per-run storage).
+    pub fn run_algorithm_with(
+        &self,
+        algorithm: Algorithm,
+        scratch: &mut GrecaScratch,
+    ) -> TopKResult {
+        self.execute_with(algorithm, self.consensus, scratch)
+    }
+
     fn execute(&self, algorithm: Algorithm, consensus: ConsensusFunction) -> TopKResult {
+        self.execute_with(algorithm, consensus, &mut GrecaScratch::new())
+    }
+
+    fn execute_with(
+        &self,
+        algorithm: Algorithm,
+        consensus: ConsensusFunction,
+        scratch: &mut GrecaScratch,
+    ) -> TopKResult {
         let inputs = self.storage.views();
         match algorithm {
             Algorithm::Greca(mut config) => {
                 config.k = self.k;
-                greca_topk(
+                greca_topk_with(
                     &inputs,
                     &self.affinity,
                     consensus,
                     self.normalize_rpref,
                     config,
+                    scratch,
                 )
             }
             Algorithm::Ta(mut config) => {

@@ -142,6 +142,154 @@ impl<'a> BoundScorer<'a> {
         let prefs = self.member_pref_intervals(aprefs, pair_affs);
         self.consensus_interval(&prefs)
     }
+
+    /// Fill `out` with the `n × n` pair-index table: `out[u·n + v]` is
+    /// the group pair index of `(members[u], members[v])` (`usize::MAX`
+    /// on the diagonal). Computed once per kernel run so the per-item
+    /// hot loop never calls `GroupAffinity::pair_of`.
+    pub fn fill_pair_index(&self, out: &mut Vec<usize>) {
+        let members = self.affinity.members();
+        let n = members.len();
+        out.clear();
+        out.resize(n * n, usize::MAX);
+        for u in 0..n {
+            for v in 0..n {
+                if v != u {
+                    out[u * n + v] = self
+                        .affinity
+                        .pair_of(members[u], members[v])
+                        .expect("group members");
+                }
+            }
+        }
+    }
+
+    /// Allocation-free [`BoundScorer::pair_affinity_interval`]: the
+    /// component endpoints arrive pre-split into `comp_los` / `comp_his`
+    /// (caller-owned scratch) instead of being collected per call. Same
+    /// arithmetic, same operation order.
+    #[inline]
+    pub fn pair_affinity_interval_scratch(
+        &self,
+        static_iv: Interval,
+        comp_los: &[f64],
+        comp_his: &[f64],
+    ) -> Interval {
+        Interval::new(
+            self.affinity
+                .affinity_from_components(static_iv.lo, comp_los),
+            self.affinity
+                .affinity_from_components(static_iv.hi, comp_his),
+        )
+    }
+
+    /// Whether the consensus envelope decomposes into **independent**
+    /// lo/hi scalar chains: true for no-disagreement functions, where
+    /// every operation's lo output reads only lo inputs (and likewise
+    /// hi). Disagreement terms cross endpoints (`|a − b|`, variance,
+    /// `1 − dis`), so they do not split. When this holds, the kernel
+    /// maintains bounds incrementally via [`BoundScorer::score_end_split`]
+    /// — recomputing just the hi chain for items whose lo inputs are
+    /// unchanged.
+    pub fn splits_endpoints(&self) -> bool {
+        matches!(
+            self.consensus.disagreement,
+            DisagreementKind::NoDisagreement
+        )
+    }
+
+    /// One endpoint of the consensus envelope, for consensus functions
+    /// where [`BoundScorer::splits_endpoints`] holds.
+    ///
+    /// `member_end[v]` is the raw apref endpoint per member,
+    /// `member_end_nonneg[v]` the same value clamped to `≥ 0`
+    /// (`mul_nonneg`'s operand clamp, hoisted out of the `u` loop —
+    /// `max` is deterministic, so precomputing it is value-identical),
+    /// and `aff_end[u·n + v]` the dense pair-affinity endpoint matrix
+    /// already clamped to `≥ 0` (the other `mul_nonneg` clamp) with an
+    /// **exactly `0.0` diagonal**: the inner accumulation is a
+    /// branchless dot product, sound because every term is `≥ +0.0`
+    /// (clamped factors), so partial sums never go negative-zero and
+    /// the diagonal's extra `+ 0.0·x` term is a bitwise no-op relative
+    /// to the reference's `v ≠ u` fold.
+    ///
+    /// Apart from that no-op, the operation chain mirrors
+    /// [`BoundScorer::score_interval`]'s per-endpoint arithmetic
+    /// exactly — same fold order, same ops — so the result is
+    /// bit-identical to the corresponding endpoint of the interval
+    /// computation (pinned by this module's tests and the
+    /// kernel-identity suite).
+    pub fn score_end_split(
+        &self,
+        member_end: &[f64],
+        member_end_nonneg: &[f64],
+        aff_end: &[f64],
+    ) -> f64 {
+        debug_assert!(self.splits_endpoints());
+        let n = member_end.len();
+        debug_assert_eq!(aff_end.len(), n * n);
+        debug_assert!((0..n).all(|u| aff_end[u * n + u] == 0.0), "zero diagonal");
+        let norm = if self.normalize_rpref && n > 1 {
+            1.0 / (n - 1) as f64
+        } else {
+            1.0
+        };
+        let mut sum = 0.0f64;
+        let mut min = f64::INFINITY;
+        for u in 0..n {
+            let row = &aff_end[u * n..u * n + n];
+            let mut rpref = 0.0f64;
+            for (&a, &m) in row.iter().zip(member_end_nonneg) {
+                rpref += a * m;
+            }
+            let pref = member_end[u] + rpref * norm;
+            match self.consensus.preference {
+                GroupPreferenceKind::Average => sum += pref,
+                GroupPreferenceKind::LeastMisery => min = if u == 0 { pref } else { min.min(pref) },
+            }
+        }
+        let gpref = match self.consensus.preference {
+            GroupPreferenceKind::Average => sum / n as f64,
+            GroupPreferenceKind::LeastMisery => min,
+        };
+        // `dis = [0, 0]` for no-disagreement functions, so the `1 − dis`
+        // term is exactly `1.0` at both endpoints.
+        gpref * self.consensus.w1 + (1.0 - 0.0) * self.consensus.w2()
+    }
+
+    /// Allocation-free [`BoundScorer::score_interval`]: member preference
+    /// envelopes are written into the caller's `prefs_buf` and the pair
+    /// lookup goes through a prebuilt [`BoundScorer::fill_pair_index`]
+    /// table. Arithmetic and operation order are identical to the
+    /// allocating path — the kernel's bit-identity contract depends on
+    /// it.
+    pub fn score_interval_scratch(
+        &self,
+        aprefs: &[Interval],
+        pair_affs: &[Interval],
+        pair_index: &[usize],
+        prefs_buf: &mut Vec<Interval>,
+    ) -> Interval {
+        let n = aprefs.len();
+        debug_assert_eq!(pair_index.len(), n * n);
+        let norm = if self.normalize_rpref && n > 1 {
+            1.0 / (n - 1) as f64
+        } else {
+            1.0
+        };
+        prefs_buf.clear();
+        for u in 0..n {
+            let mut rpref = Interval::exact(0.0);
+            for v in 0..n {
+                if v == u {
+                    continue;
+                }
+                rpref = rpref + pair_affs[pair_index[u * n + v]].mul_nonneg(aprefs[v]);
+            }
+            prefs_buf.push(aprefs[u] + rpref.scale(norm));
+        }
+        self.consensus_interval(prefs_buf)
+    }
 }
 
 #[cfg(test)]
@@ -274,6 +422,117 @@ mod tests {
         let tight = bs.score_interval(&tight_aprefs, &affs);
         assert!(tight.lo >= wide.lo - 1e-12);
         assert!(tight.hi <= wide.hi + 1e-12);
+    }
+
+    /// The scratch (allocation-free) scorer must reproduce the
+    /// allocating path bit-for-bit — the kernel's identity contract.
+    #[test]
+    fn scratch_scorer_is_bitwise_identical() {
+        for mode in [
+            AffinityMode::None,
+            AffinityMode::StaticOnly,
+            AffinityMode::Discrete,
+            AffinityMode::continuous(),
+        ] {
+            let v = view(mode);
+            for consensus in all_consensus() {
+                for normalize in [true, false] {
+                    let bs = BoundScorer::new(&v, consensus, normalize);
+                    let mut pair_index = Vec::new();
+                    bs.fill_pair_index(&mut pair_index);
+                    let mut prefs_buf = Vec::new();
+                    let aprefs = [
+                        Interval::exact(3.5),
+                        Interval::new(0.0, 5.0),
+                        Interval::new(1.0, 4.2),
+                    ];
+                    let pair_affs: Vec<Interval> = (0..v.num_pairs())
+                        .map(|p| Interval::new(0.0, v.affinity(p).max(0.1)))
+                        .collect();
+                    let want = bs.score_interval(&aprefs, &pair_affs);
+                    let got =
+                        bs.score_interval_scratch(&aprefs, &pair_affs, &pair_index, &mut prefs_buf);
+                    assert!(
+                        want.bit_eq(&got),
+                        "{mode:?}/{}: [{}, {}] vs [{}, {}]",
+                        consensus.label(),
+                        want.lo,
+                        want.hi,
+                        got.lo,
+                        got.hi
+                    );
+                    // The pair-affinity fold too.
+                    let comps = [Interval::new(0.0, 1.0), Interval::new(0.1, 0.4)];
+                    let los: Vec<f64> = comps.iter().map(|c| c.lo).collect();
+                    let his: Vec<f64> = comps.iter().map(|c| c.hi).collect();
+                    let w = bs.pair_affinity_interval(Interval::new(0.2, 0.9), &comps);
+                    let g = bs.pair_affinity_interval_scratch(Interval::new(0.2, 0.9), &los, &his);
+                    assert!(w.bit_eq(&g));
+                }
+            }
+        }
+    }
+
+    /// The split lo/hi scalar chains must reproduce the interval
+    /// computation's endpoints bit-for-bit for every no-disagreement
+    /// consensus (the incremental-UB fast path of the kernel).
+    #[test]
+    fn split_endpoint_chains_match_interval_scorer() {
+        for mode in [AffinityMode::None, AffinityMode::Discrete] {
+            let v = view(mode);
+            let n = 3;
+            for consensus in [
+                ConsensusFunction::average_preference(),
+                ConsensusFunction::least_misery(),
+            ] {
+                for normalize in [true, false] {
+                    let bs = BoundScorer::new(&v, consensus, normalize);
+                    assert!(bs.splits_endpoints());
+                    let mut pair_index = Vec::new();
+                    bs.fill_pair_index(&mut pair_index);
+                    let aprefs = [
+                        Interval::exact(3.5),
+                        Interval::new(0.0, 5.0),
+                        Interval::new(1.0, 4.2),
+                    ];
+                    let pair_affs: Vec<Interval> = (0..v.num_pairs())
+                        .map(|p| Interval::new(0.0, v.affinity(p).max(0.1)))
+                        .collect();
+                    let want = bs.score_interval(&aprefs, &pair_affs);
+                    type Pick = fn(Interval) -> f64;
+                    let picks: [(usize, Pick); 2] = [(0, |i| i.lo), (1, |i| i.hi)];
+                    for (end, pick) in picks {
+                        let member_end: Vec<f64> = aprefs.iter().map(|&i| pick(i)).collect();
+                        let member_nonneg: Vec<f64> =
+                            member_end.iter().map(|e| e.max(0.0)).collect();
+                        let mut aff_end = vec![0.0; n * n];
+                        for u in 0..n {
+                            for w in 0..n {
+                                if w != u {
+                                    aff_end[u * n + w] =
+                                        pick(pair_affs[pair_index[u * n + w]]).max(0.0);
+                                }
+                            }
+                        }
+                        let got = bs.score_end_split(&member_end, &member_nonneg, &aff_end);
+                        let want_end = if end == 0 { want.lo } else { want.hi };
+                        assert!(
+                            got.to_bits() == want_end.to_bits(),
+                            "{mode:?}/{} end {end}: {got} vs {want_end}",
+                            consensus.label()
+                        );
+                    }
+                }
+            }
+        }
+        // Disagreement functions cross endpoints and must not split.
+        let v = view(AffinityMode::Discrete);
+        for c in [
+            ConsensusFunction::pairwise_disagreement(0.5),
+            ConsensusFunction::variance_disagreement(0.5),
+        ] {
+            assert!(!BoundScorer::new(&v, c, true).splits_endpoints());
+        }
     }
 
     #[test]

@@ -80,8 +80,8 @@ pub mod prelude {
     pub use greca_consensus::ConsensusFunction;
     pub use greca_core::{
         run_batch, AccessStats, Algorithm, BatchResult, CheckInterval, GrecaConfig, GrecaEngine,
-        GroupQuery, IngestReport, ListLayout, LiveEngine, LiveModel, PinnedEpoch, PreparedQuery,
-        QueryError, StopReason, StoppingRule, Substrate, TaConfig, TopKResult,
+        GrecaScratch, GroupQuery, IngestReport, ListLayout, LiveEngine, LiveModel, PinnedEpoch,
+        PreparedQuery, QueryError, StopReason, StoppingRule, Substrate, TaConfig, TopKResult,
     };
     pub use greca_dataset::prelude::*;
     pub use greca_eval::{
