@@ -14,6 +14,9 @@ use greca_bench::harness::{banner, fmt_aggregate, print_row};
 use greca_bench::{PerfSettings, PerfWorld};
 use std::io::Write;
 
+/// Bytes per mebibyte, for the human-readable footprint row.
+const MIB: f64 = 1024.0 * 1024.0;
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     banner("Engine baseline: GRECA vs TA vs naive (paper defaults, batch path)");
@@ -47,6 +50,24 @@ fn main() {
     print_row(
         "batch %SA (GRECA, warm)",
         fmt_aggregate(&batch.sa_percent_aggregate()),
+    );
+
+    // The substrate's per-layer resident footprint — the serving
+    // layer's capacity-planning number (also exposed live through
+    // greca-serve's `stats` verb).
+    let footprint = warm
+        .substrate()
+        .expect("warm engine has a substrate")
+        .memory_footprint();
+    print_row(
+        "substrate memory",
+        format!(
+            "{:8.2} MiB  (universe {:.2} + prefs {:.2} + affinity {:.2})",
+            footprint.total() as f64 / MIB,
+            footprint.universe_bytes as f64 / MIB,
+            footprint.pref_bytes as f64 / MIB,
+            footprint.affinity_bytes as f64 / MIB,
+        ),
     );
 
     // The substrate's headline: cold vs warm prepare latency, with the
@@ -89,12 +110,13 @@ fn main() {
     }
 
     let json = format!(
-        "{{\n  \"world\": \"{}\",\n  \"num_groups\": {},\n  \"group_size\": {},\n  \"k\": {},\n  \"num_items\": {},\n  \"prepare\": {},\n  \"rows\": [\n    {}\n  ]\n}}\n",
+        "{{\n  \"world\": \"{}\",\n  \"num_groups\": {},\n  \"group_size\": {},\n  \"k\": {},\n  \"num_items\": {},\n  \"memory\": {},\n  \"prepare\": {},\n  \"rows\": [\n    {}\n  ]\n}}\n",
         world_label,
         settings.num_groups,
         settings.group_size,
         settings.k,
         settings.num_items,
+        footprint.to_json(),
         split.to_json(),
         rows.iter()
             .map(|r| r.to_json())

@@ -1,0 +1,480 @@
+//! `serve_load`: a closed-loop, multi-client load harness for the
+//! `greca-serve` front-end, emitting `BENCH_serve.json`.
+//!
+//! Three phases, all against real sockets on an ephemeral port:
+//!
+//! 1. **Mixed workload** — `CLIENTS` threads in closed loop, each
+//!    request drawn per-client-deterministically: mostly queries over a
+//!    small pool of *hot* groups (cache exercise), a slice of *cold*
+//!    one-shot groups (guaranteed misses), and a trickle of single
+//!    rating `ingest`s (epoch swaps that invalidate the cache
+//!    mid-flight). Client-side latencies are recorded exactly and split
+//!    by verb and by the server's reported cache disposition.
+//! 2. **Identity verification** — after the workload quiesces, every
+//!    hot group (and fresh cold groups) is asked once more over the
+//!    wire and the payload is compared **bit for bit** (item ids, lb/ub
+//!    float bits, SA/RA counters, sweeps) against a direct
+//!    `PinnedEpoch::engine()` run at the same epoch. `identical` in the
+//!    JSON is the AND over all of them.
+//! 3. **Overload** — a second server with deliberately tight admission
+//!    (2 query workers, queue of 8) takes a burst of closed-loop
+//!    clients issuing unique-group queries. The acceptance shape: a
+//!    healthy overload response sheds (`overloaded` replies > 0) while
+//!    the p99 of *accepted* requests stays bounded by queue depth ×
+//!    service time — not by how much demand arrived.
+//!
+//! Gates asserted by the binary: `identical == true` and zero protocol
+//! errors (always, including `--quick` — the CI smoke), plus, on the
+//! full run, cache-hit p50 ≥ 10× faster than cache-miss p50 and a
+//! shedding, bounded-p99 overload phase.
+//!
+//! Run with: `cargo run -p greca-bench --release --bin serve_load`
+//! (pass `--quick` for the small study world and a shorter workload).
+
+use greca_bench::harness::{banner, print_row};
+use greca_bench::{PerfSettings, PerfWorld};
+use greca_core::{LiveEngine, LiveModel};
+use greca_dataset::{Group, ItemId, UserId};
+use greca_serve::{Client, GrecaServer, Json, ServeConfig};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::io::Write as _;
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
+
+/// One recorded request from a workload client.
+struct Sample {
+    verb: &'static str,
+    /// Cache disposition for queries (`hit`/`miss`/…), `-` otherwise.
+    disposition: String,
+    latency: Duration,
+    ok: bool,
+    shed: bool,
+}
+
+fn percentile_ms(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn sorted_ms(samples: impl Iterator<Item = Duration>) -> Vec<f64> {
+    let mut ms: Vec<f64> = samples.map(|d| d.as_secs_f64() * 1e3).collect();
+    ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    ms
+}
+
+/// A query line over the provider's default candidate itemset — the
+/// production shape: the client names a group, the server resolves
+/// what is recommendable (catalog minus the group's rated items).
+fn query_body(group: &Group, k: usize) -> Json {
+    Json::obj(vec![
+        ("verb", Json::str("query")),
+        (
+            "group",
+            Json::Arr(group.members().iter().map(|u| Json::num(u.0)).collect()),
+        ),
+        ("k", Json::num(k as u32)),
+    ])
+}
+
+/// Compare one served payload against a direct engine run, bit for bit.
+fn payload_identical(response: &Json, direct: &greca_core::TopKResult) -> bool {
+    let Some(items) = response.get("items").and_then(Json::as_array) else {
+        return false;
+    };
+    if items.len() != direct.items.len() {
+        return false;
+    }
+    let rows_match = items.iter().zip(&direct.items).all(|(got, want)| {
+        got.get("item").and_then(Json::as_u64) == Some(u64::from(want.item.0))
+            && got.get("lb").and_then(Json::as_f64).map(f64::to_bits) == Some(want.lb.to_bits())
+            && got.get("ub").and_then(Json::as_f64).map(f64::to_bits) == Some(want.ub.to_bits())
+    });
+    rows_match
+        && response.get("sa").and_then(Json::as_u64) == Some(direct.stats.sa)
+        && response.get("ra").and_then(Json::as_u64) == Some(direct.stats.ra)
+        && response.get("sweeps").and_then(Json::as_u64) == Some(direct.sweeps)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn mixed_workload(
+    addr: std::net::SocketAddr,
+    clients: usize,
+    requests: usize,
+    hot_groups: &[Group],
+    cold_groups: &[Vec<Group>],
+    items: &[ItemId],
+    users: &[UserId],
+    k: usize,
+) -> Vec<Sample> {
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let cold = &cold_groups[c];
+                s.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    let mut rng = StdRng::seed_from_u64(0x10ad ^ (c as u64) << 17);
+                    let mut samples = Vec::with_capacity(requests);
+                    let mut cold_iter = cold.iter().cycle();
+                    for r in 0..requests {
+                        let roll: f64 = rng.random();
+                        let t0 = Instant::now();
+                        let (verb, response) = if roll < 0.05 {
+                            // A single-rating ingest: rotate through
+                            // users × items × star values.
+                            let u = users[rng.random_range(0..users.len())];
+                            let i = items[rng.random_range(0..items.len())];
+                            let value = (r % 5) as f32 + 1.0;
+                            (
+                                "ingest",
+                                client.ingest(&[(u.0, i.0, value, (c * requests + r) as i64)]),
+                            )
+                        } else {
+                            let group = if roll < 0.15 {
+                                cold_iter.next().expect("cycle")
+                            } else {
+                                &hot_groups[rng.random_range(0..hot_groups.len())]
+                            };
+                            ("query", client.request(&query_body(group, k)))
+                        };
+                        let latency = t0.elapsed();
+                        let response = response.expect("transport");
+                        let ok = response.get("ok").and_then(Json::as_bool) == Some(true);
+                        let code = response.get("code").and_then(Json::as_str).unwrap_or("");
+                        samples.push(Sample {
+                            verb,
+                            disposition: response
+                                .get("cache")
+                                .and_then(Json::as_str)
+                                .unwrap_or("-")
+                                .to_string(),
+                            latency,
+                            ok,
+                            shed: code == "overloaded",
+                        });
+                    }
+                    samples
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    })
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    banner("serve_load: mixed-workload load harness over greca-serve");
+    let (pw, settings, world_label, clients, requests, overload_clients) = if quick {
+        (
+            PerfWorld::build_small(),
+            PerfSettings {
+                num_items: 600,
+                ..PerfSettings::default()
+            },
+            "study_scale",
+            6,
+            50,
+            16,
+        )
+    } else {
+        (
+            PerfWorld::build(),
+            PerfSettings::default(),
+            "scalability_scale",
+            12,
+            200,
+            48,
+        )
+    };
+    let world = pw.world();
+    // The substrate spans the full catalog so every group's default
+    // candidate itemset (catalog minus rated) stays on the warm
+    // subset-filter path.
+    let items = pw.items(usize::MAX);
+    let k = settings.k;
+
+    let live = LiveEngine::new(
+        &world.population,
+        LiveModel::Raw,
+        &world.movielens.matrix,
+        &items,
+    )
+    .expect("finite ratings");
+    let users: Vec<UserId> = live.pin().substrate().users().to_vec();
+    let hot_groups = pw.random_groups(6, settings.group_size, 0xb07);
+    let cold_groups: Vec<Vec<Group>> = (0..clients)
+        .map(|c| pw.random_groups(20, settings.group_size, 0xc01d + c as u64))
+        .collect();
+    print_row("world", world_label);
+    print_row("items", items.len());
+    print_row("clients × requests", format!("{clients} × {requests}"));
+
+    // ── Phase 1: mixed workload ──────────────────────────────────────
+    let server = GrecaServer::bind(&live, ServeConfig::default()).expect("bind");
+    let handle = server.handle();
+    let (samples, stats_line, verify_identical, protocol_errors) = std::thread::scope(|s| {
+        s.spawn(|| server.run());
+        let t0 = Instant::now();
+        let samples = mixed_workload(
+            handle.addr(),
+            clients,
+            requests,
+            &hot_groups,
+            &cold_groups,
+            &items,
+            &users,
+            k,
+        );
+        let wall = t0.elapsed();
+        print_row(
+            "workload wall / throughput",
+            format!(
+                "{:7.2} s / {:7.0} req/s",
+                wall.as_secs_f64(),
+                samples.len() as f64 / wall.as_secs_f64()
+            ),
+        );
+
+        // ── Phase 2: identity verification at the quiesced epoch ────
+        let mut client = Client::connect(handle.addr()).expect("connect");
+        let verify_groups: Vec<Group> = hot_groups
+            .iter()
+            .cloned()
+            .chain(pw.random_groups(4, settings.group_size, 0x1d37))
+            .collect();
+        let pin = live.pin();
+        let engine = pin.engine();
+        let mut identical = true;
+        for group in &verify_groups {
+            let served = client.request(&query_body(group, k)).expect("verify query");
+            if served.get("epoch").and_then(Json::as_u64) != Some(pin.epoch()) {
+                identical = false;
+                continue;
+            }
+            let direct = engine.query(group).top(k).run().expect("direct run");
+            identical &= payload_identical(&served, &direct);
+        }
+        let stats = client.stats().expect("stats");
+        let protocol_errors = server.metrics().protocol_errors.load(Ordering::Relaxed);
+        handle.shutdown();
+        (samples, stats, identical, protocol_errors)
+    });
+
+    let query_ms = sorted_ms(
+        samples
+            .iter()
+            .filter(|s| s.verb == "query" && s.ok)
+            .map(|s| s.latency),
+    );
+    let ingest_ms = sorted_ms(
+        samples
+            .iter()
+            .filter(|s| s.verb == "ingest" && s.ok)
+            .map(|s| s.latency),
+    );
+    let hit_ms = sorted_ms(
+        samples
+            .iter()
+            .filter(|s| s.disposition == "hit")
+            .map(|s| s.latency),
+    );
+    let miss_ms = sorted_ms(
+        samples
+            .iter()
+            .filter(|s| s.disposition == "miss")
+            .map(|s| s.latency),
+    );
+    let hit_p50 = percentile_ms(&hit_ms, 0.5);
+    let miss_p50 = percentile_ms(&miss_ms, 0.5);
+    let hit_speedup = if hit_p50 > 0.0 {
+        miss_p50 / hit_p50
+    } else {
+        0.0
+    };
+    let cache_json = stats_line.get("cache").expect("stats.cache");
+    let hit_rate = cache_json
+        .get("hit_rate")
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0);
+    let publishes = stats_line
+        .get("metrics")
+        .and_then(|m| m.get("publishes_observed"))
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    let memory_total = stats_line
+        .get("memory")
+        .and_then(|m| m.get("total_bytes"))
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+
+    print_row(
+        "query p50 / p99",
+        format!(
+            "{:8.3} ms / {:8.3} ms  (n={})",
+            percentile_ms(&query_ms, 0.5),
+            percentile_ms(&query_ms, 0.99),
+            query_ms.len()
+        ),
+    );
+    print_row(
+        "ingest p50 / p99",
+        format!(
+            "{:8.3} ms / {:8.3} ms  (n={})",
+            percentile_ms(&ingest_ms, 0.5),
+            percentile_ms(&ingest_ms, 0.99),
+            ingest_ms.len()
+        ),
+    );
+    print_row(
+        "cache hit p50 vs miss p50",
+        format!("{hit_p50:8.3} ms vs {miss_p50:8.3} ms  ({hit_speedup:.1}×)"),
+    );
+    print_row("cache hit rate", format!("{:.1}%", hit_rate * 100.0));
+    print_row("epoch publishes observed", publishes);
+    print_row(
+        "substrate memory",
+        format!("{:.1} MiB", memory_total as f64 / (1024.0 * 1024.0)),
+    );
+    print_row("identical (served == direct)", verify_identical);
+    print_row("protocol errors", protocol_errors);
+
+    // ── Phase 3: overload ────────────────────────────────────────────
+    banner("overload: tight admission, unique-group burst");
+    let overload_config = ServeConfig {
+        query_workers: 2,
+        query_queue: 8,
+        ..ServeConfig::default()
+    };
+    let (oq_workers, oq_queue) = (overload_config.query_workers, overload_config.query_queue);
+    let over_server = GrecaServer::bind(&live, overload_config).expect("bind overload");
+    let over_handle = over_server.handle();
+    let over_requests = if quick { 10 } else { 25 };
+    let over_cold: Vec<Vec<Group>> = (0..overload_clients)
+        .map(|c| pw.random_groups(over_requests, settings.group_size, 0x0537 + c as u64))
+        .collect();
+    let over_samples = std::thread::scope(|s| {
+        s.spawn(|| over_server.run());
+        let samples = mixed_workload(
+            over_handle.addr(),
+            overload_clients,
+            over_requests,
+            // No hot pool: route every query cold so each accepted
+            // request costs a kernel run.
+            &over_cold[0],
+            &over_cold,
+            &items,
+            &users,
+            k,
+        );
+        over_handle.shutdown();
+        samples
+    });
+    let accepted_ms = sorted_ms(
+        over_samples
+            .iter()
+            .filter(|s| s.verb == "query" && s.ok)
+            .map(|s| s.latency),
+    );
+    let shed: usize = over_samples.iter().filter(|s| s.shed).count();
+    let over_p50 = percentile_ms(&accepted_ms, 0.5);
+    let over_p99 = percentile_ms(&accepted_ms, 0.99);
+    // Bounded-p99 criterion: an accepted request can wait behind at
+    // most (queue + workers) kernel runs, so p99 must track queue
+    // depth × service time, not offered load. 8× headroom over that
+    // product absorbs scheduler noise; the absolute floor keeps the
+    // tiny quick world from gating on microsecond jitter.
+    let p99_bound_ms = (8.0 * (oq_queue + oq_workers) as f64 * miss_p50.max(over_p50)).max(250.0);
+    let bounded = over_p99 < p99_bound_ms;
+    print_row(
+        "overload clients / capacity",
+        format!("{overload_clients} / queue {oq_queue} + {oq_workers} workers"),
+    );
+    print_row(
+        "accepted p50 / p99",
+        format!("{over_p50:8.3} ms / {over_p99:8.3} ms (bound {p99_bound_ms:.0} ms)"),
+    );
+    print_row(
+        "shed (overloaded replies)",
+        format!("{shed} of {}", over_samples.len()),
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"world\": \"{world}\",\n",
+            "  \"clients\": {clients},\n",
+            "  \"requests_per_client\": {requests},\n",
+            "  \"verbs\": {{\n",
+            "    \"query\": {{\"requests\": {qn}, \"p50_ms\": {qp50:.4}, \"p99_ms\": {qp99:.4}}},\n",
+            "    \"ingest\": {{\"requests\": {inn}, \"p50_ms\": {ip50:.4}, \"p99_ms\": {ip99:.4}}}\n",
+            "  }},\n",
+            "  \"cache\": {{\"hit_rate\": {hit_rate:.4}, \"hit_p50_ms\": {hp50:.4}, \"miss_p50_ms\": {mp50:.4}, \"hit_speedup\": {speedup:.1}}},\n",
+            "  \"epoch_publishes\": {publishes},\n",
+            "  \"substrate_total_bytes\": {memory},\n",
+            "  \"overload\": {{\"clients\": {oc}, \"queue\": {oq}, \"workers\": {ow}, \"accepted\": {oacc}, \"shed\": {shed}, \"p50_ms\": {op50:.4}, \"p99_ms\": {op99:.4}, \"p99_bound_ms\": {obound:.1}, \"bounded\": {bounded}}},\n",
+            "  \"identical\": {identical},\n",
+            "  \"protocol_errors\": {perr}\n",
+            "}}\n",
+        ),
+        world = world_label,
+        clients = clients,
+        requests = requests,
+        qn = query_ms.len(),
+        qp50 = percentile_ms(&query_ms, 0.5),
+        qp99 = percentile_ms(&query_ms, 0.99),
+        inn = ingest_ms.len(),
+        ip50 = percentile_ms(&ingest_ms, 0.5),
+        ip99 = percentile_ms(&ingest_ms, 0.99),
+        hit_rate = hit_rate,
+        hp50 = hit_p50,
+        mp50 = miss_p50,
+        speedup = hit_speedup,
+        publishes = publishes,
+        memory = memory_total,
+        oc = overload_clients,
+        oq = oq_queue,
+        ow = oq_workers,
+        oacc = accepted_ms.len(),
+        shed = shed,
+        op50 = over_p50,
+        op99 = over_p99,
+        obound = p99_bound_ms,
+        bounded = bounded,
+        identical = verify_identical,
+        perr = protocol_errors,
+    );
+    let path = "BENCH_serve.json";
+    std::fs::File::create(path)
+        .and_then(|mut f| f.write_all(json.as_bytes()))
+        .expect("write BENCH_serve.json");
+    println!("\nwrote {path}");
+
+    // The CI gates: every run (quick included) must serve bit-identical
+    // results with a clean protocol; the full run additionally gates
+    // the cache and overload headlines.
+    assert!(
+        verify_identical,
+        "served results must equal direct engine execution"
+    );
+    assert_eq!(
+        protocol_errors, 0,
+        "no protocol errors under the mixed workload"
+    );
+    if !quick {
+        assert!(
+            hit_speedup >= 10.0,
+            "cache-hit p50 ({hit_p50:.3} ms) must be ≥10× faster than miss p50 ({miss_p50:.3} ms)"
+        );
+        assert!(shed > 0, "the overload burst must shed");
+        assert!(
+            bounded,
+            "overload p99 {over_p99:.1} ms exceeds bound {p99_bound_ms:.1} ms"
+        );
+    }
+}

@@ -42,7 +42,7 @@ use greca_dataset::ItemId;
 use serde::{Deserialize, Serialize};
 
 /// Early-termination policy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub enum StoppingRule {
     /// Full GRECA: buffer condition with inter-item pruning, plus the
     /// (cheap) threshold verification. The default.
@@ -69,7 +69,7 @@ pub enum StopReason {
 }
 
 /// How often the (O(|buffer|)) bound-refresh and stopping checks run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum CheckInterval {
     /// After every full round-robin sweep (most faithful to Algorithm 1).
     EverySweep,

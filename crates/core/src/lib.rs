@@ -60,7 +60,6 @@
 #![warn(missing_docs)]
 
 pub mod access;
-pub mod engine;
 pub mod greca;
 pub mod interval;
 pub mod lists;
@@ -72,8 +71,6 @@ pub mod substrate;
 pub mod ta;
 
 pub use access::{AccessStats, Aggregate};
-#[allow(deprecated)]
-pub use engine::{prepare, Prepared};
 pub use greca::{
     greca_topk, greca_topk_with, CheckInterval, GrecaConfig, GrecaScratch, StopReason,
     StoppingRule, TopKItem, TopKResult,
@@ -86,8 +83,8 @@ pub use live::{EpochProvider, IngestReport, LiveEngine, LiveModel, PinnedEpoch};
 pub use naive::{naive_scores, naive_topk};
 pub use query::{
     run_batch, Algorithm, BatchResult, GrecaEngine, GroupQuery, PreparedQuery, QueryError,
-    PAPER_DEFAULT_K,
+    QueryKey, PAPER_DEFAULT_K,
 };
 pub use score::BoundScorer;
-pub use substrate::{ItemCoverage, Substrate};
+pub use substrate::{ItemCoverage, MemoryFootprint, Substrate};
 pub use ta::{ta_topk, TaConfig};

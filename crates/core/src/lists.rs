@@ -228,7 +228,7 @@ pub struct Cursor {
 
 /// How affinity lists are laid out (§3.1 discusses both; the decomposed
 /// layout "allows us to design efficient algorithms").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub enum ListLayout {
     /// `n−1` lists per affinity kind, the i-th holding user u_i's pairs.
     #[default]

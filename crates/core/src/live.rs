@@ -69,7 +69,7 @@
 //! # Ok(()) }
 //! ```
 
-use crate::query::{new_affinity_cache, AffinityCache, GrecaEngine, QueryError};
+use crate::query::{lock_unpoisoned, new_affinity_cache, AffinityCache, GrecaEngine, QueryError};
 use crate::substrate::Substrate;
 use greca_affinity::PopulationAffinity;
 use greca_cf::{
@@ -195,6 +195,10 @@ pub struct IngestReport {
     pub full_rebuild: bool,
 }
 
+/// A hook invoked after every epoch swap — see
+/// [`LiveEngine::on_publish`].
+type EpochHook = Arc<dyn Fn(u64) + Send + Sync>;
+
 /// A serving engine over an evolving rating log: ingestion on one side,
 /// epoch-pinned warm queries on the other. See the module docs.
 ///
@@ -211,6 +215,8 @@ pub struct LiveEngine<'a> {
     /// work for one wholesale rebuild (see
     /// [`LiveEngine::with_full_rebuild_fraction`]).
     full_rebuild_fraction: f64,
+    /// Epoch-swap observers (see [`LiveEngine::on_publish`]).
+    epoch_hooks: Mutex<Vec<EpochHook>>,
 }
 
 /// Default dirty-coverage fraction above which [`LiveEngine::publish`]
@@ -273,7 +279,34 @@ impl<'a> LiveEngine<'a> {
                 cache: new_affinity_cache(),
             }),
             full_rebuild_fraction: DEFAULT_FULL_REBUILD_FRACTION,
+            epoch_hooks: Mutex::new(Vec::new()),
         })
+    }
+
+    /// Register a hook invoked after every successful epoch swap with
+    /// the epoch number just published.
+    ///
+    /// This is the invalidation signal serving layers build on: a
+    /// result cache keyed beside epoch `e` registers a hook and clears
+    /// itself wholesale the moment `e + 1` goes live, instead of
+    /// checking the epoch on every read. Hooks run on the *publishing*
+    /// thread, after the new epoch is pinnable and after the staging
+    /// store is released — any pin taken from here on observes the
+    /// published epoch. Keep hooks cheap (they sit on the ingestion
+    /// path); empty publishes (no staged deltas) notify nobody.
+    pub fn on_publish(&self, hook: impl Fn(u64) + Send + Sync + 'static) {
+        lock_unpoisoned(&self.epoch_hooks).push(Arc::new(hook));
+    }
+
+    /// Run every registered epoch hook for `epoch`. The hook list is
+    /// snapshotted out of its lock first, so a hook that stages and
+    /// publishes (or registers another hook) re-enters the engine
+    /// without deadlocking on the non-reentrant hooks mutex.
+    fn notify_epoch(&self, epoch: u64) {
+        let hooks: Vec<EpochHook> = lock_unpoisoned(&self.epoch_hooks).clone();
+        for hook in &hooks {
+            hook(epoch);
+        }
     }
 
     /// Set the dirty-coverage fraction at which [`LiveEngine::publish`]
@@ -318,32 +351,32 @@ impl<'a> LiveEngine<'a> {
 
     /// The currently-published epoch number.
     pub fn epoch(&self) -> u64 {
-        self.current.lock().expect("epoch lock").state.epoch
+        lock_unpoisoned(&self.current).state.epoch
     }
 
     /// Number of staged-but-unpublished delta keys.
     pub fn staged(&self) -> usize {
-        self.store.lock().expect("store lock").len()
+        lock_unpoisoned(&self.store).len()
     }
 
     /// Number of group-affinity views cached for the current epoch.
     pub fn cached_affinity_views(&self) -> usize {
-        let cache = Arc::clone(&self.current.lock().expect("epoch lock").cache);
-        let n = cache.lock().map(|c| c.len()).unwrap_or(0);
+        let cache = Arc::clone(&lock_unpoisoned(&self.current).cache);
+        let n = lock_unpoisoned(&cache).len();
         n
     }
 
     /// Stage rating upserts without publishing (keep-latest per
     /// `(user, item)` key). Non-finite values are rejected here.
     pub fn stage(&self, ratings: &[Rating]) -> Result<(), QueryError> {
-        let mut store = self.store.lock().expect("store lock");
+        let mut store = lock_unpoisoned(&self.store);
         store.stage_all(ratings)?;
         Ok(())
     }
 
     /// Stage rating retractions without publishing.
     pub fn stage_retractions(&self, pairs: &[(UserId, ItemId)]) {
-        let mut store = self.store.lock().expect("store lock");
+        let mut store = lock_unpoisoned(&self.store);
         for &(u, i) in pairs {
             store.stage_retraction(u, i);
         }
@@ -373,9 +406,9 @@ impl<'a> LiveEngine<'a> {
         // Hold the store lock for the whole publish: it serializes
         // writers, so `current` cannot move between the read and the
         // swap below.
-        let mut store = self.store.lock().expect("store lock");
+        let mut store = lock_unpoisoned(&self.store);
         let batch = store.drain();
-        let prev = Arc::clone(&self.current.lock().expect("epoch lock").state);
+        let prev = Arc::clone(&lock_unpoisoned(&self.current).state);
         if batch.is_empty() {
             return Ok(IngestReport {
                 epoch: prev.epoch,
@@ -442,10 +475,15 @@ impl<'a> LiveEngine<'a> {
             substrate: Arc::new(substrate),
         });
         {
-            let mut cur = self.current.lock().expect("epoch lock");
+            let mut cur = lock_unpoisoned(&self.current);
             cur.state = state;
             cur.cache = new_affinity_cache();
         }
+        // Release the staging store before notifying, so hooks may pin
+        // or stage (a later publish sees their staging) without
+        // deadlocking on the lock this publish still holds.
+        drop(store);
+        self.notify_epoch(epoch);
         Ok(IngestReport {
             epoch,
             upserts: batch.upserts.len(),
@@ -472,7 +510,7 @@ impl<'a> LiveEngine<'a> {
     /// ingestion. Pinning is one brief lock and two `Arc` clones.
     pub fn pin(&self) -> PinnedEpoch<'a> {
         let (state, cache) = {
-            let cur = self.current.lock().expect("epoch lock");
+            let cur = lock_unpoisoned(&self.current);
             (Arc::clone(&cur.state), Arc::clone(&cur.cache))
         };
         let provider = EpochProvider {
@@ -726,6 +764,28 @@ mod tests {
             .unwrap();
         assert!(r.full_rebuild, "full coverage rebuilds wholesale");
         assert_eq!((r.rebuilt_segments, r.shared_segments), (4, 0));
+    }
+
+    #[test]
+    fn publish_hooks_observe_epoch_swaps() {
+        let (matrix, pop, items) = world();
+        let live = LiveEngine::new(&pop, LiveModel::Raw, &matrix, &items).unwrap();
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        live.on_publish(move |e| sink.lock().unwrap().push(e));
+        // Empty publishes swap nothing and notify nobody.
+        live.publish().unwrap();
+        assert!(seen.lock().unwrap().is_empty());
+        live.ingest(&[rating(2, 1, 5.0, 10)]).unwrap();
+        live.ingest(&[rating(1, 1, 4.0, 11)]).unwrap();
+        assert_eq!(*seen.lock().unwrap(), vec![1, 2]);
+        // Multiple hooks all fire.
+        let also = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&also);
+        live.on_publish(move |e| sink.lock().unwrap().push(e));
+        live.ingest(&[rating(0, 1, 2.0, 12)]).unwrap();
+        assert_eq!(*seen.lock().unwrap(), vec![1, 2, 3]);
+        assert_eq!(*also.lock().unwrap(), vec![3]);
     }
 
     #[test]

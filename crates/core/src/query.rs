@@ -33,7 +33,9 @@
 //! per data point).
 
 use crate::access::{AccessStats, Aggregate};
-use crate::greca::{greca_topk_with, GrecaConfig, GrecaScratch, TopKResult};
+use crate::greca::{
+    greca_topk_with, CheckInterval, GrecaConfig, GrecaScratch, StoppingRule, TopKResult,
+};
 use crate::lists::{
     build_affinity_lists, GrecaInputs, ListKind, ListLayout, MaterializedInputs, NonFiniteEntry,
     SortedList,
@@ -43,10 +45,10 @@ use crate::substrate::{ItemCoverage, Substrate};
 use crate::ta::{ta_topk, TaConfig};
 use greca_affinity::{AffinityMode, GroupAffinity, PopulationAffinity};
 use greca_cf::{group_preference_lists, PreferenceList, PreferenceProvider};
-use greca_consensus::ConsensusFunction;
+use greca_consensus::{ConsensusFunction, DisagreementKind, GroupPreferenceKind};
 use greca_dataset::{Group, ItemId, UserId};
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// The paper's default result size (§4.2: "k = 10").
 pub const PAPER_DEFAULT_K: usize = 10;
@@ -164,6 +166,33 @@ impl Algorithm {
     }
 }
 
+/// Lock a mutex, recovering if a previous holder panicked: the poison
+/// flag is cleared and `sanitize` puts the protected value back into a
+/// known-good state before reuse. The engine's shared caches use this
+/// with a wholesale clear — cached views and pooled workspaces are pure
+/// derived state, so dropping them is always safe — which keeps one
+/// panicked worker thread from permanently wedging (or silently
+/// disabling caching for) every subsequent query in a long-lived
+/// server.
+fn lock_recovering<'m, T>(m: &'m Mutex<T>, sanitize: impl FnOnce(&mut T)) -> MutexGuard<'m, T> {
+    match m.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => {
+            m.clear_poison();
+            let mut guard = poisoned.into_inner();
+            sanitize(&mut guard);
+            guard
+        }
+    }
+}
+
+/// [`lock_recovering`] for state that stays internally consistent
+/// across a panic (every mutation under the lock is itself panic-free),
+/// so recovery needs no sanitization — just clear the flag and go.
+pub(crate) fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    lock_recovering(m, |_| {})
+}
+
 /// Hashable identity of one cached [`GroupAffinity`] view.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub(crate) struct AffinityKey {
@@ -202,6 +231,113 @@ impl From<AffinityMode> for ModeKey {
             AffinityMode::Continuous { scale } => ModeKey::Continuous(scale.to_bits()),
         }
     }
+}
+
+/// [`ConsensusFunction`] made hashable: the two kind discriminants plus
+/// the preference weight by bit identity (like [`ModeKey`], bitwise is
+/// the conservative direction — two weights cache separately unless
+/// bit-equal).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct ConsensusKey {
+    preference: GroupPreferenceKind,
+    disagreement: DisagreementKind,
+    w1_bits: u64,
+}
+
+impl From<ConsensusFunction> for ConsensusKey {
+    fn from(c: ConsensusFunction) -> Self {
+        ConsensusKey {
+            preference: c.preference,
+            disagreement: c.disagreement,
+            w1_bits: c.w1.to_bits(),
+        }
+    }
+}
+
+/// [`Algorithm`] made hashable. The `k` recorded inside a variant's
+/// config is excluded on purpose: the query's own
+/// [`GroupQuery::top`] overrides it at execution, so it cannot affect
+/// results and must not split the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum AlgorithmKey {
+    Greca(StoppingRule, CheckInterval),
+    Ta { cache_affinity: bool },
+    Naive,
+}
+
+impl From<Algorithm> for AlgorithmKey {
+    fn from(a: Algorithm) -> Self {
+        match a {
+            Algorithm::Greca(c) => AlgorithmKey::Greca(c.stopping, c.check_interval),
+            Algorithm::Ta(c) => AlgorithmKey::Ta {
+                cache_affinity: c.cache_affinity,
+            },
+            Algorithm::Naive => AlgorithmKey::Naive,
+        }
+    }
+}
+
+/// SplitMix64: the finalizer used to hash individual item ids into the
+/// itemset fingerprint.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Order-independent 128-bit fingerprint of an itemset: a wrapping sum
+/// and an id-salted xor of each id's SplitMix64 hash. Permutations of
+/// the same multiset produce the same fingerprint without sorting — the
+/// "canonical without a per-query sort" half of [`QueryKey`]'s
+/// contract. The empty itemset (resolved from the provider at prepare
+/// time) fingerprints to zero.
+fn itemset_fingerprint(items: &[ItemId]) -> u128 {
+    let (mut sum, mut xor) = (0u64, 0u64);
+    for &i in items {
+        let h = splitmix64(u64::from(i.0).wrapping_add(1));
+        sum = sum.wrapping_add(h);
+        xor ^= h.rotate_left(i.0 % 61);
+    }
+    (u128::from(sum) << 64) | u128::from(xor)
+}
+
+/// Canonical, hashable identity of one [`GroupQuery`]'s full parameter
+/// set — the key serving layers memoize results under.
+///
+/// Two queries with equal keys are guaranteed to produce bit-identical
+/// results against the same engine state: group members (already
+/// canonical — [`Group`] keeps them sorted), effective period, affinity
+/// mode, list layout, consensus function, rpref normalization, `k`, the
+/// algorithm configuration, and the candidate itemset all participate.
+/// The itemset enters as its length plus an order-independent 128-bit
+/// fingerprint, so permutations of one itemset share a key at `O(m)`
+/// hashing cost with no sort and no copy. (A fingerprint collision
+/// between two *different* itemsets is theoretically possible but needs
+/// on the order of 2⁶⁴ distinct itemsets under one key scope to become
+/// likely; an epoch-scoped serving cache is many orders of magnitude
+/// below that.) An omitted itemset keys as the empty fingerprint, which
+/// is sound because its resolution (the provider's candidate set) is a
+/// deterministic function of the group and the engine state the cache
+/// is scoped beside.
+///
+/// The key deliberately excludes the engine and its data: a result
+/// cache must be scoped to one engine state — the serving layer scopes
+/// per [`LiveEngine`](crate::live::LiveEngine) epoch and invalidates
+/// wholesale on publish (see
+/// [`LiveEngine::on_publish`](crate::live::LiveEngine::on_publish)).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct QueryKey {
+    members: Vec<UserId>,
+    items_len: usize,
+    items_fp: u128,
+    period: usize,
+    mode: ModeKey,
+    layout: ListLayout,
+    consensus: ConsensusKey,
+    normalize_rpref: bool,
+    k: usize,
+    algorithm: AlgorithmKey,
 }
 
 /// The long-lived serving engine: a preference provider (any CF model)
@@ -385,49 +521,46 @@ impl<'a> GrecaEngine<'a> {
             period: period_idx,
             mode: ModeKey::from(mode),
         };
-        if let Ok(cache) = self.affinity_cache.lock() {
+        {
+            let cache = lock_recovering(&self.affinity_cache, HashMap::clear);
             if let Some(hit) = cache.get(&key) {
                 return Arc::clone(hit);
             }
         }
         let view = Arc::new(self.population.group_view(group, period_idx, mode));
-        if let Ok(mut cache) = self.affinity_cache.lock() {
-            if cache.len() >= AFFINITY_CACHE_CAP {
-                cache.clear();
-            }
-            cache.insert(key, Arc::clone(&view));
+        let mut cache = lock_recovering(&self.affinity_cache, HashMap::clear);
+        if cache.len() >= AFFINITY_CACHE_CAP {
+            cache.clear();
         }
+        cache.insert(key, Arc::clone(&view));
         view
     }
 
     /// Number of group-affinity views currently cached.
     pub fn cached_affinity_views(&self) -> usize {
-        self.affinity_cache.lock().map(|c| c.len()).unwrap_or(0)
+        lock_recovering(&self.affinity_cache, HashMap::clear).len()
     }
 
     /// Check a kernel workspace out of the shared pool (or make a fresh
     /// one). Pair with [`GrecaEngine::restore_scratch`].
     fn checkout_scratch(&self) -> GrecaScratch {
-        self.scratch_pool
-            .lock()
-            .ok()
-            .and_then(|mut pool| pool.pop())
+        lock_recovering(&self.scratch_pool, Vec::clear)
+            .pop()
             .unwrap_or_default()
     }
 
     /// Return a kernel workspace to the pool for the next query.
     fn restore_scratch(&self, scratch: GrecaScratch) {
-        if let Ok(mut pool) = self.scratch_pool.lock() {
-            if pool.len() < SCRATCH_POOL_CAP {
-                pool.push(scratch);
-            }
+        let mut pool = lock_recovering(&self.scratch_pool, Vec::clear);
+        if pool.len() < SCRATCH_POOL_CAP {
+            pool.push(scratch);
         }
     }
 
     /// Number of kernel workspaces currently pooled (observability for
     /// tests and benchmarks; steady state equals the peak concurrency).
     pub fn pooled_scratches(&self) -> usize {
-        self.scratch_pool.lock().map(|p| p.len()).unwrap_or(0)
+        lock_recovering(&self.scratch_pool, Vec::clear).len()
     }
 
     /// Execute many prepared queries in parallel — see [`run_batch`].
@@ -529,6 +662,24 @@ impl<'q> GroupQuery<'q> {
         self
     }
 
+    /// The query's canonical cache key — see [`QueryKey`]. `O(n + m)`
+    /// in group size and itemset length; no allocation beyond the
+    /// member copy, no sorting.
+    pub fn cache_key(&self) -> QueryKey {
+        QueryKey {
+            members: self.group.members().to_vec(),
+            items_len: self.items.len(),
+            items_fp: itemset_fingerprint(self.items),
+            period: self.effective_period(),
+            mode: ModeKey::from(self.mode),
+            layout: self.layout,
+            consensus: ConsensusKey::from(self.consensus),
+            normalize_rpref: self.normalize_rpref,
+            k: self.k,
+            algorithm: AlgorithmKey::from(self.algorithm),
+        }
+    }
+
     /// The query's effective period: explicit, or the index's latest.
     pub fn effective_period(&self) -> usize {
         self.period
@@ -626,6 +777,7 @@ impl<'q> GroupQuery<'q> {
             consensus: self.consensus,
             k: self.k,
             algorithm: self.algorithm,
+            key: Some(self.cache_key()),
         })
     }
 
@@ -766,24 +918,6 @@ fn build_warm(
     }))
 }
 
-/// The one construction the deprecated [`prepare`](crate::engine::prepare)
-/// shim shares with the cold query path: group affinity view + sorted
-/// lists for one (group, itemset, period, mode, layout).
-pub(crate) fn materialize_inputs<P: PreferenceProvider + ?Sized>(
-    provider: &P,
-    population: &PopulationAffinity,
-    group: &Group,
-    items: &[ItemId],
-    period_idx: usize,
-    mode: AffinityMode,
-    layout: ListLayout,
-) -> Result<(GroupAffinity, MaterializedInputs), QueryError> {
-    let affinity = population.group_view(group, period_idx, mode);
-    let pref_lists = group_preference_lists(provider, group, items)?;
-    let inputs = MaterializedInputs::build(&pref_lists, &affinity, layout)?;
-    Ok((affinity, inputs))
-}
-
 /// Substrate-backed prepared state: zero-copy segment references (or
 /// filtered columns for subset itemsets) plus the per-query tiny
 /// affinity lists. Keeps the substrate alive via `Arc`.
@@ -857,6 +991,11 @@ pub struct PreparedQuery {
     consensus: ConsensusFunction,
     k: usize,
     algorithm: Algorithm,
+    /// The originating query's canonical key, kept in sync by the
+    /// scoring mutators below. `None` for hand-assembled preparations
+    /// ([`PreparedQuery::from_parts`]), whose inputs never came from an
+    /// engine a cache could be scoped beside.
+    key: Option<QueryKey>,
 }
 
 impl PreparedQuery {
@@ -880,25 +1019,45 @@ impl PreparedQuery {
             consensus: ConsensusFunction::average_preference(),
             k: PAPER_DEFAULT_K,
             algorithm: Algorithm::default(),
+            key: None,
         })
     }
 
     /// Replace the consensus function.
     pub fn consensus(mut self, consensus: ConsensusFunction) -> Self {
         self.consensus = consensus;
+        if let Some(key) = &mut self.key {
+            key.consensus = ConsensusKey::from(consensus);
+        }
         self
     }
 
     /// Replace the result size.
     pub fn top(mut self, k: usize) -> Self {
         self.k = k;
+        if let Some(key) = &mut self.key {
+            key.k = k;
+        }
         self
     }
 
     /// Replace the executing algorithm.
     pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
         self.algorithm = algorithm;
+        if let Some(key) = &mut self.key {
+            key.algorithm = AlgorithmKey::from(algorithm);
+        }
         self
+    }
+
+    /// The canonical cache key of the query this preparation came from,
+    /// kept in sync across the scoring mutators — equal to what
+    /// [`GroupQuery::cache_key`] returned (with any
+    /// [`top`](Self::top)/[`consensus`](Self::consensus)/
+    /// [`algorithm`](Self::algorithm) replacement applied). `None` for
+    /// [`PreparedQuery::from_parts`] preparations.
+    pub fn cache_key(&self) -> Option<&QueryKey> {
+        self.key.as_ref()
     }
 
     /// The list views an execution reads (assembled per call; the
@@ -1093,4 +1252,157 @@ pub fn run_batch(queries: &[GroupQuery<'_>]) -> BatchResult {
         stats.total_entries += r.stats.total_entries;
     }
     BatchResult { results, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use greca_affinity::TableAffinitySource;
+    use greca_cf::RawRatings;
+    use greca_dataset::{Granularity, RatingMatrixBuilder, Timeline};
+
+    fn world() -> (greca_dataset::RatingMatrix, PopulationAffinity, Vec<ItemId>) {
+        let mut b = RatingMatrixBuilder::new(3, 4);
+        b.rate(UserId(0), ItemId(0), 5.0, 0)
+            .rate(UserId(0), ItemId(2), 3.0, 0)
+            .rate(UserId(1), ItemId(1), 4.0, 0)
+            .rate(UserId(2), ItemId(3), 2.0, 0);
+        let matrix = b.build();
+        let mut src = TableAffinitySource::new();
+        src.set_static(UserId(0), UserId(1), 1.0)
+            .set_static(UserId(1), UserId(2), 0.7);
+        let tl = Timeline::discretize(0, 100, Granularity::Custom(50)).unwrap();
+        src.set_periodic(UserId(0), UserId(1), tl.periods()[0].start, 0.8);
+        let users = vec![UserId(0), UserId(1), UserId(2)];
+        let pop = PopulationAffinity::build(&src, &users, &tl);
+        let items: Vec<ItemId> = (0..4).map(ItemId).collect();
+        (matrix, pop, items)
+    }
+
+    #[test]
+    fn cache_key_is_invariant_under_itemset_permutation() {
+        let (matrix, pop, items) = world();
+        let raw = RawRatings(&matrix);
+        let engine = GrecaEngine::new(&raw, &pop);
+        let group = Group::new(vec![UserId(0), UserId(1)]).unwrap();
+        let shuffled = vec![ItemId(2), ItemId(0), ItemId(3), ItemId(1)];
+        let a = engine.query(&group).items(&items).cache_key();
+        let b = engine.query(&group).items(&shuffled).cache_key();
+        assert_eq!(a, b, "permutations of one itemset share a key");
+        // …and the results they stand for are indeed identical.
+        assert_eq!(
+            engine.query(&group).items(&items).run().unwrap(),
+            engine.query(&group).items(&shuffled).run().unwrap(),
+        );
+    }
+
+    #[test]
+    fn cache_key_separates_every_scoring_parameter() {
+        let (matrix, pop, items) = world();
+        let raw = RawRatings(&matrix);
+        let engine = GrecaEngine::new(&raw, &pop);
+        let g01 = Group::new(vec![UserId(0), UserId(1)]).unwrap();
+        let g02 = Group::new(vec![UserId(0), UserId(2)]).unwrap();
+        let base = || engine.query(&g01).items(&items);
+        let key = base().cache_key();
+        let variants = [
+            engine.query(&g02).items(&items).cache_key(),
+            base().items(&items[..3]).cache_key(),
+            base().period(0).cache_key(),
+            base().affinity(AffinityMode::StaticOnly).cache_key(),
+            base().layout(ListLayout::Single).cache_key(),
+            base()
+                .consensus(ConsensusFunction::least_misery())
+                .cache_key(),
+            base()
+                .consensus(ConsensusFunction::pairwise_disagreement(0.8))
+                .cache_key(),
+            base().normalize_rpref(false).cache_key(),
+            base().top(3).cache_key(),
+            base().algorithm(Algorithm::Naive).cache_key(),
+            base()
+                .algorithm(Algorithm::Greca(
+                    GrecaConfig::top(10).check_interval(CheckInterval::Adaptive),
+                ))
+                .cache_key(),
+            engine.query(&g01).cache_key(), // default (empty) itemset
+        ];
+        for (i, v) in variants.iter().enumerate() {
+            assert_ne!(&key, v, "variant {i} must not collide with the base key");
+        }
+        // The k inside an algorithm's config is overridden by the
+        // query's own k, so it must not split the cache.
+        assert_eq!(
+            base()
+                .algorithm(Algorithm::Greca(GrecaConfig::top(99)))
+                .cache_key(),
+            base()
+                .algorithm(Algorithm::Greca(GrecaConfig::top(10)))
+                .cache_key(),
+        );
+    }
+
+    #[test]
+    fn prepared_query_key_tracks_scoring_mutators() {
+        let (matrix, pop, items) = world();
+        let raw = RawRatings(&matrix);
+        let engine = GrecaEngine::new(&raw, &pop);
+        let group = Group::new(vec![UserId(0), UserId(1)]).unwrap();
+        let prepared = engine.query(&group).items(&items).prepare().unwrap();
+        assert_eq!(
+            prepared.cache_key(),
+            Some(&engine.query(&group).items(&items).cache_key())
+        );
+        let retargeted = prepared.top(3).consensus(ConsensusFunction::least_misery());
+        assert_eq!(
+            retargeted.cache_key(),
+            Some(
+                &engine
+                    .query(&group)
+                    .items(&items)
+                    .top(3)
+                    .consensus(ConsensusFunction::least_misery())
+                    .cache_key()
+            )
+        );
+        // Hand-assembled preparations have no engine-scoped key.
+        let affinity = pop.group_view(&group, 0, AffinityMode::Discrete);
+        let lists = greca_cf::group_preference_lists(&raw, &group, &items).unwrap();
+        let hand =
+            PreparedQuery::from_parts(affinity, &lists, ListLayout::Decomposed, true).unwrap();
+        assert_eq!(hand.cache_key(), None);
+    }
+
+    #[test]
+    fn poisoned_shared_caches_recover_instead_of_wedging() {
+        let (matrix, pop, items) = world();
+        let raw = RawRatings(&matrix);
+        let engine = GrecaEngine::new(&raw, &pop);
+        let group = Group::new(vec![UserId(0), UserId(1)]).unwrap();
+        engine.query(&group).items(&items).run().unwrap();
+        assert_eq!(engine.cached_affinity_views(), 1);
+        assert_eq!(engine.pooled_scratches(), 1);
+
+        // Poison both shared mutexes the way a panicking worker would:
+        // die while holding the lock.
+        let cache = Arc::clone(&engine.affinity_cache);
+        let pool = Arc::clone(&engine.scratch_pool);
+        std::thread::spawn(move || {
+            let _c = cache.lock().unwrap();
+            let _p = pool.lock().unwrap();
+            panic!("worker panic while holding the cache locks");
+        })
+        .join()
+        .unwrap_err();
+        assert!(engine.affinity_cache.is_poisoned());
+        assert!(engine.scratch_pool.is_poisoned());
+
+        // Queries keep working: the poisoned state is cleared once and
+        // both caches resume caching (not silently disabled).
+        let r = engine.query(&group).items(&items).run().unwrap();
+        assert_eq!(r, engine.query(&group).items(&items).run().unwrap());
+        assert!(!engine.affinity_cache.is_poisoned(), "flag cleared");
+        assert_eq!(engine.cached_affinity_views(), 1, "cache refilled");
+        assert_eq!(engine.pooled_scratches(), 1, "pool refilled");
+    }
 }

@@ -46,6 +46,46 @@ use greca_cf::PreferenceProvider;
 use greca_dataset::{Group, ItemId, UserId};
 use std::sync::Arc;
 
+/// Resident data bytes of one substrate, reported per storage layer —
+/// see [`Substrate::memory_footprint`].
+///
+/// Counts element bytes (`len × size_of`) of every backing array;
+/// allocator slack, `Arc` headers and the struct shells themselves are
+/// excluded, so the figures are the *data* a capacity planner should
+/// budget for, stable across allocators. Segments structurally shared
+/// with another epoch are counted here in full (each substrate reports
+/// what it keeps alive on its own).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryFootprint {
+    /// The universe layout: user and item id maps (users, dense user
+    /// positions, items, dense item positions).
+    pub universe_bytes: usize,
+    /// Per-user preference segments (`(ids, scores)` columns).
+    pub pref_bytes: usize,
+    /// The population affinity arrays: static + per-period sorted pair
+    /// columns, rank inverses, and the population position map.
+    pub affinity_bytes: usize,
+}
+
+impl MemoryFootprint {
+    /// Sum over all layers.
+    pub fn total(&self) -> usize {
+        self.universe_bytes + self.pref_bytes + self.affinity_bytes
+    }
+
+    /// The footprint as a JSON object (hand-formatted; serde is stubbed
+    /// offline — see `vendor/README.md`).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"universe_bytes\":{},\"pref_bytes\":{},\"affinity_bytes\":{},\"total_bytes\":{}}}",
+            self.universe_bytes,
+            self.pref_bytes,
+            self.affinity_bytes,
+            self.total()
+        )
+    }
+}
+
 /// How a query's itemset relates to the substrate's item universe.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ItemCoverage {
@@ -332,6 +372,34 @@ impl Substrate {
             .sum()
     }
 
+    /// Resident data bytes per storage layer — the capacity-planning
+    /// view of this substrate (see [`MemoryFootprint`] for the counting
+    /// rules). Surfaced by `engine_baseline`'s JSON artifact and the
+    /// serving layer's `stats` verb.
+    pub fn memory_footprint(&self) -> MemoryFootprint {
+        use std::mem::size_of;
+        let layout = &self.layout;
+        let universe_bytes = layout.users.len() * size_of::<UserId>()
+            + layout.user_pos.len() * size_of::<Option<u32>>()
+            + layout.items.len() * size_of::<ItemId>()
+            + layout.item_dense.len() * size_of::<u32>();
+        let aff = &self.affinity;
+        let pair_cols = |pairs: &[u32], values: &[f64]| {
+            std::mem::size_of_val(pairs) + std::mem::size_of_val(values)
+        };
+        let mut affinity_bytes = aff.pop_pos.len() * size_of::<Option<u32>>()
+            + pair_cols(&aff.static_pairs, &aff.static_values);
+        for p in 0..aff.period_pairs.len() {
+            affinity_bytes += pair_cols(&aff.period_pairs[p], &aff.period_values[p])
+                + aff.period_rank[p].len() * size_of::<u32>();
+        }
+        MemoryFootprint {
+            universe_bytes,
+            pref_bytes: self.pref_bytes(),
+            affinity_bytes,
+        }
+    }
+
     /// Position of `u` among the substrate's users, if precomputed.
     pub fn user_index(&self, u: UserId) -> Option<usize> {
         self.layout
@@ -607,6 +675,26 @@ mod tests {
         sub.order_pairs_by_period_rank(0, &mut pairs);
         let got: Vec<u32> = pairs.iter().map(|&(_, pop_pair)| pop_pair as u32).collect();
         assert_eq!(got, sub.period_view(0).ids);
+    }
+
+    #[test]
+    fn memory_footprint_accounts_every_layer() {
+        let (matrix, pop, _tl) = world();
+        let raw = RawRatings(&matrix);
+        let items: Vec<ItemId> = matrix.items().collect();
+        let sub = Substrate::build(&raw, &pop, &items).unwrap();
+        let fp = sub.memory_footprint();
+        assert_eq!(fp.pref_bytes, sub.pref_bytes());
+        // 3 users × 4 items × (u32 id + f64 score).
+        assert_eq!(fp.pref_bytes, 3 * 4 * 12);
+        assert!(fp.universe_bytes > 0, "layout maps counted");
+        assert!(fp.affinity_bytes > 0, "affinity arrays counted");
+        assert_eq!(
+            fp.total(),
+            fp.universe_bytes + fp.pref_bytes + fp.affinity_bytes
+        );
+        let json = fp.to_json();
+        assert!(json.contains("\"total_bytes\"") && json.contains("\"pref_bytes\""));
     }
 
     #[test]

@@ -1,0 +1,317 @@
+//! Admission control: bounded per-verb queues with immediate load
+//! shedding and graceful drain.
+//!
+//! The serving discipline the ISSUE's overload criterion asks for is
+//! *bounded latency, not bounded refusal*: when demand exceeds
+//! capacity, a full queue answers `overloaded` **now** (the HTTP-429
+//! analogue) instead of queueing unboundedly and answering everyone
+//! late. Each verb gets its own queue so a burst of slow queries can
+//! never starve ingestion (or vice versa): capacity is the product of
+//! queue depth × worker count per verb, set in
+//! [`ServeConfig`](crate::ServeConfig).
+//!
+//! The scheduler is deliberately generic — a job is any `FnOnce()` —
+//! so its admission/drain semantics are testable without a socket or
+//! an engine in sight (see the unit tests below). The server submits
+//! closures that execute the request and fill a [`ResponseSlot`] the
+//! connection thread is waiting on; workers are plain scoped threads
+//! running [`VerbQueue::worker_loop`].
+//!
+//! Drain protocol ([`VerbQueue::drain`]): new submissions are refused
+//! with [`Submission::Draining`], every job already accepted still
+//! runs to completion, and workers exit once the queue is empty — so
+//! a graceful shutdown never drops an accepted request.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// A unit of deferred work (the server's: "execute this request and
+/// fill its response slot").
+pub type Job<'env> = Box<dyn FnOnce() + Send + 'env>;
+
+/// What [`VerbQueue::submit`] did with a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Submission {
+    /// Enqueued; a worker will run it.
+    Accepted,
+    /// Queue full — the job was **not** enqueued (shed it).
+    Overloaded,
+    /// The queue is draining for shutdown — not enqueued.
+    Draining,
+}
+
+struct QueueState<'env> {
+    jobs: VecDeque<Job<'env>>,
+    draining: bool,
+}
+
+/// One verb's bounded job queue. See the module docs.
+pub struct VerbQueue<'env> {
+    state: Mutex<QueueState<'env>>,
+    /// Wakes workers (new job or drain).
+    work_cv: Condvar,
+    capacity: usize,
+}
+
+impl<'env> VerbQueue<'env> {
+    /// An empty queue holding at most `capacity` pending jobs.
+    pub fn new(capacity: usize) -> Self {
+        VerbQueue {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                draining: false,
+            }),
+            work_cv: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, QueueState<'env>> {
+        // Jobs never run under this lock, so a poisoned state is
+        // structurally sound; recover rather than wedging the server.
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(poisoned) => {
+                self.state.clear_poison();
+                poisoned.into_inner()
+            }
+        }
+    }
+
+    /// Admit `job`, or refuse immediately — never blocks the caller.
+    pub fn submit(&self, job: Job<'env>) -> Submission {
+        let mut state = self.lock();
+        if state.draining {
+            return Submission::Draining;
+        }
+        if state.jobs.len() >= self.capacity {
+            return Submission::Overloaded;
+        }
+        state.jobs.push_back(job);
+        drop(state);
+        self.work_cv.notify_one();
+        Submission::Accepted
+    }
+
+    /// Pending (accepted, not yet started) jobs.
+    pub fn depth(&self) -> usize {
+        self.lock().jobs.len()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Refuse new submissions and wake every worker; accepted jobs
+    /// still run. Idempotent.
+    pub fn drain(&self) {
+        self.lock().draining = true;
+        self.work_cv.notify_all();
+    }
+
+    /// Run jobs until the queue drains: the body of one worker thread.
+    /// Returns the number of jobs this worker executed.
+    ///
+    /// A panicking job is caught and swallowed here: the job's own
+    /// unwind guards answer its client, and the worker lives on to
+    /// execute the rest of the queue — otherwise a panicking request
+    /// would deplete the pool one worker at a time until accepted jobs
+    /// wait forever.
+    pub fn worker_loop(&self) -> usize {
+        let mut executed = 0;
+        loop {
+            let job = {
+                let mut state = self.lock();
+                loop {
+                    if let Some(job) = state.jobs.pop_front() {
+                        break job;
+                    }
+                    if state.draining {
+                        return executed;
+                    }
+                    state = self
+                        .work_cv
+                        .wait(state)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                }
+            };
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+            executed += 1;
+        }
+    }
+}
+
+/// A one-shot rendezvous between the connection thread (waiting for a
+/// response line) and the worker that produces it.
+#[derive(Default)]
+pub struct ResponseSlot {
+    value: Mutex<Option<String>>,
+    cv: Condvar,
+}
+
+impl ResponseSlot {
+    /// A fresh, empty slot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Deliver the response and wake the waiter. First fill wins.
+    pub fn fill(&self, response: String) {
+        let mut value = self
+            .value
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if value.is_none() {
+            *value = Some(response);
+            self.cv.notify_all();
+        }
+    }
+
+    /// Block until a response is delivered.
+    pub fn wait(&self) -> String {
+        let mut value = self
+            .value
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        loop {
+            if let Some(v) = value.take() {
+                return v;
+            }
+            value = self
+                .cv
+                .wait(value)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Barrier};
+
+    #[test]
+    fn full_queue_sheds_instead_of_blocking() {
+        let queue = VerbQueue::new(2);
+        // No workers: submissions pile up to capacity, then shed.
+        assert_eq!(queue.submit(Box::new(|| {})), Submission::Accepted);
+        assert_eq!(queue.submit(Box::new(|| {})), Submission::Accepted);
+        assert_eq!(queue.depth(), 2);
+        let t0 = std::time::Instant::now();
+        assert_eq!(queue.submit(Box::new(|| {})), Submission::Overloaded);
+        assert!(
+            t0.elapsed() < std::time::Duration::from_millis(50),
+            "shedding must be immediate, not queued"
+        );
+    }
+
+    #[test]
+    fn workers_drain_accepted_jobs_then_exit() {
+        let queue = Arc::new(VerbQueue::new(16));
+        let ran = Arc::new(AtomicUsize::new(0));
+        for _ in 0..10 {
+            let ran = Arc::clone(&ran);
+            assert_eq!(
+                queue.submit(Box::new(move || {
+                    ran.fetch_add(1, Ordering::SeqCst);
+                })),
+                Submission::Accepted
+            );
+        }
+        let executed: usize = std::thread::scope(|s| {
+            let workers: Vec<_> = (0..3)
+                .map(|_| {
+                    let queue = Arc::clone(&queue);
+                    s.spawn(move || queue.worker_loop())
+                })
+                .collect();
+            queue.drain();
+            workers.into_iter().map(|w| w.join().unwrap()).sum()
+        });
+        assert_eq!(ran.load(Ordering::SeqCst), 10, "no accepted job dropped");
+        assert_eq!(executed, 10);
+        assert_eq!(queue.submit(Box::new(|| {})), Submission::Draining);
+    }
+
+    #[test]
+    fn busy_workers_plus_full_queue_is_the_shed_condition() {
+        // 1 worker wedged on a slow job + capacity-1 queue: the next
+        // submission sheds while the accepted one still completes.
+        let queue = Arc::new(VerbQueue::new(1));
+        let gate = Arc::new(Barrier::new(2));
+        let done = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            let worker = {
+                let queue = Arc::clone(&queue);
+                s.spawn(move || queue.worker_loop())
+            };
+            let slow_gate = Arc::clone(&gate);
+            let slow_done = Arc::clone(&done);
+            queue.submit(Box::new(move || {
+                slow_gate.wait(); // worker is now occupied
+                std::thread::sleep(std::time::Duration::from_millis(30));
+                slow_done.fetch_add(1, Ordering::SeqCst);
+            }));
+            gate.wait();
+            let queued_done = Arc::clone(&done);
+            assert_eq!(
+                queue.submit(Box::new(move || {
+                    queued_done.fetch_add(1, Ordering::SeqCst);
+                })),
+                Submission::Accepted,
+                "one slot in the queue"
+            );
+            assert_eq!(queue.submit(Box::new(|| {})), Submission::Overloaded);
+            queue.drain();
+            worker.join().unwrap();
+        });
+        assert_eq!(done.load(Ordering::SeqCst), 2, "accepted jobs both ran");
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_the_worker() {
+        let queue = Arc::new(VerbQueue::new(8));
+        let ran = Arc::new(AtomicUsize::new(0));
+        assert_eq!(
+            queue.submit(Box::new(|| panic!("request bug"))),
+            Submission::Accepted
+        );
+        let after = Arc::clone(&ran);
+        assert_eq!(
+            queue.submit(Box::new(move || {
+                after.fetch_add(1, Ordering::SeqCst);
+            })),
+            Submission::Accepted
+        );
+        let executed = std::thread::scope(|s| {
+            let worker = {
+                let queue = Arc::clone(&queue);
+                s.spawn(move || queue.worker_loop())
+            };
+            queue.drain();
+            worker.join().expect("worker thread itself must not die")
+        });
+        assert_eq!(executed, 2, "both jobs ran on the same worker");
+        assert_eq!(
+            ran.load(Ordering::SeqCst),
+            1,
+            "the job behind the panicking one still executed"
+        );
+    }
+
+    #[test]
+    fn response_slot_rendezvous() {
+        let slot = Arc::new(ResponseSlot::new());
+        let filler = Arc::clone(&slot);
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                filler.fill("pong".to_string());
+                filler.fill("ignored second fill".to_string());
+            });
+            assert_eq!(slot.wait(), "pong");
+        });
+    }
+}

@@ -1,0 +1,109 @@
+//! A minimal blocking client for the line protocol — what the load
+//! harness, the examples and the integration tests talk through.
+
+use crate::json::{self, Json};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// One blocking connection to a [`GrecaServer`](crate::GrecaServer).
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connect.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+        })
+    }
+
+    /// Send one request value, wait for its response line.
+    pub fn request(&mut self, body: &Json) -> std::io::Result<Json> {
+        let line = self.request_raw(&body.to_line())?;
+        json::parse(&line).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("unparseable response '{line}': {e}"),
+            )
+        })
+    }
+
+    /// Send one raw line, read one raw line back (no parsing).
+    pub fn request_raw(&mut self, line: &str) -> std::io::Result<String> {
+        writeln!(self.writer, "{line}")?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(response.trim_end().to_string())
+    }
+
+    /// A `query` request over `group` with optional itemset and k.
+    pub fn query(
+        &mut self,
+        group: &[u32],
+        items: Option<&[u32]>,
+        k: Option<usize>,
+    ) -> std::io::Result<Json> {
+        let mut pairs = vec![
+            ("verb", Json::str("query")),
+            (
+                "group",
+                Json::Arr(group.iter().map(|&u| Json::num(u)).collect()),
+            ),
+        ];
+        if let Some(items) = items {
+            pairs.push((
+                "items",
+                Json::Arr(items.iter().map(|&i| Json::num(i)).collect()),
+            ));
+        }
+        if let Some(k) = k {
+            pairs.push(("k", Json::num(k as f64)));
+        }
+        self.request(&Json::obj(pairs))
+    }
+
+    /// An `ingest` request of `(user, item, value, ts)` ratings.
+    pub fn ingest(&mut self, ratings: &[(u32, u32, f32, i64)]) -> std::io::Result<Json> {
+        let body = Json::obj(vec![
+            ("verb", Json::str("ingest")),
+            (
+                "ratings",
+                Json::Arr(
+                    ratings
+                        .iter()
+                        .map(|&(u, i, v, ts)| {
+                            Json::Arr(vec![
+                                Json::num(u),
+                                Json::num(i),
+                                Json::num(f64::from(v)),
+                                Json::num(ts as f64),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]);
+        self.request(&body)
+    }
+
+    /// A `stats` request.
+    pub fn stats(&mut self) -> std::io::Result<Json> {
+        self.request(&Json::obj(vec![("verb", Json::str("stats"))]))
+    }
+
+    /// A `health` request.
+    pub fn health(&mut self) -> std::io::Result<Json> {
+        self.request(&Json::obj(vec![("verb", Json::str("health"))]))
+    }
+}

@@ -1,0 +1,230 @@
+//! The metrics registry: lock-free per-verb counters and latency
+//! histograms, dumped by the `stats` verb.
+//!
+//! Histograms use power-of-two microsecond buckets (1 µs … ~67 s), the
+//! classic log-scaled layout: recording is one atomic increment, and
+//! quantiles come back as the upper bound of the bucket the quantile
+//! falls in — within 2× of the true value at any scale, which is what
+//! an operator needs from a `stats` endpoint. (The load harness
+//! measures its headline p50/p99 client-side from exact samples; these
+//! histograms are the *server's* self-observation.)
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use crate::json::Json;
+
+/// Number of power-of-two buckets: bucket `i` holds samples in
+/// `(2^(i-1), 2^i]` µs; the last bucket absorbs everything larger.
+const BUCKETS: usize = 27;
+
+/// A log-scaled latency histogram.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one latency sample.
+    pub fn record(&self, elapsed: Duration) {
+        let us = elapsed.as_micros().min(u128::from(u64::MAX)) as u64;
+        let bucket = (64 - us.leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency in microseconds (0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            0.0
+        } else {
+            self.sum_us.load(Ordering::Relaxed) as f64 / count as f64
+        }
+    }
+
+    /// Upper bound (µs) of the bucket the `q`-quantile falls in; 0 when
+    /// empty. `q` in `[0, 1]`.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                return 1u64 << i;
+            }
+        }
+        1u64 << (BUCKETS - 1)
+    }
+
+    /// The histogram as a JSON object (count, mean, p50/p90/p99 bucket
+    /// bounds in µs).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("count", Json::num(self.count() as f64)),
+            ("mean_us", Json::num(self.mean_us())),
+            ("p50_us", Json::num(self.quantile_us(0.50) as f64)),
+            ("p90_us", Json::num(self.quantile_us(0.90) as f64)),
+            ("p99_us", Json::num(self.quantile_us(0.99) as f64)),
+        ])
+    }
+}
+
+/// One verb's counters.
+#[derive(Debug, Default)]
+pub struct VerbMetrics {
+    /// Requests admitted and executed (latency recorded for these).
+    pub requests: AtomicU64,
+    /// Requests refused by admission control (`overloaded` replies).
+    pub shed: AtomicU64,
+    /// Requests that executed but answered with a typed error.
+    pub errors: AtomicU64,
+    /// End-to-end serve latency (queue wait + execution + encoding).
+    pub latency: Histogram,
+}
+
+impl VerbMetrics {
+    /// Record one served request.
+    pub fn served(&self, elapsed: Duration, ok: bool) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if !ok {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        self.latency.record(elapsed);
+    }
+
+    /// Record one shed request.
+    pub fn shed_one(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The verb's counters as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            (
+                "requests",
+                Json::num(self.requests.load(Ordering::Relaxed) as f64),
+            ),
+            ("shed", Json::num(self.shed.load(Ordering::Relaxed) as f64)),
+            (
+                "errors",
+                Json::num(self.errors.load(Ordering::Relaxed) as f64),
+            ),
+            ("latency", self.latency.to_json()),
+        ])
+    }
+}
+
+/// The server-wide registry.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// `query` verb counters.
+    pub query: VerbMetrics,
+    /// `ingest` verb counters.
+    pub ingest: VerbMetrics,
+    /// `stats` verb counters.
+    pub stats: VerbMetrics,
+    /// `health` verb counters.
+    pub health: VerbMetrics,
+    /// Unparseable or ill-formed request lines.
+    pub protocol_errors: AtomicU64,
+    /// Epoch swaps observed via the publish hook.
+    pub publishes: AtomicU64,
+    /// Connections accepted over the server's lifetime.
+    pub connections: AtomicU64,
+}
+
+impl Metrics {
+    /// Counter for one verb label.
+    pub fn verb(&self, verb: &str) -> &VerbMetrics {
+        match verb {
+            "query" => &self.query,
+            "ingest" => &self.ingest,
+            "stats" => &self.stats,
+            _ => &self.health,
+        }
+    }
+
+    /// The registry as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("query", self.query.to_json()),
+            ("ingest", self.ingest.to_json()),
+            ("stats", self.stats.to_json()),
+            ("health", self.health.to_json()),
+            (
+                "protocol_errors",
+                Json::num(self.protocol_errors.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "publishes_observed",
+                Json::num(self.publishes.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "connections",
+                Json::num(self.connections.load(Ordering::Relaxed) as f64),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_log_scaled() {
+        let h = Histogram::default();
+        h.record(Duration::from_micros(1));
+        h.record(Duration::from_micros(100));
+        h.record(Duration::from_millis(10));
+        assert_eq!(h.count(), 3);
+        // p50 falls in the 100 µs sample's bucket (2^7 = 128).
+        assert_eq!(h.quantile_us(0.5), 128);
+        // p99 falls in the 10 ms sample's bucket (2^14 = 16384).
+        assert_eq!(h.quantile_us(0.99), 16_384);
+        assert!((h.mean_us() - (1.0 + 100.0 + 10_000.0) / 3.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn quantiles_on_empty_and_saturated_histograms() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile_us(0.99), 0);
+        h.record(Duration::from_secs(10_000)); // beyond the last bucket
+        assert_eq!(h.quantile_us(0.5), 1 << (BUCKETS - 1));
+    }
+
+    #[test]
+    fn verb_metrics_track_outcomes() {
+        let m = VerbMetrics::default();
+        m.served(Duration::from_micros(10), true);
+        m.served(Duration::from_micros(20), false);
+        m.shed_one();
+        let json = m.to_json();
+        assert_eq!(json.get("requests").and_then(Json::as_u64), Some(2));
+        assert_eq!(json.get("errors").and_then(Json::as_u64), Some(1));
+        assert_eq!(json.get("shed").and_then(Json::as_u64), Some(1));
+    }
+}

@@ -1,0 +1,459 @@
+//! The wire protocol: line-delimited JSON, one request and one response
+//! per line, four verbs.
+//!
+//! ## Requests
+//!
+//! ```text
+//! {"verb":"query","group":[3,17,42]}                          — paper defaults
+//! {"verb":"query","group":[3,17],"items":[0,1,2],"k":5,
+//!  "period":2,"mode":"static","consensus":"mo","id":7}        — everything spelled out
+//! {"verb":"ingest","ratings":[[3,120,4.5,1710000000]],
+//!  "retract":[[3,7]]}                                         — one epoch publish
+//! {"verb":"stats"}
+//! {"verb":"health"}
+//! ```
+//!
+//! `consensus` accepts `"ap"`, `"mo"`, `"pd:<w1>"`, `"vd:<w1>"`;
+//! `mode` accepts `"none"`, `"static"`, `"discrete"` (the default).
+//! An optional `id` of any JSON type is echoed verbatim in the
+//! response, for clients that pipeline.
+//!
+//! ## Responses
+//!
+//! Every response carries `ok` plus the echoed `verb` (and `id` when
+//! given). Failures replace the payload with a typed `code`:
+//!
+//! * `bad_request` — malformed JSON, unknown verb, missing/ill-typed
+//!   field (detail in `error`);
+//! * `rejected` — the engine refused the query
+//!   ([`QueryError`](greca_core::QueryError) text in `error`);
+//! * `overloaded` — the verb's admission queue was full; the request
+//!   was **not** executed and the client should back off (the
+//!   HTTP-429 analogue);
+//! * `shutting_down` — the server is draining;
+//! * `internal` — a worker panicked mid-execution.
+//!
+//! Successful `query` responses carry the serving epoch, the cache
+//! disposition (`hit` / `miss` / `coalesced` / `bypass`) and the exact
+//! result: item ids with their `[lb, ub]` score envelopes (floats in
+//! shortest round-trip form, so the payload is bit-comparable to a
+//! direct engine run), access statistics, sweeps and the stop reason.
+
+use crate::json::Json;
+use greca_affinity::AffinityMode;
+use greca_consensus::ConsensusFunction;
+use greca_core::{StopReason, TopKResult};
+use greca_dataset::{ItemId, Rating, UserId};
+
+/// A parsed request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Run one group query.
+    Query(QueryRequest),
+    /// Stage + publish rating deltas as one epoch.
+    Ingest(IngestRequest),
+    /// Metrics registry dump.
+    Stats,
+    /// Liveness probe.
+    Health,
+}
+
+impl Request {
+    /// The verb label echoed in responses.
+    pub fn verb(&self) -> &'static str {
+        match self {
+            Request::Query(_) => "query",
+            Request::Ingest(_) => "ingest",
+            Request::Stats => "stats",
+            Request::Health => "health",
+        }
+    }
+}
+
+/// One `query` request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryRequest {
+    /// Group member user ids.
+    pub group: Vec<UserId>,
+    /// Candidate itemset; `None` = the provider's candidate set.
+    pub items: Option<Vec<ItemId>>,
+    /// Result size; `None` = the paper default (10).
+    pub k: Option<usize>,
+    /// Query period; `None` = the latest.
+    pub period: Option<usize>,
+    /// Affinity mode; `None` = discrete.
+    pub mode: Option<AffinityMode>,
+    /// Consensus function; `None` = AP.
+    pub consensus: Option<ConsensusFunction>,
+    /// Echoed request id.
+    pub id: Option<Json>,
+}
+
+/// One `ingest` request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IngestRequest {
+    /// Rating upserts.
+    pub ratings: Vec<Rating>,
+    /// `(user, item)` retractions.
+    pub retractions: Vec<(UserId, ItemId)>,
+    /// Echoed request id.
+    pub id: Option<Json>,
+}
+
+/// A request-level failure, mapped to a typed error response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BadRequest {
+    /// Human-readable detail.
+    pub detail: String,
+    /// Echoed request id, when it was at least readable.
+    pub id: Option<Json>,
+}
+
+fn bad(detail: impl Into<String>, id: Option<Json>) -> BadRequest {
+    BadRequest {
+        detail: detail.into(),
+        id,
+    }
+}
+
+/// A wire value as a u32 id — rejects negatives, fractions, and values
+/// beyond `u32::MAX` (silent truncation would address the wrong
+/// user/item).
+fn as_u32_id(v: &Json) -> Option<u32> {
+    v.as_u64().and_then(|u| u32::try_from(u).ok())
+}
+
+/// Parse one request line's JSON into a [`Request`].
+pub fn parse_request(value: &Json) -> Result<Request, BadRequest> {
+    let id = value.get("id").cloned();
+    let verb = value
+        .get("verb")
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad("missing string field 'verb'", id.clone()))?;
+    match verb {
+        "query" => Ok(Request::Query(parse_query(value, id)?)),
+        "ingest" => Ok(Request::Ingest(parse_ingest(value, id)?)),
+        "stats" => Ok(Request::Stats),
+        "health" => Ok(Request::Health),
+        other => Err(bad(
+            format!("unknown verb '{other}' (expected query/ingest/stats/health)"),
+            id,
+        )),
+    }
+}
+
+fn parse_query(value: &Json, id: Option<Json>) -> Result<QueryRequest, BadRequest> {
+    let group = value
+        .get("group")
+        .and_then(Json::as_array)
+        .ok_or_else(|| bad("query needs an array field 'group'", id.clone()))?
+        .iter()
+        .map(|v| as_u32_id(v).map(UserId))
+        .collect::<Option<Vec<_>>>()
+        .ok_or_else(|| bad("'group' entries must be u32 user ids", id.clone()))?;
+    let items = match value.get("items") {
+        None | Some(Json::Null) => None,
+        Some(v) => Some(
+            v.as_array()
+                .ok_or_else(|| bad("'items' must be an array", id.clone()))?
+                .iter()
+                .map(|v| as_u32_id(v).map(ItemId))
+                .collect::<Option<Vec<_>>>()
+                .ok_or_else(|| bad("'items' entries must be u32 item ids", id.clone()))?,
+        ),
+    };
+    let int_field = |name: &str| -> Result<Option<usize>, BadRequest> {
+        match value.get(name) {
+            None | Some(Json::Null) => Ok(None),
+            Some(v) => v.as_u64().map(|u| Some(u as usize)).ok_or_else(|| {
+                bad(
+                    format!("'{name}' must be a non-negative integer"),
+                    id.clone(),
+                )
+            }),
+        }
+    };
+    let k = int_field("k")?;
+    let period = int_field("period")?;
+    let mode = match value.get("mode") {
+        None | Some(Json::Null) => None,
+        Some(Json::Str(s)) => match s.as_str() {
+            "none" => Some(AffinityMode::None),
+            "static" => Some(AffinityMode::StaticOnly),
+            "discrete" => Some(AffinityMode::Discrete),
+            other => {
+                return Err(bad(
+                    format!("unknown mode '{other}' (expected none/static/discrete)"),
+                    id,
+                ))
+            }
+        },
+        Some(_) => return Err(bad("'mode' must be a string", id)),
+    };
+    let consensus = match value.get("consensus") {
+        None | Some(Json::Null) => None,
+        Some(Json::Str(spec)) => Some(parse_consensus(spec).ok_or_else(|| {
+            bad(
+                format!("unknown consensus '{spec}' (expected ap/mo/pd:<w1>/vd:<w1>)"),
+                id.clone(),
+            )
+        })?),
+        Some(_) => return Err(bad("'consensus' must be a string", id)),
+    };
+    Ok(QueryRequest {
+        group,
+        items,
+        k,
+        period,
+        mode,
+        consensus,
+        id,
+    })
+}
+
+/// Parse a consensus spec: `ap`, `mo`, `pd:<w1>`, `vd:<w1>`.
+pub fn parse_consensus(spec: &str) -> Option<ConsensusFunction> {
+    match spec {
+        "ap" => Some(ConsensusFunction::average_preference()),
+        "mo" => Some(ConsensusFunction::least_misery()),
+        _ => {
+            let (kind, w1) = spec.split_once(':')?;
+            let w1: f64 = w1.parse().ok()?;
+            if !(0.0..=1.0).contains(&w1) {
+                return None;
+            }
+            match kind {
+                "pd" => Some(ConsensusFunction::pairwise_disagreement(w1)),
+                "vd" => Some(ConsensusFunction::variance_disagreement(w1)),
+                _ => None,
+            }
+        }
+    }
+}
+
+fn parse_ingest(value: &Json, id: Option<Json>) -> Result<IngestRequest, BadRequest> {
+    let mut ratings = Vec::new();
+    if let Some(v) = value.get("ratings") {
+        let arr = v
+            .as_array()
+            .ok_or_else(|| bad("'ratings' must be an array", id.clone()))?;
+        for entry in arr {
+            let tuple = entry
+                .as_array()
+                .filter(|t| t.len() == 4)
+                .ok_or_else(|| bad("each rating must be [user, item, value, ts]", id.clone()))?;
+            let user = as_u32_id(&tuple[0]);
+            let item = as_u32_id(&tuple[1]);
+            let value_f = tuple[2].as_f64();
+            let ts = tuple[3].as_f64().filter(|t| t.fract() == 0.0);
+            match (user, item, value_f, ts) {
+                (Some(u), Some(i), Some(v), Some(t)) => ratings.push(Rating {
+                    user: UserId(u),
+                    item: ItemId(i),
+                    value: v as f32,
+                    ts: t as i64,
+                }),
+                _ => return Err(bad("each rating must be [user, item, value, ts]", id)),
+            }
+        }
+    }
+    let mut retractions = Vec::new();
+    if let Some(v) = value.get("retract") {
+        let arr = v
+            .as_array()
+            .ok_or_else(|| bad("'retract' must be an array", id.clone()))?;
+        for entry in arr {
+            let tuple = entry.as_array().filter(|t| t.len() == 2);
+            let pair = tuple.and_then(|t| Some((as_u32_id(&t[0])?, as_u32_id(&t[1])?)));
+            match pair {
+                Some((u, i)) => retractions.push((UserId(u), ItemId(i))),
+                None => return Err(bad("each retraction must be [user, item]", id)),
+            }
+        }
+    }
+    if ratings.is_empty() && retractions.is_empty() {
+        return Err(bad("ingest needs 'ratings' and/or 'retract'", id));
+    }
+    Ok(IngestRequest {
+        ratings,
+        retractions,
+        id,
+    })
+}
+
+/// Start a response object: `ok`, `verb`, echoed `id`.
+fn response_head(ok: bool, verb: &str, id: &Option<Json>) -> Vec<(String, Json)> {
+    let mut pairs = vec![
+        ("ok".to_string(), Json::Bool(ok)),
+        ("verb".to_string(), Json::str(verb)),
+    ];
+    if let Some(id) = id {
+        pairs.push(("id".to_string(), id.clone()));
+    }
+    pairs
+}
+
+/// A typed error response line.
+pub fn error_response(verb: &str, code: &str, detail: &str, id: &Option<Json>) -> String {
+    let mut pairs = response_head(false, verb, id);
+    pairs.push(("code".to_string(), Json::str(code)));
+    pairs.push(("error".to_string(), Json::str(detail)));
+    Json::Obj(pairs).to_line()
+}
+
+/// A successful `query` response line.
+pub fn query_response(result: &TopKResult, epoch: u64, cache: &str, id: &Option<Json>) -> String {
+    let items: Vec<Json> = result
+        .items
+        .iter()
+        .map(|t| {
+            Json::obj(vec![
+                ("item", Json::num(t.item.0)),
+                ("lb", Json::Num(t.lb)),
+                ("ub", Json::Num(t.ub)),
+            ])
+        })
+        .collect();
+    let stop = match result.stop_reason {
+        StopReason::Buffer => "buffer",
+        StopReason::Threshold => "threshold",
+        StopReason::Exhausted => "exhausted",
+    };
+    let mut pairs = response_head(true, "query", id);
+    pairs.extend([
+        ("epoch".to_string(), Json::num(epoch as f64)),
+        ("cache".to_string(), Json::str(cache)),
+        ("items".to_string(), Json::Arr(items)),
+        ("sa".to_string(), Json::num(result.stats.sa as f64)),
+        ("ra".to_string(), Json::num(result.stats.ra as f64)),
+        (
+            "total_entries".to_string(),
+            Json::num(result.stats.total_entries as f64),
+        ),
+        ("sweeps".to_string(), Json::num(result.sweeps as f64)),
+        ("stop".to_string(), Json::str(stop)),
+    ]);
+    Json::Obj(pairs).to_line()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    #[test]
+    fn parses_minimal_and_full_query() {
+        let v = parse(r#"{"verb":"query","group":[3,1,2]}"#).unwrap();
+        match parse_request(&v).unwrap() {
+            Request::Query(q) => {
+                assert_eq!(q.group, vec![UserId(3), UserId(1), UserId(2)]);
+                assert_eq!(
+                    (q.items, q.k, q.period, q.mode, q.consensus),
+                    (None, None, None, None, None)
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+        let v = parse(
+            r#"{"verb":"query","group":[1],"items":[5,6],"k":3,"period":2,"mode":"static","consensus":"pd:0.8","id":"abc"}"#,
+        )
+        .unwrap();
+        match parse_request(&v).unwrap() {
+            Request::Query(q) => {
+                assert_eq!(q.items, Some(vec![ItemId(5), ItemId(6)]));
+                assert_eq!((q.k, q.period), (Some(3), Some(2)));
+                assert_eq!(q.mode, Some(AffinityMode::StaticOnly));
+                assert_eq!(
+                    q.consensus,
+                    Some(ConsensusFunction::pairwise_disagreement(0.8))
+                );
+                assert_eq!(q.id, Some(Json::str("abc")));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_ingest_with_retractions() {
+        let v =
+            parse(r#"{"verb":"ingest","ratings":[[3,120,4.5,1000]],"retract":[[3,7]]}"#).unwrap();
+        match parse_request(&v).unwrap() {
+            Request::Ingest(i) => {
+                assert_eq!(i.ratings.len(), 1);
+                assert_eq!(i.ratings[0].user, UserId(3));
+                assert_eq!(i.ratings[0].value, 4.5);
+                assert_eq!(i.ratings[0].ts, 1000);
+                assert_eq!(i.retractions, vec![(UserId(3), ItemId(7))]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_requests_with_detail() {
+        for (line, needle) in [
+            (r#"{"group":[1]}"#, "verb"),
+            (r#"{"verb":"frobnicate"}"#, "unknown verb"),
+            (r#"{"verb":"query"}"#, "group"),
+            (r#"{"verb":"query","group":[-1]}"#, "u32"),
+            (r#"{"verb":"query","group":[4294967297]}"#, "u32"),
+            (
+                r#"{"verb":"query","group":[1],"items":[4294967296]}"#,
+                "u32",
+            ),
+            (r#"{"verb":"query","group":[1],"mode":5}"#, "string"),
+            (r#"{"verb":"query","group":[1],"consensus":7}"#, "string"),
+            (
+                r#"{"verb":"ingest","ratings":[[4294967296,1,3.0,0]]}"#,
+                "rating",
+            ),
+            (
+                r#"{"verb":"ingest","retract":[[1,4294967296]]}"#,
+                "retraction",
+            ),
+            (r#"{"verb":"query","group":[1],"mode":"cubic"}"#, "mode"),
+            (
+                r#"{"verb":"query","group":[1],"consensus":"pd:7"}"#,
+                "consensus",
+            ),
+            (r#"{"verb":"ingest"}"#, "ingest needs"),
+            (r#"{"verb":"ingest","ratings":[[1,2]]}"#, "rating"),
+        ] {
+            let v = parse(line).unwrap();
+            let err = parse_request(&v).unwrap_err();
+            assert!(
+                err.detail.contains(needle),
+                "{line} → {} (wanted '{needle}')",
+                err.detail
+            );
+        }
+    }
+
+    #[test]
+    fn consensus_specs_cover_the_paper_set() {
+        assert_eq!(
+            parse_consensus("ap"),
+            Some(ConsensusFunction::average_preference())
+        );
+        assert_eq!(
+            parse_consensus("mo"),
+            Some(ConsensusFunction::least_misery())
+        );
+        assert_eq!(
+            parse_consensus("vd:0.5"),
+            Some(ConsensusFunction::variance_disagreement(0.5))
+        );
+        assert_eq!(parse_consensus("pd"), None);
+        assert_eq!(parse_consensus("pd:1.5"), None);
+        assert_eq!(parse_consensus("xx:0.5"), None);
+    }
+
+    #[test]
+    fn error_responses_echo_verb_and_id() {
+        let line = error_response("query", "overloaded", "queue full", &Some(Json::num(9u32)));
+        let v = parse(&line).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(v.get("code").and_then(Json::as_str), Some("overloaded"));
+        assert_eq!(v.get("id").and_then(Json::as_u64), Some(9));
+    }
+}

@@ -1,0 +1,604 @@
+//! The TCP front: accept loop, per-connection readers, verb dispatch.
+//!
+//! [`GrecaServer::bind`] attaches to a [`LiveEngine`] and a listening
+//! socket; [`GrecaServer::run`] blocks, serving until a
+//! [`ServerHandle::shutdown`]. Inside `run` everything is scoped
+//! threads over borrowed state — no `'static` gymnastics, no runtime:
+//!
+//! ```text
+//! accept loop ──► connection threads ──► per-verb bounded queues ──► workers
+//!      │                 │                      │ (full → overloaded)     │
+//!      │                 └── stats/health answered inline                 │
+//!      └── shutdown: stop accepting, drain queues, finish in-flight ──────┘
+//! ```
+//!
+//! * `query` requests first probe the epoch-scoped [`ResultCache`]
+//!   inline — a resident entry costs no kernel work, so hits are
+//!   answered on the connection thread without queueing; only cache
+//!   misses pay admission (one kernel run, coalesced across identical
+//!   concurrent queries).
+//! * `ingest` jobs stage and publish through the engine; the epoch
+//!   hook registered at bind time invalidates the cache and bumps the
+//!   publish counter before the ingest response is even written.
+//! * `stats`/`health` never queue: they read atomics and one pin, so
+//!   they stay responsive under full overload — exactly when an
+//!   operator needs them.
+
+use crate::admission::{ResponseSlot, Submission, VerbQueue};
+use crate::cache::{CacheError, ResultCache};
+use crate::json::Json;
+use crate::metrics::Metrics;
+use crate::protocol::{self, IngestRequest, QueryRequest, Request};
+use crate::ServeConfig;
+use greca_core::LiveEngine;
+use greca_dataset::Group;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// State shared between the server, its handle, and the publish hook.
+struct Shared {
+    shutdown: AtomicBool,
+    metrics: Metrics,
+    cache: ResultCache,
+    started: Instant,
+}
+
+/// A clonable remote control for a running [`GrecaServer`].
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+}
+
+impl ServerHandle {
+    /// Begin a graceful shutdown: stop accepting, refuse new work,
+    /// finish everything already admitted. [`GrecaServer::run`] returns
+    /// once in-flight connections close (idle ones are dropped at the
+    /// next read-timeout tick). Idempotent.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+/// The serving front-end over one [`LiveEngine`]. See the module docs.
+pub struct GrecaServer<'live, 'pop> {
+    live: &'live LiveEngine<'pop>,
+    listener: TcpListener,
+    config: ServeConfig,
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+}
+
+impl<'live, 'pop> GrecaServer<'live, 'pop> {
+    /// Bind to `config.addr` (`127.0.0.1:0` by default — an ephemeral
+    /// port, reported by [`GrecaServer::addr`]) and register the cache
+    /// invalidation hook on `live`.
+    pub fn bind(live: &'live LiveEngine<'pop>, config: ServeConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(&*config.addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            shutdown: AtomicBool::new(false),
+            metrics: Metrics::default(),
+            cache: ResultCache::new(config.cache_capacity),
+            started: Instant::now(),
+        });
+        // The epoch-handoff integration: one hook, registered once,
+        // invalidates the whole cache and counts the swap. The hook
+        // holds only the shared state, so it stays valid (and harmless)
+        // after the server itself is gone.
+        shared.cache.invalidate_to(live.epoch());
+        let hook_shared = Arc::clone(&shared);
+        live.on_publish(move |epoch| {
+            hook_shared.cache.invalidate_to(epoch);
+            hook_shared
+                .metrics
+                .publishes
+                .fetch_add(1, Ordering::Relaxed);
+        });
+        Ok(GrecaServer {
+            live,
+            listener,
+            config,
+            shared,
+            addr,
+        })
+    }
+
+    /// The bound socket address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A remote control for this server (clonable, thread-safe).
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shared: Arc::clone(&self.shared),
+            addr: self.addr,
+        }
+    }
+
+    /// The server's result cache (observability for tests/benches).
+    pub fn cache(&self) -> &ResultCache {
+        &self.shared.cache
+    }
+
+    /// The server's metrics registry.
+    pub fn metrics(&self) -> &Metrics {
+        &self.shared.metrics
+    }
+
+    /// Serve until [`ServerHandle::shutdown`]. Blocks the calling
+    /// thread; spawn it in a scope alongside your clients:
+    ///
+    /// ```ignore
+    /// std::thread::scope(|s| {
+    ///     s.spawn(|| server.run());
+    ///     // … clients talk to server.addr() …
+    ///     handle.shutdown();
+    /// });
+    /// ```
+    pub fn run(&self) {
+        let queues = Queues {
+            query: VerbQueue::new(self.config.query_queue),
+            ingest: VerbQueue::new(self.config.ingest_queue),
+        };
+        std::thread::scope(|scope| {
+            for _ in 0..self.config.query_workers.max(1) {
+                scope.spawn(|| queues.query.worker_loop());
+            }
+            for _ in 0..self.config.ingest_workers.max(1) {
+                scope.spawn(|| queues.ingest.worker_loop());
+            }
+            for stream in self.listener.incoming() {
+                if self.shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                self.shared
+                    .metrics
+                    .connections
+                    .fetch_add(1, Ordering::Relaxed);
+                let queues = &queues;
+                scope.spawn(move || self.serve_connection(stream, queues));
+            }
+            // Graceful drain: everything accepted still executes; new
+            // submissions get `shutting_down`.
+            queues.query.drain();
+            queues.ingest.drain();
+        });
+    }
+
+    /// One connection: read request lines, write response lines, in
+    /// order. Returns when the peer closes, on a fatal socket error, or
+    /// at the first read-timeout tick after shutdown began.
+    ///
+    /// Input is read in buffered chunks with the line-size cap enforced
+    /// per chunk, so a client streaming one endless unterminated line —
+    /// at any speed — is answered with `bad_request` and disconnected
+    /// at the cap instead of growing a buffer until OOM.
+    fn serve_connection<'env>(&'env self, stream: TcpStream, queues: &Queues<'env>) {
+        let _ = stream.set_read_timeout(Some(self.config.read_timeout));
+        let _ = stream.set_nodelay(true);
+        let Ok(read_half) = stream.try_clone() else {
+            return;
+        };
+        let mut reader = BufReader::new(read_half);
+        let mut writer = stream;
+        let mut acc: Vec<u8> = Vec::new();
+        let cap = self.config.max_line_bytes.max(1024);
+        loop {
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            let (consumed, complete) = {
+                let chunk = match reader.fill_buf() {
+                    Ok([]) => return, // EOF (a trailing partial line is not a request)
+                    Ok(chunk) => chunk,
+                    // Timeout tick: keep accumulated partial input,
+                    // re-check the shutdown flag.
+                    Err(e)
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut =>
+                    {
+                        continue
+                    }
+                    Err(_) => return,
+                };
+                match chunk.iter().position(|&b| b == b'\n') {
+                    Some(pos) => {
+                        acc.extend_from_slice(&chunk[..pos]);
+                        (pos + 1, true)
+                    }
+                    None => {
+                        acc.extend_from_slice(chunk);
+                        (chunk.len(), false)
+                    }
+                }
+            };
+            reader.consume(consumed);
+            if acc.len() > cap {
+                self.shared
+                    .metrics
+                    .protocol_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                let response = protocol::error_response(
+                    "?",
+                    "bad_request",
+                    &format!("request line exceeds the {cap}-byte limit"),
+                    &None,
+                );
+                let _ = writeln!(writer, "{response}");
+                return; // the remainder of the oversized line is garbage
+            }
+            if !complete {
+                continue;
+            }
+            let response = match std::str::from_utf8(&acc) {
+                Ok(line) => self.dispatch(line.trim(), queues),
+                Err(_) => {
+                    self.shared
+                        .metrics
+                        .protocol_errors
+                        .fetch_add(1, Ordering::Relaxed);
+                    protocol::error_response(
+                        "?",
+                        "bad_request",
+                        "request line is not valid UTF-8",
+                        &None,
+                    )
+                }
+            };
+            acc.clear();
+            if writeln!(writer, "{response}").is_err() {
+                return;
+            }
+        }
+    }
+
+    /// Parse one line and route it. Always produces exactly one
+    /// response line.
+    fn dispatch<'env>(&'env self, line: &str, queues: &Queues<'env>) -> String {
+        if line.is_empty() {
+            self.shared
+                .metrics
+                .protocol_errors
+                .fetch_add(1, Ordering::Relaxed);
+            return protocol::error_response("?", "bad_request", "empty request line", &None);
+        }
+        let parsed = match crate::json::parse(line) {
+            Ok(v) => v,
+            Err(e) => {
+                self.shared
+                    .metrics
+                    .protocol_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                return protocol::error_response(
+                    "?",
+                    "bad_request",
+                    &format!("invalid JSON: {e}"),
+                    &None,
+                );
+            }
+        };
+        let request = match protocol::parse_request(&parsed) {
+            Ok(r) => r,
+            Err(bad) => {
+                self.shared
+                    .metrics
+                    .protocol_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                return protocol::error_response("?", "bad_request", &bad.detail, &bad.id);
+            }
+        };
+        match request {
+            // Observability verbs answer inline — responsive even when
+            // every queue is full.
+            Request::Health => {
+                let t0 = Instant::now();
+                let response = self.handle_health();
+                self.shared.metrics.health.served(t0.elapsed(), true);
+                response
+            }
+            Request::Stats => {
+                let t0 = Instant::now();
+                let response = self.handle_stats(queues);
+                self.shared.metrics.stats.served(t0.elapsed(), true);
+                response
+            }
+            Request::Query(q) => {
+                // Fast path: a resident cache entry costs no kernel
+                // work, so it is served inline — never queued, never
+                // shed — exactly like the observability verbs.
+                let t0 = Instant::now();
+                if let Some(response) = self.try_cached_query(&q) {
+                    self.shared.metrics.query.served(t0.elapsed(), true);
+                    return response;
+                }
+                self.submit(&queues.query, "query", q.id.clone(), move || {
+                    self.handle_query(&q)
+                })
+            }
+            Request::Ingest(i) => self.submit(&queues.ingest, "ingest", i.id.clone(), move || {
+                self.handle_ingest(&i)
+            }),
+        }
+    }
+
+    /// Admission-controlled execution: run `work` through `queue`,
+    /// shedding immediately when it is full. The recorded latency spans
+    /// queue wait + execution (what the client experiences minus
+    /// network).
+    fn submit<'env>(
+        &'env self,
+        queue: &VerbQueue<'env>,
+        verb: &'static str,
+        id: Option<Json>,
+        work: impl FnOnce() -> (String, bool) + Send + 'env,
+    ) -> String {
+        let t0 = Instant::now();
+        let slot = Arc::new(ResponseSlot::new());
+        let ok_flag = Arc::new(AtomicBool::new(false));
+        let job_slot = Arc::clone(&slot);
+        let job_ok = Arc::clone(&ok_flag);
+        let job = Box::new(move || {
+            // If `work` panics the worker thread dies with it; release
+            // the waiter with a typed error first.
+            struct Release<'a>(&'a ResponseSlot, &'static str, Option<Json>);
+            impl Drop for Release<'_> {
+                fn drop(&mut self) {
+                    self.0.fill(protocol::error_response(
+                        self.1,
+                        "internal",
+                        "request execution panicked",
+                        &self.2,
+                    ));
+                }
+            }
+            let release = Release(&job_slot, verb, id.clone());
+            let (response, ok) = work();
+            std::mem::forget(release);
+            job_ok.store(ok, Ordering::Relaxed);
+            job_slot.fill(response);
+        });
+        match queue.submit(job) {
+            Submission::Accepted => {
+                let response = slot.wait();
+                let ok = ok_flag.load(Ordering::Relaxed);
+                self.shared.metrics.verb(verb).served(t0.elapsed(), ok);
+                response
+            }
+            Submission::Overloaded => {
+                self.shared.metrics.verb(verb).shed_one();
+                protocol::error_response(
+                    verb,
+                    "overloaded",
+                    "admission queue full; back off and retry",
+                    &None,
+                )
+            }
+            Submission::Draining => {
+                protocol::error_response(verb, "shutting_down", "server is draining", &None)
+            }
+        }
+    }
+
+    /// Answer a query from the result cache without queueing, when a
+    /// resident entry exists at the current epoch.
+    fn try_cached_query(&self, q: &QueryRequest) -> Option<String> {
+        let group = Group::new(q.group.clone()).ok()?;
+        let pin = self.live.pin();
+        let engine = pin.engine();
+        let query = build_query(&engine, &group, q);
+        let top = self.shared.cache.try_get(pin.epoch(), &query.cache_key())?;
+        Some(protocol::query_response(&top, pin.epoch(), "hit", &q.id))
+    }
+
+    /// Execute one query through the epoch-pinned engine and the result
+    /// cache. Returns `(response line, ok)`.
+    fn handle_query(&self, q: &QueryRequest) -> (String, bool) {
+        let group = match Group::new(q.group.clone()) {
+            Ok(g) => g,
+            Err(e) => {
+                return (
+                    protocol::error_response("query", "bad_request", &e.to_string(), &q.id),
+                    false,
+                )
+            }
+        };
+        let pin = self.live.pin();
+        let epoch = pin.epoch();
+        let engine = pin.engine();
+        let query = build_query(&engine, &group, q);
+        let key = query.cache_key();
+        let (result, outcome) = self.shared.cache.get_or_compute(epoch, key, || query.run());
+        match result {
+            Ok(top) => (
+                protocol::query_response(&top, epoch, outcome.label(), &q.id),
+                true,
+            ),
+            Err(CacheError::Query(e)) => (
+                protocol::error_response("query", "rejected", &e.to_string(), &q.id),
+                false,
+            ),
+            Err(CacheError::ComputePanicked) => (
+                protocol::error_response(
+                    "query",
+                    "internal",
+                    "a concurrent identical query panicked in the kernel",
+                    &q.id,
+                ),
+                false,
+            ),
+        }
+    }
+
+    /// Stage + publish one delta batch. Returns `(response line, ok)`.
+    fn handle_ingest(&self, req: &IngestRequest) -> (String, bool) {
+        if let Err(e) = self.live.stage(&req.ratings) {
+            return (
+                protocol::error_response("ingest", "rejected", &e.to_string(), &req.id),
+                false,
+            );
+        }
+        self.live.stage_retractions(&req.retractions);
+        match self.live.publish() {
+            Ok(report) => {
+                let mut pairs = vec![
+                    ("ok".to_string(), Json::Bool(true)),
+                    ("verb".to_string(), Json::str("ingest")),
+                ];
+                if let Some(id) = &req.id {
+                    pairs.push(("id".to_string(), id.clone()));
+                }
+                pairs.extend([
+                    ("epoch".to_string(), Json::num(report.epoch as f64)),
+                    ("upserts".to_string(), Json::num(report.upserts as f64)),
+                    (
+                        "retractions".to_string(),
+                        Json::num(report.retractions as f64),
+                    ),
+                    (
+                        "rebuilt_segments".to_string(),
+                        Json::num(report.rebuilt_segments as f64),
+                    ),
+                    (
+                        "shared_segments".to_string(),
+                        Json::num(report.shared_segments as f64),
+                    ),
+                    ("full_rebuild".to_string(), Json::Bool(report.full_rebuild)),
+                ]);
+                (Json::Obj(pairs).to_line(), true)
+            }
+            Err(e) => (
+                protocol::error_response("ingest", "rejected", &e.to_string(), &req.id),
+                false,
+            ),
+        }
+    }
+
+    fn handle_health(&self) -> String {
+        Json::obj(vec![
+            ("ok", Json::Bool(true)),
+            ("verb", Json::str("health")),
+            ("epoch", Json::num(self.live.epoch() as f64)),
+            (
+                "uptime_ms",
+                Json::num(self.shared.started.elapsed().as_millis() as f64),
+            ),
+            (
+                "draining",
+                Json::Bool(self.shared.shutdown.load(Ordering::SeqCst)),
+            ),
+        ])
+        .to_line()
+    }
+
+    fn handle_stats(&self, queues: &Queues<'_>) -> String {
+        let pin = self.live.pin();
+        let engine_epoch = self.live.epoch();
+        let cache = &self.shared.cache;
+        let stats = &cache.stats;
+        let load = |c: &std::sync::atomic::AtomicU64| Json::num(c.load(Ordering::Relaxed) as f64);
+        Json::obj(vec![
+            ("ok", Json::Bool(true)),
+            ("verb", Json::str("stats")),
+            ("epoch", Json::num(engine_epoch as f64)),
+            (
+                "cache",
+                Json::obj(vec![
+                    ("entries", Json::num(cache.len() as f64)),
+                    ("epoch", Json::num(cache.epoch() as f64)),
+                    // How far the cache trails the engine (0 in steady
+                    // state; a publish between the two reads above can
+                    // show a transient 1).
+                    (
+                        "epoch_lag",
+                        Json::num(engine_epoch.saturating_sub(cache.epoch()) as f64),
+                    ),
+                    ("hits", load(&stats.hits)),
+                    ("misses", load(&stats.misses)),
+                    ("coalesced", load(&stats.coalesced)),
+                    ("bypasses", load(&stats.bypasses)),
+                    ("invalidations", load(&stats.invalidations)),
+                    ("capacity_flushes", load(&stats.capacity_flushes)),
+                    ("hit_rate", Json::num(stats.hit_rate())),
+                ]),
+            ),
+            (
+                "queues",
+                Json::obj(vec![
+                    (
+                        "query",
+                        Json::obj(vec![
+                            ("depth", Json::num(queues.query.depth() as f64)),
+                            ("capacity", Json::num(queues.query.capacity() as f64)),
+                        ]),
+                    ),
+                    (
+                        "ingest",
+                        Json::obj(vec![
+                            ("depth", Json::num(queues.ingest.depth() as f64)),
+                            ("capacity", Json::num(queues.ingest.capacity() as f64)),
+                        ]),
+                    ),
+                ]),
+            ),
+            ("memory", memory_json(pin.substrate().memory_footprint())),
+            ("metrics", self.shared.metrics.to_json()),
+        ])
+        .to_line()
+    }
+}
+
+/// The per-verb admission queues, scoped to one `run()`.
+struct Queues<'env> {
+    query: VerbQueue<'env>,
+    ingest: VerbQueue<'env>,
+}
+
+/// Assemble a [`greca_core::GroupQuery`] from a parsed request's
+/// optional fields (shared by the inline fast path and the queued
+/// execution path, so both derive the same canonical cache key).
+fn build_query<'q>(
+    engine: &'q greca_core::GrecaEngine<'q>,
+    group: &'q Group,
+    req: &'q QueryRequest,
+) -> greca_core::GroupQuery<'q> {
+    let mut query = engine.query(group);
+    if let Some(items) = &req.items {
+        query = query.items(items);
+    }
+    if let Some(k) = req.k {
+        query = query.top(k);
+    }
+    if let Some(period) = req.period {
+        query = query.period(period);
+    }
+    if let Some(mode) = req.mode {
+        query = query.affinity(mode);
+    }
+    if let Some(consensus) = req.consensus {
+        query = query.consensus(consensus);
+    }
+    query
+}
+
+/// A [`greca_core::MemoryFootprint`] as a JSON object.
+fn memory_json(fp: greca_core::MemoryFootprint) -> Json {
+    Json::obj(vec![
+        ("universe_bytes", Json::num(fp.universe_bytes as f64)),
+        ("pref_bytes", Json::num(fp.pref_bytes as f64)),
+        ("affinity_bytes", Json::num(fp.affinity_bytes as f64)),
+        ("total_bytes", Json::num(fp.total() as f64)),
+    ])
+}

@@ -1,0 +1,269 @@
+//! Server behavior tests: protocol robustness over real sockets,
+//! typed overload shedding, and graceful drain.
+
+use greca_affinity::{PopulationAffinity, TableAffinitySource};
+use greca_core::{LiveEngine, LiveModel};
+use greca_dataset::{Granularity, ItemId, RatingMatrix, RatingMatrixBuilder, Timeline, UserId};
+use greca_serve::{Client, GrecaServer, Json, ServeConfig};
+use std::sync::atomic::Ordering;
+use std::sync::Barrier;
+use std::time::Duration;
+
+const USERS: u32 = 16;
+const ITEMS: u32 = 40;
+
+fn world() -> (RatingMatrix, PopulationAffinity, Vec<ItemId>) {
+    let mut b = RatingMatrixBuilder::new(USERS as usize, ITEMS as usize);
+    for u in 0..USERS {
+        for i in 0..ITEMS {
+            if (u + i) % 3 == 0 {
+                b.rate(UserId(u), ItemId(i), ((u * i) % 5 + 1) as f32, 0);
+            }
+        }
+    }
+    let mut src = TableAffinitySource::new();
+    let tl = Timeline::discretize(0, 100, Granularity::Custom(50)).unwrap();
+    for u in 0..USERS {
+        for v in (u + 1)..USERS {
+            src.set_static(UserId(u), UserId(v), f64::from((u + v) % 10) / 10.0);
+            src.set_periodic(
+                UserId(u),
+                UserId(v),
+                tl.periods()[0].start,
+                f64::from((u * v) % 10) / 10.0,
+            );
+        }
+    }
+    let users: Vec<UserId> = (0..USERS).map(UserId).collect();
+    let pop = PopulationAffinity::build(&src, &users, &tl);
+    (b.build(), pop, (0..ITEMS).map(ItemId).collect())
+}
+
+/// Shuts the server down even when an assertion panics mid-scope, so a
+/// test failure surfaces instead of deadlocking on the scope join.
+struct ShutdownOnDrop(greca_serve::ServerHandle);
+impl Drop for ShutdownOnDrop {
+    fn drop(&mut self) {
+        self.0.shutdown();
+    }
+}
+
+#[test]
+fn malformed_lines_get_typed_errors_and_the_connection_survives() {
+    let (matrix, pop, items) = world();
+    let live = LiveEngine::new(&pop, LiveModel::Raw, &matrix, &items).unwrap();
+    let server = GrecaServer::bind(&live, ServeConfig::default()).unwrap();
+    let handle = server.handle();
+    std::thread::scope(|s| {
+        let _shutdown = ShutdownOnDrop(server.handle());
+        s.spawn(|| server.run());
+        let mut client = Client::connect(handle.addr()).unwrap();
+        for (line, code) in [
+            ("this is not json", "bad_request"),
+            ("{\"verb\":\"frobnicate\"}", "bad_request"),
+            ("{\"no_verb\":1}", "bad_request"),
+            ("{\"verb\":\"query\"}", "bad_request"),
+            // Engine-level rejections are typed too.
+            ("{\"verb\":\"query\",\"group\":[9999]}", "rejected"),
+            ("{\"verb\":\"query\",\"group\":[1],\"k\":0}", "rejected"),
+            (
+                "{\"verb\":\"query\",\"group\":[1],\"period\":99}",
+                "rejected",
+            ),
+            (
+                "{\"verb\":\"ingest\",\"ratings\":[[1,2,null,0]]}",
+                "bad_request",
+            ),
+        ] {
+            let raw = client.request_raw(line).unwrap();
+            let response = greca_serve::json::parse(&raw).unwrap();
+            assert_eq!(
+                response.get("ok").and_then(Json::as_bool),
+                Some(false),
+                "{line} → {raw}"
+            );
+            assert_eq!(
+                response.get("code").and_then(Json::as_str),
+                Some(code),
+                "{line} → {raw}"
+            );
+        }
+        // The connection is still healthy after all that abuse.
+        let ok = client.query(&[1, 2], None, Some(3)).unwrap();
+        assert_eq!(ok.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            server.metrics().protocol_errors.load(Ordering::Relaxed),
+            5,
+            "only the ill-formed lines count as protocol errors"
+        );
+        handle.shutdown();
+    });
+}
+
+#[test]
+fn oversized_and_non_utf8_lines_get_typed_errors_without_buffering() {
+    use std::io::{BufRead, BufReader, Read, Write};
+    let (matrix, pop, items) = world();
+    let live = LiveEngine::new(&pop, LiveModel::Raw, &matrix, &items).unwrap();
+    let config = ServeConfig {
+        max_line_bytes: 4096,
+        ..ServeConfig::default()
+    };
+    let server = GrecaServer::bind(&live, config).unwrap();
+    let handle = server.handle();
+    std::thread::scope(|s| {
+        let _shutdown = ShutdownOnDrop(server.handle());
+        s.spawn(|| server.run());
+
+        // A non-UTF-8 line is a typed protocol error; the connection
+        // survives it.
+        let mut stream = std::net::TcpStream::connect(handle.addr()).unwrap();
+        stream.write_all(&[0xff, 0xfe, b'\n']).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("not valid UTF-8"), "{line}");
+        // Still usable afterwards.
+        stream.write_all(b"{\"verb\":\"health\"}\n").unwrap();
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"ok\":true"), "{line}");
+
+        // One endless unterminated line is cut off at the cap with a
+        // typed reply and a disconnect — never buffered unboundedly.
+        let mut stream = std::net::TcpStream::connect(handle.addr()).unwrap();
+        let junk = vec![b'a'; 64 * 1024];
+        // The server may disconnect mid-write; ignore write errors.
+        let _ = stream.write_all(&junk);
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("exceeds the 4096-byte limit"), "{line}");
+        let mut rest = String::new();
+        // After the reply the connection is closed (EOF).
+        assert_eq!(reader.read_to_string(&mut rest).unwrap_or(0), 0);
+        handle.shutdown();
+    });
+}
+
+#[test]
+fn overload_sheds_with_typed_replies_not_unbounded_queueing() {
+    const CLIENTS: usize = 12;
+    const REQUESTS: usize = 20;
+    let (matrix, pop, items) = world();
+    let live = LiveEngine::new(&pop, LiveModel::Raw, &matrix, &items).unwrap();
+    // One worker, one queue slot: any concurrent burst must shed.
+    let config = ServeConfig {
+        query_workers: 1,
+        query_queue: 1,
+        ..ServeConfig::default()
+    };
+    let server = GrecaServer::bind(&live, config).unwrap();
+    let handle = server.handle();
+    std::thread::scope(|s| {
+        let _shutdown = ShutdownOnDrop(server.handle());
+        s.spawn(|| server.run());
+        let gate = Barrier::new(CLIENTS);
+        let outcomes: Vec<(usize, usize, Duration)> = std::thread::scope(|inner| {
+            let handles: Vec<_> = (0..CLIENTS)
+                .map(|c| {
+                    let gate = &gate;
+                    let addr = handle.addr();
+                    inner.spawn(move || {
+                        let mut client = Client::connect(addr).unwrap();
+                        // Explicit full-catalog itemset: some groups
+                        // co-rate everything, which would void the
+                        // default candidate set.
+                        let catalog: Vec<u32> = (0..ITEMS).collect();
+                        gate.wait();
+                        let (mut ok, mut shed) = (0, 0);
+                        let mut max_latency = Duration::ZERO;
+                        for r in 0..REQUESTS {
+                            // Distinct groups so every accepted query
+                            // costs a real kernel run (no cache help).
+                            let group = [
+                                (c % USERS as usize) as u32,
+                                ((c + r + 1) % USERS as usize) as u32,
+                                ((2 * c + r + 3) % USERS as usize) as u32,
+                            ];
+                            let t0 = std::time::Instant::now();
+                            let response = client.query(&group, Some(&catalog), Some(5)).unwrap();
+                            max_latency = max_latency.max(t0.elapsed());
+                            match (
+                                response.get("ok").and_then(Json::as_bool),
+                                response.get("code").and_then(Json::as_str),
+                            ) {
+                                (Some(true), _) => ok += 1,
+                                (Some(false), Some("overloaded")) => shed += 1,
+                                other => panic!("unexpected response {other:?}"),
+                            }
+                        }
+                        (ok, shed, max_latency)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let total_ok: usize = outcomes.iter().map(|o| o.0).sum();
+        let total_shed: usize = outcomes.iter().map(|o| o.1).sum();
+        assert_eq!(
+            total_ok + total_shed,
+            CLIENTS * REQUESTS,
+            "every request answered"
+        );
+        assert!(
+            total_shed > 0,
+            "12 concurrent clients against capacity 2 must shed"
+        );
+        assert!(total_ok > 0, "the server still serves under overload");
+        assert_eq!(
+            server.metrics().query.shed.load(Ordering::Relaxed),
+            total_shed as u64
+        );
+        // Bounded latency: nobody waited behind an unbounded queue. A
+        // request admits at most (queue + in-flight) kernel runs ahead
+        // of it; 5 s is orders of magnitude above that on this world.
+        let worst = outcomes.iter().map(|o| o.2).max().unwrap();
+        assert!(
+            worst < Duration::from_secs(5),
+            "worst per-request latency {worst:?} suggests unbounded queueing"
+        );
+        handle.shutdown();
+    });
+}
+
+#[test]
+fn graceful_shutdown_drains_and_run_returns() {
+    let (matrix, pop, items) = world();
+    let live = LiveEngine::new(&pop, LiveModel::Raw, &matrix, &items).unwrap();
+    let server = GrecaServer::bind(&live, ServeConfig::default()).unwrap();
+    let handle = server.handle();
+    let addr = handle.addr();
+    std::thread::scope(|s| {
+        let _shutdown = ShutdownOnDrop(server.handle());
+        let runner = s.spawn(|| server.run());
+        {
+            let mut client = Client::connect(addr).unwrap();
+            // A normal request completes…
+            let response = client.query(&[0, 3], None, Some(3)).unwrap();
+            assert_eq!(response.get("ok").and_then(Json::as_bool), Some(true));
+            // …then shutdown begins while this connection is open.
+            handle.shutdown();
+            // The draining flag is visible through health until the
+            // connection is torn down (either a reply or a clean drop
+            // is acceptable mid-drain).
+            if let Ok(health) = client.health() {
+                assert_eq!(health.get("draining").and_then(Json::as_bool), Some(true));
+            }
+        }
+        // run() returns promptly once connections are gone.
+        runner.join().unwrap();
+    });
+    // Once the server value is gone its listener closes; new
+    // connections are refused outright.
+    drop(server);
+    assert!(
+        Client::connect(addr).is_err(),
+        "a stopped server must refuse connections"
+    );
+}

@@ -66,6 +66,7 @@ pub use greca_consensus as consensus;
 pub use greca_core as core;
 pub use greca_dataset as dataset;
 pub use greca_eval as eval;
+pub use greca_serve as serve;
 
 /// Everything most applications need, in one import.
 pub mod prelude {
@@ -80,8 +81,9 @@ pub mod prelude {
     pub use greca_consensus::ConsensusFunction;
     pub use greca_core::{
         run_batch, AccessStats, Algorithm, BatchResult, CheckInterval, GrecaConfig, GrecaEngine,
-        GrecaScratch, GroupQuery, IngestReport, ListLayout, LiveEngine, LiveModel, PinnedEpoch,
-        PreparedQuery, QueryError, StopReason, StoppingRule, Substrate, TaConfig, TopKResult,
+        GrecaScratch, GroupQuery, IngestReport, ListLayout, LiveEngine, LiveModel, MemoryFootprint,
+        PinnedEpoch, PreparedQuery, QueryError, QueryKey, StopReason, StoppingRule, Substrate,
+        TaConfig, TopKResult,
     };
     pub use greca_dataset::prelude::*;
     pub use greca_eval::{

@@ -2,9 +2,11 @@
 //!
 //! * builder defaults equal the paper's §4.2 settings;
 //! * invalid queries fail with typed errors before any work happens;
-//! * the builder path returns results identical to the legacy
-//!   `prepare()` + `Prepared` path across every affinity mode ×
-//!   consensus function combination (the deprecation-safety proof).
+//! * non-finite provider scores surface as typed errors, never panics.
+//!
+//! (The 8-argument `prepare()`/`Prepared` shims these tests once
+//! guarded the migration from were deleted after their deprecation
+//! window; the builder is the only entry point now.)
 
 use greca::prelude::*;
 
@@ -156,81 +158,6 @@ fn validation_errors_are_typed() {
 }
 
 #[test]
-#[allow(deprecated)]
-fn builder_path_equals_legacy_prepare_path() {
-    // The deprecation contract: for every affinity mode × consensus
-    // function, `GroupQuery` must return exactly what the 8-argument
-    // `prepare()` + `Prepared` path returned — same itemsets, same
-    // bounds, same access statistics — for all three algorithms.
-    use greca::core::prepare;
-
-    let w = world();
-    let cf = UserCfModel::fit(&w.ml.matrix, CfConfig::default());
-    let pop = population(&w);
-    let engine = GrecaEngine::new(&cf, &pop);
-    let group = Group::new(vec![UserId(1), UserId(3), UserId(6)]).unwrap();
-    let items: Vec<ItemId> = w.ml.matrix.items().take(100).collect();
-    let period = w.timeline.num_periods() - 1;
-    let k = 6;
-
-    for mode in [
-        AffinityMode::None,
-        AffinityMode::StaticOnly,
-        AffinityMode::Discrete,
-        AffinityMode::continuous(),
-    ] {
-        for consensus in [
-            ConsensusFunction::average_preference(),
-            ConsensusFunction::least_misery(),
-            ConsensusFunction::pairwise_disagreement(0.8),
-            ConsensusFunction::pairwise_disagreement(0.2),
-            ConsensusFunction::variance_disagreement(0.5),
-        ] {
-            for normalize in [true, false] {
-                let legacy = prepare(
-                    &cf,
-                    &pop,
-                    &group,
-                    &items,
-                    period,
-                    mode,
-                    ListLayout::Decomposed,
-                    normalize,
-                )
-                .expect("finite CF scores");
-                let new = engine
-                    .query(&group)
-                    .items(&items)
-                    .period(period)
-                    .affinity(mode)
-                    .consensus(consensus)
-                    .normalize_rpref(normalize)
-                    .top(k)
-                    .prepare()
-                    .unwrap();
-                let ctx = format!("{mode:?}/{}/norm={normalize}", consensus.label());
-
-                let lg = legacy.greca(consensus, GrecaConfig::top(k));
-                let ng = new.run();
-                assert_eq!(lg, ng, "greca mismatch: {ctx}");
-
-                let lt = legacy.ta(consensus, TaConfig::top(k));
-                let nt = new.run_algorithm(Algorithm::Ta(TaConfig::default()));
-                assert_eq!(lt, nt, "ta mismatch: {ctx}");
-
-                let ln = legacy.naive(consensus, k);
-                let nn = new.run_algorithm(Algorithm::Naive);
-                assert_eq!(ln, nn, "naive mismatch: {ctx}");
-
-                let le = legacy.exact_scores(consensus);
-                let ne = new.exact_scores();
-                assert_eq!(le, ne, "exact-score mismatch: {ctx}");
-            }
-        }
-    }
-}
-
-#[test]
 fn query_k_overrides_algorithm_config_k() {
     // One query object sweeps algorithms without re-stating k: the k
     // recorded inside an Algorithm's config must lose to the query's.
@@ -262,14 +189,10 @@ fn engine_serves_any_sync_provider() {
 }
 
 #[test]
-#[allow(deprecated)]
-fn legacy_prepare_rejects_non_finite_scores_with_typed_error() {
-    // Behavior change documented in the 0.3 deprecation note: the shim
-    // used to panic deep inside list construction on a NaN provider
-    // score; it now routes through `QueryError::NonFiniteScore` like
-    // the builder path.
-    use greca::core::prepare;
-
+fn builder_rejects_non_finite_scores_with_typed_error() {
+    // The ingestion contract: a NaN provider score surfaces as
+    // `QueryError::NonFiniteScore` naming the offending item, instead
+    // of panicking deep inside list construction.
     struct Poisoned;
     impl greca::cf::PreferenceProvider for Poisoned {
         fn apref(&self, _: UserId, i: ItemId) -> f64 {
@@ -283,19 +206,15 @@ fn legacy_prepare_rejects_non_finite_scores_with_typed_error() {
 
     let w = world();
     let pop = population(&w);
+    let engine = GrecaEngine::new(&Poisoned, &pop);
     let group = Group::new(vec![UserId(0), UserId(1)]).unwrap();
     let items = vec![ItemId(0), ItemId(1), ItemId(2)];
-    let err = prepare(
-        &Poisoned,
-        &pop,
-        &group,
-        &items,
-        w.timeline.num_periods() - 1,
-        AffinityMode::Discrete,
-        ListLayout::Decomposed,
-        true,
-    )
-    .unwrap_err();
+    let err = engine
+        .query(&group)
+        .items(&items)
+        .top(2)
+        .prepare()
+        .unwrap_err();
     match err {
         QueryError::NonFiniteScore { what } => {
             assert!(what.contains("i1"), "offending item surfaced: {what}");
