@@ -78,6 +78,19 @@ fn main() {
         format!("{:9.3} ms (once per engine)", split.substrate_build_ms),
     );
     print_row(
+        "segment build single",
+        format!("{:9.3} ms (baseline path, 1 thread)", split.build_ms_single),
+    );
+    print_row(
+        "segment build sharded",
+        format!(
+            "{:9.3} ms ({} thread(s), {:.1}× vs baseline)",
+            split.build_ms_parallel,
+            split.build_threads,
+            split.build_ms_single / split.build_ms_parallel.max(1e-9),
+        ),
+    );
+    print_row(
         "prepare cold",
         format!("{:9.3} ms/query", split.cold_prepare_ms),
     );

@@ -29,13 +29,17 @@
 //! shedding, bounded-p99 overload phase.
 //!
 //! Run with: `cargo run -p greca-bench --release --bin serve_load`
-//! (pass `--quick` for the small study world and a shorter workload).
+//! (pass `--quick` for the small study world and a shorter workload, or
+//! `--world <study|10k|100k|1m>` to front a generated worldgen tier
+//! instead of the built-in study worlds).
 
+use greca_affinity::PopulationAffinity;
 use greca_bench::harness::{banner, print_row};
 use greca_bench::{PerfSettings, PerfWorld};
 use greca_core::{LiveEngine, LiveModel};
-use greca_dataset::{Group, ItemId, UserId};
+use greca_dataset::{Group, ItemId, RatingMatrix, UserId};
 use greca_serve::{Client, GrecaServer, Json, ServeConfig};
+use greca_worldgen::{GenWorld, Tier};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::io::Write as _;
@@ -167,56 +171,106 @@ fn mixed_workload(
     })
 }
 
+/// The world behind the server: one of the built-in study worlds, or a
+/// generated worldgen tier (`--world <tier>`). Everything downstream —
+/// the live engine, the group workloads, the verification phase — goes
+/// through this so the serving stack runs unchanged on either.
+enum LoadWorld {
+    Study(Box<PerfWorld>),
+    Gen(Box<GenWorld>),
+}
+
+impl LoadWorld {
+    fn population(&self) -> &PopulationAffinity {
+        match self {
+            LoadWorld::Study(pw) => &pw.world().population,
+            LoadWorld::Gen(w) => &w.population,
+        }
+    }
+
+    fn matrix(&self) -> &RatingMatrix {
+        match self {
+            LoadWorld::Study(pw) => &pw.world().movielens.matrix,
+            LoadWorld::Gen(w) => &w.matrix,
+        }
+    }
+
+    /// The substrate's itemset. For the study worlds this is the full
+    /// catalog so every group's default candidate itemset (catalog
+    /// minus rated) stays on the warm subset-filter path; generated
+    /// worlds serve their Zipf-head serving slice.
+    fn items(&self) -> Vec<ItemId> {
+        match self {
+            LoadWorld::Study(pw) => pw.items(usize::MAX),
+            LoadWorld::Gen(w) => w.serving_items(),
+        }
+    }
+
+    /// Draw `n` groups of `size` cohort users, deterministically in
+    /// `seed`. Generated worlds use the overlapping-membership workload
+    /// (overlap 0.5 — the cache-friendly sharing shape).
+    fn groups(&self, n: usize, size: usize, seed: u64) -> Vec<Group> {
+        match self {
+            LoadWorld::Study(pw) => pw.random_groups(n, size, seed),
+            LoadWorld::Gen(w) => w.group_workload(n, size, 0.5, seed),
+        }
+    }
+}
+
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let tier: Option<Tier> = args.windows(2).find(|w| w[0] == "--world").map(|w| {
+        Tier::parse(&w[1])
+            .unwrap_or_else(|| panic!("unknown tier '{}' (expected study/10k/100k/1m)", w[1]))
+    });
     banner("serve_load: mixed-workload load harness over greca-serve");
-    let (pw, settings, world_label, clients, requests, overload_clients) = if quick {
-        (
-            PerfWorld::build_small(),
-            PerfSettings {
-                num_items: 600,
-                ..PerfSettings::default()
-            },
-            "study_scale",
-            6,
-            50,
-            16,
-        )
+    let (clients, requests, overload_clients) = if quick { (6, 50, 16) } else { (12, 200, 48) };
+    let settings = if quick {
+        PerfSettings {
+            num_items: 600,
+            ..PerfSettings::default()
+        }
     } else {
-        (
-            PerfWorld::build(),
-            PerfSettings::default(),
-            "scalability_scale",
-            12,
-            200,
-            48,
-        )
+        PerfSettings::default()
     };
-    let world = pw.world();
-    // The substrate spans the full catalog so every group's default
-    // candidate itemset (catalog minus rated) stays on the warm
-    // subset-filter path.
-    let items = pw.items(usize::MAX);
+    let (world, world_label) = match tier {
+        Some(t) => (
+            LoadWorld::Gen(Box::new(GenWorld::of_tier(t))),
+            format!("worldgen:{}", t.name()),
+        ),
+        None if quick => (
+            LoadWorld::Study(Box::new(PerfWorld::build_small())),
+            "study_scale".to_string(),
+        ),
+        None => (
+            LoadWorld::Study(Box::new(PerfWorld::build())),
+            "scalability_scale".to_string(),
+        ),
+    };
+    let items = world.items();
     let k = settings.k;
 
-    let live = LiveEngine::new(
-        &world.population,
-        LiveModel::Raw,
-        &world.movielens.matrix,
-        &items,
-    )
-    .expect("finite ratings");
+    let live = LiveEngine::new(world.population(), LiveModel::Raw, world.matrix(), &items)
+        .expect("finite ratings");
     let users: Vec<UserId> = live.pin().substrate().users().to_vec();
-    let hot_groups = pw.random_groups(6, settings.group_size, 0xb07);
+    let hot_groups = world.groups(6, settings.group_size, 0xb07);
     let cold_groups: Vec<Vec<Group>> = (0..clients)
-        .map(|c| pw.random_groups(20, settings.group_size, 0xc01d + c as u64))
+        .map(|c| world.groups(20, settings.group_size, 0xc01d + c as u64))
         .collect();
-    print_row("world", world_label);
+    print_row("world", &world_label);
     print_row("items", items.len());
     print_row("clients × requests", format!("{clients} × {requests}"));
 
     // ── Phase 1: mixed workload ──────────────────────────────────────
-    let server = GrecaServer::bind(&live, ServeConfig::default()).expect("bind");
+    let server = GrecaServer::bind(
+        &live,
+        ServeConfig {
+            world_label: world_label.clone(),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind");
     let handle = server.handle();
     let (samples, stats_line, verify_identical, protocol_errors) = std::thread::scope(|s| {
         s.spawn(|| server.run());
@@ -246,7 +300,7 @@ fn main() {
         let verify_groups: Vec<Group> = hot_groups
             .iter()
             .cloned()
-            .chain(pw.random_groups(4, settings.group_size, 0x1d37))
+            .chain(world.groups(4, settings.group_size, 0x1d37))
             .collect();
         let pin = live.pin();
         let engine = pin.engine();
@@ -349,6 +403,7 @@ fn main() {
     let overload_config = ServeConfig {
         query_workers: 2,
         query_queue: 8,
+        world_label: world_label.clone(),
         ..ServeConfig::default()
     };
     let (oq_workers, oq_queue) = (overload_config.query_workers, overload_config.query_queue);
@@ -356,7 +411,7 @@ fn main() {
     let over_handle = over_server.handle();
     let over_requests = if quick { 10 } else { 25 };
     let over_cold: Vec<Vec<Group>> = (0..overload_clients)
-        .map(|c| pw.random_groups(over_requests, settings.group_size, 0x0537 + c as u64))
+        .map(|c| world.groups(over_requests, settings.group_size, 0x0537 + c as u64))
         .collect();
     let over_samples = std::thread::scope(|s| {
         s.spawn(|| over_server.run());
@@ -466,7 +521,9 @@ fn main() {
         protocol_errors, 0,
         "no protocol errors under the mixed workload"
     );
-    if !quick {
+    // The performance headlines gate only the calibrated full study
+    // run; `--world` tier runs are exploratory capacity probes.
+    if !quick && tier.is_none() {
         assert!(
             hit_speedup >= 10.0,
             "cache-hit p50 ({hit_p50:.3} ms) must be ≥10× faster than miss p50 ({miss_p50:.3} ms)"

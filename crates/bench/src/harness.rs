@@ -13,11 +13,11 @@
 //! aggregated — the serving shape the engine API exists for.
 
 use greca_affinity::AffinityMode;
-use greca_cf::UserCfModel;
+use greca_cf::{PreferenceProvider, UserCfModel};
 use greca_consensus::ConsensusFunction;
 use greca_core::{
-    Aggregate, Algorithm, BatchResult, CheckInterval, GrecaConfig, GrecaEngine, GrecaScratch,
-    PreparedQuery, StoppingRule, TaConfig,
+    Aggregate, Algorithm, BatchResult, BuildOptions, CheckInterval, GrecaConfig, GrecaEngine,
+    GrecaScratch, PreparedQuery, StoppingRule, Substrate, TaConfig,
 };
 use greca_dataset::{Group, GroupBuilder, ItemId, UserId};
 use greca_eval::{StudyWorld, WorldConfig};
@@ -263,6 +263,17 @@ pub struct PrepareSplit {
     /// One-off substrate construction cost (amortized across all
     /// subsequent queries of the engine's lifetime).
     pub substrate_build_ms: f64,
+    /// Eager-segment construction via the pre-substrate baseline path
+    /// (one `preference_list()` + full-column sort + fresh allocations
+    /// per user, sequentially) — the single-threaded reference the
+    /// sharded builder is compared against.
+    pub build_ms_single: f64,
+    /// The same segments through `Substrate::build_with`'s sharded
+    /// builder (scratch reuse + zero-tail sort, `build_threads`
+    /// workers). Bit-identical output to the baseline path.
+    pub build_ms_parallel: f64,
+    /// Worker threads the sharded build resolved to on this host.
+    pub build_threads: usize,
     /// Mean per-query `prepare()` latency on a cold engine (provider
     /// calls + per-member sorts, every query).
     pub cold_prepare_ms: f64,
@@ -281,8 +292,11 @@ impl PrepareSplit {
     /// offline — see `vendor/README.md`).
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"substrate_build_ms\":{:.4},\"cold_prepare_ms\":{:.4},\"warm_prepare_ms\":{:.4},\"speedup\":{:.2},\"identical\":{}}}",
+            "{{\"substrate_build_ms\":{:.4},\"build_ms_single\":{:.4},\"build_ms_parallel\":{:.4},\"build_threads\":{},\"cold_prepare_ms\":{:.4},\"warm_prepare_ms\":{:.4},\"speedup\":{:.2},\"identical\":{}}}",
             self.substrate_build_ms,
+            self.build_ms_single,
+            self.build_ms_parallel,
+            self.build_threads,
             self.cold_prepare_ms,
             self.warm_prepare_ms,
             self.speedup,
@@ -306,6 +320,31 @@ impl PerfWorld {
         let substrate_build_ms = build_start.elapsed().as_secs_f64() * 1e3;
 
         let items = self.items(settings.num_items);
+
+        // Single-threaded baseline: the pre-substrate construction path —
+        // one provider round-trip, a full-column sort and fresh
+        // allocations per user, strictly sequentially, retaining every
+        // column as the old builder did.
+        let study = self.world.study_users();
+        let single_start = Instant::now();
+        let mut baseline: Vec<(Vec<u32>, Vec<f64>)> = Vec::with_capacity(study.len());
+        for &u in &study {
+            let pl = cf.preference_list(u, &items).expect("CF scores are finite");
+            baseline.push(pl.into_sorted_columns());
+        }
+        let build_ms_single = single_start.elapsed().as_secs_f64() * 1e3;
+        drop(std::hint::black_box(baseline));
+
+        // Sharded builder over the same users (scratch reuse + zero-tail
+        // sort; bit-identity with the baseline is covered by core tests).
+        let opts = BuildOptions::default();
+        let build_threads = opts.resolved_threads();
+        let parallel_start = Instant::now();
+        std::hint::black_box(
+            Substrate::build_with(&cf, &self.world.population, &items, &study, &[], opts)
+                .expect("CF scores are finite"),
+        );
+        let build_ms_parallel = parallel_start.elapsed().as_secs_f64() * 1e3;
         let mk = |engine: &GrecaEngine<'_>, group: &Group| {
             engine
                 .query(group)
@@ -340,6 +379,9 @@ impl PerfWorld {
 
         PrepareSplit {
             substrate_build_ms,
+            build_ms_single,
+            build_ms_parallel,
+            build_threads,
             cold_prepare_ms,
             warm_prepare_ms,
             speedup: cold_prepare_ms / warm_prepare_ms.max(1e-9),
@@ -488,7 +530,10 @@ mod tests {
         assert!(split.identical, "cold and warm must agree bit-for-bit");
         assert!(split.substrate_build_ms >= 0.0);
         assert!(split.cold_prepare_ms > 0.0 && split.warm_prepare_ms > 0.0);
+        assert!(split.build_ms_single > 0.0 && split.build_ms_parallel > 0.0);
+        assert!(split.build_threads >= 1);
         assert!(split.to_json().contains("\"identical\":true"));
+        assert!(split.to_json().contains("\"build_threads\":"));
     }
 
     #[test]

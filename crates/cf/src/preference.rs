@@ -63,6 +63,40 @@ pub trait PreferenceProvider {
         PreferenceList::from_entries(u, entries)
     }
 
+    /// Fill `out[d] = apref(u, items[d])` for the whole itemset in one
+    /// call — the batched form bulk consumers (substrate construction)
+    /// use so a `dyn` provider pays one virtual dispatch per *user*
+    /// rather than one per *item*. `out.len()` must equal
+    /// `items.len()`; scores are written unvalidated (callers that need
+    /// the finiteness guarantee check the filled slice, where the
+    /// offending item is still addressable by index).
+    ///
+    /// Sparse providers should override this: [`RawRatings`] walks the
+    /// user's rating row once instead of probing it per item.
+    fn fill_aprefs(&self, u: UserId, items: &[ItemId], out: &mut [f64]) {
+        debug_assert_eq!(items.len(), out.len());
+        for (d, &i) in items.iter().enumerate() {
+            out[d] = self.apref(u, i);
+        }
+    }
+
+    /// Sparse form of [`fill_aprefs`](PreferenceProvider::fill_aprefs):
+    /// append `(d, apref(u, items[d]))` for every itemset position `d`
+    /// whose score **may** be nonzero, in strictly ascending `d`, and
+    /// return `true`. Positions not emitted are guaranteed to score
+    /// exactly `+0.0`. Returning `false` (the default) tells the caller
+    /// the provider has no sparse structure to exploit; bulk consumers
+    /// then fall back to the dense fill.
+    ///
+    /// **Precondition:** `items` must be strictly ascending by id —
+    /// bulk consumers (substrate construction) always canonicalize
+    /// itemsets that way. Implementations may rely on it (and should
+    /// `debug_assert!` it) rather than re-checking per call.
+    fn sparse_aprefs(&self, u: UserId, items: &[ItemId], out: &mut Vec<(u32, f64)>) -> bool {
+        let _ = (u, items, out);
+        false
+    }
+
     /// The candidate itemset for `group` when the caller does not supply
     /// one: every catalog item **no group member has already rated**
     /// (§2.4 poses the problem over such a set). `None` when the provider
@@ -105,6 +139,43 @@ impl PreferenceProvider for RawRatings<'_> {
 
     fn candidate_items(&self, group: &Group) -> Option<Vec<ItemId>> {
         Some(candidate_items(self.0, group))
+    }
+
+    /// Walk `u`'s rating row once (`O(r log m + m)`) instead of binary
+    /// searching it per item (`O(m log r)`) — the row is usually a few
+    /// dozen entries while serving itemsets run to thousands.
+    fn fill_aprefs(&self, u: UserId, items: &[ItemId], out: &mut [f64]) {
+        debug_assert_eq!(items.len(), out.len());
+        // The row walk scatters by itemset position, which is only
+        // correct when positions are unambiguous (strictly ascending
+        // ids). Arbitrary itemsets take the generic per-item path.
+        if items.windows(2).any(|w| w[0] >= w[1]) {
+            for (d, &i) in items.iter().enumerate() {
+                out[d] = self.apref(u, i);
+            }
+            return;
+        }
+        out.fill(0.0);
+        for &(item, value) in self.0.user_ratings(u) {
+            if let Ok(d) = items.binary_search(&item) {
+                out[d] = f64::from(value);
+            }
+        }
+    }
+
+    /// A rating row is the sparse structure itself: one pass over it,
+    /// `O(r log m)`, touching nothing per unrated item.
+    fn sparse_aprefs(&self, u: UserId, items: &[ItemId], out: &mut Vec<(u32, f64)>) -> bool {
+        debug_assert!(
+            items.windows(2).all(|w| w[0] < w[1]),
+            "sparse_aprefs requires a strictly ascending itemset"
+        );
+        for &(item, value) in self.0.user_ratings(u) {
+            if let Ok(d) = items.binary_search(&item) {
+                out.push((d as u32, f64::from(value)));
+            }
+        }
+        true
     }
 }
 

@@ -86,5 +86,8 @@ pub use query::{
     QueryKey, PAPER_DEFAULT_K,
 };
 pub use score::BoundScorer;
-pub use substrate::{ItemCoverage, MemoryFootprint, Substrate};
+pub use substrate::{
+    BuildOptions, ItemCoverage, LazyStats, MemoryFootprint, ScoreCompression, SegmentHandle,
+    Substrate, QUANT_LEVELS,
+};
 pub use ta::{ta_topk, TaConfig};

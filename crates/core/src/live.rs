@@ -70,7 +70,7 @@
 //! ```
 
 use crate::query::{lock_unpoisoned, new_affinity_cache, AffinityCache, GrecaEngine, QueryError};
-use crate::substrate::Substrate;
+use crate::substrate::{BuildOptions, Substrate};
 use greca_affinity::PopulationAffinity;
 use greca_cf::{
     candidate_items, CfConfig, InvalidationScope, NonFiniteScore, PreferenceList,
@@ -217,6 +217,10 @@ pub struct LiveEngine<'a> {
     full_rebuild_fraction: f64,
     /// Epoch-swap observers (see [`LiveEngine::on_publish`]).
     epoch_hooks: Mutex<Vec<EpochHook>>,
+    /// Substrate construction options, applied to epoch 0 and to every
+    /// full rebuild (incremental rebuilds inherit the compression from
+    /// the previous epoch's substrate).
+    build_options: BuildOptions,
 }
 
 /// Default dirty-coverage fraction above which [`LiveEngine::publish`]
@@ -253,17 +257,38 @@ impl<'a> LiveEngine<'a> {
         initial: &RatingMatrix,
         items: &[ItemId],
     ) -> Result<Self, QueryError> {
+        Self::new_with_options(population, model, initial, items, BuildOptions::default())
+    }
+
+    /// Like [`LiveEngine::new`], but with explicit substrate
+    /// construction options — sharded build threads, score compression
+    /// and the materialization budget (see [`BuildOptions`]). The
+    /// options persist: every wholesale rebuild this engine performs
+    /// (epoch 0, and any publish past the full-rebuild threshold) uses
+    /// them, and incremental rebuilds keep the substrate's compression.
+    pub fn new_with_options(
+        population: &'a PopulationAffinity,
+        model: LiveModel,
+        initial: &RatingMatrix,
+        items: &[ItemId],
+        build_options: BuildOptions,
+    ) -> Result<Self, QueryError> {
         let min_users = population.universe().last().map_or(0, |u| u.idx() + 1);
         let min_items = items.iter().map(|i| i.idx() + 1).max().unwrap_or(0);
         let matrix = Arc::new(initial.padded_to(min_users, min_items));
         let universe = population.universe();
         let substrate = match model {
-            LiveModel::Raw => {
-                Substrate::build_for(&RawRatings(&matrix), population, items, universe)?
-            }
+            LiveModel::Raw => Substrate::build_with(
+                &RawRatings(&matrix),
+                population,
+                items,
+                universe,
+                &[],
+                build_options,
+            )?,
             LiveModel::UserCf(cfg) => {
                 let cf = UserCfModel::fit_for(&matrix, cfg, universe);
-                Substrate::build_for(&cf, population, items, universe)?
+                Substrate::build_with(&cf, population, items, universe, &[], build_options)?
             }
         };
         Ok(LiveEngine {
@@ -280,7 +305,13 @@ impl<'a> LiveEngine<'a> {
             }),
             full_rebuild_fraction: DEFAULT_FULL_REBUILD_FRACTION,
             epoch_hooks: Mutex::new(Vec::new()),
+            build_options,
         })
+    }
+
+    /// The substrate construction options this engine builds with.
+    pub fn build_options(&self) -> BuildOptions {
+        self.build_options
     }
 
     /// Register a hook invoked after every successful epoch swap with
@@ -451,12 +482,24 @@ impl<'a> LiveEngine<'a> {
             let users = prev.substrate.users();
             let items = prev.substrate.items();
             match self.model {
-                LiveModel::Raw => {
-                    Substrate::build_for(&RawRatings(&post), self.population, items, users)?
-                }
+                LiveModel::Raw => Substrate::build_with(
+                    &RawRatings(&post),
+                    self.population,
+                    items,
+                    users,
+                    &[],
+                    self.build_options,
+                )?,
                 LiveModel::UserCf(cfg) => {
                     let cf = UserCfModel::fit_for(&post, cfg, users);
-                    Substrate::build_for(&cf, self.population, items, users)?
+                    Substrate::build_with(
+                        &cf,
+                        self.population,
+                        items,
+                        users,
+                        &[],
+                        self.build_options,
+                    )?
                 }
             }
         } else {

@@ -41,7 +41,7 @@ use crate::lists::{
     SortedList,
 };
 use crate::naive::{naive_scores, naive_topk};
-use crate::substrate::{ItemCoverage, Substrate};
+use crate::substrate::{ItemCoverage, SegmentHandle, Substrate};
 use crate::ta::{ta_topk, TaConfig};
 use greca_affinity::{AffinityMode, GroupAffinity, PopulationAffinity};
 use greca_cf::{group_preference_lists, PreferenceList, PreferenceProvider};
@@ -751,7 +751,14 @@ impl<'q> GroupQuery<'q> {
 
         let storage = match self.engine.substrate {
             Some(ref substrate) => {
-                match build_warm(substrate, &affinity, self.group, items, self.layout)? {
+                match build_warm(
+                    self.engine.provider,
+                    substrate,
+                    &affinity,
+                    self.group,
+                    items,
+                    self.layout,
+                )? {
                     Some(warm) => PreparedStorage::Warm(warm),
                     None => PreparedStorage::Cold(cold_inputs(
                         self.engine.provider,
@@ -809,6 +816,7 @@ fn cold_inputs(
 /// substrate cannot serve this query (an uncovered user, a foreign or
 /// duplicated item) and the caller should fall back to the cold path.
 fn build_warm(
+    provider: &(dyn PreferenceProvider + Sync + '_),
     substrate: &Arc<Substrate>,
     affinity: &GroupAffinity,
     group: &Group,
@@ -818,10 +826,13 @@ fn build_warm(
     let Some(coverage) = substrate.item_coverage(items) else {
         return Ok(None);
     };
-    let mut member_idx: Vec<u32> = Vec::with_capacity(group.members().len());
+    // One owned handle per member: resident dense segments cost an `Arc`
+    // clone; quantized or lazy segments may materialize (and cache)
+    // their dense columns here, so the views below stay borrowable.
+    let mut handles: Vec<SegmentHandle> = Vec::with_capacity(group.members().len());
     for &u in group.members() {
         match substrate.user_index(u) {
-            Some(i) => member_idx.push(i as u32),
+            Some(i) => handles.push(substrate.segment_handle(provider, i)?),
             None => return Ok(None),
         }
     }
@@ -845,12 +856,10 @@ fn build_warm(
     let (filtered, num_items) = match coverage {
         ItemCoverage::Full => (None, substrate.num_items()),
         ItemCoverage::Subset(mask) => {
-            let lists: Vec<SortedList> = member_idx
+            let lists: Vec<SortedList> = handles
                 .iter()
                 .enumerate()
-                .map(|(m, &ui)| {
-                    substrate.filtered_pref_list(ui as usize, m as u32, &mask, items.len())
-                })
+                .map(|(m, h)| substrate.filtered_pref_list(h, m as u32, &mask, items.len()))
                 .collect();
             (Some(lists), items.len())
         }
@@ -907,8 +916,7 @@ fn build_warm(
     };
 
     Ok(Some(WarmInputs {
-        substrate: Arc::clone(substrate),
-        member_idx,
+        handles,
         filtered,
         static_lists,
         period_lists,
@@ -920,11 +928,13 @@ fn build_warm(
 
 /// Substrate-backed prepared state: zero-copy segment references (or
 /// filtered columns for subset itemsets) plus the per-query tiny
-/// affinity lists. Keeps the substrate alive via `Arc`.
+/// affinity lists. The per-member handles keep their segments (and any
+/// materialized columns) alive, independent of cache eviction or epoch
+/// swaps.
 #[derive(Debug, Clone)]
 struct WarmInputs {
-    substrate: Arc<Substrate>,
-    member_idx: Vec<u32>,
+    /// One owned segment handle per member.
+    handles: Vec<SegmentHandle>,
     /// `Some` when the itemset is a strict subset of the universe.
     filtered: Option<Vec<SortedList>>,
     static_lists: Vec<SortedList>,
@@ -939,10 +949,10 @@ impl WarmInputs {
         let pref_lists = match &self.filtered {
             Some(lists) => lists.iter().map(SortedList::as_view).collect(),
             None => self
-                .member_idx
+                .handles
                 .iter()
                 .enumerate()
-                .map(|(m, &ui)| self.substrate.pref_view(ui as usize, m as u32))
+                .map(|(m, h)| h.view(m as u32))
                 .collect(),
         };
         GrecaInputs::assemble(

@@ -23,6 +23,38 @@
 //!   positive scale and both tie-break by ascending pair id), so warm
 //!   periodic lists are assembled without comparing floats.
 //!
+//! # Scale-tier storage
+//!
+//! Three mechanisms (all selected via [`BuildOptions`]) let one substrate
+//! span user populations far beyond the paper's 77-user study world:
+//!
+//! * **Sharded construction** — eager segments are built by
+//!   `std::thread`s over contiguous user shards and merged in user order,
+//!   so the result is bit-identical to a sequential build regardless of
+//!   thread count. Each shard reuses one scratch buffer and exploits the
+//!   provider contract (`apref ≥ 0`): only positive-score entries are
+//!   sorted, the zero tail is emitted in id order without comparisons —
+//!   the order a full sort would produce anyway.
+//! * **Quantized scores** ([`ScoreCompression::Quantized`]) — a segment
+//!   stores `u16` codes plus a per-list dequantization table instead of
+//!   one `f64` per item. Lists with ≤ 65 536 distinct score values (every
+//!   list whose itemset is ≤ 65 536 items, so all study-scale worlds) use
+//!   an exact dictionary of the original `f64` bit patterns: dequantized
+//!   views are **bit-identical** to the uncompressed path. Longer lists
+//!   with more distinct values fall back to a linear `hi − code·step`
+//!   table whose absolute error is bounded by `step / 2` (see
+//!   [`Substrate::quant_error_bound`]).
+//! * **Lazy residency** — users listed as *lazy* in
+//!   [`Substrate::build_with`] get no segment at build time; their
+//!   columns are derived from the provider on first access and cached in
+//!   a budget-governed store (see [`Substrate::memory_footprint`] for
+//!   the accounting and eviction rules). A 1M-user universe is therefore
+//!   addressable without materializing 1M preference lists up front.
+//!
+//! All three compose: queries go through [`Substrate::segment_handle`],
+//! which yields a [`SegmentHandle`] owning whatever `Arc`s the view
+//! needs, so eviction can never invalidate an in-flight query.
+//!
 //! Each substrate value is immutable and shared via `Arc<Substrate>`:
 //! [`crate::query::run_batch`] worker threads, cached
 //! [`PreparedQuery`](crate::query::PreparedQuery)s and the engine all
@@ -42,9 +74,75 @@
 use crate::lists::{ListKind, ListView, NonFiniteEntry, SortedList};
 use crate::query::QueryError;
 use greca_affinity::PopulationAffinity;
-use greca_cf::PreferenceProvider;
+use greca_cf::{NonFiniteScore, PreferenceProvider};
 use greca_dataset::{Group, ItemId, UserId};
-use std::sync::Arc;
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Number of representable quantization levels (`u16` codes).
+pub const QUANT_LEVELS: usize = 1 << 16;
+
+/// How preference scores are stored inside resident segments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScoreCompression {
+    /// One `f64` per item (12 bytes/item with the `u32` id column) —
+    /// views borrow the stored scores directly.
+    #[default]
+    F64,
+    /// `u16` codes plus a per-list dequantization table (6 bytes/item
+    /// with the id column, amortizing the table). Views are served from
+    /// a cached dequantized buffer; exact (bit-identical) whenever a
+    /// list has ≤ [`QUANT_LEVELS`] distinct values, bounded-error
+    /// otherwise.
+    Quantized,
+}
+
+impl ScoreCompression {
+    /// Wire/JSON label (`stats` verb, bench artifacts).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ScoreCompression::F64 => "f64",
+            ScoreCompression::Quantized => "quantized",
+        }
+    }
+}
+
+/// Construction options for [`Substrate::build_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BuildOptions {
+    /// Worker threads for eager segment construction; `0` means
+    /// `std::thread::available_parallelism()`. The result is
+    /// bit-identical for every thread count.
+    pub threads: usize,
+    /// Resident score representation.
+    pub compression: ScoreCompression,
+    /// Byte budget for the materialization cache (lazily built segments
+    /// plus dequantized score buffers). `None` = unbounded.
+    pub materialize_budget: Option<usize>,
+}
+
+impl Default for BuildOptions {
+    fn default() -> Self {
+        BuildOptions {
+            threads: 0,
+            compression: ScoreCompression::F64,
+            materialize_budget: None,
+        }
+    }
+}
+
+impl BuildOptions {
+    /// The thread count `threads == 0` resolves to on this host.
+    pub fn resolved_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+}
 
 /// Resident data bytes of one substrate, reported per storage layer —
 /// see [`Substrate::memory_footprint`].
@@ -60,30 +158,59 @@ pub struct MemoryFootprint {
     /// The universe layout: user and item id maps (users, dense user
     /// positions, items, dense item positions).
     pub universe_bytes: usize,
-    /// Per-user preference segments (`(ids, scores)` columns).
+    /// Per-user **resident** preference segments. For
+    /// [`ScoreCompression::F64`] this is `ids (u32) + scores (f64)`;
+    /// for [`ScoreCompression::Quantized`] it is `ids (u32) + codes
+    /// (u16) + dequant table` — the compact form, not the transient
+    /// dequantized buffers (those live in `lazy_bytes`). Lazy slots
+    /// contribute nothing here.
     pub pref_bytes: usize,
     /// The population affinity arrays: static + per-period sorted pair
     /// columns, rank inverses, and the population position map.
     pub affinity_bytes: usize,
+    /// The materialization cache: segments built on demand for lazy
+    /// users plus dequantized score buffers for quantized segments.
+    /// Bounded by [`BuildOptions::materialize_budget`]; evicted FIFO
+    /// once the budget is exceeded (in-flight queries keep their own
+    /// `Arc`s, so eviction only drops the *cache's* reference).
+    pub lazy_bytes: usize,
 }
 
 impl MemoryFootprint {
     /// Sum over all layers.
     pub fn total(&self) -> usize {
-        self.universe_bytes + self.pref_bytes + self.affinity_bytes
+        self.universe_bytes + self.pref_bytes + self.affinity_bytes + self.lazy_bytes
     }
 
     /// The footprint as a JSON object (hand-formatted; serde is stubbed
     /// offline — see `vendor/README.md`).
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"universe_bytes\":{},\"pref_bytes\":{},\"affinity_bytes\":{},\"total_bytes\":{}}}",
+            "{{\"universe_bytes\":{},\"pref_bytes\":{},\"affinity_bytes\":{},\"lazy_bytes\":{},\"total_bytes\":{}}}",
             self.universe_bytes,
             self.pref_bytes,
             self.affinity_bytes,
+            self.lazy_bytes,
             self.total()
         )
     }
+}
+
+/// Counters of the on-demand materialization cache (see
+/// [`Substrate::lazy_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LazyStats {
+    /// Bytes currently held by the cache.
+    pub resident_bytes: usize,
+    /// The configured budget (`usize::MAX` when unbounded).
+    pub budget_bytes: usize,
+    /// Entries currently cached.
+    pub cached_segments: usize,
+    /// Total materializations performed (a re-build after eviction
+    /// counts again).
+    pub materializations: u64,
+    /// Entries dropped to stay under budget.
+    pub evictions: u64,
 }
 
 /// How a query's itemset relates to the substrate's item universe.
@@ -101,6 +228,118 @@ pub enum ItemCoverage {
 /// Sentinel for "item id not in the universe" in the dense-index map.
 const NOT_AN_ITEM: u32 = u32::MAX;
 
+/// Per-list dequantization table of a quantized segment.
+#[derive(Debug)]
+enum Dequant {
+    /// Exact: the distinct score values (by bit pattern, in list
+    /// order), indexed by code. Dequantization reproduces the original
+    /// `f64` bits.
+    Dict(Vec<f64>),
+    /// Lossy linear levels: `value(code) = hi − code · step`. Used only
+    /// when a list carries more than [`QUANT_LEVELS`] distinct values;
+    /// absolute error ≤ `step / 2`.
+    Linear { hi: f64, step: f64 },
+}
+
+impl Dequant {
+    #[inline]
+    fn value(&self, code: u16) -> f64 {
+        match self {
+            Dequant::Dict(dict) => dict[code as usize],
+            Dequant::Linear { hi, step } => hi - code as f64 * step,
+        }
+    }
+
+    fn error_bound(&self) -> f64 {
+        match self {
+            Dequant::Dict(_) => 0.0,
+            Dequant::Linear { step, .. } => step * 0.5,
+        }
+    }
+
+    fn data_bytes(&self) -> usize {
+        match self {
+            Dequant::Dict(d) => std::mem::size_of_val(d.as_slice()),
+            Dequant::Linear { .. } => 2 * std::mem::size_of::<f64>(),
+        }
+    }
+}
+
+/// Score column of one segment: dense floats or quantized codes.
+#[derive(Debug)]
+enum ScoreStore {
+    Dense(Vec<f64>),
+    Quantized { codes: Vec<u16>, dequant: Dequant },
+}
+
+impl ScoreStore {
+    /// Compress a score-descending column according to `compression`.
+    fn from_scores(scores: Vec<f64>, compression: ScoreCompression) -> Self {
+        match compression {
+            ScoreCompression::F64 => ScoreStore::Dense(scores),
+            ScoreCompression::Quantized => quantize(&scores),
+        }
+    }
+
+    fn data_bytes(&self) -> usize {
+        match self {
+            ScoreStore::Dense(s) => std::mem::size_of_val(s.as_slice()),
+            ScoreStore::Quantized { codes, dequant } => {
+                std::mem::size_of_val(codes.as_slice()) + dequant.data_bytes()
+            }
+        }
+    }
+
+    fn error_bound(&self) -> f64 {
+        match self {
+            ScoreStore::Dense(_) => 0.0,
+            ScoreStore::Quantized { dequant, .. } => dequant.error_bound(),
+        }
+    }
+}
+
+/// Quantize a score-descending column into `u16` codes + a dequant
+/// table. Distinct values are runs of equal *bit patterns* (`±0.0` are
+/// distinct runs, so exact dequantization preserves the sign of zero).
+fn quantize(scores: &[f64]) -> ScoreStore {
+    let mut dict: Vec<f64> = Vec::new();
+    for &s in scores {
+        if dict.last().is_none_or(|l| l.to_bits() != s.to_bits()) {
+            dict.push(s);
+        }
+    }
+    if dict.len() <= QUANT_LEVELS {
+        let mut codes = Vec::with_capacity(scores.len());
+        let mut k = 0usize;
+        for &s in scores {
+            if dict[k].to_bits() != s.to_bits() {
+                k += 1;
+            }
+            codes.push(k as u16);
+        }
+        dict.shrink_to_fit();
+        ScoreStore::Quantized {
+            codes,
+            dequant: Dequant::Dict(dict),
+        }
+    } else {
+        // More distinct values than codes: linear levels over the
+        // list's range. `hi > lo` strictly (otherwise there would be a
+        // single distinct value), so `step` is finite and positive.
+        let hi = scores[0];
+        let lo = *scores.last().expect("non-empty");
+        let step = (hi - lo) / (QUANT_LEVELS - 1) as f64;
+        let codes = scores
+            .iter()
+            .map(|&s| (((hi - s) / step).round() as i64).clamp(0, QUANT_LEVELS as i64 - 1) as u16)
+            .collect();
+        ScoreStore::Quantized {
+            codes,
+            dequant: Dequant::Linear { hi, step },
+        }
+    }
+}
+
 /// One user's precomputed preference columns: the score-descending
 /// `(ids, scores)` list over the substrate's item universe.
 ///
@@ -112,8 +351,154 @@ const NOT_AN_ITEM: u32 = u32::MAX;
 struct PrefSegment {
     /// Item ids, sorted by score descending (ties by item id).
     ids: Vec<u32>,
-    /// Scores aligned with `ids`.
-    scores: Vec<f64>,
+    /// Scores aligned with `ids` (dense or quantized).
+    store: ScoreStore,
+}
+
+impl PrefSegment {
+    fn data_bytes(&self) -> usize {
+        std::mem::size_of_val(self.ids.as_slice()) + self.store.data_bytes()
+    }
+}
+
+/// One slot of the substrate's per-user segment table.
+#[derive(Debug, Clone)]
+enum SegmentSlot {
+    /// Built at construction (or by [`Substrate::rebuild_dirty`]).
+    Resident(Arc<PrefSegment>),
+    /// Derived from the provider on first access, cached under the
+    /// materialization budget.
+    Lazy,
+}
+
+/// An owned, eviction-safe reference to one user's preference columns.
+///
+/// Obtained from [`Substrate::segment_handle`]; holds the segment `Arc`
+/// (and, for quantized segments, the dequantized score buffer), so the
+/// slices returned by [`SegmentHandle::view`] stay valid for the
+/// handle's lifetime even if the cache evicts the entry meanwhile.
+#[derive(Debug, Clone)]
+pub struct SegmentHandle {
+    seg: Arc<PrefSegment>,
+    /// `Some` iff the segment is quantized: the dense `f64` buffer the
+    /// views borrow from.
+    dequant: Option<Arc<Vec<f64>>>,
+}
+
+impl SegmentHandle {
+    /// Item ids, score-descending (ties by id).
+    pub fn ids(&self) -> &[u32] {
+        &self.seg.ids
+    }
+
+    /// Scores aligned with [`SegmentHandle::ids`].
+    pub fn scores(&self) -> &[f64] {
+        match &self.dequant {
+            Some(d) => d,
+            None => match &self.seg.store {
+                ScoreStore::Dense(s) => s,
+                ScoreStore::Quantized { .. } => {
+                    unreachable!("quantized handles always carry a dequant buffer")
+                }
+            },
+        }
+    }
+
+    /// The columns as a preference [`ListView`] labeled as group member
+    /// `member`.
+    pub fn view(&self, member: u32) -> ListView<'_> {
+        ListView::new(ListKind::Preference { member }, self.ids(), self.scores())
+    }
+}
+
+/// The materialization cache: lazily built segments and dequantized
+/// score buffers, FIFO-evicted beyond the byte budget. Shared by all
+/// clones of one substrate value; [`Substrate::rebuild_dirty`] starts a
+/// fresh (empty) cache so no stale entry can cross an epoch boundary.
+#[derive(Debug)]
+struct LazyStore {
+    budget_bytes: usize,
+    inner: Mutex<LazyInner>,
+}
+
+#[derive(Debug, Default)]
+struct LazyInner {
+    entries: HashMap<usize, CacheEntry>,
+    /// Insertion order (FIFO eviction).
+    order: VecDeque<usize>,
+    resident_bytes: usize,
+    materializations: u64,
+    evictions: u64,
+}
+
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    handle: SegmentHandle,
+    bytes: usize,
+}
+
+impl LazyStore {
+    fn new(budget_bytes: usize) -> Self {
+        LazyStore {
+            budget_bytes,
+            inner: Mutex::new(LazyInner::default()),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, LazyInner> {
+        // A panic while holding the lock cannot leave partial state (all
+        // mutations below are complete before unlock), so recover.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn get(&self, user_idx: usize) -> Option<SegmentHandle> {
+        self.lock().entries.get(&user_idx).map(|e| e.handle.clone())
+    }
+
+    /// Insert `handle` for `user_idx` (no-op if a racing thread beat us)
+    /// and evict FIFO until back under budget. The just-inserted entry
+    /// is never evicted — the caller is about to read it.
+    fn insert(&self, user_idx: usize, handle: SegmentHandle, bytes: usize) -> SegmentHandle {
+        let mut inner = self.lock();
+        inner.materializations += 1;
+        if let Some(existing) = inner.entries.get(&user_idx) {
+            return existing.handle.clone();
+        }
+        inner.entries.insert(
+            user_idx,
+            CacheEntry {
+                handle: handle.clone(),
+                bytes,
+            },
+        );
+        inner.order.push_back(user_idx);
+        inner.resident_bytes += bytes;
+        while inner.resident_bytes > self.budget_bytes {
+            let Some(&front) = inner.order.front() else {
+                break;
+            };
+            if front == user_idx {
+                break; // keep the entry being read, even over budget
+            }
+            inner.order.pop_front();
+            if let Some(evicted) = inner.entries.remove(&front) {
+                inner.resident_bytes -= evicted.bytes;
+                inner.evictions += 1;
+            }
+        }
+        handle
+    }
+
+    fn stats(&self) -> LazyStats {
+        let inner = self.lock();
+        LazyStats {
+            resident_bytes: inner.resident_bytes,
+            budget_bytes: self.budget_bytes,
+            cached_segments: inner.entries.len(),
+            materializations: inner.materializations,
+            evictions: inner.evictions,
+        }
+    }
 }
 
 /// The id-space layout of a substrate: which users own segments, what
@@ -122,7 +507,7 @@ struct PrefSegment {
 /// hence shared behind one `Arc`.
 #[derive(Debug)]
 struct UniverseLayout {
-    /// Users with precomputed preference segments (sorted by id).
+    /// Users with (resident or lazy) preference segments (sorted by id).
     users: Vec<UserId>,
     /// `users` position by user id.
     user_pos: Vec<Option<u32>>,
@@ -142,7 +527,9 @@ struct UniverseLayout {
 #[derive(Debug)]
 struct AffinityArrays {
     /// Population universe position by user id (for population pair
-    /// indexing; the substrate's users may be a subset of the universe).
+    /// indexing; the substrate's users may be a subset *or superset* of
+    /// the universe — scale-tier worlds serve preference columns for
+    /// users outside the group-forming cohort).
     pop_pos: Vec<Option<u32>>,
     /// Population universe size.
     pop_n: usize,
@@ -172,21 +559,28 @@ struct AffinityArrays {
 #[derive(Debug, Clone)]
 pub struct Substrate {
     layout: Arc<UniverseLayout>,
-    /// One preference segment per `layout.users` entry.
-    segments: Vec<Arc<PrefSegment>>,
+    /// One slot per `layout.users` entry.
+    segments: Vec<SegmentSlot>,
     affinity: Arc<AffinityArrays>,
+    /// Resident score representation ([`Substrate::rebuild_dirty`]
+    /// rebuilds dirty segments in the same representation).
+    compression: ScoreCompression,
+    /// The on-demand materialization cache (unbounded and unused when
+    /// every segment is resident and dense).
+    lazy: Arc<LazyStore>,
+    /// Whether any slot is [`SegmentSlot::Lazy`].
+    has_lazy: bool,
 }
 
 impl Substrate {
     /// Precompute the substrate for every user of the population
     /// universe over `items`.
     ///
-    /// Cost: one [`PreferenceProvider::preference_list`] call per
-    /// universe user (the work a cold query pays per *member*, paid once
-    /// per engine instead), plus one sort per affinity period. Rejects
-    /// non-finite preference or affinity values with
-    /// [`QueryError::NonFiniteScore`] — the same ingestion contract the
-    /// cold path enforces per query.
+    /// Cost: one preference-column derivation per universe user (the
+    /// work a cold query pays per *member*, paid once per engine
+    /// instead), plus one sort per affinity period. Rejects non-finite
+    /// preference or affinity values with [`QueryError::NonFiniteScore`]
+    /// — the same ingestion contract the cold path enforces per query.
     pub fn build(
         provider: &(dyn PreferenceProvider + Sync + '_),
         population: &PopulationAffinity,
@@ -195,8 +589,8 @@ impl Substrate {
         Self::build_for(provider, population, items, population.universe())
     }
 
-    /// Precompute preference segments only for `users` (must belong to
-    /// the population universe) — the right call when only a known user
+    /// Precompute preference segments only for `users` (filtered to the
+    /// population universe) — the right call when only a known user
     /// cohort forms groups. Queries touching other users fall back to
     /// cold materialization.
     pub fn build_for(
@@ -205,10 +599,47 @@ impl Substrate {
         items: &[ItemId],
         users: &[UserId],
     ) -> Result<Self, QueryError> {
-        let mut users: Vec<UserId> = users
+        let users: Vec<UserId> = users
             .iter()
             .copied()
             .filter(|&u| population.contains_user(u))
+            .collect();
+        Self::build_with(
+            provider,
+            population,
+            items,
+            &users,
+            &[],
+            BuildOptions::default(),
+        )
+    }
+
+    /// Precompute the substrate with explicit residency and storage
+    /// options — the scale-tier entry point.
+    ///
+    /// `eager_users` get resident segments built now (sharded over
+    /// [`BuildOptions::threads`] workers, bit-identical to a sequential
+    /// build); `lazy_users` get lazy slots whose
+    /// columns are derived from the provider on first
+    /// [`Substrate::segment_handle`] call and cached under
+    /// [`BuildOptions::materialize_budget`]. Unlike
+    /// [`Substrate::build_for`], users need **not** belong to the
+    /// population universe: a scale-tier world serves preference
+    /// columns for its whole user population while only a bounded
+    /// cohort (the population universe, whose pair space is quadratic)
+    /// forms groups. A user listed in both sets is built eagerly.
+    pub fn build_with(
+        provider: &(dyn PreferenceProvider + Sync + '_),
+        population: &PopulationAffinity,
+        items: &[ItemId],
+        eager_users: &[UserId],
+        lazy_users: &[UserId],
+        opts: BuildOptions,
+    ) -> Result<Self, QueryError> {
+        let mut users: Vec<UserId> = eager_users
+            .iter()
+            .chain(lazy_users.iter())
+            .copied()
             .collect();
         users.sort_unstable();
         users.dedup();
@@ -228,40 +659,39 @@ impl Substrate {
             item_dense[i.0 as usize] = dense as u32;
         }
 
-        let mut segments = Vec::with_capacity(users.len());
-        for &u in &users {
-            let (ids, scores) = provider.preference_list(u, &items)?.into_sorted_columns();
-            segments.push(Arc::new(PrefSegment { ids, scores }));
-        }
-
-        let universe = population.universe();
-        let max_pop = universe.last().map_or(0, |u| u.idx());
-        let mut pop_pos = vec![None; max_pop + 1];
-        for (pos, &u) in universe.iter().enumerate() {
-            pop_pos[u.idx()] = Some(pos as u32);
-        }
-
-        let (static_pairs, static_values) = population.static_sorted_desc();
-        reject_non_finite(ListKind::StaticAffinity, &static_pairs, &static_values)?;
-        let mut period_pairs = Vec::with_capacity(population.num_periods());
-        let mut period_values = Vec::with_capacity(population.num_periods());
-        let mut period_rank = Vec::with_capacity(population.num_periods());
-        for p in 0..population.num_periods() {
-            let (pairs, values) = population.period_sorted_desc(p);
-            reject_non_finite(
-                ListKind::PeriodicAffinity { period: p as u32 },
-                &pairs,
-                &values,
-            )?;
-            let mut rank = vec![0u32; pairs.len()];
-            for (pos, &pair) in pairs.iter().enumerate() {
-                rank[pair as usize] = pos as u32;
+        // Which layout slots are eager (eager wins when listed twice).
+        let mut eager = vec![false; users.len()];
+        for &u in eager_users {
+            if let Some(pos) = user_pos.get(u.idx()).copied().flatten() {
+                eager[pos as usize] = true;
             }
-            period_pairs.push(pairs);
-            period_values.push(values);
-            period_rank.push(rank);
         }
+        let eager_list: Vec<UserId> = users
+            .iter()
+            .zip(&eager)
+            .filter_map(|(&u, &e)| e.then_some(u))
+            .collect();
+        let built = build_segments_sharded(
+            provider,
+            &items,
+            &eager_list,
+            opts.resolved_threads(),
+            opts.compression,
+        )?;
+        let mut built = built.into_iter();
+        let segments: Vec<SegmentSlot> = eager
+            .iter()
+            .map(|&e| {
+                if e {
+                    SegmentSlot::Resident(built.next().expect("one segment per eager user"))
+                } else {
+                    SegmentSlot::Lazy
+                }
+            })
+            .collect();
+        let has_lazy = segments.iter().any(|s| matches!(s, SegmentSlot::Lazy));
 
+        let affinity = affinity_arrays(population)?;
         Ok(Substrate {
             layout: Arc::new(UniverseLayout {
                 users,
@@ -271,15 +701,12 @@ impl Substrate {
                 m,
             }),
             segments,
-            affinity: Arc::new(AffinityArrays {
-                pop_pos,
-                pop_n: universe.len(),
-                static_pairs,
-                static_values,
-                period_pairs,
-                period_values,
-                period_rank,
-            }),
+            affinity: Arc::new(affinity),
+            compression: opts.compression,
+            lazy: Arc::new(LazyStore::new(
+                opts.materialize_budget.unwrap_or(usize::MAX),
+            )),
+            has_lazy,
         })
     }
 
@@ -294,7 +721,11 @@ impl Substrate {
     /// [`Substrate::build`]'s `O(|universe| · m log m)`. Dirty users
     /// without a segment here (outside the precomputed cohort) are
     /// skipped — their queries fall back to cold materialization either
-    /// way. The caller supplies the dirty set (see `greca-cf`'s
+    /// way. Dirty users with a *lazy* slot need no rebuild: the new
+    /// epoch starts with a **fresh, empty materialization cache** (a
+    /// shared cache could hand the new epoch a column the old epoch's
+    /// provider derived), so their next access re-derives from
+    /// `provider`. The caller supplies the dirty set (see `greca-cf`'s
     /// `DeltaBatch::dirty_set`) and a provider already fitted on the
     /// *post-batch* ratings.
     ///
@@ -308,27 +739,39 @@ impl Substrate {
         dirty_users: &[UserId],
     ) -> Result<Self, QueryError> {
         let mut segments = self.segments.clone();
+        let mut scratch = SegmentScratch::new(self.layout.m);
         for &u in dirty_users {
             if let Some(idx) = self.user_index(u) {
-                let (ids, scores) = provider
-                    .preference_list(u, &self.layout.items)?
-                    .into_sorted_columns();
-                segments[idx] = Arc::new(PrefSegment { ids, scores });
+                if matches!(self.segments[idx], SegmentSlot::Resident(_)) {
+                    segments[idx] = SegmentSlot::Resident(build_one_segment(
+                        provider,
+                        u,
+                        &self.layout.items,
+                        self.compression,
+                        &mut scratch,
+                    )?);
+                }
             }
         }
         Ok(Substrate {
             layout: Arc::clone(&self.layout),
             segments,
             affinity: Arc::clone(&self.affinity),
+            compression: self.compression,
+            lazy: Arc::new(LazyStore::new(self.lazy.budget_bytes)),
+            has_lazy: self.has_lazy,
         })
     }
 
     /// Whether `u`'s preference segment is the *same allocation* in both
     /// substrates (structural sharing across an incremental rebuild).
-    /// `false` when either side lacks a segment for `u`.
+    /// `false` when either side lacks a resident segment for `u`.
     pub fn shares_segment_with(&self, other: &Substrate, u: UserId) -> bool {
         match (self.user_index(u), other.user_index(u)) {
-            (Some(a), Some(b)) => Arc::ptr_eq(&self.segments[a], &other.segments[b]),
+            (Some(a), Some(b)) => match (&self.segments[a], &other.segments[b]) {
+                (SegmentSlot::Resident(x), SegmentSlot::Resident(y)) => Arc::ptr_eq(x, y),
+                _ => false,
+            },
             _ => false,
         }
     }
@@ -339,7 +782,7 @@ impl Substrate {
         Arc::ptr_eq(&self.affinity, &other.affinity)
     }
 
-    /// Users with precomputed preference segments.
+    /// Users with (resident or lazy) preference segments.
     pub fn users(&self) -> &[UserId] {
         &self.layout.users
     }
@@ -359,23 +802,80 @@ impl Substrate {
         self.affinity.period_pairs.len()
     }
 
+    /// The resident score representation.
+    pub fn compression(&self) -> ScoreCompression {
+        self.compression
+    }
+
+    /// Whether any user's segment is materialized on demand.
+    pub fn has_lazy_segments(&self) -> bool {
+        self.has_lazy
+    }
+
+    /// Counters of the materialization cache (resident bytes, budget,
+    /// materializations, evictions).
+    pub fn lazy_stats(&self) -> LazyStats {
+        self.lazy.stats()
+    }
+
+    /// Worst-case absolute error of any dequantized score served by a
+    /// *resident* segment: `0` for dense and exact-dictionary segments,
+    /// `step/2` for linear-table segments (lists with more than
+    /// [`QUANT_LEVELS`] distinct values). Lazily materialized columns
+    /// are stored dense and are always exact.
+    pub fn quant_error_bound(&self) -> f64 {
+        self.segments
+            .iter()
+            .map(|s| match s {
+                SegmentSlot::Resident(seg) => seg.store.error_bound(),
+                SegmentSlot::Lazy => 0.0,
+            })
+            .fold(0.0, f64::max)
+    }
+
     /// Approximate resident size of the preference buffers, in bytes
     /// (counts each shared segment once per substrate that references
-    /// it).
+    /// it; lazy slots count nothing — their cached columns are reported
+    /// by [`Substrate::lazy_stats`]).
     pub fn pref_bytes(&self) -> usize {
         self.segments
             .iter()
-            .map(|s| {
-                s.ids.len() * std::mem::size_of::<u32>()
-                    + s.scores.len() * std::mem::size_of::<f64>()
+            .map(|s| match s {
+                SegmentSlot::Resident(seg) => seg.data_bytes(),
+                SegmentSlot::Lazy => 0,
             })
             .sum()
     }
 
     /// Resident data bytes per storage layer — the capacity-planning
     /// view of this substrate (see [`MemoryFootprint`] for the counting
-    /// rules). Surfaced by `engine_baseline`'s JSON artifact and the
-    /// serving layer's `stats` verb.
+    /// rules). Surfaced by `engine_baseline`'s and `world_scale`'s JSON
+    /// artifacts and the serving layer's `stats` verb.
+    ///
+    /// Layer by layer:
+    ///
+    /// * `universe_bytes` — the id maps of the universe layout (user
+    ///   list, user-position map, item list, dense item map). Fixed at
+    ///   build time; shared across every epoch of a live engine.
+    /// * `pref_bytes` — the **resident** preference segments in their
+    ///   stored representation: `u32` id + `f64` score columns for
+    ///   [`ScoreCompression::F64`] (12 B/item), `u32` id + `u16` code
+    ///   columns plus the per-list dequant table for
+    ///   [`ScoreCompression::Quantized`] (6 B/item + table). Lazy slots
+    ///   contribute 0 until materialized.
+    /// * `affinity_bytes` — the population pair arrays (static +
+    ///   per-period sorted columns and rank inverses); quadratic in the
+    ///   population cohort, shared wholesale across epochs.
+    /// * `lazy_bytes` — the materialization cache: dense columns built
+    ///   on demand for lazy users and dequantized buffers for quantized
+    ///   segments. This is the only layer with *budgeted eviction*:
+    ///   once it exceeds [`BuildOptions::materialize_budget`], entries
+    ///   leave FIFO (oldest first) until the cache fits; the entry
+    ///   being handed out is never evicted, and in-flight
+    ///   [`SegmentHandle`]s own `Arc`s into their buffers, so eviction
+    ///   frees memory only after the last reader drops. An evicted
+    ///   user's next access re-derives the column (counted in
+    ///   [`LazyStats::materializations`]).
     pub fn memory_footprint(&self) -> MemoryFootprint {
         use std::mem::size_of;
         let layout = &self.layout;
@@ -397,10 +897,12 @@ impl Substrate {
             universe_bytes,
             pref_bytes: self.pref_bytes(),
             affinity_bytes,
+            lazy_bytes: self.lazy.stats().resident_bytes,
         }
     }
 
-    /// Position of `u` among the substrate's users, if precomputed.
+    /// Position of `u` among the substrate's users, if covered
+    /// (resident or lazy).
     pub fn user_index(&self, u: UserId) -> Option<usize> {
         self.layout
             .user_pos
@@ -410,7 +912,8 @@ impl Substrate {
             .map(|p| p as usize)
     }
 
-    /// Whether every member of `group` has a preference segment.
+    /// Whether every member of `group` has a (resident or lazy)
+    /// preference segment.
     pub fn covers_group(&self, group: &Group) -> bool {
         group
             .members()
@@ -431,12 +934,14 @@ impl Substrate {
         Some(a * aff.pop_n - a * (a + 1) / 2 + (b - a - 1))
     }
 
-    /// Whether this substrate was built from (a cohort of) exactly this
-    /// population index: same universe, same pair space, same period
-    /// count. The invariant
+    /// Whether this substrate was built from exactly this population
+    /// index: same universe, same pair space, same period count. The
+    /// invariant
     /// [`GrecaEngine::with_substrate`](crate::query::GrecaEngine::with_substrate)
     /// enforces — a substrate answering for a *different* index would
-    /// silently rank by the wrong affinity arrays.
+    /// silently rank by the wrong affinity arrays. (The substrate's
+    /// *user coverage* may exceed the universe; only the affinity pair
+    /// space must match.)
     pub fn is_compatible_with(&self, population: &PopulationAffinity) -> bool {
         let universe = population.universe();
         let aff = &self.affinity;
@@ -478,33 +983,104 @@ impl Substrate {
         }
     }
 
-    /// The zero-copy preference view of the user at `user_idx`, labeled
-    /// as group member `member`.
-    pub fn pref_view(&self, user_idx: usize, member: u32) -> ListView<'_> {
-        let seg = &self.segments[user_idx];
-        ListView::new(ListKind::Preference { member }, &seg.ids, &seg.scores)
+    /// An owned handle to the user's preference columns, materializing
+    /// them if needed: resident dense segments are handed out directly
+    /// (zero copies), resident quantized segments get their dequantized
+    /// buffer from the cache (derived once, then shared), lazy slots
+    /// derive the column from `provider` and cache it under the budget.
+    ///
+    /// This is the access path every reader should use; the returned
+    /// handle owns whatever the views borrow, so cache eviction can
+    /// never invalidate it.
+    pub fn segment_handle(
+        &self,
+        provider: &(dyn PreferenceProvider + Sync + '_),
+        user_idx: usize,
+    ) -> Result<SegmentHandle, QueryError> {
+        match &self.segments[user_idx] {
+            SegmentSlot::Resident(seg) => match &seg.store {
+                ScoreStore::Dense(_) => Ok(SegmentHandle {
+                    seg: Arc::clone(seg),
+                    dequant: None,
+                }),
+                ScoreStore::Quantized { codes, dequant } => {
+                    if let Some(h) = self.lazy.get(user_idx) {
+                        return Ok(h);
+                    }
+                    let buf: Vec<f64> = codes.iter().map(|&c| dequant.value(c)).collect();
+                    let bytes = std::mem::size_of_val(buf.as_slice());
+                    let handle = SegmentHandle {
+                        seg: Arc::clone(seg),
+                        dequant: Some(Arc::new(buf)),
+                    };
+                    Ok(self.lazy.insert(user_idx, handle, bytes))
+                }
+            },
+            SegmentSlot::Lazy => {
+                if let Some(h) = self.lazy.get(user_idx) {
+                    return Ok(h);
+                }
+                // Lazily derived columns are stored dense even in a
+                // quantized substrate: the cache would otherwise hold
+                // codes *and* the dequantized buffer, which costs more
+                // than the dense column alone.
+                let mut scratch = SegmentScratch::new(self.layout.m);
+                let seg = build_one_segment(
+                    provider,
+                    self.layout.users[user_idx],
+                    &self.layout.items,
+                    ScoreCompression::F64,
+                    &mut scratch,
+                )?;
+                let bytes = seg.data_bytes();
+                let handle = SegmentHandle { seg, dequant: None };
+                Ok(self.lazy.insert(user_idx, handle, bytes))
+            }
+        }
     }
 
-    /// The user's preference segment filtered to a subset itemset
+    /// The zero-copy preference view of the **resident, dense** segment
+    /// at `user_idx`, labeled as group member `member`.
+    ///
+    /// # Panics
+    ///
+    /// On quantized or lazy segments — those need an owning
+    /// [`SegmentHandle`]; use [`Substrate::segment_handle`].
+    pub fn pref_view(&self, user_idx: usize, member: u32) -> ListView<'_> {
+        match &self.segments[user_idx] {
+            SegmentSlot::Resident(seg) => match &seg.store {
+                ScoreStore::Dense(scores) => {
+                    ListView::new(ListKind::Preference { member }, &seg.ids, scores)
+                }
+                ScoreStore::Quantized { .. } => {
+                    panic!("pref_view on a quantized segment; use segment_handle")
+                }
+            },
+            SegmentSlot::Lazy => panic!("pref_view on a lazy segment; use segment_handle"),
+        }
+    }
+
+    /// The handle's preference columns filtered to a subset itemset
     /// (`mask` by dense item position, `len` items), preserving the
     /// sorted order — one linear pass, no sort, no provider calls.
     pub fn filtered_pref_list(
         &self,
-        user_idx: usize,
+        handle: &SegmentHandle,
         member: u32,
         mask: &[bool],
         len: usize,
     ) -> SortedList {
-        let seg = &self.segments[user_idx];
+        let seg_ids = handle.ids();
+        let seg_scores = handle.scores();
         let mut ids = Vec::with_capacity(len);
         let mut scores = Vec::with_capacity(len);
-        for (pos, &id) in seg.ids.iter().enumerate() {
+        for (pos, &id) in seg_ids.iter().enumerate() {
             // Segment ids always belong to the universe; the dense
             // lookup cannot miss.
             let dense = self.layout.item_dense[id as usize] as usize;
             if mask[dense] {
                 ids.push(id);
-                scores.push(seg.scores[pos]);
+                scores.push(seg_scores[pos]);
             }
         }
         SortedList::from_sorted_columns(ListKind::Preference { member }, ids, scores)
@@ -545,6 +1121,245 @@ impl Substrate {
         let rank = &self.affinity.period_rank[p_idx];
         pairs.sort_by_key(|&(_, pop_pair)| rank[pop_pair]);
     }
+}
+
+/// Snapshot the population index into sorted pair arrays (+ rank
+/// inverses), validating finiteness.
+fn affinity_arrays(population: &PopulationAffinity) -> Result<AffinityArrays, QueryError> {
+    let universe = population.universe();
+    let max_pop = universe.last().map_or(0, |u| u.idx());
+    let mut pop_pos = vec![None; max_pop + 1];
+    for (pos, &u) in universe.iter().enumerate() {
+        pop_pos[u.idx()] = Some(pos as u32);
+    }
+
+    let (static_pairs, static_values) = population.static_sorted_desc();
+    reject_non_finite(ListKind::StaticAffinity, &static_pairs, &static_values)?;
+    let mut period_pairs = Vec::with_capacity(population.num_periods());
+    let mut period_values = Vec::with_capacity(population.num_periods());
+    let mut period_rank = Vec::with_capacity(population.num_periods());
+    for p in 0..population.num_periods() {
+        let (pairs, values) = population.period_sorted_desc(p);
+        reject_non_finite(
+            ListKind::PeriodicAffinity { period: p as u32 },
+            &pairs,
+            &values,
+        )?;
+        let mut rank = vec![0u32; pairs.len()];
+        for (pos, &pair) in pairs.iter().enumerate() {
+            rank[pair as usize] = pos as u32;
+        }
+        period_pairs.push(pairs);
+        period_values.push(values);
+        period_rank.push(rank);
+    }
+    Ok(AffinityArrays {
+        pop_pos,
+        pop_n: universe.len(),
+        static_pairs,
+        static_values,
+        period_pairs,
+        period_values,
+        period_rank,
+    })
+}
+
+/// Reusable per-worker scratch for segment construction: one provider
+/// score per dense item position plus the index buffer the sort runs
+/// over — no per-user allocations.
+struct SegmentScratch {
+    scores: Vec<f64>,
+    idx: Vec<u32>,
+    head: Vec<(u32, f64)>,
+}
+
+impl SegmentScratch {
+    fn new(m: usize) -> Self {
+        SegmentScratch {
+            scores: vec![0.0; m],
+            idx: Vec::with_capacity(m),
+            head: Vec::new(),
+        }
+    }
+}
+
+/// Build one user's segment: fill scores from the provider, order
+/// entries by (score descending, item id ascending), compress.
+///
+/// Ordering is bit-identical to
+/// `provider.preference_list(u, items)?.into_sorted_columns()` — the
+/// path substrate construction used before sharding — at a fraction of
+/// the cost: since the provider contract demands `apref ≥ 0`, only
+/// positive entries need comparisons; the `±0.0` tail is emitted in id
+/// order (exactly where a full sort would put it, in the order its ties
+/// resolve). A contract-violating negative score falls back to the full
+/// sort so the equivalence holds for *any* finite input.
+fn build_one_segment(
+    provider: &(dyn PreferenceProvider + Sync + '_),
+    u: UserId,
+    items: &[ItemId],
+    compression: ScoreCompression,
+    scratch: &mut SegmentScratch,
+) -> Result<Arc<PrefSegment>, QueryError> {
+    let m = items.len();
+    debug_assert_eq!(scratch.scores.len(), m);
+    // Sparse fast path: a provider that can enumerate its nonzero
+    // entries lets us skip the dense column entirely — no `O(m)` zero
+    // fill, no `O(m)` validation scan, no `O(m)` index buffer. Only a
+    // head of `r ≪ m` entries is touched; the tail is synthesized in id
+    // order. A `-0.0` or negative entry (which the sparse tail cannot
+    // represent bit-exactly) falls back to the dense path below.
+    scratch.head.clear();
+    if provider.sparse_aprefs(u, items, &mut scratch.head) {
+        let mut dense_fallback = false;
+        for &(d, s) in &scratch.head {
+            if !s.is_finite() {
+                return Err(QueryError::from(NonFiniteScore {
+                    user: u,
+                    item: items[d as usize],
+                    value: s,
+                }));
+            }
+            dense_fallback |= !(s > 0.0 || s.to_bits() == 0);
+        }
+        if !dense_fallback {
+            return Ok(build_from_sparse_head(items, scratch, compression));
+        }
+    }
+    // One batched (virtual) provider call per user, then validate the
+    // filled column — sparse providers fill it in `O(r + m)`.
+    provider.fill_aprefs(u, items, &mut scratch.scores);
+    let mut any_negative = false;
+    for (d, &s) in scratch.scores.iter().enumerate() {
+        if !s.is_finite() {
+            return Err(QueryError::from(NonFiniteScore {
+                user: u,
+                item: items[d],
+                value: s,
+            }));
+        }
+        any_negative |= s < 0.0;
+    }
+    let scores = &scratch.scores;
+    scratch.idx.clear();
+    if any_negative {
+        scratch.idx.extend(0..m as u32);
+        scratch.idx.sort_unstable_by(|&a, &b| {
+            scores[b as usize]
+                .partial_cmp(&scores[a as usize])
+                .expect("validated finite above")
+                .then_with(|| a.cmp(&b))
+        });
+    } else {
+        // Positive head, sorted; ±0.0 tail in id order (items are id-
+        // ascending, so dense order *is* id order).
+        scratch
+            .idx
+            .extend((0..m as u32).filter(|&d| scores[d as usize] > 0.0));
+        scratch.idx.sort_unstable_by(|&a, &b| {
+            scores[b as usize]
+                .partial_cmp(&scores[a as usize])
+                .expect("validated finite above")
+                .then_with(|| a.cmp(&b))
+        });
+        scratch
+            .idx
+            .extend((0..m as u32).filter(|&d| scores[d as usize] <= 0.0));
+    }
+    let ids: Vec<u32> = scratch.idx.iter().map(|&d| items[d as usize].0).collect();
+    let ordered: Vec<f64> = scratch.idx.iter().map(|&d| scores[d as usize]).collect();
+    Ok(Arc::new(PrefSegment {
+        ids,
+        store: ScoreStore::from_scores(ordered, compression),
+    }))
+}
+
+/// Assemble a segment from a validated sparse head (`scratch.head`,
+/// ascending dense index, all entries `> 0.0` or exactly `+0.0`):
+/// strictly positive entries sort by (score descending, id ascending);
+/// every other position — explicit `+0.0` entries and the implicit
+/// unrated remainder alike — is the tail, emitted in id order. This is
+/// bit-identical to the dense path over the equivalent column: the head
+/// uses the same comparator, and the tail positions are exactly those
+/// the dense path's `!(s > 0.0)` filter would keep, in the same order.
+fn build_from_sparse_head(
+    items: &[ItemId],
+    scratch: &mut SegmentScratch,
+    compression: ScoreCompression,
+) -> Arc<PrefSegment> {
+    let m = items.len();
+    scratch.head.retain(|&(_, s)| s > 0.0);
+    // Ascending head indices double as the tail's skip list; save them
+    // before the score sort destroys the order.
+    scratch.idx.clear();
+    scratch.idx.extend(scratch.head.iter().map(|&(d, _)| d));
+    scratch.head.sort_unstable_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .expect("validated finite by caller")
+            .then_with(|| a.0.cmp(&b.0))
+    });
+    let mut ids: Vec<u32> = Vec::with_capacity(m);
+    ids.extend(scratch.head.iter().map(|&(d, _)| items[d as usize].0));
+    let mut skip = scratch.idx.iter().copied().peekable();
+    for d in 0..m as u32 {
+        if skip.peek() == Some(&d) {
+            skip.next();
+            continue;
+        }
+        ids.push(items[d as usize].0);
+    }
+    let mut ordered: Vec<f64> = Vec::with_capacity(m);
+    ordered.extend(scratch.head.iter().map(|&(_, s)| s));
+    ordered.resize(m, 0.0);
+    Arc::new(PrefSegment {
+        ids,
+        store: ScoreStore::from_scores(ordered, compression),
+    })
+}
+
+/// Build resident segments for `users` over `threads` contiguous user
+/// shards, merged back in user order — bit-identical to a sequential
+/// build (each segment depends only on its user and the provider).
+fn build_segments_sharded(
+    provider: &(dyn PreferenceProvider + Sync + '_),
+    items: &[ItemId],
+    users: &[UserId],
+    threads: usize,
+    compression: ScoreCompression,
+) -> Result<Vec<Arc<PrefSegment>>, QueryError> {
+    let threads = threads.max(1).min(users.len().max(1));
+    if threads == 1 {
+        let mut scratch = SegmentScratch::new(items.len());
+        return users
+            .iter()
+            .map(|&u| build_one_segment(provider, u, items, compression, &mut scratch))
+            .collect();
+    }
+    let chunk = users.len().div_ceil(threads);
+    let shards: Vec<&[UserId]> = users.chunks(chunk).collect();
+    let results: Vec<Result<Vec<Arc<PrefSegment>>, QueryError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = shards
+            .iter()
+            .map(|shard| {
+                scope.spawn(move || {
+                    let mut scratch = SegmentScratch::new(items.len());
+                    shard
+                        .iter()
+                        .map(|&u| build_one_segment(provider, u, items, compression, &mut scratch))
+                        .collect()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("segment shard worker panicked"))
+            .collect()
+    });
+    let mut out = Vec::with_capacity(users.len());
+    for r in results {
+        out.extend(r?);
+    }
+    Ok(out)
 }
 
 /// Reject a non-finite value in a population-level sorted array — the
@@ -614,6 +1429,188 @@ mod tests {
     }
 
     #[test]
+    fn sharded_build_matches_sequential_and_legacy() {
+        let (matrix, pop, _tl) = world();
+        let raw = RawRatings(&matrix);
+        let items: Vec<ItemId> = matrix.items().collect();
+        let users: Vec<UserId> = pop.universe().to_vec();
+        let seq = Substrate::build_with(
+            &raw,
+            &pop,
+            &items,
+            &users,
+            &[],
+            BuildOptions {
+                threads: 1,
+                ..BuildOptions::default()
+            },
+        )
+        .unwrap();
+        let par = Substrate::build_with(
+            &raw,
+            &pop,
+            &items,
+            &users,
+            &[],
+            BuildOptions {
+                threads: 3,
+                ..BuildOptions::default()
+            },
+        )
+        .unwrap();
+        for u in 0..3 {
+            // Bit-identical across thread counts and vs. the legacy
+            // per-user preference_list path.
+            let legacy = raw
+                .preference_list(UserId(u as u32), &items)
+                .unwrap()
+                .into_sorted_columns();
+            assert_eq!(seq.pref_view(u, 0).ids, par.pref_view(u, 0).ids);
+            assert_eq!(seq.pref_view(u, 0).scores, par.pref_view(u, 0).scores);
+            assert_eq!(seq.pref_view(u, 0).ids, &legacy.0[..]);
+            assert_eq!(seq.pref_view(u, 0).scores, &legacy.1[..]);
+        }
+    }
+
+    #[test]
+    fn quantized_segments_are_bit_identical_and_smaller() {
+        let (matrix, pop, _tl) = world();
+        let raw = RawRatings(&matrix);
+        let items: Vec<ItemId> = matrix.items().collect();
+        let users: Vec<UserId> = pop.universe().to_vec();
+        let dense = Substrate::build(&raw, &pop, &items).unwrap();
+        let quant = Substrate::build_with(
+            &raw,
+            &pop,
+            &items,
+            &users,
+            &[],
+            BuildOptions {
+                compression: ScoreCompression::Quantized,
+                ..BuildOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(quant.compression(), ScoreCompression::Quantized);
+        assert_eq!(quant.quant_error_bound(), 0.0, "dict mode is exact");
+        for u in 0..3 {
+            let d = dense.pref_view(u, 0);
+            let h = quant.segment_handle(&raw, u).unwrap();
+            let q = h.view(0);
+            assert_eq!(d.ids, q.ids);
+            // Bit identity, not just numeric equality.
+            let db: Vec<u64> = d.scores.iter().map(|s| s.to_bits()).collect();
+            let qb: Vec<u64> = q.scores.iter().map(|s| s.to_bits()).collect();
+            assert_eq!(db, qb);
+        }
+        assert!(
+            quant.pref_bytes() < dense.pref_bytes(),
+            "codes beat floats: {} vs {}",
+            quant.pref_bytes(),
+            dense.pref_bytes()
+        );
+        // Dequant buffers are cached, not rebuilt per access.
+        let before = quant.lazy_stats().materializations;
+        let _ = quant.segment_handle(&raw, 0).unwrap();
+        assert_eq!(quant.lazy_stats().materializations, before);
+    }
+
+    #[test]
+    fn linear_quantization_error_is_bounded() {
+        // A synthetic column with > QUANT_LEVELS distinct values forces
+        // the lossy linear table.
+        let n = QUANT_LEVELS + 10;
+        let scores: Vec<f64> = (0..n).map(|i| (n - i) as f64 * 0.001).collect();
+        let store = quantize(&scores);
+        let bound = store.error_bound();
+        assert!(bound > 0.0, "linear mode has a nonzero bound");
+        let ScoreStore::Quantized { codes, dequant } = &store else {
+            panic!("expected quantized store");
+        };
+        let mut prev = f64::INFINITY;
+        for (i, &c) in codes.iter().enumerate() {
+            let v = dequant.value(c);
+            assert!(
+                (v - scores[i]).abs() <= bound * 1.000001,
+                "error {} exceeds bound {bound}",
+                (v - scores[i]).abs()
+            );
+            assert!(v <= prev, "dequantized column stays descending");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn lazy_segments_materialize_and_evict_under_budget() {
+        let (matrix, pop, _tl) = world();
+        let raw = RawRatings(&matrix);
+        let items: Vec<ItemId> = matrix.items().collect();
+        let users: Vec<UserId> = pop.universe().to_vec();
+        // Budget fits exactly one 4-item dense column (4×12 = 48 B).
+        let sub = Substrate::build_with(
+            &raw,
+            &pop,
+            &items,
+            &[],
+            &users,
+            BuildOptions {
+                materialize_budget: Some(48),
+                ..BuildOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(sub.has_lazy_segments());
+        assert_eq!(sub.pref_bytes(), 0, "nothing resident up front");
+        assert_eq!(sub.memory_footprint().lazy_bytes, 0);
+
+        let h0 = sub.segment_handle(&raw, 0).unwrap();
+        assert_eq!(h0.view(0).ids, &[0, 2, 1, 3]);
+        assert_eq!(sub.lazy_stats().cached_segments, 1);
+        let h1 = sub.segment_handle(&raw, 1).unwrap();
+        let stats = sub.lazy_stats();
+        assert_eq!(stats.cached_segments, 1, "budget holds one column");
+        assert_eq!(stats.evictions, 1);
+        assert!(stats.resident_bytes <= 48);
+        // The evicted user's handle still reads correctly (it owns its
+        // buffers), and re-access re-materializes.
+        assert_eq!(h0.view(0).ids, &[0, 2, 1, 3]);
+        assert_eq!(h1.view(1).ids.len(), 4);
+        let before = sub.lazy_stats().materializations;
+        let h0b = sub.segment_handle(&raw, 0).unwrap();
+        assert_eq!(h0b.view(0).ids, &[0, 2, 1, 3]);
+        assert_eq!(sub.lazy_stats().materializations, before + 1);
+    }
+
+    #[test]
+    fn build_with_covers_users_outside_the_population() {
+        // Scale-tier shape: the population cohort is users {0,1,2}, but
+        // the substrate also serves preference columns for user 3.
+        let mut b = RatingMatrixBuilder::new(4, 4);
+        b.rate(UserId(0), ItemId(0), 5.0, 0)
+            .rate(UserId(3), ItemId(1), 4.0, 0)
+            .rate(UserId(3), ItemId(2), 2.0, 0);
+        let matrix = b.build();
+        let raw = RawRatings(&matrix);
+        let (_, pop, _tl) = world();
+        let items: Vec<ItemId> = matrix.items().collect();
+        let sub = Substrate::build_with(
+            &raw,
+            &pop,
+            &items,
+            &[UserId(0), UserId(3)],
+            &[],
+            BuildOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(sub.users(), &[UserId(0), UserId(3)]);
+        let h = sub.segment_handle(&raw, 1).unwrap();
+        assert_eq!(h.view(0).ids, &[1, 2, 0, 3]);
+        // Affinity pair space still follows the population.
+        assert!(sub.is_compatible_with(&pop));
+        assert_eq!(sub.population_pair_of(UserId(0), UserId(3)), None);
+    }
+
+    #[test]
     fn item_coverage_classification() {
         let (matrix, pop, _tl) = world();
         let raw = RawRatings(&matrix);
@@ -645,7 +1642,8 @@ mod tests {
         let mut mask = vec![false; 4];
         mask[0] = true;
         mask[3] = true;
-        let l = sub.filtered_pref_list(0, 0, &mask, 2);
+        let h = sub.segment_handle(&raw, 0).unwrap();
+        let l = sub.filtered_pref_list(&h, 0, &mask, 2);
         let v = l.as_view();
         assert_eq!(v.ids, &[0, 3]);
         assert_eq!(v.scores, &[5.0, 0.0]);
@@ -689,12 +1687,14 @@ mod tests {
         assert_eq!(fp.pref_bytes, 3 * 4 * 12);
         assert!(fp.universe_bytes > 0, "layout maps counted");
         assert!(fp.affinity_bytes > 0, "affinity arrays counted");
+        assert_eq!(fp.lazy_bytes, 0, "no on-demand materializations yet");
         assert_eq!(
             fp.total(),
-            fp.universe_bytes + fp.pref_bytes + fp.affinity_bytes
+            fp.universe_bytes + fp.pref_bytes + fp.affinity_bytes + fp.lazy_bytes
         );
         let json = fp.to_json();
         assert!(json.contains("\"total_bytes\"") && json.contains("\"pref_bytes\""));
+        assert!(json.contains("\"lazy_bytes\""));
     }
 
     #[test]
@@ -754,6 +1754,31 @@ mod tests {
             assert_eq!(next.pref_view(u, 0).ids, cold.pref_view(u, 0).ids);
             assert_eq!(next.pref_view(u, 0).scores, cold.pref_view(u, 0).scores);
         }
+    }
+
+    #[test]
+    fn rebuild_dirty_starts_with_a_fresh_cache() {
+        let (matrix, pop, _tl) = world();
+        let raw = RawRatings(&matrix);
+        let items: Vec<ItemId> = matrix.items().collect();
+        let users: Vec<UserId> = pop.universe().to_vec();
+        let sub = Substrate::build_with(&raw, &pop, &items, &[], &users, BuildOptions::default())
+            .unwrap();
+        let _ = sub.segment_handle(&raw, 1).unwrap();
+        assert_eq!(sub.lazy_stats().cached_segments, 1);
+
+        let mut b = RatingMatrixBuilder::new(3, 4);
+        b.rate(UserId(1), ItemId(3), 5.0, 1);
+        let next_matrix = b.build();
+        let next_raw = RawRatings(&next_matrix);
+        let next = sub.rebuild_dirty(&next_raw, &[UserId(1)]).unwrap();
+        // The new epoch must not inherit the old epoch's derivation.
+        assert_eq!(next.lazy_stats().cached_segments, 0);
+        let h = next.segment_handle(&next_raw, 1).unwrap();
+        assert_eq!(h.view(1).ids[0], 3, "post-batch column served");
+        // The old epoch's cache still serves the old column.
+        let old = sub.segment_handle(&raw, 1).unwrap();
+        assert_eq!(old.view(1).ids, &[1, 0, 2, 3]);
     }
 
     #[test]

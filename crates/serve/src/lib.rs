@@ -93,6 +93,11 @@ pub struct ServeConfig {
     /// ~100k ratings fits in the default 8 MiB); an oversized line gets
     /// a `bad_request` and a disconnect, never unbounded buffering.
     pub max_line_bytes: usize,
+    /// Label of the world this server fronts (a worldgen tier name such
+    /// as `"10k"`, or a dataset name). Reported verbatim by the `stats`
+    /// verb so operators can tell capacity numbers from different tiers
+    /// apart; purely informational.
+    pub world_label: String,
 }
 
 impl Default for ServeConfig {
@@ -109,6 +114,7 @@ impl Default for ServeConfig {
             cache_capacity: 4096,
             read_timeout: Duration::from_millis(25),
             max_line_bytes: 8 << 20,
+            world_label: "unlabeled".to_string(),
         }
     }
 }

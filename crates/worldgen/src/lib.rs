@@ -1,0 +1,44 @@
+//! # greca-worldgen
+//!
+//! Deterministic, seedable synthetic worlds at named scale tiers for
+//! the GRECA reproduction — the testbed behind the ROADMAP's
+//! "production-scale" north star.
+//!
+//! The paper's evaluation world (77 study users over a MovieLens-1M
+//! fingerprint) fits in a few MiB; every claim about substrate
+//! sharding, quantized scores or lazy residency needs worlds that
+//! *don't*. This crate generates them:
+//!
+//! * [`Tier`] — `study` / `10k` / `100k` / `1m` user populations over
+//!   ≥100k-item catalogs (the `study` tier mirrors the paper's shape);
+//! * [`GenWorld`] — Zipf item popularity, log-normal user activity, a
+//!   latent cluster × genre taste grid, a bounded group-forming cohort
+//!   with a hash-derived [`PopulationAffinity`](greca_affinity::PopulationAffinity) index, overlapping
+//!   group workloads, and post-horizon rating streams for
+//!   `LiveEngine::ingest`;
+//! * everything surfaces through the existing interfaces
+//!   ([`RatingMatrix`](greca_dataset::RatingMatrix),
+//!   [`PreferenceProvider`](greca_cf::PreferenceProvider),
+//!   [`PopulationAffinity`](greca_affinity::PopulationAffinity)), so the engine, live, serve and bench
+//!   layers run on generated worlds unchanged.
+//!
+//! Identical specs (tier + seed) are byte-reproducible; generation is
+//! deliberately single-streamed so host parallelism cannot perturb it.
+//!
+//! ```
+//! use greca_worldgen::{GenWorld, Tier, WorldSpec};
+//!
+//! // A scaled-down study-shaped world (full tiers are bench-sized).
+//! let spec = WorldSpec { num_users: 50, num_items: 200, serving_items: 80,
+//!                        cohort: 10, mean_ratings_per_user: 12.0, ..Tier::Study.spec() };
+//! let world = GenWorld::build(spec);
+//! assert_eq!(world.population.universe().len(), 10);
+//! let groups = world.group_workload(4, 3, 0.5, 0);
+//! assert_eq!(groups.len(), 4);
+//! ```
+
+pub mod gen;
+pub mod tier;
+
+pub use gen::{GenWorld, HashAffinitySource};
+pub use tier::{Tier, WorldSpec, ALL_TIERS, DEFAULT_SEED};

@@ -67,6 +67,7 @@ pub use greca_core as core;
 pub use greca_dataset as dataset;
 pub use greca_eval as eval;
 pub use greca_serve as serve;
+pub use greca_worldgen as worldgen;
 
 /// Everything most applications need, in one import.
 pub mod prelude {
@@ -80,13 +81,14 @@ pub mod prelude {
     };
     pub use greca_consensus::ConsensusFunction;
     pub use greca_core::{
-        run_batch, AccessStats, Algorithm, BatchResult, CheckInterval, GrecaConfig, GrecaEngine,
-        GrecaScratch, GroupQuery, IngestReport, ListLayout, LiveEngine, LiveModel, MemoryFootprint,
-        PinnedEpoch, PreparedQuery, QueryError, QueryKey, StopReason, StoppingRule, Substrate,
-        TaConfig, TopKResult,
+        run_batch, AccessStats, Algorithm, BatchResult, BuildOptions, CheckInterval, GrecaConfig,
+        GrecaEngine, GrecaScratch, GroupQuery, IngestReport, ListLayout, LiveEngine, LiveModel,
+        MemoryFootprint, PinnedEpoch, PreparedQuery, QueryError, QueryKey, ScoreCompression,
+        StopReason, StoppingRule, Substrate, TaConfig, TopKResult,
     };
     pub use greca_dataset::prelude::*;
     pub use greca_eval::{
         OracleConfig, RecVariant, SatisfactionOracle, Study, StudyConfig, StudyWorld, WorldConfig,
     };
+    pub use greca_worldgen::{GenWorld, Tier, WorldSpec};
 }
