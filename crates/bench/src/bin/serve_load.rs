@@ -31,7 +31,11 @@
 //! Run with: `cargo run -p greca-bench --release --bin serve_load`
 //! (pass `--quick` for the small study world and a shorter workload, or
 //! `--world <study|10k|100k|1m>` to front a generated worldgen tier
-//! instead of the built-in study worlds).
+//! instead of the built-in study worlds). Pass `--overlap <frac>` to
+//! draw chained groups sharing that fraction of consecutive membership
+//! instead of independent random groups — cache-miss queries then
+//! exercise the planner's epoch-scoped shared member arena (distinct
+//! overlapping groups resolve each member's lists once per epoch).
 
 use greca_affinity::PopulationAffinity;
 use greca_bench::harness::{banner, print_row};
@@ -207,14 +211,47 @@ impl LoadWorld {
     }
 
     /// Draw `n` groups of `size` cohort users, deterministically in
-    /// `seed`. Generated worlds use the overlapping-membership workload
-    /// (overlap 0.5 — the cache-friendly sharing shape).
-    fn groups(&self, n: usize, size: usize, seed: u64) -> Vec<Group> {
+    /// `seed`. With `overlap` unset, study worlds draw independent
+    /// random groups and generated worlds use their overlapping
+    /// workload at 0.5 (the cache-friendly sharing shape);
+    /// `--overlap <frac>` forces chained membership at that fraction
+    /// on either world.
+    fn groups(&self, n: usize, size: usize, overlap: Option<f64>, seed: u64) -> Vec<Group> {
         match self {
-            LoadWorld::Study(pw) => pw.random_groups(n, size, seed),
-            LoadWorld::Gen(w) => w.group_workload(n, size, 0.5, seed),
+            LoadWorld::Study(pw) => match overlap {
+                Some(f) => {
+                    let users = pw.world().study_users();
+                    chained_groups(&users, n, size, f, seed)
+                }
+                None => pw.random_groups(n, size, seed),
+            },
+            LoadWorld::Gen(w) => w.group_workload(n, size, overlap.unwrap_or(0.5), seed),
         }
     }
+}
+
+/// Chained overlapping groups over `users`: consecutive groups keep
+/// ~`overlap` of the previous membership (the same shape as worldgen's
+/// `group_workload`, for worlds without one). Deterministic in `seed`.
+fn chained_groups(users: &[UserId], n: usize, size: usize, overlap: f64, seed: u64) -> Vec<Group> {
+    assert!((0.0..=1.0).contains(&overlap), "overlap is a fraction");
+    assert!(size >= 2 && size <= users.len(), "group size within cohort");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0e11_a9ed);
+    let keep = ((size as f64 * overlap).round() as usize).min(size - 1);
+    let mut groups = Vec::with_capacity(n);
+    let mut prev: Vec<UserId> = Vec::new();
+    for _ in 0..n {
+        let mut members: Vec<UserId> = prev.iter().copied().take(keep).collect();
+        while members.len() < size {
+            let cand = users[rng.random_range(0..users.len())];
+            if !members.contains(&cand) {
+                members.push(cand);
+            }
+        }
+        prev = members.clone();
+        groups.push(Group::new(members).expect("non-empty distinct members"));
+    }
+    groups
 }
 
 fn main() {
@@ -223,6 +260,13 @@ fn main() {
     let tier: Option<Tier> = args.windows(2).find(|w| w[0] == "--world").map(|w| {
         Tier::parse(&w[1])
             .unwrap_or_else(|| panic!("unknown tier '{}' (expected study/10k/100k/1m)", w[1]))
+    });
+    let overlap: Option<f64> = args.windows(2).find(|w| w[0] == "--overlap").map(|w| {
+        let f: f64 = w[1]
+            .parse()
+            .unwrap_or_else(|_| panic!("--overlap takes a fraction, got '{}'", w[1]));
+        assert!((0.0..=1.0).contains(&f), "--overlap must be in [0, 1]");
+        f
     });
     banner("serve_load: mixed-workload load harness over greca-serve");
     let (clients, requests, overload_clients) = if quick { (6, 50, 16) } else { (12, 200, 48) };
@@ -254,11 +298,15 @@ fn main() {
     let live = LiveEngine::new(world.population(), LiveModel::Raw, world.matrix(), &items)
         .expect("finite ratings");
     let users: Vec<UserId> = live.pin().substrate().users().to_vec();
-    let hot_groups = world.groups(6, settings.group_size, 0xb07);
+    let hot_groups = world.groups(6, settings.group_size, overlap, 0xb07);
     let cold_groups: Vec<Vec<Group>> = (0..clients)
-        .map(|c| world.groups(20, settings.group_size, 0xc01d + c as u64))
+        .map(|c| world.groups(20, settings.group_size, overlap, 0xc01d + c as u64))
         .collect();
     print_row("world", &world_label);
+    print_row(
+        "overlap",
+        overlap.map_or("default".to_string(), |f| format!("{f}")),
+    );
     print_row("items", items.len());
     print_row("clients × requests", format!("{clients} × {requests}"));
 
@@ -300,7 +348,7 @@ fn main() {
         let verify_groups: Vec<Group> = hot_groups
             .iter()
             .cloned()
-            .chain(world.groups(4, settings.group_size, 0x1d37))
+            .chain(world.groups(4, settings.group_size, overlap, 0x1d37))
             .collect();
         let pin = live.pin();
         let engine = pin.engine();
@@ -411,7 +459,14 @@ fn main() {
     let over_handle = over_server.handle();
     let over_requests = if quick { 10 } else { 25 };
     let over_cold: Vec<Vec<Group>> = (0..overload_clients)
-        .map(|c| world.groups(over_requests, settings.group_size, 0x0537 + c as u64))
+        .map(|c| {
+            world.groups(
+                over_requests,
+                settings.group_size,
+                overlap,
+                0x0537 + c as u64,
+            )
+        })
         .collect();
     let over_samples = std::thread::scope(|s| {
         s.spawn(|| over_server.run());
@@ -463,6 +518,7 @@ fn main() {
         concat!(
             "{{\n",
             "  \"world\": \"{world}\",\n",
+            "  \"overlap\": {overlap},\n",
             "  \"clients\": {clients},\n",
             "  \"requests_per_client\": {requests},\n",
             "  \"verbs\": {{\n",
@@ -478,6 +534,7 @@ fn main() {
             "}}\n",
         ),
         world = world_label,
+        overlap = overlap.map_or("null".to_string(), |f| format!("{f}")),
         clients = clients,
         requests = requests,
         qn = query_ms.len(),

@@ -201,7 +201,7 @@ fn measure(tier: Tier) -> Row {
         "build single vs sharded",
         format!(
             "{build_ms_single:9.1} ms vs {build_ms_parallel:9.1} ms  ({build_speedup:.1}×, {} thread(s))",
-            opts.resolved_threads()
+            opts.workers_for(eager.len())
         ),
     );
 

@@ -272,7 +272,8 @@ pub struct PrepareSplit {
     /// builder (scratch reuse + zero-tail sort, `build_threads`
     /// workers). Bit-identical output to the baseline path.
     pub build_ms_parallel: f64,
-    /// Worker threads the sharded build resolved to on this host.
+    /// Worker threads the sharded build actually ran with on this host
+    /// (`available_parallelism` clamped to the built user population).
     pub build_threads: usize,
     /// Mean per-query `prepare()` latency on a cold engine (provider
     /// calls + per-member sorts, every query).
@@ -337,8 +338,16 @@ impl PerfWorld {
 
         // Sharded builder over the same users (scratch reuse + zero-tail
         // sort; bit-identity with the baseline is covered by core tests).
-        let opts = BuildOptions::default();
-        let build_threads = opts.resolved_threads();
+        // Threads default to `available_parallelism`; the reported
+        // count is the workers the build *actually* ran with — the
+        // resolved count clamped to the user population, so a small
+        // world never reports phantom parallelism next to its
+        // `build_ms_parallel` figure.
+        let opts = BuildOptions {
+            threads: BuildOptions::default().resolved_threads(),
+            ..BuildOptions::default()
+        };
+        let build_threads = opts.workers_for(study.len());
         let parallel_start = Instant::now();
         std::hint::black_box(
             Substrate::build_with(&cf, &self.world.population, &items, &study, &[], opts)
@@ -532,6 +541,9 @@ mod tests {
         assert!(split.cold_prepare_ms > 0.0 && split.warm_prepare_ms > 0.0);
         assert!(split.build_ms_single > 0.0 && split.build_ms_parallel > 0.0);
         assert!(split.build_threads >= 1);
+        // The reported count is what the build ran with, never phantom
+        // parallelism beyond the built population.
+        assert!(split.build_threads <= pw.world.study_users().len());
         assert!(split.to_json().contains("\"identical\":true"));
         assert!(split.to_json().contains("\"build_threads\":"));
     }

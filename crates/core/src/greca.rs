@@ -253,6 +253,46 @@ impl GrecaScratch {
     pub fn new() -> Self {
         GrecaScratch::default()
     }
+
+    /// Bytes of heap capacity this workspace retains — what the engine's
+    /// scratch pool budgets against. Capacity, not length: buffers are
+    /// truncated between runs but keep their allocations, and the
+    /// allocation is what a pooled workspace actually costs.
+    pub fn memory_bytes(&self) -> usize {
+        fn vec_bytes<T>(v: &Vec<T>) -> usize {
+            v.capacity() * std::mem::size_of::<T>()
+        }
+        vec_bytes(&self.slot_of)
+            + vec_bytes(&self.slots)
+            + vec_bytes(&self.aprefs)
+            + vec_bytes(&self.touched)
+            + vec_bytes(&self.positions)
+            + vec_bytes(&self.cursors)
+            + vec_bytes(&self.period_base)
+            + vec_bytes(&self.pair_static)
+            + vec_bytes(&self.pair_period)
+            + vec_bytes(&self.pair_affs)
+            + vec_bytes(&self.pair_index)
+            + vec_bytes(&self.pref_cursors)
+            + vec_bytes(&self.aprefs_iv)
+            + vec_bytes(&self.prefs_iv)
+            + vec_bytes(&self.aff_lo_mat)
+            + vec_bytes(&self.aff_hi_mat)
+            + vec_bytes(&self.end_vals)
+            + vec_bytes(&self.end_nonneg)
+            + vec_bytes(&self.comp_los)
+            + vec_bytes(&self.comp_his)
+            + vec_bytes(&self.heap)
+            + vec_bytes(&self.ranked)
+    }
+
+    /// Grow retained capacity to at least `bytes` — test hook for the
+    /// scratch pool's byte-budget eviction.
+    #[cfg(test)]
+    pub(crate) fn inflate_for_test(&mut self, bytes: usize) {
+        self.aprefs
+            .reserve(bytes.div_ceil(std::mem::size_of::<f64>()));
+    }
 }
 
 /// Whether `a` ranks strictly *worse* than `b` under the buffer

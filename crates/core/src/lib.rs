@@ -65,6 +65,7 @@ pub mod interval;
 pub mod lists;
 pub mod live;
 pub mod naive;
+pub mod plan;
 pub mod query;
 pub mod score;
 pub mod substrate;
@@ -81,6 +82,7 @@ pub use lists::{
 };
 pub use live::{EpochProvider, IngestReport, LiveEngine, LiveModel, PinnedEpoch};
 pub use naive::{naive_scores, naive_topk};
+pub use plan::{run_batch_with, PlanOptions, PlanStats, SharedMemberState};
 pub use query::{
     run_batch, Algorithm, BatchResult, GrecaEngine, GroupQuery, PreparedQuery, QueryError,
     QueryKey, PAPER_DEFAULT_K,

@@ -209,6 +209,17 @@ impl SortedList {
         ListView::new(self.kind, &self.ids, &self.scores)
     }
 
+    /// A view with the kind overridden — the re-kinding path for lists
+    /// shared across queries. A member's sorted columns are identical
+    /// for every group the member belongs to, but
+    /// [`ListKind::Preference`] carries the *group-local* member index;
+    /// shared storage keeps lists member-agnostic and each query views
+    /// them under its own index.
+    #[inline]
+    pub fn view_as(&self, kind: ListKind) -> ListView<'_> {
+        ListView::new(kind, &self.ids, &self.scores)
+    }
+
     /// Iterate `(id, score)` entries in list order.
     pub fn entries(&self) -> impl Iterator<Item = (u32, f64)> + '_ {
         self.as_view().iter()
@@ -420,28 +431,7 @@ impl MaterializedInputs {
             .collect::<Result<_, _>>()?;
 
         let num_pairs = affinity.num_pairs();
-        let mode = affinity.mode();
-        let static_lists = if mode.uses_static() {
-            build_affinity_lists(affinity, layout, ListKind::StaticAffinity, |pair| {
-                affinity.static_component(pair)
-            })?
-        } else {
-            Vec::new()
-        };
-        let period_lists = if mode.is_temporal() {
-            (0..affinity.num_periods())
-                .map(|p| {
-                    build_affinity_lists(
-                        affinity,
-                        layout,
-                        ListKind::PeriodicAffinity { period: p as u32 },
-                        |pair| affinity.period_component(p, pair),
-                    )
-                })
-                .collect::<Result<_, _>>()?
-        } else {
-            Vec::new()
-        };
+        let (static_lists, period_lists) = group_affinity_list_sets(affinity, layout)?;
         Ok(MaterializedInputs {
             pref_lists: plists,
             static_lists,
@@ -471,6 +461,38 @@ impl MaterializedInputs {
     pub fn total_entries(&self) -> u64 {
         self.views().total_entries()
     }
+}
+
+/// Both affinity list sets (static + per-period) for one group view —
+/// the mode-gated assembly shared by [`MaterializedInputs::build`] and
+/// the cross-query shared-state preparation path in `crate::query`.
+pub(crate) fn group_affinity_list_sets(
+    affinity: &GroupAffinity,
+    layout: ListLayout,
+) -> Result<(Vec<SortedList>, Vec<Vec<SortedList>>), NonFiniteEntry> {
+    let mode = affinity.mode();
+    let static_lists = if mode.uses_static() {
+        build_affinity_lists(affinity, layout, ListKind::StaticAffinity, |pair| {
+            affinity.static_component(pair)
+        })?
+    } else {
+        Vec::new()
+    };
+    let period_lists = if mode.is_temporal() {
+        (0..affinity.num_periods())
+            .map(|p| {
+                build_affinity_lists(
+                    affinity,
+                    layout,
+                    ListKind::PeriodicAffinity { period: p as u32 },
+                    |pair| affinity.period_component(p, pair),
+                )
+            })
+            .collect::<Result<_, _>>()?
+    } else {
+        Vec::new()
+    };
+    Ok((static_lists, period_lists))
 }
 
 /// Build one affinity kind's lists from a group view's components,

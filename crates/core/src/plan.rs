@@ -1,0 +1,524 @@
+//! The batch planner: cross-query kernel sharing for overlapping waves.
+//!
+//! At real scale many concurrent groups *overlap* — the paper's alumni
+//! and movie-night scenarios are built on shared members — yet the
+//! independent batch path executes every query from scratch: each
+//! kernel re-resolves the same members' preference lists its neighbors
+//! just resolved. This module analyzes a query wave before execution
+//! and shares that per-member work, gated by the kernel-identity
+//! invariant (every sharing lever reuses a value that is a
+//! deterministic function of the engine state and the query, so a
+//! planned wave is bit-identical to an independent one):
+//!
+//! 1. **Group-level memoization** — queries are deduped by their
+//!    canonical [`QueryKey`]; `n` identical queries cost one kernel run
+//!    and `n − 1` clones (the in-process analogue of `greca-serve`'s
+//!    single-flight result cache).
+//! 2. **A shared member-state arena** — [`SharedMemberState`] hoists
+//!    per-member list resolution (the cold provider-call + sort, the
+//!    warm subset filter pass, the warm segment handle) out of the
+//!    per-query scratch into wave-scoped storage that kernels borrow
+//!    read-only and extend monotonically, with a per-member once-latch
+//!    ([`std::sync::OnceLock`]) so concurrent workers never duplicate a
+//!    resolution.
+//! 3. **Overlap bucketing** — a union-find over shared members groups
+//!    the wave into connected components; the execution order walks one
+//!    bucket at a time so a member's freshly resolved lists are hot
+//!    when its other groups run. Waves with nothing to share fall back
+//!    to the independent path untouched — zero regression.
+//!
+//! Shared entries are keyed by `(user, itemset identity)` and scoped to
+//! **one engine state**: [`run_batch_with`] partitions the wave by
+//! engine identity and arenas never cross partitions, while the serving
+//! layer scopes one arena per published epoch (reset through the same
+//! publish hook that invalidates the result cache).
+
+use crate::greca::TopKResult;
+use crate::lists::SortedList;
+use crate::query::{
+    lock_unpoisoned, run_batch_independent, sum_stats, BatchResult, GroupQuery, QueryError,
+    QueryKey,
+};
+use crate::substrate::SegmentHandle;
+use greca_dataset::UserId;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Entries a [`SharedMemberState`] holds before it self-flushes
+/// wholesale. Wave-scoped arenas never approach this (one entry per
+/// distinct member × itemset); the cap bounds the epoch-scoped serving
+/// arena the way the engine's affinity cache is bounded.
+const SHARED_STATE_CAP: usize = 8_192;
+
+/// Tuning knobs for [`run_batch_with`]. The planner is on by default —
+/// [`crate::query::run_batch`] routes through it; pass
+/// `enabled: false` to force the independent path (the benchmarks'
+/// planner-off baseline).
+#[derive(Debug, Clone, Copy)]
+pub struct PlanOptions {
+    /// Whether the wave is analyzed for sharing at all.
+    pub enabled: bool,
+}
+
+impl Default for PlanOptions {
+    fn default() -> Self {
+        PlanOptions { enabled: true }
+    }
+}
+
+/// What the planner found in (and did with) one wave.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PlanStats {
+    /// Queries in the wave.
+    pub wave: usize,
+    /// Distinct queries after [`QueryKey`] dedup.
+    pub unique_queries: usize,
+    /// Queries answered by cloning another query's result.
+    pub dedup_hits: usize,
+    /// Overlap buckets (union-find components over shared members)
+    /// among the unique queries.
+    pub buckets: usize,
+    /// Total member slots across the unique queries.
+    pub member_slots: usize,
+    /// Member slots whose user appears in ≥ 2 unique queries of the
+    /// same engine partition.
+    pub shared_member_slots: usize,
+    /// Whether the wave actually executed through shared state (false:
+    /// nothing to share, the independent path ran).
+    pub executed_shared: bool,
+    /// Distinct member-list resolutions performed by the wave.
+    pub resolved_members: u64,
+    /// Member-list requests answered from the shared arena.
+    pub reused_members: u64,
+    /// List entries (resolved prefix items) those reuse hits would have
+    /// re-materialized on the independent path.
+    pub reused_prefix_items: u64,
+}
+
+impl PlanStats {
+    /// Fraction of member slots served by a shared resolution.
+    pub fn shared_member_ratio(&self) -> f64 {
+        if self.member_slots == 0 {
+            0.0
+        } else {
+            self.shared_member_slots as f64 / self.member_slots as f64
+        }
+    }
+}
+
+/// Identity of one shared member-list resolution.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum MemberScope {
+    /// The member's full-universe sorted segment (itemset-independent).
+    Universe,
+    /// The member's list filtered to one itemset, identified the way
+    /// [`QueryKey`] identifies itemsets (length + order-independent
+    /// fingerprint).
+    Itemset { len: usize, fp: u128 },
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct MemberKey {
+    user: UserId,
+    scope: MemberScope,
+}
+
+/// One resolved member list, shareable across queries.
+#[derive(Debug, Clone)]
+pub(crate) enum SharedList {
+    /// A warm full-universe segment handle.
+    Handle(SegmentHandle),
+    /// An owned sorted list (cold materialization or warm subset
+    /// filter), stored member-agnostic — consumers re-kind it to their
+    /// own group-local member index at view assembly.
+    List(Arc<SortedList>),
+}
+
+impl SharedList {
+    fn len(&self) -> usize {
+        match self {
+            SharedList::Handle(h) => h.ids().len(),
+            SharedList::List(l) => l.len(),
+        }
+    }
+}
+
+type SharedEntry = Result<SharedList, QueryError>;
+
+/// The wave-scoped shared member-state arena.
+///
+/// Maps `(user, itemset identity)` to that member's resolved sorted
+/// list, computed **exactly once** per key — concurrent requesters
+/// block on the entry's [`OnceLock`] instead of duplicating the
+/// resolution — and then borrowed read-only by every kernel that needs
+/// it. Entries are pure derived state (a deterministic function of the
+/// engine's substrates and the key), which is what makes monotone
+/// extension identity-safe: whichever worker resolves a key, the value
+/// is the same.
+///
+/// **Scope contract:** one arena serves one engine state. The planner
+/// partitions waves by engine identity and builds one arena per
+/// partition; `greca-serve` scopes one arena per published epoch.
+/// Failed resolutions are cached too (they are equally deterministic),
+/// so a wave of queries hitting the same broken member pays one
+/// provider round-trip, not one per query.
+#[derive(Debug, Default)]
+pub struct SharedMemberState {
+    entries: Mutex<HashMap<MemberKey, Arc<OnceLock<SharedEntry>>>>,
+    resolved: AtomicU64,
+    reused: AtomicU64,
+    reused_prefix_items: AtomicU64,
+}
+
+impl SharedMemberState {
+    /// A fresh, empty arena.
+    pub fn new() -> Self {
+        SharedMemberState::default()
+    }
+
+    /// Resolve-or-reuse the entry at `key`. `init` runs at most once
+    /// per key across all threads; everyone else gets the cached value.
+    fn resolve(&self, key: MemberKey, init: impl FnOnce() -> SharedEntry) -> SharedEntry {
+        let cell = {
+            let mut map = lock_unpoisoned(&self.entries);
+            if map.len() >= SHARED_STATE_CAP && !map.contains_key(&key) {
+                // Wholesale self-flush, like the engine's affinity
+                // cache: entries are derived state, dropping them only
+                // costs re-resolution.
+                map.clear();
+            }
+            Arc::clone(map.entry(key).or_insert_with(|| Arc::new(OnceLock::new())))
+        };
+        let mut initialized_here = false;
+        let entry = cell.get_or_init(|| {
+            initialized_here = true;
+            init()
+        });
+        if initialized_here {
+            self.resolved.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.reused.fetch_add(1, Ordering::Relaxed);
+            if let Ok(list) = entry {
+                self.reused_prefix_items
+                    .fetch_add(list.len() as u64, Ordering::Relaxed);
+            }
+        }
+        entry.clone()
+    }
+
+    /// Resolve-or-reuse a member's full-universe segment handle.
+    pub(crate) fn resolve_handle(
+        &self,
+        user: UserId,
+        init: impl FnOnce() -> Result<SegmentHandle, QueryError>,
+    ) -> Result<SegmentHandle, QueryError> {
+        let key = MemberKey {
+            user,
+            scope: MemberScope::Universe,
+        };
+        match self.resolve(key, || init().map(SharedList::Handle))? {
+            SharedList::Handle(h) => Ok(h),
+            SharedList::List(_) => unreachable!("universe scope only stores handles"),
+        }
+    }
+
+    /// Resolve-or-reuse a member's sorted list over one itemset
+    /// (identified by length + fingerprint, like [`QueryKey`]).
+    pub(crate) fn resolve_list(
+        &self,
+        user: UserId,
+        items_len: usize,
+        items_fp: u128,
+        init: impl FnOnce() -> Result<Arc<SortedList>, QueryError>,
+    ) -> Result<Arc<SortedList>, QueryError> {
+        let key = MemberKey {
+            user,
+            scope: MemberScope::Itemset {
+                len: items_len,
+                fp: items_fp,
+            },
+        };
+        match self.resolve(key, || init().map(SharedList::List))? {
+            SharedList::List(l) => Ok(l),
+            SharedList::Handle(_) => unreachable!("itemset scope only stores lists"),
+        }
+    }
+
+    /// Distinct member-list resolutions performed so far.
+    pub fn resolved_members(&self) -> u64 {
+        self.resolved.load(Ordering::Relaxed)
+    }
+
+    /// Requests answered from the arena instead of re-resolving.
+    pub fn reused_members(&self) -> u64 {
+        self.reused.load(Ordering::Relaxed)
+    }
+
+    /// List entries those reuse hits would have re-materialized.
+    pub fn reused_prefix_items(&self) -> u64 {
+        self.reused_prefix_items.load(Ordering::Relaxed)
+    }
+
+    /// Entries currently held.
+    pub fn entries(&self) -> usize {
+        lock_unpoisoned(&self.entries).len()
+    }
+
+    /// Approximate bytes retained by owned shared lists (handles are
+    /// substrate-owned and not counted).
+    pub fn memory_bytes(&self) -> usize {
+        lock_unpoisoned(&self.entries)
+            .values()
+            .filter_map(|cell| cell.get())
+            .filter_map(|entry| entry.as_ref().ok())
+            .map(|list| match list {
+                SharedList::Handle(_) => 0,
+                // One u32 id + one f64 score per entry.
+                SharedList::List(l) => l.len() * 12,
+            })
+            .sum()
+    }
+}
+
+/// The analyzed shape of one wave, before execution.
+struct WavePlan {
+    /// Engine-identity partition of each query.
+    partition_of: Vec<usize>,
+    /// Number of partitions.
+    partitions: usize,
+    /// `Some(rep)` when the query at this index is a [`QueryKey`]
+    /// duplicate of the (unique) query at input index `rep`.
+    dup_of: Vec<Option<usize>>,
+    /// Unique query input indices in execution order: grouped by
+    /// partition, then by overlap bucket, then input order.
+    order: Vec<usize>,
+    stats: PlanStats,
+}
+
+impl WavePlan {
+    /// Whether executing through shared state can save anything.
+    fn worth_sharing(&self) -> bool {
+        self.stats.dedup_hits > 0 || self.stats.shared_member_slots > 0
+    }
+}
+
+/// Analyze a wave: partition by engine, dedupe by [`QueryKey`], bucket
+/// unique queries by member overlap.
+fn analyze(queries: &[GroupQuery<'_>]) -> WavePlan {
+    // ── Engine partitions ────────────────────────────────────────────
+    let mut partition_ids: HashMap<usize, usize> = HashMap::new();
+    let partition_of: Vec<usize> = queries
+        .iter()
+        .map(|q| {
+            let addr = q.engine_address();
+            let next = partition_ids.len();
+            *partition_ids.entry(addr).or_insert(next)
+        })
+        .collect();
+    let partitions = partition_ids.len();
+
+    // ── QueryKey dedup within each partition ─────────────────────────
+    let mut reps: HashMap<(usize, QueryKey), usize> = HashMap::new();
+    let mut dup_of: Vec<Option<usize>> = Vec::with_capacity(queries.len());
+    let mut unique: Vec<usize> = Vec::new();
+    for (i, q) in queries.iter().enumerate() {
+        let key = (partition_of[i], q.cache_key());
+        match reps.get(&key) {
+            Some(&rep) => dup_of.push(Some(rep)),
+            None => {
+                reps.insert(key, i);
+                dup_of.push(None);
+                unique.push(i);
+            }
+        }
+    }
+    let dedup_hits = queries.len() - unique.len();
+
+    // ── Member overlap among unique queries, per partition ───────────
+    let mut member_count: HashMap<(usize, UserId), usize> = HashMap::new();
+    let mut member_slots = 0usize;
+    for &i in &unique {
+        for &u in queries[i].group_members() {
+            member_slots += 1;
+            *member_count.entry((partition_of[i], u)).or_insert(0) += 1;
+        }
+    }
+    let mut shared_member_slots = 0usize;
+    for &i in &unique {
+        for &u in queries[i].group_members() {
+            if member_count[&(partition_of[i], u)] >= 2 {
+                shared_member_slots += 1;
+            }
+        }
+    }
+
+    // ── Union-find buckets over shared members ───────────────────────
+    // `parent` is indexed by position within `unique`.
+    let mut parent: Vec<usize> = (0..unique.len()).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    let mut first_holder: HashMap<(usize, UserId), usize> = HashMap::new();
+    for (pos, &i) in unique.iter().enumerate() {
+        for &u in queries[i].group_members() {
+            let key = (partition_of[i], u);
+            if member_count[&key] < 2 {
+                continue;
+            }
+            match first_holder.get(&key) {
+                Some(&other) => {
+                    let (a, b) = (find(&mut parent, pos), find(&mut parent, other));
+                    if a != b {
+                        parent[a.max(b)] = a.min(b);
+                    }
+                }
+                None => {
+                    first_holder.insert(key, pos);
+                }
+            }
+        }
+    }
+    let roots: Vec<usize> = (0..unique.len())
+        .map(|pos| find(&mut parent, pos))
+        .collect();
+    let buckets = {
+        let mut distinct: Vec<usize> = roots.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        distinct.len()
+    };
+
+    // ── Execution order: partition, then bucket, then input order ────
+    // Bucket-mates run back-to-back, so a member's freshly resolved
+    // lists are reused while still hot.
+    let mut order: Vec<usize> = unique.clone();
+    order.sort_by_key(|&i| {
+        let pos = unique.binary_search(&i).expect("i came from unique");
+        (partition_of[i], roots[pos], i)
+    });
+
+    WavePlan {
+        partition_of,
+        partitions,
+        dup_of,
+        order,
+        stats: PlanStats {
+            wave: queries.len(),
+            unique_queries: unique.len(),
+            dedup_hits,
+            buckets,
+            member_slots,
+            shared_member_slots,
+            executed_shared: false,
+            resolved_members: 0,
+            reused_members: 0,
+            reused_prefix_items: 0,
+        },
+    }
+}
+
+/// Execute a wave through the batch planner (see the module docs).
+///
+/// With `enabled: false`, or when analysis finds nothing to share (no
+/// duplicate queries, no member in ≥ 2 unique groups of one engine),
+/// the wave runs on the independent path — results, statistics and
+/// per-query errors are exactly [`crate::query::run_batch`]'s
+/// pre-planner behavior. Otherwise unique queries execute through a
+/// per-partition [`SharedMemberState`] and duplicates are answered by
+/// cloning their representative's result; both levers are
+/// bit-identical to independent execution, which
+/// `crates/core/tests/plan_batch.rs` holds against the kernel-identity
+/// oracle's worlds.
+pub fn run_batch_with(queries: &[GroupQuery<'_>], opts: &PlanOptions) -> BatchResult {
+    if !opts.enabled || queries.len() < 2 {
+        let results = run_batch_independent(queries);
+        return BatchResult {
+            stats: sum_stats(&results),
+            results,
+            plan: None,
+        };
+    }
+    let mut plan = analyze(queries);
+    if !plan.worth_sharing() {
+        let results = run_batch_independent(queries);
+        return BatchResult {
+            stats: sum_stats(&results),
+            results,
+            plan: Some(plan.stats),
+        };
+    }
+
+    let states: Vec<SharedMemberState> = (0..plan.partitions)
+        .map(|_| SharedMemberState::new())
+        .collect();
+    let mut slots: Vec<Option<Result<TopKResult, QueryError>>> = Vec::new();
+    slots.resize_with(queries.len(), || None);
+
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(plan.order.len().max(1));
+    if workers <= 1 {
+        for &i in &plan.order {
+            slots[i] = Some(queries[i].run_shared(&states[plan.partition_of[i]]));
+        }
+    } else {
+        let order = &plan.order;
+        let partition_of = &plan.partition_of;
+        let states = &states;
+        let next = AtomicUsize::new(0);
+        let collected: Vec<Vec<(usize, Result<TopKResult, QueryError>)>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let mut out = Vec::new();
+                            loop {
+                                let j = next.fetch_add(1, Ordering::Relaxed);
+                                let Some(&i) = order.get(j) else { break };
+                                out.push((i, queries[i].run_shared(&states[partition_of[i]])));
+                            }
+                            out
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("planned batch worker panicked"))
+                    .collect()
+            });
+        for (i, r) in collected.into_iter().flatten() {
+            slots[i] = Some(r);
+        }
+    }
+
+    // Duplicates: clone the representative's result — bit-identical to
+    // re-running it, including per-query access statistics, so the
+    // summed batch stats match the independent path exactly.
+    for i in 0..queries.len() {
+        if let Some(rep) = plan.dup_of[i] {
+            slots[i] = Some(slots[rep].clone().expect("representative executed"));
+        }
+    }
+    let results: Vec<Result<TopKResult, QueryError>> = slots
+        .into_iter()
+        .map(|r| r.expect("every query index visited"))
+        .collect();
+
+    plan.stats.executed_shared = true;
+    for state in &states {
+        plan.stats.resolved_members += state.resolved_members();
+        plan.stats.reused_members += state.reused_members();
+        plan.stats.reused_prefix_items += state.reused_prefix_items();
+    }
+    BatchResult {
+        stats: sum_stats(&results),
+        results,
+        plan: Some(plan.stats),
+    }
+}

@@ -37,10 +37,11 @@ use crate::greca::{
     greca_topk_with, CheckInterval, GrecaConfig, GrecaScratch, StoppingRule, TopKResult,
 };
 use crate::lists::{
-    build_affinity_lists, GrecaInputs, ListKind, ListLayout, MaterializedInputs, NonFiniteEntry,
-    SortedList,
+    build_affinity_lists, group_affinity_list_sets, GrecaInputs, ListKind, ListLayout,
+    MaterializedInputs, NonFiniteEntry, SortedList,
 };
 use crate::naive::{naive_scores, naive_topk};
+use crate::plan::SharedMemberState;
 use crate::substrate::{ItemCoverage, SegmentHandle, Substrate};
 use crate::ta::{ta_topk, TaConfig};
 use greca_affinity::{AffinityMode, GroupAffinity, PopulationAffinity};
@@ -58,10 +59,21 @@ pub const PAPER_DEFAULT_K: usize = 10;
 /// deliberately small and self-flushing rather than LRU-precise).
 const AFFINITY_CACHE_CAP: usize = 256;
 
-/// Kernel scratch workspaces the engine's pool retains. The pool never
-/// exceeds the peak number of concurrent executions, so this cap only
-/// guards against pathological checkout/restore imbalance.
-const SCRATCH_POOL_CAP: usize = 64;
+/// Kernel scratch workspaces the engine's pool retains. A wide
+/// [`run_batch`] wave checks out one scratch per concurrent worker;
+/// without a cap the pool would grow to the wave's peak parallelism and
+/// retain every workspace — each sized to the largest query it ever
+/// served — forever. Steady-state serving needs no more workspaces than
+/// CPUs, so the count cap is set comfortably above typical core counts
+/// while bounding the spike retention.
+const SCRATCH_POOL_MAX: usize = 16;
+
+/// Total bytes of scratch capacity the pool retains across all pooled
+/// workspaces. One huge-query scratch (arena sized to a 100k-item
+/// itemset) is worth keeping; sixteen of them are not. Workspaces that
+/// would push the pooled total past this budget are dropped instead of
+/// pooled — they are pure derived state and rebuild on demand.
+const SCRATCH_POOL_BYTE_BUDGET: usize = 32 << 20;
 
 /// A query rejected before execution.
 #[derive(Debug, Clone, PartialEq)]
@@ -549,18 +561,35 @@ impl<'a> GrecaEngine<'a> {
             .unwrap_or_default()
     }
 
-    /// Return a kernel workspace to the pool for the next query.
+    /// Return a kernel workspace to the pool for the next query — unless
+    /// the pool is already at its count cap or the workspace would push
+    /// pooled capacity past the byte budget, in which case it is simply
+    /// dropped (scratch is derived state; a future query rebuilds it).
     fn restore_scratch(&self, scratch: GrecaScratch) {
         let mut pool = lock_recovering(&self.scratch_pool, Vec::clear);
-        if pool.len() < SCRATCH_POOL_CAP {
-            pool.push(scratch);
+        if pool.len() >= SCRATCH_POOL_MAX {
+            return;
         }
+        let pooled: usize = pool.iter().map(GrecaScratch::memory_bytes).sum();
+        if pooled + scratch.memory_bytes() > SCRATCH_POOL_BYTE_BUDGET {
+            return;
+        }
+        pool.push(scratch);
     }
 
     /// Number of kernel workspaces currently pooled (observability for
-    /// tests and benchmarks; steady state equals the peak concurrency).
+    /// tests and benchmarks; bounded by `SCRATCH_POOL_MAX`).
     pub fn pooled_scratches(&self) -> usize {
         lock_recovering(&self.scratch_pool, Vec::clear).len()
+    }
+
+    /// Total bytes of vector capacity held by pooled workspaces
+    /// (bounded by `SCRATCH_POOL_BYTE_BUDGET`).
+    pub fn pooled_scratch_bytes(&self) -> usize {
+        lock_recovering(&self.scratch_pool, Vec::clear)
+            .iter()
+            .map(GrecaScratch::memory_bytes)
+            .sum()
     }
 
     /// Execute many prepared queries in parallel — see [`run_batch`].
@@ -731,6 +760,28 @@ impl<'q> GroupQuery<'q> {
     /// items) — it materializes owned lists exactly as before. Both
     /// paths are bit-identical.
     pub fn prepare(&self) -> Result<PreparedQuery, QueryError> {
+        self.prepare_impl(None)
+    }
+
+    /// Like [`prepare`](Self::prepare), but resolving per-member sorted
+    /// lists through a [`SharedMemberState`] arena so queries whose
+    /// groups overlap share the resolution work. Every shared value is a
+    /// deterministic function of the engine state and the `(member,
+    /// itemset)` key, so the preparation — and any execution over it —
+    /// is bit-identical to [`prepare`](Self::prepare)'s.
+    ///
+    /// **Scope contract:** `shared` must be used against exactly one
+    /// engine state (the planner builds one arena per engine partition;
+    /// `greca-serve` scopes one per published epoch). Crossing engines
+    /// or epochs would serve stale lists.
+    pub fn prepare_shared(&self, shared: &SharedMemberState) -> Result<PreparedQuery, QueryError> {
+        self.prepare_impl(Some(shared))
+    }
+
+    fn prepare_impl(
+        &self,
+        shared: Option<&SharedMemberState>,
+    ) -> Result<PreparedQuery, QueryError> {
         self.validate()?;
         let resolved: Vec<ItemId>;
         let items: &[ItemId] = if self.items.is_empty() {
@@ -746,6 +797,11 @@ impl<'q> GroupQuery<'q> {
         if items.is_empty() {
             return Err(QueryError::EmptyItemset);
         }
+        // Shared entries are keyed the way `QueryKey` identifies
+        // itemsets; the fingerprint is computed over the *resolved*
+        // itemset so a defaulted (empty) itemset keys by what it
+        // actually resolved to.
+        let shared = shared.map(|s| (s, itemset_fingerprint(items)));
         let period = self.effective_period();
         let affinity = self.engine.cached_affinity(self.group, period, self.mode);
 
@@ -758,24 +814,27 @@ impl<'q> GroupQuery<'q> {
                     self.group,
                     items,
                     self.layout,
+                    shared,
                 )? {
                     Some(warm) => PreparedStorage::Warm(warm),
-                    None => PreparedStorage::Cold(cold_inputs(
+                    None => cold_storage(
                         self.engine.provider,
                         &affinity,
                         self.group,
                         items,
                         self.layout,
-                    )?),
+                        shared,
+                    )?,
                 }
             }
-            None => PreparedStorage::Cold(cold_inputs(
+            None => cold_storage(
                 self.engine.provider,
                 &affinity,
                 self.group,
                 items,
                 self.layout,
-            )?),
+                shared,
+            )?,
         };
         Ok(PreparedQuery {
             affinity,
@@ -798,6 +857,31 @@ impl<'q> GroupQuery<'q> {
         self.engine.restore_scratch(scratch);
         Ok(result)
     }
+
+    /// [`run`](Self::run) through a [`SharedMemberState`] arena — the
+    /// batch planner's and serving layer's execution path for
+    /// overlapping waves. Bit-identical to [`run`](Self::run).
+    pub fn run_shared(&self, shared: &SharedMemberState) -> Result<TopKResult, QueryError> {
+        let prepared = self.prepare_shared(shared)?;
+        let mut scratch = self.engine.checkout_scratch();
+        let result = prepared.run_with_scratch(&mut scratch);
+        self.engine.restore_scratch(scratch);
+        Ok(result)
+    }
+
+    /// Stable identity of the engine this query targets — the batch
+    /// planner's partition key, so shared member state never crosses an
+    /// engine (and therefore substrate/epoch) boundary. Meaningful only
+    /// within one wave: the pointed-to engine must outlive the
+    /// comparison, which the `'q` borrow guarantees.
+    pub(crate) fn engine_address(&self) -> usize {
+        std::ptr::from_ref(self.engine) as usize
+    }
+
+    /// The group's members (canonical: [`Group`] keeps them sorted).
+    pub(crate) fn group_members(&self) -> &[UserId] {
+        self.group.members()
+    }
 }
 
 /// Cold-path list materialization: provider calls + sorts, per query.
@@ -812,6 +896,73 @@ fn cold_inputs(
     Ok(MaterializedInputs::build(&pref_lists, affinity, layout)?)
 }
 
+/// Cold-path storage selection: per-query owned lists, or — through a
+/// [`SharedMemberState`] — per-member lists resolved once per wave and
+/// shared across the queries that need them.
+fn cold_storage(
+    provider: &(dyn PreferenceProvider + Sync + '_),
+    affinity: &GroupAffinity,
+    group: &Group,
+    items: &[ItemId],
+    layout: ListLayout,
+    shared: Option<(&SharedMemberState, u128)>,
+) -> Result<PreparedStorage, QueryError> {
+    match shared {
+        Some((state, items_fp)) => Ok(PreparedStorage::SharedCold(shared_cold_inputs(
+            provider, affinity, group, items, items_fp, layout, state,
+        )?)),
+        None => Ok(PreparedStorage::Cold(cold_inputs(
+            provider, affinity, group, items, layout,
+        )?)),
+    }
+}
+
+/// [`cold_inputs`] with every per-member preference list resolved
+/// through the shared arena: one provider scan + sort per `(member,
+/// itemset)` key per wave, no matter how many groups the member appears
+/// in. Lists are stored member-agnostic (kind `member: 0`) — sorting is
+/// deterministic (descending, ties by id), so the columns are identical
+/// for every group — and re-kinded to the group-local member index at
+/// view assembly. The per-group affinity lists are tiny (≤ n−1 entries
+/// each) and stay per-query.
+fn shared_cold_inputs(
+    provider: &(dyn PreferenceProvider + Sync + '_),
+    affinity: &GroupAffinity,
+    group: &Group,
+    items: &[ItemId],
+    items_fp: u128,
+    layout: ListLayout,
+    shared: &SharedMemberState,
+) -> Result<SharedColdInputs, QueryError> {
+    let pref_lists: Vec<Arc<SortedList>> = group
+        .members()
+        .iter()
+        .map(|&u| {
+            shared.resolve_list(u, items.len(), items_fp, || {
+                let pl = provider.preference_list(u, items)?;
+                let entries: Vec<(u32, f64)> = pl.entries.iter().map(|&(i, s)| (i.0, s)).collect();
+                Ok(Arc::new(SortedList::new(
+                    ListKind::Preference { member: 0 },
+                    entries,
+                )?))
+            })
+        })
+        .collect::<Result<_, _>>()?;
+    let num_items = pref_lists.first().map_or(0, |l| l.len());
+    for l in &pref_lists {
+        assert_eq!(l.len(), num_items, "preference lists must align");
+    }
+    let (static_lists, period_lists) = group_affinity_list_sets(affinity, layout)?;
+    Ok(SharedColdInputs {
+        pref_lists,
+        static_lists,
+        period_lists,
+        num_members: group.members().len(),
+        num_pairs: affinity.num_pairs(),
+        num_items,
+    })
+}
+
 /// Warm-path selection from the substrate. Returns `Ok(None)` when the
 /// substrate cannot serve this query (an uncovered user, a foreign or
 /// duplicated item) and the caller should fall back to the cold path.
@@ -822,6 +973,7 @@ fn build_warm(
     group: &Group,
     items: &[ItemId],
     layout: ListLayout,
+    shared: Option<(&SharedMemberState, u128)>,
 ) -> Result<Option<WarmInputs>, QueryError> {
     let Some(coverage) = substrate.item_coverage(items) else {
         return Ok(None);
@@ -829,10 +981,17 @@ fn build_warm(
     // One owned handle per member: resident dense segments cost an `Arc`
     // clone; quantized or lazy segments may materialize (and cache)
     // their dense columns here, so the views below stay borrowable.
+    // Through the shared arena, that (potentially expensive) handle
+    // resolution happens once per member per wave.
     let mut handles: Vec<SegmentHandle> = Vec::with_capacity(group.members().len());
     for &u in group.members() {
         match substrate.user_index(u) {
-            Some(i) => handles.push(substrate.segment_handle(provider, i)?),
+            Some(i) => handles.push(match shared {
+                Some((state, _)) => {
+                    state.resolve_handle(u, || substrate.segment_handle(provider, i))?
+                }
+                None => substrate.segment_handle(provider, i)?,
+            }),
             None => return Ok(None),
         }
     }
@@ -856,11 +1015,26 @@ fn build_warm(
     let (filtered, num_items) = match coverage {
         ItemCoverage::Full => (None, substrate.num_items()),
         ItemCoverage::Subset(mask) => {
-            let lists: Vec<SortedList> = handles
-                .iter()
-                .enumerate()
-                .map(|(m, h)| substrate.filtered_pref_list(h, m as u32, &mask, items.len()))
-                .collect();
+            // Filtered columns are stored member-agnostic and re-kinded
+            // to the group-local member index at view assembly, so one
+            // filter pass per (member, itemset) serves every group the
+            // member belongs to when resolved through the shared arena.
+            let lists: Vec<Arc<SortedList>> = match shared {
+                Some((state, items_fp)) => group
+                    .members()
+                    .iter()
+                    .zip(&handles)
+                    .map(|(&u, h)| {
+                        state.resolve_list(u, items.len(), items_fp, || {
+                            Ok(Arc::new(substrate.shared_pref_list(h, &mask, items.len())))
+                        })
+                    })
+                    .collect::<Result<_, _>>()?,
+                None => handles
+                    .iter()
+                    .map(|h| Arc::new(substrate.shared_pref_list(h, &mask, items.len())))
+                    .collect(),
+            };
             (Some(lists), items.len())
         }
     };
@@ -935,8 +1109,11 @@ fn build_warm(
 struct WarmInputs {
     /// One owned segment handle per member.
     handles: Vec<SegmentHandle>,
-    /// `Some` when the itemset is a strict subset of the universe.
-    filtered: Option<Vec<SortedList>>,
+    /// `Some` when the itemset is a strict subset of the universe. The
+    /// columns are member-agnostic (and possibly shared across queries
+    /// through a wave's [`SharedMemberState`]); views re-kind them to
+    /// the group-local member index.
+    filtered: Option<Vec<Arc<SortedList>>>,
     static_lists: Vec<SortedList>,
     period_lists: Vec<Vec<SortedList>>,
     num_members: usize,
@@ -947,7 +1124,11 @@ struct WarmInputs {
 impl WarmInputs {
     fn views(&self) -> GrecaInputs<'_> {
         let pref_lists = match &self.filtered {
-            Some(lists) => lists.iter().map(SortedList::as_view).collect(),
+            Some(lists) => lists
+                .iter()
+                .enumerate()
+                .map(|(m, l)| l.view_as(ListKind::Preference { member: m as u32 }))
+                .collect(),
             None => self
                 .handles
                 .iter()
@@ -969,6 +1150,42 @@ impl WarmInputs {
     }
 }
 
+/// Cold-path prepared state whose per-member preference lists live in a
+/// wave's [`SharedMemberState`] arena instead of per-query owned
+/// storage. Lists are member-agnostic `Arc`s (see
+/// [`shared_cold_inputs`]); views re-kind them to the group-local
+/// member index, producing view bundles identical to
+/// [`MaterializedInputs::views`]'s.
+#[derive(Debug, Clone)]
+struct SharedColdInputs {
+    pref_lists: Vec<Arc<SortedList>>,
+    static_lists: Vec<SortedList>,
+    period_lists: Vec<Vec<SortedList>>,
+    num_members: usize,
+    num_pairs: usize,
+    num_items: usize,
+}
+
+impl SharedColdInputs {
+    fn views(&self) -> GrecaInputs<'_> {
+        GrecaInputs::assemble(
+            self.pref_lists
+                .iter()
+                .enumerate()
+                .map(|(m, l)| l.view_as(ListKind::Preference { member: m as u32 }))
+                .collect(),
+            self.static_lists.iter().map(SortedList::as_view).collect(),
+            self.period_lists
+                .iter()
+                .map(|ls| ls.iter().map(SortedList::as_view).collect())
+                .collect(),
+            self.num_members,
+            self.num_pairs,
+            self.num_items,
+        )
+    }
+}
+
 /// Which storage backs a [`PreparedQuery`].
 #[derive(Debug, Clone)]
 enum PreparedStorage {
@@ -976,6 +1193,8 @@ enum PreparedStorage {
     Cold(MaterializedInputs),
     /// Substrate views (the warm path).
     Warm(WarmInputs),
+    /// Cold lists resolved through a wave's shared member arena.
+    SharedCold(SharedColdInputs),
 }
 
 impl PreparedStorage {
@@ -983,6 +1202,7 @@ impl PreparedStorage {
         match self {
             PreparedStorage::Cold(m) => m.views(),
             PreparedStorage::Warm(w) => w.views(),
+            PreparedStorage::SharedCold(s) => s.views(),
         }
     }
 }
@@ -1187,6 +1407,10 @@ pub struct BatchResult {
     pub results: Vec<Result<TopKResult, QueryError>>,
     /// Access counters summed over the successful queries.
     pub stats: AccessStats,
+    /// What the batch planner found in (and did with) the wave; `None`
+    /// when the wave skipped analysis entirely (planner disabled, or
+    /// fewer than two queries).
+    pub plan: Option<crate::plan::PlanStats>,
 }
 
 impl BatchResult {
@@ -1206,15 +1430,29 @@ impl BatchResult {
 /// Execute many prepared queries in parallel and aggregate their access
 /// statistics — the §4.2 many-group harness path.
 ///
-/// Queries fan out over `min(available_parallelism, #queries)` OS
-/// threads, spawned once per batch and fed by a single shared atomic
-/// work queue (queries cost wildly different amounts — group size, item
-/// count and period depth all vary — so work-stealing beats static
-/// chunking). On a warm engine every worker serves from the *same*
-/// `Arc<Substrate>` and group-affinity cache instead of re-materializing
-/// per query. Results keep input order; per-query failures surface as
-/// `Err` entries without failing the batch.
+/// The wave first passes through the batch planner
+/// ([`crate::plan::run_batch_with`] with default options): duplicate
+/// queries are answered by one kernel run, and queries whose groups
+/// overlap share per-member list resolution through a wave-scoped
+/// [`SharedMemberState`] — both levers gated by the kernel-identity
+/// invariant, so results are bit-identical to independent execution.
+/// Waves with nothing to share run on the independent path unchanged.
+/// Results keep input order; per-query failures surface as `Err`
+/// entries without failing the batch.
 pub fn run_batch(queries: &[GroupQuery<'_>]) -> BatchResult {
+    crate::plan::run_batch_with(queries, &crate::plan::PlanOptions::default())
+}
+
+/// The planner-free execution core: every query runs independently over
+/// `min(available_parallelism, #queries)` OS threads, spawned once per
+/// batch and fed by a single shared atomic work queue (queries cost
+/// wildly different amounts — group size, item count and period depth
+/// all vary — so work-stealing beats static chunking). On a warm engine
+/// every worker serves from the *same* `Arc<Substrate>` and
+/// group-affinity cache instead of re-materializing per query.
+pub(crate) fn run_batch_independent(
+    queries: &[GroupQuery<'_>],
+) -> Vec<Result<TopKResult, QueryError>> {
     let mut results: Vec<Option<Result<TopKResult, QueryError>>> = Vec::new();
     results.resize_with(queries.len(), || None);
     let workers = std::thread::available_parallelism()
@@ -1251,17 +1489,21 @@ pub fn run_batch(queries: &[GroupQuery<'_>]) -> BatchResult {
             results[i] = Some(r);
         }
     }
-    let results: Vec<Result<TopKResult, QueryError>> = results
+    results
         .into_iter()
         .map(|r| r.expect("every query index visited"))
-        .collect();
+        .collect()
+}
+
+/// Access counters summed over a batch's successful queries.
+pub(crate) fn sum_stats(results: &[Result<TopKResult, QueryError>]) -> AccessStats {
     let mut stats = AccessStats::default();
     for r in results.iter().filter_map(|r| r.as_ref().ok()) {
         stats.sa += r.stats.sa;
         stats.ra += r.stats.ra;
         stats.total_entries += r.stats.total_entries;
     }
-    BatchResult { results, stats }
+    stats
 }
 
 #[cfg(test)]
@@ -1381,6 +1623,35 @@ mod tests {
         let hand =
             PreparedQuery::from_parts(affinity, &lists, ListLayout::Decomposed, true).unwrap();
         assert_eq!(hand.cache_key(), None);
+    }
+
+    #[test]
+    fn scratch_pool_memory_returns_to_the_cap_after_a_wide_wave() {
+        let (matrix, pop, items) = world();
+        let raw = RawRatings(&matrix);
+        let engine = GrecaEngine::new(&raw, &pop);
+        // A wave at parallelism far above the cap: 2×MAX workspaces
+        // live at once, then all returned. Only MAX may be retained.
+        let held: Vec<GrecaScratch> = (0..SCRATCH_POOL_MAX * 2)
+            .map(|_| engine.checkout_scratch())
+            .collect();
+        for s in held {
+            engine.restore_scratch(s);
+        }
+        assert_eq!(engine.pooled_scratches(), SCRATCH_POOL_MAX);
+        assert!(engine.pooled_scratch_bytes() <= SCRATCH_POOL_BYTE_BUDGET);
+
+        // A workspace that alone exceeds the byte budget is dropped,
+        // not pooled — and the pool keeps working for normal ones.
+        let engine = GrecaEngine::new(&raw, &pop);
+        let mut huge = engine.checkout_scratch();
+        huge.inflate_for_test(SCRATCH_POOL_BYTE_BUDGET + 1);
+        assert!(huge.memory_bytes() > SCRATCH_POOL_BYTE_BUDGET);
+        engine.restore_scratch(huge);
+        assert_eq!(engine.pooled_scratches(), 0);
+        let group = Group::new(vec![UserId(0), UserId(1)]).unwrap();
+        engine.query(&group).items(&items).run().unwrap();
+        assert_eq!(engine.pooled_scratches(), 1);
     }
 
     #[test]

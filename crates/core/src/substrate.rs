@@ -142,6 +142,15 @@ impl BuildOptions {
                 .unwrap_or(1)
         }
     }
+
+    /// The worker count a build over `users` eager users actually runs
+    /// with: [`BuildOptions::resolved_threads`] clamped to the user
+    /// count (every shard needs at least one user). This is the figure
+    /// benchmarks should report next to a sharded-build timing —
+    /// `resolved_threads()` alone over-reports on small worlds.
+    pub fn workers_for(&self, users: usize) -> usize {
+        self.resolved_threads().clamp(1, users.max(1))
+    }
 }
 
 /// Resident data bytes of one substrate, reported per storage layer —
@@ -675,7 +684,7 @@ impl Substrate {
             provider,
             &items,
             &eager_list,
-            opts.resolved_threads(),
+            opts.workers_for(eager_list.len()),
             opts.compression,
         )?;
         let mut built = built.into_iter();
@@ -1084,6 +1093,21 @@ impl Substrate {
             }
         }
         SortedList::from_sorted_columns(ListKind::Preference { member }, ids, scores)
+    }
+
+    /// [`Substrate::filtered_pref_list`] stored member-agnostic (kind
+    /// `member: 0`): the filter output depends only on the segment and
+    /// the mask, so one pass is shareable across every query whose group
+    /// places the user at a different member index — consumers re-kind
+    /// the columns to their own index at view assembly (see
+    /// [`SortedList::view_as`]).
+    pub fn shared_pref_list(
+        &self,
+        handle: &SegmentHandle,
+        mask: &[bool],
+        len: usize,
+    ) -> SortedList {
+        self.filtered_pref_list(handle, 0, mask, len)
     }
 
     /// Population-wide static affinity as one descending view. Entry ids

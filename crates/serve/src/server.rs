@@ -30,12 +30,12 @@ use crate::json::Json;
 use crate::metrics::Metrics;
 use crate::protocol::{self, IngestRequest, QueryRequest, Request};
 use crate::ServeConfig;
-use greca_core::LiveEngine;
+use greca_core::{LiveEngine, SharedMemberState};
 use greca_dataset::Group;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// State shared between the server, its handle, and the publish hook.
@@ -43,7 +43,28 @@ struct Shared {
     shutdown: AtomicBool,
     metrics: Metrics,
     cache: ResultCache,
+    /// The batch planner's member-state arena for the current epoch:
+    /// concurrent cache-miss queries resolve each member's preference
+    /// list once per epoch instead of once per query. Swapped (not
+    /// mutated) on publish, so in-flight queries keep the arena they
+    /// started with — same discipline as the epoch-pinned engine.
+    plan_state: Mutex<(u64, Arc<SharedMemberState>)>,
     started: Instant,
+}
+
+impl Shared {
+    /// The member-state arena scoped to `epoch`, freshly reset if the
+    /// last one belonged to an older epoch.
+    fn plan_state_for(&self, epoch: u64) -> Arc<SharedMemberState> {
+        let mut slot = self.plan_state.lock().unwrap_or_else(|p| {
+            self.plan_state.clear_poison();
+            p.into_inner()
+        });
+        if slot.0 != epoch {
+            *slot = (epoch, Arc::new(SharedMemberState::new()));
+        }
+        Arc::clone(&slot.1)
+    }
 }
 
 /// A clonable remote control for a running [`GrecaServer`].
@@ -90,6 +111,7 @@ impl<'live, 'pop> GrecaServer<'live, 'pop> {
             shutdown: AtomicBool::new(false),
             metrics: Metrics::default(),
             cache: ResultCache::new(config.cache_capacity),
+            plan_state: Mutex::new((live.epoch(), Arc::new(SharedMemberState::new()))),
             started: Instant::now(),
         });
         // The epoch-handoff integration: one hook, registered once,
@@ -100,6 +122,9 @@ impl<'live, 'pop> GrecaServer<'live, 'pop> {
         let hook_shared = Arc::clone(&shared);
         live.on_publish(move |epoch| {
             hook_shared.cache.invalidate_to(epoch);
+            // Retire the old epoch's member arena eagerly; queries that
+            // pinned the previous epoch still hold their own Arc.
+            hook_shared.plan_state_for(epoch);
             hook_shared
                 .metrics
                 .publishes
@@ -420,7 +445,16 @@ impl<'live, 'pop> GrecaServer<'live, 'pop> {
         let engine = pin.engine();
         let query = build_query(&engine, &group, q);
         let key = query.cache_key();
-        let (result, outcome) = self.shared.cache.get_or_compute(epoch, key, || query.run());
+        // Cache misses run through the planner's shared member-state
+        // arena: distinct overlapping groups landing in one epoch
+        // resolve each member's lists once, not once per query. The
+        // arena is epoch-scoped, so sharing never crosses a substrate
+        // swap and results stay bit-identical to `query.run()`.
+        let plan_state = self.shared.plan_state_for(epoch);
+        let (result, outcome) = self
+            .shared
+            .cache
+            .get_or_compute(epoch, key, || query.run_shared(&plan_state));
         match result {
             Ok(top) => (
                 protocol::query_response(&top, epoch, outcome.label(), &q.id),
@@ -569,6 +603,22 @@ impl<'live, 'pop> GrecaServer<'live, 'pop> {
                     ("hit_rate", Json::num(stats.hit_rate())),
                 ]),
             ),
+            ("planner", {
+                let state = self.shared.plan_state_for(engine_epoch);
+                Json::obj(vec![
+                    ("entries", Json::num(state.entries() as f64)),
+                    (
+                        "resolved_members",
+                        Json::num(state.resolved_members() as f64),
+                    ),
+                    ("reused_members", Json::num(state.reused_members() as f64)),
+                    (
+                        "reused_prefix_items",
+                        Json::num(state.reused_prefix_items() as f64),
+                    ),
+                    ("memory_bytes", Json::num(state.memory_bytes() as f64)),
+                ])
+            }),
             (
                 "queues",
                 Json::obj(vec![

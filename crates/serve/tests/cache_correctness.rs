@@ -300,6 +300,49 @@ fn publish_invalidates_cache_and_never_serves_a_stale_epoch() {
 }
 
 #[test]
+fn overlapping_group_misses_share_member_state_and_stay_identical() {
+    let (matrix, pop, items) = world();
+    let live = LiveEngine::new(&pop, LiveModel::Raw, &matrix, &items).unwrap();
+    let server = GrecaServer::bind(&live, ServeConfig::default()).unwrap();
+    let handle = server.handle();
+    std::thread::scope(|s| {
+        let _shutdown = ShutdownOnDrop(server.handle());
+        s.spawn(|| server.run());
+        let mut client = Client::connect(handle.addr()).unwrap();
+        let item_ids: Vec<u32> = (0..ITEMS).collect();
+
+        // A chain of overlapping groups: every interior member appears
+        // in three distinct (differently-keyed) queries, so each miss
+        // after the first finds most of its members already resolved in
+        // the epoch's shared arena.
+        for g in 0..8u32 {
+            let response = client
+                .query(&[g, g + 1, g + 2], Some(&item_ids), Some(5))
+                .unwrap();
+            let (_, disposition, ..) = parsed_payload(&response);
+            assert_eq!(disposition, "miss");
+
+            // Bit-identical to a direct, unshared engine run.
+            let pin = live.pin();
+            let engine = pin.engine();
+            let group = Group::new(vec![UserId(g), UserId(g + 1), UserId(g + 2)]).unwrap();
+            let direct = engine.query(&group).items(&items).top(5).run().unwrap();
+            assert_payload_matches(&response, &direct);
+        }
+
+        // The stats verb surfaces the arena: members were resolved
+        // once and reused across the overlapping misses.
+        let stats = client.stats().unwrap();
+        let planner = stats.get("planner").expect("planner stats block");
+        let num = |k: &str| planner.get(k).and_then(Json::as_f64).unwrap_or(-1.0);
+        assert!(num("resolved_members") >= 10.0, "{planner:?}");
+        assert!(num("reused_members") > 0.0, "{planner:?}");
+        assert!(num("entries") > 0.0, "{planner:?}");
+        handle.shutdown();
+    });
+}
+
+#[test]
 fn concurrent_identical_queries_do_not_stampede_the_kernel() {
     const CLIENTS: usize = 8;
     let (matrix, pop, items) = world();
