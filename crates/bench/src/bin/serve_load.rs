@@ -1,7 +1,7 @@
 //! `serve_load`: a closed-loop, multi-client load harness for the
 //! `greca-serve` front-end, emitting `BENCH_serve.json`.
 //!
-//! Three phases, all against real sockets on an ephemeral port:
+//! Five phases, all against real sockets on an ephemeral port:
 //!
 //! 1. **Mixed workload** — `CLIENTS` threads in closed loop, each
 //!    request drawn per-client-deterministically: mostly queries over a
@@ -16,17 +16,33 @@
 //!    float bits, SA/RA counters, sweeps) against a direct
 //!    `PinnedEpoch::engine()` run at the same epoch. `identical` in the
 //!    JSON is the AND over all of them.
-//! 3. **Overload** — a second server with deliberately tight admission
+//! 3. **Survival** — a fresh server warms a pool of overlapping
+//!    groups, then one ingest publishes an epoch swap whose dirty set
+//!    is *disjoint* from every warm footprint. Re-querying measures
+//!    the post-swap hit rate twice: once under the default selective
+//!    invalidation (disjoint entries survive, re-stamped to the new
+//!    epoch) and once against a wholesale-invalidation baseline
+//!    (`selective_invalidation: false`, everything dropped). Every
+//!    surviving answer is bit-compared against a direct engine run at
+//!    the new epoch.
+//! 4. **Subscriptions** — a client `subscribe`s a continuous group
+//!    query, then streams rating ingests that touch the group. The
+//!    pushed delta frames must carry strictly increasing epochs (zero
+//!    stale pushes) and the final pushed state must equal a direct
+//!    engine run at the final epoch, bit for bit.
+//! 5. **Overload** — a second server with deliberately tight admission
 //!    (2 query workers, queue of 8) takes a burst of closed-loop
 //!    clients issuing unique-group queries. The acceptance shape: a
 //!    healthy overload response sheds (`overloaded` replies > 0) while
 //!    the p99 of *accepted* requests stays bounded by queue depth ×
 //!    service time — not by how much demand arrived.
 //!
-//! Gates asserted by the binary: `identical == true` and zero protocol
-//! errors (always, including `--quick` — the CI smoke), plus, on the
-//! full run, cache-hit p50 ≥ 10× faster than cache-miss p50 and a
-//! shedding, bounded-p99 overload phase.
+//! Gates asserted by the binary (always, including `--quick` — the CI
+//! smoke): `identical == true`, zero protocol errors, survivor
+//! identity (`survivors_identical == true`), post-swap hit rate ≥ 2×
+//! the wholesale baseline, zero stale pushes and a convergent push
+//! stream. The full run additionally gates cache-hit p50 ≥ 10× faster
+//! than cache-miss p50 and a shedding, bounded-p99 overload phase.
 //!
 //! Run with: `cargo run -p greca-bench --release --bin serve_load`
 //! (pass `--quick` for the small study world and a shorter workload, or
@@ -36,6 +52,8 @@
 //! instead of independent random groups — cache-miss queries then
 //! exercise the planner's epoch-scoped shared member arena (distinct
 //! overlapping groups resolve each member's lists once per epoch).
+//! Pass `--seed <u64>` to re-key every client RNG and group draw for a
+//! reproducible-but-different CI smoke.
 
 use greca_affinity::PopulationAffinity;
 use greca_bench::harness::{banner, print_row};
@@ -117,6 +135,7 @@ fn mixed_workload(
     items: &[ItemId],
     users: &[UserId],
     k: usize,
+    seed: u64,
 ) -> Vec<Sample> {
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..clients)
@@ -124,7 +143,7 @@ fn mixed_workload(
                 let cold = &cold_groups[c];
                 s.spawn(move || {
                     let mut client = Client::connect(addr).expect("connect");
-                    let mut rng = StdRng::seed_from_u64(0x10ad ^ (c as u64) << 17);
+                    let mut rng = StdRng::seed_from_u64(0x10ad ^ seed ^ (c as u64) << 17);
                     let mut samples = Vec::with_capacity(requests);
                     let mut cold_iter = cold.iter().cycle();
                     for r in 0..requests {
@@ -254,6 +273,206 @@ fn chained_groups(users: &[UserId], n: usize, size: usize, overlap: f64, seed: u
     groups
 }
 
+/// What one survival-phase run (one server, one invalidation policy)
+/// measured.
+struct SurvivalOutcome {
+    /// Post-swap re-queries answered from cache.
+    hits: usize,
+    /// Re-queries issued (one per warm group).
+    total: usize,
+    /// `cache.survivors` as reported by the server's `stats` verb.
+    survivors: u64,
+    /// `cache.survival_rate` as reported by the server.
+    survival_rate: f64,
+    /// AND over bit-comparisons of every post-swap answer against a
+    /// direct engine run at the new epoch.
+    identical: bool,
+}
+
+impl SurvivalOutcome {
+    fn hit_rate(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.total as f64
+        }
+    }
+}
+
+/// Phase 3 (one policy): warm `groups` into a fresh server's cache,
+/// publish one epoch swap whose dirty set is disjoint from every warm
+/// footprint, and re-query. Under selective invalidation the warm
+/// entries survive the swap as hits at the new epoch; the wholesale
+/// baseline drops everything. Every post-swap answer is bit-compared
+/// against direct engine execution at the new epoch.
+fn survival_phase(
+    live: &LiveEngine,
+    groups: &[Group],
+    disjoint_user: UserId,
+    item: ItemId,
+    k: usize,
+    world_label: &str,
+    selective: bool,
+) -> SurvivalOutcome {
+    let server = GrecaServer::bind(
+        live,
+        ServeConfig {
+            selective_invalidation: selective,
+            world_label: world_label.to_string(),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind survival");
+    let handle = server.handle();
+    std::thread::scope(|s| {
+        s.spawn(|| server.run());
+        let mut client = Client::connect(handle.addr()).expect("connect");
+        for group in groups {
+            let warm = client.request(&query_body(group, k)).expect("warm query");
+            assert_eq!(
+                warm.get("ok").and_then(Json::as_bool),
+                Some(true),
+                "warm query must succeed"
+            );
+        }
+        // One rating from a user outside every warm group: the
+        // published dirty set is disjoint from every cached footprint.
+        client
+            .ingest(&[(disjoint_user.0, item.0, 3.5, 7)])
+            .expect("swap ingest");
+        let pin = live.pin();
+        let engine = pin.engine();
+        let (mut hits, mut identical) = (0usize, true);
+        for group in groups {
+            let served = client.request(&query_body(group, k)).expect("re-query");
+            if served.get("cache").and_then(Json::as_str) == Some("hit") {
+                hits += 1;
+            }
+            if served.get("epoch").and_then(Json::as_u64) != Some(pin.epoch()) {
+                identical = false;
+                continue;
+            }
+            let direct = engine.query(group).top(k).run().expect("direct run");
+            identical &= payload_identical(&served, &direct);
+        }
+        let stats = client.stats().expect("stats");
+        let cache = stats.get("cache").expect("stats.cache");
+        let outcome = SurvivalOutcome {
+            hits,
+            total: groups.len(),
+            survivors: cache.get("survivors").and_then(Json::as_u64).unwrap_or(0),
+            survival_rate: cache
+                .get("survival_rate")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0),
+            identical,
+        };
+        handle.shutdown();
+        outcome
+    })
+}
+
+/// What the subscription phase observed on the wire.
+struct SubscriptionOutcome {
+    /// Push frames received.
+    pushes: usize,
+    /// Frames whose epoch failed to strictly increase past the
+    /// baseline and every earlier frame (must be 0).
+    stale: usize,
+    /// The last pushed state equals a direct engine run at the final
+    /// epoch, bit for bit.
+    convergent: bool,
+}
+
+/// Phase 4: subscribe a continuous group query over an explicit
+/// itemset, stream rating ingests that touch the group, and audit the
+/// pushed delta stream: strictly increasing epochs and bit-identical
+/// convergence with direct execution at the final epoch.
+fn subscription_phase(
+    live: &LiveEngine,
+    group: &Group,
+    feed: &[ItemId],
+    k: usize,
+    world_label: &str,
+    swaps: usize,
+) -> SubscriptionOutcome {
+    let server = GrecaServer::bind(
+        live,
+        ServeConfig {
+            world_label: world_label.to_string(),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind subscriptions");
+    let handle = server.handle();
+    std::thread::scope(|s| {
+        s.spawn(|| server.run());
+        let mut client = Client::connect(handle.addr()).expect("connect");
+        let members: Vec<u32> = group.members().iter().map(|u| u.0).collect();
+        let feed_ids: Vec<u32> = feed.iter().map(|i| i.0).collect();
+        let baseline = client
+            .subscribe(&members, Some(&feed_ids), Some(k))
+            .expect("subscribe");
+        assert_eq!(
+            baseline.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "subscribe must succeed"
+        );
+        let base_epoch = baseline
+            .get("epoch")
+            .and_then(Json::as_u64)
+            .expect("baseline epoch");
+        for r in 0..swaps {
+            let u = members[r % members.len()];
+            let i = feed_ids[r % feed_ids.len()];
+            // Non-integral, varying values so consecutive swaps keep
+            // moving the scores (and therefore keep producing pushes).
+            let value = 1.05 + (r % 8) as f32 * 0.45;
+            client.ingest(&[(u, i, value, r as i64)]).expect("ingest");
+        }
+        // Drain the push stream: the pump coalesces bursts, so wait
+        // for silence rather than for one frame per publish.
+        let mut frames: Vec<Json> = client.take_pushes();
+        while let Some(frame) = client
+            .poll_push(Duration::from_millis(400))
+            .expect("poll push")
+        {
+            frames.push(frame);
+        }
+        let pin = live.pin();
+        let direct = pin
+            .engine()
+            .query(group)
+            .items(feed)
+            .top(k)
+            .run()
+            .expect("direct run");
+        let mut stale = 0usize;
+        let mut prev = base_epoch;
+        for frame in &frames {
+            let epoch = frame
+                .get("epoch")
+                .and_then(Json::as_u64)
+                .expect("push epoch");
+            if epoch <= prev {
+                stale += 1;
+            }
+            prev = epoch;
+        }
+        // If the last swap left the top-k bit-identical the pump
+        // rightly stays quiet, so compare whatever state the client
+        // last saw (baseline if nothing ever changed).
+        let last_seen = frames.last().unwrap_or(&baseline);
+        let outcome = SubscriptionOutcome {
+            pushes: frames.len(),
+            stale,
+            convergent: payload_identical(last_seen, &direct),
+        };
+        handle.shutdown();
+        outcome
+    })
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -268,6 +487,14 @@ fn main() {
         assert!((0.0..=1.0).contains(&f), "--overlap must be in [0, 1]");
         f
     });
+    let seed: u64 = args
+        .windows(2)
+        .find(|w| w[0] == "--seed")
+        .map(|w| {
+            w[1].parse()
+                .unwrap_or_else(|_| panic!("--seed takes a u64, got '{}'", w[1]))
+        })
+        .unwrap_or(0);
     banner("serve_load: mixed-workload load harness over greca-serve");
     let (clients, requests, overload_clients) = if quick { (6, 50, 16) } else { (12, 200, 48) };
     let settings = if quick {
@@ -298,11 +525,12 @@ fn main() {
     let live = LiveEngine::new(world.population(), LiveModel::Raw, world.matrix(), &items)
         .expect("finite ratings");
     let users: Vec<UserId> = live.pin().substrate().users().to_vec();
-    let hot_groups = world.groups(6, settings.group_size, overlap, 0xb07);
+    let hot_groups = world.groups(6, settings.group_size, overlap, 0xb07 ^ seed);
     let cold_groups: Vec<Vec<Group>> = (0..clients)
-        .map(|c| world.groups(20, settings.group_size, overlap, 0xc01d + c as u64))
+        .map(|c| world.groups(20, settings.group_size, overlap, (0xc01d + c as u64) ^ seed))
         .collect();
     print_row("world", &world_label);
+    print_row("seed", seed);
     print_row(
         "overlap",
         overlap.map_or("default".to_string(), |f| format!("{f}")),
@@ -332,6 +560,7 @@ fn main() {
             &items,
             &users,
             k,
+            seed,
         );
         let wall = t0.elapsed();
         print_row(
@@ -348,7 +577,7 @@ fn main() {
         let verify_groups: Vec<Group> = hot_groups
             .iter()
             .cloned()
-            .chain(world.groups(4, settings.group_size, overlap, 0x1d37))
+            .chain(world.groups(4, settings.group_size, overlap, 0x1d37 ^ seed))
             .collect();
         let pin = live.pin();
         let engine = pin.engine();
@@ -446,7 +675,76 @@ fn main() {
     print_row("identical (served == direct)", verify_identical);
     print_row("protocol errors", protocol_errors);
 
-    // ── Phase 3: overload ────────────────────────────────────────────
+    // ── Phase 3: cache survival across a disjoint epoch swap ────────
+    banner("survival: selective invalidation vs wholesale baseline");
+    let survival_groups = world.groups(
+        8,
+        settings.group_size,
+        Some(overlap.unwrap_or(0.5)),
+        0x5afe ^ seed,
+    );
+    let member_union: std::collections::HashSet<UserId> = survival_groups
+        .iter()
+        .flat_map(|g| g.members().iter().copied())
+        .collect();
+    let disjoint_user = users
+        .iter()
+        .copied()
+        .find(|u| !member_union.contains(u))
+        .expect("a user outside every survival group");
+    let surv_selective = survival_phase(
+        &live,
+        &survival_groups,
+        disjoint_user,
+        items[0],
+        k,
+        &world_label,
+        true,
+    );
+    let surv_wholesale = survival_phase(
+        &live,
+        &survival_groups,
+        disjoint_user,
+        items[0],
+        k,
+        &world_label,
+        false,
+    );
+    print_row(
+        "post-swap hits (selective vs wholesale)",
+        format!(
+            "{}/{} vs {}/{}",
+            surv_selective.hits, surv_selective.total, surv_wholesale.hits, surv_wholesale.total
+        ),
+    );
+    print_row(
+        "survivors / survival rate",
+        format!(
+            "{} / {:.1}%",
+            surv_selective.survivors,
+            surv_selective.survival_rate * 100.0
+        ),
+    );
+    print_row("survivors identical", surv_selective.identical);
+
+    // ── Phase 4: continuous queries over the push stream ────────────
+    banner("subscriptions: push stream under streaming ingests");
+    let sub_swaps = if quick { 8 } else { 24 };
+    let feed: Vec<ItemId> = items.iter().copied().take(48).collect();
+    let subs = subscription_phase(
+        &live,
+        &survival_groups[0],
+        &feed,
+        k.min(feed.len()),
+        &world_label,
+        sub_swaps,
+    );
+    print_row(
+        "pushes / stale / convergent",
+        format!("{} / {} / {}", subs.pushes, subs.stale, subs.convergent),
+    );
+
+    // ── Phase 5: overload ────────────────────────────────────────────
     banner("overload: tight admission, unique-group burst");
     let overload_config = ServeConfig {
         query_workers: 2,
@@ -464,7 +762,7 @@ fn main() {
                 over_requests,
                 settings.group_size,
                 overlap,
-                0x0537 + c as u64,
+                (0x0537 + c as u64) ^ seed,
             )
         })
         .collect();
@@ -481,6 +779,7 @@ fn main() {
             &items,
             &users,
             k,
+            seed,
         );
         over_handle.shutdown();
         samples
@@ -526,6 +825,8 @@ fn main() {
             "    \"ingest\": {{\"requests\": {inn}, \"p50_ms\": {ip50:.4}, \"p99_ms\": {ip99:.4}}}\n",
             "  }},\n",
             "  \"cache\": {{\"hit_rate\": {hit_rate:.4}, \"hit_p50_ms\": {hp50:.4}, \"miss_p50_ms\": {mp50:.4}, \"hit_speedup\": {speedup:.1}}},\n",
+            "  \"survival\": {{\"groups\": {sgroups}, \"selective_hit_rate\": {srate:.4}, \"wholesale_hit_rate\": {wrate:.4}, \"survivors\": {survivors}, \"survival_rate\": {survrate:.4}, \"survivors_identical\": {sident}}},\n",
+            "  \"subscriptions\": {{\"pushes\": {pushes}, \"stale_pushes\": {stale}, \"convergent\": {convergent}}},\n",
             "  \"epoch_publishes\": {publishes},\n",
             "  \"substrate_total_bytes\": {memory},\n",
             "  \"overload\": {{\"clients\": {oc}, \"queue\": {oq}, \"workers\": {ow}, \"accepted\": {oacc}, \"shed\": {shed}, \"p50_ms\": {op50:.4}, \"p99_ms\": {op99:.4}, \"p99_bound_ms\": {obound:.1}, \"bounded\": {bounded}}},\n",
@@ -547,6 +848,15 @@ fn main() {
         hp50 = hit_p50,
         mp50 = miss_p50,
         speedup = hit_speedup,
+        sgroups = surv_selective.total,
+        srate = surv_selective.hit_rate(),
+        wrate = surv_wholesale.hit_rate(),
+        survivors = surv_selective.survivors,
+        survrate = surv_selective.survival_rate,
+        sident = surv_selective.identical,
+        pushes = subs.pushes,
+        stale = subs.stale,
+        convergent = subs.convergent,
         publishes = publishes,
         memory = memory_total,
         oc = overload_clients,
@@ -577,6 +887,25 @@ fn main() {
     assert_eq!(
         protocol_errors, 0,
         "no protocol errors under the mixed workload"
+    );
+    assert!(
+        surv_selective.identical && surv_wholesale.identical,
+        "post-swap answers (survivors included) must equal direct execution at the new epoch"
+    );
+    assert!(
+        surv_selective.hits >= 1 && surv_selective.hits >= 2 * surv_wholesale.hits,
+        "selective post-swap hit rate ({:.2}) must be at least 2x the wholesale baseline ({:.2})",
+        surv_selective.hit_rate(),
+        surv_wholesale.hit_rate()
+    );
+    assert_eq!(subs.stale, 0, "push epochs must strictly increase");
+    assert!(
+        subs.pushes >= 1,
+        "streaming ingests that touch the subscribed group must push"
+    );
+    assert!(
+        subs.convergent,
+        "the last pushed state must equal direct execution at the final epoch"
     );
     // The performance headlines gate only the calibrated full study
     // run; `--world` tier runs are exploratory capacity probes.

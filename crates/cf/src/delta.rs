@@ -329,6 +329,132 @@ impl DirtySet {
     pub fn num_pairs(&self) -> usize {
         self.pairs.len()
     }
+
+    /// Whether the (unordered) pair `{a, b}` has invalidated affinity
+    /// entries. Order-insensitive: pairs are stored `(min, max)`.
+    pub fn contains_pair(&self, a: UserId, b: UserId) -> bool {
+        let key = if a.0 <= b.0 { (a, b) } else { (b, a) };
+        self.pairs.binary_search(&key).is_ok()
+    }
+
+    /// Whether any user in `members` is dirty. `members` must be sorted
+    /// ascending (true for `Group` member lists); both sides being
+    /// sorted makes this a single merge walk.
+    pub fn intersects_users(&self, members: &[UserId]) -> bool {
+        let (mut i, mut j) = (0, 0);
+        while i < self.users.len() && j < members.len() {
+            match self.users[i].0.cmp(&members[j].0) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => return true,
+            }
+        }
+        false
+    }
+
+    /// Whether any unordered pair drawn from `members` is dirty.
+    /// `members` must be sorted ascending. O(|members|² · log pairs),
+    /// fine for group-sized member lists.
+    pub fn intersects_member_pairs(&self, members: &[UserId]) -> bool {
+        if self.pairs.is_empty() {
+            return false;
+        }
+        for (i, &a) in members.iter().enumerate() {
+            for &b in &members[i + 1..] {
+                if self.pairs.binary_search(&(a, b)).is_ok() {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Fold `other` into `self` (set union on both components). Used to
+    /// coalesce the dirty sets of several publishes into one.
+    pub fn merge(&mut self, other: &DirtySet) {
+        merge_sorted(&mut self.users, &other.users);
+        merge_sorted(&mut self.pairs, &other.pairs);
+    }
+
+    /// Compact wire form: `u:1,2;p:3-4,5-6` (either side may be empty).
+    /// Used by the serving layer to ship small invalidation summaries
+    /// to downstream caches.
+    pub fn to_wire(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::from("u:");
+        for (i, u) in self.users.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}", u.0);
+        }
+        out.push_str(";p:");
+        for (i, (a, b)) in self.pairs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}-{}", a.0, b.0);
+        }
+        out
+    }
+
+    /// Parse the `to_wire` form. Returns `None` on any malformed,
+    /// unsorted, or duplicated input (the wire form is canonical).
+    pub fn from_wire(s: &str) -> Option<DirtySet> {
+        let rest = s.strip_prefix("u:")?;
+        let (users_part, pairs_part) = rest.split_once(";p:")?;
+        let mut users = Vec::new();
+        if !users_part.is_empty() {
+            for tok in users_part.split(',') {
+                users.push(UserId(tok.parse().ok()?));
+            }
+        }
+        let mut pairs = Vec::new();
+        if !pairs_part.is_empty() {
+            for tok in pairs_part.split(',') {
+                let (a, b) = tok.split_once('-')?;
+                let (a, b): (u32, u32) = (a.parse().ok()?, b.parse().ok()?);
+                if a > b {
+                    return None;
+                }
+                pairs.push((UserId(a), UserId(b)));
+            }
+        }
+        if users.windows(2).any(|w| w[0] >= w[1]) || pairs.windows(2).any(|w| w[0] >= w[1]) {
+            return None;
+        }
+        Some(DirtySet { users, pairs })
+    }
+}
+
+/// Merge sorted-deduped `other` into sorted-deduped `dst`, keeping it
+/// sorted and deduplicated.
+fn merge_sorted<T: Ord + Copy>(dst: &mut Vec<T>, other: &[T]) {
+    if other.is_empty() {
+        return;
+    }
+    let mut merged = Vec::with_capacity(dst.len() + other.len());
+    let (mut i, mut j) = (0, 0);
+    while i < dst.len() && j < other.len() {
+        match dst[i].cmp(&other[j]) {
+            std::cmp::Ordering::Less => {
+                merged.push(dst[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                merged.push(other[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                merged.push(dst[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    merged.extend_from_slice(&dst[i..]);
+    merged.extend_from_slice(&other[j..]);
+    *dst = merged;
 }
 
 #[cfg(test)]
@@ -550,5 +676,58 @@ mod tests {
         assert_eq!(dirty, DirtySet::default());
         assert_eq!(dirty.num_users(), 0);
         assert_eq!(dirty.num_pairs(), 0);
+    }
+
+    fn dirty(users: &[u32], pairs: &[(u32, u32)]) -> DirtySet {
+        DirtySet {
+            users: users.iter().map(|&u| UserId(u)).collect(),
+            pairs: pairs.iter().map(|&(a, b)| (UserId(a), UserId(b))).collect(),
+        }
+    }
+
+    #[test]
+    fn intersection_helpers() {
+        let d = dirty(&[2, 5, 9], &[(2, 5), (3, 7)]);
+        assert!(d.contains_pair(UserId(5), UserId(2)), "order-insensitive");
+        assert!(!d.contains_pair(UserId(2), UserId(9)));
+        assert!(d.intersects_users(&[UserId(1), UserId(5), UserId(20)]));
+        assert!(!d.intersects_users(&[UserId(1), UserId(4), UserId(20)]));
+        assert!(!d.intersects_users(&[]));
+        // Pair intersection: {3,7} ⊂ members, {2,5} not.
+        assert!(d.intersects_member_pairs(&[UserId(3), UserId(6), UserId(7)]));
+        assert!(!d.intersects_member_pairs(&[UserId(2), UserId(3), UserId(9)]));
+        assert!(!d.intersects_member_pairs(&[UserId(3)]));
+    }
+
+    #[test]
+    fn merge_unions_both_components() {
+        let mut a = dirty(&[1, 3], &[(1, 3)]);
+        let b = dirty(&[2, 3, 4], &[(1, 3), (2, 4)]);
+        a.merge(&b);
+        assert_eq!(a, dirty(&[1, 2, 3, 4], &[(1, 3), (2, 4)]));
+        a.merge(&DirtySet::default());
+        assert_eq!(a.num_users(), 4);
+    }
+
+    #[test]
+    fn wire_round_trip() {
+        for d in [
+            DirtySet::default(),
+            dirty(&[7], &[]),
+            dirty(&[], &[(0, 9)]),
+            dirty(&[1, 2, 3], &[(1, 2), (1, 3)]),
+        ] {
+            assert_eq!(DirtySet::from_wire(&d.to_wire()), Some(d));
+        }
+        for bad in [
+            "",
+            "u:;p",
+            "u:2,1;p:",
+            "u:;p:3-1",
+            "u:x;p:",
+            "u:1;p:1-2,1-2",
+        ] {
+            assert_eq!(DirtySet::from_wire(bad), None, "{bad:?}");
+        }
     }
 }

@@ -80,12 +80,12 @@ pub use interval::Interval;
 pub use lists::{
     GrecaInputs, ListKind, ListLayout, ListView, MaterializedInputs, NonFiniteEntry, SortedList,
 };
-pub use live::{EpochProvider, IngestReport, LiveEngine, LiveModel, PinnedEpoch};
+pub use live::{EpochProvider, IngestReport, LiveEngine, LiveModel, PinnedEpoch, PublishDelta};
 pub use naive::{naive_scores, naive_topk};
 pub use plan::{run_batch_with, PlanOptions, PlanStats, SharedMemberState};
 pub use query::{
     run_batch, Algorithm, BatchResult, GrecaEngine, GroupQuery, PreparedQuery, QueryError,
-    QueryKey, PAPER_DEFAULT_K,
+    QueryFootprint, QueryKey, PAPER_DEFAULT_K,
 };
 pub use score::BoundScorer;
 pub use substrate::{

@@ -73,7 +73,7 @@ use crate::query::{lock_unpoisoned, new_affinity_cache, AffinityCache, GrecaEngi
 use crate::substrate::{BuildOptions, Substrate};
 use greca_affinity::PopulationAffinity;
 use greca_cf::{
-    candidate_items, CfConfig, InvalidationScope, NonFiniteScore, PreferenceList,
+    candidate_items, CfConfig, DirtySet, InvalidationScope, NonFiniteScore, PreferenceList,
     PreferenceProvider, RatingStore, RawRatings, UserCfModel,
 };
 use greca_dataset::{Group, ItemId, Rating, RatingMatrix, UserId};
@@ -199,6 +199,49 @@ pub struct IngestReport {
 /// [`LiveEngine::on_publish`].
 type EpochHook = Arc<dyn Fn(u64) + Send + Sync>;
 
+/// A hook invoked after every epoch swap with the full publish delta —
+/// see [`LiveEngine::on_publish_delta`].
+type DeltaHook = Arc<dyn Fn(&PublishDelta) + Send + Sync>;
+
+/// Everything a publish invalidated, handed to
+/// [`LiveEngine::on_publish_delta`] subscribers so they can invalidate
+/// *selectively* instead of wholesale.
+#[derive(Debug, Clone)]
+pub struct PublishDelta {
+    /// The epoch just published.
+    pub epoch: u64,
+    /// Users and affinity pairs the batch invalidated, across the whole
+    /// population (`Arc`-shared so hooks can retain it cheaply). A
+    /// **lower bound** when [`PublishDelta::full_rebuild`] is set — see
+    /// [`IngestReport::dirty_users`]; subscribers must then treat
+    /// everything as dirty.
+    pub dirty: Arc<DirtySet>,
+    /// Affinity periods invalidated wholesale. Always empty today: the
+    /// population affinity index is fixed for the engine's lifetime, so
+    /// rating publishes never stale a period. The field exists so
+    /// rating-derived or time-decayed affinity sources can invalidate
+    /// per period without another hook-signature change.
+    pub periods: Vec<usize>,
+    /// Whether the publish fell back to a wholesale substrate rebuild,
+    /// making [`PublishDelta::dirty`] a lower bound. Subscribers that
+    /// keep state keyed by footprint disjointness must drop everything
+    /// when this is set.
+    pub full_rebuild: bool,
+}
+
+impl PublishDelta {
+    /// Whether a query with footprint `fp` may observe a different
+    /// result at this delta's epoch: always true under a full rebuild
+    /// (the dirty set is a lower bound), otherwise footprint
+    /// intersection against the dirty set (and the invalidated
+    /// periods, for affinity-using footprints).
+    pub fn affects(&self, fp: &crate::query::QueryFootprint) -> bool {
+        self.full_rebuild
+            || fp.intersects(&self.dirty)
+            || (fp.uses_affinity() && self.periods.contains(&fp.period()))
+    }
+}
+
 /// A serving engine over an evolving rating log: ingestion on one side,
 /// epoch-pinned warm queries on the other. See the module docs.
 ///
@@ -217,6 +260,9 @@ pub struct LiveEngine<'a> {
     full_rebuild_fraction: f64,
     /// Epoch-swap observers (see [`LiveEngine::on_publish`]).
     epoch_hooks: Mutex<Vec<EpochHook>>,
+    /// Epoch-swap observers that want the full publish delta (see
+    /// [`LiveEngine::on_publish_delta`]).
+    delta_hooks: Mutex<Vec<DeltaHook>>,
     /// Substrate construction options, applied to epoch 0 and to every
     /// full rebuild (incremental rebuilds inherit the compression from
     /// the previous epoch's substrate).
@@ -305,6 +351,7 @@ impl<'a> LiveEngine<'a> {
             }),
             full_rebuild_fraction: DEFAULT_FULL_REBUILD_FRACTION,
             epoch_hooks: Mutex::new(Vec::new()),
+            delta_hooks: Mutex::new(Vec::new()),
             build_options,
         })
     }
@@ -329,14 +376,32 @@ impl<'a> LiveEngine<'a> {
         lock_unpoisoned(&self.epoch_hooks).push(Arc::new(hook));
     }
 
-    /// Run every registered epoch hook for `epoch`. The hook list is
-    /// snapshotted out of its lock first, so a hook that stages and
-    /// publishes (or registers another hook) re-enters the engine
-    /// without deadlocking on the non-reentrant hooks mutex.
-    fn notify_epoch(&self, epoch: u64) {
+    /// Like [`LiveEngine::on_publish`], but the hook receives the full
+    /// [`PublishDelta`] — epoch, dirty set, invalidated periods, and the
+    /// full-rebuild flag — so serving layers can invalidate
+    /// *selectively*: drop only cached state whose
+    /// [`QueryFootprint`](crate::query::QueryFootprint) intersects the
+    /// dirty set, keep everything else (see [`PublishDelta::affects`]).
+    /// Same timing and cheapness contract as [`LiveEngine::on_publish`];
+    /// plain-epoch hooks and delta hooks both run on every publish,
+    /// plain ones first.
+    pub fn on_publish_delta(&self, hook: impl Fn(&PublishDelta) + Send + Sync + 'static) {
+        lock_unpoisoned(&self.delta_hooks).push(Arc::new(hook));
+    }
+
+    /// Run every registered epoch hook for the published delta. The
+    /// hook lists are snapshotted out of their locks first, so a hook
+    /// that stages and publishes (or registers another hook) re-enters
+    /// the engine without deadlocking on the non-reentrant hooks
+    /// mutexes.
+    fn notify_epoch(&self, delta: &PublishDelta) {
         let hooks: Vec<EpochHook> = lock_unpoisoned(&self.epoch_hooks).clone();
         for hook in &hooks {
-            hook(epoch);
+            hook(delta.epoch);
+        }
+        let hooks: Vec<DeltaHook> = lock_unpoisoned(&self.delta_hooks).clone();
+        for hook in &hooks {
+            hook(delta);
         }
     }
 
@@ -526,13 +591,20 @@ impl<'a> LiveEngine<'a> {
         // or stage (a later publish sees their staging) without
         // deadlocking on the lock this publish still holds.
         drop(store);
-        self.notify_epoch(epoch);
+        let dirty_users = dirty.num_users();
+        let dirty_pairs = dirty.num_pairs();
+        self.notify_epoch(&PublishDelta {
+            epoch,
+            dirty: Arc::new(dirty),
+            periods: Vec::new(),
+            full_rebuild,
+        });
         Ok(IngestReport {
             epoch,
             upserts: batch.upserts.len(),
             retractions: batch.retractions.len(),
-            dirty_users: dirty.num_users(),
-            dirty_pairs: dirty.num_pairs(),
+            dirty_users,
+            dirty_pairs,
             rebuilt_segments: if full_rebuild {
                 total_segments
             } else {

@@ -335,9 +335,10 @@ fn itemset_fingerprint(items: &[ItemId]) -> u128 {
 ///
 /// The key deliberately excludes the engine and its data: a result
 /// cache must be scoped to one engine state — the serving layer scopes
-/// per [`LiveEngine`](crate::live::LiveEngine) epoch and invalidates
-/// wholesale on publish (see
-/// [`LiveEngine::on_publish`](crate::live::LiveEngine::on_publish)).
+/// per [`LiveEngine`](crate::live::LiveEngine) epoch and, on publish,
+/// keeps exactly the entries whose [`QueryFootprint`] is disjoint from
+/// the published dirty set (see
+/// [`LiveEngine::on_publish_delta`](crate::live::LiveEngine::on_publish_delta)).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct QueryKey {
     members: Vec<UserId>,
@@ -350,6 +351,108 @@ pub struct QueryKey {
     normalize_rpref: bool,
     k: usize,
     algorithm: AlgorithmKey,
+}
+
+impl QueryKey {
+    /// The slice of mutable engine state this query's result depends
+    /// on. See [`QueryFootprint`] for the soundness argument.
+    pub fn footprint(&self) -> QueryFootprint {
+        QueryFootprint {
+            members: self.members.clone(),
+            items_fp: self.items_fp,
+            period: self.period,
+            uses_affinity: self.mode != ModeKey::None,
+        }
+    }
+}
+
+/// The slice of *mutable* engine state one query's result depends on:
+/// the group members (whose preference lists and candidate itemset feed
+/// the kernel), the itemset fingerprint, and the affinity coordinates
+/// (period + whether affinity participates at all).
+///
+/// A cached result keyed by the matching [`QueryKey`] stays
+/// bit-identical across an epoch publish iff its footprint is disjoint
+/// from the publish's [`DirtySet`]: the kernel reads only (a) each
+/// member's preference list — and the dirty-set contract guarantees
+/// `dirty.users` covers every user whose list changed, including
+/// co-raters and emptied rows under user-CF — (b) pair affinity between
+/// members, covered by `dirty.pairs` for rating-derived affinity
+/// sources (the population index itself is fixed for the engine's
+/// lifetime), and (c) the default candidate itemset, a deterministic
+/// function of the members' own rating rows. On the full-rebuild
+/// fallback the dirty set is only a lower bound, so callers must treat
+/// *everything* as dirty (see
+/// [`PublishDelta::full_rebuild`](crate::live::PublishDelta)).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct QueryFootprint {
+    /// Sorted ascending ([`Group`] keeps members canonical).
+    members: Vec<UserId>,
+    items_fp: u128,
+    period: usize,
+    uses_affinity: bool,
+}
+
+impl QueryFootprint {
+    /// A conservative footprint over `members` alone: affinity assumed
+    /// in play, provider-resolved itemset, period 0. Its trigger set is
+    /// a superset of any precise footprint with the same members, so it
+    /// is safe as a placeholder while the precise one (which needs a
+    /// prepared query) is still being computed — continuous-query
+    /// registration uses it to close the register-then-pin race.
+    pub fn conservative(mut members: Vec<UserId>) -> QueryFootprint {
+        members.sort_unstable();
+        members.dedup();
+        QueryFootprint {
+            members,
+            items_fp: 0,
+            period: 0,
+            uses_affinity: true,
+        }
+    }
+
+    /// The member set (sorted ascending).
+    pub fn members(&self) -> &[UserId] {
+        &self.members
+    }
+
+    /// Order-independent itemset fingerprint (zero = provider-resolved
+    /// candidate set).
+    pub fn items_fingerprint(&self) -> u128 {
+        self.items_fp
+    }
+
+    /// Effective affinity period.
+    pub fn period(&self) -> usize {
+        self.period
+    }
+
+    /// Whether pair affinity participates in scoring at all.
+    pub fn uses_affinity(&self) -> bool {
+        self.uses_affinity
+    }
+
+    /// Whether a publish with this dirty set can change the result:
+    /// true iff a member's preference list is dirty, or (when affinity
+    /// participates) a member-member affinity pair is dirty. Disjoint ⇒
+    /// the cached result is bit-identical at the new epoch — unless the
+    /// publish fell back to a full rebuild, which callers must check
+    /// *before* consulting this.
+    pub fn intersects(&self, dirty: &greca_cf::DirtySet) -> bool {
+        dirty.intersects_users(&self.members)
+            || (self.uses_affinity && dirty.intersects_member_pairs(&self.members))
+    }
+
+    /// Replace the member set (re-canonicalized by sorting). This exists
+    /// for fault-injection tests that deliberately widen or narrow a
+    /// footprint to prove the survival invariants would catch a wrong
+    /// one; production footprints come only from [`QueryKey::footprint`].
+    pub fn with_members(mut self, mut members: Vec<UserId>) -> QueryFootprint {
+        members.sort_unstable();
+        members.dedup();
+        self.members = members;
+        self
+    }
 }
 
 /// The long-lived serving engine: a preference provider (any CF model)

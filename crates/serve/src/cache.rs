@@ -1,6 +1,7 @@
 //! The epoch-aware result cache: memoized [`TopKResult`]s keyed by
-//! canonical query identity, invalidated wholesale on epoch swaps,
-//! with single-flight stampede protection.
+//! canonical query identity, selectively invalidated on epoch swaps
+//! (entries whose [`QueryFootprint`] is disjoint from the publish's
+//! dirty set *survive*), with single-flight stampede protection.
 //!
 //! A production group-recommendation deployment sees the *same* query
 //! many times — the hot groups re-ask every few seconds, dashboards
@@ -16,12 +17,17 @@
 //!   `tests/cache_correctness.rs`).
 //! * **No stale epochs** — entries are scoped to one
 //!   [`LiveEngine`](greca_core::LiveEngine) epoch. The serving layer
-//!   registers [`ResultCache::invalidate_to`] as an
-//!   `on_publish` hook, clearing the map the moment a swap happens;
-//!   and because every lookup also carries the *pinned* epoch of its
-//!   own query, even a racing lookup can never read an entry from a
-//!   different epoch (the lazy epoch check is a second, independent
-//!   guard — hook or no hook, stale results are unreachable).
+//!   registers [`ResultCache::apply_publish`] as an
+//!   `on_publish_delta` hook: entries whose recorded footprint is
+//!   *disjoint* from the publish's dirty set are re-stamped to the new
+//!   epoch and kept (they are bit-identical there by the dirty-set
+//!   contract — see [`QueryFootprint`]), everything else — and
+//!   everything, on the full-rebuild fallback, where the dirty set is
+//!   only a lower bound — is dropped. And because every lookup also
+//!   carries the *pinned* epoch of its own query, even a racing lookup
+//!   can never read an entry from a different epoch (the lazy epoch
+//!   check is a second, independent guard — hook or no hook, stale
+//!   results are unreachable).
 //! * **No stampedes** — the first miss for a key installs an in-flight
 //!   marker and computes; concurrent identical queries *wait on that
 //!   computation* instead of re-entering the kernel, so `n`
@@ -32,7 +38,7 @@
 //! reaching the cap flushes wholesale (hot keys repopulate in one
 //! miss each) rather than maintaining LRU precision.
 
-use greca_core::{QueryError, QueryKey, TopKResult};
+use greca_core::{PublishDelta, QueryError, QueryFootprint, QueryKey, TopKResult};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
@@ -91,6 +97,15 @@ pub struct CacheStats {
     pub invalidations: AtomicU64,
     /// Wholesale flushes forced by the capacity bound.
     pub capacity_flushes: AtomicU64,
+    /// Selective invalidations applied ([`ResultCache::apply_publish`]
+    /// calls that kept the map, possibly emptied).
+    pub selective_invalidations: AtomicU64,
+    /// Entries re-stamped and kept across epoch swaps (footprint
+    /// disjoint from the dirty set).
+    pub survivors: AtomicU64,
+    /// Ready entries dropped by selective invalidation (footprint
+    /// intersecting the dirty set; in-flight markers are not counted).
+    pub dropped: AtomicU64,
 }
 
 impl CacheStats {
@@ -109,6 +124,19 @@ impl CacheStats {
             avoided as f64 / total as f64
         }
     }
+
+    /// Fraction of entries that survived across all selective
+    /// invalidations (survivors / (survivors + dropped); 0 when no
+    /// selective invalidation touched any entry).
+    pub fn survival_rate(&self) -> f64 {
+        let kept = Self::load(&self.survivors);
+        let total = kept + Self::load(&self.dropped);
+        if total == 0 {
+            0.0
+        } else {
+            kept as f64 / total as f64
+        }
+    }
 }
 
 /// A single-flight cell: the first computer fills it, waiters block on
@@ -119,7 +147,13 @@ struct InFlight {
 }
 
 enum Slot {
-    Ready(Arc<TopKResult>),
+    /// A resident value plus the footprint recorded when it was
+    /// installed — the state slice the value depends on, consulted by
+    /// [`ResultCache::apply_publish`] to decide survival.
+    Ready {
+        value: Arc<TopKResult>,
+        footprint: QueryFootprint,
+    },
     InFlight(Arc<InFlight>),
 }
 
@@ -209,10 +243,12 @@ impl ResultCache {
     }
 
     /// Advance to `epoch`, clearing every resident entry — the
+    /// *wholesale* invalidation path (the
     /// [`LiveEngine::on_publish`](greca_core::LiveEngine::on_publish)
-    /// hook target. Regressing or same-epoch calls are no-ops (epochs
-    /// are monotonic; a late hook delivery must not clear a newer
-    /// cache).
+    /// hook target, and the baseline [`apply_publish`](Self::apply_publish)
+    /// falls back to under a full rebuild). Regressing or same-epoch
+    /// calls are no-ops (epochs are monotonic; a late hook delivery
+    /// must not clear a newer cache).
     pub fn invalidate_to(&self, epoch: u64) {
         let mut state = lock_state(&self.state);
         if epoch > state.epoch {
@@ -220,6 +256,60 @@ impl ResultCache {
             state.map.clear();
             self.stats.invalidations.fetch_add(1, Ordering::Relaxed);
         }
+    }
+
+    /// Advance to `delta.epoch` *selectively* — the
+    /// [`LiveEngine::on_publish_delta`](greca_core::LiveEngine::on_publish_delta)
+    /// hook target. Ready entries whose recorded footprint the delta
+    /// does not affect are re-stamped to the new epoch and kept: by the
+    /// dirty-set contract they are bit-identical to a cold re-execution
+    /// there (property-tested in `tests/survival_properties.rs`).
+    /// Everything else is dropped, and so is the whole map when the
+    /// publish fell back to a full rebuild (the dirty set is then only
+    /// a lower bound). In-flight markers are always dropped — their
+    /// computation pinned the old epoch, and the install step's own
+    /// epoch check already refuses them; waiters still get their value
+    /// through the flight cell. Regressing or same-epoch deltas are
+    /// no-ops.
+    pub fn apply_publish(&self, delta: &PublishDelta) {
+        let mut state = lock_state(&self.state);
+        if delta.epoch <= state.epoch {
+            return;
+        }
+        state.epoch = delta.epoch;
+        if delta.full_rebuild {
+            let dropped = state
+                .map
+                .values()
+                .filter(|s| matches!(s, Slot::Ready { .. }))
+                .count();
+            state.map.clear();
+            self.stats.invalidations.fetch_add(1, Ordering::Relaxed);
+            self.stats
+                .dropped
+                .fetch_add(dropped as u64, Ordering::Relaxed);
+            return;
+        }
+        let ready_before = state
+            .map
+            .values()
+            .filter(|s| matches!(s, Slot::Ready { .. }))
+            .count();
+        state.map.retain(|_, slot| match slot {
+            Slot::Ready { footprint, .. } => !delta.affects(footprint),
+            Slot::InFlight(_) => false,
+        });
+        let kept = state.map.len();
+        drop(state);
+        self.stats
+            .selective_invalidations
+            .fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .survivors
+            .fetch_add(kept as u64, Ordering::Relaxed);
+        self.stats
+            .dropped
+            .fetch_add((ready_before - kept) as u64, Ordering::Relaxed);
     }
 
     /// Drop `key`'s in-flight marker if (and only if) it is still
@@ -256,14 +346,43 @@ impl ResultCache {
             return None; // the queued path will bypass
         }
         match state.map.get(key) {
-            Some(Slot::Ready(v)) => {
-                let v = Arc::clone(v);
+            Some(Slot::Ready { value, .. }) => {
+                let v = Arc::clone(value);
                 drop(state);
                 self.stats.hits.fetch_add(1, Ordering::Relaxed);
                 Some(v)
             }
             _ => None,
         }
+    }
+
+    /// Install a value for `key` at `epoch` with an *explicit*
+    /// footprint, replacing any resident slot. This is the pre-seeding
+    /// path (cache warmers) and the fault-injection path for the
+    /// survival property tests — which deliberately install widened and
+    /// narrowed footprints to prove the survival invariants would catch
+    /// a wrong one. The serving path never calls this: it derives the
+    /// footprint from the key at install time.
+    pub fn install(
+        &self,
+        epoch: u64,
+        key: QueryKey,
+        footprint: QueryFootprint,
+        value: Arc<TopKResult>,
+    ) {
+        let mut state = lock_state(&self.state);
+        if epoch > state.epoch {
+            state.epoch = epoch;
+            state.map.clear();
+            self.stats.invalidations.fetch_add(1, Ordering::Relaxed);
+        } else if epoch < state.epoch {
+            return;
+        }
+        if state.map.len() >= self.capacity {
+            state.map.clear();
+            self.stats.capacity_flushes.fetch_add(1, Ordering::Relaxed);
+        }
+        state.map.insert(key, Slot::Ready { value, footprint });
     }
 
     /// Look `key` up at the caller's pinned `epoch`; on a miss, run
@@ -294,9 +413,9 @@ impl ResultCache {
                 return (result, CacheOutcome::Bypass);
             }
             match state.map.get(&key) {
-                Some(Slot::Ready(v)) => {
+                Some(Slot::Ready { value, .. }) => {
                     self.stats.hits.fetch_add(1, Ordering::Relaxed);
-                    return (Ok(Arc::clone(v)), CacheOutcome::Hit);
+                    return (Ok(Arc::clone(value)), CacheOutcome::Hit);
                 }
                 Some(Slot::InFlight(cell)) => {
                     let cell = Arc::clone(cell);
@@ -359,7 +478,14 @@ impl ResultCache {
             if ours {
                 match &result {
                     Ok(v) if state.epoch == epoch => {
-                        state.map.insert(key, Slot::Ready(Arc::clone(v)));
+                        let footprint = key.footprint();
+                        state.map.insert(
+                            key,
+                            Slot::Ready {
+                                value: Arc::clone(v),
+                                footprint,
+                            },
+                        );
                     }
                     _ => {
                         state.map.remove(&key);
@@ -565,6 +691,63 @@ mod tests {
         // The poisoned run left no resident garbage: a fresh lookup
         // computes and caches normally.
         let (r, _) = cache.get_or_compute(0, key, || Ok(fake_result(9)));
+        assert_eq!(r.unwrap().stats.sa, 9);
+    }
+
+    fn delta(epoch: u64, users: &[u32], full_rebuild: bool) -> PublishDelta {
+        PublishDelta {
+            epoch,
+            dirty: Arc::new(greca_cf::DirtySet {
+                users: users.iter().map(|&u| UserId(u)).collect(),
+                pairs: Vec::new(),
+            }),
+            periods: Vec::new(),
+            full_rebuild,
+        }
+    }
+
+    #[test]
+    fn selective_invalidation_keeps_disjoint_entries() {
+        let cache = ResultCache::new(64);
+        let _ = cache.get_or_compute(0, key_for(1), || Ok(fake_result(1)));
+        let _ = cache.get_or_compute(0, key_for(2), || Ok(fake_result(2)));
+        // Members are {0, 1}; dirtying user 2 touches neither entry.
+        cache.apply_publish(&delta(1, &[2], false));
+        assert_eq!((cache.len(), cache.epoch()), (2, 1));
+        let (r, o) = cache.get_or_compute(1, key_for(1), || unreachable!("survivor"));
+        assert_eq!(o, CacheOutcome::Hit);
+        assert_eq!(r.unwrap().stats.sa, 1);
+        // Dirtying a member drops both entries (same group).
+        cache.apply_publish(&delta(2, &[1], false));
+        assert_eq!((cache.len(), cache.epoch()), (0, 2));
+        assert_eq!(cache.stats.survivors.load(Ordering::Relaxed), 2);
+        assert_eq!(cache.stats.dropped.load(Ordering::Relaxed), 2);
+        assert!((cache.stats.survival_rate() - 0.5).abs() < 1e-12);
+        // Full rebuild: disjoint dirty set, everything dropped anyway.
+        let _ = cache.get_or_compute(2, key_for(1), || Ok(fake_result(3)));
+        cache.apply_publish(&delta(3, &[2], true));
+        assert_eq!((cache.len(), cache.epoch()), (0, 3));
+        // Regression / same epoch: no-op.
+        cache.apply_publish(&delta(3, &[0], false));
+        assert_eq!(cache.epoch(), 3);
+    }
+
+    #[test]
+    fn install_respects_epoch_and_explicit_footprint() {
+        let cache = ResultCache::new(64);
+        let key = key_for(1);
+        // A footprint narrowed away from the real members survives a
+        // publish that dirties a member — exactly the wrongness the
+        // mutation tests rely on install() to inject.
+        let narrowed = key.footprint().with_members(vec![UserId(7)]);
+        cache.install(0, key.clone(), narrowed, Arc::new(fake_result(9)));
+        cache.apply_publish(&delta(1, &[0], false));
+        let (r, o) = cache.get_or_compute(1, key.clone(), || unreachable!());
+        assert_eq!(o, CacheOutcome::Hit);
+        assert_eq!(r.unwrap().stats.sa, 9);
+        // Stale-epoch install is refused.
+        cache.install(0, key.clone(), key.footprint(), Arc::new(fake_result(1)));
+        let (r, _) = cache.get_or_compute(1, key, || unreachable!());
         assert_eq!(r.unwrap().stats.sa, 9);
     }
 

@@ -1,14 +1,25 @@
 //! A minimal blocking client for the line protocol — what the load
 //! harness, the examples and the integration tests talk through.
+//!
+//! Push frames (server-initiated lines for `subscribe`d queries) can
+//! arrive interleaved with responses; the client tells them apart by
+//! the wire framing — push frames lead with the `push` key, responses
+//! with `ok` — and stashes pushes so request/response pairing never
+//! skews. Drain them with [`Client::take_pushes`] or block for the
+//! next one with [`Client::poll_push`].
 
 use crate::json::{self, Json};
+use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 /// One blocking connection to a [`GrecaServer`](crate::GrecaServer).
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    /// Push frames read while waiting for a response, in arrival order.
+    pushes: VecDeque<Json>,
 }
 
 impl Client {
@@ -19,32 +30,63 @@ impl Client {
         Ok(Client {
             reader: BufReader::new(stream.try_clone()?),
             writer: stream,
+            pushes: VecDeque::new(),
         })
     }
 
     /// Send one request value, wait for its response line.
     pub fn request(&mut self, body: &Json) -> std::io::Result<Json> {
         let line = self.request_raw(&body.to_line())?;
-        json::parse(&line).map_err(|e| {
-            std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                format!("unparseable response '{line}': {e}"),
-            )
-        })
+        parse_line(&line)
     }
 
-    /// Send one raw line, read one raw line back (no parsing).
+    /// Send one raw line, read one raw line back (no parsing). Push
+    /// frames arriving first are stashed, not returned.
     pub fn request_raw(&mut self, line: &str) -> std::io::Result<String> {
         writeln!(self.writer, "{line}")?;
-        let mut response = String::new();
-        let n = self.reader.read_line(&mut response)?;
-        if n == 0 {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
-                "server closed the connection",
-            ));
+        loop {
+            let line = self.read_line()?;
+            if is_push(&line) {
+                self.pushes.push_back(parse_line(&line)?);
+                continue;
+            }
+            return Ok(line);
         }
-        Ok(response.trim_end().to_string())
+    }
+
+    /// Push frames received so far (stashed while reading responses),
+    /// oldest first. Does not read from the socket.
+    pub fn take_pushes(&mut self) -> Vec<Json> {
+        self.pushes.drain(..).collect()
+    }
+
+    /// Block until one push frame is available (stashed or freshly
+    /// read) or `timeout` elapses; `Ok(None)` on timeout. Any response
+    /// line read while polling is an error — poll only when no request
+    /// is outstanding.
+    pub fn poll_push(&mut self, timeout: Duration) -> std::io::Result<Option<Json>> {
+        if let Some(frame) = self.pushes.pop_front() {
+            return Ok(Some(frame));
+        }
+        let stream = self.reader.get_ref();
+        let previous = stream.read_timeout()?;
+        stream.set_read_timeout(Some(timeout))?;
+        let read = self.read_line();
+        self.reader.get_ref().set_read_timeout(previous)?;
+        match read {
+            Ok(line) if is_push(&line) => parse_line(&line).map(Some),
+            Ok(line) => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("expected a push frame, got a response: {line}"),
+            )),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                Ok(None)
+            }
+            Err(e) => Err(e),
+        }
     }
 
     /// A `query` request over `group` with optional itemset and k.
@@ -54,23 +96,26 @@ impl Client {
         items: Option<&[u32]>,
         k: Option<usize>,
     ) -> std::io::Result<Json> {
-        let mut pairs = vec![
-            ("verb", Json::str("query")),
-            (
-                "group",
-                Json::Arr(group.iter().map(|&u| Json::num(u)).collect()),
-            ),
-        ];
-        if let Some(items) = items {
-            pairs.push((
-                "items",
-                Json::Arr(items.iter().map(|&i| Json::num(i)).collect()),
-            ));
-        }
-        if let Some(k) = k {
-            pairs.push(("k", Json::num(k as f64)));
-        }
-        self.request(&Json::obj(pairs))
+        self.request(&query_body("query", group, items, k))
+    }
+
+    /// A `subscribe` request: registers `group` as a continuous query
+    /// and returns the baseline response (with its `sub` id).
+    pub fn subscribe(
+        &mut self,
+        group: &[u32],
+        items: Option<&[u32]>,
+        k: Option<usize>,
+    ) -> std::io::Result<Json> {
+        self.request(&query_body("subscribe", group, items, k))
+    }
+
+    /// An `unsubscribe` request for subscription `sub`.
+    pub fn unsubscribe(&mut self, sub: u64) -> std::io::Result<Json> {
+        self.request(&Json::obj(vec![
+            ("verb", Json::str("unsubscribe")),
+            ("sub", Json::num(sub as f64)),
+        ]))
     }
 
     /// An `ingest` request of `(user, item, value, ts)` ratings.
@@ -106,4 +151,53 @@ impl Client {
     pub fn health(&mut self) -> std::io::Result<Json> {
         self.request(&Json::obj(vec![("verb", Json::str("health"))]))
     }
+
+    /// Read one line, EOF-checked.
+    fn read_line(&mut self) -> std::io::Result<String> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(line.trim_end().to_string())
+    }
+}
+
+/// The wire-framing check: push frames lead with the `push` key (see
+/// [`crate::protocol`]'s push-frame docs).
+fn is_push(line: &str) -> bool {
+    line.starts_with("{\"push\":")
+}
+
+fn parse_line(line: &str) -> std::io::Result<Json> {
+    json::parse(line).map_err(|e| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("unparseable response '{line}': {e}"),
+        )
+    })
+}
+
+/// A `query`-shaped request body under `verb`.
+fn query_body(verb: &str, group: &[u32], items: Option<&[u32]>, k: Option<usize>) -> Json {
+    let mut pairs = vec![
+        ("verb", Json::str(verb)),
+        (
+            "group",
+            Json::Arr(group.iter().map(|&u| Json::num(u)).collect()),
+        ),
+    ];
+    if let Some(items) = items {
+        pairs.push((
+            "items",
+            Json::Arr(items.iter().map(|&i| Json::num(i)).collect()),
+        ));
+    }
+    if let Some(k) = k {
+        pairs.push(("k", Json::num(k as f64)));
+    }
+    Json::obj(pairs)
 }

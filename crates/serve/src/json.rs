@@ -495,3 +495,146 @@ mod tests {
         assert!(parse(&deep).is_err());
     }
 }
+
+/// Round-trip fuzz for the hand-rolled codec: arbitrary values —
+/// including non-finite-adjacent floats, control characters, astral
+/// unicode, and deep nesting — serialize and parse back **exactly**;
+/// malformed or truncated input fails with a typed [`ParseError`],
+/// never a panic.
+#[cfg(test)]
+mod properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Finite `f64` from arbitrary bits: non-finite patterns (exponent
+    /// all-ones) get their exponent cleared, landing on the adjacent
+    /// subnormal with the same sign and mantissa — so the generator
+    /// sweeps right up against the NaN/Inf boundary without crossing it.
+    fn finite(bits: u64) -> f64 {
+        let f = f64::from_bits(bits);
+        if f.is_finite() {
+            f
+        } else {
+            f64::from_bits(bits & 0x800F_FFFF_FFFF_FFFF)
+        }
+    }
+
+    /// Any scalar value (surrogate codepoints remapped below the
+    /// surrogate block, keeping the full control/BMP/astral spread).
+    fn char_of(code: u32) -> char {
+        let code = code % 0x11_0000;
+        let code = if (0xD800..0xE000).contains(&code) {
+            code - 0x800
+        } else {
+            code
+        };
+        char::from_u32(code).unwrap_or('\u{FFFD}')
+    }
+
+    fn string_strategy() -> impl Strategy<Value = String> {
+        collection::vec((0u32..0x11_0000).prop_map(char_of), 0..8usize)
+            .prop_map(|chars| chars.into_iter().collect())
+    }
+
+    fn leaf_strategy() -> BoxedStrategy<Json> {
+        (0u8..4, any::<bool>(), any::<u64>(), string_strategy())
+            .prop_map(|(sel, b, bits, s)| match sel {
+                0 => Json::Null,
+                1 => Json::Bool(b),
+                2 => Json::Num(finite(bits)),
+                _ => Json::Str(s),
+            })
+            .boxed()
+    }
+
+    /// Arbitrary trees up to `depth` levels of arrays/objects over the
+    /// leaves (the vendored proptest has no `prop_recursive`; explicit
+    /// depth-bounded recursion plays the same role).
+    fn json_strategy(depth: usize) -> BoxedStrategy<Json> {
+        if depth == 0 {
+            return leaf_strategy();
+        }
+        let inner = json_strategy(depth - 1);
+        (
+            0u8..4,
+            leaf_strategy(),
+            collection::vec(inner.clone(), 0..4usize),
+            collection::vec((string_strategy(), inner), 0..4usize),
+        )
+            .prop_map(|(sel, leaf, arr, obj)| match sel {
+                0 => Json::Arr(arr),
+                1 => Json::Obj(obj),
+                _ => leaf,
+            })
+            .boxed()
+    }
+
+    /// Bytes drawn from a JSON-shaped pool — quotes, brackets, escapes,
+    /// digit/keyword fragments — so random lines land near the grammar
+    /// instead of failing on the first byte.
+    fn soup_strategy() -> impl Strategy<Value = String> {
+        const POOL: &[char] = &[
+            '{', '}', '[', ']', '"', ',', ':', '\\', 'u', 'n', 't', 'r', 'e', 'f', 'a', 'l', 's',
+            '0', '1', '9', '-', '+', '.', 'E', ' ', 'é', '👀', '\u{0007}', 'd', '8',
+        ];
+        collection::vec(0usize..POOL.len(), 0..40usize)
+            .prop_map(|picks| picks.into_iter().map(|i| POOL[i]).collect())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        #[test]
+        fn values_round_trip_exactly(v in json_strategy(3)) {
+            let line = v.to_line();
+            let back = parse(&line);
+            prop_assert_eq!(back.as_ref(), Ok(&v), "via {}", line);
+            // And the serialized form is a fixed point: re-serializing
+            // the parsed value reproduces the line byte-for-byte.
+            prop_assert_eq!(back.unwrap().to_line(), line);
+        }
+
+        #[test]
+        fn floats_round_trip_bit_for_bit(bits in any::<u64>()) {
+            let x = finite(bits);
+            let line = Json::Num(x).to_line();
+            let back = parse(&line).unwrap().as_f64().unwrap();
+            prop_assert_eq!(back.to_bits(), x.to_bits(), "{} via {}", x, line);
+        }
+
+        #[test]
+        fn nesting_beyond_the_cap_fails_typed(n in 0usize..200) {
+            let line = "[".repeat(n) + &"]".repeat(n);
+            match parse(&line) {
+                // The outermost value sits at depth 0, so the cap
+                // admits MAX_DEPTH + 1 brackets.
+                Ok(_) => prop_assert!(n <= MAX_DEPTH + 1, "depth {} accepted", n),
+                Err(e) => {
+                    prop_assert!(n > MAX_DEPTH + 1 || n == 0, "depth {} rejected: {}", n, e);
+                    prop_assert!(e.at <= line.len());
+                }
+            }
+        }
+
+        #[test]
+        fn malformed_input_never_panics(soup in soup_strategy()) {
+            // Ok or Err are both acceptable; panicking or running away
+            // is not. A typed error must point inside the input.
+            if let Err(e) = parse(&soup) {
+                prop_assert!(e.at <= soup.len(), "error at {} in {:?}", e.at, soup);
+            }
+        }
+
+        #[test]
+        fn truncated_lines_never_panic(v in json_strategy(2), cut_seed in any::<u64>()) {
+            let line = v.to_line();
+            let mut cut = (cut_seed as usize) % (line.len() + 1);
+            while !line.is_char_boundary(cut) {
+                cut -= 1;
+            }
+            if let Err(e) = parse(&line[..cut]) {
+                prop_assert!(e.at <= cut);
+            }
+        }
+    }
+}

@@ -6,16 +6,23 @@
 //! discipline a real deployment needs and the algorithms alone don't
 //! provide —
 //!
-//! * **a network surface** ([`server`]) — `query` / `ingest` /
-//!   `stats` / `health` verbs over `std::net::TcpListener`, one JSON
-//!   value per line ([`protocol`], with its own `std`-only JSON in
-//!   [`json`]: the vendored serde is a stub);
+//! * **a network surface** ([`server`]) — `query` / `subscribe` /
+//!   `unsubscribe` / `ingest` / `stats` / `health` verbs over
+//!   `std::net::TcpListener`, one JSON value per line ([`protocol`],
+//!   with its own `std`-only JSON in [`json`]: the vendored serde is a
+//!   stub);
 //! * **result reuse** ([`cache`]) — an epoch-aware cache keyed by the
-//!   engine's canonical [`QueryKey`](greca_core::QueryKey),
-//!   invalidated wholesale through
-//!   [`LiveEngine::on_publish`](greca_core::LiveEngine::on_publish)
-//!   and guarded per-lookup by the pinned epoch, with single-flight
-//!   stampede protection;
+//!   engine's canonical [`QueryKey`](greca_core::QueryKey), guarded
+//!   per-lookup by the pinned epoch, with single-flight stampede
+//!   protection. Publishes invalidate it *selectively* through
+//!   [`LiveEngine::on_publish_delta`](greca_core::LiveEngine::on_publish_delta):
+//!   entries whose
+//!   [`QueryFootprint`](greca_core::QueryFootprint) is disjoint from
+//!   the publish's dirty set survive the epoch swap bit-identically;
+//! * **continuous queries** ([`server`]) — `subscribe` registers a
+//!   group query; a pump thread re-runs it after every publish whose
+//!   dirty set intersects its footprint and pushes a delta frame when
+//!   the top-k actually changed;
 //! * **backpressure** ([`admission`]) — bounded per-verb queues that
 //!   shed with a typed `overloaded` reply the moment demand exceeds
 //!   capacity, keeping tail latency bounded instead of queueing
@@ -98,6 +105,13 @@ pub struct ServeConfig {
     /// verb so operators can tell capacity numbers from different tiers
     /// apart; purely informational.
     pub world_label: String,
+    /// Whether publishes invalidate the result cache selectively —
+    /// keeping entries whose footprint is disjoint from the publish's
+    /// dirty set — or wholesale (`false`, the pre-dirty-set behavior,
+    /// kept as a benchmark baseline). Selective survival is
+    /// bit-identical to recomputing: a surviving entry's result cannot
+    /// depend on anything the publish changed.
+    pub selective_invalidation: bool,
 }
 
 impl Default for ServeConfig {
@@ -115,6 +129,7 @@ impl Default for ServeConfig {
             read_timeout: Duration::from_millis(25),
             max_line_bytes: 8 << 20,
             world_label: "unlabeled".to_string(),
+            selective_invalidation: true,
         }
     }
 }

@@ -142,6 +142,8 @@ impl VerbMetrics {
 pub struct Metrics {
     /// `query` verb counters.
     pub query: VerbMetrics,
+    /// `subscribe`/`unsubscribe` verb counters.
+    pub subscribe: VerbMetrics,
     /// `ingest` verb counters.
     pub ingest: VerbMetrics,
     /// `stats` verb counters.
@@ -154,6 +156,14 @@ pub struct Metrics {
     pub publishes: AtomicU64,
     /// Connections accepted over the server's lifetime.
     pub connections: AtomicU64,
+    /// Subscription re-runs triggered by publishes (kernel executions
+    /// on behalf of continuous queries, cache-coalesced or not).
+    pub sub_runs: AtomicU64,
+    /// Push frames written to subscribers (top-k actually changed).
+    pub pushes: AtomicU64,
+    /// Push frames that failed to write (subscriber gone; the
+    /// subscription is dropped).
+    pub push_errors: AtomicU64,
 }
 
 impl Metrics {
@@ -161,6 +171,7 @@ impl Metrics {
     pub fn verb(&self, verb: &str) -> &VerbMetrics {
         match verb {
             "query" => &self.query,
+            "subscribe" | "unsubscribe" => &self.subscribe,
             "ingest" => &self.ingest,
             "stats" => &self.stats,
             _ => &self.health,
@@ -169,23 +180,19 @@ impl Metrics {
 
     /// The registry as a JSON object.
     pub fn to_json(&self) -> Json {
+        let load = |c: &AtomicU64| Json::num(c.load(Ordering::Relaxed) as f64);
         Json::obj(vec![
             ("query", self.query.to_json()),
+            ("subscribe", self.subscribe.to_json()),
             ("ingest", self.ingest.to_json()),
             ("stats", self.stats.to_json()),
             ("health", self.health.to_json()),
-            (
-                "protocol_errors",
-                Json::num(self.protocol_errors.load(Ordering::Relaxed) as f64),
-            ),
-            (
-                "publishes_observed",
-                Json::num(self.publishes.load(Ordering::Relaxed) as f64),
-            ),
-            (
-                "connections",
-                Json::num(self.connections.load(Ordering::Relaxed) as f64),
-            ),
+            ("protocol_errors", load(&self.protocol_errors)),
+            ("publishes_observed", load(&self.publishes)),
+            ("connections", load(&self.connections)),
+            ("sub_runs", load(&self.sub_runs)),
+            ("push_count", load(&self.pushes)),
+            ("push_errors", load(&self.push_errors)),
         ])
     }
 }

@@ -1,5 +1,6 @@
 //! The wire protocol: line-delimited JSON, one request and one response
-//! per line, four verbs.
+//! per line, six verbs — plus server-initiated push frames for
+//! continuous queries.
 //!
 //! ## Requests
 //!
@@ -7,6 +8,8 @@
 //! {"verb":"query","group":[3,17,42]}                          — paper defaults
 //! {"verb":"query","group":[3,17],"items":[0,1,2],"k":5,
 //!  "period":2,"mode":"static","consensus":"mo","id":7}        — everything spelled out
+//! {"verb":"subscribe","group":[3,17],"k":5}                   — continuous query
+//! {"verb":"unsubscribe","sub":4}
 //! {"verb":"ingest","ratings":[[3,120,4.5,1710000000]],
 //!  "retract":[[3,7]]}                                         — one epoch publish
 //! {"verb":"stats"}
@@ -38,6 +41,24 @@
 //! result: item ids with their `[lb, ub]` score envelopes (floats in
 //! shortest round-trip form, so the payload is bit-comparable to a
 //! direct engine run), access statistics, sweeps and the stop reason.
+//!
+//! ## Push frames
+//!
+//! `subscribe` registers a continuous query: the response carries a
+//! server-assigned `sub` id plus the baseline result, and after each
+//! epoch publish whose dirty set intersects the subscription's
+//! footprint, the server re-runs the query and — *only when the top-k
+//! actually changed* — writes an unsolicited frame on the same
+//! connection:
+//!
+//! ```text
+//! {"push":"delta","sub":4,"epoch":12,"items":[…],…}
+//! ```
+//!
+//! Push frames always start with the `push` key (never `ok`), so a
+//! pipelining client can tell them from responses by the first bytes
+//! of the line; the subscription's original `id`, when given, is echoed
+//! in every frame.
 
 use crate::json::Json;
 use greca_affinity::AffinityMode;
@@ -50,6 +71,15 @@ use greca_dataset::{ItemId, Rating, UserId};
 pub enum Request {
     /// Run one group query.
     Query(QueryRequest),
+    /// Register a continuous group query (same shape as `query`).
+    Subscribe(QueryRequest),
+    /// Deregister a continuous query by its `sub` id.
+    Unsubscribe {
+        /// The server-assigned subscription id.
+        sub: u64,
+        /// Echoed request id.
+        id: Option<Json>,
+    },
     /// Stage + publish rating deltas as one epoch.
     Ingest(IngestRequest),
     /// Metrics registry dump.
@@ -63,6 +93,8 @@ impl Request {
     pub fn verb(&self) -> &'static str {
         match self {
             Request::Query(_) => "query",
+            Request::Subscribe(_) => "subscribe",
+            Request::Unsubscribe { .. } => "unsubscribe",
             Request::Ingest(_) => "ingest",
             Request::Stats => "stats",
             Request::Health => "health",
@@ -132,11 +164,21 @@ pub fn parse_request(value: &Json) -> Result<Request, BadRequest> {
         .ok_or_else(|| bad("missing string field 'verb'", id.clone()))?;
     match verb {
         "query" => Ok(Request::Query(parse_query(value, id)?)),
+        "subscribe" => Ok(Request::Subscribe(parse_query(value, id)?)),
+        "unsubscribe" => {
+            let sub = value
+                .get("sub")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| bad("unsubscribe needs a u64 field 'sub'", id.clone()))?;
+            Ok(Request::Unsubscribe { sub, id })
+        }
         "ingest" => Ok(Request::Ingest(parse_ingest(value, id)?)),
         "stats" => Ok(Request::Stats),
         "health" => Ok(Request::Health),
         other => Err(bad(
-            format!("unknown verb '{other}' (expected query/ingest/stats/health)"),
+            format!(
+                "unknown verb '{other}' (expected query/subscribe/unsubscribe/ingest/stats/health)"
+            ),
             id,
         )),
     }
@@ -301,8 +343,10 @@ pub fn error_response(verb: &str, code: &str, detail: &str, id: &Option<Json>) -
     Json::Obj(pairs).to_line()
 }
 
-/// A successful `query` response line.
-pub fn query_response(result: &TopKResult, epoch: u64, cache: &str, id: &Option<Json>) -> String {
+/// The result payload shared by `query`/`subscribe` responses and push
+/// frames: epoch, items with exact score envelopes, access statistics,
+/// sweeps, stop reason.
+fn result_pairs(result: &TopKResult, epoch: u64) -> Vec<(String, Json)> {
     let items: Vec<Json> = result
         .items
         .iter()
@@ -319,10 +363,8 @@ pub fn query_response(result: &TopKResult, epoch: u64, cache: &str, id: &Option<
         StopReason::Threshold => "threshold",
         StopReason::Exhausted => "exhausted",
     };
-    let mut pairs = response_head(true, "query", id);
-    pairs.extend([
+    vec![
         ("epoch".to_string(), Json::num(epoch as f64)),
-        ("cache".to_string(), Json::str(cache)),
         ("items".to_string(), Json::Arr(items)),
         ("sa".to_string(), Json::num(result.stats.sa as f64)),
         ("ra".to_string(), Json::num(result.stats.ra as f64)),
@@ -332,7 +374,54 @@ pub fn query_response(result: &TopKResult, epoch: u64, cache: &str, id: &Option<
         ),
         ("sweeps".to_string(), Json::num(result.sweeps as f64)),
         ("stop".to_string(), Json::str(stop)),
-    ]);
+    ]
+}
+
+/// A successful `query` response line.
+pub fn query_response(result: &TopKResult, epoch: u64, cache: &str, id: &Option<Json>) -> String {
+    let mut pairs = response_head(true, "query", id);
+    pairs.push(("cache".to_string(), Json::str(cache)));
+    pairs.extend(result_pairs(result, epoch));
+    Json::Obj(pairs).to_line()
+}
+
+/// A successful `subscribe` response line: the assigned `sub` id plus
+/// the baseline result.
+pub fn subscribe_response(
+    sub: u64,
+    result: &TopKResult,
+    epoch: u64,
+    cache: &str,
+    id: &Option<Json>,
+) -> String {
+    let mut pairs = response_head(true, "subscribe", id);
+    pairs.push(("sub".to_string(), Json::num(sub as f64)));
+    pairs.push(("cache".to_string(), Json::str(cache)));
+    pairs.extend(result_pairs(result, epoch));
+    Json::Obj(pairs).to_line()
+}
+
+/// A successful `unsubscribe` response line (`removed` says whether the
+/// id named a live subscription owned by this connection).
+pub fn unsubscribe_response(sub: u64, removed: bool, id: &Option<Json>) -> String {
+    let mut pairs = response_head(true, "unsubscribe", id);
+    pairs.push(("sub".to_string(), Json::num(sub as f64)));
+    pairs.push(("removed".to_string(), Json::Bool(removed)));
+    Json::Obj(pairs).to_line()
+}
+
+/// A server-initiated push frame for subscription `sub`. The `push` key
+/// leads the object (the wire-level discriminator — see the module
+/// docs); the subscription's original `id` is echoed when present.
+pub fn push_frame(sub: u64, result: &TopKResult, epoch: u64, id: &Option<Json>) -> String {
+    let mut pairs = vec![
+        ("push".to_string(), Json::str("delta")),
+        ("sub".to_string(), Json::num(sub as f64)),
+    ];
+    if let Some(id) = id {
+        pairs.push(("id".to_string(), id.clone()));
+    }
+    pairs.extend(result_pairs(result, epoch));
     Json::Obj(pairs).to_line()
 }
 
@@ -446,6 +535,52 @@ mod tests {
         assert_eq!(parse_consensus("pd"), None);
         assert_eq!(parse_consensus("pd:1.5"), None);
         assert_eq!(parse_consensus("xx:0.5"), None);
+    }
+
+    #[test]
+    fn parses_subscribe_and_unsubscribe() {
+        let v = parse(r#"{"verb":"subscribe","group":[2,1],"k":3,"id":"s1"}"#).unwrap();
+        match parse_request(&v).unwrap() {
+            Request::Subscribe(q) => {
+                assert_eq!(q.group, vec![UserId(2), UserId(1)]);
+                assert_eq!(q.k, Some(3));
+                assert_eq!(q.id, Some(Json::str("s1")));
+            }
+            other => panic!("{other:?}"),
+        }
+        let v = parse(r#"{"verb":"unsubscribe","sub":7}"#).unwrap();
+        assert_eq!(
+            parse_request(&v).unwrap(),
+            Request::Unsubscribe { sub: 7, id: None }
+        );
+        let v = parse(r#"{"verb":"unsubscribe"}"#).unwrap();
+        assert!(parse_request(&v).unwrap_err().detail.contains("sub"));
+    }
+
+    #[test]
+    fn push_frames_lead_with_the_push_key() {
+        use greca_core::{AccessStats, StopReason, TopKResult};
+        let result = TopKResult {
+            items: Vec::new(),
+            stats: AccessStats {
+                sa: 1,
+                ra: 2,
+                total_entries: 3,
+            },
+            sweeps: 4,
+            stop_reason: StopReason::Exhausted,
+        };
+        let frame = push_frame(9, &result, 12, &Some(Json::str("tag")));
+        assert!(frame.starts_with(r#"{"push":"delta""#), "{frame}");
+        let v = parse(&frame).unwrap();
+        assert_eq!(v.get("sub").and_then(Json::as_u64), Some(9));
+        assert_eq!(v.get("epoch").and_then(Json::as_u64), Some(12));
+        assert_eq!(v.get("id").and_then(Json::as_str), Some("tag"));
+        assert!(v.get("ok").is_none(), "push frames are not responses");
+        let sub = subscribe_response(9, &result, 12, "miss", &None);
+        let v = parse(&sub).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(v.get("sub").and_then(Json::as_u64), Some(9));
     }
 
     #[test]

@@ -17,9 +17,17 @@
 //!   answered on the connection thread without queueing; only cache
 //!   misses pay admission (one kernel run, coalesced across identical
 //!   concurrent queries).
-//! * `ingest` jobs stage and publish through the engine; the epoch
-//!   hook registered at bind time invalidates the cache and bumps the
-//!   publish counter before the ingest response is even written.
+//! * `ingest` jobs stage and publish through the engine; the
+//!   publish-delta hook registered at bind time invalidates the cache
+//!   *selectively* (entries whose footprint is disjoint from the dirty
+//!   set survive the swap) and queues the delta for the subscription
+//!   pump before the ingest response is even written.
+//! * `subscribe` registers a continuous query: one baseline kernel run
+//!   through the query queue, then the subscription pump re-runs it
+//!   after every publish whose dirty set intersects its footprint and
+//!   pushes a frame when the top-k actually changed (see
+//!   [`protocol`]'s push-frame docs). `unsubscribe` is answered
+//!   inline.
 //! * `stats`/`health` never queue: they read atomics and one pin, so
 //!   they stay responsive under full overload — exactly when an
 //!   operator needs them.
@@ -30,25 +38,92 @@ use crate::json::Json;
 use crate::metrics::Metrics;
 use crate::protocol::{self, IngestRequest, QueryRequest, Request};
 use crate::ServeConfig;
-use greca_core::{LiveEngine, SharedMemberState};
+use greca_core::{LiveEngine, PublishDelta, QueryFootprint, SharedMemberState, TopKResult};
 use greca_dataset::Group;
+use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::Instant;
+
+/// Recover a poisoned guard: every mutex in this module protects
+/// structurally-sound plain data (no invariants span the lock), so a
+/// panicking peer must not wedge the serving path.
+fn lock_ok<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => {
+            m.clear_poison();
+            poisoned.into_inner()
+        }
+    }
+}
+
+/// One registered continuous query.
+struct Subscription {
+    /// Server-assigned id (the `sub` field on the wire).
+    id: u64,
+    /// The parsed query this subscription re-runs (its `id` field is
+    /// the client tag echoed in every push frame).
+    request: QueryRequest,
+    /// The owning connection's write half, shared with its response
+    /// writer so pushed frames and responses interleave as whole lines.
+    writer: Arc<Mutex<TcpStream>>,
+    /// Mutable state, guarded together: the footprint the pump
+    /// intersects against (conservative at registration, precise once
+    /// the baseline runs) and the last result delivered, with its
+    /// epoch — pushes happen only for strictly newer epochs, which is
+    /// what makes stale pushes structurally impossible.
+    state: Mutex<SubState>,
+}
+
+struct SubState {
+    footprint: QueryFootprint,
+    epoch: u64,
+    result: Option<Arc<TopKResult>>,
+}
+
+/// Publish deltas queued by the hook for the subscription pump, plus
+/// the drain flag the pump exits on.
+struct PendingDeltas {
+    queue: VecDeque<PublishDelta>,
+    draining: bool,
+}
+
+/// Deltas held for the pump before coalescing kicks in. The pump
+/// usually keeps the queue near-empty; the cap only matters when
+/// publishes outpace it (or nothing is pumping), where merging into the
+/// newest entry bounds memory at the cost of coarser coalescing.
+const PENDING_DELTA_CAP: usize = 64;
 
 /// State shared between the server, its handle, and the publish hook.
 struct Shared {
     shutdown: AtomicBool,
     metrics: Metrics,
     cache: ResultCache,
+    /// Whether publishes invalidate the cache selectively (footprint
+    /// survival) or wholesale (the pre-dirty-set behavior, kept as a
+    /// benchmark baseline) — [`ServeConfig::selective_invalidation`].
+    selective: bool,
     /// The batch planner's member-state arena for the current epoch:
     /// concurrent cache-miss queries resolve each member's preference
     /// list once per epoch instead of once per query. Swapped (not
     /// mutated) on publish, so in-flight queries keep the arena they
     /// started with — same discipline as the epoch-pinned engine.
     plan_state: Mutex<(u64, Arc<SharedMemberState>)>,
+    /// Live subscriptions by id.
+    subs: Mutex<HashMap<u64, Arc<Subscription>>>,
+    /// Next subscription id.
+    next_sub: AtomicU64,
+    /// Publish deltas awaiting the subscription pump.
+    pending: Mutex<PendingDeltas>,
+    /// Wakes the pump for new deltas and for drain.
+    pending_cv: Condvar,
+    /// Compact wire form of the last publish's dirty set (when small
+    /// enough to be worth shipping) — surfaced by `stats` so operators
+    /// and downstream caches can see what the last swap invalidated.
+    last_dirty: Mutex<Option<String>>,
     started: Instant,
 }
 
@@ -111,24 +186,65 @@ impl<'live, 'pop> GrecaServer<'live, 'pop> {
             shutdown: AtomicBool::new(false),
             metrics: Metrics::default(),
             cache: ResultCache::new(config.cache_capacity),
+            selective: config.selective_invalidation,
             plan_state: Mutex::new((live.epoch(), Arc::new(SharedMemberState::new()))),
+            subs: Mutex::new(HashMap::new()),
+            next_sub: AtomicU64::new(1),
+            pending: Mutex::new(PendingDeltas {
+                queue: VecDeque::new(),
+                draining: false,
+            }),
+            pending_cv: Condvar::new(),
+            last_dirty: Mutex::new(None),
             started: Instant::now(),
         });
         // The epoch-handoff integration: one hook, registered once,
-        // invalidates the whole cache and counts the swap. The hook
-        // holds only the shared state, so it stays valid (and harmless)
-        // after the server itself is gone.
+        // applies the publish's dirty set to the cache (selective
+        // survival — or wholesale when configured as the baseline) and
+        // queues the delta for the subscription pump. The hook holds
+        // only the shared state, so it stays valid (and harmless) after
+        // the server itself is gone.
         shared.cache.invalidate_to(live.epoch());
         let hook_shared = Arc::clone(&shared);
-        live.on_publish(move |epoch| {
-            hook_shared.cache.invalidate_to(epoch);
+        live.on_publish_delta(move |delta| {
+            if hook_shared.selective {
+                hook_shared.cache.apply_publish(delta);
+            } else {
+                hook_shared.cache.invalidate_to(delta.epoch);
+            }
             // Retire the old epoch's member arena eagerly; queries that
             // pinned the previous epoch still hold their own Arc.
-            hook_shared.plan_state_for(epoch);
+            hook_shared.plan_state_for(delta.epoch);
             hook_shared
                 .metrics
                 .publishes
                 .fetch_add(1, Ordering::Relaxed);
+            *lock_ok(&hook_shared.last_dirty) = (delta.dirty.num_users() <= 32
+                && delta.dirty.num_pairs() <= 32
+                && !delta.full_rebuild)
+                .then(|| delta.dirty.to_wire());
+            // Hand the delta to the subscription pump. Keep the hook
+            // cheap: subscriptions re-run on the pump thread, never
+            // here on the ingestion path.
+            let mut pending = lock_ok(&hook_shared.pending);
+            if pending.queue.len() >= PENDING_DELTA_CAP {
+                // Bound memory when nothing drains the queue: fold into
+                // the newest entry (union of dirty sets, max epoch).
+                let mut merged = pending.queue.pop_back().expect("cap > 0");
+                let mut dirty = (*merged.dirty).clone();
+                dirty.merge(&delta.dirty);
+                merged = PublishDelta {
+                    epoch: merged.epoch.max(delta.epoch),
+                    dirty: Arc::new(dirty),
+                    periods: merge_periods(&merged.periods, &delta.periods),
+                    full_rebuild: merged.full_rebuild || delta.full_rebuild,
+                };
+                pending.queue.push_back(merged);
+            } else {
+                pending.queue.push_back(delta.clone());
+            }
+            drop(pending);
+            hook_shared.pending_cv.notify_all();
         });
         Ok(GrecaServer {
             live,
@@ -184,6 +300,7 @@ impl<'live, 'pop> GrecaServer<'live, 'pop> {
             for _ in 0..self.config.ingest_workers.max(1) {
                 scope.spawn(|| queues.ingest.worker_loop());
             }
+            scope.spawn(|| self.subscription_pump());
             for stream in self.listener.incoming() {
                 if self.shared.shutdown.load(Ordering::SeqCst) {
                     break;
@@ -197,10 +314,123 @@ impl<'live, 'pop> GrecaServer<'live, 'pop> {
                 scope.spawn(move || self.serve_connection(stream, queues));
             }
             // Graceful drain: everything accepted still executes; new
-            // submissions get `shutting_down`.
+            // submissions get `shutting_down`. Ingest jobs drained here
+            // may still publish, so the pump is told to drain only
+            // *after* the queues are empty — it flushes every pending
+            // subscription notification before exiting.
             queues.query.drain();
             queues.ingest.drain();
+            lock_ok(&self.shared.pending).draining = true;
+            self.shared.pending_cv.notify_all();
         });
+        // The pump has exited; drop the subscriptions (closing their
+        // write halves) so subscribers see EOF rather than a silent
+        // socket.
+        lock_ok(&self.shared.subs).clear();
+    }
+
+    /// The subscription pump: waits for publish deltas queued by the
+    /// bind-time hook, coalesces bursts, and re-runs every affected
+    /// subscription at the current epoch — pushing a frame when (and
+    /// only when) its top-k changed. Runs on one dedicated thread
+    /// inside [`GrecaServer::run`]'s scope; exits after flushing the
+    /// queue once drain is signalled.
+    fn subscription_pump(&self) {
+        loop {
+            let next = {
+                let mut pending = lock_ok(&self.shared.pending);
+                loop {
+                    if let Some(delta) = pending.queue.pop_front() {
+                        break Some(delta);
+                    }
+                    if pending.draining {
+                        break None;
+                    }
+                    pending = self
+                        .shared
+                        .pending_cv
+                        .wait(pending)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                }
+            };
+            let Some(mut delta) = next else { return };
+            // Coalesce the rest of a burst into one pass: subscriptions
+            // are re-run at the *current* epoch anyway, so N queued
+            // deltas cost one union + one sweep, not N sweeps.
+            {
+                let mut pending = lock_ok(&self.shared.pending);
+                while let Some(more) = pending.queue.pop_front() {
+                    let mut dirty = (*delta.dirty).clone();
+                    dirty.merge(&more.dirty);
+                    delta = PublishDelta {
+                        epoch: delta.epoch.max(more.epoch),
+                        dirty: Arc::new(dirty),
+                        periods: merge_periods(&delta.periods, &more.periods),
+                        full_rebuild: delta.full_rebuild || more.full_rebuild,
+                    };
+                }
+            }
+            self.process_delta(&delta);
+        }
+    }
+
+    /// Re-run every subscription the delta affects and push changed
+    /// results. See [`GrecaServer::subscription_pump`].
+    fn process_delta(&self, delta: &PublishDelta) {
+        let subs: Vec<Arc<Subscription>> = lock_ok(&self.shared.subs).values().cloned().collect();
+        if subs.is_empty() {
+            return;
+        }
+        let pin = self.live.pin();
+        let epoch = pin.epoch();
+        let engine = pin.engine();
+        let plan_state = self.shared.plan_state_for(epoch);
+        for sub in subs {
+            let affected = {
+                let st = lock_ok(&sub.state);
+                st.epoch < epoch && delta.affects(&st.footprint)
+            };
+            if !affected {
+                continue;
+            }
+            self.shared.metrics.sub_runs.fetch_add(1, Ordering::Relaxed);
+            let Ok(group) = Group::new(sub.request.group.clone()) else {
+                continue; // validated at subscribe; unreachable
+            };
+            let query = build_query(&engine, &group, &sub.request);
+            let key = query.cache_key();
+            let (result, _) = self
+                .shared
+                .cache
+                .get_or_compute(epoch, key, || query.run_shared(&plan_state));
+            let Ok(top) = result else { continue };
+            let frame = {
+                let mut st = lock_ok(&sub.state);
+                if epoch <= st.epoch {
+                    // A newer run already recorded its result; pushing
+                    // ours now would deliver a stale epoch.
+                    None
+                } else {
+                    let changed = st.result.as_ref().is_none_or(|prev| **prev != *top);
+                    st.epoch = epoch;
+                    st.result = Some(Arc::clone(&top));
+                    changed.then(|| protocol::push_frame(sub.id, &top, epoch, &sub.request.id))
+                }
+            };
+            if let Some(frame) = frame {
+                let wrote = writeln!(lock_ok(&sub.writer), "{frame}").is_ok();
+                if wrote {
+                    self.shared.metrics.pushes.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    // The subscriber is gone; retire the subscription.
+                    self.shared
+                        .metrics
+                        .push_errors
+                        .fetch_add(1, Ordering::Relaxed);
+                    lock_ok(&self.shared.subs).remove(&sub.id);
+                }
+            }
+        }
     }
 
     /// One connection: read request lines, write response lines, in
@@ -211,23 +441,52 @@ impl<'live, 'pop> GrecaServer<'live, 'pop> {
     /// per chunk, so a client streaming one endless unterminated line —
     /// at any speed — is answered with `bad_request` and disconnected
     /// at the cap instead of growing a buffer until OOM.
+    ///
+    /// The write half is shared (behind a mutex) with any subscriptions
+    /// this connection registers, so pushed frames and responses
+    /// interleave as whole lines. When the *peer* goes away the
+    /// connection's subscriptions die with it; when the connection
+    /// thread exits because the *server* is draining, they are left
+    /// registered so the pump can flush final notifications before
+    /// [`GrecaServer::run`] returns.
     fn serve_connection<'env>(&'env self, stream: TcpStream, queues: &Queues<'env>) {
         let _ = stream.set_read_timeout(Some(self.config.read_timeout));
         let _ = stream.set_nodelay(true);
         let Ok(read_half) = stream.try_clone() else {
             return;
         };
+        let writer = Arc::new(Mutex::new(stream));
+        let mut conn_subs: Vec<u64> = Vec::new();
+        let peer_gone = self.connection_loop(read_half, queues, &writer, &mut conn_subs);
+        if peer_gone {
+            let mut subs = lock_ok(&self.shared.subs);
+            for id in conn_subs {
+                subs.remove(&id);
+            }
+        }
+    }
+
+    /// The connection read/dispatch loop. Returns `true` when the peer
+    /// is gone (EOF, fatal error, protocol cutoff) — its subscriptions
+    /// should die — and `false` on server drain, where they outlive the
+    /// connection thread just long enough for the pump to flush.
+    fn connection_loop<'env>(
+        &'env self,
+        read_half: TcpStream,
+        queues: &Queues<'env>,
+        writer: &Arc<Mutex<TcpStream>>,
+        conn_subs: &mut Vec<u64>,
+    ) -> bool {
         let mut reader = BufReader::new(read_half);
-        let mut writer = stream;
         let mut acc: Vec<u8> = Vec::new();
         let cap = self.config.max_line_bytes.max(1024);
         loop {
             if self.shared.shutdown.load(Ordering::SeqCst) {
-                return;
+                return false;
             }
             let (consumed, complete) = {
                 let chunk = match reader.fill_buf() {
-                    Ok([]) => return, // EOF (a trailing partial line is not a request)
+                    Ok([]) => return true, // EOF (a trailing partial line is not a request)
                     Ok(chunk) => chunk,
                     // Timeout tick: keep accumulated partial input,
                     // re-check the shutdown flag.
@@ -237,7 +496,7 @@ impl<'live, 'pop> GrecaServer<'live, 'pop> {
                     {
                         continue
                     }
-                    Err(_) => return,
+                    Err(_) => return true,
                 };
                 match chunk.iter().position(|&b| b == b'\n') {
                     Some(pos) => {
@@ -262,14 +521,14 @@ impl<'live, 'pop> GrecaServer<'live, 'pop> {
                     &format!("request line exceeds the {cap}-byte limit"),
                     &None,
                 );
-                let _ = writeln!(writer, "{response}");
-                return; // the remainder of the oversized line is garbage
+                let _ = writeln!(lock_ok(writer), "{response}");
+                return true; // the remainder of the oversized line is garbage
             }
             if !complete {
                 continue;
             }
             let response = match std::str::from_utf8(&acc) {
-                Ok(line) => self.dispatch(line.trim(), queues),
+                Ok(line) => self.dispatch(line.trim(), queues, writer, conn_subs),
                 Err(_) => {
                     self.shared
                         .metrics
@@ -284,15 +543,21 @@ impl<'live, 'pop> GrecaServer<'live, 'pop> {
                 }
             };
             acc.clear();
-            if writeln!(writer, "{response}").is_err() {
-                return;
+            if writeln!(lock_ok(writer), "{response}").is_err() {
+                return true;
             }
         }
     }
 
     /// Parse one line and route it. Always produces exactly one
     /// response line.
-    fn dispatch<'env>(&'env self, line: &str, queues: &Queues<'env>) -> String {
+    fn dispatch<'env>(
+        &'env self,
+        line: &str,
+        queues: &Queues<'env>,
+        writer: &Arc<Mutex<TcpStream>>,
+        conn_subs: &mut Vec<u64>,
+    ) -> String {
         if line.is_empty() {
             self.shared
                 .metrics
@@ -356,6 +621,110 @@ impl<'live, 'pop> GrecaServer<'live, 'pop> {
             Request::Ingest(i) => self.submit(&queues.ingest, "ingest", i.id.clone(), move || {
                 self.handle_ingest(&i)
             }),
+            Request::Subscribe(q) => {
+                // Assign the id and register *on the connection thread*,
+                // before the baseline runs: the conservative footprint
+                // makes the pump re-check this subscription for any
+                // publish touching its members, so a swap racing the
+                // baseline can never be missed — only re-verified.
+                let sub_id = self.shared.next_sub.fetch_add(1, Ordering::Relaxed);
+                conn_subs.push(sub_id);
+                let sub = Arc::new(Subscription {
+                    id: sub_id,
+                    request: q.clone(),
+                    writer: Arc::clone(writer),
+                    state: Mutex::new(SubState {
+                        footprint: QueryFootprint::conservative(q.group.clone()),
+                        epoch: 0,
+                        result: None,
+                    }),
+                });
+                lock_ok(&self.shared.subs).insert(sub_id, Arc::clone(&sub));
+                let response = self.submit(&queues.query, "subscribe", q.id.clone(), move || {
+                    self.handle_subscribe(&sub)
+                });
+                // A shed, drained, or failed baseline leaves no live
+                // subscription (success lines always lead with the `ok`
+                // key — the same invariant push-frame framing rests on).
+                if !response.starts_with("{\"ok\":true") {
+                    lock_ok(&self.shared.subs).remove(&sub_id);
+                    conn_subs.retain(|&s| s != sub_id);
+                }
+                response
+            }
+            Request::Unsubscribe { sub, id } => {
+                // Answered inline, like the observability verbs: it is
+                // one map removal, and a subscriber drowning in pushes
+                // must be able to stop them even under full overload.
+                let t0 = Instant::now();
+                let owned = conn_subs.contains(&sub);
+                let removed = owned && lock_ok(&self.shared.subs).remove(&sub).is_some();
+                if owned {
+                    conn_subs.retain(|&s| s != sub);
+                }
+                self.shared.metrics.subscribe.served(t0.elapsed(), true);
+                protocol::unsubscribe_response(sub, removed, &id)
+            }
+        }
+    }
+
+    /// Run a subscription's baseline query and arm its precise
+    /// footprint. Returns `(response line, ok)`; on error the caller
+    /// unregisters the subscription.
+    fn handle_subscribe(&self, sub: &Subscription) -> (String, bool) {
+        let q = &sub.request;
+        let group = match Group::new(q.group.clone()) {
+            Ok(g) => g,
+            Err(e) => {
+                return (
+                    protocol::error_response("subscribe", "bad_request", &e.to_string(), &q.id),
+                    false,
+                )
+            }
+        };
+        let pin = self.live.pin();
+        let epoch = pin.epoch();
+        let engine = pin.engine();
+        let query = build_query(&engine, &group, q);
+        let key = query.cache_key();
+        let footprint = key.footprint();
+        let plan_state = self.shared.plan_state_for(epoch);
+        let (result, outcome) = self
+            .shared
+            .cache
+            .get_or_compute(epoch, key, || query.run_shared(&plan_state));
+        match result {
+            Ok(top) => {
+                let mut st = lock_ok(&sub.state);
+                // The precise footprint replaces the conservative
+                // registration one unconditionally (it is a property of
+                // the query, not of an epoch); the baseline result only
+                // lands if the pump hasn't already delivered a newer
+                // epoch in the registration window.
+                st.footprint = footprint;
+                if epoch > st.epoch {
+                    st.epoch = epoch;
+                    st.result = Some(Arc::clone(&top));
+                }
+                drop(st);
+                (
+                    protocol::subscribe_response(sub.id, &top, epoch, outcome.label(), &q.id),
+                    true,
+                )
+            }
+            Err(CacheError::Query(e)) => (
+                protocol::error_response("subscribe", "rejected", &e.to_string(), &q.id),
+                false,
+            ),
+            Err(CacheError::ComputePanicked) => (
+                protocol::error_response(
+                    "subscribe",
+                    "internal",
+                    "a concurrent identical query panicked in the kernel",
+                    &q.id,
+                ),
+                false,
+            ),
         }
     }
 
@@ -502,6 +871,14 @@ impl<'live, 'pop> GrecaServer<'live, 'pop> {
                         Json::num(report.retractions as f64),
                     ),
                     (
+                        "dirty_users".to_string(),
+                        Json::num(report.dirty_users as f64),
+                    ),
+                    (
+                        "dirty_pairs".to_string(),
+                        Json::num(report.dirty_pairs as f64),
+                    ),
+                    (
                         "rebuilt_segments".to_string(),
                         Json::num(report.rebuilt_segments as f64),
                     ),
@@ -599,9 +976,32 @@ impl<'live, 'pop> GrecaServer<'live, 'pop> {
                     ("coalesced", load(&stats.coalesced)),
                     ("bypasses", load(&stats.bypasses)),
                     ("invalidations", load(&stats.invalidations)),
+                    (
+                        "selective_invalidations",
+                        load(&stats.selective_invalidations),
+                    ),
+                    ("survivors", load(&stats.survivors)),
+                    ("dropped", load(&stats.dropped)),
+                    ("survival_rate", Json::num(stats.survival_rate())),
                     ("capacity_flushes", load(&stats.capacity_flushes)),
                     ("hit_rate", Json::num(stats.hit_rate())),
                 ]),
+            ),
+            (
+                "subscriptions",
+                Json::obj(vec![
+                    ("active", Json::num(lock_ok(&self.shared.subs).len() as f64)),
+                    ("sub_runs", load(&self.shared.metrics.sub_runs)),
+                    ("push_count", load(&self.shared.metrics.pushes)),
+                    ("push_errors", load(&self.shared.metrics.push_errors)),
+                ]),
+            ),
+            (
+                "last_dirty",
+                match lock_ok(&self.shared.last_dirty).as_deref() {
+                    Some(wire) => Json::str(wire),
+                    None => Json::Null,
+                },
             ),
             ("planner", {
                 let state = self.shared.plan_state_for(engine_epoch);
@@ -676,6 +1076,15 @@ fn build_query<'q>(
         query = query.consensus(consensus);
     }
     query
+}
+
+/// Union two sorted-or-not period lists into a sorted, deduplicated
+/// one (delta coalescing in the hook and the pump).
+fn merge_periods(a: &[usize], b: &[usize]) -> Vec<usize> {
+    let mut merged: Vec<usize> = a.iter().chain(b).copied().collect();
+    merged.sort_unstable();
+    merged.dedup();
+    merged
 }
 
 /// A [`greca_core::MemoryFootprint`] as a JSON object.

@@ -1,0 +1,432 @@
+//! Property tests for dirty-set-aware cache survival: **for any
+//! interleaving of ingest/retract/publish batches over a seeded world,
+//! every cache entry that survives an epoch swap is bit-identical
+//! (full `TopKResult` equality) to re-running its query cold at the
+//! new epoch — and no entry whose footprint the publish's dirty set
+//! affects survives at all.**
+//!
+//! The survival invariants are factored into [`check_survival`], a
+//! checker both directions of the test drive:
+//!
+//! * the property asserts `Ok` over arbitrary interleavings when the
+//!   cache records *true* footprints (the serving path's behavior);
+//! * the mutation tests install deliberately **narrowed** and
+//!   **widened** footprints through [`ResultCache::install`] /
+//!   [`QueryFootprint::with_members`] and assert the checker fails —
+//!   proving the property would catch a wrong footprint rather than
+//!   vacuously pass.
+
+use greca_affinity::{AffinityMode, PopulationAffinity, TableAffinitySource};
+use greca_cf::CfConfig;
+use greca_core::{LiveEngine, LiveModel, PublishDelta};
+use greca_dataset::{
+    Granularity, Group, ItemId, Rating, RatingMatrix, RatingMatrixBuilder, Timeline, UserId,
+};
+use greca_serve::ResultCache;
+use proptest::prelude::*;
+use std::sync::{Arc, Mutex};
+
+/// One staged event: upsert when `retract` is false.
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    user: usize,
+    item: usize,
+    value: f64,
+    retract: bool,
+}
+
+/// One cached group query: members from `mask`'s set bits.
+#[derive(Debug, Clone, Copy)]
+struct QuerySpec {
+    mask: u32,
+    mode_sel: u8,
+    k: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Instance {
+    n: usize,
+    m: usize,
+    seed: u64,
+    usercf: bool,
+    queries: Vec<QuerySpec>,
+    batches: Vec<Vec<Event>>,
+}
+
+fn instance_strategy() -> impl Strategy<Value = Instance> {
+    (4usize..=8, 6usize..=12, any::<u64>()).prop_flat_map(|(n, m, seed)| {
+        let spec = (1u32..(1u32 << n), 0u8..3, 1usize..=4)
+            .prop_map(|(mask, mode_sel, k)| QuerySpec { mask, mode_sel, k });
+        let event =
+            (0..n, 0..m, 0.5f64..5.0, any::<bool>()).prop_map(|(user, item, value, retract)| {
+                Event {
+                    user,
+                    item,
+                    value,
+                    retract,
+                }
+            });
+        let batches =
+            proptest::collection::vec(proptest::collection::vec(event, 1..5usize), 1..4usize);
+        (
+            Just(n),
+            Just(m),
+            Just(seed),
+            any::<bool>(),
+            proptest::collection::vec(spec, 3..8usize),
+            batches,
+        )
+            .prop_map(|(n, m, seed, usercf, queries, batches)| Instance {
+                n,
+                m,
+                seed,
+                usercf,
+                queries,
+                batches,
+            })
+    })
+}
+
+/// A deterministic world: every user rates a pseudo-random third of
+/// the catalog; affinities cover the clique with two periods.
+fn world(n: usize, m: usize, seed: u64) -> (RatingMatrix, PopulationAffinity, Vec<ItemId>) {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as u32
+    };
+    let mut b = RatingMatrixBuilder::new(n, m);
+    for u in 0..n {
+        for i in 0..m {
+            if next() % 3 == 0 {
+                b.rate(
+                    UserId(u as u32),
+                    ItemId(i as u32),
+                    (next() % 5 + 1) as f32,
+                    i64::from(next() % 100),
+                );
+            }
+        }
+    }
+    let users: Vec<UserId> = (0..n as u32).map(UserId).collect();
+    let mut src = TableAffinitySource::new();
+    let tl = Timeline::discretize(0, 100, Granularity::Custom(50)).unwrap();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            src.set_static(users[u], users[v], f64::from(next() % 100) / 100.0);
+            for p in tl.periods() {
+                src.set_periodic(users[u], users[v], p.start, f64::from(next() % 100) / 100.0);
+            }
+        }
+    }
+    let pop = PopulationAffinity::build(&src, &users, &tl);
+    let items: Vec<ItemId> = (0..m as u32).map(ItemId).collect();
+    (b.build(), pop, items)
+}
+
+fn group_of(mask: u32, n: usize) -> Group {
+    let members: Vec<UserId> = (0..n as u32)
+        .filter(|u| mask & (1 << u) != 0)
+        .map(UserId)
+        .collect();
+    Group::new(members).expect("mask >= 1 gives a non-empty group")
+}
+
+fn mode_of(sel: u8) -> AffinityMode {
+    match sel {
+        0 => AffinityMode::None,
+        1 => AffinityMode::StaticOnly,
+        _ => AffinityMode::Discrete,
+    }
+}
+
+/// The survival invariants, checked for every warmed query after one
+/// publish. `Err` pinpoints the first violated query. The three rules:
+///
+/// 1. an entry the delta affects must be gone;
+/// 2. an entry the delta does not affect must still be resident
+///    (disjointness survives the swap);
+/// 3. whatever is resident must equal a cold re-execution at the new
+///    epoch, bit for bit.
+fn check_survival(
+    cache: &ResultCache,
+    live: &LiveEngine<'_>,
+    items: &[ItemId],
+    n: usize,
+    queries: &[QuerySpec],
+    delta: &PublishDelta,
+) -> Result<(), String> {
+    let pin = live.pin();
+    let epoch = pin.epoch();
+    assert_eq!(epoch, delta.epoch, "checker must run right after publish");
+    let engine = pin.engine();
+    for (qi, spec) in queries.iter().enumerate() {
+        let group = group_of(spec.mask, n);
+        let query = engine
+            .query(&group)
+            .items(items)
+            .top(spec.k)
+            .period(1)
+            .affinity(mode_of(spec.mode_sel));
+        let key = query.cache_key();
+        let affected = delta.affects(&key.footprint());
+        let resident = cache.try_get(epoch, &key);
+        match (affected, &resident) {
+            (true, Some(_)) => {
+                return Err(format!(
+                    "query #{qi} {spec:?}: entry overlapping the dirty set survived epoch {epoch}"
+                ));
+            }
+            (false, None) => {
+                return Err(format!(
+                    "query #{qi} {spec:?}: entry disjoint from the dirty set was dropped at epoch {epoch}"
+                ));
+            }
+            _ => {}
+        }
+        if let Some(stale) = resident {
+            let fresh = query
+                .run()
+                .map_err(|e| format!("re-execution failed: {e}"))?;
+            if *stale != fresh {
+                return Err(format!(
+                    "query #{qi} {spec:?}: surviving entry differs from cold re-execution at epoch {epoch}"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Warm (or re-warm) every query through the serving path's
+/// `get_or_compute`, which derives the *true* footprint from the key.
+fn warm_all(
+    cache: &ResultCache,
+    live: &LiveEngine<'_>,
+    items: &[ItemId],
+    n: usize,
+    queries: &[QuerySpec],
+) {
+    let pin = live.pin();
+    let engine = pin.engine();
+    for spec in queries {
+        let group = group_of(spec.mask, n);
+        let query = engine
+            .query(&group)
+            .items(items)
+            .top(spec.k)
+            .period(1)
+            .affinity(mode_of(spec.mode_sel));
+        let (result, _) = cache.get_or_compute(pin.epoch(), query.cache_key(), || query.run());
+        result.expect("seeded world queries are valid");
+    }
+}
+
+/// Wire a cache to the engine's publish-delta hook (the same wiring
+/// `GrecaServer::bind` does) and capture every delta for the checker.
+type Captured = Arc<Mutex<Vec<PublishDelta>>>;
+fn attach(live: &LiveEngine<'_>) -> (Arc<ResultCache>, Captured) {
+    let cache = Arc::new(ResultCache::new(1 << 14));
+    cache.invalidate_to(live.epoch());
+    let deltas: Captured = Arc::new(Mutex::new(Vec::new()));
+    let hook_cache = Arc::clone(&cache);
+    let hook_deltas = Arc::clone(&deltas);
+    live.on_publish_delta(move |delta| {
+        hook_cache.apply_publish(delta);
+        hook_deltas.lock().unwrap().push(delta.clone());
+    });
+    (cache, deltas)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn survivors_are_bit_identical_and_overlaps_never_survive(inst in instance_strategy()) {
+        let (matrix, pop, items) = world(inst.n, inst.m, inst.seed);
+        let model = if inst.usercf {
+            LiveModel::UserCf(CfConfig::default())
+        } else {
+            LiveModel::Raw
+        };
+        let live = LiveEngine::new(&pop, model, &matrix, &items).unwrap();
+        let (cache, deltas) = attach(&live);
+
+        warm_all(&cache, &live, &items, inst.n, &inst.queries);
+        for batch in &inst.batches {
+            let seen = deltas.lock().unwrap().len();
+            for e in batch {
+                if e.retract {
+                    live.stage_retractions(&[(UserId(e.user as u32), ItemId(e.item as u32))]);
+                } else {
+                    live.stage(&[Rating {
+                        user: UserId(e.user as u32),
+                        item: ItemId(e.item as u32),
+                        value: e.value as f32,
+                        ts: 0,
+                    }]).unwrap();
+                }
+            }
+            live.publish().unwrap();
+            let captured = deltas.lock().unwrap();
+            if captured.len() == seen {
+                continue; // an effectively-empty batch publishes nothing
+            }
+            prop_assert_eq!(captured.len(), seen + 1, "one publish, one delta");
+            let delta = captured.last().unwrap().clone();
+            drop(captured);
+            if let Err(violation) =
+                check_survival(&cache, &live, &items, inst.n, &inst.queries, &delta)
+            {
+                return Err(TestCaseError::Fail(violation));
+            }
+            // Re-warm so the next swap tests survival over a full
+            // cache again (survivors stay; dropped entries recompute).
+            warm_all(&cache, &live, &items, inst.n, &inst.queries);
+        }
+    }
+}
+
+/// The deterministic fixture the mutation tests share: a seeded world,
+/// one group query over users 0–2, and an ingest that dirties user 0
+/// and genuinely changes the query's scores (`k = m`, so every score
+/// is part of the result).
+const MUT_N: usize = 8;
+const MUT_M: usize = 10;
+const MUT_SPEC: QuerySpec = QuerySpec {
+    mask: 0b111,
+    mode_sel: 0,
+    k: MUT_M,
+};
+
+#[test]
+fn correct_footprints_pass_the_checker() {
+    let (matrix, pop, items) = world(MUT_N, MUT_M, 42);
+    let live = LiveEngine::new(&pop, LiveModel::Raw, &matrix, &items).unwrap();
+    let (cache, deltas) = attach(&live);
+    // A second query disjoint from the dirty user, to witness survival.
+    let disjoint = QuerySpec {
+        mask: 0b1100000,
+        mode_sel: 0,
+        k: MUT_M,
+    };
+    let specs = [MUT_SPEC, disjoint];
+    warm_all(&cache, &live, &items, MUT_N, &specs);
+    live.ingest(&[Rating {
+        user: UserId(0),
+        item: ItemId(0),
+        value: 4.75,
+        ts: 0,
+    }])
+    .unwrap();
+    let delta = deltas.lock().unwrap().last().unwrap().clone();
+    assert!(!delta.full_rebuild, "one rating must not rebuild wholesale");
+    check_survival(&cache, &live, &items, MUT_N, &specs, &delta).expect("true footprints hold");
+    // And survival actually happened — the disjoint entry is resident.
+    assert!(
+        cache
+            .stats
+            .survivors
+            .load(std::sync::atomic::Ordering::Relaxed)
+            >= 1,
+        "the disjoint query must survive the swap"
+    );
+}
+
+#[test]
+fn narrowed_footprint_is_caught_by_the_checker() {
+    let (matrix, pop, items) = world(MUT_N, MUT_M, 42);
+    let live = LiveEngine::new(&pop, LiveModel::Raw, &matrix, &items).unwrap();
+    let (cache, deltas) = attach(&live);
+    // Install the entry under a footprint narrowed to a user far from
+    // the group — the dirtied member 0 no longer triggers a drop.
+    let stale = {
+        let pin = live.pin();
+        let engine = pin.engine();
+        let group = group_of(MUT_SPEC.mask, MUT_N);
+        let query = engine
+            .query(&group)
+            .items(&items)
+            .top(MUT_SPEC.k)
+            .period(1)
+            .affinity(mode_of(MUT_SPEC.mode_sel));
+        let key = query.cache_key();
+        let value = Arc::new(query.run().unwrap());
+        let narrowed = key.footprint().with_members(vec![UserId(7)]);
+        cache.install(pin.epoch(), key, narrowed, Arc::clone(&value));
+        value
+    };
+    live.ingest(&[Rating {
+        user: UserId(0),
+        item: ItemId(0),
+        value: 4.75,
+        ts: 0,
+    }])
+    .unwrap();
+    let delta = deltas.lock().unwrap().last().unwrap().clone();
+    assert!(!delta.full_rebuild);
+    let violation = check_survival(&cache, &live, &items, MUT_N, &[MUT_SPEC], &delta)
+        .expect_err("a narrowed footprint must fail the survival check");
+    assert!(
+        violation.contains("overlapping the dirty set survived"),
+        "unexpected violation: {violation}"
+    );
+    // The wrongly-surviving entry really is stale, not coincidentally
+    // fresh: the ingested rating changed the group's scores.
+    let pin = live.pin();
+    let engine = pin.engine();
+    let group = group_of(MUT_SPEC.mask, MUT_N);
+    let fresh = engine
+        .query(&group)
+        .items(&items)
+        .top(MUT_SPEC.k)
+        .period(1)
+        .affinity(mode_of(MUT_SPEC.mode_sel))
+        .run()
+        .unwrap();
+    assert_ne!(*stale, fresh, "the publish must actually move the scores");
+}
+
+#[test]
+fn widened_footprint_is_caught_by_the_checker() {
+    let (matrix, pop, items) = world(MUT_N, MUT_M, 42);
+    let live = LiveEngine::new(&pop, LiveModel::Raw, &matrix, &items).unwrap();
+    let (cache, deltas) = attach(&live);
+    // Install the entry under a footprint widened with user 6, then
+    // dirty only user 6 — disjoint from the real group {0,1,2}, so a
+    // true footprint would have survived.
+    {
+        let pin = live.pin();
+        let engine = pin.engine();
+        let group = group_of(MUT_SPEC.mask, MUT_N);
+        let query = engine
+            .query(&group)
+            .items(&items)
+            .top(MUT_SPEC.k)
+            .period(1)
+            .affinity(mode_of(MUT_SPEC.mode_sel));
+        let key = query.cache_key();
+        let value = Arc::new(query.run().unwrap());
+        let widened =
+            key.footprint()
+                .with_members(vec![UserId(0), UserId(1), UserId(2), UserId(6)]);
+        cache.install(pin.epoch(), key, widened, value);
+    }
+    live.ingest(&[Rating {
+        user: UserId(6),
+        item: ItemId(0),
+        value: 4.75,
+        ts: 0,
+    }])
+    .unwrap();
+    let delta = deltas.lock().unwrap().last().unwrap().clone();
+    assert!(!delta.full_rebuild);
+    let violation = check_survival(&cache, &live, &items, MUT_N, &[MUT_SPEC], &delta)
+        .expect_err("a widened footprint must fail the survival check");
+    assert!(
+        violation.contains("disjoint from the dirty set was dropped"),
+        "unexpected violation: {violation}"
+    );
+}
