@@ -72,6 +72,11 @@ enum Pending {
 #[derive(Debug, Clone, Default)]
 pub struct RatingStore {
     pending: BTreeMap<(u32, u32), Pending>,
+    /// Next id [`RatingStore::allocate_batch_id`] hands out (ids start
+    /// at 1; 0 means "no batch").
+    next_batch: u64,
+    /// Highest batch id accepted by [`RatingStore::stage_batch`].
+    last_staged: u64,
 }
 
 impl RatingStore {
@@ -127,6 +132,50 @@ impl RatingStore {
     /// time if the pair is unrated).
     pub fn stage_retraction(&mut self, user: UserId, item: ItemId) {
         self.pending.insert((user.0, item.0), Pending::Retract);
+    }
+
+    /// Reserve the next monotonic batch id (ids start at 1). The
+    /// caller makes the id durable (the live engine's WAL `Batch`
+    /// record) before staging under it with
+    /// [`RatingStore::stage_batch`]; an allocated-but-never-staged id
+    /// (the append failed) simply leaves a harmless gap.
+    pub fn allocate_batch_id(&mut self) -> u64 {
+        self.next_batch = self.next_batch.max(self.last_staged) + 1;
+        self.next_batch
+    }
+
+    /// Stage one identified batch — upserts then retractions, with the
+    /// same atomic validation as [`RatingStore::stage_all`] — unless
+    /// `batch_id` was already staged.
+    ///
+    /// Returns `Ok(true)` when the batch was staged and `Ok(false)`
+    /// when `batch_id ≤` the last staged id, in which case the store
+    /// is untouched: replaying a write-ahead log (or a client retrying
+    /// an acknowledged ingest) is idempotent. Ids must otherwise
+    /// arrive in increasing order — this is the single-writer staging
+    /// path, serialized by the engine's store lock.
+    pub fn stage_batch(
+        &mut self,
+        batch_id: u64,
+        upserts: &[Rating],
+        retractions: &[(UserId, ItemId)],
+    ) -> Result<bool, NonFiniteScore> {
+        if batch_id <= self.last_staged {
+            return Ok(false);
+        }
+        self.stage_all(upserts)?;
+        for &(u, i) in retractions {
+            self.stage_retraction(u, i);
+        }
+        self.last_staged = batch_id;
+        self.next_batch = self.next_batch.max(batch_id);
+        Ok(true)
+    }
+
+    /// Highest batch id ever staged (0 if none): the `through_batch`
+    /// watermark a publish commits.
+    pub fn last_batch(&self) -> u64 {
+        self.last_staged
     }
 
     /// Number of staged keys.
@@ -563,6 +612,47 @@ mod tests {
         ];
         assert!(store.stage_all(&batch).is_err());
         assert!(store.is_empty(), "no partial prefix staged");
+    }
+
+    #[test]
+    fn batch_ids_make_replay_idempotent() {
+        let mut store = RatingStore::new();
+        assert_eq!(store.last_batch(), 0);
+        let id1 = store.allocate_batch_id();
+        let id2 = store.allocate_batch_id();
+        assert!(0 < id1 && id1 < id2, "ids are monotonic and nonzero");
+        let up = [Rating {
+            user: UserId(0),
+            item: ItemId(1),
+            value: 4.0,
+            ts: 0,
+        }];
+        assert!(store.stage_batch(id1, &up, &[]).unwrap());
+        assert_eq!(store.last_batch(), id1);
+        assert_eq!(store.len(), 1);
+        // A replayed (or client-retried) id is a no-op.
+        assert!(!store.stage_batch(id1, &up, &[]).unwrap());
+        assert_eq!(store.len(), 1);
+        assert!(store
+            .stage_batch(id2, &[], &[(UserId(2), ItemId(2))])
+            .unwrap());
+        assert_eq!(store.last_batch(), id2);
+        // The watermark survives a drain (it is cumulative, not
+        // per-publish) and later allocations stay above it.
+        store.drain();
+        assert_eq!(store.last_batch(), id2);
+        assert!(store.allocate_batch_id() > id2);
+        // Validation failures stage nothing and do not advance the
+        // watermark.
+        let bad = [Rating {
+            user: UserId(9),
+            item: ItemId(9),
+            value: f32::NAN,
+            ts: 0,
+        }];
+        assert!(store.stage_batch(id2 + 10, &bad, &[]).is_err());
+        assert_eq!(store.last_batch(), id2);
+        assert!(store.is_empty());
     }
 
     #[test]

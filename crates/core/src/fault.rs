@@ -1,0 +1,538 @@
+//! Deterministic fault injection for durability and serving I/O.
+//!
+//! A [`FaultPlan`] is a seeded, schedule-driven oracle that the WAL
+//! writer ([`crate::wal`]) and `greca-serve`'s connection I/O consult
+//! before every fallible operation. Each consultation names a
+//! [`FaultCtx`] channel (WAL write, WAL fsync, socket read, socket
+//! write, queued work) and receives either `None` (proceed normally)
+//! or an [`IoFault`] to inject: a short/torn write, a failed fsync, a
+//! full disk, a process crash, a delayed or dropped socket, or a
+//! worker panic.
+//!
+//! Decisions are a pure function of `(seed, channel, per-channel op
+//! index)` plus an explicit schedule, so a failing chaos run replays
+//! bit-identically from its seed. Every injected fault is recorded in
+//! a log that tests and the `chaos` bench read back to assert that
+//! the faults they asked for actually fired.
+//!
+//! The special [`IoFault::Crash`] fault leaves a torn prefix of the
+//! in-flight write on disk and latches the plan into a *crashed*
+//! state: every subsequent WAL-channel operation fails until
+//! [`FaultPlan::clear_crashed`] — simulating process death mid-write
+//! without killing the test process.
+//!
+//! A plan can also be parsed from the `GRECA_FAULT_PLAN` environment
+//! variable (see [`FaultPlan::from_env`]), which CI uses to run the
+//! ordinary serve test suites under a background fault schedule.
+
+use std::fmt;
+use std::sync::Mutex;
+
+/// The I/O channel a fault decision applies to.
+///
+/// Channels have independent operation counters so a schedule like
+/// "fail the 3rd fsync" is unaffected by how many socket reads
+/// happened in between.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultCtx {
+    /// A WAL frame append (file write).
+    WalWrite,
+    /// A WAL fsync / flush-to-durable-media.
+    WalSync,
+    /// A socket read in the serve layer.
+    SockRead,
+    /// A socket write in the serve layer (responses and pushes).
+    SockWrite,
+    /// A unit of queued work executing on a worker thread.
+    Work,
+}
+
+impl FaultCtx {
+    /// Every channel, in the order [`FaultPlan::op_counts`] reports.
+    pub const ALL: [FaultCtx; 5] = [
+        FaultCtx::WalWrite,
+        FaultCtx::WalSync,
+        FaultCtx::SockRead,
+        FaultCtx::SockWrite,
+        FaultCtx::Work,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            FaultCtx::WalWrite => 0,
+            FaultCtx::WalSync => 1,
+            FaultCtx::SockRead => 2,
+            FaultCtx::SockWrite => 3,
+            FaultCtx::Work => 4,
+        }
+    }
+
+    /// Parse the wire name used by `GRECA_FAULT_PLAN` (e.g.
+    /// `wal_sync`).
+    pub fn parse(name: &str) -> Option<FaultCtx> {
+        match name {
+            "wal_write" => Some(FaultCtx::WalWrite),
+            "wal_sync" => Some(FaultCtx::WalSync),
+            "sock_read" => Some(FaultCtx::SockRead),
+            "sock_write" => Some(FaultCtx::SockWrite),
+            "work" => Some(FaultCtx::Work),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for FaultCtx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            FaultCtx::WalWrite => "wal_write",
+            FaultCtx::WalSync => "wal_sync",
+            FaultCtx::SockRead => "sock_read",
+            FaultCtx::SockWrite => "sock_write",
+            FaultCtx::Work => "work",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A single fault to inject into one I/O operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoFault {
+    /// The operation fails outright with an injected I/O error;
+    /// nothing is written. Models a failed fsync or a generic EIO.
+    Fail,
+    /// A short write: only `keep_permille`/1000 of the buffer reaches
+    /// the file (rounded down, always at least one byte short), then
+    /// the write reports an error. The WAL self-heals by truncating
+    /// back to the last frame boundary.
+    Torn {
+        /// Fraction of the buffer (in permille) that lands on disk.
+        keep_permille: u16,
+    },
+    /// The device is full: nothing is written and the operation fails
+    /// with a storage-full error. Repeated via a schedule or rule this
+    /// models a persistently wedged WAL (degraded mode).
+    DiskFull,
+    /// Process crash mid-write: a torn prefix (like [`IoFault::Torn`])
+    /// is left on disk, the plan latches crashed, and every later
+    /// WAL-channel operation fails until [`FaultPlan::clear_crashed`].
+    /// Unlike `Torn`, the WAL does *not* self-heal — the torn bytes
+    /// stay for recovery to find, exactly as after `kill -9`.
+    Crash {
+        /// Fraction of the buffer (in permille) that lands on disk.
+        keep_permille: u16,
+    },
+    /// The operation is delayed by this many milliseconds and then
+    /// proceeds normally. Models a slow disk or network.
+    Delay {
+        /// Injected latency in milliseconds.
+        millis: u64,
+    },
+    /// The peer vanishes: the socket operation fails with a
+    /// connection-reset error.
+    DropConn,
+    /// The worker thread executing the queued request panics.
+    Panic,
+}
+
+impl IoFault {
+    /// Parse the wire name used by `GRECA_FAULT_PLAN`, with an
+    /// optional numeric argument (torn/crash keep permille, delay
+    /// milliseconds).
+    pub fn parse(name: &str, arg: Option<u64>) -> Option<IoFault> {
+        match name {
+            "fail" => Some(IoFault::Fail),
+            "torn" => Some(IoFault::Torn {
+                keep_permille: arg.unwrap_or(500).min(1000) as u16,
+            }),
+            "diskfull" => Some(IoFault::DiskFull),
+            "crash" => Some(IoFault::Crash {
+                keep_permille: arg.unwrap_or(500).min(1000) as u16,
+            }),
+            "delay" => Some(IoFault::Delay {
+                millis: arg.unwrap_or(1),
+            }),
+            "drop" => Some(IoFault::DropConn),
+            "panic" => Some(IoFault::Panic),
+            _ => None,
+        }
+    }
+
+    /// Convert this fault into the `std::io::Error` the faulted
+    /// operation should report. `Delay` and `Panic` have no error
+    /// representation and map to a generic injected error if asked.
+    pub fn to_io_error(self) -> std::io::Error {
+        use std::io::{Error, ErrorKind};
+        match self {
+            IoFault::Fail => Error::other("injected fault: io failure"),
+            IoFault::Torn { .. } => Error::new(ErrorKind::WriteZero, "injected fault: torn write"),
+            IoFault::DiskFull => {
+                Error::other("injected fault: storage full (no space left on device)")
+            }
+            IoFault::Crash { .. } => Error::other("injected fault: process crashed"),
+            IoFault::DropConn => {
+                Error::new(ErrorKind::ConnectionReset, "injected fault: peer dropped")
+            }
+            IoFault::Delay { .. } | IoFault::Panic => Error::other("injected fault"),
+        }
+    }
+
+    /// How many bytes of a `len`-byte buffer a torn/crash write keeps.
+    /// Always strictly less than `len` so the frame is really torn.
+    pub fn torn_keep(self, len: usize) -> usize {
+        let permille = match self {
+            IoFault::Torn { keep_permille } | IoFault::Crash { keep_permille } => {
+                keep_permille as usize
+            }
+            _ => return len,
+        };
+        if len == 0 {
+            return 0;
+        }
+        (len * permille / 1000).min(len - 1)
+    }
+}
+
+/// One entry in the injected-fault log: which fault fired on which
+/// operation of which channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectedFault {
+    /// Channel the fault fired on.
+    pub ctx: FaultCtx,
+    /// Zero-based per-channel operation index it fired at.
+    pub op: u64,
+    /// The fault that was injected.
+    pub fault: IoFault,
+}
+
+/// A probabilistic rule: on every `ctx` operation, inject `fault`
+/// with probability `per_mille`/1000, decided by the seeded hash.
+#[derive(Debug, Clone, Copy)]
+struct FaultRule {
+    ctx: FaultCtx,
+    per_mille: u16,
+    fault: IoFault,
+}
+
+/// A scheduled fault: inject `fault` on exactly the `op`-th
+/// (zero-based) operation of `ctx`.
+#[derive(Debug, Clone, Copy)]
+struct ScheduledFault {
+    ctx: FaultCtx,
+    op: u64,
+    fault: IoFault,
+}
+
+#[derive(Debug, Default)]
+struct PlanState {
+    counters: [u64; 5],
+    injected: Vec<InjectedFault>,
+    crashed: bool,
+}
+
+/// A deterministic fault-injection plan shared by every I/O layer of
+/// one engine/server instance.
+///
+/// Decisions combine an explicit schedule ("fail the 3rd fsync") with
+/// probabilistic per-channel rules ("delay 2% of socket reads"),
+/// both derived purely from the seed and per-channel op counters —
+/// two plans with the same seed and schedule observe identical fault
+/// sequences given identical op sequences.
+#[derive(Debug)]
+pub struct FaultPlan {
+    seed: u64,
+    scheduled: Vec<ScheduledFault>,
+    rules: Vec<FaultRule>,
+    state: Mutex<PlanState>,
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl FaultPlan {
+    /// A plan with the given seed and no faults; add faults with
+    /// [`Self::schedule`] and [`Self::rule`].
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            scheduled: Vec::new(),
+            rules: Vec::new(),
+            state: Mutex::new(PlanState::default()),
+        }
+    }
+
+    /// Schedule `fault` to fire on exactly the `op`-th (zero-based)
+    /// operation of `ctx`.
+    pub fn schedule(mut self, ctx: FaultCtx, op: u64, fault: IoFault) -> FaultPlan {
+        self.scheduled.push(ScheduledFault { ctx, op, fault });
+        self
+    }
+
+    /// Add a probabilistic rule: every `ctx` operation injects
+    /// `fault` with probability `per_mille`/1000 (seeded, so the
+    /// sequence is reproducible).
+    pub fn rule(mut self, ctx: FaultCtx, per_mille: u16, fault: IoFault) -> FaultPlan {
+        self.rules.push(FaultRule {
+            ctx,
+            per_mille: per_mille.min(1000),
+            fault,
+        });
+        self
+    }
+
+    /// The seed this plan draws from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Consult the plan before one `ctx` operation. Advances the
+    /// channel's op counter; returns the fault to inject, if any.
+    ///
+    /// While the plan is crashed, every WAL-channel operation returns
+    /// [`IoFault::Fail`] (the process is "dead"); other channels
+    /// proceed normally so a test harness can still talk to peers.
+    pub fn decide(&self, ctx: FaultCtx) -> Option<IoFault> {
+        let mut state = crate::query::lock_unpoisoned(&self.state);
+        let op = state.counters[ctx.index()];
+        state.counters[ctx.index()] += 1;
+
+        if state.crashed && matches!(ctx, FaultCtx::WalWrite | FaultCtx::WalSync) {
+            return Some(IoFault::Fail);
+        }
+
+        let mut hit = self
+            .scheduled
+            .iter()
+            .find(|s| s.ctx == ctx && s.op == op)
+            .map(|s| s.fault);
+
+        if hit.is_none() {
+            for rule in self.rules.iter().filter(|r| r.ctx == ctx) {
+                let draw = splitmix64(
+                    self.seed ^ (ctx.index() as u64).rotate_left(32) ^ op.wrapping_mul(0x9e3b),
+                );
+                if draw % 1000 < rule.per_mille as u64 {
+                    hit = Some(rule.fault);
+                    break;
+                }
+            }
+        }
+
+        if let Some(fault) = hit {
+            if matches!(fault, IoFault::Crash { .. }) {
+                state.crashed = true;
+            }
+            state.injected.push(InjectedFault { ctx, op, fault });
+        }
+        hit
+    }
+
+    /// Whether a [`IoFault::Crash`] has latched the plan.
+    pub fn is_crashed(&self) -> bool {
+        crate::query::lock_unpoisoned(&self.state).crashed
+    }
+
+    /// Un-latch a crash so the plan (and the WAL behind it) can be
+    /// reused after "restart" in a test harness.
+    pub fn clear_crashed(&self) {
+        crate::query::lock_unpoisoned(&self.state).crashed = false;
+    }
+
+    /// Every fault injected so far, in firing order.
+    pub fn injected(&self) -> Vec<InjectedFault> {
+        crate::query::lock_unpoisoned(&self.state).injected.clone()
+    }
+
+    /// How many operations each channel has performed, in
+    /// [`FaultCtx::ALL`] order (wal_write, wal_sync, sock_read,
+    /// sock_write, work).
+    pub fn op_counts(&self) -> [u64; 5] {
+        crate::query::lock_unpoisoned(&self.state).counters
+    }
+
+    /// If the fault names a delay, sleep it out. Call sites use this
+    /// so `Delay` faults need no per-site handling.
+    pub fn maybe_sleep(fault: Option<IoFault>) -> Option<IoFault> {
+        if let Some(IoFault::Delay { millis }) = fault {
+            std::thread::sleep(std::time::Duration::from_millis(millis));
+            return None;
+        }
+        fault
+    }
+
+    /// Parse a plan from a spec string, the `GRECA_FAULT_PLAN`
+    /// format: semicolon-separated clauses
+    ///
+    /// * `seed=<u64>`
+    /// * `sched=<ctx>:<op>:<fault>[:<arg>]`
+    /// * `rule=<ctx>:<fault>:<per_mille>[:<arg>]`
+    ///
+    /// where `<ctx>` is one of `wal_write`, `wal_sync`, `sock_read`,
+    /// `sock_write`, `work` and `<fault>` one of `fail`, `torn`,
+    /// `diskfull`, `crash`, `delay`, `drop`, `panic` (`<arg>` is the
+    /// torn/crash keep-permille or delay milliseconds). Returns
+    /// `None` on any malformed clause.
+    ///
+    /// ```
+    /// use greca_core::fault::{FaultCtx, FaultPlan, IoFault};
+    /// let plan = FaultPlan::parse("seed=7;sched=wal_sync:2:fail;rule=sock_read:delay:50:3")
+    ///     .unwrap();
+    /// assert_eq!(plan.seed(), 7);
+    /// assert_eq!(plan.decide(FaultCtx::WalSync), None);
+    /// assert_eq!(plan.decide(FaultCtx::WalSync), None);
+    /// assert_eq!(plan.decide(FaultCtx::WalSync), Some(IoFault::Fail));
+    /// ```
+    pub fn parse(spec: &str) -> Option<FaultPlan> {
+        let mut plan = FaultPlan::new(0);
+        for clause in spec.split(';') {
+            let clause = clause.trim();
+            if clause.is_empty() {
+                continue;
+            }
+            let (key, value) = clause.split_once('=')?;
+            match key.trim() {
+                "seed" => plan.seed = value.trim().parse().ok()?,
+                "sched" => {
+                    let mut parts = value.split(':');
+                    let ctx = FaultCtx::parse(parts.next()?.trim())?;
+                    let op: u64 = parts.next()?.trim().parse().ok()?;
+                    let name = parts.next()?.trim();
+                    let arg = match parts.next() {
+                        Some(a) => Some(a.trim().parse().ok()?),
+                        None => None,
+                    };
+                    let fault = IoFault::parse(name, arg)?;
+                    plan = plan.schedule(ctx, op, fault);
+                }
+                "rule" => {
+                    let mut parts = value.split(':');
+                    let ctx = FaultCtx::parse(parts.next()?.trim())?;
+                    let name = parts.next()?.trim();
+                    let per_mille: u16 = parts.next()?.trim().parse().ok()?;
+                    let arg = match parts.next() {
+                        Some(a) => Some(a.trim().parse().ok()?),
+                        None => None,
+                    };
+                    let fault = IoFault::parse(name, arg)?;
+                    plan = plan.rule(ctx, per_mille, fault);
+                }
+                _ => return None,
+            }
+        }
+        Some(plan)
+    }
+
+    /// Build a plan from the `GRECA_FAULT_PLAN` environment variable,
+    /// if set and well-formed (see [`Self::parse`]). The serve test
+    /// suites call this so CI can re-run them under a background
+    /// fault schedule without code changes.
+    pub fn from_env() -> Option<FaultPlan> {
+        let spec = std::env::var("GRECA_FAULT_PLAN").ok()?;
+        FaultPlan::parse(&spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheduled_fault_fires_at_exact_op() {
+        let plan = FaultPlan::new(1).schedule(FaultCtx::WalSync, 2, IoFault::Fail);
+        assert_eq!(plan.decide(FaultCtx::WalSync), None);
+        // Other channels do not advance the wal_sync counter.
+        assert_eq!(plan.decide(FaultCtx::SockRead), None);
+        assert_eq!(plan.decide(FaultCtx::WalSync), None);
+        assert_eq!(plan.decide(FaultCtx::WalSync), Some(IoFault::Fail));
+        assert_eq!(plan.decide(FaultCtx::WalSync), None);
+        assert_eq!(
+            plan.injected(),
+            vec![InjectedFault {
+                ctx: FaultCtx::WalSync,
+                op: 2,
+                fault: IoFault::Fail
+            }]
+        );
+    }
+
+    #[test]
+    fn probabilistic_rules_are_deterministic_per_seed() {
+        let runs: Vec<Vec<Option<IoFault>>> = (0..2)
+            .map(|_| {
+                let plan = FaultPlan::new(42).rule(FaultCtx::SockWrite, 300, IoFault::DropConn);
+                (0..64).map(|_| plan.decide(FaultCtx::SockWrite)).collect()
+            })
+            .collect();
+        assert_eq!(runs[0], runs[1]);
+        let hits = runs[0].iter().filter(|f| f.is_some()).count();
+        assert!(hits > 0, "300‰ over 64 ops should fire at least once");
+        assert!(hits < 64, "300‰ should not fire every time");
+    }
+
+    #[test]
+    fn crash_latches_wal_channels_only() {
+        let plan = FaultPlan::new(9).schedule(
+            FaultCtx::WalWrite,
+            0,
+            IoFault::Crash { keep_permille: 500 },
+        );
+        assert_eq!(
+            plan.decide(FaultCtx::WalWrite),
+            Some(IoFault::Crash { keep_permille: 500 })
+        );
+        assert!(plan.is_crashed());
+        assert_eq!(plan.decide(FaultCtx::WalWrite), Some(IoFault::Fail));
+        assert_eq!(plan.decide(FaultCtx::WalSync), Some(IoFault::Fail));
+        assert_eq!(plan.decide(FaultCtx::SockRead), None);
+        plan.clear_crashed();
+        assert_eq!(plan.decide(FaultCtx::WalWrite), None);
+    }
+
+    #[test]
+    fn torn_keep_is_always_short() {
+        let torn = IoFault::Torn {
+            keep_permille: 1000,
+        };
+        for len in 1..64usize {
+            assert!(torn.torn_keep(len) < len);
+        }
+        assert_eq!(torn.torn_keep(0), 0);
+        assert_eq!(IoFault::Fail.torn_keep(10), 10);
+    }
+
+    #[test]
+    fn parse_round_trips_the_documented_grammar() {
+        let plan = FaultPlan::parse(
+            "seed=11; sched=wal_write:0:torn:250; rule=work:panic:1000; sched=sock_write:1:drop",
+        )
+        .unwrap();
+        assert_eq!(plan.seed(), 11);
+        assert_eq!(
+            plan.decide(FaultCtx::WalWrite),
+            Some(IoFault::Torn { keep_permille: 250 })
+        );
+        assert_eq!(plan.decide(FaultCtx::Work), Some(IoFault::Panic));
+        assert_eq!(plan.decide(FaultCtx::SockWrite), None);
+        assert_eq!(plan.decide(FaultCtx::SockWrite), Some(IoFault::DropConn));
+
+        assert!(FaultPlan::parse("sched=bogus:0:fail").is_none());
+        assert!(FaultPlan::parse("rule=wal_write:fail").is_none());
+        assert!(FaultPlan::parse("nonsense").is_none());
+    }
+
+    #[test]
+    fn delay_is_absorbed_by_maybe_sleep() {
+        assert_eq!(
+            FaultPlan::maybe_sleep(Some(IoFault::Delay { millis: 1 })),
+            None
+        );
+        assert_eq!(
+            FaultPlan::maybe_sleep(Some(IoFault::Fail)),
+            Some(IoFault::Fail)
+        );
+        assert_eq!(FaultPlan::maybe_sleep(None), None);
+    }
+}

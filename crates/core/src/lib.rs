@@ -60,6 +60,7 @@
 #![warn(missing_docs)]
 
 pub mod access;
+pub mod fault;
 pub mod greca;
 pub mod interval;
 pub mod lists;
@@ -70,8 +71,10 @@ pub mod query;
 pub mod score;
 pub mod substrate;
 pub mod ta;
+pub mod wal;
 
 pub use access::{AccessStats, Aggregate};
+pub use fault::{FaultCtx, FaultPlan, InjectedFault, IoFault};
 pub use greca::{
     greca_topk, greca_topk_with, CheckInterval, GrecaConfig, GrecaScratch, StopReason,
     StoppingRule, TopKItem, TopKResult,
@@ -80,7 +83,10 @@ pub use interval::Interval;
 pub use lists::{
     GrecaInputs, ListKind, ListLayout, ListView, MaterializedInputs, NonFiniteEntry, SortedList,
 };
-pub use live::{EpochProvider, IngestReport, LiveEngine, LiveModel, PinnedEpoch, PublishDelta};
+pub use live::{
+    EpochProvider, IngestReport, LiveEngine, LiveHealth, LiveModel, PinnedEpoch, PublishDelta,
+    RecoveryReport, StagedBatch,
+};
 pub use naive::{naive_scores, naive_topk};
 pub use plan::{run_batch_with, PlanOptions, PlanStats, SharedMemberState};
 pub use query::{
@@ -93,3 +99,4 @@ pub use substrate::{
     Substrate, QUANT_LEVELS,
 };
 pub use ta::{ta_topk, TaConfig};
+pub use wal::{FsyncPolicy, RecoverySummary, Wal, WalOptions, WalRecord};

@@ -71,13 +71,18 @@
 
 use crate::query::{lock_unpoisoned, new_affinity_cache, AffinityCache, GrecaEngine, QueryError};
 use crate::substrate::{BuildOptions, Substrate};
+use crate::wal::{RecoverySummary, Wal, WalOptions, WalRecord};
 use greca_affinity::PopulationAffinity;
 use greca_cf::{
     candidate_items, CfConfig, DirtySet, InvalidationScope, NonFiniteScore, PreferenceList,
     PreferenceProvider, RatingStore, RawRatings, UserCfModel,
 };
 use greca_dataset::{Group, ItemId, Rating, RatingMatrix, UserId};
+use std::collections::{HashMap, VecDeque};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// Which preference model a [`LiveEngine`] re-derives dirty segments
 /// from at each epoch.
@@ -242,6 +247,92 @@ impl PublishDelta {
     }
 }
 
+/// Outcome of staging one (optionally client-keyed) batch — see
+/// [`LiveEngine::stage_keyed`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StagedBatch {
+    /// The engine-assigned monotonic batch id (for a duplicate, the id
+    /// the key was originally staged under).
+    pub batch_id: u64,
+    /// Whether the client key had already been staged — nothing was
+    /// staged or logged again (idempotent retry).
+    pub duplicate: bool,
+}
+
+/// Durability and freshness snapshot — see [`LiveEngine::health`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LiveHealth {
+    /// The currently-published epoch.
+    pub epoch: u64,
+    /// Whether a write-ahead log is attached.
+    pub wal_attached: bool,
+    /// Whether the most recent WAL append or commit failed. While
+    /// stalled, mutations fail (nothing can be made durable) but reads
+    /// keep serving the last published epoch — the serving layer's
+    /// *degraded mode*. Cleared by the next successful publish.
+    pub wal_stalled: bool,
+    /// Time since the last successful publish (or engine creation/
+    /// recovery): the staleness bound of the epoch reads serve.
+    pub staleness: Duration,
+    /// Staged-but-unpublished delta keys.
+    pub staged: usize,
+    /// Highest batch id staged so far (0 if none).
+    pub last_batch: u64,
+}
+
+/// What [`LiveEngine::recover`] replayed from the write-ahead log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// The epoch the recovered engine resumed at (the last committed
+    /// publish in the log).
+    pub epoch: u64,
+    /// Batch records staged during replay.
+    pub batches_replayed: usize,
+    /// Publish records re-applied during replay.
+    pub publishes_replayed: usize,
+    /// Records skipped as idempotent duplicates (a batch id at or
+    /// below the watermark, or a publish at or below the current
+    /// epoch) — the crash-retry debris the log design expects.
+    pub duplicates_skipped: usize,
+    /// Staged delta keys left in the store after replay: batches that
+    /// were logged (and acknowledged as *staged*) but never committed
+    /// by a publish. They ride into the next publish.
+    pub staged_tail: usize,
+    /// What the segment scan found (torn tail, truncated bytes, …).
+    pub wal: RecoverySummary,
+}
+
+/// Bounded client-key → batch-id memory backing idempotent ingest
+/// retries. Oldest keys are evicted first once the bound is hit.
+#[derive(Debug, Default)]
+struct SeenKeys {
+    map: HashMap<u64, u64>,
+    order: VecDeque<u64>,
+}
+
+/// How many client idempotency keys the engine remembers. A retry
+/// storm older than this window deduplicates by batch-id watermark in
+/// the WAL instead; live clients retry within seconds, so a few
+/// thousand keys of memory is plenty.
+const SEEN_KEYS_CAP: usize = 4096;
+
+impl SeenKeys {
+    fn get(&self, key: u64) -> Option<u64> {
+        self.map.get(&key).copied()
+    }
+
+    fn insert(&mut self, key: u64, batch_id: u64) {
+        if self.map.insert(key, batch_id).is_none() {
+            self.order.push_back(key);
+            if self.order.len() > SEEN_KEYS_CAP {
+                if let Some(oldest) = self.order.pop_front() {
+                    self.map.remove(&oldest);
+                }
+            }
+        }
+    }
+}
+
 /// A serving engine over an evolving rating log: ingestion on one side,
 /// epoch-pinned warm queries on the other. See the module docs.
 ///
@@ -254,6 +345,19 @@ pub struct LiveEngine<'a> {
     model: LiveModel,
     store: Mutex<RatingStore>,
     current: Mutex<CurrentEpoch>,
+    /// Optional write-ahead log; when attached, every staged batch and
+    /// every publish marker is appended (and, per the fsync policy,
+    /// made durable) *before* it is applied in memory. Locked after
+    /// `store`, never the other way around.
+    wal: Option<Mutex<Wal>>,
+    /// Client idempotency keys already staged (see
+    /// [`LiveEngine::stage_keyed`]).
+    seen_keys: Mutex<SeenKeys>,
+    /// Latched when a WAL append/commit fails; cleared by the next
+    /// successful publish (see [`LiveHealth::wal_stalled`]).
+    wal_stalled: AtomicBool,
+    /// Instant of the last successful publish (or engine creation).
+    last_publish: Mutex<Instant>,
     /// Dirty-coverage fraction at which a publish abandons per-segment
     /// work for one wholesale rebuild (see
     /// [`LiveEngine::with_full_rebuild_fraction`]).
@@ -349,11 +453,107 @@ impl<'a> LiveEngine<'a> {
                 }),
                 cache: new_affinity_cache(),
             }),
+            wal: None,
+            seen_keys: Mutex::new(SeenKeys::default()),
+            wal_stalled: AtomicBool::new(false),
+            last_publish: Mutex::new(Instant::now()),
             full_rebuild_fraction: DEFAULT_FULL_REBUILD_FRACTION,
             epoch_hooks: Mutex::new(Vec::new()),
             delta_hooks: Mutex::new(Vec::new()),
             build_options,
         })
+    }
+
+    /// Attach a write-ahead log: from here on every staged batch and
+    /// every publish marker is appended to `wal` *before* it is
+    /// applied in memory, and a publish returns only after its commit
+    /// frame is durable (per the log's [`crate::wal::FsyncPolicy`]).
+    /// Attach before the first mutation — a fresh log via
+    /// [`Wal::create`], or use [`LiveEngine::recover`] to reopen an
+    /// existing one.
+    pub fn with_wal(mut self, wal: Wal) -> Self {
+        self.wal = Some(Mutex::new(wal));
+        self
+    }
+
+    /// Rebuild an engine from its write-ahead log after a crash.
+    ///
+    /// Scans the segments in `dir` (truncating a torn final frame —
+    /// see [`Wal::recover`]), builds epoch 0 from `initial` exactly
+    /// like [`LiveEngine::new_with_options`], then replays the valid
+    /// record prefix through the ordinary staging and publish paths:
+    /// batch records restage under their original ids (duplicates are
+    /// no-ops), publish records re-publish, and client idempotency
+    /// keys are re-learned. The result is an engine whose last
+    /// committed epoch is bit-identical to the pre-crash engine's —
+    /// the invariant `crash_recovery.rs` proves — with any logged-but-
+    /// uncommitted batches left staged for the next publish, and the
+    /// log reattached ready to append.
+    ///
+    /// `initial` must be the same epoch-0 rating matrix the crashed
+    /// engine was built from (the WAL logs deltas, not the base).
+    pub fn recover(
+        population: &'a PopulationAffinity,
+        model: LiveModel,
+        initial: &RatingMatrix,
+        items: &[ItemId],
+        build_options: BuildOptions,
+        dir: impl AsRef<Path>,
+        wal_options: WalOptions,
+    ) -> Result<(Self, RecoveryReport), QueryError> {
+        let (wal, records, summary) =
+            Wal::recover(dir, wal_options).map_err(|e| QueryError::Wal {
+                detail: format!("recovery scan failed: {e}"),
+            })?;
+        let engine = Self::new_with_options(population, model, initial, items, build_options)?;
+        let mut batches = 0usize;
+        let mut publishes = 0usize;
+        let mut duplicates = 0usize;
+        for record in records {
+            match record {
+                WalRecord::Batch {
+                    batch_id,
+                    client_key,
+                    upserts,
+                    retractions,
+                } => {
+                    let mut store = lock_unpoisoned(&engine.store);
+                    if store.stage_batch(batch_id, &upserts, &retractions)? {
+                        batches += 1;
+                        if let Some(key) = client_key {
+                            lock_unpoisoned(&engine.seen_keys).insert(key, batch_id);
+                        }
+                    } else {
+                        duplicates += 1;
+                    }
+                }
+                WalRecord::Publish { epoch, .. } => {
+                    if engine.epoch() >= epoch {
+                        duplicates += 1;
+                        continue;
+                    }
+                    let report = engine.publish()?;
+                    if report.epoch != epoch {
+                        return Err(QueryError::Wal {
+                            detail: format!(
+                                "replay diverged: log commits epoch {epoch}, replay produced {}",
+                                report.epoch
+                            ),
+                        });
+                    }
+                    publishes += 1;
+                }
+            }
+        }
+        let report = RecoveryReport {
+            epoch: engine.epoch(),
+            batches_replayed: batches,
+            publishes_replayed: publishes,
+            duplicates_skipped: duplicates,
+            staged_tail: engine.staged(),
+            wal: summary,
+        };
+        Ok((engine.with_wal(wal), report))
     }
 
     /// The substrate construction options this engine builds with.
@@ -462,20 +662,106 @@ impl<'a> LiveEngine<'a> {
         n
     }
 
+    /// The staging core every mutation path funnels through: duplicate
+    /// check, atomic validation, WAL append (when attached), then the
+    /// in-memory stage — in that order, so a batch that reaches the
+    /// log always stages cleanly and a batch that fails validation
+    /// never reaches the log. Caller holds the store lock, which
+    /// serializes writers and keeps the log in staging order.
+    fn stage_wal_batch(
+        &self,
+        store: &mut RatingStore,
+        client_key: Option<u64>,
+        upserts: &[Rating],
+        retractions: &[(UserId, ItemId)],
+    ) -> Result<StagedBatch, QueryError> {
+        if let Some(key) = client_key {
+            if let Some(batch_id) = lock_unpoisoned(&self.seen_keys).get(key) {
+                return Ok(StagedBatch {
+                    batch_id,
+                    duplicate: true,
+                });
+            }
+        }
+        if upserts.is_empty() && retractions.is_empty() {
+            return Ok(StagedBatch {
+                batch_id: store.last_batch(),
+                duplicate: false,
+            });
+        }
+        for r in upserts {
+            if !r.value.is_finite() {
+                return Err(NonFiniteScore {
+                    user: r.user,
+                    item: r.item,
+                    value: r.value as f64,
+                }
+                .into());
+            }
+        }
+        let batch_id = store.allocate_batch_id();
+        if let Some(wal) = &self.wal {
+            let record = WalRecord::Batch {
+                batch_id,
+                client_key,
+                upserts: upserts.to_vec(),
+                retractions: retractions.to_vec(),
+            };
+            if let Err(e) = lock_unpoisoned(wal).append(&record) {
+                self.wal_stalled.store(true, Ordering::Release);
+                return Err(QueryError::Wal {
+                    detail: format!("append of batch {batch_id} failed: {e}"),
+                });
+            }
+        }
+        let staged = store
+            .stage_batch(batch_id, upserts, retractions)
+            .expect("validated finite above");
+        debug_assert!(staged, "freshly allocated id cannot be a duplicate");
+        if let Some(key) = client_key {
+            lock_unpoisoned(&self.seen_keys).insert(key, batch_id);
+        }
+        Ok(StagedBatch {
+            batch_id,
+            duplicate: false,
+        })
+    }
+
     /// Stage rating upserts without publishing (keep-latest per
-    /// `(user, item)` key). Non-finite values are rejected here.
+    /// `(user, item)` key). Non-finite values are rejected here, and
+    /// with a WAL attached the batch is logged before it is staged.
     pub fn stage(&self, ratings: &[Rating]) -> Result<(), QueryError> {
         let mut store = lock_unpoisoned(&self.store);
-        store.stage_all(ratings)?;
+        self.stage_wal_batch(&mut store, None, ratings, &[])?;
         Ok(())
     }
 
-    /// Stage rating retractions without publishing.
-    pub fn stage_retractions(&self, pairs: &[(UserId, ItemId)]) {
+    /// Stage rating retractions without publishing (logged like
+    /// [`LiveEngine::stage`] when a WAL is attached — which is why
+    /// this can fail).
+    pub fn stage_retractions(&self, pairs: &[(UserId, ItemId)]) -> Result<(), QueryError> {
         let mut store = lock_unpoisoned(&self.store);
-        for &(u, i) in pairs {
-            store.stage_retraction(u, i);
-        }
+        self.stage_wal_batch(&mut store, None, &[], pairs)?;
+        Ok(())
+    }
+
+    /// Stage one batch of upserts and retractions under an optional
+    /// client idempotency key.
+    ///
+    /// A key that was already staged makes the whole call a no-op
+    /// returning [`StagedBatch::duplicate`] — the safety net that lets
+    /// clients retry an ingest whose acknowledgement was lost without
+    /// double-applying it. Keys are remembered across a bounded window
+    /// (`SEEN_KEYS_CAP` keys) and survive crash recovery (they ride
+    /// in the WAL batch records).
+    pub fn stage_keyed(
+        &self,
+        client_key: Option<u64>,
+        upserts: &[Rating],
+        retractions: &[(UserId, ItemId)],
+    ) -> Result<StagedBatch, QueryError> {
+        let mut store = lock_unpoisoned(&self.store);
+        self.stage_wal_batch(&mut store, client_key, upserts, retractions)
     }
 
     /// Stage `ratings` and publish everything staged as one epoch.
@@ -486,8 +772,28 @@ impl<'a> LiveEngine<'a> {
 
     /// Stage retractions and publish everything staged as one epoch.
     pub fn retract(&self, pairs: &[(UserId, ItemId)]) -> Result<IngestReport, QueryError> {
-        self.stage_retractions(pairs);
+        self.stage_retractions(pairs)?;
         self.publish()
+    }
+
+    /// Durability and freshness snapshot: current epoch, WAL
+    /// attachment and stall state, and how stale the published epoch
+    /// is. The serving layer turns `wal_stalled` into *degraded mode*:
+    /// reads keep being answered from the last healthy epoch (with
+    /// this snapshot's staleness attached) while mutations fail fast.
+    pub fn health(&self) -> LiveHealth {
+        let (staged, last_batch) = {
+            let store = lock_unpoisoned(&self.store);
+            (store.len(), store.last_batch())
+        };
+        LiveHealth {
+            epoch: self.epoch(),
+            wal_attached: self.wal.is_some(),
+            wal_stalled: self.wal_stalled.load(Ordering::Acquire),
+            staleness: lock_unpoisoned(&self.last_publish).elapsed(),
+            staged,
+            last_batch,
+        }
     }
 
     /// Drain the staged deltas, rebuild the dirty preference segments,
@@ -577,6 +883,31 @@ impl<'a> LiveEngine<'a> {
             }
         };
         let epoch = prev.epoch + 1;
+        // Commit point: the publish marker must be durable *before*
+        // the swap makes the epoch observable (and before any caller
+        // can acknowledge it). On failure nothing is applied — the
+        // drained batch goes back into the staging store (its keys are
+        // disjoint between upserts and retractions, so re-staging
+        // reconstructs it exactly) and the engine reports itself
+        // stalled; reads keep serving the previous epoch.
+        if let Some(wal) = &self.wal {
+            let commit = WalRecord::Publish {
+                epoch,
+                through_batch: store.last_batch(),
+            };
+            if let Err(e) = lock_unpoisoned(wal).append(&commit) {
+                self.wal_stalled.store(true, Ordering::Release);
+                store
+                    .stage_all(&batch.upserts)
+                    .expect("re-staging values already staged once");
+                for &(u, i) in &batch.retractions {
+                    store.stage_retraction(u, i);
+                }
+                return Err(QueryError::Wal {
+                    detail: format!("commit of epoch {epoch} failed: {e}"),
+                });
+            }
+        }
         let state = Arc::new(EpochState {
             epoch,
             matrix: post,
@@ -587,6 +918,8 @@ impl<'a> LiveEngine<'a> {
             cur.state = state;
             cur.cache = new_affinity_cache();
         }
+        self.wal_stalled.store(false, Ordering::Release);
+        *lock_unpoisoned(&self.last_publish) = Instant::now();
         // Release the staging store before notifying, so hooks may pin
         // or stage (a later publish sees their staging) without
         // deadlocking on the lock this publish still holds.
@@ -909,7 +1242,7 @@ mod tests {
         let live = LiveEngine::new(&pop, LiveModel::Raw, &matrix, &items).unwrap();
         live.stage(&[rating(0, 1, 2.0, 5), rating(0, 1, 3.5, 6)])
             .unwrap();
-        live.stage_retractions(&[(UserId(2), ItemId(3))]);
+        live.stage_retractions(&[(UserId(2), ItemId(3))]).unwrap();
         assert_eq!(live.staged(), 2, "keep-latest per key");
         assert_eq!(live.epoch(), 0);
         let r = live.publish().unwrap();
@@ -936,6 +1269,123 @@ mod tests {
         assert_eq!(live.staged(), 0, "nothing staged");
         let noop = live.publish().unwrap();
         assert_eq!(noop.epoch, 0, "no stale prefix to publish");
+    }
+
+    fn wal_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "greca-live-wal-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn wal_replay_recovers_a_bit_identical_engine() {
+        use crate::wal::{Wal, WalOptions};
+        let (matrix, pop, items) = world();
+        let dir = wal_dir("replay");
+        let group = Group::new(vec![UserId(0), UserId(1)]).unwrap();
+        let reference = {
+            let live = LiveEngine::new(&pop, LiveModel::Raw, &matrix, &items)
+                .unwrap()
+                .with_wal(Wal::create(&dir, WalOptions::default()).unwrap());
+            live.ingest(&[rating(2, 1, 5.0, 10)]).unwrap();
+            live.stage_keyed(
+                Some(77),
+                &[rating(1, 4, 4.0, 11)],
+                &[(UserId(2), ItemId(1))],
+            )
+            .unwrap();
+            live.publish().unwrap();
+            // A staged-but-unpublished tail batch.
+            live.stage(&[rating(0, 3, 2.5, 12)]).unwrap();
+            assert_eq!(live.epoch(), 2);
+            let h = live.health();
+            assert!(h.wal_attached && !h.wal_stalled);
+            assert_eq!(h.staged, 1);
+            live.pin()
+                .engine()
+                .query(&group)
+                .items(&items)
+                .top(3)
+                .run()
+                .unwrap()
+        };
+
+        let (recovered, report) = LiveEngine::recover(
+            &pop,
+            LiveModel::Raw,
+            &matrix,
+            &items,
+            BuildOptions::default(),
+            &dir,
+            WalOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(report.epoch, 2);
+        assert_eq!(report.publishes_replayed, 2);
+        assert_eq!(report.batches_replayed, 3);
+        assert_eq!(report.duplicates_skipped, 0);
+        assert_eq!(report.staged_tail, 1, "uncommitted tail restaged");
+        assert!(!report.wal.torn_tail);
+        let replayed = recovered
+            .pin()
+            .engine()
+            .query(&group)
+            .items(&items)
+            .top(3)
+            .run()
+            .unwrap();
+        assert_eq!(replayed, reference, "recovered epoch is bit-identical");
+        // The recovered engine remembers the client key (idempotent
+        // retry) and keeps appending to the same log.
+        let retry = recovered
+            .stage_keyed(Some(77), &[rating(1, 4, 4.0, 11)], &[])
+            .unwrap();
+        assert!(retry.duplicate);
+        assert_eq!(recovered.staged(), 1, "duplicate staged nothing");
+        recovered.publish().unwrap();
+        assert_eq!(recovered.epoch(), 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_commit_restores_staging_and_reports_stalled() {
+        use crate::fault::{FaultCtx, FaultPlan, IoFault};
+        use crate::wal::{Wal, WalOptions};
+        let (matrix, pop, items) = world();
+        let dir = wal_dir("stall");
+        // The commit fsync of the first publish fails; everything
+        // after succeeds.
+        let plan = Arc::new(FaultPlan::new(1).schedule(FaultCtx::WalSync, 0, IoFault::Fail));
+        let options = WalOptions {
+            fault: Some(plan),
+            ..WalOptions::default()
+        };
+        let live = LiveEngine::new(&pop, LiveModel::Raw, &matrix, &items)
+            .unwrap()
+            .with_wal(Wal::create(&dir, options).unwrap());
+        live.stage(&[rating(2, 1, 5.0, 10)]).unwrap();
+        let err = live.publish().unwrap_err();
+        assert!(matches!(err, QueryError::Wal { .. }), "{err:?}");
+        // Nothing applied, nothing lost: the epoch is unchanged, the
+        // batch is back in staging, and the engine reports degraded.
+        assert_eq!(live.epoch(), 0);
+        assert_eq!(live.staged(), 1);
+        assert!(live.health().wal_stalled);
+        // The retry commits and clears the stall.
+        let report = live.publish().unwrap();
+        assert_eq!(report.epoch, 1);
+        assert_eq!(report.upserts, 1);
+        assert!(!live.health().wal_stalled);
+        assert_eq!(
+            live.pin().matrix().get(UserId(2), ItemId(1)),
+            Some(5.0),
+            "the restored batch published intact"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

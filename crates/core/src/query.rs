@@ -98,6 +98,14 @@ pub enum QueryError {
         /// Description of the offending entry (origin, id, value).
         what: String,
     },
+    /// A write-ahead-log operation failed, so the mutation was *not*
+    /// made durable and was not applied. Reads keep serving the last
+    /// published epoch (see `LiveEngine::health`); the caller may
+    /// retry — ingest is idempotent under its batch key.
+    Wal {
+        /// Description of the failed WAL operation.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for QueryError {
@@ -119,6 +127,7 @@ impl std::fmt::Display for QueryError {
                 )
             }
             QueryError::NonFiniteScore { what } => write!(f, "{what}"),
+            QueryError::Wal { detail } => write!(f, "write-ahead log failure: {detail}"),
         }
     }
 }
@@ -373,7 +382,7 @@ impl QueryKey {
 ///
 /// A cached result keyed by the matching [`QueryKey`] stays
 /// bit-identical across an epoch publish iff its footprint is disjoint
-/// from the publish's [`DirtySet`]: the kernel reads only (a) each
+/// from the publish's `DirtySet`: the kernel reads only (a) each
 /// member's preference list — and the dirty-set contract guarantees
 /// `dirty.users` covers every user whose list changed, including
 /// co-raters and emptied rows under user-CF — (b) pair affinity between

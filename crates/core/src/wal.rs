@@ -1,0 +1,803 @@
+//! Durable write-ahead log for the live ingest path.
+//!
+//! Every mutation of a [`crate::live::LiveEngine`] running with a WAL
+//! attached — staged upserts, retractions, and the publish marker that
+//! commits them into a new epoch — is appended here *before* it is
+//! applied in memory. After a crash, [`Wal::recover`] scans the log,
+//! truncates a torn tail, and hands back the committed record prefix;
+//! `LiveEngine::recover` replays it to an engine whose final epoch is
+//! bit-identical to the pre-crash one.
+//!
+//! ## Frame format
+//!
+//! Segments are files `wal-NNNNNN.log` in one directory, rotated when
+//! they exceed [`WalOptions::segment_bytes`]. Each frame is
+//!
+//! ```text
+//! [len: u32 LE] [crc32: u32 LE] [payload: len bytes]
+//! ```
+//!
+//! where `crc32` is the IEEE CRC-32 of the payload and the payload is
+//! one binary-encoded [`WalRecord`]. A frame whose length field is
+//! implausible, whose checksum mismatches, or whose payload fails to
+//! decode marks the end of the valid prefix: in the final segment that
+//! is a *torn tail* (the expected debris of a crash mid-append) and is
+//! truncated away; in any earlier segment it is corruption and
+//! recovery refuses with an error rather than silently dropping
+//! committed history.
+//!
+//! ## Commit point
+//!
+//! A batch is **committed** once the [`WalRecord::Publish`] frame
+//! naming it (via `through_batch`) is durable — under the default
+//! [`FsyncPolicy::OnCommit`], `append` fsyncs exactly on publish
+//! frames, before the in-memory epoch swap happens and before any
+//! client sees an acknowledgement. Batch frames ahead of the last
+//! publish frame are an *uncommitted tail*: recovery restages them
+//! (they were acknowledged only as "staged", never as published), and
+//! replaying a batch id at or below the last committed one is a no-op
+//! (see `RatingStore::stage_batch`), which makes crash-retry loops
+//! idempotent end to end.
+//!
+//! ## Fault injection
+//!
+//! Every file write and fsync consults the optional
+//! [`FaultPlan`] in [`WalOptions::fault`]
+//! first. An injected torn write self-heals (the partial frame is
+//! truncated back to the last frame boundary and the error surfaces
+//! to the caller); an injected *crash* leaves the torn bytes on disk
+//! — exactly what `kill -9` leaves — for recovery to find.
+
+use crate::fault::{FaultCtx, FaultPlan, IoFault};
+use greca_dataset::{ItemId, Rating, UserId};
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Frame header size: `len` (u32) + `crc32` (u32).
+pub const FRAME_HEADER: usize = 8;
+
+/// Upper bound on one frame's payload; a length field above this is
+/// treated as corruption rather than attempted as an allocation.
+pub const MAX_FRAME_BYTES: u32 = 16 * 1024 * 1024;
+
+/// When the WAL flushes appended frames to durable media.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FsyncPolicy {
+    /// Fsync after every appended frame. Safest, slowest.
+    Always,
+    /// Fsync on [`WalRecord::Publish`] frames only — the commit
+    /// point. Staged-batch frames ride to disk with the next commit.
+    /// This is the default.
+    #[default]
+    OnCommit,
+    /// Never fsync explicitly (the OS flushes whenever it likes).
+    /// For benchmarks; a crash may lose acknowledged commits.
+    Never,
+}
+
+/// Tuning and wiring for a [`Wal`].
+#[derive(Debug, Clone)]
+pub struct WalOptions {
+    /// Rotate to a new segment file once the current one exceeds this
+    /// many bytes (default 8 MiB).
+    pub segment_bytes: u64,
+    /// Fsync policy (default [`FsyncPolicy::OnCommit`]).
+    pub fsync: FsyncPolicy,
+    /// Optional deterministic fault plan consulted before every file
+    /// write and fsync.
+    pub fault: Option<Arc<FaultPlan>>,
+}
+
+impl Default for WalOptions {
+    fn default() -> Self {
+        WalOptions {
+            segment_bytes: 8 * 1024 * 1024,
+            fsync: FsyncPolicy::default(),
+            fault: None,
+        }
+    }
+}
+
+/// One durable event on the ingest path.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// One staged ingest/retract batch, assigned a monotonic
+    /// engine-side `batch_id` (replay of a seen id is a no-op) and
+    /// optionally carrying the client-supplied idempotency key that
+    /// acknowledged it.
+    Batch {
+        /// Engine-assigned monotonic id.
+        batch_id: u64,
+        /// Client idempotency key, if the ingest supplied one.
+        client_key: Option<u64>,
+        /// Rating upserts in the batch.
+        upserts: Vec<Rating>,
+        /// `(user, item)` retractions in the batch.
+        retractions: Vec<(UserId, ItemId)>,
+    },
+    /// The commit marker: epoch `epoch` published every staged batch
+    /// with id ≤ `through_batch`.
+    Publish {
+        /// Epoch number the publish produced.
+        epoch: u64,
+        /// Highest batch id folded into that epoch.
+        through_batch: u64,
+    },
+}
+
+// ---------------------------------------------------------------------
+// CRC-32 (IEEE 802.3 polynomial), const-table, no dependencies.
+// ---------------------------------------------------------------------
+
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// IEEE CRC-32 of `bytes` (the checksum in every frame header).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ---------------------------------------------------------------------
+// Record codec.
+// ---------------------------------------------------------------------
+
+const TAG_BATCH: u8 = 1;
+const TAG_PUBLISH: u8 = 2;
+
+/// Serialize one record to its frame payload.
+pub fn encode_record(record: &WalRecord) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32);
+    match record {
+        WalRecord::Batch {
+            batch_id,
+            client_key,
+            upserts,
+            retractions,
+        } => {
+            out.push(TAG_BATCH);
+            out.extend_from_slice(&batch_id.to_le_bytes());
+            match client_key {
+                Some(k) => {
+                    out.push(1);
+                    out.extend_from_slice(&k.to_le_bytes());
+                }
+                None => out.push(0),
+            }
+            out.extend_from_slice(&(upserts.len() as u32).to_le_bytes());
+            for r in upserts {
+                out.extend_from_slice(&r.user.0.to_le_bytes());
+                out.extend_from_slice(&r.item.0.to_le_bytes());
+                out.extend_from_slice(&r.value.to_bits().to_le_bytes());
+                out.extend_from_slice(&r.ts.to_le_bytes());
+            }
+            out.extend_from_slice(&(retractions.len() as u32).to_le_bytes());
+            for (u, i) in retractions {
+                out.extend_from_slice(&u.0.to_le_bytes());
+                out.extend_from_slice(&i.0.to_le_bytes());
+            }
+        }
+        WalRecord::Publish {
+            epoch,
+            through_batch,
+        } => {
+            out.push(TAG_PUBLISH);
+            out.extend_from_slice(&epoch.to_le_bytes());
+            out.extend_from_slice(&through_batch.to_le_bytes());
+        }
+    }
+    out
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        if end > self.buf.len() {
+            return None;
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Some(s)
+    }
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+    fn i64(&mut self) -> Option<i64> {
+        Some(i64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+}
+
+/// Decode one frame payload. `None` on any malformed input — decoding
+/// arbitrary bytes never panics and never over-allocates (element
+/// counts are bounded by the remaining payload length first).
+pub fn decode_record(payload: &[u8]) -> Option<WalRecord> {
+    let mut c = Cursor {
+        buf: payload,
+        pos: 0,
+    };
+    let record = match c.u8()? {
+        TAG_BATCH => {
+            let batch_id = c.u64()?;
+            let client_key = match c.u8()? {
+                0 => None,
+                1 => Some(c.u64()?),
+                _ => return None,
+            };
+            let n_up = c.u32()? as usize;
+            if n_up.checked_mul(20)? > payload.len() - c.pos {
+                return None;
+            }
+            let mut upserts = Vec::with_capacity(n_up);
+            for _ in 0..n_up {
+                upserts.push(Rating {
+                    user: UserId(c.u32()?),
+                    item: ItemId(c.u32()?),
+                    value: f32::from_bits(c.u32()?),
+                    ts: c.i64()?,
+                });
+            }
+            let n_ret = c.u32()? as usize;
+            if n_ret.checked_mul(8)? > payload.len() - c.pos {
+                return None;
+            }
+            let mut retractions = Vec::with_capacity(n_ret);
+            for _ in 0..n_ret {
+                retractions.push((UserId(c.u32()?), ItemId(c.u32()?)));
+            }
+            WalRecord::Batch {
+                batch_id,
+                client_key,
+                upserts,
+                retractions,
+            }
+        }
+        TAG_PUBLISH => WalRecord::Publish {
+            epoch: c.u64()?,
+            through_batch: c.u64()?,
+        },
+        _ => return None,
+    };
+    // Trailing garbage means the payload is not canonical: reject.
+    (c.pos == payload.len()).then_some(record)
+}
+
+/// Wrap a payload in the on-disk frame: `[len][crc32][payload]`.
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_HEADER + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Try to decode the frame starting at `buf[offset..]`. Returns the
+/// record and the offset one past the frame, or `None` if the bytes
+/// there are not a whole, checksum-valid, decodable frame.
+pub fn decode_frame_at(buf: &[u8], offset: usize) -> Option<(WalRecord, usize)> {
+    let header = buf.get(offset..offset + FRAME_HEADER)?;
+    let len = u32::from_le_bytes(header[0..4].try_into().ok()?);
+    let sum = u32::from_le_bytes(header[4..8].try_into().ok()?);
+    if len > MAX_FRAME_BYTES {
+        return None;
+    }
+    let start = offset + FRAME_HEADER;
+    let payload = buf.get(start..start + len as usize)?;
+    if crc32(payload) != sum {
+        return None;
+    }
+    let record = decode_record(payload)?;
+    Some((record, start + len as usize))
+}
+
+// ---------------------------------------------------------------------
+// The log itself.
+// ---------------------------------------------------------------------
+
+/// What [`Wal::recover`] found on disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecoverySummary {
+    /// Number of segment files scanned.
+    pub segments: usize,
+    /// Valid records recovered.
+    pub records: usize,
+    /// Total valid bytes scanned across all segments.
+    pub bytes_scanned: u64,
+    /// Bytes of torn tail truncated from the final segment.
+    pub truncated_bytes: u64,
+    /// Whether a torn tail was found (and truncated).
+    pub torn_tail: bool,
+}
+
+/// An append-only, checksummed, segmented write-ahead log.
+#[derive(Debug)]
+pub struct Wal {
+    dir: PathBuf,
+    options: WalOptions,
+    file: File,
+    seg_index: u64,
+    seg_bytes: u64,
+}
+
+fn segment_path(dir: &Path, index: u64) -> PathBuf {
+    dir.join(format!("wal-{index:06}.log"))
+}
+
+/// Sorted `(index, path)` list of the segment files in `dir`.
+fn segment_files(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+    let mut out = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if let Some(idx) = name
+            .strip_prefix("wal-")
+            .and_then(|s| s.strip_suffix(".log"))
+            .and_then(|s| s.parse::<u64>().ok())
+        {
+            out.push((idx, entry.path()));
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+impl Wal {
+    /// Create a fresh log in `dir` (created if absent). Fails with
+    /// [`io::ErrorKind::AlreadyExists`] if segment files are already
+    /// present — use [`Wal::recover`] to reopen an existing log.
+    pub fn create(dir: impl AsRef<Path>, options: WalOptions) -> io::Result<Wal> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        if !segment_files(&dir)?.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                format!(
+                    "WAL segments already present in {} — use recover",
+                    dir.display()
+                ),
+            ));
+        }
+        let file = Self::open_segment(&dir, 0)?;
+        Ok(Wal {
+            dir,
+            options,
+            file,
+            seg_index: 0,
+            seg_bytes: 0,
+        })
+    }
+
+    /// Reopen the log in `dir`, scan every segment, truncate a torn
+    /// tail in the final segment, and return the log (positioned to
+    /// append), the valid record prefix, and a summary. An invalid
+    /// frame in a *non-final* segment is corruption of committed
+    /// history and fails with [`io::ErrorKind::InvalidData`].
+    pub fn recover(
+        dir: impl AsRef<Path>,
+        options: WalOptions,
+    ) -> io::Result<(Wal, Vec<WalRecord>, RecoverySummary)> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        let segments = segment_files(&dir)?;
+        if segments.is_empty() {
+            let wal = Wal::create(&dir, options)?;
+            return Ok((wal, Vec::new(), RecoverySummary::default()));
+        }
+
+        let mut records = Vec::new();
+        let mut summary = RecoverySummary {
+            segments: segments.len(),
+            ..RecoverySummary::default()
+        };
+        let last = segments.len() - 1;
+        let mut last_seg_valid_bytes = 0u64;
+        for (i, (index, path)) in segments.iter().enumerate() {
+            let mut buf = Vec::new();
+            File::open(path)?.read_to_end(&mut buf)?;
+            let mut offset = 0usize;
+            while offset < buf.len() {
+                match decode_frame_at(&buf, offset) {
+                    Some((record, next)) => {
+                        records.push(record);
+                        offset = next;
+                    }
+                    None => {
+                        if i != last {
+                            return Err(io::Error::new(
+                                io::ErrorKind::InvalidData,
+                                format!(
+                                    "corrupt WAL frame in non-final segment {index} at offset {offset}",
+                                ),
+                            ));
+                        }
+                        summary.torn_tail = true;
+                        summary.truncated_bytes = (buf.len() - offset) as u64;
+                        let f = OpenOptions::new().write(true).open(path)?;
+                        f.set_len(offset as u64)?;
+                        f.sync_all()?;
+                        break;
+                    }
+                }
+            }
+            summary.bytes_scanned += offset as u64;
+            if i == last {
+                last_seg_valid_bytes = offset as u64;
+            }
+        }
+        summary.records = records.len();
+
+        let (seg_index, last_path) = segments[last].clone();
+        let mut file = OpenOptions::new().write(true).open(&last_path)?;
+        file.seek(SeekFrom::Start(last_seg_valid_bytes))?;
+        Ok((
+            Wal {
+                dir,
+                options,
+                file,
+                seg_index,
+                seg_bytes: last_seg_valid_bytes,
+            },
+            records,
+            summary,
+        ))
+    }
+
+    fn open_segment(dir: &Path, index: u64) -> io::Result<File> {
+        let file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(segment_path(dir, index))?;
+        // Make the new directory entry durable too (without this a
+        // crash can lose the whole segment file, not just its tail).
+        File::open(dir)?.sync_all()?;
+        Ok(file)
+    }
+
+    fn fault(&self, ctx: FaultCtx) -> Option<IoFault> {
+        FaultPlan::maybe_sleep(self.options.fault.as_ref().and_then(|p| p.decide(ctx)))
+    }
+
+    /// Append one record. The frame is fully written (or fully backed
+    /// out) before this returns `Ok`; whether it is also *durable*
+    /// depends on [`FsyncPolicy`] — under the default `OnCommit`,
+    /// [`WalRecord::Publish`] frames are fsynced before returning.
+    ///
+    /// On a short write (injected or real) the partial frame is
+    /// truncated back to the previous frame boundary, so the log
+    /// never accumulates garbage between valid frames. The one
+    /// exception is an injected [`IoFault::Crash`], which leaves the
+    /// torn bytes exactly as a killed process would.
+    pub fn append(&mut self, record: &WalRecord) -> io::Result<()> {
+        let frame = encode_frame(&encode_record(record));
+        self.rotate_if_needed(frame.len() as u64)?;
+        let pre = self.seg_bytes;
+
+        match self.fault(FaultCtx::WalWrite) {
+            None => {
+                if let Err(e) = self.file.write_all(&frame) {
+                    self.heal_to(pre);
+                    return Err(e);
+                }
+            }
+            Some(f @ IoFault::Torn { .. }) => {
+                let keep = f.torn_keep(frame.len());
+                let _ = self.file.write_all(&frame[..keep]);
+                self.heal_to(pre);
+                return Err(f.to_io_error());
+            }
+            Some(f @ IoFault::Crash { .. }) => {
+                // Leave the torn prefix on disk — this is `kill -9`.
+                let keep = f.torn_keep(frame.len());
+                let _ = self.file.write_all(&frame[..keep]);
+                let _ = self.file.flush();
+                return Err(f.to_io_error());
+            }
+            Some(f) => return Err(f.to_io_error()),
+        }
+        self.seg_bytes = pre + frame.len() as u64;
+
+        let commit = matches!(record, WalRecord::Publish { .. });
+        let need_sync = match self.options.fsync {
+            FsyncPolicy::Always => true,
+            FsyncPolicy::OnCommit => commit,
+            FsyncPolicy::Never => false,
+        };
+        if need_sync {
+            self.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Best-effort restore of the segment to `offset` bytes after a
+    /// failed append (truncate the partial frame, re-seat the cursor).
+    fn heal_to(&mut self, offset: u64) {
+        let _ = self.file.set_len(offset);
+        let _ = self.file.seek(SeekFrom::Start(offset));
+    }
+
+    /// Flush appended frames to durable media (subject to the fault
+    /// plan's `wal_sync` channel).
+    pub fn sync(&mut self) -> io::Result<()> {
+        if let Some(f) = self.fault(FaultCtx::WalSync) {
+            return Err(f.to_io_error());
+        }
+        self.file.sync_data()
+    }
+
+    fn rotate_if_needed(&mut self, incoming: u64) -> io::Result<()> {
+        if self.seg_bytes == 0 || self.seg_bytes + incoming <= self.options.segment_bytes {
+            return Ok(());
+        }
+        // Seal the full segment before the new one takes writes.
+        if self.options.fsync != FsyncPolicy::Never {
+            self.sync()?;
+        }
+        let next = self.seg_index + 1;
+        self.file = Self::open_segment(&self.dir, next)?;
+        self.seg_index = next;
+        self.seg_bytes = 0;
+        Ok(())
+    }
+
+    /// Directory holding the segment files.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Index of the segment currently taking appends.
+    pub fn segment_index(&self) -> u64 {
+        self.seg_index
+    }
+
+    /// Valid bytes in the current segment.
+    pub fn segment_bytes(&self) -> u64 {
+        self.seg_bytes
+    }
+
+    /// The options the log was opened with.
+    pub fn options(&self) -> &WalOptions {
+        &self.options
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "greca-wal-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn batch(id: u64, n: u32) -> WalRecord {
+        WalRecord::Batch {
+            batch_id: id,
+            client_key: id.is_multiple_of(2).then_some(id * 7),
+            upserts: (0..n)
+                .map(|i| Rating {
+                    user: UserId(i),
+                    item: ItemId(i * 3),
+                    value: i as f32 * 0.5,
+                    ts: i as i64 * 100,
+                })
+                .collect(),
+            retractions: vec![(UserId(n), ItemId(0))],
+        }
+    }
+
+    #[test]
+    fn codec_round_trips() {
+        for record in [
+            batch(0, 0),
+            batch(1, 5),
+            WalRecord::Publish {
+                epoch: 3,
+                through_batch: 9,
+            },
+        ] {
+            let payload = encode_record(&record);
+            assert_eq!(decode_record(&payload), Some(record.clone()));
+            let framed = encode_frame(&payload);
+            let (decoded, next) = decode_frame_at(&framed, 0).unwrap();
+            assert_eq!(decoded, record);
+            assert_eq!(next, framed.len());
+        }
+    }
+
+    #[test]
+    fn decoder_rejects_trailing_garbage_and_bad_tags() {
+        let mut payload = encode_record(&batch(2, 1));
+        payload.push(0);
+        assert_eq!(decode_record(&payload), None);
+        assert_eq!(decode_record(&[99]), None);
+        assert_eq!(decode_record(&[]), None);
+        // A count field larger than the remaining bytes must not
+        // allocate or panic.
+        let mut huge = vec![TAG_BATCH];
+        huge.extend_from_slice(&7u64.to_le_bytes());
+        huge.push(0);
+        huge.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(decode_record(&huge), None);
+    }
+
+    #[test]
+    fn append_recover_round_trip_with_rotation() {
+        let dir = tmpdir("rotate");
+        let options = WalOptions {
+            segment_bytes: 256,
+            ..WalOptions::default()
+        };
+        let mut wal = Wal::create(&dir, options.clone()).unwrap();
+        let records: Vec<WalRecord> = (0..20)
+            .map(|i| {
+                if i % 5 == 4 {
+                    WalRecord::Publish {
+                        epoch: i / 5 + 1,
+                        through_batch: i,
+                    }
+                } else {
+                    batch(i, 3)
+                }
+            })
+            .collect();
+        for r in &records {
+            wal.append(r).unwrap();
+        }
+        assert!(wal.segment_index() > 0, "tiny segments must rotate");
+        drop(wal);
+
+        let (wal2, recovered, summary) = Wal::recover(&dir, options).unwrap();
+        assert_eq!(recovered, records);
+        assert!(!summary.torn_tail);
+        assert_eq!(summary.records, records.len());
+        assert_eq!(wal2.segment_index() + 1, summary.segments as u64);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_write_self_heals_and_log_stays_appendable() {
+        let dir = tmpdir("torn");
+        let plan = Arc::new(FaultPlan::new(3).schedule(
+            FaultCtx::WalWrite,
+            1,
+            IoFault::Torn { keep_permille: 400 },
+        ));
+        let options = WalOptions {
+            fault: Some(plan.clone()),
+            ..WalOptions::default()
+        };
+        let mut wal = Wal::create(&dir, options.clone()).unwrap();
+        wal.append(&batch(0, 2)).unwrap();
+        assert!(wal.append(&batch(1, 2)).is_err(), "torn write surfaces");
+        // Self-healed: the next append lands on a clean boundary.
+        wal.append(&batch(2, 2)).unwrap();
+        drop(wal);
+        let (_, recovered, summary) = Wal::recover(&dir, WalOptions::default()).unwrap();
+        assert_eq!(recovered, vec![batch(0, 2), batch(2, 2)]);
+        assert!(!summary.torn_tail, "healed log has no torn tail");
+        assert_eq!(plan.injected().len(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crash_leaves_torn_tail_for_recovery_to_truncate() {
+        let dir = tmpdir("crash");
+        let plan = Arc::new(FaultPlan::new(4).schedule(
+            FaultCtx::WalWrite,
+            2,
+            IoFault::Crash { keep_permille: 500 },
+        ));
+        let options = WalOptions {
+            fault: Some(plan.clone()),
+            ..WalOptions::default()
+        };
+        let mut wal = Wal::create(&dir, options).unwrap();
+        wal.append(&batch(0, 4)).unwrap();
+        wal.append(&batch(1, 4)).unwrap();
+        assert!(wal.append(&batch(2, 4)).is_err(), "crash surfaces");
+        assert!(plan.is_crashed());
+        // The "dead process" can no longer append.
+        assert!(wal.append(&batch(3, 4)).is_err());
+        drop(wal);
+
+        let (mut wal2, recovered, summary) = Wal::recover(&dir, WalOptions::default()).unwrap();
+        assert_eq!(recovered, vec![batch(0, 4), batch(1, 4)]);
+        assert!(summary.torn_tail);
+        assert!(summary.truncated_bytes > 0);
+        // Recovered log continues cleanly from the truncation point.
+        wal2.append(&batch(2, 4)).unwrap();
+        drop(wal2);
+        let (_, recovered, summary) = Wal::recover(&dir, WalOptions::default()).unwrap();
+        assert_eq!(recovered, vec![batch(0, 4), batch(1, 4), batch(2, 4)]);
+        assert!(!summary.torn_tail);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn disk_full_and_failed_sync_write_nothing() {
+        let dir = tmpdir("full");
+        let plan = Arc::new(
+            FaultPlan::new(5)
+                .schedule(FaultCtx::WalWrite, 0, IoFault::DiskFull)
+                .schedule(FaultCtx::WalSync, 0, IoFault::Fail),
+        );
+        let options = WalOptions {
+            fsync: FsyncPolicy::Always,
+            fault: Some(plan),
+            ..WalOptions::default()
+        };
+        let mut wal = Wal::create(&dir, options).unwrap();
+        assert!(wal.append(&batch(0, 1)).is_err(), "disk full");
+        assert_eq!(wal.segment_bytes(), 0);
+        // Second append writes, but its (first) fsync fails.
+        assert!(wal.append(&batch(1, 1)).is_err(), "fsync failure surfaces");
+        drop(wal);
+        let (_, recovered, _) = Wal::recover(&dir, WalOptions::default()).unwrap();
+        // The frame itself landed; only durability was unconfirmed.
+        assert_eq!(recovered, vec![batch(1, 1)]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corruption_in_non_final_segment_is_an_error() {
+        let dir = tmpdir("corrupt-mid");
+        let options = WalOptions {
+            segment_bytes: 64,
+            ..WalOptions::default()
+        };
+        let mut wal = Wal::create(&dir, options.clone()).unwrap();
+        for i in 0..6 {
+            wal.append(&batch(i, 2)).unwrap();
+        }
+        assert!(wal.segment_index() >= 1);
+        drop(wal);
+        // Flip a byte in the middle of the first segment.
+        let p = segment_path(&dir, 0);
+        let mut bytes = fs::read(&p).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        fs::write(&p, &bytes).unwrap();
+        let err = Wal::recover(&dir, options).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,374 @@
+//! Crash-recovery identity property: **for any ingest interleaving and
+//! any deterministic crash point in the WAL write stream, recovery
+//! rebuilds an engine whose last committed epoch answers queries
+//! bit-identically to a cold engine built from exactly the
+//! acknowledged state — committed batches are never lost, unacked
+//! batches are never resurrected, and the engine keeps working after
+//! recovery.**
+//!
+//! Each generated instance runs a [`LiveEngine`] with a WAL whose
+//! fault plan schedules an [`IoFault::Crash`] (partial frame write,
+//! then every subsequent WAL write fails — a process death frozen in
+//! amber) at a drawn write-op index. The test tracks a shadow rating
+//! log: a snapshot at every *acknowledged* publish, plus the tail of
+//! acknowledged-but-unpublished stage calls. After the crash it drops
+//! the engine, recovers from the log directory with a clean plan, and
+//! asserts:
+//!
+//! 1. the recovered epoch is the last acknowledged publish;
+//! 2. a pinned query equals a cold [`GrecaEngine`] refit on the shadow
+//!    snapshot, bit for bit;
+//! 3. the staged tail survives iff its stage calls were acknowledged;
+//! 4. client idempotency keys are re-learned (a retried key is a
+//!    duplicate, not a double-apply);
+//! 5. staging and publishing resume cleanly, and the next epoch equals
+//!    a cold refit on shadow + tail + resumed events.
+
+use greca_affinity::{AffinityMode, PopulationAffinity, TableAffinitySource};
+use greca_cf::{CfConfig, PreferenceProvider, RawRatings, UserCfModel};
+use greca_consensus::ConsensusFunction;
+use greca_core::{
+    BuildOptions, FaultCtx, FaultPlan, GrecaEngine, IoFault, LiveEngine, LiveModel, QueryError,
+    Wal, WalOptions,
+};
+use greca_dataset::{Group, ItemId, Rating, RatingMatrix, RatingMatrixBuilder, UserId};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    user: usize,
+    item: usize,
+    value: f64,
+    retract: bool,
+}
+
+#[derive(Debug, Clone)]
+struct CrashInstance {
+    n: usize,
+    m: usize,
+    static_raw: Vec<f64>,
+    initial: Vec<Option<f64>>,
+    /// Pre-crash interleaving; each batch publishes when its flag is set.
+    batches: Vec<(Vec<Event>, bool)>,
+    /// Events staged after recovery.
+    resume: Vec<Event>,
+    usercf: bool,
+    consensus_sel: u8,
+    k: usize,
+    group_size: usize,
+    /// WAL write-op index at which the crash fires (may be past the
+    /// end of the stream — then this is a clean-shutdown recovery).
+    crash_op: u64,
+    /// How much of the crashing frame reaches disk, in permille.
+    keep_permille: u16,
+    seed: u64,
+}
+
+fn num_pairs(n: usize) -> usize {
+    n * (n - 1) / 2
+}
+
+fn instance_strategy() -> impl Strategy<Value = CrashInstance> {
+    (2usize..=4, 3usize..=6).prop_flat_map(|(n, m)| {
+        let static_raw = proptest::collection::vec(0.0f64..3.0, num_pairs(n));
+        let initial =
+            proptest::collection::vec((any::<bool>(), 0.5f64..5.0), n * m).prop_map(|cells| {
+                cells
+                    .into_iter()
+                    .map(|(keep, v)| keep.then_some(v))
+                    .collect::<Vec<Option<f64>>>()
+            });
+        let event =
+            (0..n, 0..m, 0.5f64..5.0, any::<bool>()).prop_map(|(user, item, value, retract)| {
+                Event {
+                    user,
+                    item,
+                    value,
+                    retract,
+                }
+            });
+        let batches = proptest::collection::vec(
+            (proptest::collection::vec(event, 1..4usize), any::<bool>()),
+            1..5usize,
+        );
+        let event2 =
+            (0..n, 0..m, 0.5f64..5.0, any::<bool>()).prop_map(|(user, item, value, retract)| {
+                Event {
+                    user,
+                    item,
+                    value,
+                    retract,
+                }
+            });
+        let resume = proptest::collection::vec(event2, 1..4usize);
+        (
+            Just(n),
+            Just(m),
+            static_raw,
+            initial,
+            batches,
+            resume,
+            (any::<bool>(), 0u8..5),
+            (1usize..=3, 2usize..=3),
+            (0u64..14, 0u16..=1000, any::<u64>()),
+        )
+            .prop_map(
+                |(
+                    n,
+                    m,
+                    static_raw,
+                    initial,
+                    batches,
+                    resume,
+                    (usercf, consensus_sel),
+                    (k, group_size),
+                    (crash_op, keep_permille, seed),
+                )| CrashInstance {
+                    n,
+                    m,
+                    static_raw,
+                    initial,
+                    batches,
+                    resume,
+                    usercf,
+                    consensus_sel,
+                    k: k.min(m),
+                    group_size: group_size.min(n),
+                    crash_op,
+                    keep_permille,
+                    seed,
+                },
+            )
+    })
+}
+
+fn consensus_of(sel: u8) -> ConsensusFunction {
+    match sel {
+        0 => ConsensusFunction::average_preference(),
+        1 => ConsensusFunction::least_misery(),
+        2 => ConsensusFunction::pairwise_disagreement(0.8),
+        3 => ConsensusFunction::pairwise_disagreement(0.2),
+        _ => ConsensusFunction::variance_disagreement(0.5),
+    }
+}
+
+fn population_of(inst: &CrashInstance) -> (Vec<UserId>, PopulationAffinity) {
+    let users: Vec<UserId> = (0..inst.n as u32).map(UserId).collect();
+    let mut src = TableAffinitySource::new();
+    let mut pair = 0;
+    for i in 0..inst.n {
+        for j in (i + 1)..inst.n {
+            src.set_static(users[i], users[j], inst.static_raw[pair]);
+            pair += 1;
+        }
+    }
+    let pop = PopulationAffinity::new_static_only(&src, &users);
+    (users, pop)
+}
+
+fn matrix_of(log: &BTreeMap<(u32, u32), f32>, n: usize, m: usize) -> RatingMatrix {
+    let mut b = RatingMatrixBuilder::new(n, m);
+    for (&(u, i), &v) in log {
+        b.rate(UserId(u), ItemId(i), v, 0);
+    }
+    b.build()
+}
+
+fn apply(log: &mut BTreeMap<(u32, u32), f32>, e: &Event) {
+    if e.retract {
+        log.remove(&(e.user as u32, e.item as u32));
+    } else {
+        log.insert((e.user as u32, e.item as u32), e.value as f32);
+    }
+}
+
+fn rating(e: &Event) -> Rating {
+    Rating {
+        user: UserId(e.user as u32),
+        item: ItemId(e.item as u32),
+        value: e.value as f32,
+        ts: 0,
+    }
+}
+
+fn scratch_dir() -> PathBuf {
+    static CASE: AtomicU64 = AtomicU64::new(0);
+    let case = CASE.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("greca-crashrec-{}-{case}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Top-k of `engine` (warm, pinned) must equal a cold refit on `log`.
+fn assert_identical(
+    live: &LiveEngine,
+    log: &BTreeMap<(u32, u32), f32>,
+    inst: &CrashInstance,
+    pop: &PopulationAffinity,
+    group: &Group,
+    items: &[ItemId],
+    what: &str,
+) -> Result<(), TestCaseError> {
+    let expected = matrix_of(log, inst.n, inst.m);
+    let provider: Box<dyn PreferenceProvider + Sync> = if inst.usercf {
+        Box::new(UserCfModel::fit(&expected, CfConfig::default()))
+    } else {
+        Box::new(RawRatings(&expected))
+    };
+    let cold_engine = GrecaEngine::new(provider.as_ref(), pop);
+    let pin = live.pin();
+    for &u in group.members() {
+        prop_assert_eq!(
+            pin.matrix().user_ratings(u),
+            expected.user_ratings(u),
+            "{}: member ratings diverged",
+            what
+        );
+    }
+    let warm = pin
+        .engine()
+        .query(group)
+        .items(items)
+        .affinity(AffinityMode::StaticOnly)
+        .consensus(consensus_of(inst.consensus_sel))
+        .top(inst.k)
+        .run();
+    let cold = cold_engine
+        .query(group)
+        .items(items)
+        .affinity(AffinityMode::StaticOnly)
+        .consensus(consensus_of(inst.consensus_sel))
+        .top(inst.k)
+        .run();
+    prop_assert_eq!(cold, warm, "{}: warm/cold top-k diverged", what);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn recovery_restores_the_acknowledged_state(inst in instance_strategy()) {
+        let (users, pop) = population_of(&inst);
+        let items: Vec<ItemId> = (0..inst.m as u32).map(ItemId).collect();
+        let group = Group::new(users[..inst.group_size].to_vec()).unwrap();
+
+        // Committed shadow state (epoch 0 = the initial matrix).
+        let mut log: BTreeMap<(u32, u32), f32> = BTreeMap::new();
+        for (cell, v) in inst.initial.iter().enumerate() {
+            if let Some(v) = v {
+                log.insert(((cell / inst.m) as u32, (cell % inst.m) as u32), *v as f32);
+            }
+        }
+        let initial = matrix_of(&log, inst.n, inst.m);
+        let model = if inst.usercf {
+            LiveModel::UserCf(CfConfig::default())
+        } else {
+            LiveModel::Raw
+        };
+
+        let dir = scratch_dir();
+        let plan = Arc::new(FaultPlan::new(inst.seed).schedule(
+            FaultCtx::WalWrite,
+            inst.crash_op,
+            IoFault::Crash { keep_permille: inst.keep_permille },
+        ));
+        let faulty = WalOptions { fault: Some(Arc::clone(&plan)), ..WalOptions::default() };
+        let wal = Wal::create(&dir, faulty).unwrap();
+        let live = LiveEngine::new(&pop, model, &initial, &items).unwrap().with_wal(wal);
+
+        // Acknowledged-but-unpublished tail, and idempotency keys the
+        // engine acknowledged (key = stage-call ordinal).
+        let mut pending: Vec<Event> = Vec::new();
+        let mut acked_keys: Vec<u64> = Vec::new();
+        let mut acked_epoch = 0u64;
+        let mut next_key = 1u64;
+        let mut crashed = false;
+        'stream: for (batch, publish) in &inst.batches {
+            for e in batch {
+                let key = next_key;
+                next_key += 1;
+                let result = if e.retract {
+                    live.stage_keyed(Some(key), &[], &[(UserId(e.user as u32), ItemId(e.item as u32))])
+                } else {
+                    live.stage_keyed(Some(key), &[rating(e)], &[])
+                };
+                match result {
+                    Ok(staged) => {
+                        prop_assert!(!staged.duplicate);
+                        pending.push(*e);
+                        acked_keys.push(key);
+                    }
+                    Err(QueryError::Wal { .. }) => { crashed = true; break 'stream; }
+                    Err(other) => return Err(TestCaseError::Fail(format!("unexpected: {other:?}"))),
+                }
+            }
+            if *publish {
+                match live.publish() {
+                    Ok(report) => {
+                        acked_epoch = report.epoch;
+                        for e in pending.drain(..) {
+                            apply(&mut log, &e);
+                        }
+                    }
+                    Err(QueryError::Wal { .. }) => { crashed = true; break 'stream; }
+                    Err(other) => return Err(TestCaseError::Fail(format!("unexpected: {other:?}"))),
+                }
+            }
+        }
+        prop_assert_eq!(crashed, plan.is_crashed(), "crash iff the plan fired");
+        if crashed {
+            prop_assert!(live.health().wal_stalled, "a crash stalls the WAL");
+        }
+        drop(live);
+
+        // Recover with a clean plan — the crashed process is gone.
+        let (recovered, report) = LiveEngine::recover(
+            &pop, model, &initial, &items,
+            BuildOptions::default(), &dir, WalOptions::default(),
+        ).unwrap();
+        prop_assert_eq!(report.epoch, acked_epoch, "recovered epoch != last acked publish");
+        prop_assert_eq!(recovered.epoch(), acked_epoch);
+        prop_assert_eq!(
+            report.staged_tail == 0,
+            pending.is_empty(),
+            "tail {} vs pending {:?}",
+            report.staged_tail,
+            &pending
+        );
+        let health = recovered.health();
+        prop_assert!(health.wal_attached && !health.wal_stalled);
+        assert_identical(&recovered, &log, &inst, &pop, &group, &items, "post-recovery")?;
+
+        // Acknowledged idempotency keys were re-learned from the log:
+        // retrying one is a duplicate, not a double-apply.
+        if let Some(&key) = acked_keys.last() {
+            let retry = recovered.stage_keyed(Some(key), &[], &[]).unwrap();
+            prop_assert!(retry.duplicate, "acked key {} forgotten by recovery", key);
+        }
+
+        // The engine keeps working: stage fresh events, publish the
+        // tail with them, and the next epoch matches a cold refit.
+        for e in &inst.resume {
+            let result = if e.retract {
+                recovered.stage_retractions(&[(UserId(e.user as u32), ItemId(e.item as u32))])
+            } else {
+                recovered.stage(&[rating(e)])
+            };
+            result.unwrap();
+        }
+        recovered.publish().unwrap();
+        for e in pending.iter().chain(&inst.resume) {
+            apply(&mut log, e);
+        }
+        prop_assert_eq!(recovered.epoch(), acked_epoch + 1);
+        assert_identical(&recovered, &log, &inst, &pop, &group, &items, "post-resume")?;
+
+        drop(recovered);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -232,7 +232,8 @@ proptest! {
         for batch in &inst.batches {
             for e in batch {
                 if e.retract {
-                    live.stage_retractions(&[(UserId(e.user as u32), ItemId(e.item as u32))]);
+                    live.stage_retractions(&[(UserId(e.user as u32), ItemId(e.item as u32))])
+                        .unwrap();
                     log.remove(&(e.user as u32, e.item as u32));
                 } else {
                     live.stage(&[Rating {

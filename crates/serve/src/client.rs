@@ -7,12 +7,140 @@
 //! with `ok` — and stashes pushes so request/response pairing never
 //! skews. Drain them with [`Client::take_pushes`] or block for the
 //! next one with [`Client::poll_push`].
+//!
+//! ## Timeouts and retries
+//!
+//! [`ClientConfig`] bounds every socket operation: connect, read and
+//! write timeouts all default on, so a wedged server turns into a
+//! typed [`ClientError::TimedOut`] instead of a hung client.
+//! [`Client::request_retrying`] layers deterministic retry on top —
+//! exponential backoff with seeded jitter, reconnecting on timeouts
+//! and dropped connections. Retried *ingests* must carry a `batch`
+//! idempotency key (see [`Client::ingest_keyed`]): the server
+//! deduplicates the key, so a retry whose original acknowledgement
+//! was lost is a no-op instead of a double-apply.
 
 use crate::json::{self, Json};
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
+
+/// Socket and retry configuration for one [`Client`].
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Connect timeout. `None` blocks until the OS gives up.
+    pub connect_timeout: Option<Duration>,
+    /// Read timeout per response line; an expiry surfaces as
+    /// [`ClientError::TimedOut`]. `None` blocks forever.
+    pub read_timeout: Option<Duration>,
+    /// Write timeout per request line.
+    pub write_timeout: Option<Duration>,
+    /// Retries [`Client::request_retrying`] attempts *after* the first
+    /// try (0 = no retry).
+    pub retries: u32,
+    /// Base backoff before the first retry; doubles each retry.
+    pub backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+    /// Seed for the deterministic retry jitter (each backoff is scaled
+    /// by 50–100%, drawn from this seed), so two clients created with
+    /// different seeds don't retry in lockstep — and a test replays
+    /// the exact same schedule from the same seed.
+    pub retry_seed: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Some(Duration::from_secs(5)),
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(10)),
+            retries: 3,
+            backoff: Duration::from_millis(20),
+            max_backoff: Duration::from_secs(1),
+            retry_seed: 0x9e37_79b9,
+        }
+    }
+}
+
+/// A typed client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// A socket operation exceeded its configured timeout.
+    TimedOut,
+    /// The server closed the connection (EOF mid-protocol).
+    Disconnected,
+    /// A line arrived that wasn't valid protocol JSON.
+    Protocol(String),
+    /// Any other I/O failure.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::TimedOut => f.write_str("socket operation timed out"),
+            ClientError::Disconnected => f.write_str("server closed the connection"),
+            ClientError::Protocol(detail) => write!(f, "protocol error: {detail}"),
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> ClientError {
+        use std::io::ErrorKind;
+        match e.kind() {
+            ErrorKind::WouldBlock | ErrorKind::TimedOut => ClientError::TimedOut,
+            ErrorKind::UnexpectedEof => ClientError::Disconnected,
+            _ => ClientError::Io(e),
+        }
+    }
+}
+
+impl From<ClientError> for std::io::Error {
+    fn from(e: ClientError) -> std::io::Error {
+        use std::io::{Error, ErrorKind};
+        match e {
+            ClientError::TimedOut => Error::new(ErrorKind::TimedOut, "socket operation timed out"),
+            ClientError::Disconnected => {
+                Error::new(ErrorKind::UnexpectedEof, "server closed the connection")
+            }
+            ClientError::Protocol(detail) => Error::new(ErrorKind::InvalidData, detail),
+            ClientError::Io(e) => e,
+        }
+    }
+}
+
+impl ClientError {
+    /// Whether a retry (on a fresh connection) could plausibly
+    /// succeed: timeouts and connection-level failures are transient;
+    /// protocol garbage is not.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            ClientError::TimedOut | ClientError::Disconnected => true,
+            ClientError::Protocol(_) => false,
+            ClientError::Io(e) => matches!(
+                e.kind(),
+                std::io::ErrorKind::ConnectionReset
+                    | std::io::ErrorKind::ConnectionAborted
+                    | std::io::ErrorKind::ConnectionRefused
+                    | std::io::ErrorKind::BrokenPipe
+                    | std::io::ErrorKind::NotConnected
+            ),
+        }
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
 
 /// One blocking connection to a [`GrecaServer`](crate::GrecaServer).
 pub struct Client {
@@ -20,30 +148,120 @@ pub struct Client {
     writer: TcpStream,
     /// Push frames read while waiting for a response, in arrival order.
     pushes: VecDeque<Json>,
+    config: ClientConfig,
+    /// The resolved peer address, kept for reconnect-on-retry.
+    addr: SocketAddr,
+    /// Retries performed so far (jitter counter + observability).
+    retries_used: u64,
 }
 
 impl Client {
-    /// Connect.
-    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
+    /// Connect with the default [`ClientConfig`].
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        Client::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connect with explicit timeouts and retry policy.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        config: ClientConfig,
+    ) -> Result<Client, ClientError> {
+        let resolved = addr
+            .to_socket_addrs()
+            .map_err(ClientError::from)?
+            .next()
+            .ok_or_else(|| {
+                ClientError::Io(std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    "address resolved to nothing",
+                ))
+            })?;
+        let stream = open_stream(resolved, &config)?;
         Ok(Client {
-            reader: BufReader::new(stream.try_clone()?),
+            reader: BufReader::new(stream.try_clone().map_err(ClientError::from)?),
             writer: stream,
             pushes: VecDeque::new(),
+            config,
+            addr: resolved,
+            retries_used: 0,
         })
     }
 
+    /// The retry policy and timeouts this client runs under.
+    pub fn config(&self) -> &ClientConfig {
+        &self.config
+    }
+
+    /// Drop the current connection and dial the server again (fresh
+    /// socket, same config). Stashed push frames survive; any
+    /// subscriptions registered on the old connection do not — the
+    /// server retires them when it notices the dead socket.
+    pub fn reconnect(&mut self) -> Result<(), ClientError> {
+        let stream = open_stream(self.addr, &self.config)?;
+        self.reader = BufReader::new(stream.try_clone().map_err(ClientError::from)?);
+        self.writer = stream;
+        Ok(())
+    }
+
     /// Send one request value, wait for its response line.
-    pub fn request(&mut self, body: &Json) -> std::io::Result<Json> {
+    pub fn request(&mut self, body: &Json) -> Result<Json, ClientError> {
         let line = self.request_raw(&body.to_line())?;
         parse_line(&line)
     }
 
+    /// [`Client::request`] with retry: on a retryable failure (timeout,
+    /// dropped connection) the client reconnects and resends, backing
+    /// off exponentially with seeded jitter between attempts. The
+    /// request may execute more than once server-side — give retried
+    /// ingests a `batch` idempotency key ([`Client::ingest_keyed`]
+    /// does) so re-execution is a no-op; queries are naturally
+    /// idempotent.
+    pub fn request_retrying(&mut self, body: &Json) -> Result<Json, ClientError> {
+        let line = body.to_line();
+        let mut attempt = 0u32;
+        loop {
+            let result = self
+                .request_raw(&line)
+                .and_then(|response| parse_line(&response));
+            let err = match result {
+                Ok(v) => return Ok(v),
+                Err(e) => e,
+            };
+            if attempt >= self.config.retries || !err.is_retryable() {
+                return Err(err);
+            }
+            std::thread::sleep(self.backoff_for(attempt));
+            attempt += 1;
+            self.retries_used += 1;
+            // Reconnect failures are themselves retryable up to the
+            // same attempt budget.
+            if let Err(reconnect_err) = self.reconnect() {
+                if attempt >= self.config.retries || !reconnect_err.is_retryable() {
+                    return Err(reconnect_err);
+                }
+            }
+        }
+    }
+
+    /// The backoff before retry number `attempt` (0-based): base × 2^n,
+    /// capped, then jittered into 50–100% of itself so concurrent
+    /// clients spread out. Deterministic in `(retry_seed, retries so
+    /// far)`.
+    fn backoff_for(&self, attempt: u32) -> Duration {
+        let base = self
+            .config
+            .backoff
+            .saturating_mul(1u32 << attempt.min(16))
+            .min(self.config.max_backoff);
+        let draw = splitmix64(self.config.retry_seed ^ self.retries_used.wrapping_mul(0x2545_f491));
+        let scale_permille = 500 + (draw % 501); // 50.0%..=100.0%
+        base.mul_f64(scale_permille as f64 / 1000.0)
+    }
+
     /// Send one raw line, read one raw line back (no parsing). Push
     /// frames arriving first are stashed, not returned.
-    pub fn request_raw(&mut self, line: &str) -> std::io::Result<String> {
-        writeln!(self.writer, "{line}")?;
+    pub fn request_raw(&mut self, line: &str) -> Result<String, ClientError> {
+        writeln!(self.writer, "{line}").map_err(ClientError::from)?;
         loop {
             let line = self.read_line()?;
             if is_push(&line) {
@@ -64,27 +282,26 @@ impl Client {
     /// read) or `timeout` elapses; `Ok(None)` on timeout. Any response
     /// line read while polling is an error — poll only when no request
     /// is outstanding.
-    pub fn poll_push(&mut self, timeout: Duration) -> std::io::Result<Option<Json>> {
+    pub fn poll_push(&mut self, timeout: Duration) -> Result<Option<Json>, ClientError> {
         if let Some(frame) = self.pushes.pop_front() {
             return Ok(Some(frame));
         }
         let stream = self.reader.get_ref();
-        let previous = stream.read_timeout()?;
-        stream.set_read_timeout(Some(timeout))?;
+        let previous = stream.read_timeout().map_err(ClientError::from)?;
+        stream
+            .set_read_timeout(Some(timeout))
+            .map_err(ClientError::from)?;
         let read = self.read_line();
-        self.reader.get_ref().set_read_timeout(previous)?;
+        self.reader
+            .get_ref()
+            .set_read_timeout(previous)
+            .map_err(ClientError::from)?;
         match read {
             Ok(line) if is_push(&line) => parse_line(&line).map(Some),
-            Ok(line) => Err(std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                format!("expected a push frame, got a response: {line}"),
-            )),
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                Ok(None)
-            }
+            Ok(line) => Err(ClientError::Protocol(format!(
+                "expected a push frame, got a response: {line}"
+            ))),
+            Err(ClientError::TimedOut) => Ok(None),
             Err(e) => Err(e),
         }
     }
@@ -95,7 +312,7 @@ impl Client {
         group: &[u32],
         items: Option<&[u32]>,
         k: Option<usize>,
-    ) -> std::io::Result<Json> {
+    ) -> Result<Json, ClientError> {
         self.request(&query_body("query", group, items, k))
     }
 
@@ -106,12 +323,12 @@ impl Client {
         group: &[u32],
         items: Option<&[u32]>,
         k: Option<usize>,
-    ) -> std::io::Result<Json> {
+    ) -> Result<Json, ClientError> {
         self.request(&query_body("subscribe", group, items, k))
     }
 
     /// An `unsubscribe` request for subscription `sub`.
-    pub fn unsubscribe(&mut self, sub: u64) -> std::io::Result<Json> {
+    pub fn unsubscribe(&mut self, sub: u64) -> Result<Json, ClientError> {
         self.request(&Json::obj(vec![
             ("verb", Json::str("unsubscribe")),
             ("sub", Json::num(sub as f64)),
@@ -119,51 +336,62 @@ impl Client {
     }
 
     /// An `ingest` request of `(user, item, value, ts)` ratings.
-    pub fn ingest(&mut self, ratings: &[(u32, u32, f32, i64)]) -> std::io::Result<Json> {
-        let body = Json::obj(vec![
-            ("verb", Json::str("ingest")),
-            (
-                "ratings",
-                Json::Arr(
-                    ratings
-                        .iter()
-                        .map(|&(u, i, v, ts)| {
-                            Json::Arr(vec![
-                                Json::num(u),
-                                Json::num(i),
-                                Json::num(f64::from(v)),
-                                Json::num(ts as f64),
-                            ])
-                        })
-                        .collect(),
-                ),
-            ),
-        ]);
-        self.request(&body)
+    pub fn ingest(&mut self, ratings: &[(u32, u32, f32, i64)]) -> Result<Json, ClientError> {
+        self.request(&ingest_body(ratings, None))
+    }
+
+    /// An `ingest` carrying the `batch` idempotency key `key`, sent
+    /// through [`Client::request_retrying`]: safe to retry end-to-end,
+    /// because the server answers a replayed key with `duplicate: true`
+    /// instead of applying it again.
+    pub fn ingest_keyed(
+        &mut self,
+        key: u64,
+        ratings: &[(u32, u32, f32, i64)],
+    ) -> Result<Json, ClientError> {
+        self.request_retrying(&ingest_body(ratings, Some(key)))
     }
 
     /// A `stats` request.
-    pub fn stats(&mut self) -> std::io::Result<Json> {
+    pub fn stats(&mut self) -> Result<Json, ClientError> {
         self.request(&Json::obj(vec![("verb", Json::str("stats"))]))
     }
 
     /// A `health` request.
-    pub fn health(&mut self) -> std::io::Result<Json> {
+    pub fn health(&mut self) -> Result<Json, ClientError> {
         self.request(&Json::obj(vec![("verb", Json::str("health"))]))
     }
 
     /// Read one line, EOF-checked.
-    fn read_line(&mut self) -> std::io::Result<String> {
+    fn read_line(&mut self) -> Result<String, ClientError> {
         let mut line = String::new();
-        let n = self.reader.read_line(&mut line)?;
+        let n = self
+            .reader
+            .read_line(&mut line)
+            .map_err(ClientError::from)?;
         if n == 0 {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
-                "server closed the connection",
-            ));
+            return Err(ClientError::Disconnected);
         }
         Ok(line.trim_end().to_string())
     }
+}
+
+/// Dial `addr` under `config`'s connect timeout and apply its
+/// per-operation socket timeouts.
+fn open_stream(addr: SocketAddr, config: &ClientConfig) -> Result<TcpStream, ClientError> {
+    let stream = match config.connect_timeout {
+        Some(timeout) => TcpStream::connect_timeout(&addr, timeout),
+        None => TcpStream::connect(addr),
+    }
+    .map_err(ClientError::from)?;
+    stream.set_nodelay(true).map_err(ClientError::from)?;
+    stream
+        .set_read_timeout(config.read_timeout)
+        .map_err(ClientError::from)?;
+    stream
+        .set_write_timeout(config.write_timeout)
+        .map_err(ClientError::from)?;
+    Ok(stream)
 }
 
 /// The wire-framing check: push frames lead with the `push` key (see
@@ -172,13 +400,8 @@ fn is_push(line: &str) -> bool {
     line.starts_with("{\"push\":")
 }
 
-fn parse_line(line: &str) -> std::io::Result<Json> {
-    json::parse(line).map_err(|e| {
-        std::io::Error::new(
-            std::io::ErrorKind::InvalidData,
-            format!("unparseable response '{line}': {e}"),
-        )
-    })
+fn parse_line(line: &str) -> Result<Json, ClientError> {
+    json::parse(line).map_err(|e| ClientError::Protocol(format!("unparseable line '{line}': {e}")))
 }
 
 /// A `query`-shaped request body under `verb`.
@@ -198,6 +421,33 @@ fn query_body(verb: &str, group: &[u32], items: Option<&[u32]>, k: Option<usize>
     }
     if let Some(k) = k {
         pairs.push(("k", Json::num(k as f64)));
+    }
+    Json::obj(pairs)
+}
+
+/// An `ingest` request body, optionally keyed for idempotent retry.
+fn ingest_body(ratings: &[(u32, u32, f32, i64)], batch_key: Option<u64>) -> Json {
+    let mut pairs = vec![
+        ("verb", Json::str("ingest")),
+        (
+            "ratings",
+            Json::Arr(
+                ratings
+                    .iter()
+                    .map(|&(u, i, v, ts)| {
+                        Json::Arr(vec![
+                            Json::num(u),
+                            Json::num(i),
+                            Json::num(f64::from(v)),
+                            Json::num(ts as f64),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ];
+    if let Some(key) = batch_key {
+        pairs.push(("batch", Json::num(key as f64)));
     }
     Json::obj(pairs)
 }

@@ -67,12 +67,14 @@ pub mod server;
 
 pub use admission::{ResponseSlot, Submission, VerbQueue};
 pub use cache::{CacheError, CacheOutcome, CacheStats, ResultCache};
-pub use client::Client;
+pub use client::{Client, ClientConfig, ClientError};
 pub use json::Json;
 pub use metrics::{Histogram, Metrics, VerbMetrics};
 pub use protocol::{IngestRequest, QueryRequest, Request};
 pub use server::{GrecaServer, ServerHandle};
 
+use greca_core::FaultPlan;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Server configuration. The defaults suit tests and examples; a
@@ -112,6 +114,14 @@ pub struct ServeConfig {
     /// bit-identical to recomputing: a surviving entry's result cannot
     /// depend on anything the publish changed.
     pub selective_invalidation: bool,
+    /// Deterministic fault-injection plan consulted before every
+    /// socket read/write and queued-work execution (the engine's WAL
+    /// consults its own copy). `None` — the default in production —
+    /// injects nothing and costs one branch per operation. The default
+    /// is taken from the `GRECA_FAULT_PLAN` environment variable when
+    /// set (see [`FaultPlan::from_env`]), which is how CI re-runs the
+    /// ordinary serve test suites under a background fault schedule.
+    pub fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl Default for ServeConfig {
@@ -130,6 +140,7 @@ impl Default for ServeConfig {
             max_line_bytes: 8 << 20,
             world_label: "unlabeled".to_string(),
             selective_invalidation: true,
+            fault_plan: FaultPlan::from_env().map(Arc::new),
         }
     }
 }

@@ -164,6 +164,13 @@ pub struct Metrics {
     /// Push frames that failed to write (subscriber gone; the
     /// subscription is dropped).
     pub push_errors: AtomicU64,
+    /// Subscriptions retired because their connection's write half
+    /// failed mid-push (a strict subset of `push_errors` ticks: one
+    /// per subscription actually unregistered).
+    pub subscribers_dropped: AtomicU64,
+    /// Requests answered `deadline_exceeded`: their `deadline_ms`
+    /// budget ran out in the queue and the work was skipped.
+    pub deadline_exceeded: AtomicU64,
 }
 
 impl Metrics {
@@ -193,6 +200,8 @@ impl Metrics {
             ("sub_runs", load(&self.sub_runs)),
             ("push_count", load(&self.pushes)),
             ("push_errors", load(&self.push_errors)),
+            ("subscribers_dropped", load(&self.subscribers_dropped)),
+            ("deadline_exceeded", load(&self.deadline_exceeded)),
         ])
     }
 }

@@ -21,6 +21,15 @@
 //! An optional `id` of any JSON type is echoed verbatim in the
 //! response, for clients that pipeline.
 //!
+//! `query`, `subscribe` and `ingest` also accept `deadline_ms`: a
+//! per-request latency budget. A request still queued when its budget
+//! expires is answered `deadline_exceeded` instead of executing —
+//! cheaper than doing work whose caller has already given up on.
+//! `ingest` additionally accepts `batch`, a u64 client idempotency
+//! key: retrying an ingest whose acknowledgement was lost with the
+//! same key is a no-op answered with `duplicate: true` (see
+//! [`LiveEngine::stage_keyed`](greca_core::LiveEngine::stage_keyed)).
+//!
 //! ## Responses
 //!
 //! Every response carries `ok` plus the echoed `verb` (and `id` when
@@ -33,6 +42,11 @@
 //! * `overloaded` — the verb's admission queue was full; the request
 //!   was **not** executed and the client should back off (the
 //!   HTTP-429 analogue);
+//! * `deadline_exceeded` — the request's `deadline_ms` budget ran out
+//!   while it waited in the queue; it was **not** executed;
+//! * `degraded` — an ingest could not be made durable (the write-ahead
+//!   log is stalled); nothing was applied and the retry is idempotent.
+//!   Reads are *not* shed in this state — see below;
 //! * `shutting_down` — the server is draining;
 //! * `internal` — a worker panicked mid-execution.
 //!
@@ -41,6 +55,10 @@
 //! result: item ids with their `[lb, ub]` score envelopes (floats in
 //! shortest round-trip form, so the payload is bit-comparable to a
 //! direct engine run), access statistics, sweeps and the stop reason.
+//! While the engine's WAL is stalled, queries keep being answered from
+//! the last healthy epoch and gain two fields — `degraded: true` and
+//! `staleness_ms`, the age of that epoch — so clients can tell a
+//! fresh answer from a degraded-mode one.
 //!
 //! ## Push frames
 //!
@@ -117,6 +135,9 @@ pub struct QueryRequest {
     pub mode: Option<AffinityMode>,
     /// Consensus function; `None` = AP.
     pub consensus: Option<ConsensusFunction>,
+    /// Per-request latency budget in milliseconds; a request still
+    /// queued when it expires is answered `deadline_exceeded`.
+    pub deadline_ms: Option<u64>,
     /// Echoed request id.
     pub id: Option<Json>,
 }
@@ -128,6 +149,12 @@ pub struct IngestRequest {
     pub ratings: Vec<Rating>,
     /// `(user, item)` retractions.
     pub retractions: Vec<(UserId, ItemId)>,
+    /// Client idempotency key (`batch` on the wire): a key the engine
+    /// has already staged makes the request a no-op answered with
+    /// `duplicate: true`.
+    pub batch_key: Option<u64>,
+    /// Per-request latency budget in milliseconds.
+    pub deadline_ms: Option<u64>,
     /// Echoed request id.
     pub id: Option<Json>,
 }
@@ -153,6 +180,18 @@ fn bad(detail: impl Into<String>, id: Option<Json>) -> BadRequest {
 /// user/item).
 fn as_u32_id(v: &Json) -> Option<u32> {
     v.as_u64().and_then(|u| u32::try_from(u).ok())
+}
+
+/// An optional u64 wire field (`deadline_ms`, `batch`), erroring on an
+/// ill-typed value rather than silently ignoring it.
+fn u64_field(value: &Json, name: &str, id: &Option<Json>) -> Result<Option<u64>, BadRequest> {
+    match value.get(name) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| bad(format!("'{name}' must be a u64"), id.clone())),
+    }
 }
 
 /// Parse one request line's JSON into a [`Request`].
@@ -242,6 +281,7 @@ fn parse_query(value: &Json, id: Option<Json>) -> Result<QueryRequest, BadReques
         })?),
         Some(_) => return Err(bad("'consensus' must be a string", id)),
     };
+    let deadline_ms = u64_field(value, "deadline_ms", &id)?;
     Ok(QueryRequest {
         group,
         items,
@@ -249,6 +289,7 @@ fn parse_query(value: &Json, id: Option<Json>) -> Result<QueryRequest, BadReques
         period,
         mode,
         consensus,
+        deadline_ms,
         id,
     })
 }
@@ -316,9 +357,13 @@ fn parse_ingest(value: &Json, id: Option<Json>) -> Result<IngestRequest, BadRequ
     if ratings.is_empty() && retractions.is_empty() {
         return Err(bad("ingest needs 'ratings' and/or 'retract'", id));
     }
+    let batch_key = u64_field(value, "batch", &id)?;
+    let deadline_ms = u64_field(value, "deadline_ms", &id)?;
     Ok(IngestRequest {
         ratings,
         retractions,
+        batch_key,
+        deadline_ms,
         id,
     })
 }
@@ -377,10 +422,24 @@ fn result_pairs(result: &TopKResult, epoch: u64) -> Vec<(String, Json)> {
     ]
 }
 
-/// A successful `query` response line.
-pub fn query_response(result: &TopKResult, epoch: u64, cache: &str, id: &Option<Json>) -> String {
+/// A successful `query` response line. `degraded` is `Some(age_ms)`
+/// when the engine's WAL is stalled and the answer comes from the last
+/// healthy epoch: the response gains `degraded: true` and
+/// `staleness_ms` so the client can tell (the fields are absent on a
+/// healthy serve, keeping the common-case payload unchanged).
+pub fn query_response(
+    result: &TopKResult,
+    epoch: u64,
+    cache: &str,
+    degraded: Option<u64>,
+    id: &Option<Json>,
+) -> String {
     let mut pairs = response_head(true, "query", id);
     pairs.push(("cache".to_string(), Json::str(cache)));
+    if let Some(staleness_ms) = degraded {
+        pairs.push(("degraded".to_string(), Json::Bool(true)));
+        pairs.push(("staleness_ms".to_string(), Json::num(staleness_ms as f64)));
+    }
     pairs.extend(result_pairs(result, epoch));
     Json::Obj(pairs).to_line()
 }
@@ -516,6 +575,56 @@ mod tests {
                 err.detail
             );
         }
+    }
+
+    #[test]
+    fn parses_deadline_and_batch_key() {
+        let v = parse(r#"{"verb":"query","group":[1],"deadline_ms":250}"#).unwrap();
+        match parse_request(&v).unwrap() {
+            Request::Query(q) => assert_eq!(q.deadline_ms, Some(250)),
+            other => panic!("{other:?}"),
+        }
+        let v = parse(r#"{"verb":"ingest","ratings":[[1,2,3.0,0]],"batch":77,"deadline_ms":100}"#)
+            .unwrap();
+        match parse_request(&v).unwrap() {
+            Request::Ingest(i) => {
+                assert_eq!(i.batch_key, Some(77));
+                assert_eq!(i.deadline_ms, Some(100));
+            }
+            other => panic!("{other:?}"),
+        }
+        for line in [
+            r#"{"verb":"query","group":[1],"deadline_ms":"soon"}"#,
+            r#"{"verb":"ingest","ratings":[[1,2,3.0,0]],"batch":-1}"#,
+        ] {
+            let v = parse(line).unwrap();
+            assert!(parse_request(&v).is_err(), "{line}");
+        }
+    }
+
+    #[test]
+    fn degraded_queries_carry_staleness_and_healthy_ones_do_not() {
+        use greca_core::{AccessStats, StopReason, TopKResult};
+        let result = TopKResult {
+            items: Vec::new(),
+            stats: AccessStats {
+                sa: 0,
+                ra: 0,
+                total_entries: 0,
+            },
+            sweeps: 0,
+            stop_reason: StopReason::Exhausted,
+        };
+        let healthy = parse(&query_response(&result, 3, "miss", None, &None)).unwrap();
+        assert!(healthy.get("degraded").is_none());
+        assert!(healthy.get("staleness_ms").is_none());
+        let degraded = parse(&query_response(&result, 3, "hit", Some(1234), &None)).unwrap();
+        assert_eq!(degraded.get("degraded").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            degraded.get("staleness_ms").and_then(Json::as_u64),
+            Some(1234)
+        );
+        assert_eq!(degraded.get("epoch").and_then(Json::as_u64), Some(3));
     }
 
     #[test]

@@ -38,14 +38,17 @@ use crate::json::Json;
 use crate::metrics::Metrics;
 use crate::protocol::{self, IngestRequest, QueryRequest, Request};
 use crate::ServeConfig;
-use greca_core::{LiveEngine, PublishDelta, QueryFootprint, SharedMemberState, TopKResult};
+use greca_core::{
+    FaultCtx, FaultPlan, IoFault, LiveEngine, PublishDelta, QueryError, QueryFootprint,
+    SharedMemberState, TopKResult,
+};
 use greca_dataset::Group;
 use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Recover a poisoned guard: every mutex in this module protects
 /// structurally-sound plain data (no invariants span the lock), so a
@@ -124,6 +127,9 @@ struct Shared {
     /// enough to be worth shipping) — surfaced by `stats` so operators
     /// and downstream caches can see what the last swap invalidated.
     last_dirty: Mutex<Option<String>>,
+    /// Deterministic fault-injection plan for socket and worker I/O
+    /// ([`crate::ServeConfig::fault_plan`]); `None` injects nothing.
+    fault: Option<Arc<FaultPlan>>,
     started: Instant,
 }
 
@@ -196,6 +202,7 @@ impl<'live, 'pop> GrecaServer<'live, 'pop> {
             }),
             pending_cv: Condvar::new(),
             last_dirty: Mutex::new(None),
+            fault: config.fault_plan.clone(),
             started: Instant::now(),
         });
         // The epoch-handoff integration: one hook, registered once,
@@ -276,6 +283,25 @@ impl<'live, 'pop> GrecaServer<'live, 'pop> {
     /// The server's metrics registry.
     pub fn metrics(&self) -> &Metrics {
         &self.shared.metrics
+    }
+
+    /// Consult the fault plan (when configured) before one socket or
+    /// worker operation. `Delay` faults are slept out here; anything
+    /// else is returned for the call site to apply.
+    fn inject(&self, ctx: FaultCtx) -> Option<IoFault> {
+        let plan = self.shared.fault.as_deref()?;
+        FaultPlan::maybe_sleep(plan.decide(ctx))
+    }
+
+    /// Write one line on a connection's shared write half, consulting
+    /// the fault plan's socket-write channel first. `false` means the
+    /// peer is (treated as) gone — an injected drop behaves exactly
+    /// like a real dead socket.
+    fn write_line(&self, writer: &Arc<Mutex<TcpStream>>, line: &str) -> bool {
+        if self.inject(FaultCtx::SockWrite).is_some() {
+            return false;
+        }
+        writeln!(lock_ok(writer), "{line}").is_ok()
     }
 
     /// Serve until [`ServerHandle::shutdown`]. Blocks the calling
@@ -418,16 +444,24 @@ impl<'live, 'pop> GrecaServer<'live, 'pop> {
                 }
             };
             if let Some(frame) = frame {
-                let wrote = writeln!(lock_ok(&sub.writer), "{frame}").is_ok();
+                let wrote = self.write_line(&sub.writer, &frame);
                 if wrote {
                     self.shared.metrics.pushes.fetch_add(1, Ordering::Relaxed);
                 } else {
-                    // The subscriber is gone; retire the subscription.
+                    // The subscriber is gone; retire the subscription
+                    // so the pump never spins on a dead socket. The
+                    // drop is counted separately from raw push errors:
+                    // one tick per subscription actually unregistered.
                     self.shared
                         .metrics
                         .push_errors
                         .fetch_add(1, Ordering::Relaxed);
-                    lock_ok(&self.shared.subs).remove(&sub.id);
+                    if lock_ok(&self.shared.subs).remove(&sub.id).is_some() {
+                        self.shared
+                            .metrics
+                            .subscribers_dropped
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
                 }
             }
         }
@@ -484,6 +518,12 @@ impl<'live, 'pop> GrecaServer<'live, 'pop> {
             if self.shared.shutdown.load(Ordering::SeqCst) {
                 return false;
             }
+            // An injected read fault behaves like the peer resetting
+            // the connection: the loop exits and the connection's
+            // subscriptions are retired, same as a real dead socket.
+            if self.inject(FaultCtx::SockRead).is_some() {
+                return true;
+            }
             let (consumed, complete) = {
                 let chunk = match reader.fill_buf() {
                     Ok([]) => return true, // EOF (a trailing partial line is not a request)
@@ -521,7 +561,7 @@ impl<'live, 'pop> GrecaServer<'live, 'pop> {
                     &format!("request line exceeds the {cap}-byte limit"),
                     &None,
                 );
-                let _ = writeln!(lock_ok(writer), "{response}");
+                self.write_line(writer, &response);
                 return true; // the remainder of the oversized line is garbage
             }
             if !complete {
@@ -543,7 +583,7 @@ impl<'live, 'pop> GrecaServer<'live, 'pop> {
                 }
             };
             acc.clear();
-            if writeln!(lock_ok(writer), "{response}").is_err() {
+            if !self.write_line(writer, &response) {
                 return true;
             }
         }
@@ -614,13 +654,21 @@ impl<'live, 'pop> GrecaServer<'live, 'pop> {
                     self.shared.metrics.query.served(t0.elapsed(), true);
                     return response;
                 }
-                self.submit(&queues.query, "query", q.id.clone(), move || {
-                    self.handle_query(&q)
-                })
+                self.submit(
+                    &queues.query,
+                    "query",
+                    q.id.clone(),
+                    q.deadline_ms,
+                    move || self.handle_query(&q),
+                )
             }
-            Request::Ingest(i) => self.submit(&queues.ingest, "ingest", i.id.clone(), move || {
-                self.handle_ingest(&i)
-            }),
+            Request::Ingest(i) => self.submit(
+                &queues.ingest,
+                "ingest",
+                i.id.clone(),
+                i.deadline_ms,
+                move || self.handle_ingest(&i),
+            ),
             Request::Subscribe(q) => {
                 // Assign the id and register *on the connection thread*,
                 // before the baseline runs: the conservative footprint
@@ -640,9 +688,13 @@ impl<'live, 'pop> GrecaServer<'live, 'pop> {
                     }),
                 });
                 lock_ok(&self.shared.subs).insert(sub_id, Arc::clone(&sub));
-                let response = self.submit(&queues.query, "subscribe", q.id.clone(), move || {
-                    self.handle_subscribe(&sub)
-                });
+                let response = self.submit(
+                    &queues.query,
+                    "subscribe",
+                    q.id.clone(),
+                    q.deadline_ms,
+                    move || self.handle_subscribe(&sub),
+                );
                 // A shed, drained, or failed baseline leaves no live
                 // subscription (success lines always lead with the `ok`
                 // key — the same invariant push-frame framing rests on).
@@ -732,11 +784,18 @@ impl<'live, 'pop> GrecaServer<'live, 'pop> {
     /// shedding immediately when it is full. The recorded latency spans
     /// queue wait + execution (what the client experiences minus
     /// network).
+    ///
+    /// `deadline_ms` is the request's latency budget: a job whose
+    /// budget has already elapsed by the time a worker picks it up is
+    /// answered `deadline_exceeded` without executing — under
+    /// overload, work the caller has abandoned is the cheapest work to
+    /// shed.
     fn submit<'env>(
         &'env self,
         queue: &VerbQueue<'env>,
         verb: &'static str,
         id: Option<Json>,
+        deadline_ms: Option<u64>,
         work: impl FnOnce() -> (String, bool) + Send + 'env,
     ) -> String {
         let t0 = Instant::now();
@@ -759,6 +818,29 @@ impl<'live, 'pop> GrecaServer<'live, 'pop> {
                 }
             }
             let release = Release(&job_slot, verb, id.clone());
+            if let Some(budget) = deadline_ms {
+                if t0.elapsed() > Duration::from_millis(budget) {
+                    self.shared
+                        .metrics
+                        .deadline_exceeded
+                        .fetch_add(1, Ordering::Relaxed);
+                    std::mem::forget(release);
+                    job_slot.fill(protocol::error_response(
+                        verb,
+                        "deadline_exceeded",
+                        &format!("request spent more than its {budget} ms budget queued"),
+                        &id,
+                    ));
+                    return;
+                }
+            }
+            // The worker-panic channel: an injected `Panic` exercises
+            // the release guard above end-to-end (the waiter gets the
+            // typed `internal` response, the worker thread dies, and
+            // the server keeps serving on the remaining workers).
+            if let Some(IoFault::Panic) = self.inject(FaultCtx::Work) {
+                panic!("injected fault: worker panic");
+            }
             let (response, ok) = work();
             std::mem::forget(release);
             job_ok.store(ok, Ordering::Relaxed);
@@ -786,6 +868,17 @@ impl<'live, 'pop> GrecaServer<'live, 'pop> {
         }
     }
 
+    /// The degraded-mode annotation for read responses: `Some(age)` of
+    /// the serving epoch when the engine's WAL is stalled. Queries are
+    /// *served* in this state, never shed — the whole point of keeping
+    /// reads on the last healthy epoch — but the client is told the
+    /// answer's staleness bound.
+    fn degraded_staleness(&self) -> Option<u64> {
+        let health = self.live.health();
+        (health.wal_attached && health.wal_stalled)
+            .then(|| health.staleness.as_millis().min(u128::from(u64::MAX)) as u64)
+    }
+
     /// Answer a query from the result cache without queueing, when a
     /// resident entry exists at the current epoch.
     fn try_cached_query(&self, q: &QueryRequest) -> Option<String> {
@@ -794,7 +887,13 @@ impl<'live, 'pop> GrecaServer<'live, 'pop> {
         let engine = pin.engine();
         let query = build_query(&engine, &group, q);
         let top = self.shared.cache.try_get(pin.epoch(), &query.cache_key())?;
-        Some(protocol::query_response(&top, pin.epoch(), "hit", &q.id))
+        Some(protocol::query_response(
+            &top,
+            pin.epoch(),
+            "hit",
+            self.degraded_staleness(),
+            &q.id,
+        ))
     }
 
     /// Execute one query through the epoch-pinned engine and the result
@@ -826,7 +925,13 @@ impl<'live, 'pop> GrecaServer<'live, 'pop> {
             .get_or_compute(epoch, key, || query.run_shared(&plan_state));
         match result {
             Ok(top) => (
-                protocol::query_response(&top, epoch, outcome.label(), &q.id),
+                protocol::query_response(
+                    &top,
+                    epoch,
+                    outcome.label(),
+                    self.degraded_staleness(),
+                    &q.id,
+                ),
                 true,
             ),
             Err(CacheError::Query(e)) => (
@@ -846,14 +951,47 @@ impl<'live, 'pop> GrecaServer<'live, 'pop> {
     }
 
     /// Stage + publish one delta batch. Returns `(response line, ok)`.
+    ///
+    /// The batch goes through [`LiveEngine::stage_keyed`]: with a
+    /// `batch` idempotency key, a retry of an already-staged batch is
+    /// a no-op answered `duplicate: true` instead of double-applying.
+    /// A WAL failure (append or commit) answers `degraded` — the typed
+    /// signal that nothing was applied, nothing was lost, and the
+    /// retry is safe — while queries keep being served.
     fn handle_ingest(&self, req: &IngestRequest) -> (String, bool) {
-        if let Err(e) = self.live.stage(&req.ratings) {
-            return (
-                protocol::error_response("ingest", "rejected", &e.to_string(), &req.id),
-                false,
-            );
+        let code_of = |e: &QueryError| match e {
+            QueryError::Wal { .. } => "degraded",
+            _ => "rejected",
+        };
+        let staged = match self
+            .live
+            .stage_keyed(req.batch_key, &req.ratings, &req.retractions)
+        {
+            Ok(staged) => staged,
+            Err(e) => {
+                return (
+                    protocol::error_response("ingest", code_of(&e), &e.to_string(), &req.id),
+                    false,
+                )
+            }
+        };
+        if staged.duplicate {
+            // Already staged (and possibly published) under this key:
+            // acknowledge without re-applying or re-publishing.
+            let mut pairs = vec![
+                ("ok".to_string(), Json::Bool(true)),
+                ("verb".to_string(), Json::str("ingest")),
+            ];
+            if let Some(id) = &req.id {
+                pairs.push(("id".to_string(), id.clone()));
+            }
+            pairs.extend([
+                ("epoch".to_string(), Json::num(self.live.epoch() as f64)),
+                ("batch_id".to_string(), Json::num(staged.batch_id as f64)),
+                ("duplicate".to_string(), Json::Bool(true)),
+            ]);
+            return (Json::Obj(pairs).to_line(), true);
         }
-        self.live.stage_retractions(&req.retractions);
         match self.live.publish() {
             Ok(report) => {
                 let mut pairs = vec![
@@ -865,6 +1003,8 @@ impl<'live, 'pop> GrecaServer<'live, 'pop> {
                 }
                 pairs.extend([
                     ("epoch".to_string(), Json::num(report.epoch as f64)),
+                    ("batch_id".to_string(), Json::num(staged.batch_id as f64)),
+                    ("duplicate".to_string(), Json::Bool(false)),
                     ("upserts".to_string(), Json::num(report.upserts as f64)),
                     (
                         "retractions".to_string(),
@@ -891,17 +1031,18 @@ impl<'live, 'pop> GrecaServer<'live, 'pop> {
                 (Json::Obj(pairs).to_line(), true)
             }
             Err(e) => (
-                protocol::error_response("ingest", "rejected", &e.to_string(), &req.id),
+                protocol::error_response("ingest", code_of(&e), &e.to_string(), &req.id),
                 false,
             ),
         }
     }
 
     fn handle_health(&self) -> String {
+        let health = self.live.health();
         Json::obj(vec![
             ("ok", Json::Bool(true)),
             ("verb", Json::str("health")),
-            ("epoch", Json::num(self.live.epoch() as f64)),
+            ("epoch", Json::num(health.epoch as f64)),
             (
                 "uptime_ms",
                 Json::num(self.shared.started.elapsed().as_millis() as f64),
@@ -910,6 +1051,19 @@ impl<'live, 'pop> GrecaServer<'live, 'pop> {
                 "draining",
                 Json::Bool(self.shared.shutdown.load(Ordering::SeqCst)),
             ),
+            ("wal_attached", Json::Bool(health.wal_attached)),
+            // `degraded` on the wire == the engine's WAL is stalled:
+            // mutations fail typed, reads keep serving this epoch.
+            (
+                "degraded",
+                Json::Bool(health.wal_attached && health.wal_stalled),
+            ),
+            (
+                "staleness_ms",
+                Json::num(health.staleness.as_millis() as f64),
+            ),
+            ("staged", Json::num(health.staged as f64)),
+            ("last_batch", Json::num(health.last_batch as f64)),
         ])
         .to_line()
     }
@@ -994,7 +1148,34 @@ impl<'live, 'pop> GrecaServer<'live, 'pop> {
                     ("sub_runs", load(&self.shared.metrics.sub_runs)),
                     ("push_count", load(&self.shared.metrics.pushes)),
                     ("push_errors", load(&self.shared.metrics.push_errors)),
+                    (
+                        "subscribers_dropped",
+                        load(&self.shared.metrics.subscribers_dropped),
+                    ),
                 ]),
+            ),
+            ("health", {
+                let health = self.live.health();
+                Json::obj(vec![
+                    ("wal_attached", Json::Bool(health.wal_attached)),
+                    (
+                        "degraded",
+                        Json::Bool(health.wal_attached && health.wal_stalled),
+                    ),
+                    (
+                        "staleness_ms",
+                        Json::num(health.staleness.as_millis() as f64),
+                    ),
+                    ("staged", Json::num(health.staged as f64)),
+                    ("last_batch", Json::num(health.last_batch as f64)),
+                ])
+            }),
+            (
+                "faults_injected",
+                match self.shared.fault.as_deref() {
+                    Some(plan) => Json::num(plan.injected().len() as f64),
+                    None => Json::Null,
+                },
             ),
             (
                 "last_dirty",

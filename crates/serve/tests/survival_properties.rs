@@ -259,7 +259,8 @@ proptest! {
             let seen = deltas.lock().unwrap().len();
             for e in batch {
                 if e.retract {
-                    live.stage_retractions(&[(UserId(e.user as u32), ItemId(e.item as u32))]);
+                    live.stage_retractions(&[(UserId(e.user as u32), ItemId(e.item as u32))])
+                        .unwrap();
                 } else {
                     live.stage(&[Rating {
                         user: UserId(e.user as u32),
