@@ -310,9 +310,20 @@ impl FaultPlan {
             .map(|s| s.fault);
 
         if hit.is_none() {
-            for rule in self.rules.iter().filter(|r| r.ctx == ctx) {
+            for (ri, rule) in self.rules.iter().enumerate() {
+                if rule.ctx != ctx {
+                    continue;
+                }
+                // Mix the rule's index into the draw so stacked rules
+                // on one channel roll independently per op — with one
+                // shared draw the first matching rule would shadow the
+                // rest forever (a draw under its threshold fires it; a
+                // draw over it is over every lower threshold too).
                 let draw = splitmix64(
-                    self.seed ^ (ctx.index() as u64).rotate_left(32) ^ op.wrapping_mul(0x9e3b),
+                    self.seed
+                        ^ (ctx.index() as u64).rotate_left(32)
+                        ^ op.wrapping_mul(0x9e3b)
+                        ^ (ri as u64).rotate_left(48),
                 );
                 if draw % 1000 < rule.per_mille as u64 {
                     hit = Some(rule.fault);
@@ -470,6 +481,26 @@ mod tests {
         let hits = runs[0].iter().filter(|f| f.is_some()).count();
         assert!(hits > 0, "300‰ over 64 ops should fire at least once");
         assert!(hits < 64, "300‰ should not fire every time");
+    }
+
+    #[test]
+    fn stacked_rules_on_one_channel_fire_independently() {
+        // Two equal-threshold rules on one channel: sharing a single
+        // draw, the first would decide for both and the second could
+        // never fire. Each rule rolls its own draw, so both fault
+        // kinds show up over enough ops.
+        let plan = FaultPlan::new(7)
+            .rule(FaultCtx::SockWrite, 150, IoFault::DropConn)
+            .rule(FaultCtx::SockWrite, 150, IoFault::Fail);
+        for _ in 0..512 {
+            plan.decide(FaultCtx::SockWrite);
+        }
+        let injected = plan.injected();
+        assert!(injected.iter().any(|f| f.fault == IoFault::DropConn));
+        assert!(
+            injected.iter().any(|f| f.fault == IoFault::Fail),
+            "the second rule must get an independent draw, not the first rule's shadow"
+        );
     }
 
     #[test]

@@ -80,7 +80,7 @@ use greca_cf::{
 use greca_dataset::{Group, ItemId, Rating, RatingMatrix, UserId};
 use std::collections::{HashMap, VecDeque};
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -310,10 +310,15 @@ struct SeenKeys {
     order: VecDeque<u64>,
 }
 
-/// How many client idempotency keys the engine remembers. A retry
-/// storm older than this window deduplicates by batch-id watermark in
-/// the WAL instead; live clients retry within seconds, so a few
-/// thousand keys of memory is plenty.
+/// How many client idempotency keys the engine remembers, oldest
+/// evicted first. Eviction bounds memory but narrows the dedup window:
+/// a retry whose key has aged out is restaged as a brand-new batch
+/// with a fresh id — the WAL's batch-id watermark only dedupes replay
+/// of already-logged batches, not fresh retries — and keep-latest
+/// staging can then overwrite a newer rating for the same
+/// `(user, item)` with the stale payload. Live clients retry within
+/// seconds, so thousands of keys of headroom confines that hazard to
+/// pathologically late retries.
 const SEEN_KEYS_CAP: usize = 4096;
 
 impl SeenKeys {
@@ -356,8 +361,14 @@ pub struct LiveEngine<'a> {
     /// Latched when a WAL append/commit fails; cleared by the next
     /// successful publish (see [`LiveHealth::wal_stalled`]).
     wal_stalled: AtomicBool,
-    /// Instant of the last successful publish (or engine creation).
-    last_publish: Mutex<Instant>,
+    /// Engine creation instant — the base the atomic publish timestamp
+    /// below is measured against.
+    created: Instant,
+    /// Milliseconds since `created` of the last successful publish (0
+    /// until the first one). Atomic so read paths can compute the
+    /// staleness bound without taking any lock — in particular without
+    /// queueing behind a publish holding the staging store.
+    last_publish_ms: AtomicU64,
     /// Dirty-coverage fraction at which a publish abandons per-segment
     /// work for one wholesale rebuild (see
     /// [`LiveEngine::with_full_rebuild_fraction`]).
@@ -456,7 +467,8 @@ impl<'a> LiveEngine<'a> {
             wal: None,
             seen_keys: Mutex::new(SeenKeys::default()),
             wal_stalled: AtomicBool::new(false),
-            last_publish: Mutex::new(Instant::now()),
+            created: Instant::now(),
+            last_publish_ms: AtomicU64::new(0),
             full_rebuild_fraction: DEFAULT_FULL_REBUILD_FRACTION,
             epoch_hooks: Mutex::new(Vec::new()),
             delta_hooks: Mutex::new(Vec::new()),
@@ -790,10 +802,31 @@ impl<'a> LiveEngine<'a> {
             epoch: self.epoch(),
             wal_attached: self.wal.is_some(),
             wal_stalled: self.wal_stalled.load(Ordering::Acquire),
-            staleness: lock_unpoisoned(&self.last_publish).elapsed(),
+            staleness: self.staleness(),
             staged,
             last_batch,
         }
+    }
+
+    /// Time since the last successful publish (or engine creation/
+    /// recovery), computed from the atomic publish timestamp.
+    fn staleness(&self) -> Duration {
+        let last = Duration::from_millis(self.last_publish_ms.load(Ordering::Acquire));
+        self.created.elapsed().saturating_sub(last)
+    }
+
+    /// Lock-free degraded probe for read paths: `Some(staleness of the
+    /// serving epoch)` while an attached WAL is stalled, `None` when
+    /// healthy (or no WAL is attached).
+    ///
+    /// Unlike [`LiveEngine::health`], which snapshots the staging
+    /// store, this takes no lock at all — a query response can
+    /// annotate itself without queueing behind an in-flight publish
+    /// that holds the store for the whole epoch rebuild, preserving
+    /// the invariant that readers are never blocked beyond the `Arc`
+    /// handoff.
+    pub fn degraded_staleness(&self) -> Option<Duration> {
+        (self.wal.is_some() && self.wal_stalled.load(Ordering::Acquire)).then(|| self.staleness())
     }
 
     /// Drain the staged deltas, rebuild the dirty preference segments,
@@ -919,7 +952,10 @@ impl<'a> LiveEngine<'a> {
             cur.cache = new_affinity_cache();
         }
         self.wal_stalled.store(false, Ordering::Release);
-        *lock_unpoisoned(&self.last_publish) = Instant::now();
+        self.last_publish_ms.store(
+            self.created.elapsed().as_millis().min(u128::from(u64::MAX)) as u64,
+            Ordering::Release,
+        );
         // Release the staging store before notifying, so hooks may pin
         // or stage (a later publish sees their staging) without
         // deadlocking on the lock this publish still holds.
@@ -1375,11 +1411,14 @@ mod tests {
         assert_eq!(live.epoch(), 0);
         assert_eq!(live.staged(), 1);
         assert!(live.health().wal_stalled);
+        // The lock-free probe read paths use agrees with health().
+        assert!(live.degraded_staleness().is_some());
         // The retry commits and clears the stall.
         let report = live.publish().unwrap();
         assert_eq!(report.epoch, 1);
         assert_eq!(report.upserts, 1);
         assert!(!live.health().wal_stalled);
+        assert_eq!(live.degraded_staleness(), None);
         assert_eq!(
             live.pin().matrix().get(UserId(2), ItemId(1)),
             Some(5.0),

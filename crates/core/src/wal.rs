@@ -417,6 +417,24 @@ impl Wal {
             return Ok((wal, Vec::new(), RecoverySummary::default()));
         }
 
+        // Committed history must be contiguous: a missing middle
+        // segment (deleted, lost, restored from a partial backup)
+        // would otherwise be silently concatenated into a gapped
+        // replay — the same class of corruption as an invalid frame
+        // in a non-final segment, and refused the same way.
+        let first = segments[0].0;
+        for (i, (index, _)) in segments.iter().enumerate() {
+            let expected = first + i as u64;
+            if *index != expected {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "WAL segment gap: expected wal-{expected:06}.log, found wal-{index:06}.log"
+                    ),
+                ));
+            }
+        }
+
         let mut records = Vec::new();
         let mut summary = RecoverySummary {
             segments: segments.len(),
@@ -798,6 +816,29 @@ mod tests {
         fs::write(&p, &bytes).unwrap();
         let err = Wal::recover(&dir, options).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recovery_refuses_a_missing_middle_segment() {
+        let dir = tmpdir("gap");
+        let options = WalOptions {
+            segment_bytes: 64,
+            ..WalOptions::default()
+        };
+        let mut wal = Wal::create(&dir, options.clone()).unwrap();
+        for i in 0..9 {
+            wal.append(&batch(i, 2)).unwrap();
+        }
+        assert!(wal.segment_index() >= 2, "need a middle segment to lose");
+        drop(wal);
+        // A deleted middle segment is a hole in committed history, not
+        // a torn tail: recovery must refuse rather than silently
+        // concatenate the survivors into a gapped replay.
+        fs::remove_file(segment_path(&dir, 1)).unwrap();
+        let err = Wal::recover(&dir, options).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{err}");
+        assert!(err.to_string().contains("gap"), "{err}");
         fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -872,11 +872,15 @@ impl<'live, 'pop> GrecaServer<'live, 'pop> {
     /// the serving epoch when the engine's WAL is stalled. Queries are
     /// *served* in this state, never shed — the whole point of keeping
     /// reads on the last healthy epoch — but the client is told the
-    /// answer's staleness bound.
+    /// answer's staleness bound. Runs on every query response (cache
+    /// hits included), so it uses the engine's lock-free probe rather
+    /// than `health()` — the latter snapshots the staging store, which
+    /// a publish holds for the whole epoch rebuild, and reads must not
+    /// queue behind that.
     fn degraded_staleness(&self) -> Option<u64> {
-        let health = self.live.health();
-        (health.wal_attached && health.wal_stalled)
-            .then(|| health.staleness.as_millis().min(u128::from(u64::MAX)) as u64)
+        self.live
+            .degraded_staleness()
+            .map(|s| s.as_millis().min(u128::from(u64::MAX)) as u64)
     }
 
     /// Answer a query from the result cache without queueing, when a
@@ -976,8 +980,26 @@ impl<'live, 'pop> GrecaServer<'live, 'pop> {
             }
         };
         if staged.duplicate {
-            // Already staged (and possibly published) under this key:
-            // acknowledge without re-applying or re-publishing.
+            // Already staged under this key — but staged is not
+            // committed: if the publish that should have committed the
+            // original attempt failed (WAL stall), the batch is still
+            // sitting in the staging store, neither visible to queries
+            // nor durable. In that case re-attempt the publish before
+            // acknowledging, so `ok: true` always means "committed";
+            // while the WAL keeps failing the retry is answered
+            // `degraded` again — never a false ack a crash could lose.
+            // (`staged() == 0` means every staged batch has been
+            // published: a failed publish re-stages its drained batch
+            // under the store lock it holds throughout, so there is no
+            // window where an uncommitted batch is invisible here.)
+            if self.live.staged() > 0 {
+                if let Err(e) = self.live.publish() {
+                    return (
+                        protocol::error_response("ingest", code_of(&e), &e.to_string(), &req.id),
+                        false,
+                    );
+                }
+            }
             let mut pairs = vec![
                 ("ok".to_string(), Json::Bool(true)),
                 ("verb".to_string(), Json::str("ingest")),

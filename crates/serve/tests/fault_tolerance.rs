@@ -202,6 +202,72 @@ fn keyed_ingest_is_idempotent_over_the_wire() {
     });
 }
 
+/// A keyed ingest whose *commit* failed leaves its batch staged (not
+/// committed) and its key remembered. The retry hits the duplicate
+/// branch — and must not be false-acked off the idempotency map: it
+/// re-attempts the publish, answering `degraded` again while the WAL
+/// still fails, and acking only once the batch is really committed.
+#[test]
+fn keyed_retry_after_failed_commit_publishes_instead_of_false_acking() {
+    let (matrix, pop, items) = world();
+    let dir = scratch_dir("dup-commit");
+    // WAL write op 0 is the batch append (succeeds); op 1 is the
+    // commit marker (disk full → degraded, batch restaged); op 2 is
+    // the commit re-attempted by the first retry (still full); op 3,
+    // the second retry's commit, lands.
+    let plan = Arc::new(
+        FaultPlan::new(17)
+            .schedule(FaultCtx::WalWrite, 1, IoFault::DiskFull)
+            .schedule(FaultCtx::WalWrite, 2, IoFault::DiskFull),
+    );
+    let wal_options = WalOptions {
+        fault: Some(Arc::clone(&plan)),
+        ..WalOptions::default()
+    };
+    let wal = Wal::create(&dir, wal_options).unwrap();
+    let live = LiveEngine::new(&pop, LiveModel::Raw, &matrix, &items)
+        .unwrap()
+        .with_wal(wal);
+    let server = GrecaServer::bind(&live, quiet_config()).unwrap();
+    let handle = server.handle();
+    std::thread::scope(|s| {
+        let _shutdown = ShutdownOnDrop(server.handle());
+        s.spawn(|| server.run());
+        let mut client = Client::connect(handle.addr()).unwrap();
+
+        let first = client.ingest_keyed(99, &[(0, 0, 5.0, 0)]).unwrap();
+        assert_eq!(ok_of(&first), Some(false), "{first:?}");
+        assert_eq!(code_of(&first), Some("degraded"));
+
+        // Retry while the WAL is still failing: the batch is staged
+        // but uncommitted, so `ok: true, duplicate: true` here would
+        // acknowledge a write a crash could lose.
+        let retry = client.ingest_keyed(99, &[(0, 0, 5.0, 0)]).unwrap();
+        assert_eq!(
+            ok_of(&retry),
+            Some(false),
+            "an uncommitted duplicate must not be acked: {retry:?}"
+        );
+        assert_eq!(code_of(&retry), Some("degraded"));
+
+        // The disk drains: this retry's publish commits the staged
+        // batch and the duplicate ack finally means "committed".
+        let committed = client.ingest_keyed(99, &[(0, 0, 5.0, 0)]).unwrap();
+        assert_eq!(ok_of(&committed), Some(true), "{committed:?}");
+        assert_eq!(
+            committed.get("duplicate").and_then(Json::as_bool),
+            Some(true)
+        );
+        assert_eq!(committed.get("epoch").and_then(Json::as_u64), Some(1));
+
+        let h = client.health().unwrap();
+        assert_eq!(h.get("degraded").and_then(Json::as_bool), Some(false));
+        assert_eq!(h.get("epoch").and_then(Json::as_u64), Some(1));
+        handle.shutdown();
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// A request whose `deadline_ms` budget is already spent when a worker
 /// picks it up is answered `deadline_exceeded` without executing; a
 /// generous budget is served normally.
