@@ -987,5 +987,6 @@ pub fn greca_topk_with(
         // Everything read: bounds are exact.
         kernel.refresh_bounds();
     }
+    let _consensus = crate::obs::phase(crate::obs::Phase::Consensus);
     kernel.finish(k, sweeps, stop_reason)
 }

@@ -66,6 +66,7 @@ pub mod interval;
 pub mod lists;
 pub mod live;
 pub mod naive;
+pub mod obs;
 pub mod plan;
 pub mod query;
 pub mod score;
@@ -84,10 +85,14 @@ pub use lists::{
     GrecaInputs, ListKind, ListLayout, ListView, MaterializedInputs, NonFiniteEntry, SortedList,
 };
 pub use live::{
-    EpochProvider, IngestReport, LiveEngine, LiveHealth, LiveModel, PinnedEpoch, PublishDelta,
-    RecoveryReport, StagedBatch,
+    EpochLineage, EpochProvider, IngestReport, LineageSummary, LiveEngine, LiveHealth, LiveModel,
+    PinnedEpoch, PublishDelta, RecoveryReport, StagedBatch, LINEAGE_CAP,
 };
 pub use naive::{naive_scores, naive_topk};
+pub use obs::{
+    CacheNote, FlightRecorder, ObsTotals, Phase, SpanGuard, SpanKind, SpanRecord, TraceFilter,
+    NUM_KINDS, NUM_PHASES,
+};
 pub use plan::{run_batch_with, PlanOptions, PlanStats, SharedMemberState};
 pub use query::{
     run_batch, Algorithm, BatchResult, GrecaEngine, GroupQuery, PreparedQuery, QueryError,

@@ -82,7 +82,21 @@ use std::collections::{HashMap, VecDeque};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime};
+
+/// Saturating nanoseconds since `start`.
+fn elapsed_ns(start: Instant) -> u64 {
+    start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
+}
+
+/// Wall clock, milliseconds since the Unix epoch (0 on a pre-1970
+/// clock).
+fn unix_now_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_millis().min(u128::from(u64::MAX)) as u64)
+        .unwrap_or(0)
+}
 
 /// Which preference model a [`LiveEngine`] re-derives dirty segments
 /// from at each epoch.
@@ -302,6 +316,73 @@ pub struct RecoveryReport {
     pub wal: RecoverySummary,
 }
 
+/// One epoch's lineage: what a publish folded in, what it invalidated,
+/// how it rebuilt, and where its wall clock went — the pipeline
+/// provenance record behind the serve layer's `stats` lineage block.
+/// The engine retains the most recent [`LINEAGE_CAP`] of these
+/// ([`LiveEngine::lineage_recent`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochLineage {
+    /// The epoch this publish produced.
+    pub epoch: u64,
+    /// Wall-clock publish time, milliseconds since the Unix epoch.
+    pub unix_ms: u64,
+    /// Rating upserts folded into this epoch.
+    pub upserts: usize,
+    /// Rating retractions folded into this epoch.
+    pub retractions: usize,
+    /// Users the batch invalidated (lower bound under a full rebuild —
+    /// see [`IngestReport::dirty_users`]).
+    pub dirty_users: usize,
+    /// Pair-affinity entries invalidated (same caveat).
+    pub dirty_pairs: usize,
+    /// Preference segments recomputed.
+    pub rebuilt_segments: usize,
+    /// Preference segments structurally shared with the prior epoch.
+    pub shared_segments: usize,
+    /// Whether the publish rebuilt the substrate wholesale.
+    pub full_rebuild: bool,
+    /// Staging wall clock: applying deltas + computing the dirty set.
+    pub stage_ns: u64,
+    /// Substrate rebuild wall clock (incremental or wholesale).
+    pub rebuild_ns: u64,
+    /// WAL commit-marker wall clock (0 with no WAL attached).
+    pub wal_ns: u64,
+    /// Epoch-swap wall clock (installing the new state).
+    pub swap_ns: u64,
+    /// End-to-end publish wall clock (from drain to swap, hooks
+    /// excluded).
+    pub total_ns: u64,
+}
+
+/// Publish-pipeline aggregates since engine creation/recovery — the
+/// summary half of the `stats` lineage block
+/// ([`LiveEngine::lineage_summary`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineageSummary {
+    /// The currently-published epoch.
+    pub epoch: u64,
+    /// Successful publishes since engine creation/recovery (an empty
+    /// drain is not a publish).
+    pub publishes: u64,
+    /// Publishes that fell back to a wholesale rebuild.
+    pub full_rebuilds: u64,
+    /// Wall-clock time of the last successful publish, milliseconds
+    /// since the Unix epoch (0 until the first one).
+    pub last_publish_unix_ms: u64,
+    /// WAL-stall windows entered since engine creation (each window is
+    /// one contiguous degraded span: first failed append/commit to the
+    /// next successful publish).
+    pub degraded_windows: u64,
+    /// Total milliseconds spent degraded, including the current window
+    /// while one is open.
+    pub degraded_ms_total: u64,
+}
+
+/// How many [`EpochLineage`] records the engine retains, oldest
+/// evicted first.
+pub const LINEAGE_CAP: usize = 64;
+
 /// Bounded client-key → batch-id memory backing idempotent ingest
 /// retries. Oldest keys are evicted first once the bound is hit.
 #[derive(Debug, Default)]
@@ -373,6 +454,22 @@ pub struct LiveEngine<'a> {
     /// work for one wholesale rebuild (see
     /// [`LiveEngine::with_full_rebuild_fraction`]).
     full_rebuild_fraction: f64,
+    /// Recent per-epoch lineage records, newest last (cap
+    /// [`LINEAGE_CAP`]).
+    lineage: Mutex<VecDeque<EpochLineage>>,
+    /// Successful publishes since creation/recovery.
+    publishes: AtomicU64,
+    /// Publishes that fell back to a wholesale rebuild.
+    full_rebuilds: AtomicU64,
+    /// Wall clock of the last successful publish (Unix ms; 0 = never).
+    last_publish_unix_ms: AtomicU64,
+    /// Degraded (WAL-stall) windows entered since creation.
+    degraded_windows: AtomicU64,
+    /// Total milliseconds spent in *closed* degraded windows.
+    degraded_ms_total: AtomicU64,
+    /// Engine-relative ms when the open degraded window began (0 =
+    /// none open).
+    stall_began_ms: AtomicU64,
     /// Epoch-swap observers (see [`LiveEngine::on_publish`]).
     epoch_hooks: Mutex<Vec<EpochHook>>,
     /// Epoch-swap observers that want the full publish delta (see
@@ -470,6 +567,13 @@ impl<'a> LiveEngine<'a> {
             created: Instant::now(),
             last_publish_ms: AtomicU64::new(0),
             full_rebuild_fraction: DEFAULT_FULL_REBUILD_FRACTION,
+            lineage: Mutex::new(VecDeque::new()),
+            publishes: AtomicU64::new(0),
+            full_rebuilds: AtomicU64::new(0),
+            last_publish_unix_ms: AtomicU64::new(0),
+            degraded_windows: AtomicU64::new(0),
+            degraded_ms_total: AtomicU64::new(0),
+            stall_began_ms: AtomicU64::new(0),
             epoch_hooks: Mutex::new(Vec::new()),
             delta_hooks: Mutex::new(Vec::new()),
             build_options,
@@ -720,7 +824,7 @@ impl<'a> LiveEngine<'a> {
                 retractions: retractions.to_vec(),
             };
             if let Err(e) = lock_unpoisoned(wal).append(&record) {
-                self.wal_stalled.store(true, Ordering::Release);
+                self.enter_stall();
                 return Err(QueryError::Wal {
                     detail: format!("append of batch {batch_id} failed: {e}"),
                 });
@@ -829,6 +933,62 @@ impl<'a> LiveEngine<'a> {
         (self.wal.is_some() && self.wal_stalled.load(Ordering::Acquire)).then(|| self.staleness())
     }
 
+    /// Milliseconds since engine creation (the base of the degraded
+    /// window accounting).
+    fn engine_ms(&self) -> u64 {
+        self.created.elapsed().as_millis().min(u128::from(u64::MAX)) as u64
+    }
+
+    /// Latch the WAL stall and, if this opens a new degraded window,
+    /// start its clock.
+    fn enter_stall(&self) {
+        self.wal_stalled.store(true, Ordering::Release);
+        let now = self.engine_ms().max(1);
+        if self
+            .stall_began_ms
+            .compare_exchange(0, now, Ordering::AcqRel, Ordering::Relaxed)
+            .is_ok()
+        {
+            self.degraded_windows.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Clear the WAL stall; if a degraded window was open, close it
+    /// and fold its duration into the total.
+    fn clear_stall(&self) {
+        self.wal_stalled.store(false, Ordering::Release);
+        let began = self.stall_began_ms.swap(0, Ordering::AcqRel);
+        if began != 0 {
+            let ms = self.engine_ms().saturating_sub(began);
+            self.degraded_ms_total.fetch_add(ms, Ordering::Relaxed);
+        }
+    }
+
+    /// The most recent per-epoch lineage records, oldest → newest, at
+    /// most `limit` (the engine retains [`LINEAGE_CAP`]).
+    pub fn lineage_recent(&self, limit: usize) -> Vec<EpochLineage> {
+        let lineage = lock_unpoisoned(&self.lineage);
+        let skip = lineage.len().saturating_sub(limit);
+        lineage.iter().skip(skip).copied().collect()
+    }
+
+    /// Publish-pipeline aggregates since engine creation/recovery.
+    pub fn lineage_summary(&self) -> LineageSummary {
+        let mut degraded_ms = self.degraded_ms_total.load(Ordering::Relaxed);
+        let began = self.stall_began_ms.load(Ordering::Acquire);
+        if began != 0 {
+            degraded_ms += self.engine_ms().saturating_sub(began);
+        }
+        LineageSummary {
+            epoch: self.epoch(),
+            publishes: self.publishes.load(Ordering::Relaxed),
+            full_rebuilds: self.full_rebuilds.load(Ordering::Relaxed),
+            last_publish_unix_ms: self.last_publish_unix_ms.load(Ordering::Relaxed),
+            degraded_windows: self.degraded_windows.load(Ordering::Relaxed),
+            degraded_ms_total: degraded_ms,
+        }
+    }
+
     /// Drain the staged deltas, rebuild the dirty preference segments,
     /// and atomically swap the result in as the next epoch (with a
     /// fresh, epoch-scoped group-affinity cache).
@@ -856,6 +1016,12 @@ impl<'a> LiveEngine<'a> {
                 full_rebuild: false,
             });
         }
+        // Standalone publishes get their own trace; a publish inside a
+        // served ingest attributes its stages to the ingest span (the
+        // nested guard is a no-op).
+        let obs_span = crate::obs::span(crate::obs::next_trace_id(), crate::obs::SpanKind::Publish);
+        let publish_start = Instant::now();
+        let stage_start = Instant::now();
         let post = Arc::new(prev.matrix.apply_deltas(&batch.upserts, &batch.retractions));
         let total_segments = prev.substrate.users().len();
         // When the dirty set covers (nearly) every segment, per-segment
@@ -882,6 +1048,9 @@ impl<'a> LiveEngine<'a> {
             .copied()
             .filter(|&u| prev.substrate.user_index(u).is_some())
             .collect();
+        let stage_ns = elapsed_ns(stage_start);
+        crate::obs::add_phase(crate::obs::Phase::Stage, stage_start.elapsed());
+        let rebuild_start = Instant::now();
         let substrate = if full_rebuild {
             let users = prev.substrate.users();
             let items = prev.substrate.items();
@@ -915,7 +1084,10 @@ impl<'a> LiveEngine<'a> {
                 }
             }
         };
+        let rebuild_ns = elapsed_ns(rebuild_start);
+        crate::obs::add_phase(crate::obs::Phase::Rebuild, rebuild_start.elapsed());
         let epoch = prev.epoch + 1;
+        let wal_start = Instant::now();
         // Commit point: the publish marker must be durable *before*
         // the swap makes the epoch observable (and before any caller
         // can acknowledge it). On failure nothing is applied — the
@@ -929,7 +1101,7 @@ impl<'a> LiveEngine<'a> {
                 through_batch: store.last_batch(),
             };
             if let Err(e) = lock_unpoisoned(wal).append(&commit) {
-                self.wal_stalled.store(true, Ordering::Release);
+                self.enter_stall();
                 store
                     .stage_all(&batch.upserts)
                     .expect("re-staging values already staged once");
@@ -941,6 +1113,12 @@ impl<'a> LiveEngine<'a> {
                 });
             }
         }
+        let wal_ns = if self.wal.is_some() {
+            elapsed_ns(wal_start)
+        } else {
+            0
+        };
+        let swap_start = Instant::now();
         let state = Arc::new(EpochState {
             epoch,
             matrix: post,
@@ -951,39 +1129,71 @@ impl<'a> LiveEngine<'a> {
             cur.state = state;
             cur.cache = new_affinity_cache();
         }
-        self.wal_stalled.store(false, Ordering::Release);
+        let swap_ns = elapsed_ns(swap_start);
+        crate::obs::add_phase(crate::obs::Phase::Swap, swap_start.elapsed());
+        self.clear_stall();
         self.last_publish_ms.store(
             self.created.elapsed().as_millis().min(u128::from(u64::MAX)) as u64,
             Ordering::Release,
         );
+        let unix_ms = unix_now_ms();
+        self.last_publish_unix_ms.store(unix_ms, Ordering::Relaxed);
+        self.publishes.fetch_add(1, Ordering::Relaxed);
+        if full_rebuild {
+            self.full_rebuilds.fetch_add(1, Ordering::Relaxed);
+        }
         // Release the staging store before notifying, so hooks may pin
         // or stage (a later publish sees their staging) without
         // deadlocking on the lock this publish still holds.
         drop(store);
         let dirty_users = dirty.num_users();
         let dirty_pairs = dirty.num_pairs();
+        let rebuilt_segments = if full_rebuild {
+            total_segments
+        } else {
+            covered.len()
+        };
+        {
+            let mut lineage = lock_unpoisoned(&self.lineage);
+            if lineage.len() >= LINEAGE_CAP {
+                lineage.pop_front();
+            }
+            lineage.push_back(EpochLineage {
+                epoch,
+                unix_ms,
+                upserts: batch.upserts.len(),
+                retractions: batch.retractions.len(),
+                dirty_users,
+                dirty_pairs,
+                rebuilt_segments,
+                shared_segments: total_segments - rebuilt_segments,
+                full_rebuild,
+                stage_ns,
+                rebuild_ns,
+                wal_ns,
+                swap_ns,
+                total_ns: elapsed_ns(publish_start),
+            });
+        }
         self.notify_epoch(&PublishDelta {
             epoch,
             dirty: Arc::new(dirty),
             periods: Vec::new(),
             full_rebuild,
         });
+        // Seal after the hooks so their survival/pump work accrues to
+        // a standalone publish's span too.
+        crate::obs::note_epoch(epoch);
+        crate::obs::note_ok(true);
+        drop(obs_span);
         Ok(IngestReport {
             epoch,
             upserts: batch.upserts.len(),
             retractions: batch.retractions.len(),
             dirty_users,
             dirty_pairs,
-            rebuilt_segments: if full_rebuild {
-                total_segments
-            } else {
-                covered.len()
-            },
-            shared_segments: if full_rebuild {
-                0
-            } else {
-                total_segments - covered.len()
-            },
+            rebuilt_segments,
+            shared_segments: total_segments - rebuilt_segments,
             full_rebuild,
         })
     }
@@ -1159,6 +1369,40 @@ mod tests {
             .substrate()
             .shares_segment_with(pin1.substrate(), UserId(1)));
         assert!(pin0.substrate().shares_affinity_with(pin1.substrate()));
+    }
+
+    #[test]
+    fn lineage_records_every_publish_with_timings() {
+        let (matrix, pop, items) = world();
+        let live = LiveEngine::new(&pop, LiveModel::Raw, &matrix, &items).unwrap();
+        assert_eq!(live.lineage_summary().publishes, 0);
+        assert!(live.lineage_recent(10).is_empty());
+        live.ingest(&[rating(2, 4, 4.0, 10)]).unwrap();
+        live.retract(&[(UserId(2), ItemId(4))]).unwrap();
+        // An empty drain publishes nothing and must leave no lineage.
+        live.publish().unwrap();
+        let summary = live.lineage_summary();
+        assert_eq!((summary.epoch, summary.publishes), (2, 2));
+        assert_eq!(summary.full_rebuilds, 0);
+        assert!(summary.last_publish_unix_ms > 0);
+        assert_eq!(summary.degraded_windows, 0);
+        let recent = live.lineage_recent(10);
+        assert_eq!(recent.len(), 2);
+        assert_eq!(recent[0].epoch, 1);
+        assert_eq!((recent[0].upserts, recent[0].retractions), (1, 0));
+        assert_eq!((recent[1].upserts, recent[1].retractions), (0, 1));
+        assert_eq!(recent[1].epoch, 2);
+        for l in &recent {
+            assert!(l.total_ns >= l.rebuild_ns);
+            assert!(l.rebuild_ns > 0, "a rebuild takes nonzero time");
+            assert_eq!(l.wal_ns, 0, "no WAL attached");
+            assert_eq!(l.rebuilt_segments, 1);
+            assert_eq!(l.shared_segments, 3);
+        }
+        // `limit` trims from the oldest side.
+        let newest = live.lineage_recent(1);
+        assert_eq!(newest.len(), 1);
+        assert_eq!(newest[0].epoch, 2);
     }
 
     #[test]
@@ -1413,12 +1657,22 @@ mod tests {
         assert!(live.health().wal_stalled);
         // The lock-free probe read paths use agrees with health().
         assert!(live.degraded_staleness().is_some());
+        // Lineage accounting sees the open degraded window.
+        assert_eq!(live.lineage_summary().degraded_windows, 1);
         // The retry commits and clears the stall.
         let report = live.publish().unwrap();
         assert_eq!(report.epoch, 1);
         assert_eq!(report.upserts, 1);
         assert!(!live.health().wal_stalled);
         assert_eq!(live.degraded_staleness(), None);
+        // The window closed: its count survives and the publish both
+        // landed in lineage (with a real WAL commit timing).
+        let summary = live.lineage_summary();
+        assert_eq!(summary.degraded_windows, 1);
+        assert_eq!(summary.publishes, 1);
+        let recent = live.lineage_recent(10);
+        assert_eq!(recent.len(), 1);
+        assert!(recent[0].wal_ns > 0, "WAL commit takes nonzero time");
         assert_eq!(
             live.pin().matrix().get(UserId(2), ItemId(1)),
             Some(5.0),

@@ -435,6 +435,20 @@ fn analyze(queries: &[GroupQuery<'_>]) -> WavePlan {
 /// `crates/core/tests/plan_batch.rs` holds against the kernel-identity
 /// oracle's worlds.
 pub fn run_batch_with(queries: &[GroupQuery<'_>], opts: &PlanOptions) -> BatchResult {
+    // One span for the whole wave. Single-worker execution attributes
+    // prepare/kernel phases here too; scoped worker threads run with
+    // no active span (their phase timers no-op), so a parallel wave's
+    // span records the wave's wall clock without double-counting.
+    let batch_span = crate::obs::span(crate::obs::next_trace_id(), crate::obs::SpanKind::Batch);
+    let result = run_batch_inner(queries, opts);
+    if batch_span.active() {
+        crate::obs::note_ok(true);
+    }
+    drop(batch_span);
+    result
+}
+
+fn run_batch_inner(queries: &[GroupQuery<'_>], opts: &PlanOptions) -> BatchResult {
     if !opts.enabled || queries.len() < 2 {
         let results = run_batch_independent(queries);
         return BatchResult {

@@ -894,6 +894,7 @@ impl<'q> GroupQuery<'q> {
         &self,
         shared: Option<&SharedMemberState>,
     ) -> Result<PreparedQuery, QueryError> {
+        let _prepare = crate::obs::phase(crate::obs::Phase::Prepare);
         self.validate()?;
         let resolved: Vec<ItemId>;
         let items: &[ItemId] = if self.items.is_empty() {
@@ -1466,8 +1467,9 @@ impl PreparedQuery {
         consensus: ConsensusFunction,
         scratch: &mut GrecaScratch,
     ) -> TopKResult {
+        let kernel_timer = crate::obs::phase(crate::obs::Phase::Kernel);
         let inputs = self.storage.views();
-        match algorithm {
+        let result = match algorithm {
             Algorithm::Greca(mut config) => {
                 config.k = self.k;
                 greca_topk_with(
@@ -1496,7 +1498,10 @@ impl PreparedQuery {
                 self.normalize_rpref,
                 self.k,
             ),
-        }
+        };
+        drop(kernel_timer);
+        crate::obs::note_access(result.stats.sa, result.stats.ra);
+        result
     }
 
     /// Exact consensus scores of every candidate item, descending (no

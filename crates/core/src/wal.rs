@@ -520,6 +520,7 @@ impl Wal {
     /// exception is an injected [`IoFault::Crash`], which leaves the
     /// torn bytes exactly as a killed process would.
     pub fn append(&mut self, record: &WalRecord) -> io::Result<()> {
+        let _wal = crate::obs::phase(crate::obs::Phase::WalAppend);
         let frame = encode_frame(&encode_record(record));
         self.rotate_if_needed(frame.len() as u64)?;
         let pre = self.seg_bytes;

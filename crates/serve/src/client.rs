@@ -352,6 +352,48 @@ impl Client {
         self.request_retrying(&ingest_body(ratings, Some(key)))
     }
 
+    /// A `query` carrying a caller-chosen trace id, echoed in the
+    /// response — the handle for retrieving the request's per-phase
+    /// cost attribution via [`Client::trace_dump`].
+    pub fn query_traced(
+        &mut self,
+        group: &[u32],
+        items: Option<&[u32]>,
+        k: Option<usize>,
+        trace: u64,
+    ) -> Result<Json, ClientError> {
+        let Json::Obj(mut pairs) = query_body("query", group, items, k) else {
+            unreachable!("query_body builds an object");
+        };
+        pairs.push(("trace".to_string(), Json::num(trace as f64)));
+        self.request(&Json::Obj(pairs))
+    }
+
+    /// A `trace` request: dump flight-recorder spans, filtered by
+    /// trace id (`Some(id)`) and/or the other server-side filters left
+    /// at their defaults. `slow` dumps the slow-query log instead.
+    pub fn trace_dump(&mut self, trace: Option<u64>, slow: bool) -> Result<Json, ClientError> {
+        let mut pairs = vec![("verb", Json::str("trace"))];
+        if let Some(trace) = trace {
+            pairs.push(("trace", Json::num(trace as f64)));
+        }
+        if slow {
+            pairs.push(("slow", Json::Bool(true)));
+        }
+        self.request(&Json::obj(pairs))
+    }
+
+    /// A `metrics` request: the Prometheus text exposition body.
+    pub fn metrics_text(&mut self) -> Result<String, ClientError> {
+        let response = self.request(&Json::obj(vec![("verb", Json::str("metrics"))]))?;
+        match response.get("body").and_then(Json::as_str) {
+            Some(body) => Ok(body.to_string()),
+            None => Err(ClientError::Protocol(
+                "metrics response carried no body".to_string(),
+            )),
+        }
+    }
+
     /// A `stats` request.
     pub fn stats(&mut self) -> Result<Json, ClientError> {
         self.request(&Json::obj(vec![("verb", Json::str("stats"))]))

@@ -60,6 +60,7 @@
 pub mod admission;
 pub mod cache;
 pub mod client;
+pub mod expo;
 pub mod json;
 pub mod metrics;
 pub mod protocol;
@@ -70,7 +71,7 @@ pub use cache::{CacheError, CacheOutcome, CacheStats, ResultCache};
 pub use client::{Client, ClientConfig, ClientError};
 pub use json::Json;
 pub use metrics::{Histogram, Metrics, VerbMetrics};
-pub use protocol::{IngestRequest, QueryRequest, Request};
+pub use protocol::{IngestRequest, QueryRequest, Request, TraceRequest, MAX_WIRE_TRACE};
 pub use server::{GrecaServer, ServerHandle};
 
 use greca_core::FaultPlan;
@@ -122,6 +123,12 @@ pub struct ServeConfig {
     /// set (see [`FaultPlan::from_env`]), which is how CI re-runs the
     /// ordinary serve test suites under a background fault schedule.
     pub fault_plan: Option<Arc<FaultPlan>>,
+    /// Slow-query threshold in milliseconds: any traced span slower
+    /// than this is copied into the flight recorder's slow-query log
+    /// at seal time (dumped by the `trace` verb with `"slow": true`).
+    /// Applied to the process-wide recorder at
+    /// [`GrecaServer::bind`](server::GrecaServer::bind).
+    pub slow_query_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -141,6 +148,7 @@ impl Default for ServeConfig {
             world_label: "unlabeled".to_string(),
             selective_invalidation: true,
             fault_plan: FaultPlan::from_env().map(Arc::new),
+            slow_query_ms: 250,
         }
     }
 }

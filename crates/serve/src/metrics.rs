@@ -40,7 +40,10 @@ impl Histogram {
     /// Record one latency sample.
     pub fn record(&self, elapsed: Duration) {
         let us = elapsed.as_micros().min(u128::from(u64::MAX)) as u64;
-        let bucket = (64 - us.leading_zeros() as usize).min(BUCKETS - 1);
+        // `2^i` belongs to bucket `i` per the `(2^(i-1), 2^i]` layout:
+        // classify by the bit length of `us - 1` (0 and 1 µs share
+        // bucket 0, whose bound is 1 µs).
+        let bucket = (64 - us.saturating_sub(1).leading_zeros() as usize).min(BUCKETS - 1);
         self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum_us.fetch_add(us, Ordering::Relaxed);
@@ -49,6 +52,28 @@ impl Histogram {
     /// Samples recorded.
     pub fn count(&self) -> u64 {
         self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded samples, microseconds (the Prometheus
+    /// `_sum` series).
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us.load(Ordering::Relaxed)
+    }
+
+    /// Per-bucket counts (not cumulative), index-aligned with
+    /// [`Histogram::bucket_bound_us`].
+    pub fn bucket_counts(&self) -> [u64; BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
+    /// Upper bound of bucket `i` in microseconds (`2^i`).
+    pub fn bucket_bound_us(i: usize) -> u64 {
+        1u64 << i.min(BUCKETS - 1)
+    }
+
+    /// Number of buckets (for exposition loops).
+    pub const fn num_buckets() -> usize {
+        BUCKETS
     }
 
     /// Mean latency in microseconds (0 when empty).
@@ -230,6 +255,77 @@ mod tests {
         assert_eq!(h.quantile_us(0.99), 0);
         h.record(Duration::from_secs(10_000)); // beyond the last bucket
         assert_eq!(h.quantile_us(0.5), 1 << (BUCKETS - 1));
+    }
+
+    /// Which bucket one `us`-microsecond sample lands in.
+    fn bucket_of(us: u64) -> usize {
+        let h = Histogram::default();
+        h.record(Duration::from_micros(us));
+        let counts = h.bucket_counts();
+        let hits: Vec<usize> = (0..BUCKETS).filter(|&i| counts[i] == 1).collect();
+        assert_eq!(hits.len(), 1, "exactly one bucket for {us} µs");
+        hits[0]
+    }
+
+    #[test]
+    fn bucket_edges_land_deterministically() {
+        // Exact powers of two belong to their own bucket — the
+        // `(2^(i-1), 2^i]` contract at every edge — and the first
+        // value past an edge starts the next bucket.
+        for i in 1..(BUCKETS - 1) {
+            let edge = 1u64 << i;
+            assert_eq!(bucket_of(edge), i, "2^{i} µs is the bucket-{i} bound");
+            assert_eq!(
+                bucket_of(edge + 1),
+                i + 1,
+                "2^{i}+1 µs opens bucket {}",
+                i + 1
+            );
+        }
+        // Quantile bounds agree with the placement: a bucket's bound
+        // is exactly its edge value.
+        let h = Histogram::default();
+        h.record(Duration::from_micros(128));
+        assert_eq!(h.quantile_us(0.5), 128, "an exact edge reports itself");
+    }
+
+    #[test]
+    fn zero_and_one_microsecond_share_the_first_bucket() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        let h = Histogram::default();
+        h.record(Duration::ZERO);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.quantile_us(1.0), 1, "bucket 0's bound is 1 µs");
+    }
+
+    #[test]
+    fn overflow_saturates_into_the_last_bucket() {
+        // Anything past the last edge lands in the overflow bucket,
+        // deterministically — including the absurd.
+        let last = BUCKETS - 1;
+        assert_eq!(bucket_of(1u64 << 40), last);
+        assert_eq!(bucket_of(u64::MAX), last);
+        assert_eq!(bucket_of((1u64 << last) + 1), last);
+        // The last *in-range* edge still belongs to its own bucket.
+        assert_eq!(bucket_of(1u64 << (last - 1)), last - 1);
+    }
+
+    #[test]
+    fn bucket_accessors_expose_counts_and_sum() {
+        let h = Histogram::default();
+        h.record(Duration::from_micros(3));
+        h.record(Duration::from_micros(5));
+        h.record(Duration::from_micros(100));
+        assert_eq!(h.sum_us(), 108);
+        let counts = h.bucket_counts();
+        assert_eq!(counts.iter().sum::<u64>(), h.count());
+        assert_eq!(counts[2], 1, "3 µs → (2,4]");
+        assert_eq!(counts[3], 1, "5 µs → (4,8]");
+        assert_eq!(counts[7], 1, "100 µs → (64,128]");
+        assert_eq!(Histogram::bucket_bound_us(7), 128);
+        assert_eq!(Histogram::num_buckets(), BUCKETS);
     }
 
     #[test]

@@ -1,5 +1,5 @@
 //! The wire protocol: line-delimited JSON, one request and one response
-//! per line, six verbs — plus server-initiated push frames for
+//! per line, eight verbs — plus server-initiated push frames for
 //! continuous queries.
 //!
 //! ## Requests
@@ -14,6 +14,8 @@
 //!  "retract":[[3,7]]}                                         — one epoch publish
 //! {"verb":"stats"}
 //! {"verb":"health"}
+//! {"verb":"trace","trace":18446744073709551,"limit":10}       — flight-recorder dump
+//! {"verb":"metrics"}                                          — Prometheus text exposition
 //! ```
 //!
 //! `consensus` accepts `"ap"`, `"mo"`, `"pd:<w1>"`, `"vd:<w1>"`;
@@ -29,6 +31,20 @@
 //! key: retrying an ingest whose acknowledgement was lost with the
 //! same key is a no-op answered with `duplicate: true` (see
 //! [`LiveEngine::stage_keyed`](greca_core::LiveEngine::stage_keyed)).
+//!
+//! ## Tracing
+//!
+//! `query`, `subscribe` and `ingest` accept an optional u64 `trace`:
+//! a caller-chosen trace id threaded through the whole serving path
+//! (admission → cache → planner → kernel) and echoed in the response
+//! — and, for subscriptions, in every later push frame — so external
+//! callers can correlate retries and pushes. Requests without one get
+//! a server-assigned id, still echoed. The `trace` verb dumps the
+//! flight recorder's cost-attribution records: `trace` (id), `kind`
+//! (`query`/`ingest`/`publish`/…), `min_us` (minimum total latency)
+//! and `limit` filter; `"slow":true` dumps the slow-query log
+//! instead. The `metrics` verb returns the Prometheus text exposition
+//! (as a JSON-wrapped `body`, this being a line protocol).
 //!
 //! ## Responses
 //!
@@ -81,7 +97,7 @@
 use crate::json::Json;
 use greca_affinity::AffinityMode;
 use greca_consensus::ConsensusFunction;
-use greca_core::{StopReason, TopKResult};
+use greca_core::{Phase, SpanKind, SpanRecord, StopReason, TopKResult};
 use greca_dataset::{ItemId, Rating, UserId};
 
 /// A parsed request.
@@ -104,6 +120,13 @@ pub enum Request {
     Stats,
     /// Liveness probe.
     Health,
+    /// Flight-recorder dump (filtered span records / slow-query log).
+    Trace(TraceRequest),
+    /// Prometheus text exposition.
+    Metrics {
+        /// Echoed request id.
+        id: Option<Json>,
+    },
 }
 
 impl Request {
@@ -116,8 +139,27 @@ impl Request {
             Request::Ingest(_) => "ingest",
             Request::Stats => "stats",
             Request::Health => "health",
+            Request::Trace(_) => "trace",
+            Request::Metrics { .. } => "metrics",
         }
     }
+}
+
+/// One `trace` request: flight-recorder filters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRequest {
+    /// Keep only records with this trace id.
+    pub trace: Option<u64>,
+    /// Keep only records of this span kind (`query`/`ingest`/…).
+    pub kind: Option<SpanKind>,
+    /// Keep only records at least this slow (total, µs).
+    pub min_us: Option<u64>,
+    /// Dump the slow-query log instead of the rings.
+    pub slow: bool,
+    /// Newest records kept after filtering.
+    pub limit: Option<usize>,
+    /// Echoed request id.
+    pub id: Option<Json>,
 }
 
 /// One `query` request.
@@ -138,6 +180,9 @@ pub struct QueryRequest {
     /// Per-request latency budget in milliseconds; a request still
     /// queued when it expires is answered `deadline_exceeded`.
     pub deadline_ms: Option<u64>,
+    /// Caller-chosen trace id, echoed in the response (and every push
+    /// frame of a subscription); `None` = server-assigned.
+    pub trace: Option<u64>,
     /// Echoed request id.
     pub id: Option<Json>,
 }
@@ -155,6 +200,9 @@ pub struct IngestRequest {
     pub batch_key: Option<u64>,
     /// Per-request latency budget in milliseconds.
     pub deadline_ms: Option<u64>,
+    /// Caller-chosen trace id, echoed in the ack; `None` =
+    /// server-assigned.
+    pub trace: Option<u64>,
     /// Echoed request id.
     pub id: Option<Json>,
 }
@@ -214,13 +262,44 @@ pub fn parse_request(value: &Json) -> Result<Request, BadRequest> {
         "ingest" => Ok(Request::Ingest(parse_ingest(value, id)?)),
         "stats" => Ok(Request::Stats),
         "health" => Ok(Request::Health),
+        "trace" => Ok(Request::Trace(parse_trace(value, id)?)),
+        "metrics" => Ok(Request::Metrics { id }),
         other => Err(bad(
             format!(
-                "unknown verb '{other}' (expected query/subscribe/unsubscribe/ingest/stats/health)"
+                "unknown verb '{other}' (expected query/subscribe/unsubscribe/ingest/stats/\
+                 health/trace/metrics)"
             ),
             id,
         )),
     }
+}
+
+fn parse_trace(value: &Json, id: Option<Json>) -> Result<TraceRequest, BadRequest> {
+    let kind = match value.get("kind") {
+        None | Some(Json::Null) => None,
+        Some(Json::Str(s)) => Some(SpanKind::from_label(s).ok_or_else(|| {
+            bad(
+                format!(
+                    "unknown kind '{s}' (expected query/subscribe/ingest/publish/pump/batch/other)"
+                ),
+                id.clone(),
+            )
+        })?),
+        Some(_) => return Err(bad("'kind' must be a string", id)),
+    };
+    let slow = match value.get("slow") {
+        None | Some(Json::Null) => false,
+        Some(Json::Bool(b)) => *b,
+        Some(_) => return Err(bad("'slow' must be a boolean", id)),
+    };
+    Ok(TraceRequest {
+        trace: u64_field(value, "trace", &id)?,
+        kind,
+        min_us: u64_field(value, "min_us", &id)?,
+        slow,
+        limit: u64_field(value, "limit", &id)?.map(|v| v as usize),
+        id,
+    })
 }
 
 fn parse_query(value: &Json, id: Option<Json>) -> Result<QueryRequest, BadRequest> {
@@ -282,6 +361,7 @@ fn parse_query(value: &Json, id: Option<Json>) -> Result<QueryRequest, BadReques
         Some(_) => return Err(bad("'consensus' must be a string", id)),
     };
     let deadline_ms = u64_field(value, "deadline_ms", &id)?;
+    let trace = u64_field(value, "trace", &id)?;
     Ok(QueryRequest {
         group,
         items,
@@ -290,6 +370,7 @@ fn parse_query(value: &Json, id: Option<Json>) -> Result<QueryRequest, BadReques
         mode,
         consensus,
         deadline_ms,
+        trace,
         id,
     })
 }
@@ -359,17 +440,24 @@ fn parse_ingest(value: &Json, id: Option<Json>) -> Result<IngestRequest, BadRequ
     }
     let batch_key = u64_field(value, "batch", &id)?;
     let deadline_ms = u64_field(value, "deadline_ms", &id)?;
+    let trace = u64_field(value, "trace", &id)?;
     Ok(IngestRequest {
         ratings,
         retractions,
         batch_key,
         deadline_ms,
+        trace,
         id,
     })
 }
 
-/// Start a response object: `ok`, `verb`, echoed `id`.
-fn response_head(ok: bool, verb: &str, id: &Option<Json>) -> Vec<(String, Json)> {
+/// Start a response object: `ok`, `verb`, echoed `id` and `trace`.
+fn response_head(
+    ok: bool,
+    verb: &str,
+    id: &Option<Json>,
+    trace: Option<u64>,
+) -> Vec<(String, Json)> {
     let mut pairs = vec![
         ("ok".to_string(), Json::Bool(ok)),
         ("verb".to_string(), Json::str(verb)),
@@ -377,12 +465,23 @@ fn response_head(ok: bool, verb: &str, id: &Option<Json>) -> Vec<(String, Json)>
     if let Some(id) = id {
         pairs.push(("id".to_string(), id.clone()));
     }
+    if let Some(trace) = trace {
+        pairs.push(("trace".to_string(), Json::num(trace as f64)));
+    }
     pairs
 }
 
-/// A typed error response line.
-pub fn error_response(verb: &str, code: &str, detail: &str, id: &Option<Json>) -> String {
-    let mut pairs = response_head(false, verb, id);
+/// A typed error response line. `trace` is echoed when the request
+/// got far enough to have one (so even a shed or expired request can
+/// be correlated).
+pub fn error_response(
+    verb: &str,
+    code: &str,
+    detail: &str,
+    id: &Option<Json>,
+    trace: Option<u64>,
+) -> String {
+    let mut pairs = response_head(false, verb, id, trace);
     pairs.push(("code".to_string(), Json::str(code)));
     pairs.push(("error".to_string(), Json::str(detail)));
     Json::Obj(pairs).to_line()
@@ -433,8 +532,9 @@ pub fn query_response(
     cache: &str,
     degraded: Option<u64>,
     id: &Option<Json>,
+    trace: Option<u64>,
 ) -> String {
-    let mut pairs = response_head(true, "query", id);
+    let mut pairs = response_head(true, "query", id, trace);
     pairs.push(("cache".to_string(), Json::str(cache)));
     if let Some(staleness_ms) = degraded {
         pairs.push(("degraded".to_string(), Json::Bool(true)));
@@ -452,8 +552,9 @@ pub fn subscribe_response(
     epoch: u64,
     cache: &str,
     id: &Option<Json>,
+    trace: Option<u64>,
 ) -> String {
-    let mut pairs = response_head(true, "subscribe", id);
+    let mut pairs = response_head(true, "subscribe", id, trace);
     pairs.push(("sub".to_string(), Json::num(sub as f64)));
     pairs.push(("cache".to_string(), Json::str(cache)));
     pairs.extend(result_pairs(result, epoch));
@@ -463,7 +564,7 @@ pub fn subscribe_response(
 /// A successful `unsubscribe` response line (`removed` says whether the
 /// id named a live subscription owned by this connection).
 pub fn unsubscribe_response(sub: u64, removed: bool, id: &Option<Json>) -> String {
-    let mut pairs = response_head(true, "unsubscribe", id);
+    let mut pairs = response_head(true, "unsubscribe", id, None);
     pairs.push(("sub".to_string(), Json::num(sub as f64)));
     pairs.push(("removed".to_string(), Json::Bool(removed)));
     Json::Obj(pairs).to_line()
@@ -471,8 +572,15 @@ pub fn unsubscribe_response(sub: u64, removed: bool, id: &Option<Json>) -> Strin
 
 /// A server-initiated push frame for subscription `sub`. The `push` key
 /// leads the object (the wire-level discriminator — see the module
-/// docs); the subscription's original `id` is echoed when present.
-pub fn push_frame(sub: u64, result: &TopKResult, epoch: u64, id: &Option<Json>) -> String {
+/// docs); the subscription's original `id` and `trace` are echoed when
+/// present, so pushes correlate with the subscribe that started them.
+pub fn push_frame(
+    sub: u64,
+    result: &TopKResult,
+    epoch: u64,
+    id: &Option<Json>,
+    trace: Option<u64>,
+) -> String {
     let mut pairs = vec![
         ("push".to_string(), Json::str("delta")),
         ("sub".to_string(), Json::num(sub as f64)),
@@ -480,7 +588,79 @@ pub fn push_frame(sub: u64, result: &TopKResult, epoch: u64, id: &Option<Json>) 
     if let Some(id) = id {
         pairs.push(("id".to_string(), id.clone()));
     }
+    if let Some(trace) = trace {
+        pairs.push(("trace".to_string(), Json::num(trace as f64)));
+    }
     pairs.extend(result_pairs(result, epoch));
+    Json::Obj(pairs).to_line()
+}
+
+/// Largest trace id representable on the wire: the JSON layer carries
+/// numbers as `f64`, so ids are 53-bit (server-assigned ids are masked
+/// to this; client-supplied ones beyond it fail parsing).
+pub const MAX_WIRE_TRACE: u64 = (1 << 53) - 1;
+
+/// One flight-recorder record as a JSON object: identity, outcome,
+/// cost attribution (total + per-phase µs, zero phases omitted) and
+/// the SA/RA access counts.
+pub fn span_json(r: &SpanRecord) -> Json {
+    let mut pairs = vec![
+        ("trace".to_string(), Json::num(r.trace as f64)),
+        ("span".to_string(), Json::num(r.span as f64)),
+        ("kind".to_string(), Json::str(r.kind.label())),
+        ("ok".to_string(), Json::Bool(r.ok)),
+        ("epoch".to_string(), Json::num(r.epoch as f64)),
+        ("unix_ms".to_string(), Json::num(r.unix_ms as f64)),
+        (
+            "total_us".to_string(),
+            Json::num((r.total_ns / 1_000) as f64),
+        ),
+        ("sa".to_string(), Json::num(r.sa as f64)),
+        ("ra".to_string(), Json::num(r.ra as f64)),
+    ];
+    if r.cache != greca_core::CacheNote::None {
+        pairs.push(("cache".to_string(), Json::str(r.cache.label())));
+    }
+    let phases: Vec<(String, Json)> = Phase::ALL
+        .iter()
+        .filter(|&&p| r.phase(p) > 0)
+        .map(|&p| {
+            (
+                format!("{}_us", p.label()),
+                Json::num((r.phase(p) as f64) / 1_000.0),
+            )
+        })
+        .collect();
+    pairs.push(("phases".to_string(), Json::Obj(phases)));
+    Json::Obj(pairs)
+}
+
+/// A successful `trace` response line: the filtered records (oldest →
+/// newest) plus the source (`recorder` or `slow_log`).
+pub fn trace_response(records: &[SpanRecord], slow: bool, id: &Option<Json>) -> String {
+    let mut pairs = response_head(true, "trace", id, None);
+    pairs.push((
+        "source".to_string(),
+        Json::str(if slow { "slow_log" } else { "recorder" }),
+    ));
+    pairs.push(("count".to_string(), Json::num(records.len() as f64)));
+    pairs.push((
+        "spans".to_string(),
+        Json::Arr(records.iter().map(span_json).collect()),
+    ));
+    Json::Obj(pairs).to_line()
+}
+
+/// A successful `metrics` response line: the Prometheus text
+/// exposition riding inside the line protocol as a JSON-escaped
+/// `body` with its `content_type`.
+pub fn metrics_response(body: &str, id: &Option<Json>) -> String {
+    let mut pairs = response_head(true, "metrics", id, None);
+    pairs.push((
+        "content_type".to_string(),
+        Json::str("text/plain; version=0.0.4"),
+    ));
+    pairs.push(("body".to_string(), Json::str(body)));
     Json::Obj(pairs).to_line()
 }
 
@@ -615,10 +795,18 @@ mod tests {
             sweeps: 0,
             stop_reason: StopReason::Exhausted,
         };
-        let healthy = parse(&query_response(&result, 3, "miss", None, &None)).unwrap();
+        let healthy = parse(&query_response(&result, 3, "miss", None, &None, None)).unwrap();
         assert!(healthy.get("degraded").is_none());
         assert!(healthy.get("staleness_ms").is_none());
-        let degraded = parse(&query_response(&result, 3, "hit", Some(1234), &None)).unwrap();
+        let degraded = parse(&query_response(
+            &result,
+            3,
+            "hit",
+            Some(1234),
+            &None,
+            Some(99),
+        ))
+        .unwrap();
         assert_eq!(degraded.get("degraded").and_then(Json::as_bool), Some(true));
         assert_eq!(
             degraded.get("staleness_ms").and_then(Json::as_u64),
@@ -679,14 +867,14 @@ mod tests {
             sweeps: 4,
             stop_reason: StopReason::Exhausted,
         };
-        let frame = push_frame(9, &result, 12, &Some(Json::str("tag")));
+        let frame = push_frame(9, &result, 12, &Some(Json::str("tag")), Some(41));
         assert!(frame.starts_with(r#"{"push":"delta""#), "{frame}");
         let v = parse(&frame).unwrap();
         assert_eq!(v.get("sub").and_then(Json::as_u64), Some(9));
         assert_eq!(v.get("epoch").and_then(Json::as_u64), Some(12));
         assert_eq!(v.get("id").and_then(Json::as_str), Some("tag"));
         assert!(v.get("ok").is_none(), "push frames are not responses");
-        let sub = subscribe_response(9, &result, 12, "miss", &None);
+        let sub = subscribe_response(9, &result, 12, "miss", &None, None);
         let v = parse(&sub).unwrap();
         assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
         assert_eq!(v.get("sub").and_then(Json::as_u64), Some(9));
@@ -694,10 +882,153 @@ mod tests {
 
     #[test]
     fn error_responses_echo_verb_and_id() {
-        let line = error_response("query", "overloaded", "queue full", &Some(Json::num(9u32)));
+        let line = error_response(
+            "query",
+            "overloaded",
+            "queue full",
+            &Some(Json::num(9u32)),
+            Some(7),
+        );
         let v = parse(&line).unwrap();
         assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false));
         assert_eq!(v.get("code").and_then(Json::as_str), Some("overloaded"));
         assert_eq!(v.get("id").and_then(Json::as_u64), Some(9));
+        assert_eq!(v.get("trace").and_then(Json::as_u64), Some(7));
+    }
+
+    #[test]
+    fn parses_client_trace_ids_and_echoes_them_in_responses() {
+        use greca_core::{AccessStats, StopReason, TopKResult};
+        let v = parse(r#"{"verb":"query","group":[1],"trace":12345}"#).unwrap();
+        match parse_request(&v).unwrap() {
+            Request::Query(q) => assert_eq!(q.trace, Some(12345)),
+            other => panic!("{other:?}"),
+        }
+        let v = parse(r#"{"verb":"ingest","ratings":[[1,2,3.0,0]],"trace":88}"#).unwrap();
+        match parse_request(&v).unwrap() {
+            Request::Ingest(i) => assert_eq!(i.trace, Some(88)),
+            other => panic!("{other:?}"),
+        }
+        // A non-integer trace id is a typed bad_request, not silence.
+        let v = parse(r#"{"verb":"query","group":[1],"trace":"abc"}"#).unwrap();
+        assert!(parse_request(&v).unwrap_err().detail.contains("trace"));
+        let result = TopKResult {
+            items: Vec::new(),
+            stats: AccessStats {
+                sa: 0,
+                ra: 0,
+                total_entries: 0,
+            },
+            sweeps: 0,
+            stop_reason: StopReason::Exhausted,
+        };
+        let line = query_response(&result, 1, "miss", None, &None, Some(12345));
+        let v = parse(&line).unwrap();
+        assert_eq!(v.get("trace").and_then(Json::as_u64), Some(12345));
+        // The largest wire-representable id round-trips exactly.
+        let line = query_response(&result, 1, "miss", None, &None, Some(MAX_WIRE_TRACE));
+        let v = parse(&line).unwrap();
+        assert_eq!(v.get("trace").and_then(Json::as_u64), Some(MAX_WIRE_TRACE));
+    }
+
+    #[test]
+    fn parses_trace_and_metrics_verbs() {
+        let v = parse(r#"{"verb":"trace"}"#).unwrap();
+        match parse_request(&v).unwrap() {
+            Request::Trace(t) => {
+                assert_eq!(
+                    (t.trace, t.kind, t.min_us, t.slow, t.limit),
+                    (None, None, None, false, None)
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+        let v = parse(
+            r#"{"verb":"trace","trace":42,"kind":"query","min_us":500,"slow":true,"limit":10,"id":"t1"}"#,
+        )
+        .unwrap();
+        match parse_request(&v).unwrap() {
+            Request::Trace(t) => {
+                assert_eq!(t.trace, Some(42));
+                assert_eq!(t.kind, Some(SpanKind::Query));
+                assert_eq!(t.min_us, Some(500));
+                assert!(t.slow);
+                assert_eq!(t.limit, Some(10));
+                assert_eq!(t.id, Some(Json::str("t1")));
+            }
+            other => panic!("{other:?}"),
+        }
+        for line in [
+            r#"{"verb":"trace","kind":"frobnicate"}"#,
+            r#"{"verb":"trace","slow":1}"#,
+        ] {
+            let v = parse(line).unwrap();
+            assert!(parse_request(&v).is_err(), "{line}");
+        }
+        let v = parse(r#"{"verb":"metrics","id":7}"#).unwrap();
+        assert_eq!(
+            parse_request(&v).unwrap(),
+            Request::Metrics {
+                id: Some(Json::num(7u32))
+            }
+        );
+    }
+
+    #[test]
+    fn span_records_serialize_with_phase_attribution() {
+        let mut record = SpanRecord {
+            trace: 42,
+            span: 7,
+            kind: SpanKind::Query,
+            ok: true,
+            cache: greca_core::CacheNote::Miss,
+            epoch: 3,
+            sa: 100,
+            ra: 20,
+            total_ns: 5_000_000,
+            unix_ms: 1_700_000_000_000,
+            phase_ns: [0; greca_core::NUM_PHASES],
+        };
+        record.phase_ns[Phase::Kernel as usize] = 3_000_000;
+        record.phase_ns[Phase::Serialize as usize] = 250_000;
+        let v = span_json(&record);
+        assert_eq!(v.get("trace").and_then(Json::as_u64), Some(42));
+        assert_eq!(v.get("kind").and_then(Json::as_str), Some("query"));
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(v.get("cache").and_then(Json::as_str), Some("miss"));
+        assert_eq!(v.get("sa").and_then(Json::as_u64), Some(100));
+        let phases = v.get("phases").expect("phases object");
+        assert_eq!(phases.get("kernel_us").and_then(Json::as_u64), Some(3000));
+        assert_eq!(phases.get("serialize_us").and_then(Json::as_u64), Some(250));
+        assert!(
+            phases.get("admit_us").is_none(),
+            "zero phases are omitted: {phases:?}"
+        );
+        let line = trace_response(&[record], false, &Some(Json::str("t")));
+        let v = parse(&line).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(v.get("verb").and_then(Json::as_str), Some("trace"));
+        assert_eq!(v.get("source").and_then(Json::as_str), Some("recorder"));
+        assert_eq!(v.get("count").and_then(Json::as_u64), Some(1));
+        let line = trace_response(&[], true, &None);
+        let v = parse(&line).unwrap();
+        assert_eq!(v.get("source").and_then(Json::as_str), Some("slow_log"));
+    }
+
+    #[test]
+    fn metrics_responses_carry_the_exposition_body() {
+        let line = metrics_response("greca_requests_total 3\n", &Some(Json::str("m1")));
+        let v = parse(&line).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(v.get("verb").and_then(Json::as_str), Some("metrics"));
+        assert_eq!(
+            v.get("content_type").and_then(Json::as_str),
+            Some("text/plain; version=0.0.4")
+        );
+        assert_eq!(
+            v.get("body").and_then(Json::as_str),
+            Some("greca_requests_total 3\n")
+        );
+        assert_eq!(v.get("id").and_then(Json::as_str), Some("m1"));
     }
 }

@@ -33,14 +33,15 @@
 //!   operator needs them.
 
 use crate::admission::{ResponseSlot, Submission, VerbQueue};
-use crate::cache::{CacheError, ResultCache};
+use crate::cache::{CacheError, CacheOutcome, ResultCache};
 use crate::json::Json;
 use crate::metrics::Metrics;
-use crate::protocol::{self, IngestRequest, QueryRequest, Request};
+use crate::protocol::{self, IngestRequest, QueryRequest, Request, TraceRequest};
 use crate::ServeConfig;
+use greca_core::obs::{self, CacheNote, Phase, SpanKind, TraceFilter};
 use greca_core::{
     FaultCtx, FaultPlan, IoFault, LiveEngine, PublishDelta, QueryError, QueryFootprint,
-    SharedMemberState, TopKResult,
+    SharedMemberState, TopKResult, LINEAGE_CAP,
 };
 use greca_dataset::Group;
 use std::collections::{HashMap, VecDeque};
@@ -127,6 +128,10 @@ struct Shared {
     /// enough to be worth shipping) — surfaced by `stats` so operators
     /// and downstream caches can see what the last swap invalidated.
     last_dirty: Mutex<Option<String>>,
+    /// Per-epoch cache-survival lineage: `(epoch, kept, dropped)` for
+    /// the newest [`LINEAGE_CAP`] publishes, recorded by the bind-time
+    /// hook and joined with the engine's epoch lineage by `stats`.
+    survival_log: Mutex<VecDeque<(u64, u64, u64)>>,
     /// Deterministic fault-injection plan for socket and worker I/O
     /// ([`crate::ServeConfig::fault_plan`]); `None` injects nothing.
     fault: Option<Arc<FaultPlan>>,
@@ -202,9 +207,13 @@ impl<'live, 'pop> GrecaServer<'live, 'pop> {
             }),
             pending_cv: Condvar::new(),
             last_dirty: Mutex::new(None),
+            survival_log: Mutex::new(VecDeque::new()),
             fault: config.fault_plan.clone(),
             started: Instant::now(),
         });
+        // Arm the slow-query log: any span slower than the configured
+        // threshold is copied into the recorder's slow log at seal time.
+        obs::recorder().set_slow_threshold(Duration::from_millis(config.slow_query_ms));
         // The epoch-handoff integration: one hook, registered once,
         // applies the publish's dirty set to the cache (selective
         // survival — or wholesale when configured as the baseline) and
@@ -214,10 +223,27 @@ impl<'live, 'pop> GrecaServer<'live, 'pop> {
         shared.cache.invalidate_to(live.epoch());
         let hook_shared = Arc::clone(&shared);
         live.on_publish_delta(move |delta| {
+            // The hook runs on the publishing thread, inside the
+            // publish's span scope — cache-survival work is attributed
+            // to it as the `survival` phase, and the per-epoch
+            // kept/dropped delta is folded into the survival log.
+            let survival = obs::phase(Phase::Survival);
+            let kept_before = hook_shared.cache.stats.survivors.load(Ordering::Relaxed);
+            let dropped_before = hook_shared.cache.stats.dropped.load(Ordering::Relaxed);
             if hook_shared.selective {
                 hook_shared.cache.apply_publish(delta);
             } else {
                 hook_shared.cache.invalidate_to(delta.epoch);
+            }
+            let kept = hook_shared.cache.stats.survivors.load(Ordering::Relaxed) - kept_before;
+            let dropped = hook_shared.cache.stats.dropped.load(Ordering::Relaxed) - dropped_before;
+            drop(survival);
+            {
+                let mut log = lock_ok(&hook_shared.survival_log);
+                if log.len() >= LINEAGE_CAP {
+                    log.pop_front();
+                }
+                log.push_back((delta.epoch, kept, dropped));
             }
             // Retire the old epoch's member arena eagerly; queries that
             // pinned the previous epoch still hold their own Arc.
@@ -407,6 +433,14 @@ impl<'live, 'pop> GrecaServer<'live, 'pop> {
         if subs.is_empty() {
             return;
         }
+        // One span per coalesced pump pass: re-run kernel costs (and
+        // the pushes they produce) attribute to the pump, not to any
+        // client request.
+        let pump_span = obs::span(
+            obs::next_trace_id() & protocol::MAX_WIRE_TRACE,
+            SpanKind::Pump,
+        );
+        let pump_timer = obs::phase(Phase::Pump);
         let pin = self.live.pin();
         let epoch = pin.epoch();
         let engine = pin.engine();
@@ -440,7 +474,15 @@ impl<'live, 'pop> GrecaServer<'live, 'pop> {
                     let changed = st.result.as_ref().is_none_or(|prev| **prev != *top);
                     st.epoch = epoch;
                     st.result = Some(Arc::clone(&top));
-                    changed.then(|| protocol::push_frame(sub.id, &top, epoch, &sub.request.id))
+                    changed.then(|| {
+                        protocol::push_frame(
+                            sub.id,
+                            &top,
+                            epoch,
+                            &sub.request.id,
+                            sub.request.trace,
+                        )
+                    })
                 }
             };
             if let Some(frame) = frame {
@@ -465,6 +507,12 @@ impl<'live, 'pop> GrecaServer<'live, 'pop> {
                 }
             }
         }
+        drop(pump_timer);
+        if pump_span.active() {
+            obs::note_epoch(epoch);
+            obs::note_ok(true);
+        }
+        drop(pump_span);
     }
 
     /// One connection: read request lines, write response lines, in
@@ -560,6 +608,7 @@ impl<'live, 'pop> GrecaServer<'live, 'pop> {
                     "bad_request",
                     &format!("request line exceeds the {cap}-byte limit"),
                     &None,
+                    None,
                 );
                 self.write_line(writer, &response);
                 return true; // the remainder of the oversized line is garbage
@@ -579,6 +628,7 @@ impl<'live, 'pop> GrecaServer<'live, 'pop> {
                         "bad_request",
                         "request line is not valid UTF-8",
                         &None,
+                        None,
                     )
                 }
             };
@@ -603,7 +653,7 @@ impl<'live, 'pop> GrecaServer<'live, 'pop> {
                 .metrics
                 .protocol_errors
                 .fetch_add(1, Ordering::Relaxed);
-            return protocol::error_response("?", "bad_request", "empty request line", &None);
+            return protocol::error_response("?", "bad_request", "empty request line", &None, None);
         }
         let parsed = match crate::json::parse(line) {
             Ok(v) => v,
@@ -617,6 +667,7 @@ impl<'live, 'pop> GrecaServer<'live, 'pop> {
                     "bad_request",
                     &format!("invalid JSON: {e}"),
                     &None,
+                    None,
                 );
             }
         };
@@ -627,7 +678,7 @@ impl<'live, 'pop> GrecaServer<'live, 'pop> {
                     .metrics
                     .protocol_errors
                     .fetch_add(1, Ordering::Relaxed);
-                return protocol::error_response("?", "bad_request", &bad.detail, &bad.id);
+                return protocol::error_response("?", "bad_request", &bad.detail, &bad.id, None);
             }
         };
         match request {
@@ -645,12 +696,26 @@ impl<'live, 'pop> GrecaServer<'live, 'pop> {
                 self.shared.metrics.stats.served(t0.elapsed(), true);
                 response
             }
+            Request::Trace(t) => {
+                let t0 = Instant::now();
+                let response = self.handle_trace(&t);
+                self.shared.metrics.stats.served(t0.elapsed(), true);
+                response
+            }
+            Request::Metrics { id } => {
+                let t0 = Instant::now();
+                let body = crate::expo::render(&self.shared.metrics, &self.shared.cache.stats);
+                let response = protocol::metrics_response(&body, &id);
+                self.shared.metrics.stats.served(t0.elapsed(), true);
+                response
+            }
             Request::Query(q) => {
                 // Fast path: a resident cache entry costs no kernel
                 // work, so it is served inline — never queued, never
                 // shed — exactly like the observability verbs.
                 let t0 = Instant::now();
-                if let Some(response) = self.try_cached_query(&q) {
+                let trace = resolve_trace(q.trace);
+                if let Some(response) = self.try_cached_query(&q, trace) {
                     self.shared.metrics.query.served(t0.elapsed(), true);
                     return response;
                 }
@@ -659,22 +724,30 @@ impl<'live, 'pop> GrecaServer<'live, 'pop> {
                     "query",
                     q.id.clone(),
                     q.deadline_ms,
-                    move || self.handle_query(&q),
+                    trace,
+                    move || self.handle_query(&q, trace, t0),
                 )
             }
-            Request::Ingest(i) => self.submit(
-                &queues.ingest,
-                "ingest",
-                i.id.clone(),
-                i.deadline_ms,
-                move || self.handle_ingest(&i),
-            ),
+            Request::Ingest(i) => {
+                let t0 = Instant::now();
+                let trace = resolve_trace(i.trace);
+                self.submit(
+                    &queues.ingest,
+                    "ingest",
+                    i.id.clone(),
+                    i.deadline_ms,
+                    trace,
+                    move || self.handle_ingest(&i, trace, t0),
+                )
+            }
             Request::Subscribe(q) => {
                 // Assign the id and register *on the connection thread*,
                 // before the baseline runs: the conservative footprint
                 // makes the pump re-check this subscription for any
                 // publish touching its members, so a swap racing the
                 // baseline can never be missed — only re-verified.
+                let t0 = Instant::now();
+                let trace = resolve_trace(q.trace);
                 let sub_id = self.shared.next_sub.fetch_add(1, Ordering::Relaxed);
                 conn_subs.push(sub_id);
                 let sub = Arc::new(Subscription {
@@ -693,7 +766,8 @@ impl<'live, 'pop> GrecaServer<'live, 'pop> {
                     "subscribe",
                     q.id.clone(),
                     q.deadline_ms,
-                    move || self.handle_subscribe(&sub),
+                    trace,
+                    move || self.handle_subscribe(&sub, trace, t0),
                 );
                 // A shed, drained, or failed baseline leaves no live
                 // subscription (success lines always lead with the `ok`
@@ -723,13 +797,28 @@ impl<'live, 'pop> GrecaServer<'live, 'pop> {
     /// Run a subscription's baseline query and arm its precise
     /// footprint. Returns `(response line, ok)`; on error the caller
     /// unregisters the subscription.
-    fn handle_subscribe(&self, sub: &Subscription) -> (String, bool) {
+    fn handle_subscribe(
+        &self,
+        sub: &Subscription,
+        trace: u64,
+        admitted: Instant,
+    ) -> (String, bool) {
+        let span = obs::span(trace, SpanKind::Subscribe);
+        if span.active() {
+            obs::add_phase(Phase::Admit, admitted.elapsed());
+        }
         let q = &sub.request;
         let group = match Group::new(q.group.clone()) {
             Ok(g) => g,
             Err(e) => {
                 return (
-                    protocol::error_response("subscribe", "bad_request", &e.to_string(), &q.id),
+                    protocol::error_response(
+                        "subscribe",
+                        "bad_request",
+                        &e.to_string(),
+                        &q.id,
+                        Some(trace),
+                    ),
                     false,
                 )
             }
@@ -741,10 +830,16 @@ impl<'live, 'pop> GrecaServer<'live, 'pop> {
         let key = query.cache_key();
         let footprint = key.footprint();
         let plan_state = self.shared.plan_state_for(epoch);
-        let (result, outcome) = self
-            .shared
-            .cache
-            .get_or_compute(epoch, key, || query.run_shared(&plan_state));
+        let lookup = std::cell::Cell::new(Some(obs::phase(Phase::Cache)));
+        let (result, outcome) = self.shared.cache.get_or_compute(epoch, key, || {
+            drop(lookup.take());
+            query.run_shared(&plan_state)
+        });
+        drop(lookup.take());
+        if span.active() {
+            obs::note_cache(cache_note(outcome));
+            obs::note_epoch(epoch);
+        }
         match result {
             Ok(top) => {
                 let mut st = lock_ok(&sub.state);
@@ -759,13 +854,29 @@ impl<'live, 'pop> GrecaServer<'live, 'pop> {
                     st.result = Some(Arc::clone(&top));
                 }
                 drop(st);
-                (
-                    protocol::subscribe_response(sub.id, &top, epoch, outcome.label(), &q.id),
-                    true,
-                )
+                let serialize = obs::phase(Phase::Serialize);
+                let line = protocol::subscribe_response(
+                    sub.id,
+                    &top,
+                    epoch,
+                    outcome.label(),
+                    &q.id,
+                    Some(trace),
+                );
+                drop(serialize);
+                if span.active() {
+                    obs::note_ok(true);
+                }
+                (line, true)
             }
             Err(CacheError::Query(e)) => (
-                protocol::error_response("subscribe", "rejected", &e.to_string(), &q.id),
+                protocol::error_response(
+                    "subscribe",
+                    "rejected",
+                    &e.to_string(),
+                    &q.id,
+                    Some(trace),
+                ),
                 false,
             ),
             Err(CacheError::ComputePanicked) => (
@@ -774,6 +885,7 @@ impl<'live, 'pop> GrecaServer<'live, 'pop> {
                     "internal",
                     "a concurrent identical query panicked in the kernel",
                     &q.id,
+                    Some(trace),
                 ),
                 false,
             ),
@@ -796,6 +908,7 @@ impl<'live, 'pop> GrecaServer<'live, 'pop> {
         verb: &'static str,
         id: Option<Json>,
         deadline_ms: Option<u64>,
+        trace: u64,
         work: impl FnOnce() -> (String, bool) + Send + 'env,
     ) -> String {
         let t0 = Instant::now();
@@ -806,7 +919,7 @@ impl<'live, 'pop> GrecaServer<'live, 'pop> {
         let job = Box::new(move || {
             // If `work` panics the worker thread dies with it; release
             // the waiter with a typed error first.
-            struct Release<'a>(&'a ResponseSlot, &'static str, Option<Json>);
+            struct Release<'a>(&'a ResponseSlot, &'static str, Option<Json>, u64);
             impl Drop for Release<'_> {
                 fn drop(&mut self) {
                     self.0.fill(protocol::error_response(
@@ -814,10 +927,11 @@ impl<'live, 'pop> GrecaServer<'live, 'pop> {
                         "internal",
                         "request execution panicked",
                         &self.2,
+                        Some(self.3),
                     ));
                 }
             }
-            let release = Release(&job_slot, verb, id.clone());
+            let release = Release(&job_slot, verb, id.clone(), trace);
             if let Some(budget) = deadline_ms {
                 if t0.elapsed() > Duration::from_millis(budget) {
                     self.shared
@@ -830,6 +944,7 @@ impl<'live, 'pop> GrecaServer<'live, 'pop> {
                         "deadline_exceeded",
                         &format!("request spent more than its {budget} ms budget queued"),
                         &id,
+                        Some(trace),
                     ));
                     return;
                 }
@@ -860,11 +975,16 @@ impl<'live, 'pop> GrecaServer<'live, 'pop> {
                     "overloaded",
                     "admission queue full; back off and retry",
                     &None,
+                    Some(trace),
                 )
             }
-            Submission::Draining => {
-                protocol::error_response(verb, "shutting_down", "server is draining", &None)
-            }
+            Submission::Draining => protocol::error_response(
+                verb,
+                "shutting_down",
+                "server is draining",
+                &None,
+                Some(trace),
+            ),
         }
     }
 
@@ -884,30 +1004,58 @@ impl<'live, 'pop> GrecaServer<'live, 'pop> {
     }
 
     /// Answer a query from the result cache without queueing, when a
-    /// resident entry exists at the current epoch.
-    fn try_cached_query(&self, q: &QueryRequest) -> Option<String> {
+    /// resident entry exists at the current epoch. A hit seals a full
+    /// span (cache + serialize attribution) under `trace`; a miss
+    /// leaves no record — the queued path opens the trace's real span.
+    fn try_cached_query(&self, q: &QueryRequest, trace: u64) -> Option<String> {
         let group = Group::new(q.group.clone()).ok()?;
         let pin = self.live.pin();
         let engine = pin.engine();
         let query = build_query(&engine, &group, q);
+        let t_lookup = Instant::now();
         let top = self.shared.cache.try_get(pin.epoch(), &query.cache_key())?;
-        Some(protocol::query_response(
+        let lookup = t_lookup.elapsed();
+        let span = obs::span(trace, SpanKind::Query);
+        if span.active() {
+            obs::add_phase(Phase::Cache, lookup);
+            obs::note_cache(CacheNote::Hit);
+            obs::note_epoch(pin.epoch());
+        }
+        let serialize = obs::phase(Phase::Serialize);
+        let response = protocol::query_response(
             &top,
             pin.epoch(),
             "hit",
             self.degraded_staleness(),
             &q.id,
-        ))
+            Some(trace),
+        );
+        drop(serialize);
+        if span.active() {
+            obs::note_ok(true);
+        }
+        drop(span);
+        Some(response)
     }
 
     /// Execute one query through the epoch-pinned engine and the result
     /// cache. Returns `(response line, ok)`.
-    fn handle_query(&self, q: &QueryRequest) -> (String, bool) {
+    fn handle_query(&self, q: &QueryRequest, trace: u64, admitted: Instant) -> (String, bool) {
+        let span = obs::span(trace, SpanKind::Query);
+        if span.active() {
+            obs::add_phase(Phase::Admit, admitted.elapsed());
+        }
         let group = match Group::new(q.group.clone()) {
             Ok(g) => g,
             Err(e) => {
                 return (
-                    protocol::error_response("query", "bad_request", &e.to_string(), &q.id),
+                    protocol::error_response(
+                        "query",
+                        "bad_request",
+                        &e.to_string(),
+                        &q.id,
+                        Some(trace),
+                    ),
                     false,
                 )
             }
@@ -923,23 +1071,39 @@ impl<'live, 'pop> GrecaServer<'live, 'pop> {
         // arena is epoch-scoped, so sharing never crosses a substrate
         // swap and results stay bit-identical to `query.run()`.
         let plan_state = self.shared.plan_state_for(epoch);
-        let (result, outcome) = self
-            .shared
-            .cache
-            .get_or_compute(epoch, key, || query.run_shared(&plan_state));
+        // The cache timer covers the lookup (and, on a coalesced
+        // lookup, the wait for the concurrent identical run); a miss
+        // hands off to the kernel's own prepare/kernel timers the
+        // moment the compute closure starts.
+        let lookup = std::cell::Cell::new(Some(obs::phase(Phase::Cache)));
+        let (result, outcome) = self.shared.cache.get_or_compute(epoch, key, || {
+            drop(lookup.take());
+            query.run_shared(&plan_state)
+        });
+        drop(lookup.take());
+        if span.active() {
+            obs::note_cache(cache_note(outcome));
+            obs::note_epoch(epoch);
+        }
         match result {
-            Ok(top) => (
-                protocol::query_response(
+            Ok(top) => {
+                let serialize = obs::phase(Phase::Serialize);
+                let line = protocol::query_response(
                     &top,
                     epoch,
                     outcome.label(),
                     self.degraded_staleness(),
                     &q.id,
-                ),
-                true,
-            ),
+                    Some(trace),
+                );
+                drop(serialize);
+                if span.active() {
+                    obs::note_ok(true);
+                }
+                (line, true)
+            }
             Err(CacheError::Query(e)) => (
-                protocol::error_response("query", "rejected", &e.to_string(), &q.id),
+                protocol::error_response("query", "rejected", &e.to_string(), &q.id, Some(trace)),
                 false,
             ),
             Err(CacheError::ComputePanicked) => (
@@ -948,6 +1112,7 @@ impl<'live, 'pop> GrecaServer<'live, 'pop> {
                     "internal",
                     "a concurrent identical query panicked in the kernel",
                     &q.id,
+                    Some(trace),
                 ),
                 false,
             ),
@@ -962,7 +1127,15 @@ impl<'live, 'pop> GrecaServer<'live, 'pop> {
     /// A WAL failure (append or commit) answers `degraded` — the typed
     /// signal that nothing was applied, nothing was lost, and the
     /// retry is safe — while queries keep being served.
-    fn handle_ingest(&self, req: &IngestRequest) -> (String, bool) {
+    fn handle_ingest(&self, req: &IngestRequest, trace: u64, admitted: Instant) -> (String, bool) {
+        // The ingest span owns the whole pipeline: the engine's
+        // WAL-append/stage/rebuild/swap timers and the hook's survival
+        // timer all attribute here (`LiveEngine::publish` only opens
+        // its own span when none is active).
+        let span = obs::span(trace, SpanKind::Ingest);
+        if span.active() {
+            obs::add_phase(Phase::Admit, admitted.elapsed());
+        }
         let code_of = |e: &QueryError| match e {
             QueryError::Wal { .. } => "degraded",
             _ => "rejected",
@@ -974,7 +1147,13 @@ impl<'live, 'pop> GrecaServer<'live, 'pop> {
             Ok(staged) => staged,
             Err(e) => {
                 return (
-                    protocol::error_response("ingest", code_of(&e), &e.to_string(), &req.id),
+                    protocol::error_response(
+                        "ingest",
+                        code_of(&e),
+                        &e.to_string(),
+                        &req.id,
+                        Some(trace),
+                    ),
                     false,
                 )
             }
@@ -995,10 +1174,21 @@ impl<'live, 'pop> GrecaServer<'live, 'pop> {
             if self.live.staged() > 0 {
                 if let Err(e) = self.live.publish() {
                     return (
-                        protocol::error_response("ingest", code_of(&e), &e.to_string(), &req.id),
+                        protocol::error_response(
+                            "ingest",
+                            code_of(&e),
+                            &e.to_string(),
+                            &req.id,
+                            Some(trace),
+                        ),
                         false,
                     );
                 }
+            }
+            let epoch = self.live.epoch();
+            if span.active() {
+                obs::note_epoch(epoch);
+                obs::note_ok(true);
             }
             let mut pairs = vec![
                 ("ok".to_string(), Json::Bool(true)),
@@ -1008,7 +1198,8 @@ impl<'live, 'pop> GrecaServer<'live, 'pop> {
                 pairs.push(("id".to_string(), id.clone()));
             }
             pairs.extend([
-                ("epoch".to_string(), Json::num(self.live.epoch() as f64)),
+                ("trace".to_string(), Json::num(trace as f64)),
+                ("epoch".to_string(), Json::num(epoch as f64)),
                 ("batch_id".to_string(), Json::num(staged.batch_id as f64)),
                 ("duplicate".to_string(), Json::Bool(true)),
             ]);
@@ -1016,6 +1207,11 @@ impl<'live, 'pop> GrecaServer<'live, 'pop> {
         }
         match self.live.publish() {
             Ok(report) => {
+                if span.active() {
+                    obs::note_epoch(report.epoch);
+                    obs::note_ok(true);
+                }
+                let serialize = obs::phase(Phase::Serialize);
                 let mut pairs = vec![
                     ("ok".to_string(), Json::Bool(true)),
                     ("verb".to_string(), Json::str("ingest")),
@@ -1023,6 +1219,7 @@ impl<'live, 'pop> GrecaServer<'live, 'pop> {
                 if let Some(id) = &req.id {
                     pairs.push(("id".to_string(), id.clone()));
                 }
+                pairs.push(("trace".to_string(), Json::num(trace as f64)));
                 pairs.extend([
                     ("epoch".to_string(), Json::num(report.epoch as f64)),
                     ("batch_id".to_string(), Json::num(staged.batch_id as f64)),
@@ -1050,12 +1247,45 @@ impl<'live, 'pop> GrecaServer<'live, 'pop> {
                     ),
                     ("full_rebuild".to_string(), Json::Bool(report.full_rebuild)),
                 ]);
-                (Json::Obj(pairs).to_line(), true)
+                let line = Json::Obj(pairs).to_line();
+                drop(serialize);
+                (line, true)
             }
             Err(e) => (
-                protocol::error_response("ingest", code_of(&e), &e.to_string(), &req.id),
+                protocol::error_response(
+                    "ingest",
+                    code_of(&e),
+                    &e.to_string(),
+                    &req.id,
+                    Some(trace),
+                ),
                 false,
             ),
+        }
+    }
+
+    /// Answer a `trace` request from the flight recorder (or its
+    /// slow-query log), applying the request's filters.
+    fn handle_trace(&self, req: &TraceRequest) -> String {
+        let rec = obs::recorder();
+        let filter = TraceFilter {
+            trace: req.trace,
+            kind: req.kind,
+            min_total_us: req.min_us,
+            limit: req.limit.unwrap_or(0),
+        };
+        if req.slow {
+            let mut records = rec.slow_queries();
+            records.retain(|r| filter.matches(r));
+            if let Some(limit) = req.limit {
+                if records.len() > limit {
+                    let cut = records.len() - limit;
+                    records.drain(..cut);
+                }
+            }
+            protocol::trace_response(&records, true, &req.id)
+        } else {
+            protocol::trace_response(&rec.snapshot(&filter), false, &req.id)
         }
     }
 
@@ -1241,6 +1471,90 @@ impl<'live, 'pop> GrecaServer<'live, 'pop> {
                     ),
                 ]),
             ),
+            ("lineage", {
+                let summary = self.live.lineage_summary();
+                let recent = self.live.lineage_recent(8);
+                let survival = lock_ok(&self.shared.survival_log);
+                let recent_json: Vec<Json> = recent
+                    .iter()
+                    .map(|l| {
+                        // Join the engine's per-epoch record with the
+                        // hook-side cache-survival record for the same
+                        // epoch (absent for publishes that predate this
+                        // server or fell out of the survival log).
+                        let (kept, dropped) = survival
+                            .iter()
+                            .rev()
+                            .find(|(e, _, _)| *e == l.epoch)
+                            .map_or((0, 0), |&(_, k, d)| (k, d));
+                        Json::obj(vec![
+                            ("epoch", Json::num(l.epoch as f64)),
+                            ("unix_ms", Json::num(l.unix_ms as f64)),
+                            ("upserts", Json::num(l.upserts as f64)),
+                            ("retractions", Json::num(l.retractions as f64)),
+                            ("dirty_users", Json::num(l.dirty_users as f64)),
+                            ("dirty_pairs", Json::num(l.dirty_pairs as f64)),
+                            ("rebuilt_segments", Json::num(l.rebuilt_segments as f64)),
+                            ("shared_segments", Json::num(l.shared_segments as f64)),
+                            ("full_rebuild", Json::Bool(l.full_rebuild)),
+                            ("cache_kept", Json::num(kept as f64)),
+                            ("cache_dropped", Json::num(dropped as f64)),
+                            ("stage_us", Json::num(l.stage_ns as f64 / 1_000.0)),
+                            ("rebuild_us", Json::num(l.rebuild_ns as f64 / 1_000.0)),
+                            ("wal_us", Json::num(l.wal_ns as f64 / 1_000.0)),
+                            ("swap_us", Json::num(l.swap_ns as f64 / 1_000.0)),
+                            ("total_us", Json::num(l.total_ns as f64 / 1_000.0)),
+                        ])
+                    })
+                    .collect();
+                Json::obj(vec![
+                    ("epoch", Json::num(summary.epoch as f64)),
+                    ("publishes", Json::num(summary.publishes as f64)),
+                    ("full_rebuilds", Json::num(summary.full_rebuilds as f64)),
+                    (
+                        "last_publish_unix_ms",
+                        Json::num(summary.last_publish_unix_ms as f64),
+                    ),
+                    (
+                        "degraded_windows",
+                        Json::num(summary.degraded_windows as f64),
+                    ),
+                    (
+                        "degraded_ms_total",
+                        Json::num(summary.degraded_ms_total as f64),
+                    ),
+                    ("recent", Json::Arr(recent_json)),
+                ])
+            }),
+            ("obs", {
+                let rec = obs::recorder();
+                let totals = rec.totals();
+                let spans: Vec<(&'static str, Json)> = greca_core::SpanKind::ALL
+                    .iter()
+                    .map(|&k| (k.label(), Json::num(totals.spans[k as usize] as f64)))
+                    .collect();
+                let phases: Vec<(&'static str, Json)> = Phase::ALL
+                    .iter()
+                    .map(|&p| {
+                        (
+                            p.label(),
+                            Json::num(totals.phase_ns[p as usize] as f64 / 1_000.0),
+                        )
+                    })
+                    .collect();
+                Json::obj(vec![
+                    ("enabled", Json::Bool(rec.is_enabled())),
+                    (
+                        "slow_threshold_us",
+                        Json::num(rec.slow_threshold_us() as f64),
+                    ),
+                    ("slow_spans", Json::num(totals.slow as f64)),
+                    ("sa", Json::num(totals.sa as f64)),
+                    ("ra", Json::num(totals.ra as f64)),
+                    ("spans", Json::obj(spans)),
+                    ("phase_us", Json::obj(phases)),
+                ])
+            }),
             ("memory", memory_json(substrate.memory_footprint())),
             ("metrics", self.shared.metrics.to_json()),
         ])
@@ -1279,6 +1593,24 @@ fn build_query<'q>(
         query = query.consensus(consensus);
     }
     query
+}
+
+/// The trace id a request travels under: the caller's, or a fresh
+/// server-assigned one masked to the wire-representable range (the
+/// JSON layer carries numbers as `f64` — see
+/// [`protocol::MAX_WIRE_TRACE`]).
+fn resolve_trace(requested: Option<u64>) -> u64 {
+    requested.unwrap_or_else(|| obs::next_trace_id() & protocol::MAX_WIRE_TRACE)
+}
+
+/// A cache outcome as the span record's cache disposition.
+fn cache_note(outcome: CacheOutcome) -> CacheNote {
+    match outcome {
+        CacheOutcome::Hit => CacheNote::Hit,
+        CacheOutcome::Miss => CacheNote::Miss,
+        CacheOutcome::Coalesced => CacheNote::Coalesced,
+        CacheOutcome::Bypass => CacheNote::Bypass,
+    }
 }
 
 /// Union two sorted-or-not period lists into a sorted, deduplicated

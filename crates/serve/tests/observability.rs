@@ -1,0 +1,276 @@
+//! End-to-end tracing contract over the full server stack:
+//!
+//! 1. a traced query's response echoes its trace id, and the `trace`
+//!    verb retrieves the span's per-phase cost attribution
+//!    (admit/cache/prepare/kernel/serialize) plus the SA/RA counts —
+//!    which match the counts the response itself reported;
+//! 2. ingest acks echo trace ids and the publish pipeline's lineage
+//!    (per-stage timings, dirty counts, rebuild mode, cache survival)
+//!    is queryable via `stats`;
+//! 3. push frames echo the subscription's client-supplied trace id;
+//! 4. the `metrics` verb serves a Prometheus text body unifying the
+//!    verb registry with span-derived series;
+//! 5. with the slow threshold at zero every span lands in the
+//!    slow-query log, dumped by `trace` with `"slow": true`.
+//!
+//! Everything runs against ONE server in ONE test: the flight
+//! recorder and its slow threshold are process-global, so a single
+//! serve scope keeps the assertions race-free.
+
+use greca_affinity::{PopulationAffinity, TableAffinitySource};
+use greca_core::{LiveEngine, LiveModel};
+use greca_dataset::{Granularity, ItemId, RatingMatrix, Timeline, UserId};
+use greca_serve::{Client, GrecaServer, Json, ServeConfig};
+use std::time::Duration;
+
+const USERS: u32 = 12;
+const ITEMS: u32 = 30;
+
+fn world() -> (RatingMatrix, PopulationAffinity, Vec<ItemId>) {
+    let mut b = greca_dataset::RatingMatrixBuilder::new(USERS as usize, ITEMS as usize);
+    let mut state = 0xdeadbeefu64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as u32
+    };
+    for u in 0..USERS {
+        for i in 0..ITEMS {
+            if next() % 2 == 0 {
+                b.rate(UserId(u), ItemId(i), (next() % 5 + 1) as f32, 10);
+            }
+        }
+    }
+    let mut src = TableAffinitySource::new();
+    let tl = Timeline::discretize(0, 100, Granularity::Custom(50)).unwrap();
+    for u in 0..USERS {
+        for v in (u + 1)..USERS {
+            src.set_static(UserId(u), UserId(v), f64::from(next() % 100) / 100.0);
+        }
+    }
+    let users: Vec<UserId> = (0..USERS).map(UserId).collect();
+    let pop = PopulationAffinity::build(&src, &users, &tl);
+    (b.build(), pop, (0..ITEMS).map(ItemId).collect())
+}
+
+struct ShutdownOnDrop(greca_serve::ServerHandle);
+impl Drop for ShutdownOnDrop {
+    fn drop(&mut self) {
+        self.0.shutdown();
+    }
+}
+
+/// The span objects from a `trace` response.
+fn spans_of(response: &Json) -> Vec<Json> {
+    assert_eq!(
+        response.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "trace verb must succeed: {response:?}"
+    );
+    response
+        .get("spans")
+        .and_then(Json::as_array)
+        .expect("spans array")
+        .to_vec()
+}
+
+#[test]
+fn traces_flow_end_to_end_through_the_serving_stack() {
+    let (matrix, pop, items) = world();
+    let live = LiveEngine::new(&pop, LiveModel::Raw, &matrix, &items).unwrap();
+    let config = ServeConfig {
+        slow_query_ms: 0, // every span is "slow": exercises the log
+        ..ServeConfig::default()
+    };
+    let server = GrecaServer::bind(&live, config).unwrap();
+    let handle = server.handle();
+    std::thread::scope(|s| {
+        let _shutdown = ShutdownOnDrop(server.handle());
+        s.spawn(|| server.run());
+        let mut client = Client::connect(handle.addr()).unwrap();
+
+        // 1. Traced query: the response echoes the client's trace id…
+        const QUERY_TRACE: u64 = 987_654_321;
+        let response = client
+            .query_traced(&[1, 4, 9], None, Some(5), QUERY_TRACE)
+            .unwrap();
+        assert_eq!(response.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            response.get("trace").and_then(Json::as_u64),
+            Some(QUERY_TRACE),
+            "query response must echo the trace id: {response:?}"
+        );
+        let (resp_sa, resp_ra) = (
+            response.get("sa").and_then(Json::as_u64).unwrap(),
+            response.get("ra").and_then(Json::as_u64).unwrap(),
+        );
+
+        // …and the `trace` verb retrieves its full cost attribution.
+        let dump = client.trace_dump(Some(QUERY_TRACE), false).unwrap();
+        let spans = spans_of(&dump);
+        assert_eq!(spans.len(), 1, "one span under this trace: {dump:?}");
+        let span = &spans[0];
+        assert_eq!(span.get("kind").and_then(Json::as_str), Some("query"));
+        assert_eq!(span.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(span.get("cache").and_then(Json::as_str), Some("miss"));
+        assert_eq!(
+            (
+                span.get("sa").and_then(Json::as_u64),
+                span.get("ra").and_then(Json::as_u64)
+            ),
+            (Some(resp_sa), Some(resp_ra)),
+            "span access counts must match the response's: {span:?}"
+        );
+        let phases = span.get("phases").expect("phases object");
+        for phase in [
+            "admit_us",
+            "cache_us",
+            "prepare_us",
+            "kernel_us",
+            "serialize_us",
+        ] {
+            assert!(
+                phases.get(phase).and_then(Json::as_f64).unwrap_or(0.0) > 0.0,
+                "phase {phase} must carry time: {phases:?}"
+            );
+        }
+        let total_us = span.get("total_us").and_then(Json::as_f64).unwrap();
+        assert!(total_us > 0.0);
+
+        // A repeat of the same query under a fresh trace is a cache
+        // hit — served inline, still fully attributed.
+        const HIT_TRACE: u64 = 987_654_322;
+        let response = client
+            .query_traced(&[1, 4, 9], None, Some(5), HIT_TRACE)
+            .unwrap();
+        assert_eq!(response.get("cache").and_then(Json::as_str), Some("hit"));
+        assert_eq!(
+            response.get("trace").and_then(Json::as_u64),
+            Some(HIT_TRACE)
+        );
+        let spans = spans_of(&client.trace_dump(Some(HIT_TRACE), false).unwrap());
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].get("cache").and_then(Json::as_str), Some("hit"));
+
+        // An untraced query gets a server-assigned id it can still use.
+        let response = client.query(&[2, 5], None, Some(3)).unwrap();
+        let assigned = response
+            .get("trace")
+            .and_then(Json::as_u64)
+            .expect("server-assigned trace id");
+        let spans = spans_of(&client.trace_dump(Some(assigned), false).unwrap());
+        assert_eq!(spans.len(), 1, "assigned id resolves in the recorder");
+
+        // 3. Push frames echo the subscription's trace id.
+        const SUB_TRACE: u64 = 555_000_111;
+        let sub_resp = client
+            .request(&Json::obj(vec![
+                ("verb", Json::str("subscribe")),
+                ("group", Json::Arr(vec![Json::num(0u32), Json::num(3u32)])),
+                ("k", Json::num(4u32)),
+                ("trace", Json::num(SUB_TRACE as f64)),
+            ]))
+            .unwrap();
+        assert_eq!(sub_resp.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            sub_resp.get("trace").and_then(Json::as_u64),
+            Some(SUB_TRACE)
+        );
+
+        // 2. Traced ingest: the ack echoes the id; lineage lands in
+        // `stats` with per-stage timings.
+        const INGEST_TRACE: u64 = 123_123_123;
+        let ack = client
+            .request(&Json::obj(vec![
+                ("verb", Json::str("ingest")),
+                (
+                    "ratings",
+                    Json::Arr(vec![Json::Arr(vec![
+                        Json::num(0u32),
+                        Json::num(7u32),
+                        Json::num(5u32),
+                        Json::num(11u32),
+                    ])]),
+                ),
+                ("trace", Json::num(INGEST_TRACE as f64)),
+            ]))
+            .unwrap();
+        assert_eq!(ack.get("ok").and_then(Json::as_bool), Some(true), "{ack:?}");
+        assert_eq!(
+            ack.get("trace").and_then(Json::as_u64),
+            Some(INGEST_TRACE),
+            "ingest ack must echo the trace id: {ack:?}"
+        );
+        let published = ack.get("epoch").and_then(Json::as_u64).unwrap();
+        let spans = spans_of(&client.trace_dump(Some(INGEST_TRACE), false).unwrap());
+        assert_eq!(spans.len(), 1);
+        let span = &spans[0];
+        assert_eq!(span.get("kind").and_then(Json::as_str), Some("ingest"));
+        assert_eq!(span.get("epoch").and_then(Json::as_u64), Some(published));
+        let phases = span.get("phases").expect("phases object");
+        for phase in ["stage_us", "rebuild_us", "swap_us"] {
+            assert!(
+                phases.get(phase).and_then(Json::as_f64).unwrap_or(0.0) > 0.0,
+                "ingest pipeline phase {phase} must carry time: {phases:?}"
+            );
+        }
+
+        // The subscription covered user 0 — the pump should push, and
+        // the frame must echo the subscribe's trace id.
+        let push = client
+            .poll_push(Duration::from_secs(5))
+            .unwrap()
+            .expect("a push frame after the publish");
+        assert_eq!(push.get("push").and_then(Json::as_str), Some("delta"));
+        assert_eq!(push.get("trace").and_then(Json::as_u64), Some(SUB_TRACE));
+
+        // Lineage via stats.
+        let stats = client.stats().unwrap();
+        let lineage = stats.get("lineage").expect("lineage block");
+        assert_eq!(lineage.get("epoch").and_then(Json::as_u64), Some(published));
+        assert!(lineage.get("publishes").and_then(Json::as_u64).unwrap() >= 1);
+        assert!(
+            lineage
+                .get("last_publish_unix_ms")
+                .and_then(Json::as_u64)
+                .unwrap()
+                > 0
+        );
+        let recent = lineage
+            .get("recent")
+            .and_then(Json::as_array)
+            .expect("recent lineage records");
+        let record = recent
+            .iter()
+            .find(|r| r.get("epoch").and_then(Json::as_u64) == Some(published))
+            .expect("the publish's lineage record");
+        assert_eq!(record.get("upserts").and_then(Json::as_u64), Some(1));
+        assert!(record.get("total_us").and_then(Json::as_f64).unwrap() > 0.0);
+        assert!(record.get("stage_us").and_then(Json::as_f64).unwrap() > 0.0);
+        let obs = stats.get("obs").expect("obs block");
+        assert_eq!(obs.get("enabled").and_then(Json::as_bool), Some(true));
+        assert!(obs.get("sa").and_then(Json::as_u64).unwrap() >= resp_sa);
+        let spans_by_kind = obs.get("spans").expect("span totals");
+        assert!(spans_by_kind.get("query").and_then(Json::as_u64).unwrap() >= 3);
+        assert!(spans_by_kind.get("ingest").and_then(Json::as_u64).unwrap() >= 1);
+
+        // 4. Prometheus exposition.
+        let body = client.metrics_text().unwrap();
+        for series in [
+            "greca_requests_total{verb=\"query\"}",
+            "greca_request_duration_seconds_bucket{verb=\"query\",le=\"+Inf\"}",
+            "greca_cache_lookups_total{outcome=\"hit\"}",
+            "greca_spans_total{kind=\"query\"}",
+            "greca_phase_seconds_total{phase=\"kernel\"}",
+            "greca_kernel_accesses_total{mode=\"sorted\"}",
+        ] {
+            assert!(body.contains(series), "missing series {series}:\n{body}");
+        }
+
+        // 5. The zero threshold put the traced spans in the slow log.
+        let slow = client.trace_dump(Some(QUERY_TRACE), true).unwrap();
+        assert_eq!(slow.get("source").and_then(Json::as_str), Some("slow_log"));
+        assert_eq!(spans_of(&slow).len(), 1, "{slow:?}");
+    });
+}
